@@ -1,0 +1,100 @@
+"""Shared utilities for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper: it runs the
+relevant mechanisms, prints the same rows/series the paper reports, and (via
+pytest-benchmark) records the wall-clock time of one representative run.
+
+Scale knobs (environment variables):
+
+* ``PRIVSHAPE_BENCH_USERS``   — population size per dataset (default 20000;
+  the paper uses 40000).
+* ``PRIVSHAPE_BENCH_TRIALS``  — number of repetitions averaged per
+  configuration (default 1; the paper averages 500).
+* ``PRIVSHAPE_BENCH_EVAL``    — number of held-out series used to score
+  ARI / accuracy (default 500).
+
+Absolute numbers are not expected to match the paper (different hardware,
+synthetic stand-in datasets, fewer trials); the comparisons that must hold are
+the *orderings and trends*: PrivShape ≥ Baseline ≥ PatternLDP, utility rising
+with ε, inverted-U in the SAX parameters, and PrivShape's robustness to series
+length.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import symbols_like, trace_like
+
+#: Directory where every reproduced table is also written as a text file, so
+#: the results survive pytest's output capturing and can be pasted into
+#: EXPERIMENTS.md.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_users(default: int = 20000) -> int:
+    """Population size used by the benchmarks."""
+    return int(os.environ.get("PRIVSHAPE_BENCH_USERS", default))
+
+
+def bench_trials(default: int = 1) -> int:
+    """Number of repetitions averaged per configuration."""
+    return max(1, int(os.environ.get("PRIVSHAPE_BENCH_TRIALS", default)))
+
+
+def bench_eval_size(default: int = 500) -> int:
+    """Number of held-out series used for ARI / accuracy."""
+    return int(os.environ.get("PRIVSHAPE_BENCH_EVAL", default))
+
+
+@lru_cache(maxsize=None)
+def symbols_dataset(seed: int = 101):
+    """Session-cached Symbols-like dataset at benchmark scale."""
+    return symbols_like(n_instances=bench_users(), rng=seed)
+
+
+@lru_cache(maxsize=None)
+def trace_dataset(seed: int = 102):
+    """Session-cached Trace-like dataset at benchmark scale."""
+    return trace_like(n_instances=bench_users(), rng=seed)
+
+
+def average_runs(run_fn, trials: int, seed: int = 0) -> list:
+    """Run ``run_fn(trial_seed)`` ``trials`` times and return the list of results."""
+    return [run_fn(seed + trial) for trial in range(trials)]
+
+
+def mean_of(results, attribute: str) -> float:
+    """Mean of ``attribute`` over a list of result objects."""
+    return float(np.mean([getattr(r, attribute) for r in results]))
+
+
+def mean_measure(results, key: str) -> float:
+    """Mean of one shape-measure entry over a list of task results."""
+    return float(np.mean([r.shape_measures[key] for r in results]))
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print one experiment's table and persist it under ``benchmarks/results/``."""
+    widths = [max(len(str(h)), *(len(_fmt(row[i])) for row in rows)) for i, h in enumerate(headers)]
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines = [f"=== {title} ===", header_line, "-" * len(header_line)]
+    lines += ["  ".join(_fmt(cell).ljust(widths[i]) for i, cell in enumerate(row)) for row in rows]
+    text = "\n".join(lines)
+    print("\n" + text + "\n")
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    with open(RESULTS_DIR / f"{slug}.txt", "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

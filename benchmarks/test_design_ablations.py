@@ -1,0 +1,148 @@
+"""Extra design-choice ablations called out in DESIGN.md (beyond the paper's figures).
+
+1. Two-level refinement on/off — how much does re-estimating leaf frequencies
+   from the held-out Pd population matter?
+2. Population-split ratios — the paper fixes (Pa, Pb, Pc, Pd) =
+   (2%, 8%, 70%, 20%); this sweep probes nearby splits.
+3. Candidate factor c — the paper uses c = 3; the trade-off is pruning safety
+   (larger c keeps more candidates) versus EM domain size (smaller is sharper).
+"""
+
+from __future__ import annotations
+
+from benchmarks.helpers import (
+    average_runs,
+    bench_eval_size,
+    bench_trials,
+    mean_of,
+    print_table,
+    trace_dataset,
+)
+from repro.core.config import PrivShapeConfig
+from repro.core.pipeline import run_classification_task
+from repro.core.privshape import PrivShape
+from repro.mining.metrics import accuracy_score
+from repro.mining.nearest import NearestShapeClassifier
+from repro.sax.compressive import CompressiveSAX
+
+
+def test_refinement_ablation(benchmark):
+    """Two-level refinement on vs off (unlabelled extraction, Trace, eps=4).
+
+    With the refinement disabled the final leaf frequencies are the raw
+    Exponential-Mechanism counts from the last expansion group (and the Pd
+    population is simply unused); with it enabled the leaf counts are
+    re-estimated with OUE from Pd.  The table reports the clustering quality
+    (ARI of assigning every user to the closest extracted shape).
+    """
+    from repro.mining.metrics import adjusted_rand_index
+    from repro.mining.nearest import assign_to_shapes
+
+    dataset = trace_dataset()
+    transformer = CompressiveSAX(alphabet_size=4, segment_length=10)
+    evaluation = dataset.subsample(bench_eval_size(), rng=201)
+    sequences = transformer.transform_dataset(dataset.series)
+    evaluation_sequences = transformer.transform_dataset(evaluation.series)
+    ari = {}
+
+    def run_both():
+        for refinement in (True, False):
+            config = PrivShapeConfig(
+                epsilon=4.0,
+                top_k=dataset.n_classes,
+                alphabet_size=4,
+                metric="sed",
+                length_high=10,
+                refinement=refinement,
+            )
+            result = PrivShape(config).extract(sequences, rng=202)
+            assignments = assign_to_shapes(
+                evaluation_sequences, result.shapes, metric="sed", alphabet_size=4
+            )
+            ari[refinement] = adjusted_rand_index(evaluation.labels, assignments)
+        return ari
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_table(
+        "Ablation: two-level refinement (Trace, unlabelled extraction, eps=4)",
+        ["refinement", "ARI"],
+        [["on", ari[True]], ["off", ari[False]]],
+    )
+    assert ari[True] > 0.0
+
+
+def test_population_split_ablation(benchmark):
+    """Sensitivity to the (Pa, Pb, Pc, Pd) split."""
+    splits = {
+        "paper (2/8/70/20)": (0.02, 0.08, 0.7, 0.2),
+        "more refinement (2/8/50/40)": (0.02, 0.08, 0.5, 0.4),
+        "more expansion (2/8/85/5)": (0.02, 0.08, 0.85, 0.05),
+        "more sub-shapes (2/28/50/20)": (0.02, 0.28, 0.5, 0.2),
+    }
+    dataset = trace_dataset()
+    transformer = CompressiveSAX(alphabet_size=4, segment_length=10)
+    train, test = dataset.train_test_split(test_fraction=0.3, rng=204)
+    test = test.subsample(bench_eval_size(), rng=204)
+    sequences = transformer.transform_dataset(train.series)
+    accuracy = {}
+
+    def run_all():
+        for name, fractions in splits.items():
+            config = PrivShapeConfig(
+                epsilon=4.0,
+                top_k=dataset.n_classes,
+                alphabet_size=4,
+                metric="sed",
+                length_high=10,
+                population_fractions=fractions,
+            )
+            result = PrivShape(config).extract_labeled(
+                sequences, train.labels, n_classes=dataset.n_classes, rng=205
+            )
+            labelled = {l: s for l, s in result.shapes_by_class.items() if s}
+            classifier = NearestShapeClassifier(
+                labelled_shapes=labelled, transformer=transformer, metric="sed"
+            )
+            accuracy[name] = accuracy_score(test.labels, classifier.predict(test.series))
+        return accuracy
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Ablation: population split (Trace classification, eps=4)",
+        ["split", "accuracy"],
+        [[name, accuracy[name]] for name in splits],
+    )
+    assert all(value > 0.34 for value in accuracy.values())
+
+
+def test_candidate_factor_ablation(benchmark):
+    """Sensitivity to the candidate factor c (top-c*k pruning)."""
+    accuracy = {}
+
+    def run_all():
+        for factor in (2, 3, 5):
+            results = average_runs(
+                lambda seed, c=factor: run_classification_task(
+                    trace_dataset(),
+                    mechanism="privshape",
+                    epsilon=4.0,
+                    alphabet_size=4,
+                    segment_length=10,
+                    metric="sed",
+                    candidate_factor=c,
+                    evaluation_size=bench_eval_size(),
+                    rng=seed,
+                ),
+                bench_trials(),
+                seed=206,
+            )
+            accuracy[factor] = mean_of(results, "accuracy")
+        return accuracy
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Ablation: candidate factor c (Trace classification, eps=4)",
+        ["c", "accuracy"],
+        [[c, accuracy[c]] for c in sorted(accuracy)],
+    )
+    assert max(accuracy.values()) > 0.5

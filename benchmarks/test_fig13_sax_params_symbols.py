@@ -1,0 +1,77 @@
+"""Fig. 13 — effect of the SAX parameters on the Symbols clustering task.
+
+Paper setting: ε = 4; (a) w = 25 with symbol size t ∈ {4, 5, 6, 7};
+(b) t = 6 with segment length w ∈ {15, 20, 25, 30}.
+Paper outcome: ARI first rises then falls in both sweeps (an inverted U) —
+too few symbols / too coarse segments lose shape information, too many
+symbols / too fine segments capture noise and hurt similarity matching.
+"""
+
+from __future__ import annotations
+
+from benchmarks.helpers import (
+    average_runs,
+    bench_eval_size,
+    bench_trials,
+    mean_of,
+    print_table,
+    symbols_dataset,
+)
+from repro.core.pipeline import run_clustering_task
+
+SYMBOL_SIZES = (4, 5, 6, 7)
+SEGMENT_LENGTHS = (15, 20, 25, 30)
+
+
+def _run(alphabet_size: int, segment_length: int, seed: int):
+    return run_clustering_task(
+        symbols_dataset(),
+        mechanism="privshape",
+        epsilon=4.0,
+        alphabet_size=alphabet_size,
+        segment_length=segment_length,
+        evaluation_size=bench_eval_size(),
+        rng=seed,
+    )
+
+
+def test_fig13a_varying_symbol_size(benchmark):
+    ari = {}
+
+    def run_all():
+        for t in SYMBOL_SIZES:
+            results = average_runs(
+                lambda seed, t=t: _run(t, 25, seed), bench_trials(), seed=131
+            )
+            ari[t] = mean_of(results, "ari")
+        return ari
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Fig. 13(a): ARI varying symbol size t (Symbols, w=25, eps=4)",
+        ["t", "ARI"],
+        [[t, ari[t]] for t in SYMBOL_SIZES],
+    )
+    # Utility is not monotone in t: the best setting is an interior point or at
+    # least clearly better than the worst setting.
+    assert max(ari.values()) - min(ari.values()) > 0.03
+
+
+def test_fig13b_varying_segment_length(benchmark):
+    ari = {}
+
+    def run_all():
+        for w in SEGMENT_LENGTHS:
+            results = average_runs(
+                lambda seed, w=w: _run(6, w, seed), bench_trials(), seed=132
+            )
+            ari[w] = mean_of(results, "ari")
+        return ari
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Fig. 13(b): ARI varying segment length w (Symbols, t=6, eps=4)",
+        ["w", "ARI"],
+        [[w, ari[w]] for w in SEGMENT_LENGTHS],
+    )
+    assert max(ari.values()) > 0.3

@@ -1,0 +1,77 @@
+"""Fig. 14 — effect of the SAX parameters on the Trace classification task.
+
+Paper setting: ε = 4; (a) w = 10 with symbol size t ∈ {3, 4, 5, 6};
+(b) t = 4 with segment length w ∈ {5, 10, 15, 20}.
+Paper outcome: accuracy first rises then falls with both t and w (inverted U),
+with the paper's chosen setting (t = 4, w = 10) near the peak.
+"""
+
+from __future__ import annotations
+
+from benchmarks.helpers import (
+    average_runs,
+    bench_eval_size,
+    bench_trials,
+    mean_of,
+    print_table,
+    trace_dataset,
+)
+from repro.core.pipeline import run_classification_task
+
+SYMBOL_SIZES = (3, 4, 5, 6)
+SEGMENT_LENGTHS = (5, 10, 15, 20)
+
+
+def _run(alphabet_size: int, segment_length: int, seed: int):
+    return run_classification_task(
+        trace_dataset(),
+        mechanism="privshape",
+        epsilon=4.0,
+        alphabet_size=alphabet_size,
+        segment_length=segment_length,
+        metric="sed",
+        evaluation_size=bench_eval_size(),
+        rng=seed,
+    )
+
+
+def test_fig14a_varying_symbol_size(benchmark):
+    accuracy = {}
+
+    def run_all():
+        for t in SYMBOL_SIZES:
+            results = average_runs(
+                lambda seed, t=t: _run(t, 10, seed), bench_trials(), seed=141
+            )
+            accuracy[t] = mean_of(results, "accuracy")
+        return accuracy
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Fig. 14(a): accuracy varying symbol size t (Trace, w=10, eps=4)",
+        ["t", "accuracy"],
+        [[t, accuracy[t]] for t in SYMBOL_SIZES],
+    )
+    assert max(accuracy.values()) > 0.6
+
+
+def test_fig14b_varying_segment_length(benchmark):
+    accuracy = {}
+
+    def run_all():
+        for w in SEGMENT_LENGTHS:
+            results = average_runs(
+                lambda seed, w=w: _run(4, w, seed), bench_trials(), seed=142
+            )
+            accuracy[w] = mean_of(results, "accuracy")
+        return accuracy
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Fig. 14(b): accuracy varying segment length w (Trace, t=4, eps=4)",
+        ["w", "accuracy"],
+        [[w, accuracy[w]] for w in SEGMENT_LENGTHS],
+    )
+    assert max(accuracy.values()) > 0.6
+    # Extreme settings lose utility relative to the best setting.
+    assert max(accuracy.values()) - min(accuracy.values()) > 0.03

@@ -1,0 +1,133 @@
+"""Fig. 15 — impact of the distance metric used inside PrivShape.
+
+Paper setting: PrivShape run with DTW, SED, and Euclidean as the score /
+matching metric, compared against PatternLDP, for ε ∈ {1, 2, 3, 4};
+(a) clustering ARI on Symbols, (b) classification accuracy on Trace.
+Paper outcome: the metrics differ somewhat, but *every* PrivShape variant
+beats PatternLDP across the practical budgets ε ≤ 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.helpers import (
+    average_runs,
+    bench_eval_size,
+    bench_trials,
+    mean_of,
+    print_table,
+    symbols_dataset,
+    trace_dataset,
+)
+from repro.core.pipeline import run_classification_task, run_clustering_task
+
+EPSILONS = (1.0, 2.0, 3.0, 4.0)
+METRICS = ("dtw", "sed", "euclidean")
+
+
+def test_fig15a_clustering_distance_metrics(benchmark):
+    ari = {}
+
+    def run_all():
+        for metric in METRICS:
+            for epsilon in EPSILONS:
+                results = average_runs(
+                    lambda seed, m=metric, e=epsilon: run_clustering_task(
+                        symbols_dataset(),
+                        mechanism="privshape",
+                        epsilon=e,
+                        alphabet_size=6,
+                        segment_length=25,
+                        metric=m,
+                        evaluation_size=bench_eval_size(),
+                        rng=seed,
+                    ),
+                    bench_trials(),
+                    seed=151,
+                )
+                ari[("privshape-" + metric, epsilon)] = mean_of(results, "ari")
+        for epsilon in EPSILONS:
+            results = average_runs(
+                lambda seed, e=epsilon: run_clustering_task(
+                    symbols_dataset(),
+                    mechanism="patternldp",
+                    epsilon=e,
+                    alphabet_size=6,
+                    segment_length=25,
+                    evaluation_size=bench_eval_size(),
+                    rng=seed,
+                ),
+                bench_trials(),
+                seed=151,
+            )
+            ari[("patternldp", epsilon)] = mean_of(results, "ari")
+        return ari
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    variants = ["privshape-" + m for m in METRICS] + ["patternldp"]
+    rows = [[epsilon] + [ari[(v, epsilon)] for v in variants] for epsilon in EPSILONS]
+    print_table("Fig. 15(a): clustering ARI by distance metric (Symbols)", ["epsilon"] + variants, rows)
+
+    for metric in METRICS:
+        privshape_mean = np.mean([ari[("privshape-" + metric, e)] for e in EPSILONS[1:]])
+        patternldp_mean = np.mean([ari[("patternldp", e)] for e in EPSILONS[1:]])
+        assert privshape_mean > patternldp_mean
+
+
+def test_fig15b_classification_distance_metrics(benchmark):
+    accuracy = {}
+
+    def run_all():
+        for metric in METRICS:
+            for epsilon in EPSILONS:
+                results = average_runs(
+                    lambda seed, m=metric, e=epsilon: run_classification_task(
+                        trace_dataset(),
+                        mechanism="privshape",
+                        epsilon=e,
+                        alphabet_size=4,
+                        segment_length=10,
+                        metric=m,
+                        evaluation_size=bench_eval_size(),
+                        rng=seed,
+                    ),
+                    bench_trials(),
+                    seed=152,
+                )
+                accuracy[("privshape-" + metric, epsilon)] = mean_of(results, "accuracy")
+        for epsilon in EPSILONS:
+            results = average_runs(
+                lambda seed, e=epsilon: run_classification_task(
+                    trace_dataset(),
+                    mechanism="patternldp",
+                    epsilon=e,
+                    alphabet_size=4,
+                    segment_length=10,
+                    evaluation_size=bench_eval_size(),
+                    patternldp_train_size=600,
+                    forest_size=10,
+                    rng=seed,
+                ),
+                bench_trials(),
+                seed=152,
+            )
+            accuracy[("patternldp", epsilon)] = mean_of(results, "accuracy")
+        return accuracy
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    variants = ["privshape-" + m for m in METRICS] + ["patternldp"]
+    rows = [[epsilon] + [accuracy[(v, epsilon)] for v in variants] for epsilon in EPSILONS]
+    print_table(
+        "Fig. 15(b): classification accuracy by distance metric (Trace)",
+        ["epsilon"] + variants,
+        rows,
+    )
+
+    best_privshape = max(
+        np.mean([accuracy[("privshape-" + m, e)] for e in EPSILONS[1:]]) for m in METRICS
+    )
+    patternldp_mean = np.mean([accuracy[("patternldp", e)] for e in EPSILONS[1:]])
+    assert best_privshape > patternldp_mean

@@ -1,0 +1,95 @@
+"""Fig. 18 — ablations: PrivShape without SAX and without compression.
+
+Paper setting: Trace classification, ε ∈ {1, 2, 3, 4}.
+
+* (a) "Without SAX": values are discretized directly into 0.33-wide bins
+  clipped at ±0.99 (eight segments) instead of PAA + SAX symbols.
+* (b) "No Compression": plain SAX without the run-length collapse.
+
+Paper outcome: both ablations lose utility compared to full PrivShape —
+without SAX the symbols no longer average out noise, and without compression
+the sequences are longer, so each trie level receives fewer users — but both
+remain better than PatternLDP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.helpers import (
+    average_runs,
+    bench_eval_size,
+    bench_trials,
+    mean_of,
+    print_table,
+    trace_dataset,
+)
+from repro.core.ablation import RawValueDiscretizer
+from repro.core.pipeline import run_classification_task
+
+EPSILONS = (1.0, 2.0, 3.0, 4.0)
+
+
+def _run_variant(variant: str, epsilon: float, seed: int):
+    dataset = trace_dataset()
+    common = dict(
+        epsilon=epsilon,
+        alphabet_size=4,
+        segment_length=10,
+        metric="sed",
+        evaluation_size=bench_eval_size(),
+        patternldp_train_size=600,
+        forest_size=10,
+        rng=seed,
+    )
+    if variant == "privshape":
+        return run_classification_task(dataset, mechanism="privshape", **common)
+    if variant == "without sax":
+        transformer = RawValueDiscretizer(stride=10)
+        return run_classification_task(
+            dataset, mechanism="privshape", transformer=transformer, **common
+        )
+    if variant == "no compression":
+        return run_classification_task(
+            dataset, mechanism="privshape", compress=False, length_high=20, **common
+        )
+    if variant == "patternldp":
+        return run_classification_task(dataset, mechanism="patternldp", **common)
+    raise ValueError(variant)
+
+
+VARIANTS = ("privshape", "without sax", "no compression", "patternldp")
+
+
+def test_fig18_ablations(benchmark):
+    accuracy = {}
+
+    def run_all():
+        for variant in VARIANTS:
+            for epsilon in EPSILONS:
+                results = average_runs(
+                    lambda seed, v=variant, e=epsilon: _run_variant(v, e, seed),
+                    bench_trials(),
+                    seed=181,
+                )
+                accuracy[(variant, epsilon)] = mean_of(results, "accuracy")
+        return accuracy
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [epsilon] + [accuracy[(variant, epsilon)] for variant in VARIANTS]
+        for epsilon in EPSILONS
+    ]
+    print_table(
+        "Fig. 18: ablations on Trace classification (Without SAX / No Compression)",
+        ["epsilon"] + list(VARIANTS),
+        rows,
+    )
+
+    full = np.mean([accuracy[("privshape", e)] for e in EPSILONS[1:]])
+    without_sax = np.mean([accuracy[("without sax", e)] for e in EPSILONS[1:]])
+    no_compression = np.mean([accuracy[("no compression", e)] for e in EPSILONS[1:]])
+    # Full PrivShape is at least as good as either ablation on average.
+    assert full >= without_sax - 0.05
+    assert full >= no_compression - 0.05

@@ -1,0 +1,80 @@
+"""Table V — execution time of the three mechanisms on both tasks at ε = 4.
+
+Paper values (Table V, 40,000 users, 20-core Xeon, user operations treated as
+concurrent):
+    Clustering      Baseline 1.88 s   PrivShape 1.69 s   PatternLDP   9.98 s
+    Classification  Baseline 1.21 s   PrivShape 1.14 s   PatternLDP 133.82 s
+Expected reproduction shape: PrivShape is at least as fast as the Baseline
+(better pruning), and PatternLDP is the slowest by a wide margin because it
+perturbs every series and fits a downstream model on the perturbed values.
+"""
+
+from __future__ import annotations
+
+from benchmarks.helpers import bench_eval_size, print_table, symbols_dataset, trace_dataset
+from repro.core.pipeline import run_classification_task, run_clustering_task
+
+
+def _clustering_time(mechanism: str, seed: int) -> float:
+    result = run_clustering_task(
+        symbols_dataset(),
+        mechanism=mechanism,
+        epsilon=4.0,
+        alphabet_size=6,
+        segment_length=25,
+        evaluation_size=bench_eval_size(),
+        rng=seed,
+    )
+    return result.elapsed_seconds
+
+
+def _classification_time(mechanism: str, seed: int) -> float:
+    result = run_classification_task(
+        trace_dataset(),
+        mechanism=mechanism,
+        epsilon=4.0,
+        alphabet_size=4,
+        segment_length=10,
+        evaluation_size=bench_eval_size(),
+        patternldp_train_size=800,
+        forest_size=15,
+        rng=seed,
+    )
+    return result.elapsed_seconds
+
+
+def test_table5_execution_time(benchmark):
+    timings = {}
+
+    def run_all():
+        for task, runner in (("clustering", _clustering_time), ("classification", _classification_time)):
+            for mechanism in ("baseline", "privshape", "patternldp"):
+                timings[(task, mechanism)] = runner(mechanism, seed=51)
+        return timings
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            task,
+            timings[(task, "baseline")],
+            timings[(task, "privshape")],
+            timings[(task, "patternldp")],
+        ]
+        for task in ("clustering", "classification")
+    ]
+    print_table(
+        "Table V: execution time in seconds (eps=4)",
+        ["task", "Baseline", "PrivShape", "PatternLDP"],
+        rows,
+    )
+
+    # PatternLDP pays for per-point perturbation + downstream model fitting and
+    # is the slowest mechanism overall (summed over both tasks).  Per-task
+    # orderings can be close for clustering because only the evaluation
+    # subsample is perturbed there.
+    patternldp_total = sum(timings[(task, "patternldp")] for task in ("clustering", "classification"))
+    privshape_total = sum(timings[(task, "privshape")] for task in ("clustering", "classification"))
+    baseline_total = sum(timings[(task, "baseline")] for task in ("clustering", "classification"))
+    assert patternldp_total > privshape_total
+    assert patternldp_total > baseline_total

@@ -1,0 +1,66 @@
+"""Theorem 4 (utility analysis) — perturbation-domain sizes per trie level.
+
+The paper's utility argument is that PrivShape's sub-shape pruning keeps the
+Exponential-Mechanism domain at every level within c²k² candidates, whereas
+the baseline's domain can grow like t·(t-1)^(ℓ-1).  This bench measures the
+actual per-level domain sizes of both mechanisms on the Symbols task and
+reports the ratio, which is the factor appearing in Theorem 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.helpers import bench_users, print_table, symbols_dataset
+from repro.core.baseline import BaselineMechanism
+from repro.core.config import BaselineConfig, PrivShapeConfig
+from repro.core.privshape import PrivShape
+from repro.sax.compressive import CompressiveSAX
+
+
+def test_theorem4_perturbation_domain_sizes(benchmark):
+    dataset = symbols_dataset()
+    transformer = CompressiveSAX(alphabet_size=6, segment_length=25)
+    sequences = transformer.transform_dataset(dataset.series)
+
+    results = {}
+
+    def run_both():
+        privshape_config = PrivShapeConfig(
+            epsilon=4.0, top_k=6, alphabet_size=6, metric="dtw", length_high=15
+        )
+        baseline_config = BaselineConfig(
+            epsilon=4.0, top_k=6, alphabet_size=6, metric="dtw", length_high=15
+        )
+        results["privshape"] = PrivShape(privshape_config).extract(sequences, rng=191)
+        results["baseline"] = BaselineMechanism(baseline_config).extract(sequences, rng=191)
+        results["config"] = privshape_config
+        return results
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    privshape_sizes = results["privshape"].trie.domain_sizes()
+    baseline_sizes = results["baseline"].trie.domain_sizes()
+    levels = sorted(set(privshape_sizes) | set(baseline_sizes))
+    rows = []
+    for level in levels:
+        p = privshape_sizes.get(level, 0)
+        b = baseline_sizes.get(level, 0)
+        ratio = b / p if p else float("inf")
+        rows.append([level, b, p, ratio])
+    print_table(
+        "Theorem 4: per-level EM perturbation-domain sizes (Symbols, eps=4)",
+        ["trie level", "baseline domain", "privshape domain", "baseline/privshape"],
+        rows,
+    )
+
+    config = results["config"]
+    bound = config.candidate_budget * (config.alphabet_size - 1)
+    # PrivShape's domain respects the c*k*(t-1) expansion bound at every level.
+    assert all(size <= bound for size in privshape_sizes.values())
+    # Averaged over shared levels the baseline's domain is at least as large.
+    shared = [l for l in levels if l in privshape_sizes and l in baseline_sizes and l >= 2]
+    if shared:
+        assert np.mean([baseline_sizes[l] for l in shared]) >= np.mean(
+            [privshape_sizes[l] for l in shared]
+        )

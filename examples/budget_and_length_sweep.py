@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Sweep the privacy budget and the series length (the paper's Figs. 9, 11, 16).
+
+Two questions a deployer asks before adopting PrivShape:
+
+* "How small can ε be before utility collapses?"  — the budget sweep;
+* "Does it still work when my users record much longer series?"  — the
+  length sweep on the Trigonometric Wave dataset, where the essential shape
+  stays the same while the raw series grows from 200 to 1000 points.
+
+Run with:  python examples/budget_and_length_sweep.py [n_users]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import trace_like, trigonometric_waves
+from repro.core.pipeline import run_classification_task
+
+
+def budget_sweep(n_users: int) -> None:
+    dataset = trace_like(n_instances=n_users, rng=17)
+    print("privacy-budget sweep (classification accuracy on Trace-like data)")
+    print(f"{'epsilon':>8} {'privshape':>10} {'patternldp':>11}")
+    for epsilon in (0.5, 1.0, 2.0, 4.0, 8.0):
+        privshape = run_classification_task(
+            dataset, mechanism="privshape", epsilon=epsilon,
+            alphabet_size=4, segment_length=10, evaluation_size=400, rng=1,
+        )
+        patternldp = run_classification_task(
+            dataset, mechanism="patternldp", epsilon=epsilon,
+            alphabet_size=4, segment_length=10, evaluation_size=300,
+            patternldp_train_size=600, forest_size=10, rng=1,
+        )
+        print(f"{epsilon:>8.1f} {privshape.accuracy:>10.3f} {patternldp.accuracy:>11.3f}")
+    print()
+
+
+def length_sweep(n_users: int) -> None:
+    print("series-length sweep (sine vs cosine classification, epsilon = 4)")
+    print(f"{'length':>8} {'privshape':>10}")
+    for length in (200, 400, 600, 800, 1000):
+        dataset = trigonometric_waves(n_instances=n_users, length=length, rng=19)
+        result = run_classification_task(
+            dataset, mechanism="privshape", epsilon=4.0,
+            alphabet_size=4, segment_length=10, evaluation_size=400, rng=2,
+        )
+        print(f"{length:>8d} {result.accuracy:>10.3f}")
+    print(
+        "\nCompressive SAX collapses repeated symbols, so the compressed shape —"
+        "\nand therefore PrivShape's utility — barely changes with the raw length."
+    )
+
+
+def main(n_users: int = 8000) -> None:
+    budget_sweep(n_users)
+    length_sweep(n_users)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8000)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Gesture clustering under user-level LDP (the paper's Symbols scenario).
+
+A motion-sensing service wants to discover the common gesture shapes of its
+users without ever collecting raw trajectories.  This example runs the full
+clustering-task evaluation for PrivShape, the baseline mechanism, and the
+PatternLDP competitor, and reports the Adjusted Rand Index each achieves
+against the true gesture classes (the private analogue of Fig. 9 / Table III).
+
+Run with:  python examples/gesture_clustering.py [n_users] [epsilon]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import symbols_like
+from repro.core.pipeline import run_clustering_task
+
+
+def main(n_users: int = 12000, epsilon: float = 4.0) -> None:
+    dataset = symbols_like(n_instances=n_users, rng=3)
+    print(f"population: {n_users} users, {dataset.n_classes} gesture classes, epsilon={epsilon}\n")
+
+    print(f"{'mechanism':<12} {'ARI':>6} {'DTW':>8} {'SED':>8} {'Euclid':>8}  extracted shapes")
+    for mechanism in ("privshape", "baseline", "patternldp"):
+        result = run_clustering_task(
+            dataset,
+            mechanism=mechanism,
+            epsilon=epsilon,
+            alphabet_size=6,
+            segment_length=25,
+            metric="dtw",
+            evaluation_size=600,
+            rng=11,
+        )
+        shapes = ", ".join(result.shapes[:4]) + ("..." if len(result.shapes) > 4 else "")
+        print(
+            f"{mechanism:<12} {result.ari:>6.3f} "
+            f"{result.shape_measures['dtw']:>8.2f} "
+            f"{result.shape_measures['sed']:>8.2f} "
+            f"{result.shape_measures['euclidean']:>8.2f}  {shapes}"
+        )
+    print("\nground-truth class shapes:", ", ".join(result.ground_truth_shapes))
+    print(
+        "\nA higher ARI means the privately extracted shapes partition users into"
+        "\ntheir true gesture classes; PatternLDP's value perturbation destroys the"
+        "\nshape information at user-level budgets, so its ARI stays near zero."
+    )
+
+
+if __name__ == "__main__":
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 12000
+    epsilon = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
+    main(n_users, epsilon)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Industrial-sensor classification under user-level LDP (the paper's Trace scenario).
+
+A plant operator collects transient signatures from monitoring devices and
+wants per-fault-class reference shapes without seeing any raw signal.  The
+classification variant of PrivShape reports each device's (closest shape,
+fault label) pair through Optimized Unary Encoding; the per-class top shapes
+then act as a nearest-shape classifier (the private analogue of Fig. 11 /
+Table IV).
+
+Run with:  python examples/sensor_classification.py [n_users] [epsilon]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import trace_like
+from repro.core.pipeline import run_classification_task
+
+
+def main(n_users: int = 12000, epsilon: float = 4.0) -> None:
+    dataset = trace_like(n_instances=n_users, rng=5)
+    print(
+        f"population: {n_users} monitoring devices, {dataset.n_classes} transient classes, "
+        f"epsilon={epsilon}\n"
+    )
+
+    print(f"{'mechanism':<12} {'accuracy':>9} {'DTW':>8} {'SED':>8}  per-class shapes")
+    for mechanism in ("privshape", "baseline", "patternldp"):
+        result = run_classification_task(
+            dataset,
+            mechanism=mechanism,
+            epsilon=epsilon,
+            alphabet_size=4,
+            segment_length=10,
+            metric="sed",
+            evaluation_size=500,
+            rng=13,
+        )
+        class_shapes = "; ".join(
+            f"{label}:{shapes[0] if shapes else '-'}"
+            for label, shapes in sorted(result.shapes_by_class.items())
+        )
+        print(
+            f"{mechanism:<12} {result.accuracy:>9.3f} "
+            f"{result.shape_measures['dtw']:>8.2f} "
+            f"{result.shape_measures['sed']:>8.2f}  {class_shapes}"
+        )
+    print("\nground-truth class shapes:", ", ".join(result.ground_truth_shapes))
+    print(
+        "\nPrivShape's per-class shapes classify held-out clean signals by nearest"
+        "\nedit distance; PatternLDP must train a random forest on heavily perturbed"
+        "\nvalues, which works only at much larger budgets."
+    )
+
+
+if __name__ == "__main__":
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 12000
+    epsilon = float(sys.argv[2]) if len(sys.argv) > 2 else 4.0
+    main(n_users, epsilon)

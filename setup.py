@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` (or ``python setup.py develop``) works offline with
+older setuptools tool-chains that cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

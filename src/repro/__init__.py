@@ -1,0 +1,64 @@
+"""PrivShape reproduction: shape extraction in time series under user-level LDP.
+
+This package reproduces *PrivShape: Extracting Shapes in Time Series under
+User-Level Local Differential Privacy* (ICDE 2024).  The most common entry
+points are re-exported here:
+
+>>> from repro import PrivShape, PrivShapeConfig, CompressiveSAX, symbols_like
+>>> dataset = symbols_like(n_instances=600, rng=0)
+>>> transformer = CompressiveSAX(alphabet_size=6, segment_length=25)
+>>> sequences = transformer.transform_dataset(dataset.series)
+>>> mechanism = PrivShape(PrivShapeConfig(epsilon=4.0, top_k=6, alphabet_size=6))
+>>> result = mechanism.extract(sequences, rng=0)
+>>> len(result.shapes) <= 6
+True
+"""
+
+from repro.core.baseline import BaselineMechanism
+from repro.core.config import BaselineConfig, PrivShapeConfig
+from repro.core.pipeline import (
+    ClassificationTaskResult,
+    ClusteringTaskResult,
+    run_classification_task,
+    run_clustering_task,
+)
+from repro.core.privshape import PrivShape
+from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResult
+from repro.baselines.patternldp import PatternLDP
+from repro.datasets import (
+    LabeledDataset,
+    augment_dataset,
+    load_ucr_tsv,
+    symbols_like,
+    trace_like,
+    trigonometric_waves,
+    trigonometric_waves_prefix,
+)
+from repro.sax.compressive import CompressiveSAX
+from repro.sax.sax import SAXTransformer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrivShape",
+    "PrivShapeConfig",
+    "BaselineMechanism",
+    "BaselineConfig",
+    "PatternLDP",
+    "ShapeExtractionResult",
+    "LabeledShapeExtractionResult",
+    "run_clustering_task",
+    "run_classification_task",
+    "ClusteringTaskResult",
+    "ClassificationTaskResult",
+    "CompressiveSAX",
+    "SAXTransformer",
+    "LabeledDataset",
+    "symbols_like",
+    "trace_like",
+    "trigonometric_waves",
+    "trigonometric_waves_prefix",
+    "augment_dataset",
+    "load_ucr_tsv",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Analytical utilities: estimator variance, utility bounds, and deployment planning.
+
+These helpers make the paper's analytical statements executable:
+
+* :func:`grr_variance`, :func:`oue_variance`, :func:`olh_variance` — per-item
+  count-estimator variances of the frequency oracles, used to choose a
+  mechanism for a given domain size and budget;
+* :func:`em_selection_probability` — probability that the Exponential
+  Mechanism returns a top-scoring candidate, the quantity behind the paper's
+  utility theorem;
+* :func:`privshape_domain_bound`, :func:`baseline_domain_bound`,
+  :func:`utility_improvement_bound` — the perturbation-domain sizes and the
+  Theorem 4 improvement factor;
+* :class:`DeploymentPlan` / :func:`plan_population` — back-of-the-envelope
+  sizing of the user population needed for a target estimation error under
+  the paper's (Pa, Pb, Pc, Pd) split.
+"""
+
+from repro.analysis.variance import (
+    grr_variance,
+    olh_variance,
+    oue_variance,
+    recommend_frequency_oracle,
+)
+from repro.analysis.utility import (
+    baseline_domain_bound,
+    em_selection_probability,
+    privshape_domain_bound,
+    utility_improvement_bound,
+)
+from repro.analysis.planning import DeploymentPlan, plan_population
+
+__all__ = [
+    "grr_variance",
+    "oue_variance",
+    "olh_variance",
+    "recommend_frequency_oracle",
+    "em_selection_probability",
+    "privshape_domain_bound",
+    "baseline_domain_bound",
+    "utility_improvement_bound",
+    "DeploymentPlan",
+    "plan_population",
+]

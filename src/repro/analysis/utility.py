@@ -1,0 +1,72 @@
+"""Executable forms of the paper's utility analysis (Theorem 4 and the EM bound)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_epsilon, check_positive_int
+
+
+def em_selection_probability(
+    epsilon: float,
+    domain_size: int,
+    score_gap: float = 1.0,
+    n_optimal: int = 1,
+) -> float:
+    """Probability that the Exponential Mechanism returns an optimal candidate.
+
+    Assumes ``n_optimal`` candidates have the top score and the remaining
+    ``domain_size - n_optimal`` trail by ``score_gap`` (in normalized score
+    units, sensitivity 1).  This is the quantity the paper's Theorem 4
+    manipulates: shrinking ``domain_size`` is what improves PrivShape over the
+    baseline.
+    """
+    epsilon = check_epsilon(epsilon)
+    domain_size = check_positive_int(domain_size, "domain_size")
+    n_optimal = check_positive_int(n_optimal, "n_optimal")
+    if n_optimal > domain_size:
+        raise ValueError("n_optimal cannot exceed domain_size")
+    if not 0.0 <= score_gap <= 1.0:
+        raise ValueError("score_gap must lie in [0, 1]")
+    top_weight = n_optimal * np.exp(epsilon / 2.0)
+    rest_weight = (domain_size - n_optimal) * np.exp(epsilon * (1.0 - score_gap) / 2.0)
+    return float(top_weight / (top_weight + rest_weight))
+
+
+def privshape_domain_bound(candidate_factor: int, top_k: int, alphabet_size: int) -> int:
+    """Worst-case per-level EM domain size of PrivShape: ``c·k`` parents × up to (t-1) children.
+
+    The paper states the c²k² form for the sub-shape-pruned expansion; the
+    implementation's tighter operational bound is ``c·k·(t-1)`` because each of
+    the ``c·k`` surviving parents expands along at most ``t-1`` allowed
+    sub-shapes; both bounds hold, the smaller is returned.
+    """
+    candidate_factor = check_positive_int(candidate_factor, "candidate_factor")
+    top_k = check_positive_int(top_k, "top_k")
+    alphabet_size = check_positive_int(alphabet_size, "alphabet_size")
+    return int(
+        min(
+            candidate_factor * top_k * (alphabet_size - 1),
+            (candidate_factor * top_k) ** 2,
+        )
+    )
+
+
+def baseline_domain_bound(alphabet_size: int, level: int) -> int:
+    """Worst-case EM domain size of the baseline at trie level ``level``: t·(t-1)^(ℓ-1)."""
+    alphabet_size = check_positive_int(alphabet_size, "alphabet_size")
+    level = check_positive_int(level, "level")
+    return int(alphabet_size * (alphabet_size - 1) ** (level - 1))
+
+
+def utility_improvement_bound(
+    alphabet_size: int, level: int, candidate_factor: int, top_k: int
+) -> float:
+    """Theorem 4's worst-case improvement factor of PrivShape over the baseline.
+
+    ``t(t-1)^(ℓ-1) / (c²k²)`` — the ratio of the two mechanisms' perturbation
+    domains when neither can be pruned effectively.
+    """
+    numerator = baseline_domain_bound(alphabet_size, level)
+    denominator = (candidate_factor * top_k) ** 2
+    return float(numerator / denominator)

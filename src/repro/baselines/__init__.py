@@ -1,0 +1,23 @@
+"""Competitor mechanisms the paper compares against.
+
+* :class:`PatternLDP` — the only prior shape-retaining LDP mechanism, adapted
+  (as the paper does) from its original ω-event online setting to offline
+  user-level LDP: PID-error importance scoring selects remarkable points, the
+  single user-level budget is allocated across them proportionally to
+  importance, and each selected value is perturbed with a bounded LDP value
+  mechanism.
+* :class:`PrefixExtendingMiner` — a PEM-style frequent-sequence miner used in
+  the paper's discussion of why bit-oriented prefix extension does not carry
+  over to large symbol alphabets; provided for ablation.
+"""
+
+from repro.baselines.pid import PIDImportanceScorer
+from repro.baselines.patternldp import PatternLDP, PatternLDPResult
+from repro.baselines.pem import PrefixExtendingMiner
+
+__all__ = [
+    "PIDImportanceScorer",
+    "PatternLDP",
+    "PatternLDPResult",
+    "PrefixExtendingMiner",
+]

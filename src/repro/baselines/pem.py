@@ -1,0 +1,105 @@
+"""PEM-style prefix-extending frequent-sequence miner under LDP.
+
+The Prefix Extending Method (Wang et al., TDSC 2021) mines frequent values in
+a large domain by splitting users into groups and extending frequent prefixes
+a few symbols at a time, using a frequency oracle within each group.  The
+paper argues PEM degrades when the per-step alphabet is large (t symbols
+instead of 2 bits); this implementation lets that argument be verified
+empirically and provides an additional baseline for the frequent-shape task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.sequences import chunk_evenly
+from repro.utils.validation import check_epsilon, check_positive_int
+
+Shape = tuple[str, ...]
+
+
+@dataclass
+class PrefixExtendingMiner:
+    """Frequent symbolic-sequence mining by iterative prefix extension.
+
+    Parameters
+    ----------
+    epsilon:
+        Per-user privacy budget (each user reports once, in one group).
+    alphabet:
+        The SAX symbol alphabet.
+    target_length:
+        Length of the sequences to mine (number of extension rounds).
+    top_k:
+        Number of prefixes kept after every round.
+    symbols_per_round:
+        How many symbols are appended per round (PEM's "multiple levels in a
+        single round"); 1 reproduces plain level-by-level extension.
+    """
+
+    epsilon: float = 1.0
+    alphabet: Sequence[str] = ("a", "b", "c", "d")
+    target_length: int = 4
+    top_k: int = 8
+    symbols_per_round: int = 1
+
+    def __post_init__(self) -> None:
+        self.epsilon = check_epsilon(self.epsilon)
+        self.alphabet = tuple(self.alphabet)
+        self.target_length = check_positive_int(self.target_length, "target_length")
+        self.top_k = check_positive_int(self.top_k, "top_k")
+        self.symbols_per_round = check_positive_int(self.symbols_per_round, "symbols_per_round")
+
+    def _extensions(self, prefixes: list[Shape], width: int) -> list[Shape]:
+        """All candidate sequences formed by appending ``width`` symbols to each prefix."""
+        suffixes = list(product(self.alphabet, repeat=width))
+        candidates: list[Shape] = []
+        for prefix in prefixes:
+            for suffix in suffixes:
+                # Compressive SAX sequences never repeat a symbol consecutively.
+                extended = prefix + suffix
+                if any(extended[i] == extended[i + 1] for i in range(len(extended) - 1)):
+                    continue
+                candidates.append(extended)
+        return candidates or [prefix + suffix for prefix in prefixes for suffix in suffixes]
+
+    def mine(self, sequences: Sequence[Shape], rng: RngLike = None) -> list[Shape]:
+        """Mine the top-k frequent length-``target_length`` prefixes of ``sequences``."""
+        sequences = [tuple(s) for s in sequences]
+        if not sequences:
+            raise EmptyDatasetError("sequences must not be empty")
+        generator = ensure_rng(rng)
+
+        n_rounds = int(np.ceil(self.target_length / self.symbols_per_round))
+        user_groups = chunk_evenly(generator.permutation(len(sequences)), n_rounds)
+
+        prefixes: list[Shape] = [()]
+        current_length = 0
+        for round_index in range(n_rounds):
+            width = min(self.symbols_per_round, self.target_length - current_length)
+            candidates = self._extensions(prefixes, width)
+            current_length += width
+            oracle = GeneralizedRandomizedResponse(self.epsilon, domain=candidates + ["__other__"])
+
+            reports = []
+            for user_index in user_groups[round_index]:
+                sequence = sequences[int(user_index)]
+                prefix = sequence[:current_length]
+                true_value = prefix if oracle.in_domain(prefix) else "__other__"
+                reports.append(oracle.perturb(true_value, generator))
+            if not reports:
+                # No users left for this round; keep current prefixes unchanged.
+                prefixes = candidates[: self.top_k]
+                continue
+            estimates = oracle.estimate_map(reports)
+            estimates.pop("__other__", None)
+            ranked = sorted(estimates.items(), key=lambda item: item[1], reverse=True)
+            prefixes = [shape for shape, _ in ranked[: self.top_k]]
+        return prefixes

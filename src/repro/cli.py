@@ -1,0 +1,233 @@
+"""Command-line interface for the PrivShape reproduction.
+
+Four sub-commands mirror the library's main entry points:
+
+* ``extract``   — run PrivShape (or the baseline) on a dataset and print the
+  top-k frequent shapes with their estimated counts and the privacy audit;
+* ``cluster``   — run the paper's clustering-task evaluation for one mechanism;
+* ``classify``  — run the paper's classification-task evaluation;
+* ``sweep``     — sweep the privacy budget for one task and print the curve.
+
+Datasets are either one of the built-in synthetic generators
+(``symbols``, ``trace``, ``waves``) or a UCR-format file passed with
+``--ucr-file``.
+
+Examples
+--------
+::
+
+    python -m repro.cli extract --dataset symbols --users 10000 --epsilon 4
+    python -m repro.cli classify --dataset trace --mechanism privshape --epsilon 2
+    python -m repro.cli sweep --task classify --dataset trace --epsilons 0.5 1 2 4
+    python -m repro.cli cluster --ucr-file Symbols_TRAIN.tsv --epsilon 4 --alphabet-size 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.pipeline import run_classification_task, run_clustering_task
+from repro.core.config import PrivShapeConfig, BaselineConfig
+from repro.core.baseline import BaselineMechanism
+from repro.core.privshape import PrivShape
+from repro.datasets import (
+    LabeledDataset,
+    load_ucr_tsv,
+    symbols_like,
+    trace_like,
+    trigonometric_waves,
+)
+from repro.sax.compressive import CompressiveSAX
+
+
+def _build_dataset(args: argparse.Namespace) -> LabeledDataset:
+    """Resolve the dataset requested on the command line."""
+    if args.ucr_file:
+        return load_ucr_tsv(args.ucr_file)
+    if args.dataset == "symbols":
+        return symbols_like(n_instances=args.users, rng=args.seed)
+    if args.dataset == "trace":
+        return trace_like(n_instances=args.users, rng=args.seed)
+    if args.dataset == "waves":
+        return trigonometric_waves(n_instances=args.users, length=args.wave_length, rng=args.seed)
+    raise SystemExit(f"unknown dataset {args.dataset!r}")
+
+
+def _default_sax(args: argparse.Namespace) -> tuple[int, int]:
+    """Dataset-appropriate SAX defaults when the user did not override them."""
+    alphabet_size = args.alphabet_size
+    segment_length = args.segment_length
+    if alphabet_size is None:
+        alphabet_size = 6 if args.dataset == "symbols" and not args.ucr_file else 4
+    if segment_length is None:
+        segment_length = 25 if args.dataset == "symbols" and not args.ucr_file else 10
+    return alphabet_size, segment_length
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("symbols", "trace", "waves"), default="trace",
+                        help="built-in synthetic dataset (default: trace)")
+    parser.add_argument("--ucr-file", default=None,
+                        help="path to a UCR-format file; overrides --dataset")
+    parser.add_argument("--users", type=int, default=10000,
+                        help="number of users for the synthetic datasets")
+    parser.add_argument("--wave-length", type=int, default=400,
+                        help="series length for the 'waves' dataset")
+    parser.add_argument("--epsilon", type=float, default=4.0, help="user-level privacy budget")
+    parser.add_argument("--mechanism", choices=("privshape", "baseline", "patternldp"),
+                        default="privshape")
+    parser.add_argument("--alphabet-size", type=int, default=None, help="SAX symbol size t")
+    parser.add_argument("--segment-length", type=int, default=None, help="SAX segment length w")
+    parser.add_argument("--metric", default=None,
+                        help="distance metric (dtw / sed / euclidean); task-appropriate default")
+    parser.add_argument("--top-k", type=int, default=None,
+                        help="number of shapes to extract (default: number of classes)")
+    parser.add_argument("--evaluation-size", type=int, default=500,
+                        help="number of held-out series scored for ARI / accuracy")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _command_extract(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    alphabet_size, segment_length = _default_sax(args)
+    transformer = CompressiveSAX(alphabet_size=alphabet_size, segment_length=segment_length)
+    sequences = transformer.transform_dataset(dataset.series)
+    top_k = args.top_k or dataset.n_classes
+    metric = args.metric or "dtw"
+
+    lengths = sorted(len(s) for s in sequences)
+    length_high = max(2, lengths[int(0.9 * (len(lengths) - 1))])
+    if args.mechanism == "baseline":
+        config = BaselineConfig(epsilon=args.epsilon, top_k=top_k, alphabet_size=alphabet_size,
+                                metric=metric, length_high=length_high)
+        extractor = BaselineMechanism(config)
+    else:
+        config = PrivShapeConfig(epsilon=args.epsilon, top_k=top_k, alphabet_size=alphabet_size,
+                                 metric=metric, length_high=length_high)
+        extractor = PrivShape(config)
+    result = extractor.extract(sequences, rng=args.seed)
+
+    print(f"dataset: {dataset.name} ({len(dataset)} users)")
+    print(f"mechanism: {args.mechanism}, epsilon = {args.epsilon}")
+    print(f"estimated frequent length: {result.estimated_length}")
+    print("top shapes:")
+    for shape, frequency in zip(result.as_strings(), result.frequencies):
+        print(f"  {shape:<16} estimated count {frequency:10.1f}")
+    print()
+    print(result.accountant.summary())
+    return 0
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    alphabet_size, segment_length = _default_sax(args)
+    result = run_clustering_task(
+        dataset,
+        mechanism=args.mechanism,
+        epsilon=args.epsilon,
+        alphabet_size=alphabet_size,
+        segment_length=segment_length,
+        metric=args.metric or "dtw",
+        top_k=args.top_k,
+        evaluation_size=args.evaluation_size,
+        rng=args.seed,
+    )
+    print(f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}")
+    print(f"epsilon = {result.epsilon}  ARI = {result.ari:.3f}  elapsed = {result.elapsed_seconds:.2f}s")
+    print(f"extracted shapes: {', '.join(result.shapes)}")
+    print(f"ground truth:     {', '.join(result.ground_truth_shapes)}")
+    print("shape distances to ground truth: "
+          + ", ".join(f"{k}={v:.2f}" for k, v in result.shape_measures.items()))
+    return 0
+
+
+def _command_classify(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    alphabet_size, segment_length = _default_sax(args)
+    result = run_classification_task(
+        dataset,
+        mechanism=args.mechanism,
+        epsilon=args.epsilon,
+        alphabet_size=alphabet_size,
+        segment_length=segment_length,
+        metric=args.metric or "sed",
+        top_k=args.top_k,
+        evaluation_size=args.evaluation_size,
+        rng=args.seed,
+    )
+    print(f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}")
+    print(f"epsilon = {result.epsilon}  accuracy = {result.accuracy:.3f}  "
+          f"elapsed = {result.elapsed_seconds:.2f}s")
+    print("per-class shapes:")
+    for label, shapes in sorted(result.shapes_by_class.items()):
+        print(f"  class {label}: {', '.join(shapes) if shapes else '-'}")
+    print(f"ground truth: {', '.join(result.ground_truth_shapes)}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    alphabet_size, segment_length = _default_sax(args)
+    print(f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}, "
+          f"task: {args.task}")
+    header_metric = "ARI" if args.task == "cluster" else "accuracy"
+    print(f"{'epsilon':>8}  {header_metric}")
+    for epsilon in args.epsilons:
+        if args.task == "cluster":
+            result = run_clustering_task(
+                dataset, mechanism=args.mechanism, epsilon=epsilon,
+                alphabet_size=alphabet_size, segment_length=segment_length,
+                metric=args.metric or "dtw", evaluation_size=args.evaluation_size, rng=args.seed,
+            )
+            value = result.ari
+        else:
+            result = run_classification_task(
+                dataset, mechanism=args.mechanism, epsilon=epsilon,
+                alphabet_size=alphabet_size, segment_length=segment_length,
+                metric=args.metric or "sed", evaluation_size=args.evaluation_size, rng=args.seed,
+            )
+            value = result.accuracy
+        print(f"{epsilon:>8.2f}  {value:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PrivShape: shape extraction in time series under user-level LDP",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    extract = subparsers.add_parser("extract", help="extract top-k frequent shapes")
+    _add_common_arguments(extract)
+    extract.set_defaults(handler=_command_extract)
+
+    cluster = subparsers.add_parser("cluster", help="run the clustering-task evaluation")
+    _add_common_arguments(cluster)
+    cluster.set_defaults(handler=_command_cluster)
+
+    classify = subparsers.add_parser("classify", help="run the classification-task evaluation")
+    _add_common_arguments(classify)
+    classify.set_defaults(handler=_command_classify)
+
+    sweep = subparsers.add_parser("sweep", help="sweep the privacy budget for one task")
+    _add_common_arguments(sweep)
+    sweep.add_argument("--task", choices=("cluster", "classify"), default="classify")
+    sweep.add_argument("--epsilons", type=float, nargs="+", default=[0.5, 1.0, 2.0, 4.0])
+    sweep.set_defaults(handler=_command_sweep)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

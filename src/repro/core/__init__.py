@@ -1,0 +1,54 @@
+"""Core contribution: the Baseline mechanism (Algorithm 1) and PrivShape (Algorithm 2).
+
+The public entry points are:
+
+* :class:`BaselineMechanism` — trie expansion with threshold pruning and
+  Exponential-Mechanism candidate selection (Section III of the paper);
+* :class:`PrivShape` — the optimized mechanism with frequent-sub-shape
+  trie-expansion pruning, two-level refinement, and post-processing
+  de-duplication (Section IV);
+* :func:`run_clustering_task` / :func:`run_classification_task` — end-to-end
+  pipelines that transform a raw labelled dataset, run a mechanism (PrivShape,
+  the baseline, or PatternLDP), evaluate the downstream task, and report the
+  quantitative shape measures of Tables III / IV.
+"""
+
+from repro.core.config import BaselineConfig, PrivShapeConfig
+from repro.core.trie import ShapeTrie, TrieNode
+from repro.core.length import estimate_frequent_length
+from repro.core.subshape import all_subshapes, estimate_frequent_subshapes
+from repro.core.results import (
+    LabeledShapeExtractionResult,
+    ShapeExtractionResult,
+)
+from repro.core.baseline import BaselineMechanism
+from repro.core.privshape import PrivShape
+from repro.core.refinement import cluster_shapes, deduplicate_shapes
+from repro.core.pipeline import (
+    ClassificationTaskResult,
+    ClusteringTaskResult,
+    run_classification_task,
+    run_clustering_task,
+)
+from repro.core.ablation import RawValueDiscretizer
+
+__all__ = [
+    "BaselineConfig",
+    "PrivShapeConfig",
+    "ShapeTrie",
+    "TrieNode",
+    "estimate_frequent_length",
+    "all_subshapes",
+    "estimate_frequent_subshapes",
+    "ShapeExtractionResult",
+    "LabeledShapeExtractionResult",
+    "BaselineMechanism",
+    "PrivShape",
+    "cluster_shapes",
+    "deduplicate_shapes",
+    "ClusteringTaskResult",
+    "ClassificationTaskResult",
+    "run_clustering_task",
+    "run_classification_task",
+    "RawValueDiscretizer",
+]

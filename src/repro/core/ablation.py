@@ -1,0 +1,86 @@
+"""Ablation transformers: "Without SAX" and "No Compression" variants (Fig. 18).
+
+The paper's ablations replace parts of the Compressive SAX pre-processing:
+
+* **Without SAX** — values are not aggregated by PAA; instead, every
+  (z-normalized) value is discretized directly into fixed-width bins
+  (0.33-wide intervals clipped at ±0.99, i.e. eight segments), then the
+  resulting symbol sequence is optionally compressed.  PrivShape still runs,
+  but the symbols no longer average out noise, so utility drops.
+* **No Compression** — plain SAX without the run-length collapse, obtained by
+  constructing :class:`repro.sax.CompressiveSAX` with ``compress=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import string
+
+import numpy as np
+
+from repro.sax.normalization import zscore_normalize
+from repro.utils.sequences import run_length_collapse
+from repro.utils.validation import check_positive_int, check_time_series
+
+
+@dataclass
+class RawValueDiscretizer:
+    """Discretizes raw (z-normalized) values into symbols without PAA averaging.
+
+    Parameters
+    ----------
+    bin_width:
+        Width of each interior bin (paper: 0.33).
+    clip:
+        Values beyond ±clip land in the two outer bins (paper: 0.99).
+    stride:
+        Keep every ``stride``-th point before discretizing; 1 keeps all points
+        (the paper's setting), larger values subsample for faster experiments.
+    compress:
+        Whether to collapse consecutive repeated symbols afterwards, matching
+        Compressive SAX's final step.
+    normalize:
+        Whether to z-normalize the series first.
+    """
+
+    bin_width: float = 0.33
+    clip: float = 0.99
+    stride: int = 1
+    compress: bool = True
+    normalize: bool = True
+    edges: np.ndarray = field(init=False, repr=False)
+    alphabet: list[str] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {self.bin_width}")
+        if self.clip <= 0:
+            raise ValueError(f"clip must be positive, got {self.clip}")
+        self.stride = check_positive_int(self.stride, "stride")
+        interior = np.arange(-self.clip, self.clip + 1e-9, self.bin_width)
+        self.edges = interior
+        n_bins = interior.size + 1
+        if n_bins > len(string.ascii_lowercase):
+            raise ValueError(f"too many bins ({n_bins}); increase bin_width")
+        self.alphabet = list(string.ascii_lowercase[:n_bins])
+
+    @property
+    def alphabet_size(self) -> int:
+        """Number of symbols produced by the discretizer."""
+        return len(self.alphabet)
+
+    def transform(self, series) -> tuple[str, ...]:
+        """Discretize one series into a (optionally compressed) symbol tuple."""
+        arr = check_time_series(series)
+        if self.normalize:
+            arr = zscore_normalize(arr)
+        arr = arr[:: self.stride]
+        indices = np.searchsorted(self.edges, arr, side="right")
+        symbols = [self.alphabet[i] for i in indices]
+        if self.compress:
+            symbols = run_length_collapse(symbols)
+        return tuple(symbols)
+
+    def transform_dataset(self, dataset) -> list[tuple[str, ...]]:
+        """Apply :meth:`transform` to every series in a dataset."""
+        return [self.transform(series) for series in dataset]

@@ -1,0 +1,219 @@
+"""The baseline mechanism (Algorithm 1 of the paper).
+
+Pipeline: the population is split into Pa (frequent-length estimation) and Pb
+(trie expansion).  The trie grows level by level; at every level the
+candidates whose estimated frequency falls below a threshold are pruned, the
+survivors are expanded to all possible next symbols, and a fresh group of Pb
+users privately selects the closest expanded candidate with the Exponential
+Mechanism.  The top-k frequent shapes are read off the leaf level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import BaselineConfig
+from repro.core.length import estimate_frequent_length
+from repro.core.refinement import assign_candidates_to_classes
+from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResult
+from repro.core.selection import em_select_counts, oue_labeled_refine_counts
+from repro.core.trie import Shape, ShapeTrie
+from repro.exceptions import EmptyDatasetError
+from repro.ldp.accounting import PrivacyAccountant
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.sequences import chunk_evenly, split_population
+
+
+@dataclass
+class BaselineMechanism:
+    """Trie-based frequent-shape extraction with threshold pruning (Algorithm 1)."""
+
+    config: BaselineConfig
+
+    # ------------------------------------------------------------------ internals
+
+    def _prune_threshold(self, per_level_users: int) -> float:
+        """The frequency threshold N; defaults to 2% of the per-level user count."""
+        if self.config.prune_threshold is not None:
+            return float(self.config.prune_threshold)
+        return 0.02 * per_level_users
+
+    def _cap_for_expansion(self, survivors: list[Shape], trie: ShapeTrie) -> list[Shape]:
+        """Limit the number of parents so the expanded level stays within max_candidates."""
+        branching = max(len(self.config.alphabet) - 1, 1)
+        max_parents = max(1, self.config.max_candidates // branching)
+        if len(survivors) <= max_parents:
+            return survivors
+        ranked = sorted(
+            survivors, key=lambda shape: (-trie.node(shape).frequency, shape)
+        )
+        return ranked[:max_parents]
+
+    def _expand_and_estimate(
+        self,
+        trie: ShapeTrie,
+        level: int,
+        survivors: list[Shape],
+        level_sequences: list[Shape],
+        rng,
+    ) -> None:
+        """Expand ``survivors`` one level down and estimate child frequencies via EM."""
+        children = trie.expand(survivors)
+        if not children:
+            return
+        if level_sequences:
+            counts = em_select_counts(
+                level_sequences,
+                children,
+                epsilon=self.config.epsilon,
+                metric=self.config.metric,
+                alphabet_size=self.config.alphabet_size,
+                rng=rng,
+            )
+            for child, count in counts.items():
+                trie.set_frequency(child, count)
+
+    # ------------------------------------------------------------------ extraction
+
+    def extract(
+        self, sequences: Sequence[Shape], rng: RngLike = None
+    ) -> ShapeExtractionResult:
+        """Extract the top-k frequent shapes from users' compressed sequences.
+
+        ``sequences`` holds one Compressive-SAX sequence per user; the entire
+        mechanism consumes a single user-level budget ε because every user
+        reports exactly once.
+        """
+        sequences = [tuple(s) for s in sequences]
+        if not sequences:
+            raise EmptyDatasetError("cannot extract shapes from an empty population")
+        generator = ensure_rng(rng if rng is not None else self.config.rng_seed)
+        accountant = PrivacyAccountant(target_epsilon=self.config.epsilon)
+
+        # Split the population into Pa (length estimation) and Pb (trie expansion).
+        fraction_a = self.config.length_population_fraction
+        population_a, population_b = split_population(
+            len(sequences), [fraction_a, 1.0 - fraction_a], rng=generator
+        )
+
+        estimated_length = estimate_frequent_length(
+            [len(sequences[i]) for i in population_a],
+            epsilon=self.config.epsilon,
+            length_low=self.config.length_low,
+            length_high=self.config.length_high,
+            rng=generator,
+        )
+        accountant.spend("Pa", self.config.epsilon, mechanism="GRR length estimation")
+
+        trie = ShapeTrie(self.config.alphabet)
+        # Randomly divide Pb into one group per level (shuffle first so groups
+        # stay class-balanced even for class-ordered datasets).
+        level_groups = chunk_evenly(
+            generator.permutation(np.asarray(population_b)), max(estimated_length, 1)
+        )
+        per_level_users = max(len(population_b) // max(estimated_length, 1), 1)
+        threshold = self._prune_threshold(per_level_users)
+
+        for level in range(estimated_length):
+            if level == 0:
+                survivors = [()]
+            else:
+                survivors = trie.prune_below_threshold(level, threshold)
+                if not survivors:
+                    # Do not let noise wipe out the whole level; keep the top-k
+                    # nodes at this level even though they fell below the
+                    # threshold (ranked over all nodes, pruned included).
+                    ranked = sorted(
+                        trie.nodes_at_level(level, include_pruned=True),
+                        key=lambda node: (-node.frequency, node.shape),
+                    )
+                    survivors = [node.shape for node in ranked[: self.config.top_k]]
+                    for shape in survivors:
+                        trie.node(shape).pruned = False
+            survivors = self._cap_for_expansion(survivors, trie)
+            level_sequences = [sequences[i] for i in level_groups[level]]
+            self._expand_and_estimate(trie, level, survivors, level_sequences, generator)
+            if level_sequences:
+                accountant.spend(
+                    f"Pb[level {level}]",
+                    self.config.epsilon,
+                    mechanism="Exponential Mechanism selection",
+                )
+
+        leaf_level = trie.height
+        top = trie.top_shapes(leaf_level, self.config.top_k)
+        shapes = [shape for shape, _ in top]
+        frequencies = [frequency for _, frequency in top]
+        return ShapeExtractionResult(
+            shapes=shapes,
+            frequencies=frequencies,
+            estimated_length=estimated_length,
+            trie=trie,
+            accountant=accountant,
+        )
+
+    def extract_labeled(
+        self,
+        sequences: Sequence[Shape],
+        labels: Sequence[int],
+        n_classes: int | None = None,
+        rng: RngLike = None,
+    ) -> LabeledShapeExtractionResult:
+        """Extract per-class frequent shapes (classification task).
+
+        The trie expansion is label-agnostic; the users assigned to the final
+        level jointly report (closest leaf candidate, own class label) through
+        OUE, and the per-class top shapes are read from those counts.
+        """
+        sequences = [tuple(s) for s in sequences]
+        labels = [int(l) for l in labels]
+        if len(sequences) != len(labels):
+            raise ValueError("sequences and labels must have the same length")
+        if n_classes is None:
+            n_classes = int(max(labels)) + 1 if labels else 0
+        generator = ensure_rng(rng if rng is not None else self.config.rng_seed)
+
+        # Reserve the final fifth of Pb for the labelled leaf estimation, and run
+        # the plain extraction on the rest.
+        indices = generator.permutation(len(sequences))
+        n_labelled = max(len(sequences) // 5, 1)
+        labelled_indices = indices[:n_labelled]
+        expansion_indices = indices[n_labelled:]
+        if expansion_indices.size == 0:
+            expansion_indices = labelled_indices
+
+        unlabeled = self.extract([sequences[i] for i in expansion_indices], rng=generator)
+        leaf_level = unlabeled.trie.height
+        leaf_candidates = [
+            shape for shape, _ in unlabeled.trie.top_shapes(leaf_level, self.config.max_candidates)
+        ]
+        if not leaf_candidates:
+            leaf_candidates = unlabeled.shapes or [tuple(self.config.alphabet[:1])]
+
+        per_class_counts = oue_labeled_refine_counts(
+            [sequences[i] for i in labelled_indices],
+            [labels[i] for i in labelled_indices],
+            leaf_candidates,
+            n_classes=n_classes,
+            epsilon=self.config.epsilon,
+            metric=self.config.metric,
+            alphabet_size=self.config.alphabet_size,
+            rng=generator,
+        )
+        unlabeled.accountant.spend(
+            "Pb[labelled leaves]", self.config.epsilon, mechanism="OUE labelled refinement"
+        )
+
+        shapes_by_class, frequencies_by_class = assign_candidates_to_classes(
+            per_class_counts, top_k=self.config.top_k
+        )
+        return LabeledShapeExtractionResult(
+            shapes_by_class=shapes_by_class,
+            frequencies_by_class=frequencies_by_class,
+            estimated_length=unlabeled.estimated_length,
+            trie=unlabeled.trie,
+            accountant=unlabeled.accountant,
+        )

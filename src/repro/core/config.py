@@ -1,0 +1,133 @@
+"""Configuration objects for the baseline mechanism and PrivShape."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.sax.breakpoints import symbol_alphabet
+from repro.utils.validation import check_epsilon, check_positive_int
+
+
+@dataclass
+class MechanismConfig:
+    """Parameters shared by the baseline mechanism and PrivShape.
+
+    Attributes
+    ----------
+    epsilon:
+        User-level privacy budget ε.
+    top_k:
+        Number of frequent shapes ``k`` to output.
+    alphabet_size:
+        SAX symbol size ``t``.
+    metric:
+        Distance metric used in the Exponential-Mechanism score and in
+        post-processing ("dtw", "sed", "euclidean", "hausdorff").
+    length_low / length_high:
+        Clipping range ``[ℓ_low, ℓ_high]`` of the compressed sequence length
+        used by frequent-length estimation.
+    """
+
+    epsilon: float = 1.0
+    top_k: int = 3
+    alphabet_size: int = 4
+    metric: str = "dtw"
+    length_low: int = 1
+    length_high: int = 10
+    rng_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        self.epsilon = check_epsilon(self.epsilon)
+        self.top_k = check_positive_int(self.top_k, "top_k")
+        self.alphabet_size = check_positive_int(self.alphabet_size, "alphabet_size")
+        self.length_low = check_positive_int(self.length_low, "length_low")
+        self.length_high = check_positive_int(self.length_high, "length_high")
+        if self.length_low > self.length_high:
+            raise ConfigurationError(
+                f"length_low ({self.length_low}) must not exceed length_high ({self.length_high})"
+            )
+        if self.alphabet_size < 2:
+            raise ConfigurationError("alphabet_size must be at least 2")
+
+    @property
+    def alphabet(self) -> list[str]:
+        """The SAX symbols corresponding to :attr:`alphabet_size`."""
+        return symbol_alphabet(self.alphabet_size)
+
+
+@dataclass
+class BaselineConfig(MechanismConfig):
+    """Configuration of the baseline mechanism (Algorithm 1).
+
+    Attributes
+    ----------
+    prune_threshold:
+        Absolute frequency threshold ``N`` used to prune trie candidates at
+        every level.  ``None`` means "2% of the per-level user count", which
+        matches the paper's N = 100 at its population scale.
+    length_population_fraction:
+        Fraction of users assigned to frequent-length estimation (Pa); the
+        rest (Pb) drive trie expansion.
+    max_candidates:
+        Hard cap on the number of candidates kept per level, protecting the
+        exponential worst case on small populations.
+    """
+
+    prune_threshold: float | None = None
+    length_population_fraction: float = 0.02
+    max_candidates: int = 512
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.length_population_fraction < 1.0:
+            raise ConfigurationError("length_population_fraction must be in (0, 1)")
+        self.max_candidates = check_positive_int(self.max_candidates, "max_candidates")
+        if self.prune_threshold is not None and self.prune_threshold < 0:
+            raise ConfigurationError("prune_threshold must be non-negative or None")
+
+
+@dataclass
+class PrivShapeConfig(MechanismConfig):
+    """Configuration of PrivShape (Algorithm 2).
+
+    Attributes
+    ----------
+    candidate_factor:
+        The constant ``c`` (≥ 2 in the paper, default 3): every pruning step
+        keeps the top ``c·k`` candidates / sub-shapes.
+    population_fractions:
+        Fractions of the user population assigned to (Pa, Pb, Pc, Pd) =
+        (length estimation, sub-shape estimation, trie expansion, two-level
+        refinement).  Defaults to the paper's (0.02, 0.08, 0.7, 0.2).
+    refinement:
+        Whether the two-level refinement (Pd re-estimation) is applied;
+        disabling it is an ablation knob.
+    postprocess:
+        Whether the final similar-shape de-duplication (clustering of the
+        candidate set into k groups) is applied.
+    """
+
+    candidate_factor: int = 3
+    population_fractions: tuple[float, float, float, float] = (0.02, 0.08, 0.7, 0.2)
+    refinement: bool = True
+    postprocess: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.candidate_factor = check_positive_int(self.candidate_factor, "candidate_factor")
+        fractions = tuple(float(f) for f in self.population_fractions)
+        if len(fractions) != 4:
+            raise ConfigurationError("population_fractions must have exactly 4 entries")
+        if any(f <= 0 for f in fractions):
+            raise ConfigurationError("population fractions must all be positive")
+        if abs(sum(fractions) - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"population_fractions must sum to 1, got {sum(fractions)}"
+            )
+        self.population_fractions = fractions
+
+    @property
+    def candidate_budget(self) -> int:
+        """The ``c·k`` candidate count kept by every pruning step."""
+        return self.candidate_factor * self.top_k

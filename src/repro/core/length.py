@@ -1,0 +1,77 @@
+"""Frequent-length estimation (Algorithm 1, lines 1-4).
+
+Users in population Pa clip their compressed-sequence length into
+``[ℓ_low, ℓ_high]``, perturb it with a frequency-estimation mechanism (GRR by
+default, as in the experiments), and the server takes the arg-max of the
+estimated counts as the trie height ℓ_S (Eq. (1) of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_epsilon, check_positive_int
+
+
+def clip_length(length: int, length_low: int, length_high: int) -> int:
+    """Clip a sequence length into the declared range ``[length_low, length_high]``."""
+    return int(min(max(int(length), length_low), length_high))
+
+
+def estimate_frequent_length(
+    lengths: Sequence[int],
+    epsilon: float,
+    length_low: int,
+    length_high: int,
+    rng: RngLike = None,
+    return_counts: bool = False,
+):
+    """Estimate the most frequent (clipped) sequence length under ε-LDP.
+
+    Parameters
+    ----------
+    lengths:
+        The true compressed-sequence lengths of the users in Pa.
+    epsilon:
+        Per-user privacy budget for this report.
+    length_low, length_high:
+        The declared clipping range; the estimation domain is every integer in
+        this range.
+    return_counts:
+        When True also return the estimated count per candidate length.
+
+    Returns
+    -------
+    The estimated most frequent length ℓ_S (and optionally the count map).
+    """
+    epsilon = check_epsilon(epsilon)
+    length_low = check_positive_int(length_low, "length_low")
+    length_high = check_positive_int(length_high, "length_high")
+    if length_low > length_high:
+        raise ValueError("length_low must not exceed length_high")
+    lengths = [int(l) for l in lengths]
+    if not lengths:
+        raise EstimationError("no users were assigned to length estimation")
+
+    generator = ensure_rng(rng)
+    domain = list(range(length_low, length_high + 1))
+    if len(domain) == 1:
+        estimated = domain[0]
+        return (estimated, {domain[0]: float(len(lengths))}) if return_counts else estimated
+
+    oracle = GeneralizedRandomizedResponse(epsilon, domain=domain)
+    reports = [
+        oracle.perturb(clip_length(length, length_low, length_high), generator)
+        for length in lengths
+    ]
+    counts = oracle.estimate_map(reports)
+    estimated = max(counts.items(), key=lambda item: (item[1], -item[0]))[0]
+    estimated = int(estimated)
+    if return_counts:
+        return estimated, {int(k): float(v) for k, v in counts.items()}
+    return estimated

@@ -1,0 +1,168 @@
+"""Post-processing of the candidate set: de-duplication of similar shapes.
+
+After the two-level refinement many of the surviving candidates can be nearly
+identical (e.g. ``"acba"`` and ``"acb"``), so naively taking the top-k by
+frequency returns k variants of the same essential shape and hides the other
+true shapes.  The paper's post-processing partitions the candidates into k
+clusters by their pairwise distance and keeps the most frequent candidate of
+each cluster.  This is deterministic post-processing of already-perturbed
+data, so it consumes no privacy budget.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.trie import Shape
+from repro.distance.registry import shape_distance
+
+
+def _pairwise_distances(
+    shapes: Sequence[Shape], metric: str, alphabet_size: int
+) -> np.ndarray:
+    n = len(shapes)
+    matrix = np.zeros((n, n), dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            distance = shape_distance(
+                shapes[i], shapes[j], metric=metric, alphabet_size=alphabet_size
+            )
+            matrix[i, j] = matrix[j, i] = distance
+    return matrix
+
+
+def cluster_shapes(
+    shapes: Sequence[Shape],
+    n_clusters: int,
+    metric: str = "dtw",
+    alphabet_size: int = 4,
+) -> list[int]:
+    """Partition shapes into ``n_clusters`` groups by agglomerative clustering.
+
+    Average linkage is used: single linkage chains dissimilar shapes together
+    through intermediate noisy candidates, which would merge two genuinely
+    different frequent shapes into one cluster and drop one of them from the
+    output.  Returns a cluster id per shape; when there are fewer shapes than
+    clusters every shape is its own cluster.
+    """
+    shapes = [tuple(s) for s in shapes]
+    n = len(shapes)
+    if n == 0:
+        return []
+    n_clusters = max(1, min(int(n_clusters), n))
+
+    distances = _pairwise_distances(shapes, metric, alphabet_size)
+    # Average-linkage agglomerative clustering: repeatedly merge the two
+    # clusters with the smallest mean pairwise distance until n_clusters remain.
+    clusters: list[set[int]] = [{i} for i in range(n)]
+    while len(clusters) > n_clusters:
+        best_pair = None
+        best_distance = np.inf
+        for a in range(len(clusters)):
+            for b in range(a + 1, len(clusters)):
+                link = float(
+                    np.mean([distances[i, j] for i in clusters[a] for j in clusters[b]])
+                )
+                if link < best_distance:
+                    best_distance = link
+                    best_pair = (a, b)
+        a, b = best_pair
+        clusters[a] |= clusters[b]
+        del clusters[b]
+
+    labels = np.zeros(n, dtype=int)
+    for cluster_id, members in enumerate(clusters):
+        for index in members:
+            labels[index] = cluster_id
+    return labels.tolist()
+
+
+def assign_candidates_to_classes(
+    per_class_counts: dict[int, dict[Shape, float]],
+    top_k: int,
+) -> tuple[dict[int, list[Shape]], dict[int, list[float]]]:
+    """Partition leaf candidates across classes by their dominant class.
+
+    The labelled two-level refinement produces an estimated count for every
+    (candidate, class) pair.  Selecting each class's top candidates
+    independently lets one globally popular candidate represent every class
+    and destroys the classification criterion, so each candidate is first
+    assigned to the class where its estimated count is highest, and each class
+    then ranks only its own candidates.  A class that ends up without any
+    candidate falls back to its highest-count candidate regardless of
+    ownership.
+    """
+    classes = sorted(per_class_counts)
+    candidates = sorted({shape for counts in per_class_counts.values() for shape in counts})
+    owner: dict[Shape, int] = {}
+    for candidate in candidates:
+        owner[candidate] = max(
+            classes, key=lambda label: per_class_counts[label].get(candidate, float("-inf"))
+        )
+
+    shapes_by_class: dict[int, list[Shape]] = {}
+    frequencies_by_class: dict[int, list[float]] = {}
+    for label in classes:
+        owned = [c for c in candidates if owner[c] == label]
+        ranked = sorted(owned, key=lambda c: (-per_class_counts[label].get(c, 0.0), c))
+        if not ranked and candidates:
+            ranked = sorted(
+                candidates, key=lambda c: (-per_class_counts[label].get(c, 0.0), c)
+            )[:1]
+        shapes_by_class[label] = ranked[:top_k]
+        frequencies_by_class[label] = [
+            per_class_counts[label].get(c, 0.0) for c in shapes_by_class[label]
+        ]
+    return shapes_by_class, frequencies_by_class
+
+
+def deduplicate_shapes(
+    shapes: Sequence[Shape],
+    frequencies: Sequence[float],
+    k: int,
+    metric: str = "dtw",
+    alphabet_size: int = 4,
+    threshold_factor: float = 0.4,
+) -> tuple[list[Shape], list[float]]:
+    """Select up to k mutually distinct shapes, most frequent first.
+
+    This is the paper's post-processing ("group similar shapes, keep each
+    group's most frequent member") implemented robustly: candidates are taken
+    in decreasing frequency order and a candidate is skipped when it lies
+    within a similarity threshold of an already-selected shape.  The threshold
+    is ``threshold_factor`` times the mean pairwise candidate distance, so
+    near-duplicates of a frequent shape are collapsed while genuinely distinct
+    shapes are kept.  If fewer than ``k`` distinct shapes exist the remaining
+    slots are filled with the most frequent skipped candidates, so a rare
+    outlier can never displace a frequent true shape.
+    """
+    shapes = [tuple(s) for s in shapes]
+    frequencies = [float(f) for f in frequencies]
+    if len(shapes) != len(frequencies):
+        raise ValueError("shapes and frequencies must have the same length")
+    if not shapes:
+        return [], []
+    k = max(1, int(k))
+
+    distances = _pairwise_distances(shapes, metric, alphabet_size)
+    positive = distances[distances > 0]
+    threshold = threshold_factor * float(positive.mean()) if positive.size else 0.0
+
+    order = sorted(range(len(shapes)), key=lambda i: (-frequencies[i], shapes[i]))
+    selected: list[int] = []
+    skipped: list[int] = []
+    for index in order:
+        if len(selected) >= k:
+            break
+        if any(distances[index, chosen] <= threshold for chosen in selected):
+            skipped.append(index)
+            continue
+        selected.append(index)
+    for index in skipped:
+        if len(selected) >= k:
+            break
+        selected.append(index)
+
+    return [shapes[i] for i in selected], [frequencies[i] for i in selected]

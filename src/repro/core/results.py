@@ -1,0 +1,105 @@
+"""Result containers returned by the shape-extraction mechanisms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.trie import Shape, ShapeTrie
+from repro.ldp.accounting import PrivacyAccountant
+
+
+@dataclass
+class ShapeExtractionResult:
+    """Output of an unlabelled shape extraction (clustering task).
+
+    Attributes
+    ----------
+    shapes:
+        The extracted top-k frequent shapes, ordered by decreasing estimated
+        frequency.
+    frequencies:
+        The estimated frequency (count) of each extracted shape.
+    estimated_length:
+        The frequent compressed-sequence length ℓ_S used as the trie height.
+    trie:
+        The final trie, exposing per-level candidates and domain sizes.
+    accountant:
+        The privacy accountant recording every population's budget spend.
+    subshape_candidates:
+        PrivShape only: the top-c·k sub-shapes kept per level.
+    """
+
+    shapes: list[Shape]
+    frequencies: list[float]
+    estimated_length: int
+    trie: ShapeTrie
+    accountant: PrivacyAccountant
+    subshape_candidates: dict[int, list[tuple[str, str]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.shapes = [tuple(s) for s in self.shapes]
+        self.frequencies = [float(f) for f in self.frequencies]
+
+    def as_strings(self) -> list[str]:
+        """The extracted shapes as plain strings, e.g. ``["acba", "bdb"]``."""
+        return ["".join(shape) for shape in self.shapes]
+
+    def top(self, k: int) -> list[Shape]:
+        """The ``k`` most frequent extracted shapes."""
+        return self.shapes[:k]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShapeExtractionResult(shapes={self.as_strings()}, "
+            f"estimated_length={self.estimated_length})"
+        )
+
+
+@dataclass
+class LabeledShapeExtractionResult:
+    """Output of a labelled shape extraction (classification task).
+
+    ``shapes_by_class`` maps every class label to its extracted shapes, most
+    frequent first; ``frequencies_by_class`` holds the matching estimated
+    counts.
+    """
+
+    shapes_by_class: dict[int, list[Shape]]
+    frequencies_by_class: dict[int, list[float]]
+    estimated_length: int
+    trie: ShapeTrie
+    accountant: PrivacyAccountant
+    subshape_candidates: dict[int, list[tuple[str, str]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.shapes_by_class = {
+            int(label): [tuple(s) for s in shapes]
+            for label, shapes in self.shapes_by_class.items()
+        }
+        self.frequencies_by_class = {
+            int(label): [float(f) for f in freqs]
+            for label, freqs in self.frequencies_by_class.items()
+        }
+
+    def flat_shapes(self) -> list[Shape]:
+        """All extracted shapes across classes (most frequent per class first)."""
+        flattened: list[Shape] = []
+        for label in sorted(self.shapes_by_class):
+            flattened.extend(self.shapes_by_class[label])
+        return flattened
+
+    def representative_shapes(self) -> dict[int, Shape]:
+        """The single most frequent shape of every class."""
+        return {
+            label: shapes[0]
+            for label, shapes in self.shapes_by_class.items()
+            if shapes
+        }
+
+    def as_strings(self) -> dict[int, list[str]]:
+        """Per-class shapes as plain strings."""
+        return {
+            label: ["".join(shape) for shape in shapes]
+            for label, shapes in self.shapes_by_class.items()
+        }

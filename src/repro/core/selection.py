@@ -1,0 +1,212 @@
+"""Private candidate selection shared by the baseline mechanism and PrivShape.
+
+Each user who participates in one level of the trie expansion receives the
+current candidate shapes from the server, scores every candidate against her
+own compressed sequence with a normalized similarity in ``[0, 1]``, and
+reports one candidate chosen by the Exponential Mechanism (Eq. (2)).  The
+server simply counts the reports per candidate.  For the two-level refinement
+each user instead reports her *closest* candidate (optionally joint with her
+class label) through Optimized Unary Encoding, which gives unbiased counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.trie import Shape
+from repro.distance.registry import shape_distance
+from repro.ldp.exponential import ExponentialMechanism
+from repro.ldp.unary import UnaryEncoding
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def candidate_scores(
+    sequence: Shape,
+    candidates: Sequence[Shape],
+    metric: str,
+    alphabet_size: int,
+) -> np.ndarray:
+    """Normalized similarity scores in ``[0, 1]`` of every candidate for one user.
+
+    Candidates at trie level ℓ are length-ℓ prefixes, so each candidate is
+    compared against the *prefix of the same length* of the user's sequence
+    (this is the prefix distance Lemma 1 reasons about).  Distances are mapped
+    to scores with the paper's ``S ∝ 1 / dist`` rule, normalized so the
+    closest candidate scores exactly 1: ``S_i = (d_min + δ) / (d_i + δ)`` with
+    a small smoothing constant δ.  All scores lie in ``(0, 1]`` for every
+    possible input, so the Exponential-Mechanism sensitivity remains 1 as in
+    Eq. (2).
+    """
+    candidate_list = [tuple(c) for c in candidates]
+    distances = np.array(
+        [
+            shape_distance(
+                sequence[: max(len(candidate), 1)],
+                candidate,
+                metric=metric,
+                alphabet_size=alphabet_size,
+            )
+            for candidate in candidate_list
+        ],
+        dtype=float,
+    )
+    smoothing = 0.5
+    return (distances.min() + smoothing) / (distances + smoothing)
+
+
+def em_select_counts(
+    sequences: Sequence[Shape],
+    candidates: Sequence[Shape],
+    epsilon: float,
+    metric: str,
+    alphabet_size: int,
+    rng: RngLike = None,
+) -> dict[Shape, float]:
+    """Counts of Exponential-Mechanism selections of each candidate.
+
+    Every sequence in ``sequences`` belongs to one distinct user who reports
+    exactly once; the full budget ``epsilon`` is spent on that single report.
+
+    Users sharing the same compressed sequence have identical selection
+    probabilities, so their reports are drawn jointly from a multinomial —
+    distributionally identical to per-user sampling but far faster for the
+    large populations the paper uses.
+    """
+    candidate_list = [tuple(c) for c in candidates]
+    if not candidate_list:
+        return {}
+    generator = ensure_rng(rng)
+    mechanism = ExponentialMechanism(epsilon)
+    totals = np.zeros(len(candidate_list), dtype=float)
+    # Only the prefix up to the longest candidate can influence any score, so
+    # users may be grouped by that prefix without changing the distribution.
+    prefix_length = max(max(len(c) for c in candidate_list), 1)
+    groups = Counter(tuple(sequence[:prefix_length]) for sequence in sequences)
+    for prefix, group_size in groups.items():
+        scores = candidate_scores(prefix, candidate_list, metric, alphabet_size)
+        probabilities = mechanism.selection_probabilities(scores)
+        totals += generator.multinomial(group_size, probabilities)
+    return {candidate: float(count) for candidate, count in zip(candidate_list, totals)}
+
+
+def closest_candidate_index(
+    sequence: Shape,
+    candidates: Sequence[Shape],
+    metric: str,
+    alphabet_size: int,
+) -> int:
+    """Index of the candidate closest to ``sequence`` (deterministic, no budget spent)."""
+    distances = [
+        shape_distance(sequence, candidate, metric=metric, alphabet_size=alphabet_size)
+        for candidate in candidates
+    ]
+    return int(np.argmin(distances))
+
+
+def _oue_grouped_counts(
+    cell_counts: Counter,
+    n_cells: int,
+    n_reports: int,
+    epsilon: float,
+    rng,
+) -> np.ndarray:
+    """Aggregate OUE reports for users grouped by their true cell.
+
+    For a group of ``g`` users whose true cell is ``i``, the number of 1-bits
+    observed in cell ``i`` is Binomial(g, p) and in every other cell
+    Binomial(g, q) — identical in distribution to perturbing each user's
+    one-hot vector individually, but sampled in O(#groups · #cells).  The
+    returned counts are the unbiased OUE estimates.
+    """
+    oracle = UnaryEncoding(epsilon, domain=list(range(n_cells)), optimized=True)
+    observed = np.zeros(n_cells, dtype=float)
+    for cell, group_size in cell_counts.items():
+        draws = rng.binomial(group_size, oracle.q, size=n_cells).astype(float)
+        draws[cell] = rng.binomial(group_size, oracle.p)
+        observed += draws
+    return (observed - n_reports * oracle.q) / (oracle.p - oracle.q)
+
+
+def oue_refine_counts(
+    sequences: Sequence[Shape],
+    candidates: Sequence[Shape],
+    epsilon: float,
+    metric: str,
+    alphabet_size: int,
+    rng: RngLike = None,
+) -> dict[Shape, float]:
+    """Re-estimate candidate frequencies with OUE from a fresh population.
+
+    Each user deterministically finds her closest candidate and perturbs the
+    one-hot encoding of that choice with Optimized Unary Encoding; the server
+    aggregates unbiased counts.  This is the unlabelled form of the paper's
+    two-level refinement.
+    """
+    candidate_list = [tuple(c) for c in candidates]
+    sequences = [tuple(s) for s in sequences]
+    if not candidate_list or not sequences:
+        return {candidate: 0.0 for candidate in candidate_list}
+    generator = ensure_rng(rng)
+    if len(candidate_list) == 1:
+        return {candidate_list[0]: float(len(sequences))}
+
+    groups = Counter(sequences)
+    cell_counts: Counter = Counter()
+    for sequence, group_size in groups.items():
+        index = closest_candidate_index(sequence, candidate_list, metric, alphabet_size)
+        cell_counts[index] += group_size
+    counts = _oue_grouped_counts(
+        cell_counts, len(candidate_list), len(sequences), epsilon, generator
+    )
+    return {candidate: float(count) for candidate, count in zip(candidate_list, counts)}
+
+
+def oue_labeled_refine_counts(
+    sequences: Sequence[Shape],
+    labels: Sequence[int],
+    candidates: Sequence[Shape],
+    n_classes: int,
+    epsilon: float,
+    metric: str,
+    alphabet_size: int,
+    rng: RngLike = None,
+) -> dict[int, dict[Shape, float]]:
+    """Labelled two-level refinement: OUE over ``len(candidates) * n_classes`` cells.
+
+    Each user encodes the pair (closest candidate, own class label) into one
+    of ``c·k·k`` cells — exactly the paper's classification variant — and the
+    server returns per-class candidate counts.
+    """
+    candidate_list = [tuple(c) for c in candidates]
+    sequences = [tuple(s) for s in sequences]
+    labels = [int(l) for l in labels]
+    per_class: dict[int, dict[Shape, float]] = {
+        label: {candidate: 0.0 for candidate in candidate_list} for label in range(n_classes)
+    }
+    if not candidate_list or not sequences:
+        return per_class
+    generator = ensure_rng(rng)
+    n_cells = len(candidate_list) * n_classes
+    if n_cells == 1:
+        per_class[0][candidate_list[0]] = float(len(sequences))
+        return per_class
+
+    groups = Counter(zip(sequences, labels))
+    closest_cache: dict[Shape, int] = {}
+    cell_counts: Counter = Counter()
+    for (sequence, label), group_size in groups.items():
+        if sequence not in closest_cache:
+            closest_cache[sequence] = closest_candidate_index(
+                sequence, candidate_list, metric, alphabet_size
+            )
+        cell = closest_cache[sequence] * n_classes + (label % n_classes)
+        cell_counts[cell] += group_size
+    counts = _oue_grouped_counts(cell_counts, n_cells, len(sequences), epsilon, generator)
+    for cell, count in enumerate(counts):
+        candidate = candidate_list[cell // n_classes]
+        label = cell % n_classes
+        per_class[label][candidate] = float(count)
+    return per_class

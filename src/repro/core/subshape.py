@@ -1,0 +1,130 @@
+"""Frequent sub-shape estimation (Algorithm 2, lines 2-5).
+
+A sub-shape is an ordered pair of adjacent symbols ``(s_j, s_{j+1})`` of a
+compressed sequence.  Users in population Pb pad-or-truncate their sequence to
+the estimated length ℓ_S, pick one level ``j ∈ {1, .., ℓ_S - 1}`` uniformly at
+random, and report ``(j, GRR((s_j, s_{j+1})))``.  The server aggregates the
+reports per level and keeps the top ``c·k`` sub-shapes at every level; those
+sub-shapes later gate the trie expansion (Theorem 2: sub-shapes of frequent
+shapes are frequent).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.sequences import pad_or_truncate
+from repro.utils.validation import check_epsilon, check_positive_int
+
+Shape = tuple[str, ...]
+SubShape = tuple[str, str]
+
+#: Symbol used to right-pad sequences shorter than ℓ_S.  It never matches a
+#: real symbol pair in the GRR domain, so padded positions fall back to the
+#: first domain element (uniform noise) rather than biasing a real sub-shape.
+PAD_SYMBOL = "_"
+
+
+def all_subshapes(alphabet: Sequence[str]) -> list[SubShape]:
+    """The ``t·(t-1)`` ordered pairs of distinct symbols (the GRR domain)."""
+    symbols = list(alphabet)
+    return sorted(permutations(symbols, 2))
+
+
+def user_subshape_report(
+    sequence: Shape,
+    estimated_length: int,
+    oracle: GeneralizedRandomizedResponse,
+    rng: RngLike = None,
+) -> tuple[int, SubShape]:
+    """One user's padded-and-sampled sub-shape report: ``(level, perturbed pair)``.
+
+    The level is chosen uniformly from ``{1, .., ℓ_S - 1}`` (1-indexed as in
+    the paper).  When the sampled pair contains padding (the user's sequence
+    is shorter than ℓ_S) the user still reports — a uniformly random domain
+    element is perturbed, contributing only unbiased noise.
+    """
+    generator = ensure_rng(rng)
+    if estimated_length < 2:
+        raise EstimationError("estimated length must be at least 2 to hold a sub-shape")
+    padded = pad_or_truncate(list(sequence), estimated_length, PAD_SYMBOL)
+    level = int(generator.integers(1, estimated_length))  # j in {1, .., ℓ_S - 1}
+    pair = (padded[level - 1], padded[level])
+    if not oracle.in_domain(pair):  # padding or repeated symbols: report pure noise
+        pair = oracle.domain[int(generator.integers(0, oracle.domain_size))]
+    return level, oracle.perturb(pair, generator)
+
+
+def estimate_frequent_subshapes(
+    sequences: Sequence[Shape],
+    estimated_length: int,
+    epsilon: float,
+    alphabet: Sequence[str],
+    keep: int,
+    rng: RngLike = None,
+    return_counts: bool = False,
+):
+    """Estimate the top-``keep`` sub-shapes at every level from population Pb.
+
+    Parameters
+    ----------
+    sequences:
+        The compressed sequences of the Pb users.
+    estimated_length:
+        ℓ_S from frequent-length estimation; defines the number of levels.
+    epsilon:
+        Per-user privacy budget.
+    alphabet:
+        SAX symbol alphabet.
+    keep:
+        Number of sub-shapes retained per level (``c·k``).
+    return_counts:
+        When True, also return the raw estimated count maps per level.
+
+    Returns
+    -------
+    ``{level: [sub-shape, ...]}`` for levels ``1 .. ℓ_S - 1`` (and optionally
+    ``{level: {sub-shape: estimated count}}``).
+    """
+    epsilon = check_epsilon(epsilon)
+    keep = check_positive_int(keep, "keep")
+    sequences = [tuple(s) for s in sequences]
+    if not sequences:
+        raise EstimationError("no users were assigned to sub-shape estimation")
+    if estimated_length < 2:
+        # A single-symbol shape has no sub-shapes; nothing to estimate.
+        return ({}, {}) if return_counts else {}
+
+    generator = ensure_rng(rng)
+    domain = all_subshapes(alphabet)
+    oracle = GeneralizedRandomizedResponse(epsilon, domain=domain)
+
+    reports_per_level: dict[int, list[SubShape]] = {
+        level: [] for level in range(1, estimated_length)
+    }
+    for sequence in sequences:
+        level, report = user_subshape_report(sequence, estimated_length, oracle, generator)
+        reports_per_level[level].append(report)
+
+    top_per_level: dict[int, list[SubShape]] = {}
+    counts_per_level: dict[int, dict[SubShape, float]] = {}
+    for level, reports in reports_per_level.items():
+        if not reports:
+            # No user sampled this level (tiny populations): keep everything.
+            top_per_level[level] = list(domain)
+            counts_per_level[level] = {pair: 0.0 for pair in domain}
+            continue
+        counts = oracle.estimate_map(reports)
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        top_per_level[level] = [pair for pair, _ in ranked[:keep]]
+        counts_per_level[level] = {pair: float(count) for pair, count in counts.items()}
+
+    if return_counts:
+        return top_per_level, counts_per_level
+    return top_per_level

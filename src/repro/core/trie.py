@@ -1,0 +1,232 @@
+"""Trie of candidate shapes.
+
+The server grows a trie whose nodes are prefixes of candidate shapes
+(sequences of SAX symbols with no consecutive repetition, since Compressive
+SAX removes repeats).  Each node stores the estimated frequency collected from
+the users assigned to its level.  Both the baseline mechanism and PrivShape
+drive their level-by-level candidate generation through this structure; it
+also exposes the per-level perturbation-domain sizes used in the utility
+analysis (Theorem 4) benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import DomainError
+
+Shape = tuple[str, ...]
+
+
+@dataclass
+class TrieNode:
+    """A trie node: the shape prefix it represents and its estimated frequency."""
+
+    shape: Shape
+    frequency: float = 0.0
+    pruned: bool = False
+
+    @property
+    def level(self) -> int:
+        """Depth of the node; the root (empty shape) is level 0."""
+        return len(self.shape)
+
+    @property
+    def last_symbol(self) -> str | None:
+        """Final symbol of the prefix, or ``None`` for the root."""
+        return self.shape[-1] if self.shape else None
+
+
+class ShapeTrie:
+    """Trie over shapes (symbol sequences without consecutive repeats).
+
+    Parameters
+    ----------
+    alphabet:
+        The SAX symbol alphabet, e.g. ``['a', 'b', 'c', 'd']``.
+    """
+
+    def __init__(self, alphabet: Sequence[str]) -> None:
+        symbols = list(alphabet)
+        if len(symbols) < 2:
+            raise DomainError("alphabet must contain at least 2 symbols")
+        if len(set(symbols)) != len(symbols):
+            raise DomainError("alphabet must not contain duplicates")
+        self.alphabet: list[str] = symbols
+        self._nodes: dict[Shape, TrieNode] = {(): TrieNode(shape=())}
+
+    # ------------------------------------------------------------------ basics
+
+    def __contains__(self, shape: Sequence[str]) -> bool:
+        return tuple(shape) in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def root(self) -> TrieNode:
+        """The root node (empty shape)."""
+        return self._nodes[()]
+
+    def node(self, shape: Sequence[str]) -> TrieNode:
+        """Return the node for ``shape`` or raise ``KeyError``."""
+        return self._nodes[tuple(shape)]
+
+    def add(self, shape: Sequence[str], frequency: float = 0.0) -> TrieNode:
+        """Insert a shape (and any missing ancestors) and return its node."""
+        shape = tuple(shape)
+        for symbol in shape:
+            if symbol not in self.alphabet:
+                raise DomainError(f"symbol {symbol!r} is not in the trie alphabet")
+        for i in range(1, len(shape)):
+            if shape[i] == shape[i - 1]:
+                raise DomainError(
+                    f"shape {shape!r} repeats symbol {shape[i]!r} consecutively; "
+                    "compressed shapes never do"
+                )
+        for prefix_length in range(1, len(shape)):
+            prefix = shape[:prefix_length]
+            if prefix not in self._nodes:
+                self._nodes[prefix] = TrieNode(shape=prefix)
+        node = self._nodes.get(shape)
+        if node is None:
+            node = TrieNode(shape=shape, frequency=frequency)
+            self._nodes[shape] = node
+        else:
+            node.frequency = frequency if frequency else node.frequency
+        return node
+
+    def set_frequency(self, shape: Sequence[str], frequency: float) -> None:
+        """Set the estimated frequency of an existing node (adding it if needed)."""
+        shape = tuple(shape)
+        if shape not in self._nodes:
+            self.add(shape)
+        self._nodes[shape].frequency = float(frequency)
+
+    def increment(self, shape: Sequence[str], amount: float = 1.0) -> None:
+        """Add ``amount`` to an existing node's frequency (adding the node if needed)."""
+        shape = tuple(shape)
+        if shape not in self._nodes:
+            self.add(shape)
+        self._nodes[shape].frequency += float(amount)
+
+    # ------------------------------------------------------------- level views
+
+    @property
+    def height(self) -> int:
+        """Deepest level present in the trie."""
+        return max(node.level for node in self._nodes.values())
+
+    def nodes_at_level(self, level: int, include_pruned: bool = False) -> list[TrieNode]:
+        """All nodes at ``level`` (sorted by shape for determinism)."""
+        nodes = [
+            node
+            for node in self._nodes.values()
+            if node.level == level and (include_pruned or not node.pruned)
+        ]
+        return sorted(nodes, key=lambda n: n.shape)
+
+    def shapes_at_level(self, level: int, include_pruned: bool = False) -> list[Shape]:
+        """Shapes of all nodes at ``level``."""
+        return [node.shape for node in self.nodes_at_level(level, include_pruned)]
+
+    def domain_size_at_level(self, level: int) -> int:
+        """Number of live (unpruned) candidates at ``level`` — the EM perturbation domain."""
+        return len(self.nodes_at_level(level))
+
+    def children(self, shape: Sequence[str]) -> list[TrieNode]:
+        """Existing child nodes of ``shape``."""
+        prefix = tuple(shape)
+        return [
+            node
+            for node in self.nodes_at_level(len(prefix) + 1, include_pruned=True)
+            if node.shape[: len(prefix)] == prefix
+        ]
+
+    # -------------------------------------------------------------- operations
+
+    def possible_extensions(self, shape: Sequence[str]) -> list[str]:
+        """Symbols a compressed shape can be extended with (anything but its last symbol)."""
+        last = tuple(shape)[-1] if tuple(shape) else None
+        return [symbol for symbol in self.alphabet if symbol != last]
+
+    def expand(
+        self,
+        prefixes: Iterable[Sequence[str]],
+        allowed_subshapes: Iterable[tuple[str, str]] | None = None,
+    ) -> list[Shape]:
+        """Expand each prefix by one symbol and add the children to the trie.
+
+        Parameters
+        ----------
+        prefixes:
+            Shapes at the current level to expand (typically the unpruned
+            candidates).
+        allowed_subshapes:
+            When given (PrivShape's pruning), only the extensions whose
+            ``(last symbol, new symbol)`` pair appears in this set are
+            created.  When omitted (the baseline), all ``t - 1`` extensions
+            are created (``t`` at the root).
+
+        Returns the list of newly reachable child shapes, sorted.
+        """
+        allowed = set(allowed_subshapes) if allowed_subshapes is not None else None
+        children: set[Shape] = set()
+        for prefix in prefixes:
+            prefix = tuple(prefix)
+            last = prefix[-1] if prefix else None
+            for symbol in self.possible_extensions(prefix):
+                if allowed is not None and last is not None and (last, symbol) not in allowed:
+                    continue
+                child = prefix + (symbol,)
+                self.add(child)
+                children.add(child)
+        return sorted(children)
+
+    def prune_below_threshold(self, level: int, threshold: float) -> list[Shape]:
+        """Mark nodes at ``level`` with frequency below ``threshold`` as pruned.
+
+        Returns the surviving shapes.
+        """
+        survivors: list[Shape] = []
+        for node in self.nodes_at_level(level, include_pruned=True):
+            if node.frequency < threshold:
+                node.pruned = True
+            else:
+                node.pruned = False
+                survivors.append(node.shape)
+        return survivors
+
+    def prune_to_top(self, level: int, keep: int) -> list[Shape]:
+        """Keep only the ``keep`` highest-frequency nodes at ``level``; prune the rest.
+
+        Returns the surviving shapes ordered by decreasing frequency.
+        """
+        if keep <= 0:
+            raise ValueError(f"keep must be positive, got {keep}")
+        nodes = self.nodes_at_level(level, include_pruned=True)
+        ranked = sorted(nodes, key=lambda n: (-n.frequency, n.shape))
+        survivors: list[Shape] = []
+        for rank, node in enumerate(ranked):
+            if rank < keep:
+                node.pruned = False
+                survivors.append(node.shape)
+            else:
+                node.pruned = True
+        return survivors
+
+    def top_shapes(self, level: int, k: int) -> list[tuple[Shape, float]]:
+        """The ``k`` highest-frequency (shape, frequency) pairs at ``level``."""
+        nodes = self.nodes_at_level(level)
+        ranked = sorted(nodes, key=lambda n: (-n.frequency, n.shape))
+        return [(node.shape, node.frequency) for node in ranked[:k]]
+
+    def domain_sizes(self) -> dict[int, int]:
+        """Perturbation-domain size per level — used by the Theorem 4 bench."""
+        return {level: self.domain_size_at_level(level) for level in range(1, self.height + 1)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShapeTrie(alphabet={self.alphabet}, nodes={len(self)}, height={self.height})"
+        )

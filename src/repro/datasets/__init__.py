@@ -1,0 +1,39 @@
+"""Dataset generators and loaders.
+
+The paper evaluates on the UCR *Symbols* and *Trace* datasets, augmented with
+generative models to 40,000 instances each, plus a synthetic *Trigonometric
+Wave* dataset.  Without network access we reproduce the relevant population
+structure with synthetic generators (see DESIGN.md, substitution table):
+
+* :func:`symbols_like` — 6 classes of smooth hand-motion-style trajectories,
+  length 398, standing in for UCR Symbols;
+* :func:`trace_like` — 3 classes of instrument-transient-style signals,
+  length 275, standing in for the UCR Trace subset used in the paper;
+* :func:`trigonometric_waves` — sine/cosine waves of configurable length,
+  reproducing the paper's Trigonometric Wave dataset exactly;
+* :func:`augment_dataset` — warping/scaling/jitter augmentation standing in
+  for the paper's GAN+BiLSTM augmentation;
+* :func:`load_ucr_tsv` — loader for the UCR archive's tab-separated format
+  for users who have the real archive on disk.
+"""
+
+from repro.datasets.base import LabeledDataset
+from repro.datasets.symbols import symbols_like
+from repro.datasets.trace import trace_like
+from repro.datasets.trigonometric import (
+    trigonometric_waves,
+    trigonometric_waves_prefix,
+)
+from repro.datasets.augmentation import augment_dataset, augment_series
+from repro.datasets.ucr import load_ucr_tsv
+
+__all__ = [
+    "LabeledDataset",
+    "symbols_like",
+    "trace_like",
+    "trigonometric_waves",
+    "trigonometric_waves_prefix",
+    "augment_dataset",
+    "augment_series",
+    "load_ucr_tsv",
+]

@@ -1,0 +1,152 @@
+"""Labeled time-series dataset container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DataShapeError, EmptyDatasetError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class LabeledDataset:
+    """A collection of (possibly variable-length) time series with class labels.
+
+    Attributes
+    ----------
+    series:
+        List of 1-D float arrays; lengths may differ across instances.
+    labels:
+        Integer class label per series.
+    name:
+        Human-readable dataset name used in logs and benchmark output.
+    """
+
+    series: list[np.ndarray]
+    labels: np.ndarray
+    name: str = "dataset"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.series = [np.asarray(s, dtype=float) for s in self.series]
+        self.labels = np.asarray(self.labels, dtype=int)
+        if not self.series:
+            raise EmptyDatasetError(f"{self.name}: dataset must not be empty")
+        if len(self.series) != self.labels.size:
+            raise DataShapeError(
+                f"{self.name}: {len(self.series)} series but {self.labels.size} labels"
+            )
+        for i, s in enumerate(self.series):
+            if s.ndim != 1 or s.size == 0:
+                raise DataShapeError(f"{self.name}: series[{i}] must be non-empty and 1-D")
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, int]]:
+        return iter(zip(self.series, self.labels))
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class labels present."""
+        return int(np.unique(self.labels).size)
+
+    @property
+    def classes(self) -> np.ndarray:
+        """Sorted array of distinct class labels."""
+        return np.unique(self.labels)
+
+    def class_subset(self, label: int) -> "LabeledDataset":
+        """Return the sub-dataset containing only instances of ``label``."""
+        mask = self.labels == label
+        if not mask.any():
+            raise KeyError(f"{self.name}: no instances with label {label}")
+        return LabeledDataset(
+            series=[s for s, keep in zip(self.series, mask) if keep],
+            labels=self.labels[mask],
+            name=f"{self.name}[label={label}]",
+            metadata=dict(self.metadata),
+        )
+
+    def subsample(self, n: int, rng: RngLike = None, stratified: bool = True) -> "LabeledDataset":
+        """Return a random subset of ``n`` instances (stratified by default)."""
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        n = min(n, len(self))
+        generator = ensure_rng(rng)
+        if stratified and self.n_classes > 1:
+            indices: list[int] = []
+            per_class = n // self.n_classes
+            for label in self.classes:
+                label_indices = np.flatnonzero(self.labels == label)
+                take = min(per_class, label_indices.size)
+                indices.extend(generator.choice(label_indices, size=take, replace=False))
+            # Fill any remainder uniformly from the instances not yet chosen.
+            remaining = np.setdiff1d(np.arange(len(self)), np.asarray(indices, dtype=int))
+            shortfall = n - len(indices)
+            if shortfall > 0 and remaining.size:
+                extra = generator.choice(remaining, size=min(shortfall, remaining.size), replace=False)
+                indices.extend(extra)
+            chosen = np.sort(np.asarray(indices, dtype=int))
+        else:
+            chosen = np.sort(generator.choice(len(self), size=n, replace=False))
+        return LabeledDataset(
+            series=[self.series[i] for i in chosen],
+            labels=self.labels[chosen],
+            name=f"{self.name}[n={n}]",
+            metadata=dict(self.metadata),
+        )
+
+    def shuffled(self, rng: RngLike = None) -> "LabeledDataset":
+        """Return a copy with instances in random order."""
+        generator = ensure_rng(rng)
+        order = generator.permutation(len(self))
+        return LabeledDataset(
+            series=[self.series[i] for i in order],
+            labels=self.labels[order],
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def train_test_split(
+        self, test_fraction: float = 0.3, rng: RngLike = None
+    ) -> tuple["LabeledDataset", "LabeledDataset"]:
+        """Split into train/test subsets, stratified by class."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        generator = ensure_rng(rng)
+        train_indices: list[int] = []
+        test_indices: list[int] = []
+        for label in self.classes:
+            label_indices = generator.permutation(np.flatnonzero(self.labels == label))
+            n_test = max(1, int(round(test_fraction * label_indices.size)))
+            test_indices.extend(label_indices[:n_test])
+            train_indices.extend(label_indices[n_test:])
+        train_indices = np.sort(np.asarray(train_indices, dtype=int))
+        test_indices = np.sort(np.asarray(test_indices, dtype=int))
+
+        def build(indices: np.ndarray, suffix: str) -> LabeledDataset:
+            return LabeledDataset(
+                series=[self.series[i] for i in indices],
+                labels=self.labels[indices],
+                name=f"{self.name}[{suffix}]",
+                metadata=dict(self.metadata),
+            )
+
+        return build(train_indices, "train"), build(test_indices, "test")
+
+    def class_prototypes(self) -> dict[int, np.ndarray]:
+        """Per-class mean series (requires equal lengths within each class)."""
+        prototypes: dict[int, np.ndarray] = {}
+        for label in self.classes:
+            members = [s for s, l in zip(self.series, self.labels) if l == label]
+            lengths = {m.size for m in members}
+            if len(lengths) != 1:
+                raise DataShapeError(
+                    f"{self.name}: class {label} has mixed lengths {sorted(lengths)}"
+                )
+            prototypes[int(label)] = np.mean(np.vstack(members), axis=0)
+        return prototypes

@@ -1,0 +1,118 @@
+"""Synthetic stand-in for the UCR *Symbols* dataset.
+
+The real Symbols dataset records the x-axis hand motion of users drawing six
+different symbols; each of the six classes has a distinctive smooth
+trajectory, and instances within a class differ by speed, amplitude, and
+noise.  This generator reproduces that structure: six smooth class templates
+built from control points, augmented per instance with time warping,
+amplitude scaling, and jitter, z-normalized, length 398 by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.augmentation import augment_series
+from repro.datasets.base import LabeledDataset
+from repro.sax.normalization import zscore_normalize
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+#: Control points (y-values at evenly spaced time knots) of the six class templates.
+#: Each template traces a visually distinct "gesture" so the compressed SAX shapes
+#: of different classes are distinct and of comparable length, exactly the property
+#: the real Symbols dataset's six drawing gestures provide.
+_CLASS_CONTROL_POINTS: dict[int, list[float]] = {
+    0: [-1.7, -1.0, -0.3, 0.3, 1.0, 1.7],              # monotone rise
+    1: [1.7, 1.0, 0.3, -0.3, -1.0, -1.7],              # monotone fall
+    2: [-0.2, 0.9, 1.8, 0.4, -1.0, -1.9],              # rise to the top, then fall past start
+    3: [0.2, -0.9, -1.8, -0.4, 1.0, 1.9],              # dip to the bottom, then rise past start
+    4: [-1.8, -0.6, 0.7, 0.0, 0.9, 1.8],               # rise with a mid-way dip
+    5: [1.8, 0.6, -0.7, 0.0, -0.9, -1.8],              # fall with a mid-way bump
+}
+
+#: Length of the series in the real UCR Symbols dataset.
+SYMBOLS_LENGTH = 398
+
+
+def _smooth_template(control_points: list[float], length: int) -> np.ndarray:
+    """Interpolate control points onto ``length`` samples with a smooth curve."""
+    knots = np.linspace(0.0, 1.0, len(control_points))
+    positions = np.linspace(0.0, 1.0, length)
+    # Piecewise-linear interpolation followed by light moving-average smoothing
+    # gives a smooth, reproducible curve without a SciPy spline dependency here.
+    curve = np.interp(positions, knots, control_points)
+    window = max(3, length // 40)
+    kernel = np.ones(window) / window
+    padded = np.concatenate([np.full(window, curve[0]), curve, np.full(window, curve[-1])])
+    smoothed = np.convolve(padded, kernel, mode="same")[window:-window]
+    return smoothed
+
+
+def symbols_like(
+    n_instances: int = 1200,
+    length: int = SYMBOLS_LENGTH,
+    n_classes: int = 6,
+    warp_strength: float = 0.2,
+    scale_sigma: float = 0.15,
+    jitter_sigma: float = 0.05,
+    rng: RngLike = None,
+) -> LabeledDataset:
+    """Generate a Symbols-like dataset of hand-motion-style trajectories.
+
+    Parameters
+    ----------
+    n_instances:
+        Total number of series (users); split evenly across classes.
+    length:
+        Series length (398 in the real dataset).
+    n_classes:
+        Number of classes, at most 6.
+    warp_strength, scale_sigma, jitter_sigma:
+        Per-instance augmentation strengths (see :func:`augment_series`).
+    rng:
+        Seed or generator for reproducibility.
+    """
+    n_instances = check_positive_int(n_instances, "n_instances")
+    length = check_positive_int(length, "length")
+    n_classes = check_positive_int(n_classes, "n_classes")
+    if n_classes > len(_CLASS_CONTROL_POINTS):
+        raise ValueError(
+            f"n_classes must be at most {len(_CLASS_CONTROL_POINTS)}, got {n_classes}"
+        )
+    generator = ensure_rng(rng)
+
+    templates = {
+        label: _smooth_template(_CLASS_CONTROL_POINTS[label], length)
+        for label in range(n_classes)
+    }
+
+    counts = np.full(n_classes, n_instances // n_classes, dtype=int)
+    counts[: n_instances % n_classes] += 1
+
+    series: list[np.ndarray] = []
+    labels: list[int] = []
+    for label, count in enumerate(counts):
+        template = templates[label]
+        for _ in range(int(count)):
+            variant = augment_series(
+                template,
+                warp_strength=warp_strength,
+                scale_sigma=scale_sigma,
+                jitter_sigma=jitter_sigma,
+                length=length,
+                rng=generator,
+            )
+            series.append(zscore_normalize(variant))
+            labels.append(label)
+
+    return LabeledDataset(
+        series=series,
+        labels=np.asarray(labels, dtype=int),
+        name="symbols-like",
+        metadata={
+            "source": "synthetic stand-in for UCR Symbols",
+            "length": length,
+            "n_classes": n_classes,
+        },
+    )

@@ -1,0 +1,109 @@
+"""Trigonometric Wave dataset (sine vs cosine classification).
+
+Reproduces the paper's synthetic dataset used in Section V-I:
+
+* :func:`trigonometric_waves` — one full period of sine or cosine sampled at a
+  chosen length (Fig. 16: "shape retains despite variations in the time
+  series" — the wave is stretched/compressed to the requested length);
+* :func:`trigonometric_waves_prefix` — a 1000-point period from which a prefix
+  of the requested length is kept (Fig. 17: "shape changes as the time series
+  varies").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import LabeledDataset
+from repro.sax.normalization import zscore_normalize
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def _wave(kind: str, length: int, phase_jitter: float, noise_sigma: float,
+          rng: np.random.Generator, full_length: int | None = None) -> np.ndarray:
+    """One period of sine/cosine; optionally only the first ``length`` of ``full_length`` points."""
+    total = full_length if full_length is not None else length
+    t = np.linspace(0.0, 2.0 * np.pi, total)
+    phase = rng.normal(0.0, phase_jitter)
+    if kind == "sine":
+        values = np.sin(t + phase)
+    elif kind == "cosine":
+        values = np.cos(t + phase)
+    else:
+        raise ValueError(f"kind must be 'sine' or 'cosine', got {kind!r}")
+    values = values[:length]
+    if noise_sigma > 0:
+        values = values + rng.normal(0.0, noise_sigma, size=values.size)
+    return zscore_normalize(values)
+
+
+def trigonometric_waves(
+    n_instances: int = 1000,
+    length: int = 400,
+    phase_jitter: float = 0.05,
+    noise_sigma: float = 0.05,
+    rng: RngLike = None,
+) -> LabeledDataset:
+    """Sine (label 0) vs cosine (label 1) waves, one full period at ``length`` points."""
+    n_instances = check_positive_int(n_instances, "n_instances")
+    length = check_positive_int(length, "length")
+    generator = ensure_rng(rng)
+    series: list[np.ndarray] = []
+    labels: list[int] = []
+    kinds = ["sine", "cosine"]
+    for i in range(n_instances):
+        label = i % 2
+        series.append(_wave(kinds[label], length, phase_jitter, noise_sigma, generator))
+        labels.append(label)
+    return LabeledDataset(
+        series=series,
+        labels=np.asarray(labels, dtype=int),
+        name=f"trigonometric-waves[length={length}]",
+        metadata={"length": length, "mode": "full period"},
+    )
+
+
+def trigonometric_waves_prefix(
+    n_instances: int = 1000,
+    prefix_length: int = 400,
+    full_length: int = 1000,
+    phase_jitter: float = 0.05,
+    noise_sigma: float = 0.05,
+    rng: RngLike = None,
+) -> LabeledDataset:
+    """Sine vs cosine where only the first ``prefix_length`` of a 1000-point period is kept.
+
+    Short prefixes make the two classes harder to tell apart (both look like a
+    rising or falling arc), which is the regime Fig. 17 probes.
+    """
+    n_instances = check_positive_int(n_instances, "n_instances")
+    prefix_length = check_positive_int(prefix_length, "prefix_length")
+    full_length = check_positive_int(full_length, "full_length")
+    if prefix_length > full_length:
+        raise ValueError(
+            f"prefix_length ({prefix_length}) must not exceed full_length ({full_length})"
+        )
+    generator = ensure_rng(rng)
+    series: list[np.ndarray] = []
+    labels: list[int] = []
+    kinds = ["sine", "cosine"]
+    for i in range(n_instances):
+        label = i % 2
+        series.append(
+            _wave(
+                kinds[label],
+                prefix_length,
+                phase_jitter,
+                noise_sigma,
+                generator,
+                full_length=full_length,
+            )
+        )
+        labels.append(label)
+    return LabeledDataset(
+        series=series,
+        labels=np.asarray(labels, dtype=int),
+        name=f"trigonometric-waves-prefix[{prefix_length}/{full_length}]",
+        metadata={"prefix_length": prefix_length, "full_length": full_length, "mode": "prefix"},
+    )

@@ -1,0 +1,31 @@
+"""Distance measures between time series and between symbolic shapes.
+
+The paper measures shape similarity with three metrics — dynamic time warping
+(DTW), string edit distance (SED), and Euclidean distance — and additionally
+uses Hausdorff distance in its discussion of the sub-shape frequency lemma.
+All four are implemented here for both numeric series and symbolic shapes
+(symbolic shapes are mapped to numeric values via the SAX centroids when a
+numeric metric is requested).
+"""
+
+from repro.distance.dtw import dtw_distance
+from repro.distance.euclidean import euclidean_distance
+from repro.distance.edit import edit_distance
+from repro.distance.hausdorff import hausdorff_distance
+from repro.distance.registry import (
+    available_metrics,
+    get_metric,
+    shape_distance,
+    similarity_score,
+)
+
+__all__ = [
+    "dtw_distance",
+    "euclidean_distance",
+    "edit_distance",
+    "hausdorff_distance",
+    "available_metrics",
+    "get_metric",
+    "shape_distance",
+    "similarity_score",
+]

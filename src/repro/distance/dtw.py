@@ -1,0 +1,93 @@
+"""Dynamic time warping (DTW) distance.
+
+DTW is the default distance for the clustering task (Symbols dataset) and is
+also used to match extracted shapes to ground-truth centroids in the figures.
+The implementation is a vectorized O(n·m) dynamic program with an optional
+Sakoe–Chiba band to bound warping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_time_series
+
+
+def dtw_distance(
+    series_a,
+    series_b,
+    window: int | None = None,
+    squared: bool = False,
+) -> float:
+    """Return the DTW distance between two numeric series.
+
+    Parameters
+    ----------
+    series_a, series_b:
+        1-D numeric sequences (possibly of different lengths).
+    window:
+        Optional Sakoe–Chiba band half-width.  ``None`` means unconstrained
+        warping.
+    squared:
+        If True, accumulate squared point-wise differences and return the
+        square root of the total (the common "DTW with squared local cost"
+        convention).  If False (default), accumulate absolute differences.
+    """
+    a = check_time_series(series_a, "series_a")
+    b = check_time_series(series_b, "series_b")
+    n, m = a.size, b.size
+    if window is not None:
+        if window < 0:
+            raise ValueError(f"window must be non-negative, got {window}")
+        window = max(int(window), abs(n - m))
+
+    inf = np.inf
+    cost = np.full((n + 1, m + 1), inf)
+    cost[0, 0] = 0.0
+    for i in range(1, n + 1):
+        if window is None:
+            j_start, j_end = 1, m
+        else:
+            j_start = max(1, i - window)
+            j_end = min(m, i + window)
+        row_a = a[i - 1]
+        for j in range(j_start, j_end + 1):
+            diff = row_a - b[j - 1]
+            local = diff * diff if squared else abs(diff)
+            best_prev = min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
+            cost[i, j] = local + best_prev
+
+    total = cost[n, m]
+    if not np.isfinite(total):
+        raise RuntimeError("DTW window too narrow: no admissible warping path")
+    return float(np.sqrt(total)) if squared else float(total)
+
+
+def dtw_path(series_a, series_b) -> list[tuple[int, int]]:
+    """Return one optimal warping path as a list of (i, j) index pairs.
+
+    The path starts at ``(0, 0)`` and ends at ``(len(a) - 1, len(b) - 1)``.
+    Used by :mod:`repro.mining.kmeans` to compute DTW barycenters.
+    """
+    a = check_time_series(series_a, "series_a")
+    b = check_time_series(series_b, "series_b")
+    n, m = a.size, b.size
+    cost = np.full((n + 1, m + 1), np.inf)
+    cost[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            local = abs(a[i - 1] - b[j - 1])
+            cost[i, j] = local + min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
+
+    path = [(n - 1, m - 1)]
+    i, j = n, m
+    while (i, j) != (1, 1):
+        moves = [
+            (cost[i - 1, j - 1], (i - 1, j - 1)),
+            (cost[i - 1, j], (i - 1, j)),
+            (cost[i, j - 1], (i, j - 1)),
+        ]
+        _, (i, j) = min(moves, key=lambda item: item[0])
+        path.append((i - 1, j - 1))
+    path.reverse()
+    return path

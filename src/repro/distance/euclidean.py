@@ -1,0 +1,37 @@
+"""Euclidean distance between (possibly different-length) series.
+
+When the two series have different lengths, the shorter one is linearly
+resampled onto the longer one's time axis before the point-wise comparison.
+This mirrors how the paper compares compressed symbolic shapes of different
+lengths under the Euclidean metric (Fig. 15, Tables III/IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_time_series
+
+
+def resample_to_length(series, length: int) -> np.ndarray:
+    """Linearly resample a 1-D series onto ``length`` evenly spaced points."""
+    arr = check_time_series(series)
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if arr.size == length:
+        return arr.copy()
+    if arr.size == 1:
+        return np.full(length, arr[0], dtype=float)
+    old_positions = np.linspace(0.0, 1.0, arr.size)
+    new_positions = np.linspace(0.0, 1.0, length)
+    return np.interp(new_positions, old_positions, arr)
+
+
+def euclidean_distance(series_a, series_b) -> float:
+    """Euclidean distance after aligning both series to a common length."""
+    a = check_time_series(series_a, "series_a")
+    b = check_time_series(series_b, "series_b")
+    target = max(a.size, b.size)
+    a_aligned = resample_to_length(a, target)
+    b_aligned = resample_to_length(b, target)
+    return float(np.linalg.norm(a_aligned - b_aligned))

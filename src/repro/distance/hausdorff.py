@@ -1,0 +1,34 @@
+"""Hausdorff distance between time series viewed as point sets in (t, value) space.
+
+The paper lists Hausdorff distance among the metrics that satisfy the relaxed
+triangle-style inequality used in the sub-shape frequency proof; it is
+provided here for completeness and for extra ablations on the distance metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_time_series
+
+
+def _as_points(series) -> np.ndarray:
+    """Embed a 1-D series into 2-D points (normalized index, value)."""
+    arr = check_time_series(series)
+    if arr.size == 1:
+        positions = np.zeros(1)
+    else:
+        positions = np.linspace(0.0, 1.0, arr.size)
+    return np.column_stack([positions, arr])
+
+
+def hausdorff_distance(series_a, series_b) -> float:
+    """Symmetric Hausdorff distance between two series in (t, value) space."""
+    points_a = _as_points(series_a)
+    points_b = _as_points(series_b)
+    # Pairwise Euclidean distances between the two point sets.
+    differences = points_a[:, None, :] - points_b[None, :, :]
+    pairwise = np.sqrt((differences ** 2).sum(axis=2))
+    forward = pairwise.min(axis=1).max()
+    backward = pairwise.min(axis=0).max()
+    return float(max(forward, backward))

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the PrivShape reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base class.  More specific subclasses are raised where the
+failure mode is actionable (bad configuration, invalid privacy budget,
+malformed data, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A mechanism or pipeline was configured with inconsistent parameters."""
+
+
+class PrivacyBudgetError(ConfigurationError):
+    """The privacy budget ``epsilon`` is not a positive finite number."""
+
+
+class DataShapeError(ReproError):
+    """Input data does not have the expected shape, length, or dtype."""
+
+
+class EmptyDatasetError(DataShapeError):
+    """An operation that requires at least one time series received none."""
+
+
+class DomainError(ReproError):
+    """A value lies outside the declared perturbation or encoding domain."""
+
+
+class EstimationError(ReproError):
+    """Aggregation failed, e.g. no reports were collected for an estimator."""
+
+
+class NotFittedError(ReproError):
+    """A model (clusterer, classifier) was used before being fitted."""

@@ -1,0 +1,23 @@
+"""Extensions beyond the paper's core evaluation.
+
+The paper's conclusion names *shapelet discovery* as future work; this package
+implements it on top of the PrivShape machinery: the privately extracted
+per-class frequent shapes act as shapelet candidates, which are then scored by
+information gain and used in a shapelet-transform classifier.
+"""
+
+from repro.extensions.shapelets import (
+    PrivateShapeletDiscovery,
+    Shapelet,
+    ShapeletTransformClassifier,
+    best_information_gain,
+    enumerate_candidates,
+)
+
+__all__ = [
+    "Shapelet",
+    "enumerate_candidates",
+    "best_information_gain",
+    "PrivateShapeletDiscovery",
+    "ShapeletTransformClassifier",
+]

@@ -1,0 +1,277 @@
+"""Private shapelet discovery on top of PrivShape (the paper's stated future work).
+
+A *shapelet* is a short subsequence whose distance to a series discriminates
+between classes; classic discovery enumerates all subsequences of a training
+set, which is impossible when the training series are private.  The extension
+implemented here follows the paper's suggestion: the per-class frequent shapes
+extracted by PrivShape under user-level LDP serve as the (private) candidate
+pool, every window of their numeric reconstruction is a shapelet candidate,
+and candidate quality is scored by information gain on a small *public*
+evaluation set (public/held-out labelled data is the standard assumption in
+shapelet evaluation; the sensitive population itself is only ever touched
+through the ε-LDP extraction).
+
+The module provides:
+
+* :func:`enumerate_candidates` — windows of the reconstructed frequent shapes;
+* :func:`best_information_gain` — optimal-threshold information gain of a
+  candidate's distance profile;
+* :class:`PrivateShapeletDiscovery` — end-to-end discovery pipeline;
+* :class:`ShapeletTransformClassifier` — a shapelet-transform classifier that
+  feeds min-distances to the discovered shapelets into the library's random
+  forest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import PrivShapeConfig
+from repro.core.privshape import PrivShape
+from repro.core.trie import Shape
+from repro.datasets.base import LabeledDataset
+from repro.exceptions import EmptyDatasetError, NotFittedError
+from repro.mining.forest import RandomForestClassifier
+from repro.sax.compressive import CompressiveSAX
+from repro.sax.reconstruction import symbols_to_values
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Shapelet:
+    """A discovered shapelet: numeric values, provenance, and quality score."""
+
+    values: tuple[float, ...]
+    source_shape: Shape
+    source_class: int
+    gain: float = 0.0
+    threshold: float = 0.0
+
+    @property
+    def length(self) -> int:
+        return len(self.values)
+
+
+def sliding_min_distance(series, shapelet_values) -> float:
+    """Minimum z-normalized Euclidean distance of a shapelet over all windows of ``series``.
+
+    The series is compared window by window; when the series is shorter than
+    the shapelet the whole series is compared against the shapelet's prefix.
+    """
+    series = np.asarray(series, dtype=float)
+    values = np.asarray(shapelet_values, dtype=float)
+    length = values.size
+    if series.size < length:
+        return float(np.linalg.norm(series - values[: series.size]) / max(series.size, 1))
+    best = np.inf
+    for start in range(series.size - length + 1):
+        window = series[start : start + length]
+        distance = float(np.linalg.norm(window - values))
+        if distance < best:
+            best = distance
+    return best / length
+
+
+def enumerate_candidates(
+    shapes_by_class: dict[int, list[Shape]],
+    alphabet_size: int,
+    min_length: int = 2,
+    max_length: int | None = None,
+    points_per_symbol: int = 8,
+) -> list[Shapelet]:
+    """Turn per-class frequent shapes into numeric shapelet candidates.
+
+    Every contiguous window of ``min_length .. max_length`` symbols of every
+    extracted shape becomes one candidate, reconstructed onto
+    ``points_per_symbol`` numeric points per symbol.
+    """
+    candidates: list[Shapelet] = []
+    seen: set[tuple[int, tuple[float, ...]]] = set()
+    for label, shapes in shapes_by_class.items():
+        for shape in shapes:
+            shape = tuple(shape)
+            upper = max_length or len(shape)
+            for window_length in range(min_length, min(upper, len(shape)) + 1):
+                for start in range(len(shape) - window_length + 1):
+                    window = shape[start : start + window_length]
+                    values = tuple(
+                        symbols_to_values(window, alphabet_size, repeat=points_per_symbol)
+                    )
+                    key = (int(label), values)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    candidates.append(
+                        Shapelet(values=values, source_shape=shape, source_class=int(label))
+                    )
+    return candidates
+
+
+def _entropy(labels: np.ndarray) -> float:
+    if labels.size == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    proportions = counts / labels.size
+    return float(-np.sum(proportions * np.log2(proportions)))
+
+
+def best_information_gain(distances, labels) -> tuple[float, float]:
+    """Best information gain over all distance thresholds, and that threshold.
+
+    ``distances[i]`` is the shapelet's distance to series ``i`` with class
+    ``labels[i]``; the returned threshold splits the series into "close" and
+    "far" groups.
+    """
+    distances = np.asarray(distances, dtype=float)
+    labels = np.asarray(labels)
+    if distances.size != labels.size or distances.size == 0:
+        raise ValueError("distances and labels must be non-empty and equally long")
+    order = np.argsort(distances)
+    sorted_distances = distances[order]
+    sorted_labels = labels[order]
+    total_entropy = _entropy(sorted_labels)
+
+    best_gain, best_threshold = 0.0, float(sorted_distances[0])
+    for split in range(1, distances.size):
+        if np.isclose(sorted_distances[split], sorted_distances[split - 1]):
+            continue
+        left = sorted_labels[:split]
+        right = sorted_labels[split:]
+        weighted = (left.size * _entropy(left) + right.size * _entropy(right)) / labels.size
+        gain = total_entropy - weighted
+        if gain > best_gain:
+            best_gain = gain
+            best_threshold = float((sorted_distances[split] + sorted_distances[split - 1]) / 2.0)
+    return best_gain, best_threshold
+
+
+@dataclass
+class PrivateShapeletDiscovery:
+    """Discover discriminative shapelets from a private user population.
+
+    Parameters
+    ----------
+    epsilon:
+        User-level LDP budget for the PrivShape extraction.
+    alphabet_size, segment_length:
+        Compressive-SAX parameters applied on every user's device.
+    top_k_shapes:
+        Number of frequent shapes extracted per class.
+    n_shapelets:
+        Number of shapelets returned after information-gain ranking.
+    min_length / max_length:
+        Candidate window sizes, in symbols.
+    """
+
+    epsilon: float = 4.0
+    alphabet_size: int = 4
+    segment_length: int = 10
+    metric: str = "sed"
+    top_k_shapes: int = 3
+    n_shapelets: int = 5
+    min_length: int = 2
+    max_length: int | None = None
+    candidate_factor: int = 3
+    shapelets_: list[Shapelet] = field(default_factory=list, init=False)
+
+    def discover(
+        self,
+        private_dataset: LabeledDataset,
+        public_dataset: LabeledDataset,
+        rng: RngLike = None,
+    ) -> list[Shapelet]:
+        """Run the full pipeline and return the top shapelets.
+
+        ``private_dataset`` is only accessed through the ε-LDP PrivShape
+        extraction; ``public_dataset`` (a small labelled reference set) is used
+        to score candidate quality.
+        """
+        if len(public_dataset) == 0:
+            raise EmptyDatasetError("public evaluation dataset must not be empty")
+        generator = ensure_rng(rng)
+        transformer = CompressiveSAX(
+            alphabet_size=self.alphabet_size, segment_length=self.segment_length
+        )
+        sequences = transformer.transform_dataset(private_dataset.series)
+        lengths = sorted(len(s) for s in sequences)
+        length_high = max(2, lengths[int(0.9 * (len(lengths) - 1))])
+        config = PrivShapeConfig(
+            epsilon=self.epsilon,
+            top_k=self.top_k_shapes,
+            alphabet_size=self.alphabet_size,
+            metric=self.metric,
+            length_high=length_high,
+            candidate_factor=self.candidate_factor,
+        )
+        extraction = PrivShape(config).extract_labeled(
+            sequences,
+            private_dataset.labels,
+            n_classes=private_dataset.n_classes,
+            rng=generator,
+        )
+
+        candidates = enumerate_candidates(
+            extraction.shapes_by_class,
+            alphabet_size=self.alphabet_size,
+            min_length=self.min_length,
+            max_length=self.max_length,
+        )
+        if not candidates:
+            raise EmptyDatasetError("no shapelet candidates were generated")
+
+        scored: list[Shapelet] = []
+        labels = public_dataset.labels
+        for candidate in candidates:
+            distances = [
+                sliding_min_distance(series, candidate.values) for series in public_dataset.series
+            ]
+            gain, threshold = best_information_gain(distances, labels)
+            scored.append(
+                Shapelet(
+                    values=candidate.values,
+                    source_shape=candidate.source_shape,
+                    source_class=candidate.source_class,
+                    gain=gain,
+                    threshold=threshold,
+                )
+            )
+        scored.sort(key=lambda s: (-s.gain, s.length))
+        self.shapelets_ = scored[: self.n_shapelets]
+        return self.shapelets_
+
+
+@dataclass
+class ShapeletTransformClassifier:
+    """Shapelet-transform classifier: min-distance features + random forest."""
+
+    shapelets: Sequence[Shapelet]
+    n_estimators: int = 20
+    rng: RngLike = None
+    _forest: RandomForestClassifier | None = field(default=None, init=False, repr=False)
+
+    def _features(self, dataset) -> np.ndarray:
+        return np.array(
+            [
+                [sliding_min_distance(series, shapelet.values) for shapelet in self.shapelets]
+                for series in dataset
+            ],
+            dtype=float,
+        )
+
+    def fit(self, series_list, labels) -> "ShapeletTransformClassifier":
+        """Fit the forest on the shapelet-distance features of labelled series."""
+        if not list(self.shapelets):
+            raise EmptyDatasetError("cannot fit a classifier with no shapelets")
+        features = self._features(series_list)
+        self._forest = RandomForestClassifier(n_estimators=self.n_estimators, rng=self.rng)
+        self._forest.fit(features, np.asarray(labels, dtype=int))
+        return self
+
+    def predict(self, series_list) -> np.ndarray:
+        """Predict class labels for raw series."""
+        if self._forest is None:
+            raise NotFittedError("ShapeletTransformClassifier must be fitted before predicting")
+        return self._forest.predict(self._features(series_list))

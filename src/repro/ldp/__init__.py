@@ -1,0 +1,38 @@
+"""Local differential privacy substrate.
+
+This package implements the LDP building blocks the paper relies on:
+
+* Frequency oracles over finite domains: Generalized Randomized Response
+  (:class:`GeneralizedRandomizedResponse`), Symmetric / Optimized Unary
+  Encoding (:class:`UnaryEncoding`), and Optimized Local Hashing
+  (:class:`OptimizedLocalHashing`).
+* The Exponential Mechanism (:class:`ExponentialMechanism`) used by PrivShape
+  to let each user privately select the closest candidate shape.
+* Numeric value perturbation used by the PatternLDP competitor:
+  :class:`LaplaceMechanism`, :class:`PiecewiseMechanism`, and
+  :class:`DuchiMechanism`.
+* Privacy accounting helpers implementing the sequential and parallel
+  composition theorems (:class:`PrivacyAccountant`).
+"""
+
+from repro.ldp.base import FrequencyOracle, PerturbationMechanism
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.ldp.unary import UnaryEncoding
+from repro.ldp.olh import OptimizedLocalHashing
+from repro.ldp.exponential import ExponentialMechanism
+from repro.ldp.value import DuchiMechanism, LaplaceMechanism, PiecewiseMechanism
+from repro.ldp.accounting import BudgetSpend, PrivacyAccountant
+
+__all__ = [
+    "FrequencyOracle",
+    "PerturbationMechanism",
+    "GeneralizedRandomizedResponse",
+    "UnaryEncoding",
+    "OptimizedLocalHashing",
+    "ExponentialMechanism",
+    "LaplaceMechanism",
+    "PiecewiseMechanism",
+    "DuchiMechanism",
+    "BudgetSpend",
+    "PrivacyAccountant",
+]

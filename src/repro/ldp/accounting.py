@@ -1,0 +1,98 @@
+"""Privacy accounting: sequential and parallel composition.
+
+PrivShape's privacy argument rests on *parallel composition over users*: the
+population is split into disjoint groups (Pa, Pb, Pc, Pd), each user reports
+exactly once through exactly one ε-LDP mechanism, so the whole pipeline is
+ε-LDP at the user level.  :class:`PrivacyAccountant` makes that argument
+executable — mechanisms register their spends against named populations and
+the accountant reports the effective user-level ε, and raises if a population
+is (accidentally) charged twice in a way that would exceed the target budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.exceptions import PrivacyBudgetError
+from repro.utils.validation import check_epsilon
+
+
+@dataclass(frozen=True)
+class BudgetSpend:
+    """A single privacy expenditure: ``epsilon`` charged to ``population``."""
+
+    population: str
+    epsilon: float
+    mechanism: str = ""
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon, name="spend epsilon")
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks per-population budget spends and enforces a user-level target.
+
+    Parameters
+    ----------
+    target_epsilon:
+        The user-level budget ε the overall mechanism must not exceed.
+    strict:
+        If True (default), :meth:`spend` raises :class:`PrivacyBudgetError`
+        as soon as any single population's sequential total exceeds the
+        target.  If False, violations are only reported by :meth:`is_valid`.
+    """
+
+    target_epsilon: float
+    strict: bool = True
+    spends: List[BudgetSpend] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.target_epsilon = check_epsilon(self.target_epsilon, name="target_epsilon")
+
+    def spend(self, population: str, epsilon: float, mechanism: str = "") -> BudgetSpend:
+        """Record a spend of ``epsilon`` against ``population`` and return it."""
+        record = BudgetSpend(population=population, epsilon=float(epsilon), mechanism=mechanism)
+        self.spends.append(record)
+        if self.strict and self.sequential_epsilon(population) > self.target_epsilon + 1e-12:
+            self.spends.pop()
+            raise PrivacyBudgetError(
+                f"population {population!r} would spend "
+                f"{self.sequential_epsilon(population) + epsilon:.4f} > target "
+                f"{self.target_epsilon:.4f}"
+            )
+        return record
+
+    def sequential_epsilon(self, population: str) -> float:
+        """Total ε charged to one population (sequential composition)."""
+        return sum(s.epsilon for s in self.spends if s.population == population)
+
+    def per_population(self) -> Dict[str, float]:
+        """Mapping of population name to its sequential ε total."""
+        totals: Dict[str, float] = {}
+        for spend in self.spends:
+            totals[spend.population] = totals.get(spend.population, 0.0) + spend.epsilon
+        return totals
+
+    def user_level_epsilon(self) -> float:
+        """Effective user-level ε under parallel composition across populations.
+
+        Disjoint populations compose in parallel, so the user-level guarantee
+        is the *maximum* sequential total over populations.
+        """
+        totals = self.per_population()
+        return max(totals.values()) if totals else 0.0
+
+    def is_valid(self) -> bool:
+        """True when the user-level ε does not exceed the target budget."""
+        return self.user_level_epsilon() <= self.target_epsilon + 1e-12
+
+    def summary(self) -> str:
+        """Human-readable accounting summary used in logs and examples."""
+        lines = [f"target user-level epsilon: {self.target_epsilon:.4f}"]
+        for population, total in sorted(self.per_population().items()):
+            lines.append(f"  population {population}: epsilon = {total:.4f}")
+        lines.append(f"effective user-level epsilon: {self.user_level_epsilon():.4f}")
+        lines.append(f"within budget: {self.is_valid()}")
+        return "\n".join(lines)

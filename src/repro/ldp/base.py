@@ -1,0 +1,85 @@
+"""Abstract interfaces shared by the LDP mechanisms."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import DomainError
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_epsilon
+
+
+class PerturbationMechanism(ABC):
+    """Base class for any ε-LDP mechanism.
+
+    Sub-classes store their privacy budget in :attr:`epsilon` and implement
+    :meth:`perturb`.  The type of the value being perturbed is
+    mechanism-specific (a category, a bit vector, a real number, ...).
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = check_epsilon(epsilon)
+
+    @abstractmethod
+    def perturb(self, value, rng: RngLike = None):
+        """Return a randomized version of ``value`` satisfying ε-LDP."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(epsilon={self.epsilon})"
+
+
+class FrequencyOracle(PerturbationMechanism):
+    """Base class for LDP frequency oracles over a finite categorical domain.
+
+    A frequency oracle supports two operations:
+
+    * client side: :meth:`perturb` a single true category into a report;
+    * server side: :meth:`estimate_frequencies` / :meth:`estimate_counts`
+      aggregate a collection of reports into unbiased frequency estimates for
+      every category in the domain.
+    """
+
+    def __init__(self, epsilon: float, domain: Sequence[Hashable]) -> None:
+        super().__init__(epsilon)
+        items = list(domain)
+        if len(items) < 2:
+            raise DomainError(f"domain must contain at least 2 items, got {len(items)}")
+        if len(set(items)) != len(items):
+            raise DomainError("domain must not contain duplicate items")
+        self.domain: list[Hashable] = items
+        self._index: dict[Hashable, int] = {item: i for i, item in enumerate(items)}
+
+    @property
+    def domain_size(self) -> int:
+        """Number of categories in the perturbation domain."""
+        return len(self.domain)
+
+    def in_domain(self, value: Hashable) -> bool:
+        """True when ``value`` is part of the perturbation domain."""
+        return value in self._index
+
+    def index_of(self, value: Hashable) -> int:
+        """Return the domain index of ``value`` or raise :class:`DomainError`."""
+        try:
+            return self._index[value]
+        except KeyError as exc:
+            raise DomainError(f"value {value!r} is not in the perturbation domain") from exc
+
+    @abstractmethod
+    def estimate_counts(self, reports: Sequence) -> np.ndarray:
+        """Return unbiased estimated counts for every domain item (ordered)."""
+
+    def estimate_frequencies(self, reports: Sequence) -> np.ndarray:
+        """Return unbiased estimated relative frequencies for the domain."""
+        reports = list(reports)
+        counts = self.estimate_counts(reports)
+        n = max(len(reports), 1)
+        return counts / n
+
+    def estimate_map(self, reports: Sequence) -> Mapping[Hashable, float]:
+        """Return ``{domain item: estimated count}`` for every domain item."""
+        counts = self.estimate_counts(list(reports))
+        return {item: float(count) for item, count in zip(self.domain, counts)}

@@ -1,0 +1,64 @@
+"""Generalized Randomized Response (GRR), a.k.a. k-ary randomized response.
+
+GRR is the frequency oracle the paper uses for frequent-length estimation and
+frequent sub-shape estimation (Section III-C and IV-B, citing Wang et al.
+USENIX Security 2017).  With a domain of size ``d`` the client reports the
+true value with probability ``p = e^eps / (e^eps + d - 1)`` and any other fixed
+value with probability ``q = 1 / (e^eps + d - 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.ldp.base import FrequencyOracle
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class GeneralizedRandomizedResponse(FrequencyOracle):
+    """ε-LDP k-ary randomized response over an arbitrary finite domain.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget for a single report.
+    domain:
+        Sequence of hashable category labels (symbols, lengths, sub-shapes...).
+    """
+
+    def __init__(self, epsilon: float, domain: Sequence[Hashable]) -> None:
+        super().__init__(epsilon, domain)
+        d = self.domain_size
+        e_eps = np.exp(self.epsilon)
+        self.p = e_eps / (e_eps + d - 1)
+        self.q = 1.0 / (e_eps + d - 1)
+
+    def perturb(self, value: Hashable, rng: RngLike = None) -> Hashable:
+        """Perturb a single true category into a reported category."""
+        generator = ensure_rng(rng)
+        true_index = self.index_of(value)
+        if generator.random() < self.p:
+            return self.domain[true_index]
+        # Report one of the d-1 other values uniformly at random.
+        offset = int(generator.integers(1, self.domain_size))
+        return self.domain[(true_index + offset) % self.domain_size]
+
+    def perturb_many(self, values: Sequence[Hashable], rng: RngLike = None) -> list[Hashable]:
+        """Perturb a sequence of values, one report per value."""
+        generator = ensure_rng(rng)
+        return [self.perturb(v, generator) for v in values]
+
+    def estimate_counts(self, reports: Sequence[Hashable]) -> np.ndarray:
+        """Unbiased count estimates: ``(observed - n*q) / (p - q)``."""
+        reports = list(reports)
+        observed = np.zeros(self.domain_size, dtype=float)
+        for report in reports:
+            observed[self.index_of(report)] += 1.0
+        n = len(reports)
+        return (observed - n * self.q) / (self.p - self.q)
+
+    def variance(self, n: int) -> float:
+        """Estimator variance per domain item for ``n`` reports (low-frequency limit)."""
+        return n * self.q * (1 - self.q) / (self.p - self.q) ** 2

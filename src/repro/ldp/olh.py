@@ -1,0 +1,74 @@
+"""Optimized Local Hashing (OLH) frequency oracle.
+
+OLH (Wang et al. 2017) hashes the true value into a small domain
+``g = round(e^eps) + 1`` and applies GRR within the hashed domain.  It is not
+required by the PrivShape algorithms themselves, but it is the standard large
+-domain frequency oracle and is included so that the sub-shape estimation
+step can be ablated against it (large symbol sizes make the sub-shape domain
+``t*(t-1)`` large enough for OLH to become competitive).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Tuple
+
+import numpy as np
+
+from repro.ldp.base import FrequencyOracle
+from repro.utils.rng import RngLike, ensure_rng
+
+# A large prime used in the universal hash family ((a*x + b) mod P) mod g.
+_PRIME = 2_147_483_647
+
+
+class OptimizedLocalHashing(FrequencyOracle):
+    """ε-LDP Optimized Local Hashing over an arbitrary finite domain.
+
+    Each report is a pair ``(hash_seed, perturbed_hash_value)``.  The server
+    aggregates by counting, for every candidate domain item, how many reports
+    hash the item to the reported value.
+    """
+
+    def __init__(self, epsilon: float, domain: Sequence[Hashable], g: int | None = None) -> None:
+        super().__init__(epsilon, domain)
+        e_eps = np.exp(self.epsilon)
+        self.g = int(g) if g is not None else max(2, int(round(e_eps)) + 1)
+        if self.g < 2:
+            raise ValueError(f"hash domain g must be >= 2, got {self.g}")
+        self.p = e_eps / (e_eps + self.g - 1)
+        self.q = 1.0 / self.g
+
+    def _hash(self, index: int, seed: int) -> int:
+        """Map a domain index into ``[0, g)`` with a seeded universal hash."""
+        a = (seed * 2654435761 + 1) % _PRIME
+        b = (seed * 40503 + 12345) % _PRIME
+        return int(((a * (index + 1) + b) % _PRIME) % self.g)
+
+    def perturb(self, value: Hashable, rng: RngLike = None) -> Tuple[int, int]:
+        """Return ``(hash_seed, perturbed_hashed_value)`` for the true value."""
+        generator = ensure_rng(rng)
+        seed = int(generator.integers(0, 2**31 - 1))
+        hashed = self._hash(self.index_of(value), seed)
+        if generator.random() < np.exp(self.epsilon) / (np.exp(self.epsilon) + self.g - 1):
+            reported = hashed
+        else:
+            offset = int(generator.integers(1, self.g))
+            reported = (hashed + offset) % self.g
+        return seed, reported
+
+    def estimate_counts(self, reports: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Unbiased counts from ``(seed, value)`` reports."""
+        reports = list(reports)
+        n = len(reports)
+        support = np.zeros(self.domain_size, dtype=float)
+        for seed, reported in reports:
+            for index in range(self.domain_size):
+                if self._hash(index, seed) == reported:
+                    support[index] += 1.0
+        p_star = np.exp(self.epsilon) / (np.exp(self.epsilon) + self.g - 1)
+        return (support - n / self.g) / (p_star - 1.0 / self.g)
+
+    def variance(self, n: int) -> float:
+        """Approximate per-item estimator variance for ``n`` reports."""
+        e_eps = np.exp(self.epsilon)
+        return n * 4.0 * e_eps / (e_eps - 1.0) ** 2

@@ -1,0 +1,72 @@
+"""Unary-encoding frequency oracles (SUE / OUE).
+
+The paper's classification variant of PrivShape perturbs a user's
+(candidate shape, class label) pair with Optimized Unary Encoding (OUE,
+Wang et al. 2017) over ``c*k*k`` encoding cells (Section V-E).  Symmetric
+Unary Encoding (SUE, basic RAPPOR) is provided as well for completeness and
+for ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.ldp.base import FrequencyOracle
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class UnaryEncoding(FrequencyOracle):
+    """Unary-encoding frequency oracle.
+
+    The true category is one-hot encoded into a bit vector of length
+    ``domain_size``; each bit is then flipped independently.  With
+    ``optimized=True`` (OUE) the keep/flip probabilities are
+    ``p = 1/2`` and ``q = 1 / (e^eps + 1)``, which minimizes estimator
+    variance.  With ``optimized=False`` (SUE) the symmetric probabilities
+    ``p = e^(eps/2) / (e^(eps/2) + 1)`` and ``q = 1 - p`` are used.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        domain: Sequence[Hashable],
+        optimized: bool = True,
+    ) -> None:
+        super().__init__(epsilon, domain)
+        self.optimized = bool(optimized)
+        if self.optimized:
+            self.p = 0.5
+            self.q = 1.0 / (np.exp(self.epsilon) + 1.0)
+        else:
+            e_half = np.exp(self.epsilon / 2.0)
+            self.p = e_half / (e_half + 1.0)
+            self.q = 1.0 / (e_half + 1.0)
+
+    def perturb(self, value: Hashable, rng: RngLike = None) -> np.ndarray:
+        """Return a perturbed bit vector (dtype ``uint8``) for the true value."""
+        generator = ensure_rng(rng)
+        true_index = self.index_of(value)
+        random_draws = generator.random(self.domain_size)
+        bits = (random_draws < self.q).astype(np.uint8)
+        bits[true_index] = np.uint8(generator.random() < self.p)
+        return bits
+
+    def estimate_counts(self, reports: Sequence[np.ndarray]) -> np.ndarray:
+        """Unbiased counts from a stack of perturbed bit vectors."""
+        reports = list(reports)
+        n = len(reports)
+        if n == 0:
+            return np.zeros(self.domain_size, dtype=float)
+        stacked = np.asarray(reports, dtype=float)
+        if stacked.shape != (n, self.domain_size):
+            raise ValueError(
+                f"expected reports of shape ({n}, {self.domain_size}), got {stacked.shape}"
+            )
+        observed = stacked.sum(axis=0)
+        return (observed - n * self.q) / (self.p - self.q)
+
+    def variance(self, n: int) -> float:
+        """Estimator variance per domain item for ``n`` reports (low-frequency limit)."""
+        return n * self.q * (1 - self.q) / (self.p - self.q) ** 2

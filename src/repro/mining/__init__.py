@@ -1,0 +1,40 @@
+"""Downstream time-series mining used by the paper's evaluation.
+
+The paper evaluates extracted shapes through two applications — clustering
+(KMeans / KShape + Adjusted Rand Index) and classification (random forest /
+nearest-shape + accuracy).  Because scikit-learn and tslearn are not available
+offline, the needed algorithms are implemented here from scratch:
+
+* :class:`TimeSeriesKMeans` — Lloyd's algorithm with DTW or Euclidean
+  assignment and resampled-mean centroids;
+* :class:`KShape` — shape-based clustering with normalized cross-correlation;
+* :class:`RandomForestClassifier` (and :class:`DecisionTreeClassifier`) —
+  CART-style forest on fixed-length feature vectors;
+* :class:`NearestShapeClassifier` / :func:`assign_to_shapes` — the paper's
+  "most frequent shape per class / per cluster as the criterion" evaluation;
+* metrics: :func:`adjusted_rand_index`, :func:`accuracy_score`;
+* :func:`match_shapes_to_ground_truth` — DTW matching of extracted shapes to
+  ground-truth centroids for Tables III / IV.
+"""
+
+from repro.mining.kmeans import TimeSeriesKMeans
+from repro.mining.kshape import KShape
+from repro.mining.tree import DecisionTreeClassifier
+from repro.mining.forest import RandomForestClassifier
+from repro.mining.nearest import NearestShapeClassifier, assign_to_shapes
+from repro.mining.metrics import accuracy_score, adjusted_rand_index, contingency_table
+from repro.mining.matching import match_shapes_to_ground_truth, shape_quality_measures
+
+__all__ = [
+    "TimeSeriesKMeans",
+    "KShape",
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "NearestShapeClassifier",
+    "assign_to_shapes",
+    "accuracy_score",
+    "adjusted_rand_index",
+    "contingency_table",
+    "match_shapes_to_ground_truth",
+    "shape_quality_measures",
+]

@@ -1,0 +1,102 @@
+"""Random forest classifier built on :class:`DecisionTreeClassifier`.
+
+Used to reproduce the PatternLDP + RF classification pipeline (Figs. 11, 16,
+17; Table IV).  Trees are trained on bootstrap samples with ``sqrt`` feature
+subsampling and predictions are averaged class probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distance.euclidean import resample_to_length
+from repro.exceptions import DataShapeError, NotFittedError
+from repro.mining.tree import DecisionTreeClassifier
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+
+def series_to_matrix(dataset, length: int | None = None) -> np.ndarray:
+    """Stack (possibly variable-length) series into a feature matrix by resampling."""
+    series_list = [np.asarray(s, dtype=float) for s in dataset]
+    if not series_list:
+        raise DataShapeError("dataset must not be empty")
+    target = length or max(s.size for s in series_list)
+    return np.vstack([resample_to_length(s, target) for s in series_list])
+
+
+@dataclass
+class RandomForestClassifier:
+    """Bagged ensemble of CART trees with majority (probability-averaged) voting."""
+
+    n_estimators: int = 30
+    max_depth: int = 10
+    min_samples_split: int = 4
+    max_features: int | str | None = "sqrt"
+    rng: RngLike = None
+    trees_: list[DecisionTreeClassifier] = field(default_factory=list, init=False)
+    n_classes_: int = field(default=0, init=False)
+    n_features_: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.n_estimators = check_positive_int(self.n_estimators, "n_estimators")
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        """Fit the forest on a 2-D feature matrix and integer labels."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2:
+            raise DataShapeError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.size:
+            raise DataShapeError(f"X has {X.shape[0]} rows but y has {y.size} labels")
+        self.n_classes_ = int(y.max()) + 1
+        self.n_features_ = X.shape[1]
+        generator = ensure_rng(self.rng)
+        tree_rngs = spawn_rngs(generator, self.n_estimators)
+
+        self.trees_ = []
+        n = X.shape[0]
+        for tree_rng in tree_rngs:
+            bootstrap = tree_rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                max_features=self.max_features,
+                rng=tree_rng,
+            )
+            tree.n_classes_ = self.n_classes_
+            tree.fit(X[bootstrap], y[bootstrap])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Averaged class probabilities over all trees."""
+        if not self.trees_:
+            raise NotFittedError("RandomForestClassifier must be fitted before predicting")
+        X = np.asarray(X, dtype=float)
+        totals = np.zeros((X.shape[0], self.n_classes_), dtype=float)
+        for tree in self.trees_:
+            probabilities = tree.predict_proba(X)
+            if probabilities.shape[1] < self.n_classes_:
+                padded = np.zeros((X.shape[0], self.n_classes_))
+                padded[:, : probabilities.shape[1]] = probabilities
+                probabilities = padded
+            totals += probabilities
+        return totals / len(self.trees_)
+
+    def predict(self, X) -> np.ndarray:
+        """Most likely class per sample."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def fit_series(self, dataset, labels) -> "RandomForestClassifier":
+        """Convenience: fit directly on a list of time series (resampled internally)."""
+        matrix = series_to_matrix(dataset)
+        self.n_features_ = matrix.shape[1]
+        return self.fit(matrix, labels)
+
+    def predict_series(self, dataset) -> np.ndarray:
+        """Convenience: predict directly on a list of time series."""
+        matrix = series_to_matrix(dataset, length=self.n_features_ or None)
+        return self.predict(matrix)

@@ -1,0 +1,183 @@
+"""Lloyd's KMeans for time series with DTW or Euclidean assignment.
+
+The paper runs scikit-learn KMeans with default settings on PatternLDP's
+perturbed output and uses the resulting cluster labels for ARI (Fig. 9,
+Table III).  This implementation mirrors that behaviour: Euclidean (or DTW)
+assignment, resampled-mean centroid updates, k-means++-style initialization,
+and a small number of restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distance.dtw import dtw_distance
+from repro.distance.euclidean import euclidean_distance, resample_to_length
+from repro.exceptions import EmptyDatasetError, NotFittedError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def _pairwise_distance(series, centroid, metric: str, window: int | None) -> float:
+    if metric == "dtw":
+        return dtw_distance(series, centroid, window=window)
+    if metric == "euclidean":
+        return euclidean_distance(series, centroid)
+    raise ValueError(f"metric must be 'dtw' or 'euclidean', got {metric!r}")
+
+
+@dataclass
+class TimeSeriesKMeans:
+    """KMeans clustering of (possibly variable-length) time series.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    metric:
+        ``"euclidean"`` (default, matching sklearn's KMeans on raw vectors) or
+        ``"dtw"``.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    n_init:
+        Number of random restarts; the solution with the lowest inertia wins.
+    dtw_window:
+        Optional Sakoe–Chiba band for DTW assignment (keeps DTW tractable on
+        long series).
+    """
+
+    n_clusters: int = 3
+    metric: str = "euclidean"
+    max_iter: int = 50
+    n_init: int = 2
+    dtw_window: int | None = 10
+    tol: float = 1e-4
+    rng: RngLike = None
+    cluster_centers_: list[np.ndarray] = field(default_factory=list, init=False)
+    labels_: np.ndarray | None = field(default=None, init=False)
+    inertia_: float = field(default=np.inf, init=False)
+
+    def __post_init__(self) -> None:
+        self.n_clusters = check_positive_int(self.n_clusters, "n_clusters")
+        self.max_iter = check_positive_int(self.max_iter, "max_iter")
+        self.n_init = check_positive_int(self.n_init, "n_init")
+        if self.metric not in ("euclidean", "dtw"):
+            raise ValueError(f"metric must be 'euclidean' or 'dtw', got {self.metric!r}")
+
+    # ------------------------------------------------------------------ fitting
+
+    def _to_matrix(self, dataset: list[np.ndarray]) -> np.ndarray:
+        """Resample all series to a common length so centroids can be averaged."""
+        target = max(s.size for s in dataset)
+        return np.vstack([resample_to_length(s, target) for s in dataset])
+
+    def _init_centroids(self, matrix: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ style seeding on the resampled matrix."""
+        n = matrix.shape[0]
+        centroids = [matrix[int(rng.integers(0, n))]]
+        while len(centroids) < self.n_clusters:
+            distances = np.min(
+                [np.sum((matrix - c) ** 2, axis=1) for c in centroids], axis=0
+            )
+            total = distances.sum()
+            if total <= 0:
+                centroids.append(matrix[int(rng.integers(0, n))])
+                continue
+            probabilities = distances / total
+            centroids.append(matrix[int(rng.choice(n, p=probabilities))])
+        return np.vstack(centroids)
+
+    def _assign(self, matrix: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, float]:
+        if self.metric == "euclidean":
+            # Vectorized assignment: ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2.
+            squared = (
+                np.sum(matrix ** 2, axis=1)[:, None]
+                - 2.0 * matrix @ centroids.T
+                + np.sum(centroids ** 2, axis=1)[None, :]
+            )
+            squared = np.maximum(squared, 0.0)
+            labels = np.argmin(squared, axis=1)
+            inertia = float(np.sum(squared[np.arange(matrix.shape[0]), labels]))
+            return labels.astype(int), inertia
+        n = matrix.shape[0]
+        labels = np.zeros(n, dtype=int)
+        inertia = 0.0
+        for i in range(n):
+            best_cluster, best_distance = 0, np.inf
+            for c in range(centroids.shape[0]):
+                distance = _pairwise_distance(
+                    matrix[i], centroids[c], self.metric, self.dtw_window
+                )
+                if distance < best_distance:
+                    best_cluster, best_distance = c, distance
+            labels[i] = best_cluster
+            inertia += best_distance ** 2
+        return labels, inertia
+
+    def fit(self, dataset) -> "TimeSeriesKMeans":
+        """Cluster the dataset (a sequence of 1-D series); returns ``self``."""
+        series_list = [np.asarray(s, dtype=float) for s in dataset]
+        if not series_list:
+            raise EmptyDatasetError("cannot cluster an empty dataset")
+        matrix = self._to_matrix(series_list)
+        generator = ensure_rng(self.rng)
+
+        best_labels: np.ndarray | None = None
+        best_centroids: np.ndarray | None = None
+        best_inertia = np.inf
+        for _ in range(self.n_init):
+            centroids = self._init_centroids(matrix, generator)
+            labels = np.full(matrix.shape[0], -1, dtype=int)
+            inertia = np.inf
+            for _ in range(self.max_iter):
+                new_labels, inertia = self._assign(matrix, centroids)
+                if np.array_equal(new_labels, labels):
+                    break
+                labels = new_labels
+                for c in range(self.n_clusters):
+                    members = matrix[labels == c]
+                    if members.shape[0]:
+                        centroids[c] = members.mean(axis=0)
+                    else:
+                        # Re-seed an empty cluster at the farthest point.
+                        distances, _ = self._farthest_point(matrix, centroids)
+                        centroids[c] = matrix[distances]
+            if inertia < best_inertia:
+                best_inertia = inertia
+                best_labels = labels.copy()
+                best_centroids = centroids.copy()
+
+        self.labels_ = best_labels
+        self.cluster_centers_ = [row.copy() for row in best_centroids]
+        self.inertia_ = float(best_inertia)
+        return self
+
+    @staticmethod
+    def _farthest_point(matrix: np.ndarray, centroids: np.ndarray) -> tuple[int, float]:
+        distances = np.min(
+            [np.sum((matrix - c) ** 2, axis=1) for c in centroids], axis=0
+        )
+        index = int(np.argmax(distances))
+        return index, float(distances[index])
+
+    # --------------------------------------------------------------- prediction
+
+    def predict(self, dataset) -> np.ndarray:
+        """Assign each series to its nearest fitted centroid."""
+        if not self.cluster_centers_:
+            raise NotFittedError("TimeSeriesKMeans must be fitted before predict()")
+        labels = np.zeros(len(dataset), dtype=int)
+        for i, series in enumerate(dataset):
+            arr = np.asarray(series, dtype=float)
+            distances = [
+                _pairwise_distance(arr, centroid, self.metric, self.dtw_window)
+                for centroid in self.cluster_centers_
+            ]
+            labels[i] = int(np.argmin(distances))
+        return labels
+
+    def fit_predict(self, dataset) -> np.ndarray:
+        """Fit and return the training labels."""
+        return self.fit(dataset).labels_

@@ -1,0 +1,140 @@
+"""KShape clustering (Paparrizos & Gravano, SIGMOD 2015).
+
+The paper uses KShape to extract ground-truth shape centers on the Trace
+dataset (Fig. 10) because KShape is suited to series that are *not* warped in
+time.  KShape assigns by shape-based distance (1 - maximum normalized
+cross-correlation over shifts) and updates each centroid as the leading
+eigenvector of a shape-extraction matrix built from its members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distance.euclidean import resample_to_length
+from repro.exceptions import EmptyDatasetError, NotFittedError
+from repro.sax.normalization import zscore_normalize
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def _ncc_max(x: np.ndarray, y: np.ndarray) -> tuple[float, int]:
+    """Maximum normalized cross-correlation between two z-normalized series.
+
+    Returns ``(max ncc value, shift)`` where a positive shift means ``y`` is
+    delayed relative to ``x``.
+    """
+    denominator = np.linalg.norm(x) * np.linalg.norm(y)
+    if denominator < 1e-12:
+        return 0.0, 0
+    correlation = np.correlate(x, y, mode="full") / denominator
+    best = int(np.argmax(correlation))
+    shift = best - (y.size - 1)
+    return float(correlation[best]), shift
+
+
+def shape_based_distance(x, y) -> float:
+    """SBD(x, y) = 1 - max_w NCC_c(x, y); 0 for identical shapes, up to 2."""
+    x_norm = zscore_normalize(np.asarray(x, dtype=float))
+    y_norm = zscore_normalize(np.asarray(y, dtype=float))
+    value, _ = _ncc_max(x_norm, y_norm)
+    return float(1.0 - value)
+
+
+def _align_to(reference: np.ndarray, series: np.ndarray) -> np.ndarray:
+    """Shift ``series`` so that it best aligns (by NCC) with ``reference``."""
+    _, shift = _ncc_max(reference, series)
+    aligned = np.zeros_like(reference)
+    if shift >= 0:
+        aligned[shift:] = series[: series.size - shift]
+    else:
+        aligned[:shift] = series[-shift:]
+    return aligned
+
+
+@dataclass
+class KShape:
+    """Shape-based clustering of equal-length (or resampled) time series."""
+
+    n_clusters: int = 3
+    max_iter: int = 30
+    rng: RngLike = None
+    cluster_centers_: list[np.ndarray] = field(default_factory=list, init=False)
+    labels_: np.ndarray | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.n_clusters = check_positive_int(self.n_clusters, "n_clusters")
+        self.max_iter = check_positive_int(self.max_iter, "max_iter")
+
+    def _shape_extraction(self, members: np.ndarray, centroid: np.ndarray) -> np.ndarray:
+        """Update one centroid from its aligned members (Rayleigh-quotient maximizer)."""
+        if members.shape[0] == 0:
+            return centroid
+        aligned = np.vstack([_align_to(centroid, m) for m in members])
+        aligned = np.vstack([zscore_normalize(row) for row in aligned])
+        length = aligned.shape[1]
+        s = aligned.T @ aligned
+        q = np.eye(length) - np.ones((length, length)) / length
+        m = q.T @ s @ q
+        eigenvalues, eigenvectors = np.linalg.eigh(m)
+        new_centroid = eigenvectors[:, int(np.argmax(eigenvalues))]
+        # The eigenvector sign is arbitrary; pick the orientation closer to the members.
+        distance_pos = np.sum((aligned - new_centroid) ** 2)
+        distance_neg = np.sum((aligned + new_centroid) ** 2)
+        if distance_neg < distance_pos:
+            new_centroid = -new_centroid
+        return zscore_normalize(new_centroid)
+
+    def fit(self, dataset) -> "KShape":
+        """Cluster the dataset; returns ``self``."""
+        series_list = [np.asarray(s, dtype=float) for s in dataset]
+        if not series_list:
+            raise EmptyDatasetError("cannot cluster an empty dataset")
+        target = max(s.size for s in series_list)
+        matrix = np.vstack(
+            [zscore_normalize(resample_to_length(s, target)) for s in series_list]
+        )
+        generator = ensure_rng(self.rng)
+        n = matrix.shape[0]
+
+        labels = generator.integers(0, self.n_clusters, size=n)
+        centroids = np.vstack(
+            [
+                matrix[labels == c].mean(axis=0) if np.any(labels == c) else matrix[int(generator.integers(0, n))]
+                for c in range(self.n_clusters)
+            ]
+        )
+        for _ in range(self.max_iter):
+            # Refinement step: shape extraction per cluster.
+            for c in range(self.n_clusters):
+                centroids[c] = self._shape_extraction(matrix[labels == c], centroids[c])
+            # Assignment step: shape-based distance.
+            new_labels = np.zeros(n, dtype=int)
+            for i in range(n):
+                distances = [shape_based_distance(matrix[i], centroids[c]) for c in range(self.n_clusters)]
+                new_labels[i] = int(np.argmin(distances))
+            if np.array_equal(new_labels, labels):
+                break
+            labels = new_labels
+
+        self.labels_ = labels
+        self.cluster_centers_ = [row.copy() for row in centroids]
+        return self
+
+    def predict(self, dataset) -> np.ndarray:
+        """Assign each series to the nearest fitted shape centroid."""
+        if not self.cluster_centers_:
+            raise NotFittedError("KShape must be fitted before predict()")
+        labels = np.zeros(len(dataset), dtype=int)
+        for i, series in enumerate(dataset):
+            distances = [
+                shape_based_distance(series, centroid) for centroid in self.cluster_centers_
+            ]
+            labels[i] = int(np.argmin(distances))
+        return labels
+
+    def fit_predict(self, dataset) -> np.ndarray:
+        """Fit and return the training labels."""
+        return self.fit(dataset).labels_

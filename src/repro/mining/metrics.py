@@ -1,0 +1,58 @@
+"""Clustering and classification evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataShapeError
+
+
+def _check_paired(labels_a, labels_b) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.ndim != 1 or b.ndim != 1:
+        raise DataShapeError("label arrays must be 1-dimensional")
+    if a.size != b.size:
+        raise DataShapeError(f"label arrays differ in length: {a.size} vs {b.size}")
+    if a.size == 0:
+        raise DataShapeError("label arrays must not be empty")
+    return a, b
+
+
+def contingency_table(labels_true, labels_pred) -> np.ndarray:
+    """Contingency matrix ``C[i, j]`` = #samples with true class i and predicted cluster j."""
+    true, pred = _check_paired(labels_true, labels_pred)
+    true_classes, true_indices = np.unique(true, return_inverse=True)
+    pred_classes, pred_indices = np.unique(pred, return_inverse=True)
+    table = np.zeros((true_classes.size, pred_classes.size), dtype=np.int64)
+    np.add.at(table, (true_indices, pred_indices), 1)
+    return table
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Adjusted Rand Index (Hubert & Arabie 1985), in [-1, 1]; 0 ≈ random clustering."""
+    table = contingency_table(labels_true, labels_pred)
+    n = table.sum()
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table.astype(float)).sum()
+    sum_rows = comb2(table.sum(axis=1).astype(float)).sum()
+    sum_cols = comb2(table.sum(axis=0).astype(float)).sum()
+    total_pairs = comb2(np.array(float(n)))
+
+    expected = sum_rows * sum_cols / total_pairs if total_pairs > 0 else 0.0
+    maximum = (sum_rows + sum_cols) / 2.0
+    denominator = maximum - expected
+    if np.isclose(denominator, 0.0):
+        # Degenerate partitions (e.g. everything in one cluster on both sides):
+        # identical partitions get 1, otherwise 0.
+        return 1.0 if np.array_equal(np.asarray(labels_true), np.asarray(labels_pred)) else 0.0
+    return float((sum_cells - expected) / denominator)
+
+
+def accuracy_score(labels_true, labels_pred) -> float:
+    """Fraction of exactly matching labels."""
+    true, pred = _check_paired(labels_true, labels_pred)
+    return float(np.mean(true == pred))

@@ -1,0 +1,83 @@
+"""Nearest-shape assignment: the paper's downstream use of extracted shapes.
+
+For the clustering task the extracted top-k frequent shapes act as cluster
+centroids: each series is assigned to its closest shape and the resulting
+partition is scored with ARI.  For the classification task the most frequent
+shape(s) per class act as the classification criterion: a test series is
+predicted to belong to the class of its closest shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.distance.registry import shape_distance
+from repro.exceptions import EmptyDatasetError, NotFittedError
+from repro.sax.compressive import CompressiveSAX
+
+Shape = tuple[str, ...]
+
+
+def assign_to_shapes(
+    sequences: Sequence[Shape],
+    shapes: Sequence[Shape],
+    metric: str = "dtw",
+    alphabet_size: int = 4,
+) -> np.ndarray:
+    """Assign each symbolic sequence to the index of its closest shape."""
+    shape_list = [tuple(s) for s in shapes]
+    if not shape_list:
+        raise EmptyDatasetError("shapes must not be empty")
+    assignments = np.zeros(len(sequences), dtype=int)
+    for i, sequence in enumerate(sequences):
+        distances = [
+            shape_distance(sequence, shape, metric=metric, alphabet_size=alphabet_size)
+            for shape in shape_list
+        ]
+        assignments[i] = int(np.argmin(distances))
+    return assignments
+
+
+@dataclass
+class NearestShapeClassifier:
+    """Classifies a raw time series by its closest labelled shape.
+
+    ``labelled_shapes`` maps each class label to the shapes extracted for that
+    class (for PrivShape's classification task the per-class top-k shapes).
+    The classifier transforms an incoming series with the same Compressive SAX
+    parameters and predicts the label of the closest shape.
+    """
+
+    labelled_shapes: dict[int, list[Shape]]
+    transformer: CompressiveSAX
+    metric: str = "sed"
+    _flat: list[tuple[int, Shape]] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._flat = [
+            (int(label), tuple(shape))
+            for label, shapes in self.labelled_shapes.items()
+            for shape in shapes
+        ]
+        if not self._flat:
+            raise EmptyDatasetError("labelled_shapes must contain at least one shape")
+
+    def predict_sequence(self, sequence: Shape) -> int:
+        """Predict the label of an already-transformed symbolic sequence."""
+        if not self._flat:
+            raise NotFittedError("no labelled shapes available")
+        distances = [
+            shape_distance(
+                sequence, shape, metric=self.metric, alphabet_size=self.transformer.alphabet_size
+            )
+            for _, shape in self._flat
+        ]
+        return self._flat[int(np.argmin(distances))][0]
+
+    def predict(self, dataset) -> np.ndarray:
+        """Predict labels for raw numeric time series."""
+        sequences = [self.transformer.transform(series) for series in dataset]
+        return np.asarray([self.predict_sequence(seq) for seq in sequences], dtype=int)

@@ -1,0 +1,166 @@
+"""CART-style decision tree classifier on fixed-length feature vectors.
+
+This is the base learner of :class:`repro.mining.forest.RandomForestClassifier`,
+which stands in for scikit-learn's random forest in the classification task
+(PatternLDP + RF, Figs. 11/16/17 and Table IV).  The implementation uses Gini
+impurity, threshold splits on a random subset of features, and depth /
+min-samples stopping rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import DataShapeError, NotFittedError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class _Node:
+    """A single tree node; leaves carry a class-probability vector."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    probabilities: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.probabilities is not None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions ** 2))
+
+
+@dataclass
+class DecisionTreeClassifier:
+    """Binary-split decision tree with Gini impurity.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    max_features:
+        Number of candidate features examined per split; ``None`` means all,
+        ``"sqrt"`` means ``round(sqrt(n_features))`` (the forest default).
+    n_thresholds:
+        Number of candidate thresholds (quantiles) evaluated per feature.
+    """
+
+    max_depth: int = 10
+    min_samples_split: int = 4
+    max_features: int | str | None = None
+    n_thresholds: int = 8
+    rng: RngLike = None
+    n_classes_: int = field(default=0, init=False)
+    _root: Optional[_Node] = field(default=None, init=False, repr=False)
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(round(np.sqrt(n_features))))
+        return max(1, min(int(self.max_features), n_features))
+
+    def _leaf(self, y: np.ndarray) -> _Node:
+        counts = np.bincount(y, minlength=self.n_classes_).astype(float)
+        total = counts.sum()
+        probabilities = counts / total if total > 0 else np.full(self.n_classes_, 1.0 / self.n_classes_)
+        return _Node(probabilities=probabilities)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator
+    ) -> tuple[int, float, float] | None:
+        """Return (feature, threshold, impurity decrease) of the best split, or None."""
+        n_samples, n_features = X.shape
+        parent_counts = np.bincount(y, minlength=self.n_classes_)
+        parent_impurity = _gini(parent_counts)
+        k = self._resolve_max_features(n_features)
+        candidate_features = rng.choice(n_features, size=k, replace=False)
+
+        best: tuple[int, float, float] | None = None
+        for feature in candidate_features:
+            column = X[:, feature]
+            low, high = column.min(), column.max()
+            if np.isclose(low, high):
+                continue
+            quantiles = np.linspace(0.0, 1.0, self.n_thresholds + 2)[1:-1]
+            thresholds = np.unique(np.quantile(column, quantiles))
+            for threshold in thresholds:
+                left_mask = column <= threshold
+                n_left = int(left_mask.sum())
+                if n_left == 0 or n_left == n_samples:
+                    continue
+                left_counts = np.bincount(y[left_mask], minlength=self.n_classes_)
+                right_counts = parent_counts - left_counts
+                weighted = (
+                    n_left * _gini(left_counts) + (n_samples - n_left) * _gini(right_counts)
+                ) / n_samples
+                decrease = parent_impurity - weighted
+                if best is None or decrease > best[2]:
+                    best = (int(feature), float(threshold), float(decrease))
+        if best is None or best[2] <= 1e-12:
+            return None
+        return best
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator) -> _Node:
+        if (
+            depth >= self.max_depth
+            or X.shape[0] < self.min_samples_split
+            or np.unique(y).size == 1
+        ):
+            return self._leaf(y)
+        split = self._best_split(X, y, rng)
+        if split is None:
+            return self._leaf(y)
+        feature, threshold, _ = split
+        mask = X[:, feature] <= threshold
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        """Fit on a 2-D feature matrix and integer labels; returns ``self``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2:
+            raise DataShapeError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.size:
+            raise DataShapeError(f"X has {X.shape[0]} rows but y has {y.size} labels")
+        # Respect a pre-set class count (the forest sets it so that bootstrap
+        # samples missing the largest label still produce full-width leaves).
+        self.n_classes_ = max(self.n_classes_, int(y.max()) + 1 if y.size else 0)
+        generator = ensure_rng(self.rng)
+        self._root = self._build(X, y, depth=0, rng=generator)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class-probability matrix of shape (n_samples, n_classes)."""
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier must be fitted before predicting")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise DataShapeError(f"X must be 2-D, got shape {X.shape}")
+        output = np.zeros((X.shape[0], self.n_classes_), dtype=float)
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            output[i] = node.probabilities
+        return output
+
+    def predict(self, X) -> np.ndarray:
+        """Most likely class per sample."""
+        return np.argmax(self.predict_proba(X), axis=1)

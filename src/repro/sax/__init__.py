@@ -1,0 +1,29 @@
+"""Time-series transformation substrate: z-normalization, PAA, SAX, Compressive SAX.
+
+The paper pre-processes every time series with Symbolic Aggregate
+approXimation (SAX) and then collapses consecutive repeated symbols
+("Compressive SAX") so that a long series becomes a short symbolic shape such
+as ``"acba"``.  This package implements that pipeline plus the inverse mapping
+from symbols back to representative values used for plotting and for
+comparing extracted shapes against numeric ground truth.
+"""
+
+from repro.sax.normalization import zscore_normalize
+from repro.sax.paa import piecewise_aggregate, segment_boundaries
+from repro.sax.breakpoints import gaussian_breakpoints, symbol_alphabet, symbol_centroids
+from repro.sax.sax import SAXTransformer
+from repro.sax.compressive import CompressiveSAX, compress_symbols
+from repro.sax.reconstruction import symbols_to_values
+
+__all__ = [
+    "zscore_normalize",
+    "piecewise_aggregate",
+    "segment_boundaries",
+    "gaussian_breakpoints",
+    "symbol_alphabet",
+    "symbol_centroids",
+    "SAXTransformer",
+    "CompressiveSAX",
+    "compress_symbols",
+    "symbols_to_values",
+]

@@ -1,0 +1,71 @@
+"""SAX breakpoint ("lookup") tables derived from the standard normal distribution.
+
+SAX assigns symbols by slicing the real line into ``t`` regions that are
+equiprobable under N(0, 1); the cut points are the ``i/t`` quantiles of the
+standard normal.  For ``t = 3`` this gives the lookup table quoted in the
+paper: ``a: (-inf, -0.43), b: [-0.43, 0.43), c: [0.43, +inf)``.
+"""
+
+from __future__ import annotations
+
+import string
+from functools import lru_cache
+
+import numpy as np
+from scipy import stats
+
+from repro.utils.validation import check_positive_int
+
+#: Largest alphabet supported using single-character symbols a..z.
+MAX_ALPHABET_SIZE = 26
+
+
+@lru_cache(maxsize=None)
+def gaussian_breakpoints(alphabet_size: int) -> np.ndarray:
+    """Return the ``alphabet_size - 1`` interior breakpoints for SAX.
+
+    Breakpoints are the ``i / alphabet_size`` quantiles of N(0, 1) for
+    ``i = 1 .. alphabet_size - 1``, in increasing order.
+    """
+    t = check_positive_int(alphabet_size, "alphabet_size")
+    if t < 2:
+        raise ValueError(f"alphabet_size must be at least 2, got {t}")
+    if t > MAX_ALPHABET_SIZE:
+        raise ValueError(f"alphabet_size must be at most {MAX_ALPHABET_SIZE}, got {t}")
+    quantiles = np.arange(1, t) / t
+    return stats.norm.ppf(quantiles)
+
+
+@lru_cache(maxsize=None)
+def _cached_alphabet(alphabet_size: int) -> tuple[str, ...]:
+    return tuple(string.ascii_lowercase[:alphabet_size])
+
+
+def symbol_alphabet(alphabet_size: int) -> list[str]:
+    """Return the symbols used for an alphabet of the given size: ``['a', 'b', ...]``."""
+    t = check_positive_int(alphabet_size, "alphabet_size")
+    if t > MAX_ALPHABET_SIZE:
+        raise ValueError(f"alphabet_size must be at most {MAX_ALPHABET_SIZE}, got {t}")
+    return list(_cached_alphabet(t))
+
+
+@lru_cache(maxsize=None)
+def symbol_centroids(alphabet_size: int) -> dict[str, float]:
+    """Map each symbol to a representative numeric value (its region's N(0,1) mean).
+
+    Used to reconstruct a numeric "essential shape" from a symbolic one so
+    that extracted shapes can be compared against numeric ground truth with
+    DTW / Euclidean distance (Tables III and IV).
+    """
+    t = check_positive_int(alphabet_size, "alphabet_size")
+    breakpoints = gaussian_breakpoints(t)
+    edges = np.concatenate([[-np.inf], breakpoints, [np.inf]])
+    centroids = {}
+    for symbol, (low, high) in zip(symbol_alphabet(t), zip(edges[:-1], edges[1:])):
+        # Mean of a standard normal truncated to (low, high):
+        # (phi(low) - phi(high)) / (Phi(high) - Phi(low)).
+        phi_low = stats.norm.pdf(low) if np.isfinite(low) else 0.0
+        phi_high = stats.norm.pdf(high) if np.isfinite(high) else 0.0
+        mass = stats.norm.cdf(high) - stats.norm.cdf(low)
+        centroids[symbol] = float((phi_low - phi_high) / mass)
+    return centroids

@@ -1,0 +1,36 @@
+"""z-score normalization of time series.
+
+SAX assumes its input has been z-normalized (zero mean, unit variance); the
+UCR datasets used by the paper ship pre-normalized, and the synthetic
+generators in :mod:`repro.datasets` normalize through this function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_time_series
+
+
+def zscore_normalize(series, ddof: int = 0, epsilon: float = 1e-12) -> np.ndarray:
+    """Return the z-normalized copy of ``series``.
+
+    A (near-)constant series has no meaningful shape; rather than dividing by
+    zero we return an all-zeros series of the same length, which SAX maps to a
+    single repeated middle symbol (and Compressive SAX then collapses to one
+    element).
+
+    Parameters
+    ----------
+    series:
+        1-D sequence of real values.
+    ddof:
+        Delta degrees of freedom for the standard deviation (0 = population).
+    epsilon:
+        Standard deviations below this threshold are treated as zero.
+    """
+    arr = check_time_series(series)
+    std = arr.std(ddof=ddof)
+    if std < epsilon:
+        return np.zeros_like(arr)
+    return (arr - arr.mean()) / std

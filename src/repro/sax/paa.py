@@ -1,0 +1,41 @@
+"""Piecewise Aggregate Approximation (PAA).
+
+Following the paper's notation, a time series of length ``m`` is segmented
+into ``ceil(m / w)`` pieces of ``w`` consecutive points (the last piece may be
+shorter), and each piece is replaced by its mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int, check_time_series
+
+
+def segment_boundaries(length: int, segment_length: int) -> list[tuple[int, int]]:
+    """Return the ``[start, end)`` index pairs of each PAA segment.
+
+    The final segment absorbs the remainder when ``length`` is not divisible
+    by ``segment_length``.
+    """
+    length = check_positive_int(length, "length")
+    segment_length = check_positive_int(segment_length, "segment_length")
+    n_segments = math.ceil(length / segment_length)
+    boundaries = []
+    for i in range(n_segments):
+        start = i * segment_length
+        end = min((i + 1) * segment_length, length)
+        boundaries.append((start, end))
+    return boundaries
+
+
+def piecewise_aggregate(series, segment_length: int) -> np.ndarray:
+    """Average ``series`` over consecutive windows of ``segment_length`` points.
+
+    Returns a vector of ``ceil(len(series) / segment_length)`` means.
+    """
+    arr = check_time_series(series)
+    boundaries = segment_boundaries(arr.size, segment_length)
+    return np.array([arr[start:end].mean() for start, end in boundaries], dtype=float)

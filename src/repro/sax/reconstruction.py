@@ -1,0 +1,46 @@
+"""Reconstruction of numeric values from symbolic shapes.
+
+Extracted shapes are symbol strings; to compare them against numeric ground
+truth (Tables III / IV) or to plot them (Figs. 8 / 10 / 12) each symbol is
+mapped back to the mean of its SAX region under N(0, 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DomainError
+from repro.sax.breakpoints import symbol_alphabet, symbol_centroids
+
+
+def symbols_to_values(
+    symbols: Sequence[str],
+    alphabet_size: int,
+    repeat: int = 1,
+) -> np.ndarray:
+    """Map a symbolic shape back to representative numeric values.
+
+    Parameters
+    ----------
+    symbols:
+        The symbolic shape, e.g. ``('a', 'c', 'b', 'a')``.
+    alphabet_size:
+        The SAX alphabet size the symbols were produced with.
+    repeat:
+        Number of numeric points emitted per symbol (useful to stretch a
+        compressed shape back onto a time axis for plotting).
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    centroids = symbol_centroids(alphabet_size)
+    valid = set(symbol_alphabet(alphabet_size))
+    values: list[float] = []
+    for symbol in symbols:
+        if symbol not in valid:
+            raise DomainError(
+                f"symbol {symbol!r} is not in the alphabet of size {alphabet_size}"
+            )
+        values.extend([centroids[symbol]] * repeat)
+    return np.asarray(values, dtype=float)

@@ -1,0 +1,30 @@
+"""Shared utilities: RNG handling, validation, and sequence helpers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_epsilon,
+    check_positive_int,
+    check_probability,
+    check_time_series,
+    check_time_series_dataset,
+)
+from repro.utils.sequences import (
+    run_length_collapse,
+    pad_or_truncate,
+    split_population,
+    chunk_evenly,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_epsilon",
+    "check_positive_int",
+    "check_probability",
+    "check_time_series",
+    "check_time_series_dataset",
+    "run_length_collapse",
+    "pad_or_truncate",
+    "split_population",
+    "chunk_evenly",
+]

@@ -1,0 +1,48 @@
+"""Random-number-generator plumbing.
+
+Every randomized component in the library accepts either ``None`` (fresh
+entropy), an integer seed, or an existing :class:`numpy.random.Generator`.
+``ensure_rng`` normalizes all three into a ``Generator`` so that experiments
+are reproducible end to end when a seed is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed, generator, or None.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an ``int`` seed for reproducibility, or an
+        existing generator which is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or numpy.random.Generator, got {type(rng)!r}"
+    )
+
+
+def spawn_rngs(rng: RngLike, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used to give each user (or each benchmark trial) its own stream so that
+    per-user randomness does not depend on iteration order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,84 @@
+"""Sequence and population helpers used by the SAX and core packages."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+T = TypeVar("T")
+
+
+def run_length_collapse(sequence: Sequence[T]) -> list[T]:
+    """Collapse consecutive repeated elements into a single occurrence.
+
+    This is the "compression" step of Compressive SAX:
+    ``"aaaccccccbbbbaaa" -> "acba"``.
+
+    Examples
+    --------
+    >>> run_length_collapse("aaabba")
+    ['a', 'b', 'a']
+    """
+    collapsed: list[T] = []
+    for item in sequence:
+        if not collapsed or collapsed[-1] != item:
+            collapsed.append(item)
+    return collapsed
+
+
+def pad_or_truncate(sequence: Sequence[T], length: int, pad_value: T) -> list[T]:
+    """Return ``sequence`` adjusted to exactly ``length`` elements.
+
+    Longer sequences are truncated; shorter ones are right-padded with
+    ``pad_value``.  This is the "padding-and-sampling" preprocessing used for
+    sub-shape estimation.
+    """
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    items = list(sequence)
+    if len(items) >= length:
+        return items[:length]
+    return items + [pad_value] * (length - len(items))
+
+
+def split_population(
+    n: int,
+    fractions: Sequence[float],
+    rng: RngLike = None,
+) -> list[np.ndarray]:
+    """Randomly partition ``range(n)`` into groups with the given fractions.
+
+    The fractions must sum to (approximately) one; the last group absorbs any
+    rounding remainder so every index is assigned exactly once.
+
+    Returns a list of index arrays, one per fraction, in the given order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    fracs = [float(f) for f in fractions]
+    if any(f < 0 for f in fracs):
+        raise ValueError(f"fractions must be non-negative, got {fracs}")
+    total = sum(fracs)
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"fractions must sum to 1, got {total}")
+
+    generator = ensure_rng(rng)
+    permutation = generator.permutation(n)
+    boundaries = np.cumsum([int(round(f * n)) for f in fracs[:-1]])
+    boundaries = np.clip(boundaries, 0, n)
+    return [np.sort(part) for part in np.split(permutation, boundaries)]
+
+
+def chunk_evenly(indices: Sequence[int], n_chunks: int) -> list[np.ndarray]:
+    """Split ``indices`` into ``n_chunks`` contiguous, nearly equal-sized chunks.
+
+    Used to assign one group of users to each trie level.  Chunks may be empty
+    when there are fewer indices than chunks.
+    """
+    if n_chunks <= 0:
+        raise ValueError(f"n_chunks must be positive, got {n_chunks}")
+    array = np.asarray(list(indices))
+    return list(np.array_split(array, n_chunks))

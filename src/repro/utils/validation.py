@@ -1,0 +1,69 @@
+"""Input validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import (
+    DataShapeError,
+    EmptyDatasetError,
+    PrivacyBudgetError,
+)
+
+
+def check_epsilon(epsilon: float, name: str = "epsilon") -> float:
+    """Validate a privacy budget: must be a positive, finite float."""
+    try:
+        value = float(epsilon)
+    except (TypeError, ValueError) as exc:
+        raise PrivacyBudgetError(f"{name} must be a number, got {epsilon!r}") from exc
+    if not math.isfinite(value) or value <= 0:
+        raise PrivacyBudgetError(f"{name} must be positive and finite, got {value}")
+    return value
+
+
+def check_positive_int(value: int, name: str = "value") -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    result = int(value)
+    if result <= 0:
+        raise ValueError(f"{name} must be positive, got {result}")
+    return result
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    result = float(value)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {result}")
+    return result
+
+
+def check_time_series(series: Sequence[float], name: str = "series") -> np.ndarray:
+    """Coerce a single time series to a 1-D float array and validate it."""
+    arr = np.asarray(series, dtype=float)
+    if arr.ndim != 1:
+        raise DataShapeError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise DataShapeError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise DataShapeError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_time_series_dataset(
+    dataset: Sequence[Sequence[float]], name: str = "dataset"
+) -> list[np.ndarray]:
+    """Validate a collection of (possibly variable-length) time series.
+
+    Returns a list of 1-D float arrays.  An empty collection raises
+    :class:`EmptyDatasetError`.
+    """
+    series_list = [check_time_series(series, name=f"{name}[{i}]") for i, series in enumerate(dataset)]
+    if not series_list:
+        raise EmptyDatasetError(f"{name} must contain at least one time series")
+    return series_list

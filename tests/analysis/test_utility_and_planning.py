@@ -1,0 +1,90 @@
+"""Tests for the Theorem 4 bounds and the deployment planner."""
+
+import pytest
+
+from repro.analysis.planning import DeploymentPlan, plan_population
+from repro.analysis.utility import (
+    baseline_domain_bound,
+    em_selection_probability,
+    privshape_domain_bound,
+    utility_improvement_bound,
+)
+
+
+class TestEmSelectionProbability:
+    def test_probability_in_unit_interval(self):
+        p = em_selection_probability(2.0, domain_size=20)
+        assert 0.0 < p < 1.0
+
+    def test_increases_with_epsilon(self):
+        assert em_selection_probability(4.0, 20) > em_selection_probability(1.0, 20)
+
+    def test_decreases_with_domain_size(self):
+        assert em_selection_probability(2.0, 10) > em_selection_probability(2.0, 100)
+
+    def test_zero_gap_gives_uniform(self):
+        assert em_selection_probability(3.0, 10, score_gap=0.0) == pytest.approx(0.1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            em_selection_probability(1.0, 5, n_optimal=6)
+        with pytest.raises(ValueError):
+            em_selection_probability(1.0, 5, score_gap=1.5)
+
+
+class TestDomainBounds:
+    def test_baseline_grows_exponentially(self):
+        assert baseline_domain_bound(4, 1) == 4
+        assert baseline_domain_bound(4, 2) == 12
+        assert baseline_domain_bound(4, 5) == 4 * 3**4
+
+    def test_privshape_bound_constant_in_level(self):
+        assert privshape_domain_bound(3, 2, 4) == 18
+        assert privshape_domain_bound(3, 6, 6) == min(3 * 6 * 5, (3 * 6) ** 2)
+
+    def test_improvement_grows_with_depth(self):
+        shallow = utility_improvement_bound(4, 2, 3, 2)
+        deep = utility_improvement_bound(4, 6, 3, 2)
+        assert deep > shallow
+
+    def test_matches_paper_form(self):
+        # t(t-1)^(l-1) / (c^2 k^2)
+        assert utility_improvement_bound(4, 3, 3, 1) == pytest.approx(4 * 9 / 9)
+
+
+class TestPlanPopulation:
+    def test_plan_structure(self):
+        plan = plan_population(epsilon=4.0, alphabet_size=4, expected_length=6, top_k=3)
+        assert isinstance(plan, DeploymentPlan)
+        assert plan.total_users > 0
+        assert plan.length_users + plan.subshape_users <= plan.total_users
+        assert "total users required" in plan.summary()
+
+    def test_smaller_epsilon_needs_more_users(self):
+        loose = plan_population(epsilon=4.0)
+        tight = plan_population(epsilon=0.5)
+        assert tight.total_users > loose.total_users
+
+    def test_tighter_error_needs_more_users(self):
+        loose = plan_population(epsilon=2.0, relative_error=0.2)
+        tight = plan_population(epsilon=2.0, relative_error=0.02)
+        assert tight.total_users > loose.total_users
+
+    def test_rarer_shapes_need_more_users(self):
+        common = plan_population(epsilon=2.0, minimum_shape_frequency=0.5)
+        rare = plan_population(epsilon=2.0, minimum_shape_frequency=0.05)
+        assert rare.total_users > common.total_users
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            plan_population(epsilon=1.0, relative_error=0.0)
+        with pytest.raises(ValueError):
+            plan_population(epsilon=1.0, minimum_shape_frequency=0.0)
+        with pytest.raises(ValueError):
+            plan_population(epsilon=1.0, population_fractions=(0.5, 0.5))
+
+    def test_paper_scale_is_plausible(self):
+        """At eps=4 and the paper's split, tens of thousands of users suffice
+        to resolve shapes held by 20% of the population within 5%."""
+        plan = plan_population(epsilon=4.0, alphabet_size=6, expected_length=6, top_k=6)
+        assert 1_000 < plan.total_users < 1_000_000

@@ -1,0 +1,66 @@
+"""Tests for the analytical variance formulas."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import (
+    grr_variance,
+    olh_variance,
+    oue_variance,
+    recommend_frequency_oracle,
+)
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.ldp.unary import UnaryEncoding
+
+
+class TestVarianceFormulas:
+    def test_grr_matches_mechanism_formula(self):
+        oracle = GeneralizedRandomizedResponse(2.0, domain=list("abcd"))
+        assert grr_variance(2.0, 4, 1000) == pytest.approx(oracle.variance(1000))
+
+    def test_oue_matches_mechanism_formula(self):
+        oracle = UnaryEncoding(2.0, domain=list("abcd"), optimized=True)
+        # OUE's closed form 4e^eps/(e^eps-1)^2 equals q(1-q)/(p-q)^2 with p=1/2.
+        assert oue_variance(2.0, 1000) == pytest.approx(oracle.variance(1000), rel=1e-9)
+
+    def test_variance_decreases_with_epsilon(self):
+        assert grr_variance(4.0, 10, 500) < grr_variance(1.0, 10, 500)
+        assert oue_variance(4.0, 500) < oue_variance(1.0, 500)
+
+    def test_variance_scales_linearly_with_n(self):
+        assert grr_variance(1.0, 5, 2000) == pytest.approx(2 * grr_variance(1.0, 5, 1000))
+
+    def test_grr_variance_grows_with_domain(self):
+        assert grr_variance(1.0, 50, 1000) > grr_variance(1.0, 5, 1000)
+
+    def test_olh_close_to_oue(self):
+        assert olh_variance(2.0, 1000) == pytest.approx(oue_variance(2.0, 1000))
+
+    def test_empirical_grr_variance_close_to_formula(self):
+        epsilon, d, n, trials = 1.0, 4, 2000, 40
+        oracle = GeneralizedRandomizedResponse(epsilon, domain=list("abcd"))
+        rng = np.random.default_rng(0)
+        estimates = []
+        for _ in range(trials):
+            reports = [oracle.perturb("a", rng) for _ in range(n)]
+            estimates.append(oracle.estimate_map(reports)["b"])
+        empirical = np.var(estimates)
+        assert empirical == pytest.approx(grr_variance(epsilon, d, n), rel=0.5)
+
+
+class TestRecommendation:
+    def test_small_domain_prefers_grr(self):
+        assert recommend_frequency_oracle(2.0, domain_size=3) == "grr"
+
+    def test_large_domain_prefers_oue(self):
+        assert recommend_frequency_oracle(1.0, domain_size=500) == "oue"
+
+    def test_boundary_monotone(self):
+        """Once OUE wins at some domain size, it keeps winning for larger ones."""
+        switched = False
+        for d in range(2, 200):
+            choice = recommend_frequency_oracle(1.5, domain_size=d)
+            if choice == "oue":
+                switched = True
+            if switched:
+                assert choice == "oue"

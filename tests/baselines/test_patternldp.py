@@ -1,0 +1,75 @@
+"""Tests for the PatternLDP competitor mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.patternldp import PatternLDP
+
+
+class TestConfiguration:
+    def test_invalid_sample_fraction(self):
+        with pytest.raises(ValueError):
+            PatternLDP(epsilon=1.0, sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            PatternLDP(epsilon=1.0, sample_fraction=1.5)
+
+    def test_invalid_perturbation(self):
+        with pytest.raises(ValueError):
+            PatternLDP(epsilon=1.0, perturbation="gaussian")
+
+
+class TestPerturbSeries:
+    def test_result_fields(self):
+        mechanism = PatternLDP(epsilon=2.0, sample_fraction=0.2)
+        rng = np.random.default_rng(0)
+        series = np.sin(np.linspace(0, 4 * np.pi, 80))
+        result = mechanism.perturb_series(series, rng)
+        assert result.reconstructed.size == 80
+        assert result.indices.size == result.perturbed_values.size
+        assert result.per_point_epsilon.size == result.indices.size
+
+    def test_budget_allocation_sums_to_epsilon(self):
+        mechanism = PatternLDP(epsilon=3.0, sample_fraction=0.15)
+        rng = np.random.default_rng(1)
+        result = mechanism.perturb_series(np.random.default_rng(2).normal(size=120), rng)
+        assert result.per_point_epsilon.sum() == pytest.approx(3.0)
+        assert np.all(result.per_point_epsilon > 0)
+
+    def test_min_points_respected(self):
+        mechanism = PatternLDP(epsilon=1.0, sample_fraction=0.01, min_points=10)
+        result = mechanism.perturb_series(np.random.default_rng(3).normal(size=100), rng=0)
+        assert result.indices.size >= 10
+
+    def test_reconstruction_differs_from_original(self):
+        """With a small budget the reconstruction must be visibly perturbed."""
+        mechanism = PatternLDP(epsilon=0.5, sample_fraction=0.1)
+        series = np.sin(np.linspace(0, 2 * np.pi, 100))
+        reconstructed = mechanism.perturb_series(series, rng=4).reconstructed
+        assert not np.allclose(reconstructed, series, atol=0.05)
+
+    def test_high_budget_tracks_shape_better_than_low_budget(self):
+        series = np.sin(np.linspace(0, 2 * np.pi, 150))
+        rng_high = np.random.default_rng(5)
+        rng_low = np.random.default_rng(5)
+        errors_high, errors_low = [], []
+        for _ in range(10):
+            high = PatternLDP(epsilon=50.0, sample_fraction=0.2).perturb_series(series, rng_high)
+            low = PatternLDP(epsilon=0.5, sample_fraction=0.2).perturb_series(series, rng_low)
+            errors_high.append(np.mean((high.reconstructed - series) ** 2))
+            errors_low.append(np.mean((low.reconstructed - series) ** 2))
+        assert np.mean(errors_high) < np.mean(errors_low)
+
+    def test_laplace_variant_runs(self):
+        mechanism = PatternLDP(epsilon=1.0, perturbation="laplace")
+        result = mechanism.perturb_series(np.random.default_rng(6).normal(size=60), rng=6)
+        assert result.reconstructed.size == 60
+
+
+class TestPerturbDataset:
+    def test_one_output_per_series(self):
+        mechanism = PatternLDP(epsilon=1.0)
+        rng = np.random.default_rng(7)
+        dataset = [rng.normal(size=80) for _ in range(5)]
+        outputs = mechanism.perturb_dataset(dataset, rng=rng)
+        assert len(outputs) == 5
+        assert all(out.size == 80 for out in outputs)

@@ -1,0 +1,53 @@
+"""Tests for the PEM-style prefix-extending miner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pem import PrefixExtendingMiner
+from repro.exceptions import EmptyDatasetError
+
+
+def _population(n=3000, seed=0):
+    """A population dominated by two sequences, plus uniform noise sequences."""
+    rng = np.random.default_rng(seed)
+    frequent_a = tuple("abcd")
+    frequent_b = tuple("dcba")
+    sequences = [frequent_a] * (n // 2) + [frequent_b] * (n // 3)
+    while len(sequences) < n:
+        length = 4
+        symbols = []
+        for _ in range(length):
+            choices = [s for s in "abcd" if not symbols or s != symbols[-1]]
+            symbols.append(choices[rng.integers(0, len(choices))])
+        sequences.append(tuple(symbols))
+    return sequences
+
+
+class TestPrefixExtendingMiner:
+    def test_finds_dominant_sequences_with_large_budget(self):
+        miner = PrefixExtendingMiner(epsilon=6.0, alphabet="abcd", target_length=4, top_k=4)
+        result = miner.mine(_population(), rng=0)
+        assert tuple("abcd") in result
+
+    def test_output_length_and_size(self):
+        miner = PrefixExtendingMiner(epsilon=2.0, alphabet="abcd", target_length=3, top_k=5)
+        result = miner.mine(_population(n=2000, seed=1), rng=1)
+        assert len(result) <= 5
+        assert all(len(shape) == 3 for shape in result)
+
+    def test_no_consecutive_repeats_in_candidates(self):
+        miner = PrefixExtendingMiner(epsilon=2.0, alphabet="abc", target_length=4, top_k=6)
+        result = miner.mine(_population(n=1500, seed=2), rng=2)
+        for shape in result:
+            assert all(shape[i] != shape[i + 1] for i in range(len(shape) - 1))
+
+    def test_multi_symbol_rounds(self):
+        miner = PrefixExtendingMiner(
+            epsilon=4.0, alphabet="abcd", target_length=4, top_k=4, symbols_per_round=2
+        )
+        result = miner.mine(_population(n=2000, seed=3), rng=3)
+        assert all(len(shape) == 4 for shape in result)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            PrefixExtendingMiner(epsilon=1.0).mine([])

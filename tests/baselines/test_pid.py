@@ -1,0 +1,56 @@
+"""Tests for the PID importance scorer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pid import PIDImportanceScorer
+
+
+class TestPIDImportanceScorer:
+    def test_errors_zero_for_constant_series(self):
+        scorer = PIDImportanceScorer()
+        assert np.allclose(scorer.errors(np.full(20, 3.0)), 0.0)
+
+    def test_errors_peak_at_trend_change(self):
+        scorer = PIDImportanceScorer()
+        series = np.concatenate([np.zeros(20), np.ones(20) * 5.0])
+        errors = scorer.errors(series)
+        assert int(np.argmax(errors)) == 20
+
+    def test_scores_sum_to_one(self):
+        scorer = PIDImportanceScorer()
+        rng = np.random.default_rng(0)
+        scores = scorer.scores(rng.normal(size=50))
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_scores_uniform_for_constant_series(self):
+        scorer = PIDImportanceScorer()
+        scores = scorer.scores(np.full(10, 1.0))
+        assert np.allclose(scores, 0.1)
+
+    def test_remarkable_points_include_endpoints(self):
+        scorer = PIDImportanceScorer()
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=60)
+        points = scorer.remarkable_points(series, 10)
+        assert 0 in points and 59 in points
+        assert len(points) == 10
+
+    def test_remarkable_points_sorted_unique(self):
+        scorer = PIDImportanceScorer()
+        points = scorer.remarkable_points(np.random.default_rng(2).normal(size=40), 8)
+        assert np.all(np.diff(points) > 0)
+
+    def test_remarkable_points_capture_step(self):
+        scorer = PIDImportanceScorer()
+        series = np.concatenate([np.zeros(30), np.full(30, 4.0)])
+        points = scorer.remarkable_points(series, 5)
+        assert any(28 <= p <= 32 for p in points)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            PIDImportanceScorer().remarkable_points([1.0, 2.0, 3.0], 1)
+
+    def test_n_points_clipped_to_series_length(self):
+        points = PIDImportanceScorer().remarkable_points([1.0, 2.0, 3.0], 10)
+        assert len(points) == 3

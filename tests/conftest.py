@@ -1,0 +1,51 @@
+"""Shared pytest fixtures for the PrivShape reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import symbols_like, trace_like
+from repro.sax.compressive import CompressiveSAX
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A session-wide deterministic generator for tests that just need randomness."""
+    return np.random.default_rng(20240417)
+
+
+@pytest.fixture(scope="session")
+def small_symbols_dataset():
+    """A small Symbols-like dataset reused by integration tests."""
+    return symbols_like(n_instances=240, rng=11)
+
+
+@pytest.fixture(scope="session")
+def small_trace_dataset():
+    """A small Trace-like dataset reused by integration tests."""
+    return trace_like(n_instances=240, rng=12)
+
+
+@pytest.fixture(scope="session")
+def symbols_transformer() -> CompressiveSAX:
+    """The paper's Symbols-task Compressive SAX parameters (t=6, w=25)."""
+    return CompressiveSAX(alphabet_size=6, segment_length=25)
+
+
+@pytest.fixture(scope="session")
+def trace_transformer() -> CompressiveSAX:
+    """The paper's Trace-task Compressive SAX parameters (t=4, w=10)."""
+    return CompressiveSAX(alphabet_size=4, segment_length=10)
+
+
+@pytest.fixture(scope="session")
+def symbols_sequences(small_symbols_dataset, symbols_transformer):
+    """Compressed sequences of the small Symbols-like dataset."""
+    return symbols_transformer.transform_dataset(small_symbols_dataset.series)
+
+
+@pytest.fixture(scope="session")
+def trace_sequences(small_trace_dataset, trace_transformer):
+    """Compressed sequences of the small Trace-like dataset."""
+    return trace_transformer.transform_dataset(small_trace_dataset.series)

@@ -1,0 +1,53 @@
+"""Tests for the Without-SAX raw-value discretizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.ablation import RawValueDiscretizer
+
+
+class TestRawValueDiscretizer:
+    def test_paper_bin_count(self):
+        """0.33-wide bins clipped at ±0.99 yield eight segments (Section V-J)."""
+        discretizer = RawValueDiscretizer()
+        assert discretizer.alphabet_size == 8
+
+    def test_symbols_within_alphabet(self):
+        discretizer = RawValueDiscretizer()
+        rng = np.random.default_rng(0)
+        shape = discretizer.transform(rng.normal(size=200))
+        assert set(shape) <= set(discretizer.alphabet)
+
+    def test_compression_removes_repeats(self):
+        discretizer = RawValueDiscretizer(compress=True)
+        shape = discretizer.transform(np.concatenate([np.zeros(50), np.ones(50) * 3]))
+        assert all(shape[i] != shape[i + 1] for i in range(len(shape) - 1))
+
+    def test_no_compression_keeps_length(self):
+        discretizer = RawValueDiscretizer(compress=False, normalize=False)
+        shape = discretizer.transform(np.zeros(40))
+        assert len(shape) == 40
+
+    def test_stride_subsamples(self):
+        discretizer = RawValueDiscretizer(compress=False, stride=4)
+        shape = discretizer.transform(np.random.default_rng(1).normal(size=40))
+        assert len(shape) == 10
+
+    def test_monotone_series_monotone_symbols(self):
+        discretizer = RawValueDiscretizer()
+        shape = discretizer.transform(np.linspace(-3, 3, 300))
+        assert list(shape) == sorted(shape)
+
+    def test_transform_dataset(self):
+        discretizer = RawValueDiscretizer()
+        rng = np.random.default_rng(2)
+        shapes = discretizer.transform_dataset([rng.normal(size=50) for _ in range(4)])
+        assert len(shapes) == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RawValueDiscretizer(bin_width=0.0)
+        with pytest.raises(ValueError):
+            RawValueDiscretizer(clip=-1.0)
+        with pytest.raises(ValueError):
+            RawValueDiscretizer(bin_width=0.01)

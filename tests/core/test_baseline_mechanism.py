@@ -1,0 +1,99 @@
+"""Tests for the baseline mechanism (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import BaselineMechanism
+from repro.core.config import BaselineConfig
+from repro.exceptions import EmptyDatasetError
+
+
+def _population(n=4000, seed=0):
+    """A synthetic population dominated by two 4-symbol shapes plus noise."""
+    rng = np.random.default_rng(seed)
+    sequences = [tuple("abcd")] * (n // 2) + [tuple("dcba")] * (n // 3)
+    while len(sequences) < n:
+        length = int(rng.integers(3, 6))
+        symbols = []
+        for _ in range(length):
+            choices = [s for s in "abcd" if not symbols or s != symbols[-1]]
+            symbols.append(choices[rng.integers(0, len(choices))])
+        sequences.append(tuple(symbols))
+    return sequences
+
+
+def _config(**overrides) -> BaselineConfig:
+    defaults = dict(
+        epsilon=6.0,
+        top_k=2,
+        alphabet_size=4,
+        metric="sed",
+        length_low=1,
+        length_high=6,
+    )
+    defaults.update(overrides)
+    return BaselineConfig(**defaults)
+
+
+class TestBaselineExtract:
+    def test_returns_top_k_shapes(self):
+        mechanism = BaselineMechanism(_config())
+        result = mechanism.extract(_population(), rng=0)
+        assert len(result.shapes) <= 2
+        assert len(result.shapes) == len(result.frequencies)
+
+    def test_recovers_dominant_shape_with_large_epsilon(self):
+        mechanism = BaselineMechanism(_config(epsilon=8.0))
+        result = mechanism.extract(_population(n=6000, seed=1), rng=1)
+        assert result.estimated_length == 4
+        assert tuple("abcd") in result.shapes or tuple("dcba") in result.shapes
+
+    def test_shapes_have_leaf_length(self):
+        mechanism = BaselineMechanism(_config())
+        result = mechanism.extract(_population(), rng=2)
+        assert all(len(shape) == result.trie.height for shape in result.shapes)
+
+    def test_privacy_accounting_is_valid(self):
+        mechanism = BaselineMechanism(_config(epsilon=2.0))
+        result = mechanism.extract(_population(n=2000), rng=3)
+        assert result.accountant.is_valid()
+        assert result.accountant.user_level_epsilon() == pytest.approx(2.0)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            BaselineMechanism(_config()).extract([])
+
+    def test_reproducible_given_seed(self):
+        population = _population(n=2000, seed=4)
+        a = BaselineMechanism(_config()).extract(population, rng=42)
+        b = BaselineMechanism(_config()).extract(population, rng=42)
+        assert a.shapes == b.shapes
+
+    def test_frequencies_sorted_descending(self):
+        result = BaselineMechanism(_config(top_k=4)).extract(_population(), rng=5)
+        assert result.frequencies == sorted(result.frequencies, reverse=True)
+
+    def test_explicit_threshold_used(self):
+        mechanism = BaselineMechanism(_config(prune_threshold=0.0))
+        result = mechanism.extract(_population(n=1500, seed=6), rng=6)
+        assert result.shapes  # nothing pruned, extraction still completes
+
+    def test_max_candidates_caps_domain(self):
+        mechanism = BaselineMechanism(_config(max_candidates=8))
+        result = mechanism.extract(_population(n=1500, seed=7), rng=7)
+        assert all(size <= 8 * 3 for size in result.trie.domain_sizes().values())
+
+
+class TestBaselineExtractLabeled:
+    def test_per_class_shapes(self):
+        population = [tuple("abcd")] * 1500 + [tuple("dcba")] * 1500
+        labels = [0] * 1500 + [1] * 1500
+        mechanism = BaselineMechanism(_config(epsilon=8.0, top_k=2))
+        result = mechanism.extract_labeled(population, labels, n_classes=2, rng=0)
+        assert set(result.shapes_by_class) == {0, 1}
+        assert all(result.shapes_by_class[label] for label in (0, 1))
+
+    def test_label_mismatch_rejected(self):
+        mechanism = BaselineMechanism(_config())
+        with pytest.raises(ValueError):
+            mechanism.extract_labeled([tuple("ab")], [0, 1])

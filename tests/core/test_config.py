@@ -1,0 +1,69 @@
+"""Tests for mechanism configuration objects."""
+
+import pytest
+
+from repro.core.config import BaselineConfig, MechanismConfig, PrivShapeConfig
+from repro.exceptions import ConfigurationError, PrivacyBudgetError
+
+
+class TestMechanismConfig:
+    def test_defaults_valid(self):
+        config = MechanismConfig()
+        assert config.alphabet == ["a", "b", "c", "d"]
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            MechanismConfig(epsilon=-1)
+
+    def test_invalid_length_range(self):
+        with pytest.raises(ConfigurationError):
+            MechanismConfig(length_low=5, length_high=2)
+
+    def test_alphabet_matches_size(self):
+        assert PrivShapeConfig(alphabet_size=6).alphabet == list("abcdef")
+
+
+class TestBaselineConfig:
+    def test_defaults(self):
+        config = BaselineConfig()
+        assert config.prune_threshold is None
+        assert config.max_candidates > 0
+
+    def test_invalid_population_fraction(self):
+        with pytest.raises(ConfigurationError):
+            BaselineConfig(length_population_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            BaselineConfig(length_population_fraction=1.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BaselineConfig(prune_threshold=-1)
+
+    def test_explicit_threshold_kept(self):
+        assert BaselineConfig(prune_threshold=100).prune_threshold == 100
+
+
+class TestPrivShapeConfig:
+    def test_candidate_budget(self):
+        config = PrivShapeConfig(top_k=4, candidate_factor=3)
+        assert config.candidate_budget == 12
+
+    def test_default_population_fractions_match_paper(self):
+        config = PrivShapeConfig()
+        assert config.population_fractions == (0.02, 0.08, 0.7, 0.2)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            PrivShapeConfig(population_fractions=(0.1, 0.1, 0.1, 0.1))
+
+    def test_fractions_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            PrivShapeConfig(population_fractions=(0.0, 0.1, 0.7, 0.2))
+
+    def test_fractions_wrong_arity(self):
+        with pytest.raises(ConfigurationError):
+            PrivShapeConfig(population_fractions=(0.5, 0.5))
+
+    def test_flags_default_on(self):
+        config = PrivShapeConfig()
+        assert config.refinement and config.postprocess

@@ -1,0 +1,62 @@
+"""Tests for frequent-length estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.length import clip_length, estimate_frequent_length
+from repro.exceptions import EstimationError
+
+
+class TestClipLength:
+    def test_inside_range(self):
+        assert clip_length(5, 1, 10) == 5
+
+    def test_below(self):
+        assert clip_length(0, 1, 10) == 1
+
+    def test_above(self):
+        assert clip_length(50, 1, 10) == 10
+
+
+class TestEstimateFrequentLength:
+    def test_recovers_mode_with_high_epsilon(self):
+        rng = np.random.default_rng(0)
+        lengths = [6] * 800 + [4] * 100 + [9] * 100
+        assert estimate_frequent_length(lengths, 8.0, 1, 12, rng=rng) == 6
+
+    def test_recovers_mode_with_moderate_epsilon(self):
+        rng = np.random.default_rng(1)
+        lengths = [5] * 3000 + [7] * 500 + [3] * 500
+        assert estimate_frequent_length(lengths, 2.0, 1, 10, rng=rng) == 5
+
+    def test_lengths_clipped_into_range(self):
+        rng = np.random.default_rng(2)
+        # All true lengths exceed the range, so the estimate must be the upper clip.
+        lengths = [50] * 1000
+        assert estimate_frequent_length(lengths, 6.0, 2, 8, rng=rng) == 8
+
+    def test_single_value_range_shortcut(self):
+        assert estimate_frequent_length([3, 4, 5], 1.0, 4, 4) == 4
+
+    def test_return_counts(self):
+        rng = np.random.default_rng(3)
+        estimate, counts = estimate_frequent_length(
+            [5] * 500, 6.0, 1, 8, rng=rng, return_counts=True
+        )
+        assert estimate == 5
+        assert set(counts) == set(range(1, 9))
+        assert counts[5] == max(counts.values())
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_frequent_length([], 1.0, 1, 10)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            estimate_frequent_length([3], 1.0, 5, 2)
+
+    def test_deterministic_given_rng(self):
+        lengths = list(np.random.default_rng(4).integers(2, 8, size=400))
+        a = estimate_frequent_length(lengths, 2.0, 1, 10, rng=11)
+        b = estimate_frequent_length(lengths, 2.0, 1, 10, rng=11)
+        assert a == b

@@ -1,0 +1,136 @@
+"""Integration tests for the end-to-end task pipelines.
+
+These use small populations (hundreds to a couple thousand users) so they run
+quickly; the statistical claims they verify are therefore loose (e.g. "ARI is
+a valid number", "PrivShape beats PatternLDP by a margin") rather than the
+paper's exact values, which the benchmark harness reproduces at full scale.
+"""
+
+import pytest
+
+from repro.core.ablation import RawValueDiscretizer
+from repro.core.pipeline import (
+    ClassificationTaskResult,
+    ClusteringTaskResult,
+    ground_truth_shapes,
+    run_classification_task,
+    run_clustering_task,
+)
+from repro.datasets import symbols_like, trace_like
+from repro.exceptions import ConfigurationError
+from repro.sax.compressive import CompressiveSAX
+
+
+@pytest.fixture(scope="module")
+def symbols_dataset():
+    return symbols_like(n_instances=3000, rng=21)
+
+
+@pytest.fixture(scope="module")
+def trace_dataset():
+    return trace_like(n_instances=3000, rng=22)
+
+
+class TestGroundTruthShapes:
+    def test_one_shape_per_class(self, trace_dataset):
+        transformer = CompressiveSAX(alphabet_size=4, segment_length=10)
+        truth = ground_truth_shapes(trace_dataset, transformer)
+        assert set(truth) == set(range(trace_dataset.n_classes))
+        assert all(len(shape) >= 1 for shape in truth.values())
+
+
+class TestClusteringPipeline:
+    def test_privshape_result_structure(self, symbols_dataset):
+        result = run_clustering_task(
+            symbols_dataset, mechanism="privshape", epsilon=4.0, evaluation_size=200, rng=0
+        )
+        assert isinstance(result, ClusteringTaskResult)
+        assert -1.0 <= result.ari <= 1.0
+        assert result.shapes
+        assert set(result.shape_measures) == {"dtw", "sed", "euclidean"}
+        assert result.elapsed_seconds > 0
+        assert result.extraction is not None
+        assert result.extraction.accountant.is_valid()
+
+    def test_baseline_runs(self, symbols_dataset):
+        result = run_clustering_task(
+            symbols_dataset, mechanism="baseline", epsilon=4.0, evaluation_size=200, rng=1
+        )
+        assert -1.0 <= result.ari <= 1.0
+
+    def test_patternldp_runs(self, symbols_dataset):
+        result = run_clustering_task(
+            symbols_dataset, mechanism="patternldp", epsilon=4.0, evaluation_size=150, rng=2
+        )
+        assert -1.0 <= result.ari <= 1.0
+        assert result.extraction is None
+
+    def test_unknown_mechanism_rejected(self, symbols_dataset):
+        with pytest.raises(ConfigurationError):
+            run_clustering_task(symbols_dataset, mechanism="magic")
+
+    def test_without_sax_transformer(self, trace_dataset):
+        transformer = RawValueDiscretizer(stride=4)
+        result = run_clustering_task(
+            trace_dataset,
+            mechanism="privshape",
+            epsilon=4.0,
+            transformer=transformer,
+            evaluation_size=150,
+            rng=3,
+        )
+        assert -1.0 <= result.ari <= 1.0
+
+    def test_no_compression_variant(self, trace_dataset):
+        result = run_clustering_task(
+            trace_dataset,
+            mechanism="privshape",
+            epsilon=4.0,
+            alphabet_size=4,
+            segment_length=10,
+            compress=False,
+            length_high=12,
+            evaluation_size=150,
+            rng=4,
+        )
+        assert -1.0 <= result.ari <= 1.0
+
+
+class TestClassificationPipeline:
+    def test_privshape_result_structure(self, trace_dataset):
+        result = run_classification_task(
+            trace_dataset, mechanism="privshape", epsilon=4.0, evaluation_size=200, rng=0
+        )
+        assert isinstance(result, ClassificationTaskResult)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert set(result.shapes_by_class) == {0, 1, 2}
+        assert result.extraction is not None
+        assert result.extraction.accountant.is_valid()
+
+    def test_baseline_runs(self, trace_dataset):
+        result = run_classification_task(
+            trace_dataset, mechanism="baseline", epsilon=4.0, evaluation_size=150, rng=1
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_patternldp_runs(self, trace_dataset):
+        result = run_classification_task(
+            trace_dataset,
+            mechanism="patternldp",
+            epsilon=4.0,
+            evaluation_size=100,
+            patternldp_train_size=300,
+            forest_size=5,
+            rng=2,
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_privshape_beats_chance_at_large_epsilon(self, trace_dataset):
+        result = run_classification_task(
+            trace_dataset, mechanism="privshape", epsilon=8.0, evaluation_size=300, rng=3
+        )
+        assert result.accuracy > 1.0 / trace_dataset.n_classes + 0.1
+
+    def test_unknown_mechanism_rejected(self, trace_dataset):
+        with pytest.raises(ConfigurationError):
+            run_classification_task(trace_dataset, mechanism="magic")

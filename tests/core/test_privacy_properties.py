@@ -1,0 +1,83 @@
+"""Privacy-focused tests: report-level indistinguishability bounds and accounting.
+
+LDP guarantees are statements about the *report distribution* of a single
+user; these tests check the concrete probability ratios of the deployed
+mechanisms against e^ε, and that the end-to-end mechanisms never charge any
+user population more than the declared user-level budget (Theorems 1 and 3).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PrivShapeConfig
+from repro.core.privshape import PrivShape
+from repro.core.selection import candidate_scores
+from repro.core.subshape import all_subshapes
+from repro.ldp.exponential import ExponentialMechanism
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.ldp.unary import UnaryEncoding
+
+
+class TestReportLevelGuarantees:
+    @given(st.floats(min_value=0.2, max_value=8.0))
+    @settings(max_examples=25)
+    def test_grr_indistinguishability(self, epsilon):
+        """max/min report probability ratio of GRR is exactly e^eps."""
+        oracle = GeneralizedRandomizedResponse(epsilon, domain=all_subshapes("abcd"))
+        assert oracle.p / oracle.q <= np.exp(epsilon) * (1 + 1e-9)
+
+    @given(st.floats(min_value=0.2, max_value=8.0))
+    @settings(max_examples=25)
+    def test_oue_per_bit_indistinguishability(self, epsilon):
+        """Each OUE bit's keep/flip ratio is bounded by e^eps."""
+        oracle = UnaryEncoding(epsilon, domain=list(range(10)), optimized=True)
+        # Probability of reporting bit=1: p for the true cell, q otherwise.
+        ratio_one = oracle.p / oracle.q
+        ratio_zero = (1 - oracle.q) / (1 - oracle.p)
+        assert ratio_one * ratio_zero <= np.exp(epsilon) * (1 + 1e-9)
+
+    @given(
+        st.lists(st.sampled_from("abcd"), min_size=1, max_size=6),
+        st.lists(st.sampled_from("abcd"), min_size=1, max_size=6),
+        st.floats(min_value=0.5, max_value=6.0),
+    )
+    @settings(max_examples=40)
+    def test_em_selection_indistinguishability(self, seq_a, seq_b, epsilon):
+        """For any two user sequences, every candidate's selection probability
+        ratio is bounded by e^eps (scores normalized to [0,1], sensitivity 1)."""
+        candidates = [tuple("ab"), tuple("ba"), tuple("cd"), tuple("dc"), tuple("ac")]
+        mechanism = ExponentialMechanism(epsilon)
+        probabilities_a = mechanism.selection_probabilities(
+            candidate_scores(tuple(seq_a), candidates, "sed", 4)
+        )
+        probabilities_b = mechanism.selection_probabilities(
+            candidate_scores(tuple(seq_b), candidates, "sed", 4)
+        )
+        ratios = probabilities_a / probabilities_b
+        assert np.all(ratios <= np.exp(epsilon) + 1e-9)
+        assert np.all(ratios >= np.exp(-epsilon) - 1e-9)
+
+
+class TestMechanismLevelAccounting:
+    def test_privshape_each_population_charged_once(self):
+        population = [tuple("abcd")] * 1500 + [tuple("dcba")] * 1500
+        config = PrivShapeConfig(
+            epsilon=3.0, top_k=2, alphabet_size=4, metric="sed", length_high=6
+        )
+        result = PrivShape(config).extract(population, rng=0)
+        # Parallel composition: every population spends exactly epsilon once.
+        for population_name, spent in result.accountant.per_population().items():
+            assert spent == pytest.approx(3.0), population_name
+        assert result.accountant.user_level_epsilon() == pytest.approx(3.0)
+
+    def test_privshape_labeled_accounting(self):
+        population = [tuple("abcd")] * 1200 + [tuple("dcba")] * 1200
+        labels = [0] * 1200 + [1] * 1200
+        config = PrivShapeConfig(
+            epsilon=2.0, top_k=2, alphabet_size=4, metric="sed", length_high=6
+        )
+        result = PrivShape(config).extract_labeled(population, labels, n_classes=2, rng=1)
+        assert result.accountant.is_valid()
+        assert result.accountant.user_level_epsilon() == pytest.approx(2.0)

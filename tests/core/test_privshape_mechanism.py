@@ -1,0 +1,129 @@
+"""Tests for the PrivShape mechanism (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrivShapeConfig
+from repro.core.privshape import PrivShape
+from repro.exceptions import EmptyDatasetError
+
+
+def _population(n=6000, seed=0):
+    """Population dominated by 'abcd' and 'dcba' plus random-walk noise shapes."""
+    rng = np.random.default_rng(seed)
+    sequences = [tuple("abcd")] * (n // 2) + [tuple("dcba")] * (n // 3)
+    while len(sequences) < n:
+        length = int(rng.integers(3, 6))
+        symbols = []
+        for _ in range(length):
+            choices = [s for s in "abcd" if not symbols or s != symbols[-1]]
+            symbols.append(choices[rng.integers(0, len(choices))])
+        sequences.append(tuple(symbols))
+    return sequences
+
+
+def _config(**overrides) -> PrivShapeConfig:
+    defaults = dict(
+        epsilon=6.0,
+        top_k=2,
+        alphabet_size=4,
+        metric="sed",
+        length_low=1,
+        length_high=6,
+        candidate_factor=3,
+    )
+    defaults.update(overrides)
+    return PrivShapeConfig(**defaults)
+
+
+class TestPrivShapeExtract:
+    def test_returns_at_most_top_k_shapes(self):
+        result = PrivShape(_config()).extract(_population(), rng=0)
+        assert 1 <= len(result.shapes) <= 2
+
+    def test_recovers_dominant_shapes(self):
+        result = PrivShape(_config(epsilon=8.0)).extract(_population(n=8000, seed=1), rng=1)
+        assert result.estimated_length == 4
+        assert tuple("abcd") in result.shapes
+        assert tuple("dcba") in result.shapes
+
+    def test_subshape_candidates_recorded(self):
+        result = PrivShape(_config()).extract(_population(), rng=2)
+        assert set(result.subshape_candidates) == {1, 2, 3}
+
+    def test_candidate_domain_bounded_by_ck_expansion(self):
+        """Theorem 4: every level's EM domain stays within c*k*(t-1)."""
+        config = _config()
+        result = PrivShape(config).extract(_population(), rng=3)
+        bound = config.candidate_budget * (config.alphabet_size - 1)
+        assert all(size <= bound for size in result.trie.domain_sizes().values())
+
+    def test_privacy_accounting_is_valid(self):
+        config = _config(epsilon=1.5)
+        result = PrivShape(config).extract(_population(n=3000), rng=4)
+        assert result.accountant.is_valid()
+        assert result.accountant.user_level_epsilon() == pytest.approx(1.5)
+
+    def test_postprocess_returns_distinct_shapes(self):
+        result = PrivShape(_config(top_k=3)).extract(_population(), rng=5)
+        assert len(set(result.shapes)) == len(result.shapes)
+
+    def test_refinement_can_be_disabled(self):
+        config = _config(refinement=False)
+        result = PrivShape(config).extract(_population(n=3000, seed=6), rng=6)
+        assert result.shapes
+        populations = result.accountant.per_population()
+        assert "Pd" not in populations
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            PrivShape(_config()).extract([])
+
+    def test_reproducible_given_seed(self):
+        population = _population(n=3000, seed=7)
+        a = PrivShape(_config()).extract(population, rng=99)
+        b = PrivShape(_config()).extract(population, rng=99)
+        assert a.shapes == b.shapes
+        assert a.frequencies == b.frequencies
+
+    def test_single_symbol_population(self):
+        """Sequences of length 1 are handled (no sub-shapes, trie height 1)."""
+        population = [("a",)] * 500 + [("b",)] * 200
+        config = _config(length_high=3, top_k=1)
+        result = PrivShape(config).extract(population, rng=8)
+        assert result.estimated_length == 1
+        assert result.shapes[0] == ("a",)
+
+
+class TestPrivShapeExtractLabeled:
+    def test_per_class_shapes_recovered(self):
+        population = [tuple("abcd")] * 2500 + [tuple("dcba")] * 2500
+        labels = [0] * 2500 + [1] * 2500
+        result = PrivShape(_config(epsilon=8.0)).extract_labeled(
+            population, labels, n_classes=2, rng=0
+        )
+        assert result.shapes_by_class[0]
+        assert result.shapes_by_class[1]
+        assert result.shapes_by_class[0][0] != result.shapes_by_class[1][0]
+
+    def test_classes_inferred_from_labels(self):
+        population = [tuple("abcd")] * 1000 + [tuple("dcba")] * 1000
+        labels = [0] * 1000 + [1] * 1000
+        result = PrivShape(_config()).extract_labeled(population, labels, rng=1)
+        assert set(result.shapes_by_class) == {0, 1}
+
+    def test_mismatched_labels_rejected(self):
+        with pytest.raises(ValueError):
+            PrivShape(_config()).extract_labeled([tuple("ab")], [0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            PrivShape(_config()).extract_labeled([], [])
+
+    def test_accounting_valid_for_labeled_run(self):
+        population = [tuple("abcd")] * 1500 + [tuple("dcba")] * 1500
+        labels = [0] * 1500 + [1] * 1500
+        result = PrivShape(_config(epsilon=2.0)).extract_labeled(
+            population, labels, n_classes=2, rng=2
+        )
+        assert result.accountant.is_valid()

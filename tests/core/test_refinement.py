@@ -1,0 +1,88 @@
+"""Tests for post-processing: shape clustering, de-duplication, class assignment."""
+
+import pytest
+
+from repro.core.refinement import (
+    assign_candidates_to_classes,
+    cluster_shapes,
+    deduplicate_shapes,
+)
+
+
+class TestClusterShapes:
+    def test_groups_similar_shapes(self):
+        shapes = [tuple("abcd"), tuple("abcc"), tuple("dcba"), tuple("dcbb")]
+        labels = cluster_shapes(shapes, n_clusters=2, metric="sed")
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_number_of_clusters(self):
+        shapes = [tuple("ab"), tuple("cd"), tuple("ba"), tuple("dc"), tuple("ac")]
+        labels = cluster_shapes(shapes, n_clusters=3, metric="sed")
+        assert len(set(labels)) == 3
+
+    def test_fewer_shapes_than_clusters(self):
+        labels = cluster_shapes([tuple("ab")], n_clusters=5)
+        assert labels == [0]
+
+    def test_empty(self):
+        assert cluster_shapes([], n_clusters=3) == []
+
+
+class TestDeduplicateShapes:
+    def test_keeps_most_frequent_per_cluster(self):
+        shapes = [tuple("abcd"), tuple("abcc"), tuple("dcba")]
+        frequencies = [10.0, 50.0, 30.0]
+        selected, counts = deduplicate_shapes(shapes, frequencies, k=2, metric="sed")
+        assert tuple("abcc") in selected
+        assert tuple("dcba") in selected
+        assert tuple("abcd") not in selected
+        assert counts == sorted(counts, reverse=True)
+
+    def test_k_larger_than_groups(self):
+        shapes = [tuple("ab"), tuple("ba")]
+        selected, _ = deduplicate_shapes(shapes, [1.0, 2.0], k=5, metric="sed")
+        assert len(selected) == 2
+
+    def test_empty(self):
+        assert deduplicate_shapes([], [], k=3) == ([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            deduplicate_shapes([tuple("ab")], [1.0, 2.0], k=1)
+
+
+class TestAssignCandidatesToClasses:
+    def test_each_candidate_goes_to_dominant_class(self):
+        per_class = {
+            0: {tuple("ab"): 100.0, tuple("cd"): 5.0},
+            1: {tuple("ab"): 10.0, tuple("cd"): 90.0},
+        }
+        shapes, freqs = assign_candidates_to_classes(per_class, top_k=2)
+        assert shapes[0] == [tuple("ab")]
+        assert shapes[1] == [tuple("cd")]
+        assert freqs[0] == [100.0]
+
+    def test_class_without_candidates_falls_back(self):
+        per_class = {
+            0: {tuple("ab"): 100.0, tuple("cd"): 80.0},
+            1: {tuple("ab"): 10.0, tuple("cd"): 20.0},
+        }
+        shapes, _ = assign_candidates_to_classes(per_class, top_k=1)
+        # Both candidates belong to class 0; class 1 still gets its best fallback.
+        assert shapes[0] and shapes[1]
+        assert shapes[1] == [tuple("cd")]
+
+    def test_top_k_limits_output(self):
+        per_class = {
+            0: {tuple("ab"): 9.0, tuple("ac"): 8.0, tuple("ad"): 7.0},
+            1: {tuple("ab"): 1.0, tuple("ac"): 1.0, tuple("ad"): 1.0},
+        }
+        shapes, _ = assign_candidates_to_classes(per_class, top_k=2)
+        assert len(shapes[0]) == 2
+
+    def test_empty_counts(self):
+        shapes, freqs = assign_candidates_to_classes({0: {}, 1: {}}, top_k=3)
+        assert shapes == {0: [], 1: []}
+        assert freqs == {0: [], 1: []}

@@ -1,0 +1,67 @@
+"""Tests for the result containers."""
+
+import pytest
+
+from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResult
+from repro.core.trie import ShapeTrie
+from repro.ldp.accounting import PrivacyAccountant
+
+
+def _result() -> ShapeExtractionResult:
+    trie = ShapeTrie(alphabet=list("abcd"))
+    trie.add(("a", "b"), frequency=5)
+    accountant = PrivacyAccountant(target_epsilon=1.0)
+    return ShapeExtractionResult(
+        shapes=[("a", "b"), ("c", "d")],
+        frequencies=[5.0, 3.0],
+        estimated_length=2,
+        trie=trie,
+        accountant=accountant,
+    )
+
+
+class TestShapeExtractionResult:
+    def test_as_strings(self):
+        assert _result().as_strings() == ["ab", "cd"]
+
+    def test_top(self):
+        assert _result().top(1) == [("a", "b")]
+
+    def test_shapes_coerced_to_tuples(self):
+        result = _result()
+        assert all(isinstance(shape, tuple) for shape in result.shapes)
+
+    def test_frequencies_are_floats(self):
+        assert all(isinstance(f, float) for f in _result().frequencies)
+
+
+class TestLabeledShapeExtractionResult:
+    def _labeled(self) -> LabeledShapeExtractionResult:
+        trie = ShapeTrie(alphabet=list("abcd"))
+        return LabeledShapeExtractionResult(
+            shapes_by_class={0: [("a", "b")], 1: [("c", "d"), ("d", "a")]},
+            frequencies_by_class={0: [4.0], 1: [9.0, 2.0]},
+            estimated_length=2,
+            trie=trie,
+            accountant=PrivacyAccountant(target_epsilon=1.0),
+        )
+
+    def test_flat_shapes(self):
+        assert self._labeled().flat_shapes() == [("a", "b"), ("c", "d"), ("d", "a")]
+
+    def test_representative_shapes(self):
+        representatives = self._labeled().representative_shapes()
+        assert representatives == {0: ("a", "b"), 1: ("c", "d")}
+
+    def test_as_strings(self):
+        assert self._labeled().as_strings() == {0: ["ab"], 1: ["cd", "da"]}
+
+    def test_labels_coerced_to_int(self):
+        result = LabeledShapeExtractionResult(
+            shapes_by_class={"0": [("a",)]},
+            frequencies_by_class={"0": [1.0]},
+            estimated_length=1,
+            trie=ShapeTrie(alphabet=list("ab")),
+            accountant=PrivacyAccountant(target_epsilon=1.0),
+        )
+        assert 0 in result.shapes_by_class

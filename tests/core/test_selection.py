@@ -1,0 +1,120 @@
+"""Tests for the private candidate-selection helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.selection import (
+    candidate_scores,
+    closest_candidate_index,
+    em_select_counts,
+    oue_labeled_refine_counts,
+    oue_refine_counts,
+)
+
+CANDIDATES = [tuple("ab"), tuple("ba"), tuple("cd"), tuple("dc")]
+
+
+class TestCandidateScores:
+    def test_exact_match_scores_one(self):
+        scores = candidate_scores(tuple("abcd"), CANDIDATES, metric="sed", alphabet_size=4)
+        assert scores[0] == pytest.approx(1.0)
+
+    def test_scores_bounded(self):
+        scores = candidate_scores(tuple("dcba"), CANDIDATES, metric="sed", alphabet_size=4)
+        assert np.all(scores > 0) and np.all(scores <= 1.0)
+
+    def test_prefix_comparison_uses_candidate_length(self):
+        """A long user sequence matches a short candidate through its prefix."""
+        scores = candidate_scores(tuple("abcdcb"), [tuple("ab"), tuple("dc")], "sed", 4)
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[0] > scores[1]
+
+    def test_all_equal_distances_give_all_ones(self):
+        scores = candidate_scores(tuple("a"), [tuple("b"), tuple("c")], "sed", 4)
+        assert np.allclose(scores, 1.0)
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=8))
+    @settings(max_examples=30)
+    def test_property_scores_in_unit_interval(self, symbols):
+        sequence = tuple(symbols)
+        scores = candidate_scores(sequence, CANDIDATES, metric="dtw", alphabet_size=4)
+        assert np.all(scores > 0.0)
+        assert np.all(scores <= 1.0 + 1e-12)
+        assert np.isclose(scores.max(), 1.0)
+
+
+class TestEmSelectCounts:
+    def test_counts_sum_to_population(self):
+        sequences = [tuple("abcd")] * 500 + [tuple("dcba")] * 300
+        counts = em_select_counts(sequences, CANDIDATES, 4.0, "sed", 4, rng=0)
+        assert sum(counts.values()) == 800
+
+    def test_majority_candidate_wins_with_large_epsilon(self):
+        sequences = [tuple("abcd")] * 900 + [tuple("dcba")] * 100
+        counts = em_select_counts(sequences, CANDIDATES, 8.0, "sed", 4, rng=1)
+        assert max(counts, key=counts.get) == tuple("ab")
+
+    def test_empty_candidates(self):
+        assert em_select_counts([tuple("ab")], [], 1.0, "sed", 4) == {}
+
+    def test_empty_population(self):
+        counts = em_select_counts([], CANDIDATES, 1.0, "sed", 4, rng=2)
+        assert all(v == 0 for v in counts.values())
+
+    def test_deterministic_given_rng(self):
+        sequences = [tuple("abcd")] * 200
+        a = em_select_counts(sequences, CANDIDATES, 2.0, "sed", 4, rng=5)
+        b = em_select_counts(sequences, CANDIDATES, 2.0, "sed", 4, rng=5)
+        assert a == b
+
+
+class TestClosestCandidate:
+    def test_exact_match(self):
+        assert closest_candidate_index(tuple("cd"), CANDIDATES, "sed", 4) == 2
+
+    def test_nearest_by_edit_distance(self):
+        assert closest_candidate_index(tuple("ad"), CANDIDATES, "sed", 4) in (0, 2)
+
+
+class TestOueRefineCounts:
+    def test_recovers_relative_frequencies(self):
+        sequences = [tuple("ab")] * 3000 + [tuple("cd")] * 1000
+        counts = oue_refine_counts(sequences, CANDIDATES, 4.0, "sed", 4, rng=0)
+        assert counts[tuple("ab")] > counts[tuple("cd")] > counts[tuple("ba")]
+        assert counts[tuple("ab")] == pytest.approx(3000, rel=0.15)
+
+    def test_single_candidate_shortcut(self):
+        counts = oue_refine_counts([tuple("ab")] * 10, [tuple("ab")], 1.0, "sed", 4, rng=1)
+        assert counts[tuple("ab")] == 10.0
+
+    def test_empty_population(self):
+        counts = oue_refine_counts([], CANDIDATES, 1.0, "sed", 4)
+        assert all(v == 0.0 for v in counts.values())
+
+
+class TestOueLabeledRefineCounts:
+    def test_per_class_counts_recover_structure(self):
+        sequences = [tuple("ab")] * 2000 + [tuple("cd")] * 2000
+        labels = [0] * 2000 + [1] * 2000
+        per_class = oue_labeled_refine_counts(
+            sequences, labels, CANDIDATES, n_classes=2, epsilon=4.0,
+            metric="sed", alphabet_size=4, rng=0,
+        )
+        assert per_class[0][tuple("ab")] > per_class[0][tuple("cd")]
+        assert per_class[1][tuple("cd")] > per_class[1][tuple("ab")]
+
+    def test_output_structure(self):
+        per_class = oue_labeled_refine_counts(
+            [tuple("ab")] * 50, [0] * 50, CANDIDATES, n_classes=3, epsilon=2.0,
+            metric="sed", alphabet_size=4, rng=1,
+        )
+        assert set(per_class) == {0, 1, 2}
+        assert all(set(counts) == set(CANDIDATES) for counts in per_class.values())
+
+    def test_empty_population(self):
+        per_class = oue_labeled_refine_counts(
+            [], [], CANDIDATES, n_classes=2, epsilon=1.0, metric="sed", alphabet_size=4
+        )
+        assert all(v == 0.0 for counts in per_class.values() for v in counts.values())

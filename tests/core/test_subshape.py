@@ -1,0 +1,101 @@
+"""Tests for frequent sub-shape estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.subshape import (
+    all_subshapes,
+    estimate_frequent_subshapes,
+    user_subshape_report,
+)
+from repro.exceptions import EstimationError
+from repro.ldp.grr import GeneralizedRandomizedResponse
+
+
+class TestAllSubshapes:
+    def test_count_is_t_times_t_minus_1(self):
+        assert len(all_subshapes("abcd")) == 12
+        assert len(all_subshapes("abc")) == 6
+
+    def test_no_identical_pairs(self):
+        assert all(a != b for a, b in all_subshapes("abcde"))
+
+    def test_sorted_and_unique(self):
+        pairs = all_subshapes("abc")
+        assert pairs == sorted(set(pairs))
+
+
+class TestUserSubshapeReport:
+    def test_report_structure(self):
+        oracle = GeneralizedRandomizedResponse(4.0, domain=all_subshapes("abcd"))
+        level, pair = user_subshape_report(("a", "b", "c"), 4, oracle, rng=0)
+        assert 1 <= level <= 3
+        assert pair in oracle.domain
+
+    def test_short_sequence_padded(self):
+        oracle = GeneralizedRandomizedResponse(4.0, domain=all_subshapes("abcd"))
+        # A single-symbol sequence has no real sub-shape; the report is still valid.
+        level, pair = user_subshape_report(("a",), 5, oracle, rng=1)
+        assert 1 <= level <= 4
+        assert pair in oracle.domain
+
+    def test_length_one_rejected(self):
+        oracle = GeneralizedRandomizedResponse(4.0, domain=all_subshapes("abcd"))
+        with pytest.raises(EstimationError):
+            user_subshape_report(("a", "b"), 1, oracle, rng=0)
+
+
+class TestEstimateFrequentSubshapes:
+    def _population(self, n=4000):
+        """Half the users hold 'abcd', a third hold 'dcba', the rest 'acdb'."""
+        return (
+            [tuple("abcd")] * (n // 2)
+            + [tuple("dcba")] * (n // 3)
+            + [tuple("acdb")] * (n - n // 2 - n // 3)
+        )
+
+    def test_recovers_true_subshapes_per_level(self):
+        top = estimate_frequent_subshapes(
+            self._population(), estimated_length=4, epsilon=6.0, alphabet="abcd", keep=3, rng=0
+        )
+        assert set(top) == {1, 2, 3}
+        assert ("a", "b") in top[1]
+        assert ("b", "c") in top[2]
+        assert ("c", "d") in top[3]
+
+    def test_keep_limits_candidates(self):
+        top = estimate_frequent_subshapes(
+            self._population(), estimated_length=4, epsilon=4.0, alphabet="abcd", keep=2, rng=1
+        )
+        assert all(len(pairs) <= 2 for pairs in top.values())
+
+    def test_return_counts(self):
+        top, counts = estimate_frequent_subshapes(
+            self._population(2000),
+            estimated_length=4,
+            epsilon=4.0,
+            alphabet="abcd",
+            keep=4,
+            rng=2,
+            return_counts=True,
+        )
+        assert set(counts) == set(top)
+        assert all(len(c) == 12 for c in counts.values())
+
+    def test_single_level_sequences(self):
+        result = estimate_frequent_subshapes(
+            [("a",)] * 100, estimated_length=1, epsilon=1.0, alphabet="abcd", keep=3, rng=3
+        )
+        assert result == {}
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_frequent_subshapes([], 4, 1.0, "abcd", 3)
+
+    def test_levels_with_no_reports_keep_everything(self):
+        # With only a couple of users, some of the 5 levels get no report.
+        top = estimate_frequent_subshapes(
+            [tuple("abcdef")] * 2, estimated_length=6, epsilon=1.0, alphabet="abcdef", keep=3, rng=4
+        )
+        assert set(top) == {1, 2, 3, 4, 5}
+        assert all(len(pairs) >= 3 for pairs in top.values())

@@ -1,0 +1,155 @@
+"""Tests for the candidate-shape trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trie import ShapeTrie, TrieNode
+from repro.exceptions import DomainError
+
+
+@pytest.fixture
+def trie() -> ShapeTrie:
+    return ShapeTrie(alphabet=list("abcd"))
+
+
+class TestConstruction:
+    def test_root_exists(self, trie):
+        assert () in trie
+        assert trie.root.level == 0
+
+    def test_small_alphabet_rejected(self):
+        with pytest.raises(DomainError):
+            ShapeTrie(alphabet=["a"])
+
+    def test_duplicate_alphabet_rejected(self):
+        with pytest.raises(DomainError):
+            ShapeTrie(alphabet=["a", "a", "b"])
+
+
+class TestAddAndLookup:
+    def test_add_creates_ancestors(self, trie):
+        trie.add(("a", "b", "c"))
+        assert ("a",) in trie
+        assert ("a", "b") in trie
+        assert ("a", "b", "c") in trie
+
+    def test_add_unknown_symbol_rejected(self, trie):
+        with pytest.raises(DomainError):
+            trie.add(("a", "z"))
+
+    def test_add_consecutive_repeat_rejected(self, trie):
+        with pytest.raises(DomainError):
+            trie.add(("a", "a"))
+
+    def test_frequency_set_and_increment(self, trie):
+        trie.add(("a", "b"), frequency=5.0)
+        trie.increment(("a", "b"), 2.0)
+        assert trie.node(("a", "b")).frequency == pytest.approx(7.0)
+
+    def test_set_frequency_creates_node(self, trie):
+        trie.set_frequency(("c", "d"), 3.0)
+        assert trie.node(("c", "d")).frequency == 3.0
+
+    def test_node_properties(self):
+        node = TrieNode(shape=("a", "b"))
+        assert node.level == 2
+        assert node.last_symbol == "b"
+        assert TrieNode(shape=()).last_symbol is None
+
+
+class TestLevels:
+    def test_nodes_at_level(self, trie):
+        trie.add(("a", "b"))
+        trie.add(("a", "c"))
+        trie.add(("b", "c"))
+        assert len(trie.nodes_at_level(2)) == 3
+        assert len(trie.nodes_at_level(1)) == 2  # 'a' and 'b' ancestors
+
+    def test_height(self, trie):
+        assert trie.height == 0
+        trie.add(("a", "b", "c", "d"))
+        assert trie.height == 4
+
+    def test_children(self, trie):
+        trie.add(("a", "b"))
+        trie.add(("a", "c"))
+        children = trie.children(("a",))
+        assert {node.shape for node in children} == {("a", "b"), ("a", "c")}
+
+    def test_domain_sizes(self, trie):
+        trie.add(("a", "b"))
+        trie.add(("c",))
+        sizes = trie.domain_sizes()
+        assert sizes[1] == 2
+        assert sizes[2] == 1
+
+
+class TestExpansion:
+    def test_root_expansion_uses_full_alphabet(self, trie):
+        children = trie.expand([()])
+        assert children == [("a",), ("b",), ("c",), ("d",)]
+
+    def test_expansion_excludes_last_symbol(self, trie):
+        children = trie.expand([("a",)])
+        assert ("a", "a") not in children
+        assert len(children) == 3
+
+    def test_expansion_with_allowed_subshapes(self, trie):
+        trie.add(("a",))
+        children = trie.expand([("a",)], allowed_subshapes=[("a", "c"), ("b", "d")])
+        assert children == [("a", "c")]
+
+    def test_expansion_multiple_parents(self, trie):
+        children = trie.expand([("a",), ("b",)], allowed_subshapes=[("a", "b"), ("b", "a")])
+        assert set(children) == {("a", "b"), ("b", "a")}
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=6))
+    @settings(max_examples=30)
+    def test_property_children_never_repeat_last_symbol(self, symbols):
+        # Build a valid (compressed) prefix from arbitrary symbols.
+        prefix = []
+        for symbol in symbols:
+            if not prefix or prefix[-1] != symbol:
+                prefix.append(symbol)
+        trie = ShapeTrie(alphabet=list("abcd"))
+        trie.add(tuple(prefix))
+        children = trie.expand([tuple(prefix)])
+        assert all(child[-1] != prefix[-1] for child in children)
+        assert all(child[: len(prefix)] == tuple(prefix) for child in children)
+
+
+class TestPruning:
+    def test_prune_below_threshold(self, trie):
+        trie.set_frequency(("a",), 10)
+        trie.set_frequency(("b",), 1)
+        survivors = trie.prune_below_threshold(1, threshold=5)
+        assert survivors == [("a",)]
+        assert trie.node(("b",)).pruned
+
+    def test_prune_to_top(self, trie):
+        for symbol, frequency in zip("abcd", [5, 9, 1, 7]):
+            trie.set_frequency((symbol,), frequency)
+        survivors = trie.prune_to_top(1, keep=2)
+        assert survivors == [("b",), ("d",)]
+        assert trie.domain_size_at_level(1) == 2
+
+    def test_prune_to_top_invalid_keep(self, trie):
+        with pytest.raises(ValueError):
+            trie.prune_to_top(1, keep=0)
+
+    def test_pruned_nodes_can_be_revived(self, trie):
+        trie.set_frequency(("a",), 1)
+        trie.set_frequency(("b",), 10)
+        trie.prune_to_top(1, keep=1)
+        assert trie.node(("a",)).pruned
+        trie.prune_to_top(1, keep=2)
+        assert not trie.node(("a",)).pruned
+
+    def test_top_shapes_ordering(self, trie):
+        trie.set_frequency(("a", "b"), 3)
+        trie.set_frequency(("a", "c"), 8)
+        trie.set_frequency(("b", "a"), 5)
+        top = trie.top_shapes(2, k=2)
+        assert top[0][0] == ("a", "c")
+        assert top[1][0] == ("b", "a")

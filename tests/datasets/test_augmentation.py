@@ -1,0 +1,71 @@
+"""Tests for the augmentation stand-in for the paper's generative augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.augmentation import augment_dataset, augment_series
+from repro.datasets.base import LabeledDataset
+from repro.sax.compressive import CompressiveSAX
+
+
+def _seed_dataset() -> LabeledDataset:
+    t = np.linspace(0, 2 * np.pi, 120)
+    return LabeledDataset(
+        series=[np.sin(t), np.cos(t), np.sin(t) * 1.1, np.cos(t) * 0.9],
+        labels=np.array([0, 1, 0, 1]),
+        name="seed",
+    )
+
+
+class TestAugmentSeries:
+    def test_output_length_default(self):
+        out = augment_series(np.sin(np.linspace(0, 6, 50)), rng=0)
+        assert out.size == 50
+
+    def test_output_length_override(self):
+        out = augment_series(np.sin(np.linspace(0, 6, 50)), length=80, rng=0)
+        assert out.size == 80
+
+    def test_no_augmentation_is_identity(self):
+        series = np.sin(np.linspace(0, 6, 64))
+        out = augment_series(series, warp_strength=0.0, scale_sigma=0.0, jitter_sigma=0.0, rng=0)
+        assert np.allclose(out, series, atol=1e-9)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            augment_series([1.0, 2.0, 3.0], length=1)
+
+    def test_shape_preserved_under_warping(self):
+        """Augmentation must not change the Compressive-SAX essential shape (usually)."""
+        transformer = CompressiveSAX(alphabet_size=4, segment_length=10)
+        base = np.concatenate([np.linspace(-2, 2, 100), np.linspace(2, -2, 100)])
+        base_shape = transformer.transform(base)
+        rng = np.random.default_rng(3)
+        matches = sum(
+            transformer.transform(
+                augment_series(base, warp_strength=0.1, scale_sigma=0.05, jitter_sigma=0.02, rng=rng)
+            )
+            == base_shape
+            for _ in range(20)
+        )
+        assert matches >= 15
+
+
+class TestAugmentDataset:
+    def test_size_and_balance(self):
+        augmented = augment_dataset(_seed_dataset(), n_instances=50, rng=0)
+        assert len(augmented) == 50
+        counts = np.bincount(augmented.labels)
+        assert abs(counts[0] - counts[1]) <= 1
+
+    def test_metadata_marks_augmentation(self):
+        augmented = augment_dataset(_seed_dataset(), n_instances=10, rng=1)
+        assert augmented.metadata["augmented"] is True
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            augment_dataset(_seed_dataset(), n_instances=0)
+
+    def test_length_override(self):
+        augmented = augment_dataset(_seed_dataset(), n_instances=8, length=60, rng=2)
+        assert all(s.size == 60 for s in augmented.series)

@@ -1,0 +1,109 @@
+"""Tests for the LabeledDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import LabeledDataset
+from repro.exceptions import DataShapeError, EmptyDatasetError
+
+
+def _toy_dataset(n_per_class=10, n_classes=3, length=20, seed=0) -> LabeledDataset:
+    rng = np.random.default_rng(seed)
+    series = []
+    labels = []
+    for label in range(n_classes):
+        for _ in range(n_per_class):
+            series.append(rng.normal(loc=label, size=length))
+            labels.append(label)
+    return LabeledDataset(series=series, labels=np.array(labels), name="toy")
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        dataset = _toy_dataset()
+        assert len(dataset) == 30
+        assert dataset.n_classes == 3
+        assert list(dataset.classes) == [0, 1, 2]
+
+    def test_iteration_yields_pairs(self):
+        dataset = _toy_dataset(n_per_class=2, n_classes=2)
+        pairs = list(dataset)
+        assert len(pairs) == 4
+        series, label = pairs[0]
+        assert isinstance(series, np.ndarray)
+        assert isinstance(int(label), int)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            LabeledDataset(series=[], labels=np.array([]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DataShapeError):
+            LabeledDataset(series=[np.ones(3)], labels=np.array([0, 1]))
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(DataShapeError):
+            LabeledDataset(series=[np.array([])], labels=np.array([0]))
+
+
+class TestSubsetting:
+    def test_class_subset(self):
+        dataset = _toy_dataset()
+        subset = dataset.class_subset(1)
+        assert len(subset) == 10
+        assert set(subset.labels) == {1}
+
+    def test_class_subset_missing_label(self):
+        with pytest.raises(KeyError):
+            _toy_dataset().class_subset(99)
+
+    def test_subsample_size_and_stratification(self):
+        dataset = _toy_dataset(n_per_class=20)
+        subset = dataset.subsample(30, rng=0)
+        assert len(subset) == 30
+        counts = np.bincount(subset.labels)
+        assert counts.min() >= 9
+
+    def test_subsample_larger_than_dataset(self):
+        dataset = _toy_dataset(n_per_class=5)
+        assert len(dataset.subsample(1000, rng=0)) == len(dataset)
+
+    def test_subsample_invalid(self):
+        with pytest.raises(ValueError):
+            _toy_dataset().subsample(0)
+
+    def test_shuffled_preserves_pairs(self):
+        dataset = _toy_dataset(n_per_class=4)
+        shuffled = dataset.shuffled(rng=1)
+        assert len(shuffled) == len(dataset)
+        assert sorted(shuffled.labels.tolist()) == sorted(dataset.labels.tolist())
+
+
+class TestSplitAndPrototypes:
+    def test_train_test_split_partitions(self):
+        dataset = _toy_dataset(n_per_class=10)
+        train, test = dataset.train_test_split(test_fraction=0.3, rng=0)
+        assert len(train) + len(test) == len(dataset)
+        assert set(test.labels) == set(dataset.classes)
+
+    def test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            _toy_dataset().train_test_split(test_fraction=1.5)
+
+    def test_class_prototypes_shapes(self):
+        dataset = _toy_dataset(n_per_class=8, length=15)
+        prototypes = dataset.class_prototypes()
+        assert set(prototypes) == {0, 1, 2}
+        assert all(p.size == 15 for p in prototypes.values())
+
+    def test_class_prototypes_are_means(self):
+        dataset = _toy_dataset(n_per_class=50, length=10, seed=3)
+        prototypes = dataset.class_prototypes()
+        assert prototypes[2].mean() > prototypes[0].mean()
+
+    def test_prototypes_require_equal_lengths(self):
+        dataset = LabeledDataset(
+            series=[np.ones(5), np.ones(7)], labels=np.array([0, 0]), name="ragged"
+        )
+        with pytest.raises(DataShapeError):
+            dataset.class_prototypes()

@@ -1,0 +1,120 @@
+"""Tests for the synthetic dataset generators (Symbols-like, Trace-like, waves)."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.datasets.symbols import SYMBOLS_LENGTH, symbols_like
+from repro.datasets.trace import TRACE_LENGTH, trace_like
+from repro.datasets.trigonometric import trigonometric_waves, trigonometric_waves_prefix
+from repro.sax.compressive import CompressiveSAX
+
+
+class TestSymbolsLike:
+    def test_default_shape(self):
+        dataset = symbols_like(n_instances=60, rng=0)
+        assert len(dataset) == 60
+        assert dataset.n_classes == 6
+        assert all(s.size == SYMBOLS_LENGTH for s in dataset.series)
+
+    def test_balanced_classes(self):
+        dataset = symbols_like(n_instances=120, rng=1)
+        counts = np.bincount(dataset.labels)
+        assert counts.max() - counts.min() <= 1
+
+    def test_series_are_normalized(self):
+        dataset = symbols_like(n_instances=12, rng=2)
+        for series in dataset.series:
+            assert series.mean() == pytest.approx(0.0, abs=1e-8)
+            assert series.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_reproducible(self):
+        a = symbols_like(n_instances=10, rng=5)
+        b = symbols_like(n_instances=10, rng=5)
+        assert all(np.allclose(x, y) for x, y in zip(a.series, b.series))
+
+    def test_classes_have_distinct_dominant_shapes(self):
+        """The within-class modal Compressive-SAX shape differs across classes."""
+        dataset = symbols_like(n_instances=300, rng=3)
+        transformer = CompressiveSAX(alphabet_size=6, segment_length=25)
+        modal = {}
+        for label in dataset.classes:
+            shapes = [
+                transformer.transform_string(s)
+                for s, l in zip(dataset.series, dataset.labels)
+                if l == label
+            ]
+            modal[label] = Counter(shapes).most_common(1)[0][0]
+        assert len(set(modal.values())) == dataset.n_classes
+
+    def test_too_many_classes_rejected(self):
+        with pytest.raises(ValueError):
+            symbols_like(n_instances=10, n_classes=7)
+
+    def test_custom_length(self):
+        dataset = symbols_like(n_instances=6, length=100, rng=0)
+        assert all(s.size == 100 for s in dataset.series)
+
+
+class TestTraceLike:
+    def test_default_shape(self):
+        dataset = trace_like(n_instances=30, rng=0)
+        assert len(dataset) == 30
+        assert dataset.n_classes == 3
+        assert all(s.size == TRACE_LENGTH for s in dataset.series)
+
+    def test_classes_have_distinct_dominant_shapes(self):
+        dataset = trace_like(n_instances=300, rng=1)
+        transformer = CompressiveSAX(alphabet_size=4, segment_length=10)
+        modal = {}
+        for label in dataset.classes:
+            shapes = [
+                transformer.transform_string(s)
+                for s, l in zip(dataset.series, dataset.labels)
+                if l == label
+            ]
+            modal[label] = Counter(shapes).most_common(1)[0][0]
+        assert len(set(modal.values())) == dataset.n_classes
+
+    def test_invalid_onset_range(self):
+        with pytest.raises(ValueError):
+            trace_like(n_instances=10, onset_low=0.8, onset_high=0.2)
+
+    def test_too_many_classes_rejected(self):
+        with pytest.raises(ValueError):
+            trace_like(n_instances=10, n_classes=4)
+
+    def test_reproducible(self):
+        a = trace_like(n_instances=9, rng=7)
+        b = trace_like(n_instances=9, rng=7)
+        assert all(np.allclose(x, y) for x, y in zip(a.series, b.series))
+
+
+class TestTrigonometricWaves:
+    def test_lengths_and_labels(self):
+        dataset = trigonometric_waves(n_instances=40, length=200, rng=0)
+        assert len(dataset) == 40
+        assert all(s.size == 200 for s in dataset.series)
+        assert set(dataset.labels) == {0, 1}
+
+    def test_sine_and_cosine_differ(self):
+        dataset = trigonometric_waves(n_instances=2, length=300, noise_sigma=0.0, phase_jitter=0.0, rng=0)
+        sine, cosine = dataset.series
+        assert not np.allclose(sine, cosine)
+
+    def test_prefix_variant_length(self):
+        dataset = trigonometric_waves_prefix(n_instances=10, prefix_length=250, rng=0)
+        assert all(s.size == 250 for s in dataset.series)
+
+    def test_prefix_cannot_exceed_full(self):
+        with pytest.raises(ValueError):
+            trigonometric_waves_prefix(n_instances=4, prefix_length=1200, full_length=1000)
+
+    def test_full_period_prefix_matches_wave(self):
+        """A prefix spanning the whole period is the same problem as the full wave."""
+        full = trigonometric_waves_prefix(
+            n_instances=4, prefix_length=1000, full_length=1000, noise_sigma=0.0, phase_jitter=0.0, rng=1
+        )
+        wave = trigonometric_waves(n_instances=4, length=1000, noise_sigma=0.0, phase_jitter=0.0, rng=1)
+        assert all(np.allclose(a, b, atol=1e-9) for a, b in zip(full.series, wave.series))

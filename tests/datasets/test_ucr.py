@@ -1,0 +1,56 @@
+"""Tests for the UCR archive file loader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ucr import load_ucr_tsv
+from repro.exceptions import DataShapeError
+
+
+class TestLoadUcrTsv:
+    def test_tab_separated(self, tmp_path):
+        path = tmp_path / "toy_TRAIN.tsv"
+        path.write_text("1\t0.1\t0.2\t0.3\n2\t1.0\t1.1\t1.2\n1\t0.0\t0.1\t0.2\n")
+        dataset = load_ucr_tsv(path)
+        assert len(dataset) == 3
+        assert dataset.n_classes == 2
+        assert np.allclose(dataset.series[1], [1.0, 1.1, 1.2])
+
+    def test_labels_remapped_to_consecutive_ints(self, tmp_path):
+        path = tmp_path / "toy.tsv"
+        path.write_text("5\t0.0\t1.0\n-1\t1.0\t0.0\n")
+        dataset = load_ucr_tsv(path)
+        assert sorted(dataset.labels.tolist()) == [0, 1]
+        assert dataset.metadata["original_labels"] == [-1.0, 5.0]
+
+    def test_comma_separated(self, tmp_path):
+        path = tmp_path / "toy.csv"
+        path.write_text("1,0.5,0.6\n2,0.7,0.8\n")
+        dataset = load_ucr_tsv(path)
+        assert len(dataset) == 2
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "toy.tsv"
+        path.write_text("1\t0.1\t0.2\n\n2\t0.3\t0.4\n\n")
+        assert len(load_ucr_tsv(path)) == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_ucr_tsv(tmp_path / "does_not_exist.tsv")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\n")
+        with pytest.raises(DataShapeError):
+            load_ucr_tsv(path)
+
+    def test_non_numeric_field(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1\tfoo\tbar\n")
+        with pytest.raises(DataShapeError):
+            load_ucr_tsv(path)
+
+    def test_custom_name(self, tmp_path):
+        path = tmp_path / "Symbols_TRAIN.tsv"
+        path.write_text("1\t0.1\t0.2\n2\t0.3\t0.4\n")
+        assert load_ucr_tsv(path, name="Symbols").name == "Symbols"

@@ -1,0 +1,87 @@
+"""Tests for DTW distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distance.dtw import dtw_distance, dtw_path
+
+
+def _series(min_size=1, max_size=12):
+    return arrays(
+        dtype=float,
+        shape=st.integers(min_value=min_size, max_value=max_size),
+        elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+    )
+
+
+class TestDTWDistance:
+    def test_identical_series_zero(self):
+        series = [1.0, 2.0, 3.0, 2.0]
+        assert dtw_distance(series, series) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        a, b = [1.0, 2.0, 3.0], [2.0, 2.5, 3.5, 1.0]
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_time_warping_invariance(self):
+        """Stretching a series in time should not change its DTW distance."""
+        a = [0.0, 1.0, 2.0, 1.0, 0.0]
+        stretched = [0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 0.0, 0.0]
+        assert dtw_distance(a, stretched) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # Best alignment of [0,0,1] and [0,1,1]: cost 0.
+        assert dtw_distance([0.0, 0.0, 1.0], [0.0, 1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_nonzero_example(self):
+        assert dtw_distance([0.0, 0.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_window_constraint_matches_unconstrained_for_wide_window(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=10), rng.normal(size=10)
+        assert dtw_distance(a, b, window=10) == pytest.approx(dtw_distance(a, b))
+
+    def test_narrow_window_never_smaller(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.normal(size=12), rng.normal(size=12)
+        assert dtw_distance(a, b, window=1) >= dtw_distance(a, b) - 1e-9
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance([1.0, 2.0], [1.0, 2.0], window=-1)
+
+    def test_squared_variant(self):
+        value = dtw_distance([0.0, 0.0], [2.0, 2.0], squared=True)
+        assert value == pytest.approx(np.sqrt(8.0))
+
+    def test_different_lengths_supported(self):
+        assert dtw_distance([1.0], [1.0, 1.0, 1.0]) == pytest.approx(0.0)
+
+    @given(_series(), _series())
+    @settings(max_examples=40, deadline=None)
+    def test_property_non_negative_and_symmetric(self, a, b):
+        d_ab = dtw_distance(a, b)
+        assert d_ab >= 0
+        assert d_ab == pytest.approx(dtw_distance(b, a), rel=1e-9, abs=1e-9)
+
+    @given(_series())
+    @settings(max_examples=30, deadline=None)
+    def test_property_identity(self, a):
+        assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDTWPath:
+    def test_path_endpoints(self):
+        path = dtw_path([1.0, 2.0, 3.0], [1.0, 3.0])
+        assert path[0] == (0, 0)
+        assert path[-1] == (2, 1)
+
+    def test_path_is_monotone(self):
+        rng = np.random.default_rng(2)
+        path = dtw_path(rng.normal(size=8), rng.normal(size=6))
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert 0 <= i1 - i0 <= 1
+            assert 0 <= j1 - j0 <= 1

@@ -1,0 +1,49 @@
+"""Tests for the string edit distance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.edit import edit_distance
+
+_symbols = st.lists(st.sampled_from("abcd"), max_size=12)
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance("abca", "abca") == 0
+
+    def test_single_substitution(self):
+        assert edit_distance("abc", "abd") == 1
+
+    def test_insertion_and_deletion(self):
+        assert edit_distance("abc", "abcd") == 1
+        assert edit_distance("abcd", "abc") == 1
+
+    def test_empty_cases(self):
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+        assert edit_distance("", "") == 0
+
+    def test_classic_example(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_works_on_tuples(self):
+        assert edit_distance(("a", "b"), ("a", "c")) == 1
+
+    @given(_symbols, _symbols)
+    @settings(max_examples=60)
+    def test_property_symmetry_and_bounds(self, a, b):
+        d = edit_distance(a, b)
+        assert d == edit_distance(b, a)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(_symbols, _symbols, _symbols)
+    @settings(max_examples=40)
+    def test_property_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @given(_symbols)
+    @settings(max_examples=30)
+    def test_property_identity(self, a):
+        assert edit_distance(a, a) == 0

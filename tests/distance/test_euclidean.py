@@ -1,0 +1,54 @@
+"""Tests for Euclidean distance with resampling."""
+
+import numpy as np
+import pytest
+
+from repro.distance.euclidean import euclidean_distance, resample_to_length
+
+
+class TestResample:
+    def test_same_length_copy(self):
+        out = resample_to_length([1.0, 2.0, 3.0], 3)
+        assert np.allclose(out, [1, 2, 3])
+
+    def test_upsampling_preserves_endpoints(self):
+        out = resample_to_length([0.0, 1.0], 5)
+        assert out[0] == pytest.approx(0.0)
+        assert out[-1] == pytest.approx(1.0)
+        assert out.size == 5
+
+    def test_downsampling(self):
+        out = resample_to_length(np.linspace(0, 1, 100), 10)
+        assert out.size == 10
+        assert np.all(np.diff(out) > 0)
+
+    def test_single_point_series(self):
+        out = resample_to_length([3.0], 4)
+        assert np.allclose(out, 3.0)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            resample_to_length([1.0, 2.0], 0)
+
+
+class TestEuclideanDistance:
+    def test_identical(self):
+        assert euclidean_distance([1.0, 2.0], [1.0, 2.0]) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        assert euclidean_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_symmetric(self):
+        a, b = [1.0, 2.0, 3.0], [0.0, 1.0]
+        assert euclidean_distance(a, b) == pytest.approx(euclidean_distance(b, a))
+
+    def test_different_lengths_handled(self):
+        # A constant series equals its stretched version after resampling.
+        assert euclidean_distance([1.0, 1.0], [1.0, 1.0, 1.0, 1.0]) == pytest.approx(0.0)
+
+    def test_triangle_inequality_sample(self):
+        rng = np.random.default_rng(0)
+        a, b, c = rng.normal(size=8), rng.normal(size=8), rng.normal(size=8)
+        assert euclidean_distance(a, c) <= (
+            euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-9
+        )

@@ -1,0 +1,30 @@
+"""Tests for Hausdorff distance."""
+
+import numpy as np
+import pytest
+
+from repro.distance.hausdorff import hausdorff_distance
+
+
+class TestHausdorff:
+    def test_identical_is_zero(self):
+        series = [1.0, 2.0, 0.5]
+        assert hausdorff_distance(series, series) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        a, b = [0.0, 1.0, 2.0], [0.5, 1.5]
+        assert hausdorff_distance(a, b) == pytest.approx(hausdorff_distance(b, a))
+
+    def test_constant_offset(self):
+        a = np.zeros(5)
+        b = np.full(5, 2.0)
+        assert hausdorff_distance(a, b) == pytest.approx(2.0)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a, b = rng.normal(size=6), rng.normal(size=9)
+            assert hausdorff_distance(a, b) >= 0
+
+    def test_single_points(self):
+        assert hausdorff_distance([1.0], [4.0]) == pytest.approx(3.0)

@@ -1,0 +1,84 @@
+"""Tests for the metric registry and shape-level distances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance.registry import (
+    available_metrics,
+    get_metric,
+    shape_distance,
+    similarity_score,
+)
+
+_shapes = st.lists(st.sampled_from("abcd"), min_size=1, max_size=8).map(tuple)
+
+
+class TestRegistry:
+    def test_available_metrics_contains_paper_metrics(self):
+        metrics = available_metrics()
+        assert {"dtw", "sed", "euclidean"} <= set(metrics)
+
+    def test_get_metric_case_insensitive(self):
+        assert get_metric("DTW") is get_metric("dtw")
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            get_metric("cosine")
+        with pytest.raises(KeyError):
+            shape_distance(("a",), ("b",), metric="cosine")
+
+
+class TestShapeDistance:
+    def test_sed_counts_symbol_edits(self):
+        assert shape_distance(("a", "b", "c"), ("a", "c", "c"), metric="sed") == 1.0
+
+    def test_dtw_on_identical_shapes(self):
+        assert shape_distance(("a", "c", "b"), ("a", "c", "b"), metric="dtw") == pytest.approx(0.0)
+
+    def test_dtw_orders_by_similarity(self):
+        close = shape_distance(("a", "b", "c"), ("a", "b", "d"), metric="dtw", alphabet_size=4)
+        far = shape_distance(("a", "b", "c"), ("d", "c", "a"), metric="dtw", alphabet_size=4)
+        assert close < far
+
+    def test_euclidean_shape_metric(self):
+        same = shape_distance(("a", "d"), ("a", "d"), metric="euclidean", alphabet_size=4)
+        different = shape_distance(("a", "d"), ("d", "a"), metric="euclidean", alphabet_size=4)
+        assert same == pytest.approx(0.0)
+        assert different > 0
+
+    def test_empty_shapes(self):
+        assert shape_distance((), (), metric="dtw") == 0.0
+        assert shape_distance((), ("a", "b"), metric="dtw") == 2.0
+        assert shape_distance(("a",), (), metric="sed") == 1.0
+
+    @given(_shapes, _shapes)
+    @settings(max_examples=40)
+    def test_property_symmetry_non_negative(self, a, b):
+        for metric in ("dtw", "sed", "euclidean"):
+            d = shape_distance(a, b, metric=metric, alphabet_size=4)
+            assert d >= 0
+            assert d == pytest.approx(shape_distance(b, a, metric=metric, alphabet_size=4))
+
+
+class TestSimilarityScore:
+    def test_identical_scores_one(self):
+        assert similarity_score(("a", "b"), ("a", "b")) == pytest.approx(1.0)
+
+    def test_bounded(self):
+        score = similarity_score(("a", "b", "c"), ("d", "c", "a"), alphabet_size=4)
+        assert 0.0 < score <= 1.0
+
+    def test_monotone_in_distance(self):
+        near = similarity_score(("a", "b", "c"), ("a", "b", "d"), alphabet_size=4)
+        far = similarity_score(("a", "b", "c"), ("d", "c", "a"), alphabet_size=4)
+        assert near > far
+
+    def test_empty_pair(self):
+        assert similarity_score((), ()) == 1.0
+
+    @given(_shapes, _shapes)
+    @settings(max_examples=40)
+    def test_property_in_unit_interval(self, a, b):
+        score = similarity_score(a, b, metric="sed", alphabet_size=4)
+        assert 0.0 < score <= 1.0

@@ -1,0 +1,122 @@
+"""Tests for the private shapelet-discovery extension."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import trace_like
+from repro.exceptions import EmptyDatasetError, NotFittedError
+from repro.extensions.shapelets import (
+    PrivateShapeletDiscovery,
+    Shapelet,
+    ShapeletTransformClassifier,
+    best_information_gain,
+    enumerate_candidates,
+    sliding_min_distance,
+)
+from repro.mining.metrics import accuracy_score
+
+
+class TestSlidingMinDistance:
+    def test_exact_subsequence_is_zero(self):
+        series = np.array([0.0, 1.0, 2.0, 3.0, 2.0, 1.0])
+        assert sliding_min_distance(series, [2.0, 3.0, 2.0]) == pytest.approx(0.0)
+
+    def test_shorter_series_than_shapelet(self):
+        value = sliding_min_distance([1.0, 1.0], [1.0, 1.0, 5.0])
+        assert value == pytest.approx(0.0)
+
+    def test_distance_positive_for_mismatch(self):
+        assert sliding_min_distance([0.0, 0.0, 0.0], [5.0, 5.0]) > 0
+
+
+class TestEnumerateCandidates:
+    def test_windows_generated(self):
+        shapes = {0: [("a", "b", "c")], 1: [("d", "c")]}
+        candidates = enumerate_candidates(shapes, alphabet_size=4, min_length=2)
+        lengths = {c.length for c in candidates}
+        # windows of 2 and 3 symbols at 8 points per symbol
+        assert lengths == {16, 24}
+        assert any(c.source_class == 1 for c in candidates)
+
+    def test_no_duplicates(self):
+        shapes = {0: [("a", "b"), ("a", "b")]}
+        candidates = enumerate_candidates(shapes, alphabet_size=4, min_length=2)
+        assert len(candidates) == 1
+
+    def test_max_length_respected(self):
+        shapes = {0: [("a", "b", "c", "d")]}
+        candidates = enumerate_candidates(shapes, alphabet_size=4, min_length=2, max_length=2)
+        assert all(c.length == 16 for c in candidates)
+
+
+class TestBestInformationGain:
+    def test_perfect_split(self):
+        distances = [0.1, 0.2, 0.15, 5.0, 6.0, 5.5]
+        labels = [0, 0, 0, 1, 1, 1]
+        gain, threshold = best_information_gain(distances, labels)
+        assert gain == pytest.approx(1.0)
+        assert 0.2 < threshold < 5.0
+
+    def test_no_information(self):
+        gain, _ = best_information_gain([1.0, 1.0, 1.0, 1.0], [0, 1, 0, 1])
+        assert gain == pytest.approx(0.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            best_information_gain([], [])
+        with pytest.raises(ValueError):
+            best_information_gain([1.0], [0, 1])
+
+
+class TestPrivateShapeletDiscovery:
+    @pytest.fixture(scope="class")
+    def datasets(self):
+        private = trace_like(n_instances=2500, rng=31)
+        public = trace_like(n_instances=120, rng=32)
+        return private, public
+
+    def test_discovery_returns_ranked_shapelets(self, datasets):
+        private, public = datasets
+        discovery = PrivateShapeletDiscovery(
+            epsilon=6.0, alphabet_size=4, segment_length=10, n_shapelets=4
+        )
+        shapelets = discovery.discover(private, public, rng=0)
+        assert 1 <= len(shapelets) <= 4
+        assert all(isinstance(s, Shapelet) for s in shapelets)
+        gains = [s.gain for s in shapelets]
+        assert gains == sorted(gains, reverse=True)
+        assert gains[0] > 0.1
+
+    def test_discovered_shapelets_stored_on_instance(self, datasets):
+        private, public = datasets
+        discovery = PrivateShapeletDiscovery(
+            epsilon=6.0, alphabet_size=4, segment_length=10, n_shapelets=3
+        )
+        shapelets = discovery.discover(private, public, rng=5)
+        assert discovery.shapelets_ == shapelets
+
+    def test_shapelet_classifier_end_to_end(self, datasets):
+        private, public = datasets
+        discovery = PrivateShapeletDiscovery(
+            epsilon=6.0, alphabet_size=4, segment_length=10, n_shapelets=5
+        )
+        shapelets = discovery.discover(private, public, rng=1)
+        train, test = public.train_test_split(test_fraction=0.4, rng=2)
+        classifier = ShapeletTransformClassifier(shapelets=shapelets, n_estimators=10, rng=3)
+        classifier.fit(train.series, train.labels)
+        predictions = classifier.predict(test.series)
+        assert accuracy_score(test.labels, predictions) > 0.5
+
+    def test_classifier_requires_fit(self, datasets):
+        _, public = datasets
+        classifier = ShapeletTransformClassifier(
+            shapelets=[Shapelet(values=(0.0, 1.0), source_shape=("a",), source_class=0)]
+        )
+        with pytest.raises(NotFittedError):
+            classifier.predict(public.series[:2])
+
+    def test_classifier_rejects_empty_shapelets(self, datasets):
+        _, public = datasets
+        classifier = ShapeletTransformClassifier(shapelets=[])
+        with pytest.raises(EmptyDatasetError):
+            classifier.fit(public.series, public.labels)

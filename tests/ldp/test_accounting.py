@@ -1,0 +1,62 @@
+"""Tests for the privacy accountant."""
+
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.ldp.accounting import BudgetSpend, PrivacyAccountant
+
+
+class TestBudgetSpend:
+    def test_valid(self):
+        spend = BudgetSpend(population="Pa", epsilon=1.0, mechanism="GRR")
+        assert spend.epsilon == 1.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            BudgetSpend(population="Pa", epsilon=-1.0)
+
+
+class TestPrivacyAccountant:
+    def test_parallel_composition_across_populations(self):
+        accountant = PrivacyAccountant(target_epsilon=2.0)
+        accountant.spend("Pa", 2.0)
+        accountant.spend("Pb", 2.0)
+        accountant.spend("Pc", 2.0)
+        assert accountant.user_level_epsilon() == pytest.approx(2.0)
+        assert accountant.is_valid()
+
+    def test_sequential_composition_within_population(self):
+        accountant = PrivacyAccountant(target_epsilon=2.0, strict=False)
+        accountant.spend("Pa", 1.5)
+        accountant.spend("Pa", 1.5)
+        assert accountant.sequential_epsilon("Pa") == pytest.approx(3.0)
+        assert not accountant.is_valid()
+
+    def test_strict_mode_raises_on_overspend(self):
+        accountant = PrivacyAccountant(target_epsilon=1.0)
+        accountant.spend("Pa", 1.0)
+        with pytest.raises(PrivacyBudgetError):
+            accountant.spend("Pa", 0.5)
+        # The failed spend must not be recorded.
+        assert accountant.sequential_epsilon("Pa") == pytest.approx(1.0)
+
+    def test_per_population_breakdown(self):
+        accountant = PrivacyAccountant(target_epsilon=4.0)
+        accountant.spend("Pa", 4.0)
+        accountant.spend("Pd", 4.0)
+        assert accountant.per_population() == {"Pa": 4.0, "Pd": 4.0}
+
+    def test_no_spends_means_zero_epsilon(self):
+        accountant = PrivacyAccountant(target_epsilon=1.0)
+        assert accountant.user_level_epsilon() == 0.0
+        assert accountant.is_valid()
+
+    def test_summary_mentions_populations(self):
+        accountant = PrivacyAccountant(target_epsilon=1.0)
+        accountant.spend("Pa", 1.0, mechanism="GRR")
+        text = accountant.summary()
+        assert "Pa" in text and "within budget: True" in text
+
+    def test_invalid_target(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyAccountant(target_epsilon=0.0)

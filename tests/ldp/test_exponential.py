@@ -1,0 +1,73 @@
+"""Tests for the Exponential Mechanism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DomainError
+from repro.ldp.exponential import ExponentialMechanism
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one(self):
+        mechanism = ExponentialMechanism(1.0)
+        probabilities = mechanism.selection_probabilities([0.1, 0.5, 0.9])
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_higher_score_higher_probability(self):
+        mechanism = ExponentialMechanism(2.0)
+        probabilities = mechanism.selection_probabilities([0.0, 1.0])
+        assert probabilities[1] > probabilities[0]
+
+    def test_ratio_matches_definition(self):
+        epsilon = 3.0
+        mechanism = ExponentialMechanism(epsilon)
+        probabilities = mechanism.selection_probabilities([0.0, 1.0])
+        assert probabilities[1] / probabilities[0] == pytest.approx(np.exp(epsilon / 2.0))
+
+    def test_uniform_when_scores_equal(self):
+        mechanism = ExponentialMechanism(1.0)
+        probabilities = mechanism.selection_probabilities([0.4, 0.4, 0.4])
+        assert np.allclose(probabilities, 1.0 / 3.0)
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(DomainError):
+            ExponentialMechanism(1.0).selection_probabilities([])
+
+    def test_invalid_sensitivity(self):
+        with pytest.raises(ValueError):
+            ExponentialMechanism(1.0, sensitivity=0.0)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=20))
+    @settings(max_examples=50)
+    def test_probabilities_valid_for_any_scores(self, scores):
+        probabilities = ExponentialMechanism(2.0).selection_probabilities(scores)
+        assert np.all(probabilities >= 0)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+
+class TestSelection:
+    def test_perturb_returns_valid_index(self):
+        mechanism = ExponentialMechanism(1.0)
+        index = mechanism.perturb([0.2, 0.8, 0.5], np.random.default_rng(0))
+        assert index in (0, 1, 2)
+
+    def test_best_candidate_selected_most_often(self):
+        mechanism = ExponentialMechanism(6.0)
+        rng = np.random.default_rng(1)
+        picks = [mechanism.perturb([0.0, 0.2, 1.0], rng) for _ in range(500)]
+        assert picks.count(2) > 350
+
+    def test_select_with_score_function(self):
+        mechanism = ExponentialMechanism(8.0)
+        chosen = mechanism.select(
+            ["far", "near"],
+            score_fn=lambda c: 1.0 if c == "near" else 0.0,
+            rng=np.random.default_rng(2),
+        )
+        assert chosen in ("far", "near")
+
+    def test_select_empty_candidates(self):
+        with pytest.raises(DomainError):
+            ExponentialMechanism(1.0).select([], score_fn=lambda c: 1.0)

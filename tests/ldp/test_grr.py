@@ -1,0 +1,106 @@
+"""Tests for Generalized Randomized Response."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DomainError, PrivacyBudgetError
+from repro.ldp.grr import GeneralizedRandomizedResponse
+
+
+class TestConstruction:
+    def test_probabilities_sum_consistently(self):
+        oracle = GeneralizedRandomizedResponse(1.0, domain=list("abcd"))
+        # p + (d-1) q == 1
+        assert np.isclose(oracle.p + (oracle.domain_size - 1) * oracle.q, 1.0)
+
+    def test_privacy_ratio_is_exp_epsilon(self):
+        epsilon = 2.0
+        oracle = GeneralizedRandomizedResponse(epsilon, domain=list("abc"))
+        assert np.isclose(oracle.p / oracle.q, np.exp(epsilon))
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(DomainError):
+            GeneralizedRandomizedResponse(1.0, domain=["only"])
+
+    def test_rejects_duplicate_domain(self):
+        with pytest.raises(DomainError):
+            GeneralizedRandomizedResponse(1.0, domain=["a", "a"])
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            GeneralizedRandomizedResponse(0.0, domain=list("ab"))
+
+
+class TestPerturb:
+    def test_output_stays_in_domain(self):
+        oracle = GeneralizedRandomizedResponse(1.0, domain=list("abcd"))
+        rng = np.random.default_rng(0)
+        outputs = {oracle.perturb("a", rng) for _ in range(200)}
+        assert outputs <= set("abcd")
+
+    def test_out_of_domain_value_raises(self):
+        oracle = GeneralizedRandomizedResponse(1.0, domain=list("ab"))
+        with pytest.raises(DomainError):
+            oracle.perturb("z", np.random.default_rng(0))
+
+    def test_high_epsilon_mostly_truthful(self):
+        oracle = GeneralizedRandomizedResponse(8.0, domain=list("abcd"))
+        rng = np.random.default_rng(1)
+        reports = [oracle.perturb("c", rng) for _ in range(500)]
+        assert reports.count("c") / len(reports) > 0.9
+
+    def test_perturb_many_length(self):
+        oracle = GeneralizedRandomizedResponse(1.0, domain=list("abcd"))
+        assert len(oracle.perturb_many(list("abca"), rng=0)) == 4
+
+    def test_tuple_domain_supported(self):
+        domain = [("a", "b"), ("b", "a"), ("a", "c")]
+        oracle = GeneralizedRandomizedResponse(1.0, domain=domain)
+        assert oracle.perturb(("a", "b"), np.random.default_rng(0)) in domain
+
+
+class TestEstimation:
+    def test_unbiasedness_on_skewed_data(self):
+        rng = np.random.default_rng(2)
+        oracle = GeneralizedRandomizedResponse(2.0, domain=list("abcd"))
+        truth = ["a"] * 6000 + ["b"] * 3000 + ["c"] * 1000
+        reports = [oracle.perturb(v, rng) for v in truth]
+        estimates = oracle.estimate_map(reports)
+        assert estimates["a"] == pytest.approx(6000, rel=0.15)
+        assert estimates["b"] == pytest.approx(3000, rel=0.2)
+        assert estimates["d"] == pytest.approx(0, abs=600)
+
+    def test_estimated_counts_sum_to_n(self):
+        rng = np.random.default_rng(3)
+        oracle = GeneralizedRandomizedResponse(1.0, domain=list("abc"))
+        reports = [oracle.perturb("a", rng) for _ in range(300)]
+        counts = oracle.estimate_counts(reports)
+        assert counts.sum() == pytest.approx(300, abs=1e-6)
+
+    def test_empty_reports(self):
+        oracle = GeneralizedRandomizedResponse(1.0, domain=list("abc"))
+        assert np.allclose(oracle.estimate_counts([]), 0.0)
+
+    def test_frequencies_normalized(self):
+        rng = np.random.default_rng(4)
+        oracle = GeneralizedRandomizedResponse(1.0, domain=list("abc"))
+        reports = [oracle.perturb("b", rng) for _ in range(200)]
+        assert oracle.estimate_frequencies(reports).sum() == pytest.approx(1.0)
+
+    def test_variance_decreases_with_epsilon(self):
+        low = GeneralizedRandomizedResponse(0.5, domain=list("abcd")).variance(1000)
+        high = GeneralizedRandomizedResponse(4.0, domain=list("abcd")).variance(1000)
+        assert high < low
+
+
+class TestPrivacyProperty:
+    @given(st.floats(min_value=0.2, max_value=6.0))
+    @settings(max_examples=20)
+    def test_probability_ratio_bounded(self, epsilon):
+        """For any two inputs and any output, Pr ratios are bounded by e^eps."""
+        oracle = GeneralizedRandomizedResponse(epsilon, domain=list("abcde"))
+        # The report distribution has only two probability levels: p and q.
+        ratio = oracle.p / oracle.q
+        assert ratio <= np.exp(epsilon) + 1e-9

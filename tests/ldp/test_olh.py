@@ -1,0 +1,44 @@
+"""Tests for Optimized Local Hashing."""
+
+import numpy as np
+import pytest
+
+from repro.ldp.olh import OptimizedLocalHashing
+
+
+class TestConstruction:
+    def test_default_hash_domain(self):
+        oracle = OptimizedLocalHashing(1.0, domain=list("abcdefgh"))
+        assert oracle.g == max(2, int(round(np.e)) + 1)
+
+    def test_explicit_g(self):
+        oracle = OptimizedLocalHashing(1.0, domain=list("abcd"), g=4)
+        assert oracle.g == 4
+
+    def test_invalid_g(self):
+        with pytest.raises(ValueError):
+            OptimizedLocalHashing(1.0, domain=list("abcd"), g=1)
+
+
+class TestPerturbAndEstimate:
+    def test_report_format(self):
+        oracle = OptimizedLocalHashing(1.0, domain=list("abcd"))
+        seed, value = oracle.perturb("a", np.random.default_rng(0))
+        assert isinstance(seed, int)
+        assert 0 <= value < oracle.g
+
+    def test_hash_is_deterministic_per_seed(self):
+        oracle = OptimizedLocalHashing(1.0, domain=list("abcd"))
+        assert oracle._hash(2, 123) == oracle._hash(2, 123)
+
+    def test_estimation_recovers_heavy_hitter(self):
+        rng = np.random.default_rng(3)
+        oracle = OptimizedLocalHashing(3.0, domain=list("abcdef"))
+        truth = ["a"] * 3000 + ["b"] * 500
+        reports = [oracle.perturb(v, rng) for v in truth]
+        counts = oracle.estimate_map(reports)
+        assert counts["a"] > counts["b"] > max(counts[c] for c in "cdef") - 300
+
+    def test_empty_reports(self):
+        oracle = OptimizedLocalHashing(1.0, domain=list("abc"))
+        assert np.allclose(oracle.estimate_counts([]), 0.0)

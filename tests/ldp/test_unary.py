@@ -1,0 +1,64 @@
+"""Tests for SUE / OUE unary encoding."""
+
+import numpy as np
+import pytest
+
+from repro.ldp.unary import UnaryEncoding
+
+
+class TestConstruction:
+    def test_oue_probabilities(self):
+        oracle = UnaryEncoding(1.0, domain=list("abcd"), optimized=True)
+        assert oracle.p == pytest.approx(0.5)
+        assert oracle.q == pytest.approx(1.0 / (np.e + 1.0))
+
+    def test_sue_probabilities_symmetric(self):
+        oracle = UnaryEncoding(2.0, domain=list("abcd"), optimized=False)
+        assert oracle.p + oracle.q == pytest.approx(1.0)
+        assert oracle.p / oracle.q == pytest.approx(np.exp(1.0))
+
+
+class TestPerturb:
+    def test_report_shape_and_dtype(self):
+        oracle = UnaryEncoding(1.0, domain=list("abcde"))
+        report = oracle.perturb("c", np.random.default_rng(0))
+        assert report.shape == (5,)
+        assert report.dtype == np.uint8
+        assert set(np.unique(report)) <= {0, 1}
+
+    def test_true_bit_set_more_often_than_others(self):
+        oracle = UnaryEncoding(3.0, domain=list("abcd"))
+        rng = np.random.default_rng(1)
+        reports = np.array([oracle.perturb("b", rng) for _ in range(2000)])
+        rates = reports.mean(axis=0)
+        true_index = oracle.index_of("b")
+        others = np.delete(rates, true_index)
+        assert rates[true_index] > others.max()
+
+
+class TestEstimation:
+    def test_unbiasedness(self):
+        rng = np.random.default_rng(2)
+        oracle = UnaryEncoding(2.0, domain=list("abcd"))
+        truth = ["a"] * 5000 + ["b"] * 2000 + ["c"] * 500
+        reports = [oracle.perturb(v, rng) for v in truth]
+        counts = oracle.estimate_map(reports)
+        assert counts["a"] == pytest.approx(5000, rel=0.1)
+        assert counts["b"] == pytest.approx(2000, rel=0.2)
+        assert counts["d"] == pytest.approx(0, abs=400)
+
+    def test_empty_reports_are_zero(self):
+        oracle = UnaryEncoding(1.0, domain=list("ab"))
+        assert np.allclose(oracle.estimate_counts([]), 0.0)
+
+    def test_shape_mismatch_raises(self):
+        oracle = UnaryEncoding(1.0, domain=list("abc"))
+        with pytest.raises(ValueError):
+            oracle.estimate_counts([np.zeros(5, dtype=np.uint8)])
+
+    def test_oue_variance_below_sue(self):
+        """The 'optimized' probabilities should never increase estimator variance."""
+        n = 1000
+        oue = UnaryEncoding(1.0, domain=list("abcd"), optimized=True).variance(n)
+        sue = UnaryEncoding(1.0, domain=list("abcd"), optimized=False).variance(n)
+        assert oue <= sue + 1e-9

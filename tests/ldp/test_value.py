@@ -1,0 +1,60 @@
+"""Tests for numeric value-perturbation mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.ldp.value import DuchiMechanism, LaplaceMechanism, PiecewiseMechanism
+
+
+class TestLaplace:
+    def test_scale(self):
+        mechanism = LaplaceMechanism(2.0, low=-1.0, high=1.0)
+        assert mechanism.scale == pytest.approx(1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(1.0, low=1.0, high=0.0)
+
+    def test_mean_approximately_unbiased(self):
+        mechanism = LaplaceMechanism(1.0)
+        rng = np.random.default_rng(0)
+        reports = [mechanism.perturb(0.3, rng) for _ in range(4000)]
+        assert np.mean(reports) == pytest.approx(0.3, abs=0.1)
+
+    def test_clipping_applied(self):
+        mechanism = LaplaceMechanism(100.0, low=-1.0, high=1.0)
+        rng = np.random.default_rng(1)
+        # With a huge epsilon noise is negligible, so the clipped value shows.
+        assert mechanism.perturb(5.0, rng) == pytest.approx(1.0, abs=0.2)
+
+
+class TestPiecewise:
+    def test_output_bounded_by_C(self):
+        mechanism = PiecewiseMechanism(1.0)
+        rng = np.random.default_rng(2)
+        reports = [mechanism.perturb(0.5, rng) for _ in range(1000)]
+        assert all(-mechanism.C - 1e-9 <= r <= mechanism.C + 1e-9 for r in reports)
+
+    def test_approximately_unbiased(self):
+        mechanism = PiecewiseMechanism(2.0)
+        rng = np.random.default_rng(3)
+        for truth in (-0.8, 0.0, 0.6):
+            reports = [mechanism.perturb(truth, rng) for _ in range(6000)]
+            assert np.mean(reports) == pytest.approx(truth, abs=0.12)
+
+    def test_larger_epsilon_smaller_C(self):
+        assert PiecewiseMechanism(4.0).C < PiecewiseMechanism(0.5).C
+
+
+class TestDuchi:
+    def test_output_is_binary(self):
+        mechanism = DuchiMechanism(1.0)
+        rng = np.random.default_rng(4)
+        outputs = {mechanism.perturb(0.2, rng) for _ in range(100)}
+        assert outputs <= {mechanism.magnitude, -mechanism.magnitude}
+
+    def test_approximately_unbiased(self):
+        mechanism = DuchiMechanism(1.5)
+        rng = np.random.default_rng(5)
+        reports = [mechanism.perturb(0.4, rng) for _ in range(8000)]
+        assert np.mean(reports) == pytest.approx(0.4, abs=0.1)

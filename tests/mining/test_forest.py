@@ -1,0 +1,103 @@
+"""Tests for the decision tree and random forest classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataShapeError, NotFittedError
+from repro.mining.forest import RandomForestClassifier, series_to_matrix
+from repro.mining.metrics import accuracy_score
+from repro.mining.tree import DecisionTreeClassifier
+
+
+def _classification_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    y = (X[:, 0] + 0.5 * X[:, 2] > 0).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_simple_rule(self):
+        X, y = _classification_data()
+        tree = DecisionTreeClassifier(max_depth=4, rng=0).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.9
+
+    def test_predict_proba_shape_and_normalization(self):
+        X, y = _classification_data(n=80, seed=1)
+        tree = DecisionTreeClassifier(rng=1).fit(X, y)
+        probabilities = tree.predict_proba(X)
+        assert probabilities.shape == (80, 2)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_pure_node_becomes_leaf(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier(rng=2).fit(X, y)
+        assert np.array_equal(tree.predict(X), y)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict([[1.0]])
+
+    def test_shape_validation(self):
+        with pytest.raises(DataShapeError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5, dtype=int))
+        with pytest.raises(DataShapeError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_max_features_sqrt(self):
+        X, y = _classification_data(n=60, seed=3)
+        tree = DecisionTreeClassifier(max_features="sqrt", rng=3).fit(X, y)
+        assert tree.predict(X).shape == (60,)
+
+
+class TestRandomForest:
+    def test_better_than_chance_on_noisy_rule(self):
+        X, y = _classification_data(n=300, seed=4)
+        forest = RandomForestClassifier(n_estimators=15, rng=4).fit(X, y)
+        assert accuracy_score(y, forest.predict(X)) > 0.9
+
+    def test_generalizes_to_test_split(self):
+        X, y = _classification_data(n=400, seed=5)
+        forest = RandomForestClassifier(n_estimators=15, rng=5).fit(X[:300], y[:300])
+        assert accuracy_score(y[300:], forest.predict(X[300:])) > 0.8
+
+    def test_predict_proba_normalized(self):
+        X, y = _classification_data(n=100, seed=6)
+        forest = RandomForestClassifier(n_estimators=5, rng=6).fit(X, y)
+        probabilities = forest.predict_proba(X)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict([[0.0, 1.0]])
+
+    def test_three_class_problem(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(240, 4))
+        y = np.digitize(X[:, 1], [-0.5, 0.5])
+        forest = RandomForestClassifier(n_estimators=15, rng=7).fit(X, y)
+        assert accuracy_score(y, forest.predict(X)) > 0.85
+
+    def test_fit_series_and_predict_series(self):
+        rng = np.random.default_rng(8)
+        series = [np.full(rng.integers(20, 30), float(label)) + rng.normal(0, 0.1, 1)
+                  for label in (0, 1) for _ in range(20)]
+        labels = np.array([0] * 20 + [1] * 20)
+        forest = RandomForestClassifier(n_estimators=10, rng=8).fit_series(series, labels)
+        predictions = forest.predict_series(series)
+        assert accuracy_score(labels, predictions) > 0.9
+
+
+class TestSeriesToMatrix:
+    def test_resamples_to_common_length(self):
+        matrix = series_to_matrix([[1.0, 2.0], [1.0, 2.0, 3.0, 4.0]])
+        assert matrix.shape == (2, 4)
+
+    def test_explicit_length(self):
+        matrix = series_to_matrix([[1.0, 2.0, 3.0]], length=10)
+        assert matrix.shape == (1, 10)
+
+    def test_empty_dataset(self):
+        with pytest.raises(DataShapeError):
+            series_to_matrix([])

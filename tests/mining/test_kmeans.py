@@ -1,0 +1,75 @@
+"""Tests for the from-scratch time-series KMeans."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyDatasetError, NotFittedError
+from repro.mining.kmeans import TimeSeriesKMeans
+from repro.mining.metrics import adjusted_rand_index
+
+
+def _blobs(n_per_cluster=30, length=20, separation=4.0, seed=0):
+    rng = np.random.default_rng(seed)
+    series, labels = [], []
+    for cluster in range(3):
+        center = np.sin(np.linspace(0, 2 * np.pi, length)) + cluster * separation
+        for _ in range(n_per_cluster):
+            series.append(center + rng.normal(0, 0.3, size=length))
+            labels.append(cluster)
+    return series, np.array(labels)
+
+
+class TestTimeSeriesKMeans:
+    def test_recovers_well_separated_clusters(self):
+        series, labels = _blobs()
+        model = TimeSeriesKMeans(n_clusters=3, metric="euclidean", rng=0)
+        predicted = model.fit_predict(series)
+        assert adjusted_rand_index(labels, predicted) > 0.95
+
+    def test_labels_and_centers_shapes(self):
+        series, _ = _blobs(n_per_cluster=10)
+        model = TimeSeriesKMeans(n_clusters=3, rng=1).fit(series)
+        assert model.labels_.size == 30
+        assert len(model.cluster_centers_) == 3
+
+    def test_predict_on_new_data(self):
+        series, labels = _blobs(n_per_cluster=20, seed=2)
+        model = TimeSeriesKMeans(n_clusters=3, rng=2).fit(series)
+        new_series, new_labels = _blobs(n_per_cluster=5, seed=3)
+        predicted = model.predict(new_series)
+        assert adjusted_rand_index(new_labels, predicted) > 0.9
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            TimeSeriesKMeans(n_clusters=2).predict([[1.0, 2.0]])
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(EmptyDatasetError):
+            TimeSeriesKMeans(n_clusters=2).fit([])
+
+    def test_variable_length_series_accepted(self):
+        rng = np.random.default_rng(4)
+        series = [rng.normal(size=rng.integers(15, 25)) for _ in range(12)]
+        model = TimeSeriesKMeans(n_clusters=2, rng=4).fit(series)
+        assert model.labels_.size == 12
+
+    def test_dtw_metric_runs(self):
+        series, labels = _blobs(n_per_cluster=8, length=12, seed=5)
+        model = TimeSeriesKMeans(n_clusters=3, metric="dtw", rng=5, max_iter=10, n_init=1)
+        predicted = model.fit_predict(series)
+        assert adjusted_rand_index(labels, predicted) > 0.8
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            TimeSeriesKMeans(n_clusters=2, metric="cosine")
+
+    def test_inertia_non_negative(self):
+        series, _ = _blobs(n_per_cluster=5)
+        model = TimeSeriesKMeans(n_clusters=3, rng=6).fit(series)
+        assert model.inertia_ >= 0
+
+    def test_reproducible_with_seed(self):
+        series, _ = _blobs(n_per_cluster=10, seed=7)
+        a = TimeSeriesKMeans(n_clusters=3, rng=123).fit_predict(series)
+        b = TimeSeriesKMeans(n_clusters=3, rng=123).fit_predict(series)
+        assert np.array_equal(a, b)

@@ -1,0 +1,73 @@
+"""Tests for KShape clustering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyDatasetError, NotFittedError
+from repro.mining.kshape import KShape, shape_based_distance
+from repro.mining.metrics import adjusted_rand_index
+
+
+class TestShapeBasedDistance:
+    def test_identical_is_zero(self):
+        series = np.sin(np.linspace(0, 4 * np.pi, 50))
+        assert shape_based_distance(series, series) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shift_invariance(self):
+        # SBD uses linear (not circular) cross-correlation, so a rolled sine is
+        # matched only approximately; the distance must still be small.
+        t = np.linspace(0, 4 * np.pi, 80)
+        assert shape_based_distance(np.sin(t), np.roll(np.sin(t), 8)) < 0.15
+
+    def test_scale_invariance(self):
+        t = np.linspace(0, 4 * np.pi, 60)
+        assert shape_based_distance(np.sin(t), 5.0 * np.sin(t)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_different_shapes_positive(self):
+        t = np.linspace(0, 2 * np.pi, 60)
+        assert shape_based_distance(np.sin(3 * t), np.linspace(-1, 1, 60)) > 0.2
+
+    def test_bounded_by_two(self):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            d = shape_based_distance(rng.normal(size=30), rng.normal(size=30))
+            assert 0.0 <= d <= 2.0 + 1e-9
+
+
+class TestKShape:
+    def _dataset(self, seed=0, n_per=15, length=60):
+        rng = np.random.default_rng(seed)
+        t = np.linspace(0, 2 * np.pi, length)
+        templates = [np.sin(2 * t), np.sign(np.sin(2 * t)), np.abs(np.sin(t)) * 2 - 1]
+        series, labels = [], []
+        for label, template in enumerate(templates):
+            for _ in range(n_per):
+                series.append(template + rng.normal(0, 0.15, size=length))
+                labels.append(label)
+        return series, np.array(labels)
+
+    def test_recovers_shape_clusters(self):
+        series, labels = self._dataset()
+        model = KShape(n_clusters=3, rng=1)
+        predicted = model.fit_predict(series)
+        assert adjusted_rand_index(labels, predicted) > 0.5
+
+    def test_centers_are_normalized(self):
+        series, _ = self._dataset(seed=2, n_per=8)
+        model = KShape(n_clusters=3, rng=2).fit(series)
+        for center in model.cluster_centers_:
+            assert center.std() == pytest.approx(1.0, abs=1e-6) or np.allclose(center, 0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KShape(n_clusters=2).predict([[1.0, 2.0, 3.0]])
+
+    def test_empty_dataset(self):
+        with pytest.raises(EmptyDatasetError):
+            KShape(n_clusters=2).fit([])
+
+    def test_predict_after_fit(self):
+        series, labels = self._dataset(seed=3, n_per=10)
+        model = KShape(n_clusters=3, rng=3).fit(series)
+        predicted = model.predict(series[:5])
+        assert predicted.shape == (5,)

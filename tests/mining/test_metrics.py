@@ -1,0 +1,88 @@
+"""Tests for ARI, accuracy, and the contingency table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataShapeError
+from repro.mining.metrics import accuracy_score, adjusted_rand_index, contingency_table
+
+_labels = st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=40)
+
+
+class TestContingencyTable:
+    def test_basic(self):
+        table = contingency_table([0, 0, 1, 1], [0, 1, 0, 1])
+        assert table.shape == (2, 2)
+        assert table.sum() == 4
+
+    def test_rows_are_true_classes(self):
+        table = contingency_table([0, 0, 0, 1], [1, 1, 0, 0])
+        assert table.sum(axis=1).tolist() == [3, 1]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(DataShapeError):
+            contingency_table([0, 1], [0])
+
+    def test_empty(self):
+        with pytest.raises(DataShapeError):
+            contingency_table([], [])
+
+
+class TestAdjustedRandIndex:
+    def test_perfect_agreement(self):
+        assert adjusted_rand_index([0, 0, 1, 1, 2, 2], [0, 0, 1, 1, 2, 2]) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_perfect(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [5, 5, 3, 3]) == pytest.approx(1.0)
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        true = rng.integers(0, 3, size=3000)
+        predicted = rng.integers(0, 3, size=3000)
+        assert abs(adjusted_rand_index(true, predicted)) < 0.05
+
+    def test_single_cluster_prediction(self):
+        value = adjusted_rand_index([0, 0, 1, 1], [0, 0, 0, 0])
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_sklearn_value(self):
+        """Reference value computed with scikit-learn 1.3 for this exact input."""
+        true = [0, 0, 0, 1, 1, 1]
+        predicted = [0, 0, 1, 1, 2, 2]
+        assert adjusted_rand_index(true, predicted) == pytest.approx(0.24242424, abs=1e-6)
+
+    @given(_labels)
+    @settings(max_examples=40)
+    def test_property_identity_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @given(_labels)
+    @settings(max_examples=40)
+    def test_property_symmetric(self, labels):
+        rng = np.random.default_rng(len(labels))
+        other = rng.integers(0, 3, size=len(labels)).tolist()
+        assert adjusted_rand_index(labels, other) == pytest.approx(
+            adjusted_rand_index(other, labels)
+        )
+
+    @given(_labels)
+    @settings(max_examples=40)
+    def test_property_bounded(self, labels):
+        rng = np.random.default_rng(len(labels) + 1)
+        other = rng.integers(0, 4, size=len(labels)).tolist()
+        value = adjusted_rand_index(labels, other)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([0, 0, 1, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(DataShapeError):
+            accuracy_score([0, 1], [0, 1, 2])

@@ -1,0 +1,112 @@
+"""Tests for nearest-shape assignment and shape-to-ground-truth matching."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import trace_like
+from repro.exceptions import EmptyDatasetError
+from repro.mining.matching import match_shapes_to_ground_truth, shape_quality_measures
+from repro.mining.nearest import NearestShapeClassifier, assign_to_shapes
+from repro.sax.compressive import CompressiveSAX
+
+
+class TestAssignToShapes:
+    def test_exact_matches_assigned(self):
+        sequences = [("a", "b", "c"), ("c", "b", "a")]
+        shapes = [("a", "b", "c"), ("c", "b", "a")]
+        assert assign_to_shapes(sequences, shapes, metric="sed").tolist() == [0, 1]
+
+    def test_nearest_by_distance(self):
+        sequences = [("a", "b", "d")]
+        shapes = [("a", "b", "c"), ("d", "c", "a")]
+        assert assign_to_shapes(sequences, shapes, metric="sed").tolist() == [0]
+
+    def test_empty_shapes_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            assign_to_shapes([("a",)], [])
+
+    def test_output_length(self):
+        sequences = [("a",), ("b",), ("c",)]
+        shapes = [("a",), ("b",)]
+        assert assign_to_shapes(sequences, shapes, metric="sed").shape == (3,)
+
+
+class TestNearestShapeClassifier:
+    def test_classifies_trace_like_data(self):
+        dataset = trace_like(n_instances=150, rng=0)
+        transformer = CompressiveSAX(alphabet_size=4, segment_length=10)
+        # Build the classifier from the true per-class modal shapes.
+        from collections import Counter
+
+        labelled = {}
+        for label in dataset.classes:
+            shapes = [
+                transformer.transform(s)
+                for s, l in zip(dataset.series, dataset.labels)
+                if l == label
+            ]
+            labelled[int(label)] = [Counter(shapes).most_common(1)[0][0]]
+        classifier = NearestShapeClassifier(
+            labelled_shapes=labelled, transformer=transformer, metric="sed"
+        )
+        predictions = classifier.predict(dataset.series)
+        accuracy = float(np.mean(predictions == dataset.labels))
+        assert accuracy > 0.8
+
+    def test_empty_shapes_rejected(self):
+        transformer = CompressiveSAX(alphabet_size=4, segment_length=10)
+        with pytest.raises(EmptyDatasetError):
+            NearestShapeClassifier(labelled_shapes={}, transformer=transformer)
+
+    def test_predict_sequence_returns_known_label(self):
+        transformer = CompressiveSAX(alphabet_size=4, segment_length=10)
+        classifier = NearestShapeClassifier(
+            labelled_shapes={3: [("a", "b", "c")], 7: [("d", "c", "b")]},
+            transformer=transformer,
+            metric="sed",
+        )
+        assert classifier.predict_sequence(("a", "b", "d")) == 3
+        assert classifier.predict_sequence(("d", "c", "a")) == 7
+
+
+class TestMatching:
+    def test_identity_matching(self):
+        shapes = [("a", "b"), ("c", "d"), ("b", "a")]
+        pairs = match_shapes_to_ground_truth(shapes, shapes, metric="sed")
+        assert sorted(pairs) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_permuted_matching(self):
+        extracted = [("c", "d"), ("a", "b")]
+        truth = [("a", "b"), ("c", "d")]
+        pairs = match_shapes_to_ground_truth(extracted, truth, metric="sed")
+        assert sorted(pairs) == [(0, 1), (1, 0)]
+
+    def test_empty_inputs(self):
+        assert match_shapes_to_ground_truth([], [("a",)]) == []
+        assert match_shapes_to_ground_truth([("a",)], []) == []
+
+    def test_fewer_extracted_than_truth(self):
+        pairs = match_shapes_to_ground_truth([("a", "b")], [("a", "b"), ("c", "d")], metric="sed")
+        assert len(pairs) == 1
+
+    def test_quality_measures_zero_for_perfect_extraction(self):
+        shapes = [("a", "b", "c"), ("d", "c", "b")]
+        measures = shape_quality_measures(shapes, shapes, alphabet_size=4)
+        assert measures["sed"] == pytest.approx(0.0)
+        assert measures["dtw"] == pytest.approx(0.0)
+
+    def test_quality_measures_penalize_missing_shapes(self):
+        truth = [("a", "b", "c"), ("d", "c", "b")]
+        partial = shape_quality_measures([("a", "b", "c")], truth, alphabet_size=4)
+        full = shape_quality_measures(truth, truth, alphabet_size=4)
+        assert partial["sed"] > full["sed"]
+
+    def test_quality_measures_empty_extraction_is_infinite(self):
+        measures = shape_quality_measures([], [("a", "b")], alphabet_size=4)
+        assert measures["dtw"] == float("inf")
+
+    def test_quality_measures_monotone_in_error(self):
+        truth = [("a", "b", "c", "d")]
+        close = shape_quality_measures([("a", "b", "c", "c")], truth, alphabet_size=4)
+        far = shape_quality_measures([("d", "c", "b", "a")], truth, alphabet_size=4)
+        assert close["dtw"] < far["dtw"]

@@ -1,0 +1,77 @@
+"""Tests for SAX breakpoint tables and symbol centroids."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.sax.breakpoints import (
+    MAX_ALPHABET_SIZE,
+    gaussian_breakpoints,
+    symbol_alphabet,
+    symbol_centroids,
+)
+
+
+class TestGaussianBreakpoints:
+    def test_paper_lookup_table_t3(self):
+        """t=3 gives the -0.43 / 0.43 cut points quoted in the paper's Fig. 3."""
+        breakpoints = gaussian_breakpoints(3)
+        assert breakpoints == pytest.approx([-0.4307, 0.4307], abs=1e-3)
+
+    def test_count(self):
+        assert gaussian_breakpoints(6).size == 5
+
+    def test_sorted_and_symmetric(self):
+        breakpoints = gaussian_breakpoints(5)
+        assert np.all(np.diff(breakpoints) > 0)
+        assert np.allclose(breakpoints, -breakpoints[::-1])
+
+    def test_equiprobable_regions(self):
+        breakpoints = gaussian_breakpoints(4)
+        cdf = stats.norm.cdf(breakpoints)
+        assert cdf == pytest.approx([0.25, 0.5, 0.75], abs=1e-9)
+
+    @pytest.mark.parametrize("t", [0, 1, MAX_ALPHABET_SIZE + 1])
+    def test_invalid_sizes(self, t):
+        with pytest.raises(ValueError):
+            gaussian_breakpoints(t)
+
+
+class TestSymbolAlphabet:
+    def test_symbols(self):
+        assert symbol_alphabet(4) == ["a", "b", "c", "d"]
+
+    def test_max_size(self):
+        assert len(symbol_alphabet(MAX_ALPHABET_SIZE)) == 26
+
+    def test_too_large(self):
+        with pytest.raises(ValueError):
+            symbol_alphabet(27)
+
+    def test_returns_fresh_list(self):
+        first = symbol_alphabet(3)
+        first.append("z")
+        assert symbol_alphabet(3) == ["a", "b", "c"]
+
+
+class TestSymbolCentroids:
+    def test_keys_match_alphabet(self):
+        assert sorted(symbol_centroids(5)) == symbol_alphabet(5)
+
+    def test_monotone_increasing(self):
+        centroids = symbol_centroids(6)
+        values = [centroids[s] for s in symbol_alphabet(6)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_symmetric_about_zero(self):
+        centroids = symbol_centroids(4)
+        assert centroids["a"] == pytest.approx(-centroids["d"], abs=1e-9)
+        assert centroids["b"] == pytest.approx(-centroids["c"], abs=1e-9)
+
+    def test_centroids_lie_inside_their_regions(self):
+        t = 5
+        breakpoints = gaussian_breakpoints(t)
+        edges = np.concatenate([[-np.inf], breakpoints, [np.inf]])
+        centroids = symbol_centroids(t)
+        for symbol, low, high in zip(symbol_alphabet(t), edges[:-1], edges[1:]):
+            assert low < centroids[symbol] < high

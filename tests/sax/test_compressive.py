@@ -1,0 +1,73 @@
+"""Tests for Compressive SAX."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sax.compressive import CompressiveSAX, compress_symbols
+
+
+class TestCompressSymbols:
+    def test_paper_example(self):
+        assert "".join(compress_symbols("aaaccccccbbbbaaa")) == "acba"
+
+    def test_empty(self):
+        assert compress_symbols([]) == []
+
+
+class TestCompressiveSAX:
+    def test_returns_tuple(self):
+        transformer = CompressiveSAX(alphabet_size=3, segment_length=8)
+        out = transformer.transform([0.0] * 8 + [3.0] * 8 + [-3.0] * 8)
+        assert isinstance(out, tuple)
+
+    def test_no_consecutive_repeats(self):
+        transformer = CompressiveSAX(alphabet_size=4, segment_length=5)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            shape = transformer.transform(rng.normal(size=100))
+            assert all(shape[i] != shape[i + 1] for i in range(len(shape) - 1))
+
+    def test_compress_false_keeps_repeats(self):
+        transformer = CompressiveSAX(alphabet_size=3, segment_length=8, compress=False)
+        series = [0.0] * 24 + [5.0] * 24
+        shape = transformer.transform(series)
+        assert len(shape) == 6  # ceil(48 / 8) segments, repeats kept
+
+    def test_compression_shortens_or_equals(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=200)
+        compressed = CompressiveSAX(alphabet_size=4, segment_length=10).transform(series)
+        plain = CompressiveSAX(alphabet_size=4, segment_length=10, compress=False).transform(series)
+        assert len(compressed) <= len(plain)
+
+    def test_speed_invariance(self):
+        """The same gesture at half speed (every point doubled) yields the same shape."""
+        transformer = CompressiveSAX(alphabet_size=4, segment_length=4)
+        base = np.concatenate([np.linspace(-2, 2, 40), np.linspace(2, -2, 40)])
+        slow = np.repeat(base, 2)
+        assert transformer.transform(base) == transformer.transform(slow)
+
+    def test_transform_string(self):
+        transformer = CompressiveSAX(alphabet_size=3, segment_length=8)
+        out = transformer.transform_string([0.0] * 8 + [3.0] * 8 + [-3.0] * 8)
+        assert out == "bca"
+
+    def test_transform_dataset_length(self):
+        transformer = CompressiveSAX(alphabet_size=3, segment_length=5)
+        rng = np.random.default_rng(2)
+        assert len(transformer.transform_dataset([rng.normal(size=30)] * 4)) == 4
+
+    def test_alphabet_property(self):
+        assert CompressiveSAX(alphabet_size=5, segment_length=2).alphabet == list("abcde")
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=20, max_value=120))
+    @settings(max_examples=30)
+    def test_property_shape_is_nonempty_and_valid(self, t, m):
+        rng = np.random.default_rng(m + t)
+        transformer = CompressiveSAX(alphabet_size=t, segment_length=7)
+        shape = transformer.transform(rng.normal(size=m))
+        assert len(shape) >= 1
+        assert set(shape) <= set(transformer.alphabet)
+        assert all(shape[i] != shape[i + 1] for i in range(len(shape) - 1))

@@ -1,0 +1,48 @@
+"""Tests for z-score normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sax.normalization import zscore_normalize
+
+
+class TestZScoreNormalize:
+    def test_zero_mean_unit_std(self):
+        out = zscore_normalize([1.0, 2.0, 3.0, 4.0])
+        assert out.mean() == pytest.approx(0.0, abs=1e-12)
+        assert out.std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_constant_series_becomes_zero(self):
+        out = zscore_normalize([5.0, 5.0, 5.0])
+        assert np.allclose(out, 0.0)
+
+    def test_preserves_length(self):
+        assert zscore_normalize(np.arange(17)).size == 17
+
+    def test_order_preserved(self):
+        out = zscore_normalize([3.0, 1.0, 2.0])
+        assert out[0] > out[2] > out[1]
+
+    def test_ddof_changes_scale(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        population = zscore_normalize(data, ddof=0)
+        sample = zscore_normalize(data, ddof=1)
+        assert np.abs(sample).max() < np.abs(population).max()
+
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.integers(min_value=2, max_value=50),
+            elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=50)
+    def test_property_output_is_standardized_or_zero(self, data):
+        out = zscore_normalize(data)
+        if np.allclose(out, 0.0):
+            return
+        assert out.mean() == pytest.approx(0.0, abs=1e-8)
+        assert out.std() == pytest.approx(1.0, abs=1e-8)

@@ -1,0 +1,63 @@
+"""Tests for Piecewise Aggregate Approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sax.paa import piecewise_aggregate, segment_boundaries
+
+
+class TestSegmentBoundaries:
+    def test_exact_division(self):
+        assert segment_boundaries(8, 4) == [(0, 4), (4, 8)]
+
+    def test_remainder_goes_to_last_segment(self):
+        boundaries = segment_boundaries(10, 4)
+        assert boundaries == [(0, 4), (4, 8), (8, 10)]
+
+    def test_segment_longer_than_series(self):
+        assert segment_boundaries(3, 10) == [(0, 3)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            segment_boundaries(0, 4)
+        with pytest.raises(ValueError):
+            segment_boundaries(4, 0)
+
+    @given(st.integers(1, 500), st.integers(1, 50))
+    @settings(max_examples=50)
+    def test_property_boundaries_cover_series(self, length, w):
+        boundaries = segment_boundaries(length, w)
+        assert boundaries[0][0] == 0
+        assert boundaries[-1][1] == length
+        for (s0, e0), (s1, _) in zip(boundaries, boundaries[1:]):
+            assert e0 == s1
+            assert e0 > s0
+
+
+class TestPiecewiseAggregate:
+    def test_paper_segment_count(self):
+        """A 128-point series with w=8 becomes 16 averaged segments (Fig. 3)."""
+        series = np.sin(np.linspace(0, 4 * np.pi, 128))
+        assert piecewise_aggregate(series, 8).size == 16
+
+    def test_averages_are_correct(self):
+        out = piecewise_aggregate([1.0, 3.0, 5.0, 7.0], 2)
+        assert np.allclose(out, [2.0, 6.0])
+
+    def test_single_segment(self):
+        out = piecewise_aggregate([1.0, 2.0, 3.0], 10)
+        assert np.allclose(out, [2.0])
+
+    def test_constant_series(self):
+        out = piecewise_aggregate(np.full(20, 3.3), 7)
+        assert np.allclose(out, 3.3)
+
+    @given(st.integers(2, 200), st.integers(1, 20))
+    @settings(max_examples=40)
+    def test_property_mean_preserved_for_exact_division(self, n_segments, w):
+        rng = np.random.default_rng(n_segments * 31 + w)
+        series = rng.normal(size=n_segments * w)
+        aggregated = piecewise_aggregate(series, w)
+        assert aggregated.mean() == pytest.approx(series.mean(), abs=1e-9)

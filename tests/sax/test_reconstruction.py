@@ -1,0 +1,35 @@
+"""Tests for symbol-to-value reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.sax.breakpoints import symbol_centroids
+from repro.sax.reconstruction import symbols_to_values
+
+
+class TestSymbolsToValues:
+    def test_values_match_centroids(self):
+        centroids = symbol_centroids(4)
+        out = symbols_to_values(("a", "c"), alphabet_size=4)
+        assert np.allclose(out, [centroids["a"], centroids["c"]])
+
+    def test_repeat_stretches_output(self):
+        out = symbols_to_values(("a", "b"), alphabet_size=3, repeat=5)
+        assert out.size == 10
+        assert np.allclose(out[:5], out[0])
+
+    def test_monotone_shape_monotone_values(self):
+        out = symbols_to_values(tuple("abcd"), alphabet_size=4)
+        assert np.all(np.diff(out) > 0)
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(DomainError):
+            symbols_to_values(("a", "z"), alphabet_size=4)
+
+    def test_invalid_repeat(self):
+        with pytest.raises(ValueError):
+            symbols_to_values(("a",), alphabet_size=3, repeat=0)
+
+    def test_empty_shape(self):
+        assert symbols_to_values((), alphabet_size=3).size == 0

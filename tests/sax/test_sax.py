@@ -1,0 +1,70 @@
+"""Tests for the SAX transformer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sax.sax import SAXTransformer
+
+
+class TestSAXTransformer:
+    def test_paper_style_example(self):
+        """Step pattern maps to the expected 'bca' style symbols."""
+        sax = SAXTransformer(alphabet_size=3, segment_length=8)
+        series = [0.0] * 8 + [3.0] * 8 + [-3.0] * 8
+        assert "".join(sax.transform(series)) == "bca"
+
+    def test_output_length_is_ceil_m_over_w(self):
+        sax = SAXTransformer(alphabet_size=4, segment_length=10)
+        assert len(sax.transform(np.random.default_rng(0).normal(size=128))) == 13
+
+    def test_symbols_in_alphabet(self):
+        sax = SAXTransformer(alphabet_size=5, segment_length=4)
+        symbols = sax.transform(np.random.default_rng(1).normal(size=60))
+        assert set(symbols) <= set(sax.alphabet)
+
+    def test_monotone_series_monotone_symbols(self):
+        sax = SAXTransformer(alphabet_size=4, segment_length=5)
+        symbols = sax.transform(np.linspace(-3, 3, 40))
+        assert symbols == sorted(symbols)
+        assert symbols[0] == "a" and symbols[-1] == "d"
+
+    def test_constant_series_maps_to_middle_symbols(self):
+        sax = SAXTransformer(alphabet_size=3, segment_length=4)
+        symbols = sax.transform(np.full(16, 7.0))
+        assert set(symbols) == {"b"}
+
+    def test_normalization_disabled(self):
+        sax = SAXTransformer(alphabet_size=3, segment_length=2, normalize=False)
+        # Raw values far above the breakpoints all map to the top symbol.
+        assert set(sax.transform([10.0, 11.0, 12.0, 13.0])) == {"c"}
+
+    def test_symbolize_values_direct(self):
+        sax = SAXTransformer(alphabet_size=3, segment_length=1)
+        assert sax.symbolize_values([-2.0, 0.0, 2.0]) == ["a", "b", "c"]
+
+    def test_transform_dataset(self):
+        sax = SAXTransformer(alphabet_size=3, segment_length=4)
+        rng = np.random.default_rng(2)
+        dataset = [rng.normal(size=20) for _ in range(5)]
+        assert len(sax.transform_dataset(dataset)) == 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SAXTransformer(alphabet_size=1, segment_length=4)
+        with pytest.raises(ValueError):
+            SAXTransformer(alphabet_size=4, segment_length=0)
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=2, max_value=200),
+    )
+    @settings(max_examples=40)
+    def test_property_length_and_alphabet(self, t, w, m):
+        rng = np.random.default_rng(m * 7 + w)
+        sax = SAXTransformer(alphabet_size=t, segment_length=w)
+        symbols = sax.transform(rng.normal(size=m))
+        assert len(symbols) == int(np.ceil(m / w))
+        assert set(symbols) <= set(sax.alphabet)

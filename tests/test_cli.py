@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_extract_defaults(self):
+        args = build_parser().parse_args(["extract"])
+        assert args.command == "extract"
+        assert args.epsilon == 4.0
+        assert args.mechanism == "privshape"
+
+    def test_sweep_epsilons(self):
+        args = build_parser().parse_args(["sweep", "--epsilons", "1", "2", "4"])
+        assert args.epsilons == [1.0, 2.0, 4.0]
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["extract", "--mechanism", "magic"])
+
+
+class TestCommands:
+    def test_extract_on_small_trace(self, capsys):
+        exit_code = main(
+            [
+                "extract",
+                "--dataset", "trace",
+                "--users", "600",
+                "--epsilon", "6",
+                "--seed", "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "top shapes:" in output
+        assert "effective user-level epsilon" in output
+
+    def test_extract_baseline_mechanism(self, capsys):
+        exit_code = main(
+            [
+                "extract",
+                "--dataset", "trace",
+                "--users", "500",
+                "--mechanism", "baseline",
+                "--seed", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "mechanism: baseline" in capsys.readouterr().out
+
+    def test_classify_on_small_trace(self, capsys):
+        exit_code = main(
+            [
+                "classify",
+                "--dataset", "trace",
+                "--users", "900",
+                "--epsilon", "6",
+                "--evaluation-size", "100",
+                "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "accuracy" in output
+        assert "per-class shapes:" in output
+
+    def test_cluster_on_small_symbols(self, capsys):
+        exit_code = main(
+            [
+                "cluster",
+                "--dataset", "symbols",
+                "--users", "900",
+                "--epsilon", "6",
+                "--evaluation-size", "100",
+                "--seed", "4",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ARI" in output
+
+    def test_sweep_runs_each_epsilon(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "--task", "classify",
+                "--dataset", "trace",
+                "--users", "700",
+                "--epsilons", "2", "6",
+                "--evaluation-size", "80",
+                "--seed", "5",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert output.count("\n") >= 4
+
+    def test_ucr_file_input(self, tmp_path, capsys):
+        lines = []
+        for i in range(120):
+            label = 1 if i % 2 else 2
+            values = [0.1 * (j + (5 if label == 1 else 0)) for j in range(40)]
+            lines.append("\t".join([str(label)] + [f"{v:.3f}" for v in values]))
+        path = tmp_path / "toy_TRAIN.tsv"
+        path.write_text("\n".join(lines) + "\n")
+        exit_code = main(
+            [
+                "extract",
+                "--ucr-file", str(path),
+                "--epsilon", "6",
+                "--alphabet-size", "4",
+                "--segment-length", "5",
+                "--seed", "6",
+            ]
+        )
+        assert exit_code == 0
+        assert "top shapes:" in capsys.readouterr().out

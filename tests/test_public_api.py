@@ -1,0 +1,36 @@
+"""Tests for the top-level package API surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_main_classes_exposed(self):
+        assert repro.PrivShape is not None
+        assert repro.PrivShapeConfig is not None
+        assert repro.BaselineMechanism is not None
+        assert repro.PatternLDP is not None
+        assert repro.CompressiveSAX is not None
+
+    def test_docstring_example_runs(self):
+        """The module docstring's quickstart snippet must actually work."""
+        dataset = repro.symbols_like(n_instances=400, rng=0)
+        transformer = repro.CompressiveSAX(alphabet_size=6, segment_length=25)
+        sequences = transformer.transform_dataset(dataset.series)
+        mechanism = repro.PrivShape(
+            repro.PrivShapeConfig(epsilon=4.0, top_k=6, alphabet_size=6, length_high=15)
+        )
+        result = mechanism.extract(sequences, rng=0)
+        assert len(result.shapes) <= 6
+        assert result.accountant.is_valid()
+
+    def test_task_pipelines_exposed(self):
+        assert callable(repro.run_clustering_task)
+        assert callable(repro.run_classification_task)

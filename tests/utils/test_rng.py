@@ -1,0 +1,52 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_generators(self):
+        children = spawn_rngs(0, 3)
+        draws = [child.random() for child in children]
+        assert len(set(draws)) == 3
+
+    def test_deterministic_given_seed(self):
+        a = [g.random() for g in spawn_rngs(5, 4)]
+        b = [g.random() for g in spawn_rngs(5, 4)]
+        assert a == b
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

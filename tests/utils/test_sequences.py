@@ -1,0 +1,116 @@
+"""Tests (including property-based tests) for sequence and population helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.sequences import (
+    chunk_evenly,
+    pad_or_truncate,
+    run_length_collapse,
+    split_population,
+)
+
+
+class TestRunLengthCollapse:
+    def test_paper_example(self):
+        assert "".join(run_length_collapse("aaaccccccbbbbaaa")) == "acba"
+
+    def test_empty(self):
+        assert run_length_collapse([]) == []
+
+    def test_no_repeats_unchanged(self):
+        assert run_length_collapse(list("abcd")) == list("abcd")
+
+    def test_all_same(self):
+        assert run_length_collapse("aaaa") == ["a"]
+
+    @given(st.lists(st.sampled_from("abcd"), max_size=50))
+    def test_no_consecutive_duplicates(self, symbols):
+        collapsed = run_length_collapse(symbols)
+        assert all(collapsed[i] != collapsed[i + 1] for i in range(len(collapsed) - 1))
+
+    @given(st.lists(st.sampled_from("abcd"), max_size=50))
+    def test_is_subsequence_and_idempotent(self, symbols):
+        collapsed = run_length_collapse(symbols)
+        # Idempotency.
+        assert run_length_collapse(collapsed) == collapsed
+        # Order of first occurrences of each run is preserved.
+        iterator = iter(symbols)
+        assert all(any(c == s for s in iterator) for c in collapsed)
+
+
+class TestPadOrTruncate:
+    def test_pad(self):
+        assert pad_or_truncate(["a"], 3, "_") == ["a", "_", "_"]
+
+    def test_truncate(self):
+        assert pad_or_truncate(list("abcde"), 3, "_") == ["a", "b", "c"]
+
+    def test_exact(self):
+        assert pad_or_truncate(list("abc"), 3, "_") == ["a", "b", "c"]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            pad_or_truncate([1, 2], 0, 0)
+
+    @given(st.lists(st.integers(), max_size=20), st.integers(min_value=1, max_value=30))
+    def test_output_length(self, items, length):
+        assert len(pad_or_truncate(items, length, -1)) == length
+
+
+class TestSplitPopulation:
+    def test_partition_is_complete_and_disjoint(self):
+        groups = split_population(100, [0.02, 0.08, 0.7, 0.2], rng=0)
+        all_indices = np.concatenate(groups)
+        assert sorted(all_indices.tolist()) == list(range(100))
+
+    def test_group_sizes_roughly_match_fractions(self):
+        groups = split_population(1000, [0.1, 0.9], rng=1)
+        assert abs(len(groups[0]) - 100) <= 1
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            split_population(10, [0.5, 0.2])
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            split_population(10, [-0.5, 1.5])
+
+    def test_zero_population(self):
+        groups = split_population(0, [0.5, 0.5], rng=0)
+        assert all(len(g) == 0 for g in groups)
+
+    def test_reproducible(self):
+        a = split_population(50, [0.3, 0.7], rng=3)
+        b = split_population(50, [0.3, 0.7], rng=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=30)
+    def test_property_partition(self, n, n_groups):
+        fractions = [1.0 / n_groups] * n_groups
+        groups = split_population(n, fractions, rng=0)
+        combined = np.concatenate(groups) if groups else np.array([])
+        assert sorted(combined.tolist()) == list(range(n))
+
+
+class TestChunkEvenly:
+    def test_chunks_cover_all(self):
+        chunks = chunk_evenly(range(10), 3)
+        assert sorted(np.concatenate(chunks).tolist()) == list(range(10))
+
+    def test_number_of_chunks(self):
+        assert len(chunk_evenly(range(5), 7)) == 7
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            chunk_evenly(range(5), 0)
+
+    def test_near_equal_sizes(self):
+        sizes = [len(c) for c in chunk_evenly(range(11), 3)]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,95 @@
+"""Tests for input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataShapeError, EmptyDatasetError, PrivacyBudgetError
+from repro.utils.validation import (
+    check_epsilon,
+    check_positive_int,
+    check_probability,
+    check_time_series,
+    check_time_series_dataset,
+)
+
+
+class TestCheckEpsilon:
+    @pytest.mark.parametrize("value", [0.1, 1, 4.0, 10])
+    def test_valid(self, value):
+        assert check_epsilon(value) == float(value)
+
+    @pytest.mark.parametrize("value", [0, -1, float("inf"), float("nan")])
+    def test_invalid(self, value):
+        with pytest.raises(PrivacyBudgetError):
+            check_epsilon(value)
+
+    def test_non_numeric(self):
+        with pytest.raises(PrivacyBudgetError):
+            check_epsilon("abc")
+
+
+class TestCheckPositiveInt:
+    def test_valid(self):
+        assert check_positive_int(3) == 3
+
+    def test_numpy_int(self):
+        assert check_positive_int(np.int64(5)) == 5
+
+    @pytest.mark.parametrize("value", [0, -2])
+    def test_non_positive(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value)
+
+    @pytest.mark.parametrize("value", [1.5, "3", True])
+    def test_wrong_type(self, value):
+        with pytest.raises(ValueError):
+            check_positive_int(value)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_valid(self, value):
+        assert check_probability(value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_invalid(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value)
+
+
+class TestCheckTimeSeries:
+    def test_returns_float_array(self):
+        out = check_time_series([1, 2, 3])
+        assert out.dtype == float
+        assert out.shape == (3,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataShapeError):
+            check_time_series([[1, 2], [3, 4]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataShapeError):
+            check_time_series([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataShapeError):
+            check_time_series([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(DataShapeError):
+            check_time_series([1.0, float("inf")])
+
+
+class TestCheckTimeSeriesDataset:
+    def test_valid(self):
+        out = check_time_series_dataset([[1, 2], [3, 4, 5]])
+        assert len(out) == 2
+        assert out[1].size == 3
+
+    def test_empty_dataset(self):
+        with pytest.raises(EmptyDatasetError):
+            check_time_series_dataset([])
+
+    def test_invalid_member(self):
+        with pytest.raises(DataShapeError):
+            check_time_series_dataset([[1, 2], []])
