@@ -7,6 +7,12 @@ single arc), so the problem itself changes with the length.
 Paper outcome: PrivShape's accuracy stays reasonable across all prefixes and
 above PatternLDP, which fluctuates heavily when the series are partially
 similar.
+
+The 600-point prefix is a genuine knife edge: the compressed-length
+distribution is almost exactly bimodal (lengths 4 and 7), so single runs
+fluctuate no matter the mechanism internals.  The paper averages 500 trials;
+this reproduction averages at least three per configuration so the asserted
+trends reflect the mechanism rather than one seed's coin flip.
 """
 
 from __future__ import annotations
@@ -54,7 +60,7 @@ def test_fig17_varying_length_different_shape(benchmark):
                         forest_size=10,
                         rng=seed,
                     ),
-                    bench_trials(),
+                    max(bench_trials(), 3),
                     seed=171,
                 )
                 accuracy[(mechanism, prefix_length)] = mean_of(results, "accuracy")

@@ -36,8 +36,18 @@ from repro.datasets import (
 )
 from repro.sax.compressive import CompressiveSAX
 from repro.sax.sax import SAXTransformer
+from repro.service import (
+    ClientReporter,
+    CollectionPlan,
+    PrivShapeEngine,
+    ProtocolDriver,
+    ReportBatch,
+    RoundSpec,
+    ShardedAggregator,
+    SyntheticShapeStream,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PrivShape",
@@ -60,5 +70,13 @@ __all__ = [
     "trigonometric_waves_prefix",
     "augment_dataset",
     "load_ucr_tsv",
+    "CollectionPlan",
+    "RoundSpec",
+    "ClientReporter",
+    "ReportBatch",
+    "ShardedAggregator",
+    "PrivShapeEngine",
+    "ProtocolDriver",
+    "SyntheticShapeStream",
     "__version__",
 ]

@@ -1,16 +1,19 @@
 """Command-line interface for the PrivShape reproduction.
 
-Four sub-commands mirror the library's main entry points:
+Five sub-commands mirror the library's main entry points:
 
 * ``extract``   — run PrivShape (or the baseline) on a dataset and print the
   top-k frequent shapes with their estimated counts and the privacy audit;
 * ``cluster``   — run the paper's clustering-task evaluation for one mechanism;
 * ``classify``  — run the paper's classification-task evaluation;
-* ``sweep``     — sweep the privacy budget for one task and print the curve.
+* ``sweep``     — sweep the privacy budget for one task and print the curve;
+* ``simulate``  — stream a large synthetic population through the round-based
+  collection service in constant memory and report throughput.
 
 Datasets are either one of the built-in synthetic generators
 (``symbols``, ``trace``, ``waves``) or a UCR-format file passed with
-``--ucr-file``.
+``--ucr-file``.  Every sub-command accepts ``--json`` for machine-readable
+output (one JSON document on stdout).
 
 Examples
 --------
@@ -20,13 +23,16 @@ Examples
     python -m repro.cli classify --dataset trace --mechanism privshape --epsilon 2
     python -m repro.cli sweep --task classify --dataset trace --epsilons 0.5 1 2 4
     python -m repro.cli cluster --ucr-file Symbols_TRAIN.tsv --epsilon 4 --alphabet-size 6
+    python -m repro.cli simulate --users 1000000 --batch-size 65536 --shards 4 --json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.pipeline import run_classification_task, run_clustering_task
 from repro.core.config import PrivShapeConfig, BaselineConfig
@@ -39,7 +45,9 @@ from repro.datasets import (
     trace_like,
     trigonometric_waves,
 )
+from repro.sax.breakpoints import symbol_alphabet
 from repro.sax.compressive import CompressiveSAX
+from repro.service import ProtocolDriver, SyntheticShapeStream, default_templates
 
 
 def _build_dataset(args: argparse.Namespace) -> LabeledDataset:
@@ -66,6 +74,14 @@ def _default_sax(args: argparse.Namespace) -> tuple[int, int]:
     return alphabet_size, segment_length
 
 
+def _emit(args: argparse.Namespace, payload: dict[str, Any], text: str) -> None:
+    """Print the machine-readable or human-readable form of one result."""
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text)
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dataset", choices=("symbols", "trace", "waves"), default="trace",
                         help="built-in synthetic dataset (default: trace)")
@@ -87,6 +103,8 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--evaluation-size", type=int, default=500,
                         help="number of held-out series scored for ARI / accuracy")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--json", action="store_true",
+                        help="print one machine-readable JSON document instead of prose")
 
 
 def _command_extract(args: argparse.Namespace) -> int:
@@ -109,14 +127,37 @@ def _command_extract(args: argparse.Namespace) -> int:
         extractor = PrivShape(config)
     result = extractor.extract(sequences, rng=args.seed)
 
-    print(f"dataset: {dataset.name} ({len(dataset)} users)")
-    print(f"mechanism: {args.mechanism}, epsilon = {args.epsilon}")
-    print(f"estimated frequent length: {result.estimated_length}")
-    print("top shapes:")
+    payload = {
+        "command": "extract",
+        "dataset": dataset.name,
+        "users": len(dataset),
+        "mechanism": args.mechanism,
+        "epsilon": args.epsilon,
+        "estimated_length": result.estimated_length,
+        "shapes": [
+            {"shape": shape, "estimated_count": float(frequency)}
+            for shape, frequency in zip(result.as_strings(), result.frequencies)
+        ],
+        "accounting": {
+            "per_population": {
+                name: float(total)
+                for name, total in result.accountant.per_population().items()
+            },
+            "user_level_epsilon": float(result.accountant.user_level_epsilon()),
+            "within_budget": result.accountant.is_valid(),
+        },
+    }
+    lines = [
+        f"dataset: {dataset.name} ({len(dataset)} users)",
+        f"mechanism: {args.mechanism}, epsilon = {args.epsilon}",
+        f"estimated frequent length: {result.estimated_length}",
+        "top shapes:",
+    ]
     for shape, frequency in zip(result.as_strings(), result.frequencies):
-        print(f"  {shape:<16} estimated count {frequency:10.1f}")
-    print()
-    print(result.accountant.summary())
+        lines.append(f"  {shape:<16} estimated count {frequency:10.1f}")
+    lines.append("")
+    lines.append(result.accountant.summary())
+    _emit(args, payload, "\n".join(lines))
     return 0
 
 
@@ -134,12 +175,30 @@ def _command_cluster(args: argparse.Namespace) -> int:
         evaluation_size=args.evaluation_size,
         rng=args.seed,
     )
-    print(f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}")
-    print(f"epsilon = {result.epsilon}  ARI = {result.ari:.3f}  elapsed = {result.elapsed_seconds:.2f}s")
-    print(f"extracted shapes: {', '.join(result.shapes)}")
-    print(f"ground truth:     {', '.join(result.ground_truth_shapes)}")
-    print("shape distances to ground truth: "
-          + ", ".join(f"{k}={v:.2f}" for k, v in result.shape_measures.items()))
+    payload = {
+        "command": "cluster",
+        "dataset": dataset.name,
+        "users": len(dataset),
+        "mechanism": args.mechanism,
+        "epsilon": float(result.epsilon),
+        "ari": float(result.ari),
+        "elapsed_seconds": float(result.elapsed_seconds),
+        "shapes": list(result.shapes),
+        "ground_truth_shapes": list(result.ground_truth_shapes),
+        "shape_measures": {k: float(v) for k, v in result.shape_measures.items()},
+    }
+    text = "\n".join(
+        [
+            f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}",
+            f"epsilon = {result.epsilon}  ARI = {result.ari:.3f}  "
+            f"elapsed = {result.elapsed_seconds:.2f}s",
+            f"extracted shapes: {', '.join(result.shapes)}",
+            f"ground truth:     {', '.join(result.ground_truth_shapes)}",
+            "shape distances to ground truth: "
+            + ", ".join(f"{k}={v:.2f}" for k, v in result.shape_measures.items()),
+        ]
+    )
+    _emit(args, payload, text)
     return 0
 
 
@@ -157,23 +216,38 @@ def _command_classify(args: argparse.Namespace) -> int:
         evaluation_size=args.evaluation_size,
         rng=args.seed,
     )
-    print(f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}")
-    print(f"epsilon = {result.epsilon}  accuracy = {result.accuracy:.3f}  "
-          f"elapsed = {result.elapsed_seconds:.2f}s")
-    print("per-class shapes:")
+    payload = {
+        "command": "classify",
+        "dataset": dataset.name,
+        "users": len(dataset),
+        "mechanism": args.mechanism,
+        "epsilon": float(result.epsilon),
+        "accuracy": float(result.accuracy),
+        "elapsed_seconds": float(result.elapsed_seconds),
+        "shapes_by_class": {
+            str(label): list(shapes)
+            for label, shapes in sorted(result.shapes_by_class.items())
+        },
+        "ground_truth_shapes": list(result.ground_truth_shapes),
+    }
+    lines = [
+        f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}",
+        f"epsilon = {result.epsilon}  accuracy = {result.accuracy:.3f}  "
+        f"elapsed = {result.elapsed_seconds:.2f}s",
+        "per-class shapes:",
+    ]
     for label, shapes in sorted(result.shapes_by_class.items()):
-        print(f"  class {label}: {', '.join(shapes) if shapes else '-'}")
-    print(f"ground truth: {', '.join(result.ground_truth_shapes)}")
+        lines.append(f"  class {label}: {', '.join(shapes) if shapes else '-'}")
+    lines.append(f"ground truth: {', '.join(result.ground_truth_shapes)}")
+    _emit(args, payload, "\n".join(lines))
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     alphabet_size, segment_length = _default_sax(args)
-    print(f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}, "
-          f"task: {args.task}")
     header_metric = "ARI" if args.task == "cluster" else "accuracy"
-    print(f"{'epsilon':>8}  {header_metric}")
+    points = []
     for epsilon in args.epsilons:
         if args.task == "cluster":
             result = run_clustering_task(
@@ -181,15 +255,118 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 alphabet_size=alphabet_size, segment_length=segment_length,
                 metric=args.metric or "dtw", evaluation_size=args.evaluation_size, rng=args.seed,
             )
-            value = result.ari
+            points.append({"epsilon": float(epsilon), header_metric: float(result.ari)})
         else:
             result = run_classification_task(
                 dataset, mechanism=args.mechanism, epsilon=epsilon,
                 alphabet_size=alphabet_size, segment_length=segment_length,
                 metric=args.metric or "sed", evaluation_size=args.evaluation_size, rng=args.seed,
             )
-            value = result.accuracy
-        print(f"{epsilon:>8.2f}  {value:.3f}")
+            points.append({"epsilon": float(epsilon), header_metric: float(result.accuracy)})
+    payload = {
+        "command": "sweep",
+        "dataset": dataset.name,
+        "users": len(dataset),
+        "mechanism": args.mechanism,
+        "task": args.task,
+        "metric_name": header_metric,
+        "points": points,
+    }
+    lines = [
+        f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}, "
+        f"task: {args.task}",
+        f"{'epsilon':>8}  {header_metric}",
+    ]
+    for point in points:
+        lines.append(f"{point['epsilon']:>8.2f}  {point[header_metric]:.3f}")
+    _emit(args, payload, "\n".join(lines))
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    """Stream a synthetic population through the round-based collection service."""
+    alphabet_size = args.alphabet_size or 4
+    alphabet = symbol_alphabet(alphabet_size)
+    templates = default_templates(
+        alphabet,
+        n_templates=args.templates,
+        length=args.template_length,
+        rng=args.seed,
+    )
+    # A geometric-ish popularity profile so the top templates are the ground
+    # truth the extraction should recover.
+    weights = [1.0 / (rank + 1) for rank in range(len(templates))]
+    population = SyntheticShapeStream(
+        n_users=args.users,
+        alphabet=tuple(alphabet),
+        templates=tuple(templates),
+        weights=tuple(weights),
+        seed=args.seed,
+        length_jitter=args.length_jitter,
+    )
+    config = PrivShapeConfig(
+        epsilon=args.epsilon,
+        top_k=args.top_k or min(3, len(templates)),
+        alphabet_size=alphabet_size,
+        metric=args.metric or "sed",
+        length_low=1,
+        length_high=args.template_length,
+    )
+    driver = ProtocolDriver(
+        config,
+        population,
+        batch_size=args.batch_size,
+        n_shards=args.shards,
+        serialize=args.serialize,
+        rng=args.seed,
+    )
+    result = driver.run()
+    stats = driver.stats
+
+    payload = {
+        "command": "simulate",
+        "users": args.users,
+        "batch_size": args.batch_size,
+        "shards": args.shards,
+        "serialize_reports": bool(args.serialize),
+        "epsilon": args.epsilon,
+        "alphabet_size": alphabet_size,
+        "templates": ["".join(t) for t in templates],
+        "estimated_length": result.estimated_length,
+        "shapes": [
+            {"shape": shape, "estimated_count": float(frequency)}
+            for shape, frequency in zip(result.as_strings(), result.frequencies)
+        ],
+        "throughput": stats.to_dict(),
+        "accounting": {
+            "user_level_epsilon": float(result.accountant.user_level_epsilon()),
+            "within_budget": result.accountant.is_valid(),
+        },
+    }
+    lines = [
+        f"simulated population: {args.users} users "
+        f"(batch size {args.batch_size}, {args.shards} shard(s), "
+        f"wire serialization {'on' if args.serialize else 'off'})",
+        f"templates: {', '.join(''.join(t) for t in templates)}",
+        "rounds:",
+    ]
+    for round_stats in stats.rounds:
+        level = f" level {round_stats.level}" if round_stats.kind == "expand" else ""
+        lines.append(
+            f"  round {round_stats.index}: {round_stats.kind}{level:<8} "
+            f"{round_stats.participants:>9} reports in {round_stats.elapsed_seconds:6.2f}s "
+            f"({round_stats.reports_per_second:>12,.0f} reports/sec)"
+        )
+    lines.append(
+        f"total: {stats.total_reports} reports in {stats.total_seconds:.2f}s "
+        f"= {stats.reports_per_second:,.0f} reports/sec"
+    )
+    lines.append(f"peak RSS: {stats.peak_rss_bytes / 1e6:.1f} MB")
+    lines.append(f"estimated frequent length: {result.estimated_length}")
+    lines.append("top shapes:")
+    for shape, frequency in zip(result.as_strings(), result.frequencies):
+        lines.append(f"  {shape:<16} estimated count {frequency:12.1f}")
+    _emit(args, payload, "\n".join(lines))
     return 0
 
 
@@ -219,6 +396,37 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--epsilons", type=float, nargs="+", default=[0.5, 1.0, 2.0, 4.0])
     sweep.set_defaults(handler=_command_sweep)
 
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="stream a synthetic population through the round-based collection service",
+    )
+    simulate.add_argument("--users", type=int, default=1_000_000,
+                          help="population size to stream (default: 1,000,000)")
+    simulate.add_argument("--batch-size", type=int, default=65536,
+                          help="users per streamed batch (bounds peak memory)")
+    simulate.add_argument("--shards", type=int, default=1,
+                          help="number of aggregator shards")
+    simulate.add_argument("--serialize", action="store_true",
+                          help="push every report batch through the wire format")
+    simulate.add_argument("--epsilon", type=float, default=4.0,
+                          help="user-level privacy budget")
+    simulate.add_argument("--alphabet-size", type=int, default=None,
+                          help="SAX symbol size t (default: 4)")
+    simulate.add_argument("--metric", default=None,
+                          help="distance metric (default: sed)")
+    simulate.add_argument("--top-k", type=int, default=None,
+                          help="number of shapes to extract (default: min(3, templates))")
+    simulate.add_argument("--templates", type=int, default=6,
+                          help="number of template shapes in the synthetic pool")
+    simulate.add_argument("--template-length", type=int, default=5,
+                          help="length of each template shape")
+    simulate.add_argument("--length-jitter", type=float, default=0.2,
+                          help="fraction of users whose shape is one symbol shorter")
+    simulate.add_argument("--seed", type=int, default=0, help="random seed")
+    simulate.add_argument("--json", action="store_true",
+                          help="print one machine-readable JSON document instead of prose")
+    simulate.set_defaults(handler=_command_simulate)
+
     return parser
 
 
@@ -226,7 +434,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream consumer (head, jq -e, ...) closed the pipe early; point
+        # stdout at devnull so the interpreter's final flush stays quiet.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

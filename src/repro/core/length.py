@@ -23,6 +23,15 @@ def clip_length(length: int, length_low: int, length_high: int) -> int:
     return int(min(max(int(length), length_low), length_high))
 
 
+def select_modal_length(counts) -> int:
+    """The arg-max length from an estimated count map (exact ties favour the shorter).
+
+    Shared decision rule of the offline estimator and the collection service's
+    length round, so both paths pick ℓ_S identically from the same counts.
+    """
+    return int(max(counts.items(), key=lambda item: (item[1], -item[0]))[0])
+
+
 def estimate_frequent_length(
     lengths: Sequence[int],
     epsilon: float,
@@ -70,8 +79,7 @@ def estimate_frequent_length(
         for length in lengths
     ]
     counts = oracle.estimate_map(reports)
-    estimated = max(counts.items(), key=lambda item: (item[1], -item[0]))[0]
-    estimated = int(estimated)
+    estimated = select_modal_length(counts)
     if return_counts:
         return estimated, {int(k): float(v) for k, v in counts.items()}
     return estimated

@@ -13,6 +13,13 @@ PrivShape improves the baseline with three ideas:
 3. **Post-processing** — near-duplicate candidates are clustered and only the
    most frequent member of each cluster is returned, so the final top-k
    contains k *distinct* essential shapes.
+
+Execution is delegated to the round-based protocol engine in
+:mod:`repro.service.protocol`: this class feeds every round with the whole
+population in a single batch, while the streaming
+:class:`~repro.service.driver.ProtocolDriver` feeds the same engine batch by
+batch.  Client randomness is PRF-keyed per (round, user), so the two paths
+produce byte-identical results from the same master seed.
 """
 
 from __future__ import annotations
@@ -23,20 +30,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.config import PrivShapeConfig
-from repro.core.length import estimate_frequent_length
-from repro.core.refinement import assign_candidates_to_classes, deduplicate_shapes
 from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResult
-from repro.core.selection import (
-    em_select_counts,
-    oue_labeled_refine_counts,
-    oue_refine_counts,
-)
-from repro.core.subshape import estimate_frequent_subshapes
-from repro.core.trie import Shape, ShapeTrie
+from repro.core.trie import Shape
 from repro.exceptions import EmptyDatasetError
-from repro.ldp.accounting import PrivacyAccountant
+from repro.service.population import EncodedPopulation
+from repro.service.protocol import PrivShapeEngine
+from repro.service.rounds import accumulate, encode_reports, new_accumulator
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.sequences import chunk_evenly, split_population
 
 
 @dataclass
@@ -45,112 +45,19 @@ class PrivShape:
 
     config: PrivShapeConfig
 
-    # ---------------------------------------------------------------- population
-
-    def _split(self, n: int, rng) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Randomly split user indices into (Pa, Pb, Pc, Pd)."""
-        groups = split_population(n, self.config.population_fractions, rng=rng)
-        return groups[0], groups[1], groups[2], groups[3]
-
-    # ---------------------------------------------------------------- expansion
-
-    def _expand_trie(
-        self,
-        trie: ShapeTrie,
-        estimated_length: int,
-        subshapes: dict[int, list[tuple[str, str]]],
-        sequences: Sequence[Shape],
-        expansion_indices: np.ndarray,
-        accountant: PrivacyAccountant,
-        rng,
-    ) -> None:
-        """Grow the trie level by level using the Pc population (Algorithm 2, lines 7-10)."""
-        # The population is randomly divided into one group per level; shuffling
-        # first keeps every group class-balanced even when the input dataset is
-        # ordered by class.
-        shuffled = ensure_rng(rng).permutation(np.asarray(expansion_indices))
-        level_groups = chunk_evenly(shuffled, max(estimated_length, 1))
-        keep = self.config.candidate_budget
-
-        for level in range(estimated_length):
-            if level == 0:
-                survivors: list[Shape] = [()]
-                allowed = None
-            else:
-                survivors = trie.prune_to_top(level, keep)
-                allowed = subshapes.get(level)
-            children = trie.expand(survivors, allowed_subshapes=allowed)
-            if not children:
-                # All expansions were pruned away (can happen with noisy
-                # sub-shape estimates); fall back to full expansion.
-                children = trie.expand(survivors, allowed_subshapes=None)
-            level_sequences = [sequences[i] for i in level_groups[level]]
-            if level_sequences:
-                counts = em_select_counts(
-                    level_sequences,
-                    children,
-                    epsilon=self.config.epsilon,
-                    metric=self.config.metric,
-                    alphabet_size=self.config.alphabet_size,
-                    rng=rng,
+    def _run_rounds(self, engine: PrivShapeEngine, population: EncodedPopulation) -> None:
+        """Drive every protocol round with the full population as one batch."""
+        user_ids = np.arange(len(population), dtype=np.int64)
+        while (spec := engine.open_round()) is not None:
+            aggregate = new_accumulator(spec)
+            mask = engine.plan.participant_mask(spec, user_ids)
+            if mask.any():
+                participants = np.flatnonzero(mask)
+                payload = encode_reports(
+                    spec, population.take(participants), user_ids[participants]
                 )
-                for child, count in counts.items():
-                    trie.set_frequency(child, count)
-                accountant.spend(
-                    f"Pc[level {level}]",
-                    self.config.epsilon,
-                    mechanism="Exponential Mechanism selection",
-                )
-
-    # ---------------------------------------------------------------- extraction
-
-    def _common_stages(
-        self, sequences: list[Shape], rng
-    ) -> tuple[int, dict[int, list[tuple[str, str]]], ShapeTrie, PrivacyAccountant, np.ndarray]:
-        """Run length estimation, sub-shape estimation, and trie expansion.
-
-        Returns ``(ℓ_S, sub-shapes, trie, accountant, Pd indices)`` so that the
-        unlabelled and labelled extraction variants can share everything up to
-        the two-level refinement.
-        """
-        accountant = PrivacyAccountant(target_epsilon=self.config.epsilon)
-        population_a, population_b, population_c, population_d = self._split(
-            len(sequences), rng
-        )
-
-        estimated_length = estimate_frequent_length(
-            [len(sequences[i]) for i in population_a],
-            epsilon=self.config.epsilon,
-            length_low=self.config.length_low,
-            length_high=self.config.length_high,
-            rng=rng,
-        )
-        accountant.spend("Pa", self.config.epsilon, mechanism="GRR length estimation")
-
-        if estimated_length >= 2:
-            subshapes = estimate_frequent_subshapes(
-                [sequences[i] for i in population_b],
-                estimated_length=estimated_length,
-                epsilon=self.config.epsilon,
-                alphabet=self.config.alphabet,
-                keep=self.config.candidate_budget,
-                rng=rng,
-            )
-            accountant.spend("Pb", self.config.epsilon, mechanism="GRR sub-shape estimation")
-        else:
-            subshapes = {}
-
-        trie = ShapeTrie(self.config.alphabet)
-        self._expand_trie(
-            trie,
-            estimated_length,
-            subshapes,
-            sequences,
-            population_c,
-            accountant,
-            rng,
-        )
-        return estimated_length, subshapes, trie, accountant, population_d
+                accumulate(spec, aggregate, payload)
+            engine.close_round(spec, aggregate)
 
     def extract(
         self, sequences: Sequence[Shape], rng: RngLike = None
@@ -161,48 +68,10 @@ class PrivShape:
             raise EmptyDatasetError("cannot extract shapes from an empty population")
         generator = ensure_rng(rng if rng is not None else self.config.rng_seed)
 
-        estimated_length, subshapes, trie, accountant, population_d = self._common_stages(
-            sequences, generator
-        )
-        leaf_level = trie.height
-        keep = self.config.candidate_budget
-        leaf_shapes = trie.prune_to_top(leaf_level, keep)
-
-        frequencies = {shape: trie.node(shape).frequency for shape in leaf_shapes}
-        if self.config.refinement and len(population_d) > 0 and leaf_shapes:
-            refined = oue_refine_counts(
-                [sequences[i] for i in population_d],
-                leaf_shapes,
-                epsilon=self.config.epsilon,
-                metric=self.config.metric,
-                alphabet_size=self.config.alphabet_size,
-                rng=generator,
-            )
-            accountant.spend("Pd", self.config.epsilon, mechanism="OUE two-level refinement")
-            frequencies = refined
-            for shape, count in refined.items():
-                trie.set_frequency(shape, count)
-
-        shapes = sorted(frequencies, key=lambda s: (-frequencies[s], s))
-        counts = [frequencies[s] for s in shapes]
-        if self.config.postprocess:
-            shapes, counts = deduplicate_shapes(
-                shapes,
-                counts,
-                k=self.config.top_k,
-                metric=self.config.metric,
-                alphabet_size=self.config.alphabet_size,
-            )
-        shapes = shapes[: self.config.top_k]
-        counts = counts[: self.config.top_k]
-        return ShapeExtractionResult(
-            shapes=shapes,
-            frequencies=counts,
-            estimated_length=estimated_length,
-            trie=trie,
-            accountant=accountant,
-            subshape_candidates=subshapes,
-        )
+        engine = PrivShapeEngine(self.config, rng=generator)
+        population = EncodedPopulation.from_sequences(sequences, self.config.alphabet)
+        self._run_rounds(engine, population)
+        return engine.finalize()
 
     def extract_labeled(
         self,
@@ -227,36 +96,11 @@ class PrivShape:
             n_classes = int(max(labels)) + 1
         generator = ensure_rng(rng if rng is not None else self.config.rng_seed)
 
-        estimated_length, subshapes, trie, accountant, population_d = self._common_stages(
-            sequences, generator
+        engine = PrivShapeEngine(
+            self.config, rng=generator, labeled=True, n_classes=n_classes
         )
-        leaf_level = trie.height
-        keep = self.config.candidate_budget
-        leaf_shapes = trie.prune_to_top(leaf_level, keep)
-        if not leaf_shapes:
-            leaf_shapes = [tuple(self.config.alphabet[:1])]
-
-        per_class_counts = oue_labeled_refine_counts(
-            [sequences[i] for i in population_d],
-            [labels[i] for i in population_d],
-            leaf_shapes,
-            n_classes=n_classes,
-            epsilon=self.config.epsilon,
-            metric=self.config.metric,
-            alphabet_size=self.config.alphabet_size,
-            rng=generator,
+        population = EncodedPopulation.from_sequences(
+            sequences, self.config.alphabet, labels=labels
         )
-        if len(population_d) > 0:
-            accountant.spend("Pd", self.config.epsilon, mechanism="OUE labelled refinement")
-
-        shapes_by_class, frequencies_by_class = assign_candidates_to_classes(
-            per_class_counts, top_k=self.config.top_k
-        )
-        return LabeledShapeExtractionResult(
-            shapes_by_class=shapes_by_class,
-            frequencies_by_class=frequencies_by_class,
-            estimated_length=estimated_length,
-            trie=trie,
-            accountant=accountant,
-            subshape_candidates=subshapes,
-        )
+        self._run_rounds(engine, population)
+        return engine.finalize_labeled()

@@ -37,6 +37,16 @@ def all_subshapes(alphabet: Sequence[str]) -> list[SubShape]:
     return sorted(permutations(symbols, 2))
 
 
+def rank_top_subshapes(counts: dict[SubShape, float], keep: int) -> list[SubShape]:
+    """The ``keep`` highest-count sub-shapes (ties favour the smaller pair).
+
+    Shared decision rule of the offline estimator and the collection service's
+    sub-shape round, so both paths gate the trie expansion identically.
+    """
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return [pair for pair, _ in ranked[:keep]]
+
+
 def user_subshape_report(
     sequence: Shape,
     estimated_length: int,
@@ -121,8 +131,7 @@ def estimate_frequent_subshapes(
             counts_per_level[level] = {pair: 0.0 for pair in domain}
             continue
         counts = oracle.estimate_map(reports)
-        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
-        top_per_level[level] = [pair for pair, _ in ranked[:keep]]
+        top_per_level[level] = rank_top_subshapes(counts, keep)
         counts_per_level[level] = {pair: float(count) for pair, count in counts.items()}
 
     if return_counts:

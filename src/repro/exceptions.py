@@ -37,5 +37,9 @@ class EstimationError(ReproError):
     """Aggregation failed, e.g. no reports were collected for an estimator."""
 
 
+class ProtocolStateError(ReproError):
+    """A collection-service round was opened, closed, or finalized out of order."""
+
+
 class NotFittedError(ReproError):
     """A model (clusterer, classifier) was used before being fitted."""

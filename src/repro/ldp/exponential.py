@@ -49,6 +49,22 @@ class ExponentialMechanism(PerturbationMechanism):
         weights = np.exp(exponents)
         return weights / weights.sum()
 
+    def selection_cdf(self, scores: Sequence[float]) -> np.ndarray:
+        """Cumulative selection probabilities, for inverse-CDF batch sampling."""
+        return np.cumsum(self.selection_probabilities(scores))
+
+    @staticmethod
+    def sample_from_cdf(cdf: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        """Sample candidate indices from a selection CDF given uniforms in [0, 1).
+
+        ``searchsorted`` with one pre-drawn uniform per user is how the
+        collection service vectorizes Exponential-Mechanism selection: the
+        chosen index depends only on the user's own uniform and the shared
+        CDF, so any batch partition of the users selects identically.
+        """
+        indices = np.searchsorted(cdf, np.asarray(uniforms, dtype=float), side="right")
+        return np.minimum(indices, len(cdf) - 1).astype(np.int64)
+
     def perturb(self, scores: Sequence[float], rng: RngLike = None) -> int:
         """Sample a candidate index given per-candidate scores."""
         generator = ensure_rng(rng)

@@ -14,6 +14,7 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.ldp.base import FrequencyOracle
+from repro.utils.prf import prf_integers, prf_uniforms
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -50,14 +51,62 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
         generator = ensure_rng(rng)
         return [self.perturb(v, generator) for v in values]
 
+    def perturb_batch(self, values: Sequence[Hashable], rng: RngLike = None) -> list[Hashable]:
+        """Vectorized :meth:`perturb_many`: two array draws instead of 2n scalar draws.
+
+        Distributionally identical to the scalar loop but orders of magnitude
+        faster for large batches (see ``benchmarks/test_service_throughput.py``).
+        """
+        generator = ensure_rng(rng)
+        indices = np.fromiter(
+            (self.index_of(v) for v in values), dtype=np.int64, count=len(values)
+        )
+        reported = self._perturb_indices(
+            indices,
+            generator.random(indices.size),
+            generator.integers(1, self.domain_size, size=indices.size),
+        )
+        return [self.domain[i] for i in reported]
+
+    def _perturb_indices(
+        self, indices: np.ndarray, uniforms: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        """Apply GRR to index-encoded values given pre-drawn randomness."""
+        return np.where(
+            uniforms < self.p, indices, (indices + offsets) % self.domain_size
+        ).astype(np.int64)
+
+    def encode_batch(self, indices: np.ndarray, user_ids: np.ndarray, key: int) -> np.ndarray:
+        """Perturb index-encoded values with PRF randomness keyed per user.
+
+        This is the collection-service client hot path: each user's report is
+        a pure function of ``(key, user id, true index)``, so encoding a
+        population in any batch partition yields the same reports.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        return self._perturb_indices(
+            indices,
+            prf_uniforms(key, user_ids, slot=0),
+            prf_integers(key, user_ids, self.domain_size - 1, slot=1) + 1,
+        )
+
+    def aggregate_batch(self, reported_indices: np.ndarray) -> np.ndarray:
+        """Observed report counts per domain index (int64, shard-mergeable by +)."""
+        return np.bincount(
+            np.asarray(reported_indices, dtype=np.int64), minlength=self.domain_size
+        ).astype(np.int64)
+
+    def estimate_counts_from_observed(self, observed: np.ndarray, n_reports: int) -> np.ndarray:
+        """Unbiased estimates from pre-aggregated observed counts."""
+        return (np.asarray(observed, dtype=float) - n_reports * self.q) / (self.p - self.q)
+
     def estimate_counts(self, reports: Sequence[Hashable]) -> np.ndarray:
         """Unbiased count estimates: ``(observed - n*q) / (p - q)``."""
         reports = list(reports)
         observed = np.zeros(self.domain_size, dtype=float)
         for report in reports:
             observed[self.index_of(report)] += 1.0
-        n = len(reports)
-        return (observed - n * self.q) / (self.p - self.q)
+        return self.estimate_counts_from_observed(observed, len(reports))
 
     def variance(self, n: int) -> float:
         """Estimator variance per domain item for ``n`` reports (low-frequency limit)."""

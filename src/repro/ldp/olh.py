@@ -15,6 +15,7 @@ from typing import Hashable, Sequence, Tuple
 import numpy as np
 
 from repro.ldp.base import FrequencyOracle
+from repro.utils.prf import prf_integers, prf_uniforms
 from repro.utils.rng import RngLike, ensure_rng
 
 # A large prime used in the universal hash family ((a*x + b) mod P) mod g.
@@ -44,6 +45,13 @@ class OptimizedLocalHashing(FrequencyOracle):
         b = (seed * 40503 + 12345) % _PRIME
         return int(((a * (index + 1) + b) % _PRIME) % self.g)
 
+    def _hash_array(self, indices: np.ndarray, seeds: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_hash`: broadcastable over indices and seeds (int64 safe)."""
+        seeds = np.asarray(seeds, dtype=np.int64)
+        a = (seeds * 2654435761 + 1) % _PRIME
+        b = (seeds * 40503 + 12345) % _PRIME
+        return ((a * (np.asarray(indices, dtype=np.int64) + 1) + b) % _PRIME) % self.g
+
     def perturb(self, value: Hashable, rng: RngLike = None) -> Tuple[int, int]:
         """Return ``(hash_seed, perturbed_hashed_value)`` for the true value."""
         generator = ensure_rng(rng)
@@ -56,17 +64,68 @@ class OptimizedLocalHashing(FrequencyOracle):
             reported = (hashed + offset) % self.g
         return seed, reported
 
+    def perturb_batch(self, values: Sequence[Hashable], rng: RngLike = None) -> list[Tuple[int, int]]:
+        """Vectorized :meth:`perturb`: batch draws instead of 3n scalar draws."""
+        generator = ensure_rng(rng)
+        indices = np.fromiter(
+            (self.index_of(v) for v in values), dtype=np.int64, count=len(values)
+        )
+        seeds = generator.integers(0, 2**31 - 1, size=indices.size)
+        reported = self._perturb_hashed(
+            self._hash_array(indices, seeds),
+            generator.random(indices.size),
+            generator.integers(1, self.g, size=indices.size),
+        )
+        return [(int(s), int(r)) for s, r in zip(seeds, reported)]
+
+    def _perturb_hashed(
+        self, hashed: np.ndarray, uniforms: np.ndarray, offsets: np.ndarray
+    ) -> np.ndarray:
+        return np.where(uniforms < self.p, hashed, (hashed + offsets) % self.g).astype(np.int64)
+
+    def encode_batch(
+        self, indices: np.ndarray, user_ids: np.ndarray, key: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """PRF-keyed batch reports ``(seeds, perturbed hashed values)``.
+
+        Each user's hash seed and perturbation are pure functions of
+        ``(key, user id)``, making the reports batch-partition invariant.
+        """
+        seeds = prf_integers(key, user_ids, 2**31 - 1, slot=0)
+        hashed = self._hash_array(np.asarray(indices, dtype=np.int64), seeds)
+        reported = self._perturb_hashed(
+            hashed,
+            prf_uniforms(key, user_ids, slot=1),
+            prf_integers(key, user_ids, self.g - 1, slot=2) + 1,
+        )
+        return seeds, reported
+
+    def aggregate_batch(self, seeds: np.ndarray, reported: np.ndarray) -> np.ndarray:
+        """Support counts per domain item (int64), vectorized over the batch."""
+        seeds = np.asarray(seeds, dtype=np.int64)
+        reported = np.asarray(reported, dtype=np.int64)
+        support = np.empty(self.domain_size, dtype=np.int64)
+        for index in range(self.domain_size):
+            support[index] = int(np.sum(self._hash_array(index, seeds) == reported))
+        return support
+
+    def estimate_counts_from_support(self, support: np.ndarray, n_reports: int) -> np.ndarray:
+        """Unbiased estimates from pre-aggregated per-item support counts."""
+        p_star = np.exp(self.epsilon) / (np.exp(self.epsilon) + self.g - 1)
+        return (np.asarray(support, dtype=float) - n_reports / self.g) / (
+            p_star - 1.0 / self.g
+        )
+
     def estimate_counts(self, reports: Sequence[Tuple[int, int]]) -> np.ndarray:
         """Unbiased counts from ``(seed, value)`` reports."""
         reports = list(reports)
-        n = len(reports)
-        support = np.zeros(self.domain_size, dtype=float)
-        for seed, reported in reports:
-            for index in range(self.domain_size):
-                if self._hash(index, seed) == reported:
-                    support[index] += 1.0
-        p_star = np.exp(self.epsilon) / (np.exp(self.epsilon) + self.g - 1)
-        return (support - n / self.g) / (p_star - 1.0 / self.g)
+        if not reports:
+            return np.zeros(self.domain_size, dtype=float)
+        seeds = np.array([seed for seed, _ in reports], dtype=np.int64)
+        reported = np.array([value for _, value in reports], dtype=np.int64)
+        return self.estimate_counts_from_support(
+            self.aggregate_batch(seeds, reported), len(reports)
+        )
 
     def variance(self, n: int) -> float:
         """Approximate per-item estimator variance for ``n`` reports."""

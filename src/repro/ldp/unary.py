@@ -14,6 +14,7 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.ldp.base import FrequencyOracle
+from repro.utils.prf import prf_uniform_matrix
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -53,6 +54,46 @@ class UnaryEncoding(FrequencyOracle):
         bits[true_index] = np.uint8(generator.random() < self.p)
         return bits
 
+    def perturb_batch(self, values: Sequence[Hashable], rng: RngLike = None) -> np.ndarray:
+        """Vectorized batch perturbation: one ``(n, d)`` draw instead of n loops.
+
+        Returns the stacked perturbed bit vectors, one row per value.
+        """
+        generator = ensure_rng(rng)
+        indices = np.fromiter(
+            (self.index_of(v) for v in values), dtype=np.int64, count=len(values)
+        )
+        return self._perturb_indices(
+            indices, generator.random((indices.size, self.domain_size))
+        )
+
+    def _perturb_indices(self, indices: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
+        """Perturb one-hot rows given a pre-drawn uniform matrix.
+
+        Every bit compares its own uniform against ``q``; the true-cell bit
+        compares the same uniform against ``p`` instead, which is the same
+        Bernoulli marginal as drawing a dedicated uniform for it.
+        """
+        bits = (uniforms < self.q).astype(np.uint8)
+        rows = np.arange(indices.size)
+        bits[rows, indices] = (uniforms[rows, indices] < self.p).astype(np.uint8)
+        return bits
+
+    def encode_batch(self, indices: np.ndarray, user_ids: np.ndarray, key: int) -> np.ndarray:
+        """PRF-keyed batch of perturbed bit vectors, batch-partition invariant."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return self._perturb_indices(
+            indices, prf_uniform_matrix(key, user_ids, self.domain_size)
+        )
+
+    def aggregate_batch(self, bits: np.ndarray) -> np.ndarray:
+        """Observed 1-bit counts per cell (int64, shard-mergeable by +)."""
+        return np.asarray(bits, dtype=np.int64).sum(axis=0)
+
+    def estimate_counts_from_observed(self, observed: np.ndarray, n_reports: int) -> np.ndarray:
+        """Unbiased estimates from pre-aggregated per-cell 1-bit counts."""
+        return (np.asarray(observed, dtype=float) - n_reports * self.q) / (self.p - self.q)
+
     def estimate_counts(self, reports: Sequence[np.ndarray]) -> np.ndarray:
         """Unbiased counts from a stack of perturbed bit vectors."""
         reports = list(reports)
@@ -64,8 +105,7 @@ class UnaryEncoding(FrequencyOracle):
             raise ValueError(
                 f"expected reports of shape ({n}, {self.domain_size}), got {stacked.shape}"
             )
-        observed = stacked.sum(axis=0)
-        return (observed - n * self.q) / (self.p - self.q)
+        return self.estimate_counts_from_observed(stacked.sum(axis=0), n)
 
     def variance(self, n: int) -> float:
         """Estimator variance per domain item for ``n`` reports (low-frequency limit)."""

@@ -1,0 +1,55 @@
+"""Round-based federated collection service for PrivShape.
+
+PrivShape is, in deployment terms, an *interactive* user-level LDP protocol:
+disjoint user groups each answer exactly one round (length estimation,
+sub-shape estimation, one trie-expansion round per level, OUE refinement).
+This package makes that structure explicit and streamable:
+
+* :class:`CollectionPlan` / :class:`RoundSpec` — the frozen schedule and the
+  per-round contract published to clients;
+* :class:`ClientReporter` — stateless client encoding into compact,
+  serializable :class:`ReportBatch` records;
+* :class:`ShardedAggregator` — vectorized, integer-exact streaming
+  aggregation across shards;
+* :class:`PrivShapeEngine` — the server state machine shared with the
+  offline :class:`~repro.core.privshape.PrivShape` path;
+* :class:`ProtocolDriver` — end-to-end orchestration over a population
+  source in constant memory;
+* :class:`SyntheticShapeStream` — a deterministic million-user population
+  generator for load simulation (``python -m repro.cli simulate``).
+"""
+
+from repro.service.aggregator import ShardedAggregator
+from repro.service.client import ClientReporter
+from repro.service.driver import DriverStats, ProtocolDriver, RoundStats
+from repro.service.metrics import ThroughputMeter, peak_rss_bytes
+from repro.service.plan import CollectionPlan, RoundSpec
+from repro.service.population import (
+    EncodedPopulation,
+    SyntheticShapeStream,
+    default_templates,
+)
+from repro.service.protocol import PrivShapeEngine
+from repro.service.reports import ReportBatch
+from repro.service.rounds import RoundAccumulator, accumulate, encode_reports, new_accumulator
+
+__all__ = [
+    "CollectionPlan",
+    "RoundSpec",
+    "ClientReporter",
+    "ReportBatch",
+    "ShardedAggregator",
+    "PrivShapeEngine",
+    "ProtocolDriver",
+    "DriverStats",
+    "RoundStats",
+    "EncodedPopulation",
+    "SyntheticShapeStream",
+    "default_templates",
+    "RoundAccumulator",
+    "accumulate",
+    "encode_reports",
+    "new_accumulator",
+    "ThroughputMeter",
+    "peak_rss_bytes",
+]

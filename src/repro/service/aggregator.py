@@ -1,0 +1,63 @@
+"""Sharded streaming aggregator for one collection round.
+
+Each shard keeps its own integer :class:`~repro.service.rounds.RoundAccumulator`
+and consumes report batches with vectorized merges (``bincount`` / column
+sums) — no per-user Python loops on the hot path.  Because every shard state
+is an int64 count vector, merging shards at :meth:`finalize_round` is exact
+integer addition: a sharded aggregate equals the unsharded one bit for bit,
+for any report routing and any batch sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProtocolStateError
+from repro.service.plan import RoundSpec
+from repro.service.reports import ReportBatch
+from repro.service.rounds import RoundAccumulator, accumulate, new_accumulator
+
+
+class ShardedAggregator:
+    """Consumes report batches for one round across ``n_shards`` partitions."""
+
+    def __init__(self, spec: RoundSpec, n_shards: int = 1) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.spec = spec
+        self.n_shards = int(n_shards)
+        self._shards = [new_accumulator(spec) for _ in range(self.n_shards)]
+        self._finalized = False
+
+    @property
+    def n_reports(self) -> int:
+        """Total reports consumed so far across all shards."""
+        return sum(shard.n_reports for shard in self._shards)
+
+    def consume(self, batch: ReportBatch) -> None:
+        """Route a report batch to shards by user id and merge it (vectorized)."""
+        if self._finalized:
+            raise ProtocolStateError("aggregator already finalized")
+        if batch.round_index != self.spec.index or batch.kind != self.spec.kind:
+            raise ProtocolStateError(
+                f"batch for round {batch.round_index} ({batch.kind}) does not "
+                f"match open round {self.spec.index} ({self.spec.kind})"
+            )
+        if len(batch) == 0:
+            return
+        if self.n_shards == 1:
+            accumulate(self.spec, self._shards[0], batch.payload)
+            return
+        shard_ids = batch.user_ids % self.n_shards
+        for shard in range(self.n_shards):
+            mask = shard_ids == shard
+            if mask.any():
+                accumulate(self.spec, self._shards[shard], batch.payload[mask])
+
+    def finalize_round(self) -> RoundAccumulator:
+        """Merge all shard states into the round's final aggregate (exact)."""
+        self._finalized = True
+        merged = new_accumulator(self.spec)
+        for shard in self._shards:
+            merged.merge(shard)
+        return merged

@@ -1,0 +1,74 @@
+"""Stateless client-side reporter for the collection service.
+
+A :class:`ClientReporter` holds no protocol state: given a published
+:class:`~repro.service.plan.RoundSpec` and a batch of users, it produces one
+compact LDP report per user.  All randomness is PRF-keyed by
+``(round key, user id)`` inside :mod:`repro.service.rounds`, so the same user
+always produces the same report for the same round no matter how the
+population is batched — which is what makes streaming collection equivalent
+to the offline path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.trie import Shape
+from repro.service.plan import RoundSpec
+from repro.service.population import EncodedPopulation
+from repro.service.reports import ReportBatch
+from repro.service.rounds import encode_reports
+
+
+class ClientReporter:
+    """Produces serializable report batches for published round specs.
+
+    The reporter holds no *protocol* state; it only memoizes pure per-round
+    computations (per-prefix Exponential-Mechanism CDFs, per-sequence closest
+    candidates) so that streaming many batches of one round does not redo the
+    same distance scoring.  The memo is dropped whenever a new round key
+    appears and never changes any report.
+    """
+
+    def __init__(self) -> None:
+        self._memo_key: int | None = None
+        self._memo: dict = {}
+
+    def _round_memo(self, spec: RoundSpec) -> dict:
+        if self._memo_key != spec.key:
+            self._memo_key = spec.key
+            self._memo = {}
+        return self._memo
+
+    def make_reports(
+        self,
+        spec: RoundSpec,
+        population: EncodedPopulation,
+        user_ids: np.ndarray,
+    ) -> ReportBatch:
+        """Encode one report per user of ``population`` (vectorized)."""
+        return ReportBatch(
+            round_index=spec.index,
+            kind=spec.kind,
+            user_ids=np.asarray(user_ids, dtype=np.int64),
+            payload=encode_reports(spec, population, user_ids, memo=self._round_memo(spec)),
+        )
+
+    def make_report(
+        self,
+        spec: RoundSpec,
+        sequence: Sequence[str] | Shape,
+        user_id: int,
+        label: int | None = None,
+    ) -> ReportBatch:
+        """Single-user convenience wrapper around :meth:`make_reports`."""
+        population = EncodedPopulation.from_sequences(
+            [tuple(sequence)],
+            spec.alphabet,
+            labels=None if label is None else [int(label)],
+        )
+        return self.make_reports(
+            spec, population, np.array([int(user_id)], dtype=np.int64)
+        )

@@ -1,0 +1,46 @@
+"""Lightweight throughput and memory metrics for the collection service."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (0 when unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS reports bytes.
+    import sys
+
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+@dataclass
+class ThroughputMeter:
+    """Counts reports and wall time for one scope (a round or a whole run)."""
+
+    reports: int = 0
+    elapsed_seconds: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        self._started_at = time.perf_counter()
+
+    def add(self, n_reports: int) -> None:
+        self.reports += int(n_reports)
+
+    def stop(self) -> None:
+        if self._started_at is not None:
+            self.elapsed_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    @property
+    def reports_per_second(self) -> float:
+        """Aggregate throughput; 0 when no time was measured."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.reports / self.elapsed_seconds

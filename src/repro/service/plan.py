@@ -1,0 +1,168 @@
+"""Collection plan: the frozen schedule of a round-based PrivShape run.
+
+A :class:`CollectionPlan` freezes everything that is knowable before any user
+reports: how the population is partitioned into the four disjoint groups
+(Pa — length estimation, Pb — sub-shape estimation, Pc — trie expansion,
+Pd — two-level refinement), how Pc users are assigned to one trie level each,
+and the per-phase privacy budget.  Group membership is a pure PRF function of
+the user id, so a client can determine *locally* which round it participates
+in and the server never materializes per-user assignment state — memory stays
+independent of population size.
+
+A :class:`RoundSpec` is what the server publishes to open one round: the
+round kind, its PRF key, the perturbation domain, and everything else a
+stateless client needs to produce its report.  Specs are plain data and
+serializable (``to_dict``/``from_dict``) so they can cross a wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.config import PrivShapeConfig
+from repro.core.trie import Shape
+from repro.utils.prf import prf_integers, prf_uniforms
+
+#: Population group indices, in the paper's (Pa, Pb, Pc, Pd) order.
+GROUP_LENGTH = 0
+GROUP_SUBSHAPE = 1
+GROUP_EXPAND = 2
+GROUP_REFINE = 3
+
+GROUP_NAMES = ("Pa", "Pb", "Pc", "Pd")
+
+#: Round kinds, in protocol order.
+KIND_LENGTH = "length"
+KIND_SUBSHAPE = "subshape"
+KIND_EXPAND = "expand"
+KIND_REFINE = "refine"
+KIND_REFINE_LABELED = "refine_labeled"
+
+
+@dataclass(frozen=True)
+class RoundSpec:
+    """Everything a stateless client needs to report in one round."""
+
+    index: int
+    kind: str
+    key: int
+    epsilon: float
+    group: int
+    metric: str
+    alphabet: tuple[str, ...]
+    #: length round: clipping bounds.
+    length_low: int = 0
+    length_high: int = 0
+    #: subshape round: the estimated frequent length ℓ_S.
+    est_length: int = 0
+    #: expand round: the trie level whose Pc sub-group reports (0-based).
+    level: int = -1
+    #: expand / refine rounds: the candidate shapes, server-published.
+    candidates: tuple[Shape, ...] = ()
+    #: labelled refinement: number of classes in the joint (candidate, label) cells.
+    n_classes: int = 0
+
+    @property
+    def n_cells(self) -> int:
+        """Number of unary-encoding cells in a refinement round."""
+        return max(len(self.candidates), 1) * max(self.n_classes, 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-serializable) of the spec."""
+        payload = asdict(self)
+        payload["alphabet"] = list(self.alphabet)
+        payload["candidates"] = [list(c) for c in self.candidates]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RoundSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        data = dict(payload)
+        data["alphabet"] = tuple(data["alphabet"])
+        data["candidates"] = tuple(tuple(c) for c in data["candidates"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CollectionPlan:
+    """Frozen population partition + phase budgets for one protocol run."""
+
+    split_key: int
+    fractions: tuple[float, float, float, float]
+    epsilon: float
+    metric: str
+    alphabet: tuple[str, ...]
+    _cumulative: np.ndarray = field(init=False, repr=False, compare=False)
+
+    @classmethod
+    def freeze(cls, config: PrivShapeConfig, split_key: int) -> "CollectionPlan":
+        """Freeze the schedule for ``config`` under the given split key."""
+        return cls(
+            split_key=int(split_key),
+            fractions=tuple(float(f) for f in config.population_fractions),
+            epsilon=float(config.epsilon),
+            metric=str(config.metric),
+            alphabet=tuple(config.alphabet),
+        )
+
+    def __post_init__(self) -> None:
+        cumulative = np.cumsum(np.asarray(self.fractions, dtype=float))[:-1]
+        object.__setattr__(self, "_cumulative", cumulative)
+
+    def group_of(self, user_ids: np.ndarray) -> np.ndarray:
+        """Population group (0..3) of every user — a pure function of the id.
+
+        Group sizes are multinomial around the configured fractions instead of
+        exact, which is what a real service sees anyway; the groups remain
+        disjoint, preserving the parallel-composition privacy argument.
+        """
+        draws = prf_uniforms(self.split_key, user_ids, slot=0)
+        return np.searchsorted(self._cumulative, draws, side="right").astype(np.int64)
+
+    def expand_level_of(self, user_ids: np.ndarray, n_levels: int) -> np.ndarray:
+        """The trie level (0-based) each Pc user reports at, uniform over levels."""
+        return prf_integers(self.split_key, user_ids, max(n_levels, 1), slot=1)
+
+    def participant_mask(self, spec: RoundSpec, user_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask of which ``user_ids`` report in ``spec``'s round."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        mask = self.group_of(user_ids) == spec.group
+        if spec.kind == KIND_EXPAND:
+            mask &= self.expand_level_of(user_ids, max(spec.est_length, 1)) == spec.level
+        return mask
+
+    def describe(self) -> list[dict[str, Any]]:
+        """Static skeleton of the round schedule (before any data arrives)."""
+        return [
+            {
+                "phase": "length estimation",
+                "group": GROUP_NAMES[GROUP_LENGTH],
+                "fraction": self.fractions[GROUP_LENGTH],
+                "mechanism": "GRR",
+                "epsilon": self.epsilon,
+            },
+            {
+                "phase": "sub-shape estimation",
+                "group": GROUP_NAMES[GROUP_SUBSHAPE],
+                "fraction": self.fractions[GROUP_SUBSHAPE],
+                "mechanism": "GRR (padding-and-sampling)",
+                "epsilon": self.epsilon,
+            },
+            {
+                "phase": "trie expansion (one round per level)",
+                "group": GROUP_NAMES[GROUP_EXPAND],
+                "fraction": self.fractions[GROUP_EXPAND],
+                "mechanism": "Exponential Mechanism",
+                "epsilon": self.epsilon,
+            },
+            {
+                "phase": "two-level refinement",
+                "group": GROUP_NAMES[GROUP_REFINE],
+                "fraction": self.fractions[GROUP_REFINE],
+                "mechanism": "OUE",
+                "epsilon": self.epsilon,
+            },
+        ]

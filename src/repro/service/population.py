@@ -1,0 +1,205 @@
+"""Population representations for the round-based collection service.
+
+The service works on *code matrices* instead of tuples of symbol strings so
+that every client-side operation (clipping, sub-shape lookup, prefix
+grouping, closest-candidate assignment) is a vectorized numpy operation.
+A population source yields ``(user_ids, EncodedPopulation)`` batches and can
+be iterated once per round, which is how the driver streams millions of users
+through the protocol in constant memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.trie import Shape
+from repro.utils.prf import prf_uniforms
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Code used to right-pad rows of a code matrix beyond each sequence's length.
+PAD_CODE = -1
+
+
+@dataclass
+class EncodedPopulation:
+    """A batch of users' compressed sequences as a padded int16 code matrix.
+
+    ``codes[i, j]`` is the alphabet index of user ``i``'s ``j``-th symbol, or
+    :data:`PAD_CODE` beyond ``lengths[i]``.  ``labels`` is optional and only
+    used by the labelled refinement round.
+    """
+
+    codes: np.ndarray
+    lengths: np.ndarray
+    alphabet: tuple[str, ...]
+    labels: np.ndarray | None = None
+
+    @classmethod
+    def from_sequences(
+        cls,
+        sequences: Sequence[Shape],
+        alphabet: Sequence[str],
+        labels: Sequence[int] | None = None,
+    ) -> "EncodedPopulation":
+        """Encode tuples of symbols into a padded code matrix."""
+        alphabet = tuple(alphabet)
+        index = {symbol: code for code, symbol in enumerate(alphabet)}
+        n = len(sequences)
+        width = max((len(s) for s in sequences), default=1) or 1
+        codes = np.full((n, width), PAD_CODE, dtype=np.int16)
+        lengths = np.zeros(n, dtype=np.int32)
+        for i, sequence in enumerate(sequences):
+            lengths[i] = len(sequence)
+            for j, symbol in enumerate(sequence):
+                codes[i, j] = index[symbol]
+        label_array = None if labels is None else np.asarray(labels, dtype=np.int64)
+        return cls(codes=codes, lengths=lengths, alphabet=alphabet, labels=label_array)
+
+    def __len__(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def n_users(self) -> int:
+        """Population size (source-protocol accessor)."""
+        return len(self)
+
+    def take(self, indices: np.ndarray) -> "EncodedPopulation":
+        """Row subset (used to keep only one round's participants)."""
+        return EncodedPopulation(
+            codes=self.codes[indices],
+            lengths=self.lengths[indices],
+            alphabet=self.alphabet,
+            labels=None if self.labels is None else self.labels[indices],
+        )
+
+    def padded_codes(self, width: int) -> np.ndarray:
+        """The code matrix truncated or right-padded (with PAD_CODE) to ``width``."""
+        current = self.codes.shape[1]
+        if current >= width:
+            return self.codes[:, :width]
+        pad = np.full((len(self), width - current), PAD_CODE, dtype=self.codes.dtype)
+        return np.hstack([self.codes, pad])
+
+    def decode_row(self, row: np.ndarray) -> Shape:
+        """Turn one (possibly padded) code row back into a symbol tuple."""
+        return tuple(self.alphabet[c] for c in row if c >= 0)
+
+    def iter_batches(
+        self, batch_size: int
+    ) -> Iterator[tuple[np.ndarray, "EncodedPopulation"]]:
+        """Stream the population as ``(user_ids, sub-population)`` batches."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        for start in range(0, len(self), batch_size):
+            stop = min(start + batch_size, len(self))
+            yield np.arange(start, stop, dtype=np.int64), self.take(
+                np.arange(start, stop)
+            )
+
+
+def default_templates(
+    alphabet: Sequence[str],
+    n_templates: int = 6,
+    length: int = 5,
+    rng: RngLike = 0,
+) -> list[Shape]:
+    """Deterministic pool of distinct template shapes for synthetic populations.
+
+    Templates are random non-repeating symbol walks (valid compressed shapes),
+    generated once at configuration time — per-user choices are made with the
+    PRF inside :class:`SyntheticShapeStream`.
+    """
+    generator = ensure_rng(rng)
+    symbols = list(alphabet)
+    templates: list[Shape] = []
+    seen: set[Shape] = set()
+    attempts = 0
+    while len(templates) < n_templates and attempts < 200 * n_templates:
+        attempts += 1
+        walk: list[str] = []
+        for _ in range(length):
+            choices = [s for s in symbols if not walk or s != walk[-1]]
+            walk.append(choices[int(generator.integers(0, len(choices)))])
+        shape = tuple(walk)
+        if shape not in seen:
+            seen.add(shape)
+            templates.append(shape)
+    return templates
+
+
+@dataclass
+class SyntheticShapeStream:
+    """A deterministic, constant-memory stream of synthetic users.
+
+    Each user draws one template shape (PRF-keyed by user id) from a weighted
+    pool and optionally truncates it by one symbol (``length_jitter``), so the
+    population has a known frequent-shape structure at any size.  Batches are
+    regenerated on the fly every pass; peak memory depends only on
+    ``batch_size``, never on ``n_users``.
+    """
+
+    n_users: int
+    alphabet: tuple[str, ...]
+    templates: tuple[Shape, ...]
+    weights: tuple[float, ...] | None = None
+    seed: int = 0
+    length_jitter: float = 0.0
+    _template_codes: np.ndarray = field(init=False, repr=False)
+    _template_lengths: np.ndarray = field(init=False, repr=False)
+    _cum_weights: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0:
+            raise ValueError(f"n_users must be positive, got {self.n_users}")
+        if not self.templates:
+            raise ValueError("templates must not be empty")
+        self.alphabet = tuple(self.alphabet)
+        self.templates = tuple(tuple(t) for t in self.templates)
+        index = {symbol: code for code, symbol in enumerate(self.alphabet)}
+        width = max(len(t) for t in self.templates)
+        self._template_codes = np.full(
+            (len(self.templates), width), PAD_CODE, dtype=np.int16
+        )
+        self._template_lengths = np.zeros(len(self.templates), dtype=np.int32)
+        for i, template in enumerate(self.templates):
+            self._template_lengths[i] = len(template)
+            for j, symbol in enumerate(template):
+                self._template_codes[i, j] = index[symbol]
+        weights = (
+            np.ones(len(self.templates), dtype=float)
+            if self.weights is None
+            else np.asarray(self.weights, dtype=float)
+        )
+        if weights.size != len(self.templates) or np.any(weights <= 0):
+            raise ValueError("weights must be positive, one per template")
+        self._cum_weights = np.cumsum(weights / weights.sum())
+
+    def iter_batches(
+        self, batch_size: int
+    ) -> Iterator[tuple[np.ndarray, EncodedPopulation]]:
+        """Regenerate the user stream deterministically, ``batch_size`` at a time."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        width = self._template_codes.shape[1]
+        columns = np.arange(width)
+        for start in range(0, self.n_users, batch_size):
+            stop = min(start + batch_size, self.n_users)
+            user_ids = np.arange(start, stop, dtype=np.int64)
+            picks = np.searchsorted(
+                self._cum_weights, prf_uniforms(self.seed, user_ids, slot=0), side="right"
+            )
+            picks = np.minimum(picks, len(self.templates) - 1)
+            codes = self._template_codes[picks].copy()
+            lengths = self._template_lengths[picks].copy()
+            if self.length_jitter > 0.0:
+                truncate = (
+                    prf_uniforms(self.seed, user_ids, slot=1) < self.length_jitter
+                ) & (lengths > 2)
+                lengths[truncate] -= 1
+                codes[columns[None, :] >= lengths[:, None]] = PAD_CODE
+            yield user_ids, EncodedPopulation(
+                codes=codes, lengths=lengths, alphabet=self.alphabet
+            )

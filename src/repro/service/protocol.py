@@ -1,0 +1,345 @@
+"""The round-based PrivShape protocol engine (Algorithm 2 as a state machine).
+
+:class:`PrivShapeEngine` owns everything the *server* knows during a
+collection run: the frozen :class:`~repro.service.plan.CollectionPlan`, the
+candidate trie, the privacy accountant, and the protocol stage.  It exposes
+exactly two operations:
+
+* :meth:`open_round` — publish the next :class:`RoundSpec` (drawing its PRF
+  key from the master generator), or ``None`` when the protocol is finished;
+* :meth:`close_round` — consume the round's merged
+  :class:`~repro.service.rounds.RoundAccumulator`, apply the unbiased
+  estimators, advance the trie, and move to the next stage.
+
+Both execution paths run this same engine: the offline
+:class:`~repro.core.privshape.PrivShape` feeds each round with the whole
+population in one batch, while :class:`~repro.service.driver.ProtocolDriver`
+streams arbitrary-size batches through a sharded aggregator.  Because client
+randomness is PRF-keyed and aggregation is integer addition, the two paths
+close every round with identical state — the equivalence the service tests
+assert to the byte.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import PrivShapeConfig
+from repro.core.length import select_modal_length
+from repro.core.refinement import assign_candidates_to_classes, deduplicate_shapes
+from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResult
+from repro.core.subshape import rank_top_subshapes
+from repro.core.trie import Shape, ShapeTrie
+from repro.exceptions import EstimationError, ProtocolStateError
+from repro.ldp.accounting import PrivacyAccountant
+from repro.service.plan import (
+    GROUP_EXPAND,
+    GROUP_LENGTH,
+    GROUP_REFINE,
+    GROUP_SUBSHAPE,
+    KIND_EXPAND,
+    KIND_LENGTH,
+    KIND_REFINE,
+    KIND_REFINE_LABELED,
+    KIND_SUBSHAPE,
+    CollectionPlan,
+    RoundSpec,
+)
+from repro.service.rounds import (
+    RoundAccumulator,
+    length_oracle,
+    refine_oracle,
+    subshape_oracle,
+)
+from repro.utils.prf import fresh_key
+from repro.utils.rng import RngLike, ensure_rng
+
+_STAGE_LENGTH = "length"
+_STAGE_SUBSHAPE = "subshape"
+_STAGE_EXPAND = "expand"
+_STAGE_REFINE = "refine"
+_STAGE_DONE = "done"
+
+
+class PrivShapeEngine:
+    """Server-side protocol state machine shared by offline and streaming runs."""
+
+    def __init__(
+        self,
+        config: PrivShapeConfig,
+        rng: RngLike = None,
+        labeled: bool = False,
+        n_classes: int | None = None,
+    ) -> None:
+        self.config = config
+        self.generator = ensure_rng(rng if rng is not None else config.rng_seed)
+        self.accountant = PrivacyAccountant(target_epsilon=config.epsilon)
+        self.plan = CollectionPlan.freeze(config, split_key=fresh_key(self.generator))
+        self.trie = ShapeTrie(config.alphabet)
+        self.labeled = bool(labeled)
+        self.n_classes = int(n_classes) if n_classes is not None else 0
+        if self.labeled and self.n_classes < 1:
+            raise ValueError("labeled protocols must declare n_classes >= 1")
+
+        self.estimated_length: int | None = None
+        self.subshape_candidates: dict[int, list[tuple[str, str]]] = {}
+        self.leaf_shapes: list[Shape] = []
+        self.frequencies: dict[Shape, float] = {}
+        self.per_class_counts: dict[int, dict[Shape, float]] | None = None
+
+        self._stage = _STAGE_LENGTH
+        self._level = 0
+        self._round_index = 0
+        self._open: Optional[RoundSpec] = None
+
+    # ------------------------------------------------------------- round flow
+
+    def open_round(self) -> Optional[RoundSpec]:
+        """Publish the next round's spec, or None when the protocol is done."""
+        if self._open is not None:
+            raise ProtocolStateError(
+                f"round {self._open.index} ({self._open.kind}) is still open"
+            )
+        if self._stage == _STAGE_DONE:
+            return None
+        key = fresh_key(self.generator)
+        common = dict(
+            index=self._round_index,
+            key=key,
+            epsilon=self.config.epsilon,
+            metric=self.config.metric,
+            alphabet=self.plan.alphabet,
+        )
+        if self._stage == _STAGE_LENGTH:
+            spec = RoundSpec(
+                kind=KIND_LENGTH,
+                group=GROUP_LENGTH,
+                length_low=self.config.length_low,
+                length_high=self.config.length_high,
+                **common,
+            )
+        elif self._stage == _STAGE_SUBSHAPE:
+            spec = RoundSpec(
+                kind=KIND_SUBSHAPE,
+                group=GROUP_SUBSHAPE,
+                est_length=self.estimated_length,
+                **common,
+            )
+        elif self._stage == _STAGE_EXPAND:
+            spec = RoundSpec(
+                kind=KIND_EXPAND,
+                group=GROUP_EXPAND,
+                level=self._level,
+                est_length=self.estimated_length,
+                candidates=tuple(self._expansion_candidates(self._level)),
+                **common,
+            )
+        elif self._stage == _STAGE_REFINE:
+            spec = RoundSpec(
+                kind=KIND_REFINE_LABELED if self.labeled else KIND_REFINE,
+                group=GROUP_REFINE,
+                candidates=tuple(self.leaf_shapes),
+                n_classes=self.n_classes if self.labeled else 0,
+                **common,
+            )
+        else:  # pragma: no cover - defensive
+            raise ProtocolStateError(f"unknown protocol stage {self._stage!r}")
+        self._open = spec
+        self._round_index += 1
+        return spec
+
+    def close_round(self, spec: RoundSpec, aggregate: RoundAccumulator) -> None:
+        """Finalize one round from its merged counts and advance the stage."""
+        if self._open is None or spec.index != self._open.index:
+            raise ProtocolStateError(
+                f"round {spec.index} is not the currently open round"
+            )
+        self._open = None
+        if spec.kind == KIND_LENGTH:
+            self._close_length(spec, aggregate)
+        elif spec.kind == KIND_SUBSHAPE:
+            self._close_subshape(spec, aggregate)
+        elif spec.kind == KIND_EXPAND:
+            self._close_expand(spec, aggregate)
+        elif spec.kind in (KIND_REFINE, KIND_REFINE_LABELED):
+            self._close_refine(spec, aggregate)
+        else:  # pragma: no cover - defensive
+            raise ProtocolStateError(f"unknown round kind {spec.kind!r}")
+
+    # --------------------------------------------------------- stage closers
+
+    def _close_length(self, spec: RoundSpec, aggregate: RoundAccumulator) -> None:
+        if aggregate.n_reports == 0:
+            raise EstimationError("no users were assigned to length estimation")
+        oracle = length_oracle(spec)
+        if oracle is None:
+            self.estimated_length = spec.length_low
+        else:
+            estimates = oracle.estimate_counts_from_observed(
+                aggregate.counts, aggregate.n_reports
+            )
+            counts = {
+                int(length): float(count)
+                for length, count in zip(oracle.domain, estimates)
+            }
+            self.estimated_length = select_modal_length(counts)
+        self.accountant.spend("Pa", spec.epsilon, mechanism="GRR length estimation")
+        self._stage = (
+            _STAGE_SUBSHAPE if self.estimated_length >= 2 else _STAGE_EXPAND
+        )
+        self._level = 0
+
+    def _close_subshape(self, spec: RoundSpec, aggregate: RoundAccumulator) -> None:
+        if aggregate.n_reports == 0:
+            raise EstimationError("no users were assigned to sub-shape estimation")
+        oracle = subshape_oracle(spec)
+        domain = list(oracle.domain)
+        keep = self.config.candidate_budget
+        top_per_level: dict[int, list[tuple[str, str]]] = {}
+        for level in range(1, spec.est_length):
+            observed = aggregate.counts[level - 1]
+            n_level = int(observed.sum())
+            if n_level == 0:
+                # No user sampled this level (tiny populations): keep everything.
+                top_per_level[level] = list(domain)
+                continue
+            estimates = oracle.estimate_counts_from_observed(observed, n_level)
+            counts = {
+                pair: float(count) for pair, count in zip(domain, estimates)
+            }
+            top_per_level[level] = rank_top_subshapes(counts, keep)
+        self.subshape_candidates = top_per_level
+        self.accountant.spend("Pb", spec.epsilon, mechanism="GRR sub-shape estimation")
+        self._stage = _STAGE_EXPAND
+        self._level = 0
+
+    def _expansion_candidates(self, level: int) -> list[Shape]:
+        """Children of the surviving level-``level`` prefixes (Algorithm 2, lines 7-10)."""
+        keep = self.config.candidate_budget
+        if level == 0:
+            survivors: list[Shape] = [()]
+            allowed = None
+        else:
+            survivors = self.trie.prune_to_top(level, keep)
+            allowed = self.subshape_candidates.get(level)
+        children = self.trie.expand(survivors, allowed_subshapes=allowed)
+        if not children:
+            # All expansions were pruned away (can happen with noisy sub-shape
+            # estimates); fall back to full expansion.
+            children = self.trie.expand(survivors, allowed_subshapes=None)
+        return children
+
+    def _close_expand(self, spec: RoundSpec, aggregate: RoundAccumulator) -> None:
+        if aggregate.n_reports > 0:
+            for candidate, count in zip(spec.candidates, aggregate.counts):
+                self.trie.set_frequency(candidate, float(count))
+            self.accountant.spend(
+                f"Pc[level {spec.level}]",
+                spec.epsilon,
+                mechanism="Exponential Mechanism selection",
+            )
+        self._level += 1
+        if self._level >= max(self.estimated_length, 1):
+            self._prepare_refinement()
+
+    def _prepare_refinement(self) -> None:
+        keep = self.config.candidate_budget
+        leaf_level = self.trie.height
+        self.leaf_shapes = self.trie.prune_to_top(leaf_level, keep)
+        if self.labeled:
+            if not self.leaf_shapes:
+                self.leaf_shapes = [tuple(self.plan.alphabet[:1])]
+            self.per_class_counts = {
+                label: {candidate: 0.0 for candidate in self.leaf_shapes}
+                for label in range(self.n_classes)
+            }
+            self._stage = _STAGE_REFINE
+            return
+        self.frequencies = {
+            shape: self.trie.node(shape).frequency for shape in self.leaf_shapes
+        }
+        if self.config.refinement and self.leaf_shapes:
+            self._stage = _STAGE_REFINE
+        else:
+            self._stage = _STAGE_DONE
+
+    def _close_refine(self, spec: RoundSpec, aggregate: RoundAccumulator) -> None:
+        self._stage = _STAGE_DONE
+        if aggregate.n_reports == 0:
+            # Nobody landed in Pd: keep the trie-expansion frequencies.
+            return
+        oracle = refine_oracle(spec)
+        if oracle is None:
+            estimates = np.array([float(aggregate.n_reports)])
+        else:
+            estimates = oracle.estimate_counts_from_observed(
+                aggregate.counts, aggregate.n_reports
+            )
+        if spec.kind == KIND_REFINE_LABELED:
+            assert self.per_class_counts is not None
+            for cell, count in enumerate(estimates):
+                candidate = spec.candidates[cell // spec.n_classes]
+                label = cell % spec.n_classes
+                self.per_class_counts[label][candidate] = float(count)
+            self.accountant.spend(
+                "Pd", spec.epsilon, mechanism="OUE labelled refinement"
+            )
+            return
+        refined = {
+            candidate: float(count)
+            for candidate, count in zip(spec.candidates, estimates)
+        }
+        self.accountant.spend("Pd", spec.epsilon, mechanism="OUE two-level refinement")
+        self.frequencies = refined
+        for shape, count in refined.items():
+            self.trie.set_frequency(shape, count)
+
+    # -------------------------------------------------------------- finalize
+
+    def finalize(self) -> ShapeExtractionResult:
+        """Post-process the closed protocol into the unlabelled result."""
+        if self._stage != _STAGE_DONE:
+            raise ProtocolStateError(
+                f"protocol still in stage {self._stage!r}; run all rounds first"
+            )
+        shapes = sorted(self.frequencies, key=lambda s: (-self.frequencies[s], s))
+        counts = [self.frequencies[s] for s in shapes]
+        if self.config.postprocess:
+            shapes, counts = deduplicate_shapes(
+                shapes,
+                counts,
+                k=self.config.top_k,
+                metric=self.config.metric,
+                alphabet_size=self.config.alphabet_size,
+            )
+        shapes = shapes[: self.config.top_k]
+        counts = counts[: self.config.top_k]
+        return ShapeExtractionResult(
+            shapes=shapes,
+            frequencies=counts,
+            estimated_length=self.estimated_length,
+            trie=self.trie,
+            accountant=self.accountant,
+            subshape_candidates=self.subshape_candidates,
+        )
+
+    def finalize_labeled(self) -> LabeledShapeExtractionResult:
+        """Post-process the closed protocol into the per-class result."""
+        if self._stage != _STAGE_DONE:
+            raise ProtocolStateError(
+                f"protocol still in stage {self._stage!r}; run all rounds first"
+            )
+        assert self.per_class_counts is not None
+        shapes_by_class, frequencies_by_class = assign_candidates_to_classes(
+            self.per_class_counts, top_k=self.config.top_k
+        )
+        return LabeledShapeExtractionResult(
+            shapes_by_class=shapes_by_class,
+            frequencies_by_class=frequencies_by_class,
+            estimated_length=self.estimated_length,
+            trie=self.trie,
+            accountant=self.accountant,
+            subshape_candidates=self.subshape_candidates,
+        )

@@ -1,0 +1,309 @@
+"""Per-round client encoding and server aggregation.
+
+Each protocol round has three pure pieces:
+
+* ``encode_reports`` — the *client* side: given a round spec and a batch of
+  users, produce one compact LDP report per user.  All randomness comes from
+  the PRF keyed by ``(round key, user id)``, so reports are identical under
+  any batch partition.
+* ``new_accumulator`` / ``accumulate`` / ``RoundAccumulator.merge`` — the
+  *server* side: integer count state that is updated with vectorized numpy
+  (``bincount`` / column sums; no per-user Python loops) and merges exactly
+  across shards because integer addition is associative.
+
+The offline :class:`~repro.core.privshape.PrivShape` path calls these very
+functions on the full population in one batch; the streaming
+:class:`~repro.service.driver.ProtocolDriver` calls them batch by batch
+through :class:`~repro.service.aggregator.ShardedAggregator` — which is why
+the two paths produce byte-identical aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.selection import candidate_scores
+from repro.core.subshape import all_subshapes
+from repro.distance.registry import shape_distance
+from repro.exceptions import DomainError
+from repro.ldp.exponential import ExponentialMechanism
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.ldp.unary import UnaryEncoding
+from repro.service.plan import (
+    KIND_EXPAND,
+    KIND_LENGTH,
+    KIND_REFINE,
+    KIND_REFINE_LABELED,
+    KIND_SUBSHAPE,
+    RoundSpec,
+)
+from repro.service.population import EncodedPopulation
+from repro.utils.prf import derive_key, prf_integers, prf_uniforms
+
+
+@dataclass
+class RoundAccumulator:
+    """Integer count state of one round (shard-mergeable by addition)."""
+
+    counts: np.ndarray
+    n_reports: int = 0
+
+    def merge(self, other: "RoundAccumulator") -> None:
+        """Fold another shard's state into this one (exact: int64 addition)."""
+        self.counts += other.counts
+        self.n_reports += other.n_reports
+
+
+def length_oracle(spec: RoundSpec) -> GeneralizedRandomizedResponse | None:
+    """The GRR oracle of a length round, or None for a single-value domain."""
+    domain = list(range(spec.length_low, spec.length_high + 1))
+    if len(domain) < 2:
+        return None
+    return GeneralizedRandomizedResponse(spec.epsilon, domain=domain)
+
+
+def subshape_oracle(spec: RoundSpec) -> GeneralizedRandomizedResponse:
+    """The GRR oracle over the ``t·(t-1)`` ordered symbol pairs."""
+    return GeneralizedRandomizedResponse(
+        spec.epsilon, domain=all_subshapes(spec.alphabet)
+    )
+
+
+def refine_oracle(spec: RoundSpec) -> UnaryEncoding | None:
+    """The OUE oracle of a refinement round, or None for a single cell."""
+    if spec.n_cells < 2:
+        return None
+    return UnaryEncoding(spec.epsilon, domain=list(range(spec.n_cells)), optimized=True)
+
+
+def _pair_code_table(alphabet: tuple[str, ...]) -> np.ndarray:
+    """``table[a, b]`` = domain index of symbol-code pair (a, b), -1 if invalid."""
+    pairs = all_subshapes(alphabet)
+    index = {symbol: code for code, symbol in enumerate(alphabet)}
+    table = np.full((len(alphabet), len(alphabet)), -1, dtype=np.int64)
+    for i, (first, second) in enumerate(pairs):
+        table[index[first], index[second]] = i
+    return table
+
+
+def new_accumulator(spec: RoundSpec) -> RoundAccumulator:
+    """Fresh all-zero count state of the right shape for ``spec``."""
+    if spec.kind == KIND_LENGTH:
+        size = spec.length_high - spec.length_low + 1
+        return RoundAccumulator(np.zeros(size, dtype=np.int64))
+    if spec.kind == KIND_SUBSHAPE:
+        n_levels = max(spec.est_length - 1, 1)
+        n_pairs = len(spec.alphabet) * (len(spec.alphabet) - 1)
+        return RoundAccumulator(np.zeros((n_levels, n_pairs), dtype=np.int64))
+    if spec.kind == KIND_EXPAND:
+        return RoundAccumulator(np.zeros(max(len(spec.candidates), 1), dtype=np.int64))
+    if spec.kind in (KIND_REFINE, KIND_REFINE_LABELED):
+        return RoundAccumulator(np.zeros(spec.n_cells, dtype=np.int64))
+    raise DomainError(f"unknown round kind {spec.kind!r}")
+
+
+# --------------------------------------------------------------------- encode
+
+
+def _encode_length(spec: RoundSpec, population: EncodedPopulation, user_ids: np.ndarray) -> np.ndarray:
+    clipped = np.clip(population.lengths, spec.length_low, spec.length_high).astype(
+        np.int64
+    ) - spec.length_low
+    oracle = length_oracle(spec)
+    if oracle is None:  # degenerate single-length domain: nothing to hide
+        return clipped.astype(np.int32)
+    return oracle.encode_batch(clipped, user_ids, spec.key).astype(np.int32)
+
+
+def _encode_subshape(spec: RoundSpec, population: EncodedPopulation, user_ids: np.ndarray) -> np.ndarray:
+    oracle = subshape_oracle(spec)
+    table = _pair_code_table(spec.alphabet)
+    padded = population.padded_codes(spec.est_length)
+    # Level j in {1, .., ℓ_S - 1}, chosen by each user (padding-and-sampling).
+    levels = 1 + prf_integers(spec.key, user_ids, spec.est_length - 1, slot=0)
+    rows = np.arange(len(user_ids))
+    first = padded[rows, levels - 1].astype(np.int64)
+    second = padded[rows, levels].astype(np.int64)
+    valid = (first >= 0) & (second >= 0) & (first != second)
+    pair_indices = np.where(valid, table[first, second], 0)
+    # Users whose sampled pair contains padding report pure noise: a uniform
+    # domain element, perturbed like any other value.
+    noise = prf_integers(spec.key, user_ids, oracle.domain_size, slot=1)
+    true_indices = np.where(valid, pair_indices, noise)
+    # The GRR perturbation draws from an independent sub-key so its slots do
+    # not collide with the level/noise draws above.
+    reported = oracle.encode_batch(true_indices, user_ids, derive_key(spec.key, 2))
+    return np.stack([levels, reported], axis=1).astype(np.int32)
+
+
+def _encode_expand(
+    spec: RoundSpec,
+    population: EncodedPopulation,
+    user_ids: np.ndarray,
+    memo: dict | None,
+) -> np.ndarray:
+    candidates = [tuple(c) for c in spec.candidates]
+    mechanism = ExponentialMechanism(spec.epsilon)
+    prefix_length = max(max(len(c) for c in candidates), 1)
+    rows = population.padded_codes(prefix_length)
+    unique_rows, inverse = np.unique(rows, axis=0, return_inverse=True)
+    uniforms = prf_uniforms(spec.key, user_ids, slot=0)
+    selected = np.empty(len(user_ids), dtype=np.int64)
+    # The CDF depends only on the prefix and the round's candidate set, so it
+    # is memoized across a round's batches (distance scoring dominates the
+    # encode cost, especially for DTW).
+    cdf_memo = memo.setdefault("expand_cdfs", {}) if memo is not None else {}
+    for group, row in enumerate(unique_rows):
+        key = row.tobytes()
+        cdf = cdf_memo.get(key)
+        if cdf is None:
+            prefix = population.decode_row(row)
+            scores = candidate_scores(prefix, candidates, spec.metric, len(spec.alphabet))
+            cdf = mechanism.selection_cdf(scores)
+            cdf_memo[key] = cdf
+        members = inverse == group
+        selected[members] = ExponentialMechanism.sample_from_cdf(cdf, uniforms[members])
+    return selected.astype(np.int32)
+
+
+def _common_prefix_length(sequence: tuple, candidate: tuple) -> int:
+    length = 0
+    for a, b in zip(sequence, candidate):
+        if a != b:
+            break
+        length += 1
+    return length
+
+
+def _closest_with_prefix_affinity(
+    sequence: tuple, candidates: list, metric: str, alphabet_size: int
+) -> int:
+    """Closest candidate; exact distance ties prefer the longest shared prefix.
+
+    Leaf candidates are trie paths, so a user whose compressed sequence is
+    shorter than the trie height often sits at *exactly* the same edit
+    distance from several candidates (her own prefix extended by different
+    tails, or an unrelated candidate of matching length).  A first-index
+    tie-break would pile every such user onto one arbitrary candidate, which
+    lets two classes collide in one refinement cell and makes the class
+    assignment a coin flip.  Preferring the candidate that shares the longest
+    prefix with the user (the quantity Lemma 1 reasons about) keeps those
+    users on their own branch of the trie.
+    """
+    distances = np.array(
+        [
+            shape_distance(sequence, candidate, metric=metric, alphabet_size=alphabet_size)
+            for candidate in candidates
+        ],
+        dtype=float,
+    )
+    tied = np.flatnonzero(distances == distances.min())
+    if tied.size == 1:
+        return int(tied[0])
+    prefix_lengths = [_common_prefix_length(sequence, candidates[i]) for i in tied]
+    return int(tied[int(np.argmax(prefix_lengths))])
+
+
+def _closest_per_user(
+    spec: RoundSpec, population: EncodedPopulation, memo: dict | None = None
+) -> np.ndarray:
+    """Deterministic closest-candidate index per user (grouped by unique sequence)."""
+    candidates = [tuple(c) for c in spec.candidates]
+    unique_rows, inverse = np.unique(population.codes, axis=0, return_inverse=True)
+    closest_memo = memo.setdefault("refine_closest", {}) if memo is not None else {}
+    closest = np.empty(len(unique_rows), dtype=np.int64)
+    for group, row in enumerate(unique_rows):
+        key = row.tobytes()
+        index = closest_memo.get(key)
+        if index is None:
+            index = _closest_with_prefix_affinity(
+                population.decode_row(row), candidates, spec.metric, len(spec.alphabet)
+            )
+            closest_memo[key] = index
+        closest[group] = index
+    return closest[inverse]
+
+
+def _encode_refine(
+    spec: RoundSpec,
+    population: EncodedPopulation,
+    user_ids: np.ndarray,
+    memo: dict | None,
+) -> np.ndarray:
+    oracle = refine_oracle(spec)
+    if oracle is None:  # single cell: the report carries no choice, only presence
+        return np.ones((len(user_ids), 1), dtype=np.uint8)
+    cells = _closest_per_user(spec, population, memo)
+    if spec.kind == KIND_REFINE_LABELED:
+        if population.labels is None:
+            raise DomainError("labelled refinement requires a labelled population")
+        cells = cells * spec.n_classes + (population.labels % spec.n_classes)
+    return oracle.encode_batch(cells, user_ids, spec.key)
+
+
+def encode_reports(
+    spec: RoundSpec,
+    population: EncodedPopulation,
+    user_ids: np.ndarray,
+    memo: dict | None = None,
+) -> np.ndarray:
+    """One LDP report per user of ``population`` for the given round.
+
+    The payload layout per round kind:
+
+    * ``length`` — int32 ``(n,)`` perturbed GRR indices;
+    * ``subshape`` — int32 ``(n, 2)`` columns (sampled level, perturbed pair);
+    * ``expand`` — int32 ``(n,)`` Exponential-Mechanism selections;
+    * ``refine`` / ``refine_labeled`` — uint8 ``(n, cells)`` OUE bit vectors.
+
+    ``memo`` optionally carries pure per-round computations (per-prefix EM
+    CDFs, per-sequence closest candidates) across the batches of one round;
+    pass the same dict for every batch of a round and a fresh one for the
+    next round.  Memoization never changes a report — it caches pure
+    functions of (round spec, user data).
+    """
+    user_ids = np.asarray(user_ids, dtype=np.int64)
+    if len(population) != len(user_ids):
+        raise ValueError("population batch and user_ids must have the same length")
+    if spec.kind == KIND_LENGTH:
+        return _encode_length(spec, population, user_ids)
+    if spec.kind == KIND_SUBSHAPE:
+        return _encode_subshape(spec, population, user_ids)
+    if spec.kind == KIND_EXPAND:
+        return _encode_expand(spec, population, user_ids, memo)
+    if spec.kind in (KIND_REFINE, KIND_REFINE_LABELED):
+        return _encode_refine(spec, population, user_ids, memo)
+    raise DomainError(f"unknown round kind {spec.kind!r}")
+
+
+# ------------------------------------------------------------------ aggregate
+
+
+def accumulate(spec: RoundSpec, accumulator: RoundAccumulator, payload: np.ndarray) -> None:
+    """Fold a batch of reports into the round's count state (vectorized)."""
+    if payload.size == 0:
+        return
+    if spec.kind == KIND_LENGTH:
+        accumulator.counts += np.bincount(
+            payload.astype(np.int64), minlength=accumulator.counts.size
+        )
+        accumulator.n_reports += payload.shape[0]
+    elif spec.kind == KIND_SUBSHAPE:
+        n_levels, n_pairs = accumulator.counts.shape
+        flat = (payload[:, 0].astype(np.int64) - 1) * n_pairs + payload[:, 1]
+        accumulator.counts += np.bincount(
+            flat, minlength=n_levels * n_pairs
+        ).reshape(n_levels, n_pairs)
+        accumulator.n_reports += payload.shape[0]
+    elif spec.kind == KIND_EXPAND:
+        accumulator.counts += np.bincount(
+            payload.astype(np.int64), minlength=accumulator.counts.size
+        )
+        accumulator.n_reports += payload.shape[0]
+    elif spec.kind in (KIND_REFINE, KIND_REFINE_LABELED):
+        accumulator.counts += payload.astype(np.int64).sum(axis=0)
+        accumulator.n_reports += payload.shape[0]
+    else:
+        raise DomainError(f"unknown round kind {spec.kind!r}")

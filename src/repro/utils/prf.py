@@ -1,0 +1,99 @@
+"""Counter-based pseudo-random function for per-user report randomness.
+
+The round-based collection service derives every random draw a client makes
+from ``(round key, user id, draw slot)`` through a vectorized SplitMix64-style
+mixer.  Because a report's randomness is a pure function of those three
+values, the realized reports do not depend on how the population is batched,
+sharded, or ordered — the streaming :class:`~repro.service.driver.ProtocolDriver`
+and the offline :class:`~repro.core.privshape.PrivShape` path therefore
+produce *byte-identical* aggregates from the same master seed.
+
+This is simulation plumbing, not cryptography: SplitMix64 passes standard
+statistical batteries, which is all a reproducible LDP simulation needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+_MASK64 = (1 << 64) - 1
+#: 2^64 / golden ratio; the standard SplitMix64 stream increment.
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+#: 2^-53, converts the top 53 bits of a draw into a double in [0, 1).
+_INV_2_53 = float(2.0 ** -53)
+
+
+def fresh_key(rng: RngLike = None) -> int:
+    """Draw a new 63-bit round key from a master generator.
+
+    Both execution paths (offline and streaming) draw their round keys from
+    the master generator in the same order, which is the only generator state
+    they consume — everything downstream is keyed PRF evaluation.
+    """
+    return int(ensure_rng(rng).integers(0, 2**63 - 1))
+
+
+def _mix64(z: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 array (wraps modulo 2^64)."""
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX_A)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX_B)
+    return z ^ (z >> np.uint64(31))
+
+
+def _mix_scalar(z: int) -> int:
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * _MIX_A) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def derive_key(key: int, salt: int) -> int:
+    """Derive an independent sub-key, e.g. one per draw slot or matrix column."""
+    return _mix_scalar((int(key) + (int(salt) + 1) * _GOLDEN) & _MASK64)
+
+
+def prf_uint64(key: int, user_ids: np.ndarray, slot: int = 0) -> np.ndarray:
+    """One 64-bit draw per user, as a uint64 array."""
+    state = np.uint64(derive_key(key, slot))
+    ids = np.asarray(user_ids).astype(np.uint64, copy=False)
+    return _mix64(state + (ids + np.uint64(1)) * np.uint64(_GOLDEN))
+
+
+def prf_uniforms(key: int, user_ids: np.ndarray, slot: int = 0) -> np.ndarray:
+    """One double in [0, 1) per user."""
+    return (prf_uint64(key, user_ids, slot) >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+
+def prf_integers(key: int, user_ids: np.ndarray, high: int, slot: int = 0) -> np.ndarray:
+    """One integer in ``[0, high)`` per user (int64).
+
+    Uses the multiply-shift reduction of a 53-bit uniform; the modulo bias is
+    below ``high / 2^53``, far beneath anything a frequency estimate can see.
+    """
+    if high <= 0:
+        raise ValueError(f"high must be positive, got {high}")
+    return np.minimum(
+        (prf_uniforms(key, user_ids, slot) * high).astype(np.int64), high - 1
+    )
+
+
+def prf_uniform_matrix(key: int, user_ids: np.ndarray, n_columns: int, slot: int = 0) -> np.ndarray:
+    """A ``(len(user_ids), n_columns)`` matrix of doubles in [0, 1).
+
+    Column ``j`` is the independent stream ``slot + j``; every cell is still a
+    pure function of (key, user id, column), so any sub-batch of rows equals
+    the corresponding rows of the full-population matrix.
+    """
+    if n_columns <= 0:
+        raise ValueError(f"n_columns must be positive, got {n_columns}")
+    ids = np.asarray(user_ids).astype(np.uint64, copy=False)
+    row_state = (ids + np.uint64(1)) * np.uint64(_GOLDEN)
+    column_keys = np.array(
+        [derive_key(key, slot + j) for j in range(n_columns)], dtype=np.uint64
+    )
+    draws = _mix64(row_state[:, None] + column_keys[None, :])
+    return (draws >> np.uint64(11)).astype(np.float64) * _INV_2_53

@@ -71,3 +71,27 @@ class TestSelection:
     def test_select_empty_candidates(self):
         with pytest.raises(DomainError):
             ExponentialMechanism(1.0).select([], score_fn=lambda c: 1.0)
+
+
+class TestCdfSampling:
+    def test_cdf_reaches_one(self):
+        mechanism = ExponentialMechanism(2.0)
+        cdf = mechanism.selection_cdf([0.1, 0.9, 0.4])
+        assert np.isclose(cdf[-1], 1.0)
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_sample_from_cdf_matches_probabilities(self):
+        mechanism = ExponentialMechanism(3.0)
+        scores = [0.0, 1.0, 0.5]
+        probabilities = mechanism.selection_probabilities(scores)
+        cdf = mechanism.selection_cdf(scores)
+        uniforms = np.random.default_rng(0).random(200000)
+        selected = ExponentialMechanism.sample_from_cdf(cdf, uniforms)
+        observed = np.bincount(selected, minlength=3) / 200000
+        assert np.allclose(observed, probabilities, atol=0.005)
+
+    def test_sample_from_cdf_clips_to_last_index(self):
+        """A uniform at (or beyond) the top of the CDF still yields a valid index."""
+        cdf = np.array([0.3, 0.6, 0.9999999])
+        selected = ExponentialMechanism.sample_from_cdf(cdf, np.array([0.99999995, 0.0]))
+        assert list(selected) == [2, 0]

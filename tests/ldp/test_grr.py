@@ -104,3 +104,54 @@ class TestPrivacyProperty:
         # The report distribution has only two probability levels: p and q.
         ratio = oracle.p / oracle.q
         assert ratio <= np.exp(epsilon) + 1e-9
+
+
+class TestBatchAPIs:
+    def test_perturb_batch_matches_scalar_distribution(self):
+        """The vectorized batch path has the same keep-rate as the scalar path."""
+        oracle = GeneralizedRandomizedResponse(2.0, domain=list("abcd"))
+        values = ["a"] * 20000
+        batch = oracle.perturb_batch(values, rng=0)
+        scalar = oracle.perturb_many(values[:5000], rng=0)
+        batch_rate = np.mean([v == "a" for v in batch])
+        scalar_rate = np.mean([v == "a" for v in scalar])
+        assert abs(batch_rate - oracle.p) < 0.02
+        assert abs(batch_rate - scalar_rate) < 0.03
+
+    def test_encode_batch_is_partition_invariant(self):
+        oracle = GeneralizedRandomizedResponse(1.5, domain=list("abcd"))
+        user_ids = np.arange(5000)
+        indices = user_ids % 4
+        whole = oracle.encode_batch(indices, user_ids, key=7)
+        pieces = np.concatenate(
+            [
+                oracle.encode_batch(indices[:311], user_ids[:311], key=7),
+                oracle.encode_batch(indices[311:], user_ids[311:], key=7),
+            ]
+        )
+        assert np.array_equal(whole, pieces)
+
+    def test_encode_batch_outputs_valid_indices(self):
+        oracle = GeneralizedRandomizedResponse(1.0, domain=list("abc"))
+        reported = oracle.encode_batch(np.zeros(1000, dtype=np.int64), np.arange(1000), key=3)
+        assert reported.min() >= 0 and reported.max() < 3
+
+    def test_aggregate_and_estimate_are_unbiased(self):
+        oracle = GeneralizedRandomizedResponse(3.0, domain=list("abcd"))
+        true = np.array([7000, 2000, 800, 200])
+        indices = np.repeat(np.arange(4), true)
+        reported = oracle.encode_batch(indices, np.arange(indices.size), key=11)
+        estimates = oracle.estimate_counts_from_observed(
+            oracle.aggregate_batch(reported), indices.size
+        )
+        assert np.allclose(estimates, true, atol=300)
+
+    def test_aggregate_batch_is_integer_and_mergeable(self):
+        oracle = GeneralizedRandomizedResponse(1.0, domain=list("ab"))
+        reported = np.array([0, 1, 1, 0, 1])
+        counts = oracle.aggregate_batch(reported)
+        assert counts.dtype == np.int64
+        assert np.array_equal(
+            counts,
+            oracle.aggregate_batch(reported[:2]) + oracle.aggregate_batch(reported[2:]),
+        )

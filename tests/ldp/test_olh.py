@@ -42,3 +42,59 @@ class TestPerturbAndEstimate:
     def test_empty_reports(self):
         oracle = OptimizedLocalHashing(1.0, domain=list("abc"))
         assert np.allclose(oracle.estimate_counts([]), 0.0)
+
+
+class TestBatchAPIs:
+    def test_hash_array_matches_scalar_hash(self):
+        oracle = OptimizedLocalHashing(2.0, domain=list(range(30)))
+        seeds = np.array([1, 99, 123456, 2**30])
+        for index in (0, 7, 29):
+            vectorized = oracle._hash_array(index, seeds)
+            scalar = [oracle._hash(index, int(seed)) for seed in seeds]
+            assert list(vectorized) == scalar
+
+    def test_encode_batch_is_partition_invariant(self):
+        oracle = OptimizedLocalHashing(2.0, domain=list(range(12)))
+        user_ids = np.arange(3000)
+        indices = user_ids % 12
+        seeds_a, reported_a = oracle.encode_batch(indices, user_ids, key=5)
+        seeds_b = np.concatenate(
+            [
+                oracle.encode_batch(indices[:777], user_ids[:777], key=5)[0],
+                oracle.encode_batch(indices[777:], user_ids[777:], key=5)[0],
+            ]
+        )
+        assert np.array_equal(seeds_a, seeds_b)
+        assert reported_a.min() >= 0 and reported_a.max() < oracle.g
+
+    def test_batch_estimation_recovers_heavy_hitter(self):
+        oracle = OptimizedLocalHashing(4.0, domain=list(range(10)))
+        indices = np.zeros(20000, dtype=np.int64)  # everyone holds item 0
+        seeds, reported = oracle.encode_batch(indices, np.arange(20000), key=9)
+        estimates = oracle.estimate_counts_from_support(
+            oracle.aggregate_batch(seeds, reported), 20000
+        )
+        assert int(np.argmax(estimates)) == 0
+        assert estimates[0] > 15000
+
+    def test_perturb_batch_report_format(self):
+        oracle = OptimizedLocalHashing(1.0, domain=list("abcde"))
+        reports = oracle.perturb_batch(["a", "b", "c"], rng=0)
+        assert len(reports) == 3
+        for seed, value in reports:
+            assert isinstance(seed, int) and isinstance(value, int)
+            assert 0 <= value < oracle.g
+
+    def test_vectorized_estimate_matches_loop_reference(self):
+        """The vectorized estimate_counts equals the old per-report loop."""
+        oracle = OptimizedLocalHashing(2.0, domain=list(range(8)))
+        rng = np.random.default_rng(1)
+        reports = [oracle.perturb(int(v), rng) for v in rng.integers(0, 8, size=300)]
+        support = np.zeros(oracle.domain_size, dtype=float)
+        for seed, reported in reports:
+            for index in range(oracle.domain_size):
+                if oracle._hash(index, seed) == reported:
+                    support[index] += 1.0
+        p_star = np.exp(oracle.epsilon) / (np.exp(oracle.epsilon) + oracle.g - 1)
+        reference = (support - len(reports) / oracle.g) / (p_star - 1.0 / oracle.g)
+        assert np.allclose(oracle.estimate_counts(reports), reference)

@@ -62,3 +62,41 @@ class TestEstimation:
         oue = UnaryEncoding(1.0, domain=list("abcd"), optimized=True).variance(n)
         sue = UnaryEncoding(1.0, domain=list("abcd"), optimized=False).variance(n)
         assert oue <= sue + 1e-9
+
+
+class TestBatchAPIs:
+    def test_perturb_batch_shape_and_dtype(self):
+        oracle = UnaryEncoding(1.0, domain=list(range(6)))
+        bits = oracle.perturb_batch([0, 1, 2, 3], rng=0)
+        assert bits.shape == (4, 6)
+        assert bits.dtype == np.uint8
+
+    def test_encode_batch_is_partition_invariant(self):
+        oracle = UnaryEncoding(2.0, domain=list(range(9)))
+        user_ids = np.arange(2000)
+        indices = user_ids % 9
+        whole = oracle.encode_batch(indices, user_ids, key=13)
+        pieces = np.vstack(
+            [
+                oracle.encode_batch(indices[:499], user_ids[:499], key=13),
+                oracle.encode_batch(indices[499:], user_ids[499:], key=13),
+            ]
+        )
+        assert np.array_equal(whole, pieces)
+
+    def test_true_bit_rate_near_p(self):
+        oracle = UnaryEncoding(2.0, domain=list(range(5)))
+        indices = np.zeros(30000, dtype=np.int64)
+        bits = oracle.encode_batch(indices, np.arange(30000), key=3)
+        assert abs(bits[:, 0].mean() - oracle.p) < 0.01
+        assert abs(bits[:, 1:].mean() - oracle.q) < 0.01
+
+    def test_batch_estimation_is_unbiased(self):
+        oracle = UnaryEncoding(3.0, domain=list(range(4)))
+        true = np.array([5000, 3000, 1500, 500])
+        indices = np.repeat(np.arange(4), true)
+        bits = oracle.encode_batch(indices, np.arange(indices.size), key=21)
+        estimates = oracle.estimate_counts_from_observed(
+            oracle.aggregate_batch(bits), indices.size
+        )
+        assert np.allclose(estimates, true, atol=350)

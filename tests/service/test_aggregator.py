@@ -1,0 +1,101 @@
+"""Sharded streaming aggregation: exactness and state discipline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolStateError
+from repro.service.aggregator import ShardedAggregator
+from repro.service.plan import RoundSpec
+from repro.service.reports import ReportBatch
+from repro.service.rounds import accumulate, new_accumulator
+
+
+def _expand_spec(n_candidates: int = 5) -> RoundSpec:
+    candidates = tuple((chr(ord("a") + i),) for i in range(n_candidates))
+    return RoundSpec(
+        index=4,
+        kind="expand",
+        key=99,
+        epsilon=2.0,
+        group=2,
+        metric="sed",
+        alphabet=("a", "b", "c", "d", "e"),
+        level=0,
+        est_length=3,
+        candidates=candidates,
+    )
+
+
+def _batch(spec, user_ids, payload):
+    return ReportBatch(
+        round_index=spec.index,
+        kind=spec.kind,
+        user_ids=np.asarray(user_ids, dtype=np.int64),
+        payload=np.asarray(payload, dtype=np.int32),
+    )
+
+
+class TestShardedEqualsUnsharded:
+    @pytest.mark.parametrize("n_shards", [2, 3, 8])
+    def test_counts_merge_exactly(self, n_shards):
+        spec = _expand_spec()
+        rng = np.random.default_rng(0)
+        user_ids = np.arange(10000)
+        payload = rng.integers(0, 5, size=10000)
+
+        unsharded = ShardedAggregator(spec, n_shards=1)
+        sharded = ShardedAggregator(spec, n_shards=n_shards)
+        for start in (0, 1000, 4500):  # uneven batch boundaries
+            stop = start + 3300
+            batch = _batch(spec, user_ids[start:stop], payload[start:stop])
+            unsharded.consume(batch)
+            sharded.consume(batch)
+        merged_a = unsharded.finalize_round()
+        merged_b = sharded.finalize_round()
+        assert np.array_equal(merged_a.counts, merged_b.counts)
+        assert merged_a.n_reports == merged_b.n_reports
+
+    def test_matches_direct_accumulation(self):
+        spec = _expand_spec()
+        payload = np.array([0, 1, 1, 2, 4, 4, 4], dtype=np.int32)
+        direct = new_accumulator(spec)
+        accumulate(spec, direct, payload)
+
+        aggregator = ShardedAggregator(spec, n_shards=4)
+        aggregator.consume(_batch(spec, np.arange(7), payload))
+        merged = aggregator.finalize_round()
+        assert np.array_equal(merged.counts, direct.counts)
+        assert merged.n_reports == 7
+
+    def test_empty_batches_are_noops(self):
+        spec = _expand_spec()
+        aggregator = ShardedAggregator(spec, n_shards=2)
+        aggregator.consume(_batch(spec, [], np.empty(0, dtype=np.int32)))
+        merged = aggregator.finalize_round()
+        assert merged.n_reports == 0
+        assert merged.counts.sum() == 0
+
+
+class TestStateDiscipline:
+    def test_round_mismatch_rejected(self):
+        spec = _expand_spec()
+        aggregator = ShardedAggregator(spec, n_shards=1)
+        wrong = ReportBatch(
+            round_index=spec.index + 1,
+            kind=spec.kind,
+            user_ids=np.arange(3),
+            payload=np.zeros(3, dtype=np.int32),
+        )
+        with pytest.raises(ProtocolStateError):
+            aggregator.consume(wrong)
+
+    def test_consume_after_finalize_rejected(self):
+        spec = _expand_spec()
+        aggregator = ShardedAggregator(spec, n_shards=1)
+        aggregator.finalize_round()
+        with pytest.raises(ProtocolStateError):
+            aggregator.consume(_batch(spec, [0], [1]))
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedAggregator(_expand_spec(), n_shards=0)

@@ -1,0 +1,121 @@
+"""Offline/round-based equivalence: the tentpole guarantee of the service.
+
+``ProtocolDriver`` (streaming batches, sharded aggregation, wire
+serialization) must produce *byte-identical* results to the offline
+``PrivShape.extract()`` path from the same master seed, because client
+randomness is a pure PRF function of (round key, user id) and aggregation is
+integer addition.  These tests pin that guarantee on the paper's two main
+dataset configurations and across the service's degrees of freedom.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrivShapeConfig
+from repro.core.privshape import PrivShape
+from repro.service import EncodedPopulation, ProtocolDriver
+
+
+def _assert_identical(result_a, result_b):
+    assert result_a.shapes == result_b.shapes
+    assert result_a.frequencies == result_b.frequencies
+    assert result_a.estimated_length == result_b.estimated_length
+    assert result_a.subshape_candidates == result_b.subshape_candidates
+    assert (
+        result_a.accountant.per_population() == result_b.accountant.per_population()
+    )
+
+
+class TestOfflineDriverEquivalence:
+    def test_symbols_configuration(self, symbols_sequences):
+        """Paper's Symbols config (t=6): driver == offline, byte for byte."""
+        config = PrivShapeConfig(
+            epsilon=4.0, top_k=3, alphabet_size=6, metric="dtw", length_high=8
+        )
+        offline = PrivShape(config).extract(symbols_sequences, rng=2023)
+        population = EncodedPopulation.from_sequences(symbols_sequences, config.alphabet)
+        streamed = ProtocolDriver(
+            config, population, batch_size=37, n_shards=3, serialize=True, rng=2023
+        ).run()
+        _assert_identical(offline, streamed)
+
+    def test_trace_configuration(self, trace_sequences):
+        """Paper's Trace config (t=4): driver == offline, byte for byte."""
+        config = PrivShapeConfig(
+            epsilon=4.0, top_k=4, alphabet_size=4, metric="sed", length_high=8
+        )
+        offline = PrivShape(config).extract(trace_sequences, rng=7)
+        population = EncodedPopulation.from_sequences(trace_sequences, config.alphabet)
+        streamed = ProtocolDriver(
+            config, population, batch_size=64, n_shards=2, serialize=True, rng=7
+        ).run()
+        _assert_identical(offline, streamed)
+
+    @pytest.mark.parametrize("batch_size", [1, 13, 500, 5000])
+    def test_batch_size_invariance(self, batch_size):
+        """Every batch partition of the stream yields the same extraction."""
+        sequences = (
+            [tuple("abcd")] * 900 + [tuple("dcba")] * 600 + [tuple("bca")] * 300
+        )
+        config = PrivShapeConfig(
+            epsilon=6.0, top_k=2, alphabet_size=4, metric="sed", length_high=6
+        )
+        offline = PrivShape(config).extract(sequences, rng=5)
+        population = EncodedPopulation.from_sequences(sequences, config.alphabet)
+        streamed = ProtocolDriver(
+            config, population, batch_size=batch_size, rng=5
+        ).run()
+        _assert_identical(offline, streamed)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 7])
+    def test_shard_count_invariance(self, n_shards):
+        """Sharded aggregation merges to exactly the unsharded counts."""
+        sequences = [tuple("abcd")] * 800 + [tuple("dcba")] * 800
+        config = PrivShapeConfig(
+            epsilon=6.0, top_k=2, alphabet_size=4, metric="sed", length_high=6
+        )
+        offline = PrivShape(config).extract(sequences, rng=9)
+        population = EncodedPopulation.from_sequences(sequences, config.alphabet)
+        streamed = ProtocolDriver(
+            config, population, batch_size=111, n_shards=n_shards, rng=9
+        ).run()
+        _assert_identical(offline, streamed)
+
+    def test_serialization_does_not_change_results(self):
+        """Pushing every batch through the wire format is lossless end to end."""
+        sequences = [tuple("abc")] * 700 + [tuple("cba")] * 700
+        config = PrivShapeConfig(
+            epsilon=5.0, top_k=2, alphabet_size=4, metric="sed", length_high=5
+        )
+        population = EncodedPopulation.from_sequences(sequences, config.alphabet)
+        plain = ProtocolDriver(config, population, batch_size=97, rng=1).run()
+        wired = ProtocolDriver(
+            config, population, batch_size=97, serialize=True, rng=1
+        ).run()
+        _assert_identical(plain, wired)
+
+    def test_refinement_disabled_still_equivalent(self):
+        sequences = [tuple("abcd")] * 700 + [tuple("dcba")] * 500
+        config = PrivShapeConfig(
+            epsilon=6.0, top_k=2, alphabet_size=4, metric="sed",
+            length_high=6, refinement=False,
+        )
+        offline = PrivShape(config).extract(sequences, rng=3)
+        population = EncodedPopulation.from_sequences(sequences, config.alphabet)
+        streamed = ProtocolDriver(config, population, batch_size=83, rng=3).run()
+        _assert_identical(offline, streamed)
+        assert "Pd" not in offline.accountant.per_population()
+
+    def test_driver_stats_account_every_participant(self):
+        sequences = [tuple("abcd")] * 1000 + [tuple("dcba")] * 1000
+        config = PrivShapeConfig(
+            epsilon=6.0, top_k=2, alphabet_size=4, metric="sed", length_high=6
+        )
+        population = EncodedPopulation.from_sequences(sequences, config.alphabet)
+        driver = ProtocolDriver(config, population, batch_size=256, rng=4)
+        driver.run()
+        # Every user belongs to exactly one group and reports exactly once
+        # (Pc users only in their assigned level's round).
+        assert driver.stats.total_reports == len(sequences)
+        assert driver.stats.rounds[0].kind == "length"
+        assert driver.stats.rounds[-1].kind == "refine"

@@ -1,0 +1,181 @@
+"""Collection plan semantics and protocol-engine state discipline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrivShapeConfig
+from repro.exceptions import ProtocolStateError
+from repro.service.plan import CollectionPlan, RoundSpec
+from repro.service.protocol import PrivShapeEngine
+from repro.service.rounds import accumulate, encode_reports, new_accumulator
+from repro.service.population import EncodedPopulation
+
+
+def _config(**overrides) -> PrivShapeConfig:
+    defaults = dict(
+        epsilon=6.0, top_k=2, alphabet_size=4, metric="sed", length_low=1, length_high=6
+    )
+    defaults.update(overrides)
+    return PrivShapeConfig(**defaults)
+
+
+class TestCollectionPlan:
+    def test_groups_partition_every_user(self):
+        plan = CollectionPlan.freeze(_config(), split_key=42)
+        groups = plan.group_of(np.arange(100000))
+        assert groups.min() >= 0 and groups.max() <= 3
+        # Group sizes concentrate around the configured fractions.
+        sizes = np.bincount(groups, minlength=4) / 100000
+        assert np.allclose(sizes, (0.02, 0.08, 0.7, 0.2), atol=0.01)
+
+    def test_membership_is_pure_function_of_user_id(self):
+        plan = CollectionPlan.freeze(_config(), split_key=7)
+        ids = np.arange(10000)
+        whole = plan.group_of(ids)
+        pieces = np.concatenate([plan.group_of(ids[:123]), plan.group_of(ids[123:])])
+        assert np.array_equal(whole, pieces)
+
+    def test_expand_levels_cover_all_levels(self):
+        plan = CollectionPlan.freeze(_config(), split_key=1)
+        levels = plan.expand_level_of(np.arange(50000), n_levels=5)
+        assert set(np.unique(levels)) == {0, 1, 2, 3, 4}
+
+    def test_participant_masks_are_disjoint_across_rounds(self):
+        """Each user reports in exactly one round (parallel composition)."""
+        config = _config()
+        engine = PrivShapeEngine(config, rng=0)
+        population = EncodedPopulation.from_sequences(
+            [tuple("abcd")] * 1500 + [tuple("dcba")] * 1500, config.alphabet
+        )
+        user_ids = np.arange(len(population))
+        reported = np.zeros(len(population), dtype=int)
+        while (spec := engine.open_round()) is not None:
+            mask = engine.plan.participant_mask(spec, user_ids)
+            reported += mask.astype(int)
+            aggregate = new_accumulator(spec)
+            if mask.any():
+                rows = np.flatnonzero(mask)
+                accumulate(
+                    spec,
+                    aggregate,
+                    encode_reports(spec, population.take(rows), user_ids[rows]),
+                )
+            engine.close_round(spec, aggregate)
+        assert reported.max() <= 1
+
+    def test_describe_covers_all_phases(self):
+        plan = CollectionPlan.freeze(_config(), split_key=0)
+        phases = plan.describe()
+        assert [p["group"] for p in phases] == ["Pa", "Pb", "Pc", "Pd"]
+
+
+class TestRoundSpecSerialization:
+    def test_round_trip(self):
+        spec = RoundSpec(
+            index=3,
+            kind="expand",
+            key=123456789,
+            epsilon=4.0,
+            group=2,
+            metric="dtw",
+            alphabet=("a", "b", "c"),
+            level=1,
+            est_length=4,
+            candidates=(("a", "b"), ("b", "c")),
+        )
+        assert RoundSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_form_is_plain_data(self):
+        import json
+
+        spec = RoundSpec(
+            index=0, kind="length", key=1, epsilon=2.0, group=0,
+            metric="sed", alphabet=("a", "b"), length_low=1, length_high=4,
+        )
+        json.dumps(spec.to_dict())  # must not raise
+
+
+class TestEngineStateDiscipline:
+    def test_open_twice_rejected(self):
+        engine = PrivShapeEngine(_config(), rng=0)
+        engine.open_round()
+        with pytest.raises(ProtocolStateError):
+            engine.open_round()
+
+    def test_close_wrong_round_rejected(self):
+        engine = PrivShapeEngine(_config(), rng=0)
+        spec = engine.open_round()
+        stale = RoundSpec(
+            index=spec.index + 5, kind=spec.kind, key=spec.key, epsilon=spec.epsilon,
+            group=spec.group, metric=spec.metric, alphabet=spec.alphabet,
+            length_low=spec.length_low, length_high=spec.length_high,
+        )
+        with pytest.raises(ProtocolStateError):
+            engine.close_round(stale, new_accumulator(stale))
+
+    def test_finalize_before_done_rejected(self):
+        engine = PrivShapeEngine(_config(), rng=0)
+        with pytest.raises(ProtocolStateError):
+            engine.finalize()
+
+    def test_labeled_engine_requires_n_classes(self):
+        with pytest.raises(ValueError):
+            PrivShapeEngine(_config(), rng=0, labeled=True)
+
+    def test_round_indices_are_sequential(self):
+        config = _config()
+        engine = PrivShapeEngine(config, rng=1)
+        population = EncodedPopulation.from_sequences(
+            [tuple("abc")] * 1200, config.alphabet
+        )
+        user_ids = np.arange(len(population))
+        indices = []
+        while (spec := engine.open_round()) is not None:
+            indices.append(spec.index)
+            aggregate = new_accumulator(spec)
+            mask = engine.plan.participant_mask(spec, user_ids)
+            if mask.any():
+                rows = np.flatnonzero(mask)
+                accumulate(
+                    spec,
+                    aggregate,
+                    encode_reports(spec, population.take(rows), user_ids[rows]),
+                )
+            engine.close_round(spec, aggregate)
+        assert indices == list(range(len(indices)))
+
+
+class TestClosestCandidateTieBreak:
+    def test_distance_ties_prefer_longest_shared_prefix(self):
+        """Users shorter than the trie height stay on their own branch.
+
+        A 'dcba' user is at the same edit distance from 'abcdcba' (prepend
+        'abc') as from 'dcbacba' (append 'cba'); first-index tie-breaking
+        would merge her with the other class's users in one refinement cell.
+        """
+        from repro.service.rounds import _closest_per_user
+
+        spec = RoundSpec(
+            index=0, kind="refine", key=1, epsilon=4.0, group=3,
+            metric="sed", alphabet=("a", "b", "c", "d"),
+            candidates=(tuple("abcdcba"), tuple("dcbacba")),
+        )
+        population = EncodedPopulation.from_sequences(
+            [tuple("dcba"), tuple("abcdcba")], ("a", "b", "c", "d")
+        )
+        closest = _closest_per_user(spec, population)
+        assert list(closest) == [1, 0]
+
+    def test_unique_minimum_still_wins(self):
+        from repro.service.rounds import _closest_per_user
+
+        spec = RoundSpec(
+            index=0, kind="refine", key=1, epsilon=4.0, group=3,
+            metric="sed", alphabet=("a", "b", "c", "d"),
+            candidates=(tuple("abcd"), tuple("dcba")),
+        )
+        population = EncodedPopulation.from_sequences(
+            [tuple("abcd"), tuple("dcb")], ("a", "b", "c", "d")
+        )
+        closest = _closest_per_user(spec, population)
+        assert list(closest) == [0, 1]

@@ -1,0 +1,111 @@
+"""Population encoding and the deterministic synthetic stream."""
+
+import numpy as np
+import pytest
+
+from repro.service.population import (
+    PAD_CODE,
+    EncodedPopulation,
+    SyntheticShapeStream,
+    default_templates,
+)
+
+
+class TestEncodedPopulation:
+    def test_encode_decode_round_trip(self):
+        sequences = [tuple("abcd"), tuple("ba"), tuple("c")]
+        population = EncodedPopulation.from_sequences(sequences, "abcd")
+        assert len(population) == 3
+        for i, sequence in enumerate(sequences):
+            assert population.decode_row(population.codes[i]) == sequence
+        assert list(population.lengths) == [4, 2, 1]
+
+    def test_padding_beyond_length(self):
+        population = EncodedPopulation.from_sequences([tuple("ab")], "abcd")
+        padded = population.padded_codes(5)
+        assert padded.shape == (1, 5)
+        assert list(padded[0]) == [0, 1, PAD_CODE, PAD_CODE, PAD_CODE]
+
+    def test_truncation_to_width(self):
+        population = EncodedPopulation.from_sequences([tuple("abcd")], "abcd")
+        assert population.padded_codes(2).shape == (1, 2)
+
+    def test_take_preserves_labels(self):
+        population = EncodedPopulation.from_sequences(
+            [tuple("ab"), tuple("ba"), tuple("ab")], "ab", labels=[0, 1, 0]
+        )
+        subset = population.take(np.array([1, 2]))
+        assert list(subset.labels) == [1, 0]
+
+    def test_iter_batches_covers_population_once(self):
+        population = EncodedPopulation.from_sequences([tuple("ab")] * 10, "ab")
+        seen = [ids for ids, _ in population.iter_batches(3)]
+        assert np.array_equal(np.concatenate(seen), np.arange(10))
+
+
+class TestDefaultTemplates:
+    def test_templates_are_valid_compressed_shapes(self):
+        templates = default_templates("abcd", n_templates=8, length=5, rng=0)
+        assert len(templates) == 8
+        assert len(set(templates)) == 8
+        for template in templates:
+            assert len(template) == 5
+            assert all(a != b for a, b in zip(template, template[1:]))
+
+    def test_deterministic_per_seed(self):
+        assert default_templates("abcd", 4, 5, rng=1) == default_templates("abcd", 4, 5, rng=1)
+        assert default_templates("abcd", 4, 5, rng=1) != default_templates("abcd", 4, 5, rng=2)
+
+
+class TestSyntheticShapeStream:
+    def _stream(self, n_users=5000, **overrides):
+        defaults = dict(
+            n_users=n_users,
+            alphabet=("a", "b", "c", "d"),
+            templates=(tuple("abcd"), tuple("dcba"), tuple("bcd")),
+            weights=(0.6, 0.3, 0.1),
+            seed=3,
+            length_jitter=0.25,
+        )
+        defaults.update(overrides)
+        return SyntheticShapeStream(**defaults)
+
+    def test_stream_is_deterministic_and_restartable(self):
+        stream = self._stream()
+        first = [pop.codes.copy() for _, pop in stream.iter_batches(1024)]
+        second = [pop.codes.copy() for _, pop in stream.iter_batches(1024)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_batch_size_does_not_change_users(self):
+        stream = self._stream(n_users=2000)
+        big = np.vstack([pop.codes for _, pop in stream.iter_batches(2000)])
+        small = np.vstack([pop.codes for _, pop in stream.iter_batches(7)])
+        assert np.array_equal(big, small)
+
+    def test_template_frequencies_follow_weights(self):
+        stream = self._stream(n_users=50000, length_jitter=0.0)
+        counts = {}
+        for _, population in stream.iter_batches(8192):
+            for i in range(len(population)):
+                shape = population.decode_row(population.codes[i])
+                counts[shape] = counts.get(shape, 0) + 1
+        assert counts[tuple("abcd")] > counts[tuple("dcba")] > counts[tuple("bcd")]
+
+    def test_jitter_truncates_by_one_symbol(self):
+        stream = self._stream(n_users=3000, length_jitter=0.5)
+        lengths = np.concatenate(
+            [pop.lengths for _, pop in stream.iter_batches(512)]
+        )
+        assert set(np.unique(lengths)) <= {2, 3, 4}
+        assert (lengths == 3).sum() > 0  # some abcd/dcba users truncated
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            self._stream(n_users=0)
+        with pytest.raises(ValueError):
+            self._stream(weights=(1.0, -1.0, 1.0))
+        with pytest.raises(ValueError):
+            SyntheticShapeStream(
+                n_users=10, alphabet=("a", "b"), templates=(), seed=0
+            )

@@ -1,0 +1,88 @@
+"""Serialization round-trips for the collection-service wire format."""
+
+import numpy as np
+import pytest
+
+from repro.service.reports import ReportBatch
+
+
+def _roundtrip(batch: ReportBatch) -> ReportBatch:
+    return ReportBatch.from_bytes(batch.to_bytes())
+
+
+class TestRoundTrips:
+    def test_length_payload(self):
+        batch = ReportBatch(
+            round_index=0,
+            kind="length",
+            user_ids=np.arange(100, dtype=np.int64),
+            payload=np.arange(100, dtype=np.int32) % 7,
+        )
+        restored = _roundtrip(batch)
+        assert restored.round_index == 0
+        assert restored.kind == "length"
+        assert np.array_equal(restored.user_ids, batch.user_ids)
+        assert np.array_equal(restored.payload, batch.payload)
+
+    def test_subshape_two_column_payload(self):
+        payload = np.stack(
+            [np.arange(50) % 4 + 1, np.arange(50) % 12], axis=1
+        ).astype(np.int32)
+        batch = ReportBatch(
+            round_index=1, kind="subshape", user_ids=np.arange(50), payload=payload
+        )
+        restored = _roundtrip(batch)
+        assert restored.payload.shape == (50, 2)
+        assert np.array_equal(restored.payload, payload)
+
+    def test_refine_bits_are_packed_and_restored(self):
+        rng = np.random.default_rng(0)
+        bits = (rng.random((64, 13)) < 0.3).astype(np.uint8)
+        batch = ReportBatch(
+            round_index=7, kind="refine", user_ids=np.arange(64), payload=bits
+        )
+        wire = batch.to_bytes()
+        restored = ReportBatch.from_bytes(wire)
+        assert np.array_equal(restored.payload, bits)
+        # Packed on the wire: 13 cells fit in 2 bytes per user, not 13.
+        assert len(wire) < 64 * 13 + 64 * 8
+
+    def test_labeled_refine_bits(self):
+        bits = np.eye(8, 21, dtype=np.uint8)
+        batch = ReportBatch(
+            round_index=3, kind="refine_labeled", user_ids=np.arange(8), payload=bits
+        )
+        assert np.array_equal(_roundtrip(batch).payload, bits)
+
+    def test_empty_batch(self):
+        batch = ReportBatch(
+            round_index=2,
+            kind="expand",
+            user_ids=np.empty(0, dtype=np.int64),
+            payload=np.empty(0, dtype=np.int32),
+        )
+        restored = _roundtrip(batch)
+        assert len(restored) == 0
+        assert restored.kind == "expand"
+
+
+class TestValidation:
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError):
+            ReportBatch(
+                round_index=0,
+                kind="length",
+                user_ids=np.arange(5),
+                payload=np.arange(4, dtype=np.int32),
+            )
+
+    def test_take_subsets_rows(self):
+        batch = ReportBatch(
+            round_index=0,
+            kind="expand",
+            user_ids=np.arange(10),
+            payload=np.arange(10, dtype=np.int32),
+        )
+        subset = batch.take(np.array([1, 3, 5]))
+        assert np.array_equal(subset.user_ids, [1, 3, 5])
+        assert np.array_equal(subset.payload, [1, 3, 5])

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -101,6 +103,22 @@ class TestCommands:
         assert exit_code == 0
         assert output.count("\n") >= 4
 
+    def test_simulate_streams_small_population(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--users", "20000",
+                "--batch-size", "4096",
+                "--shards", "2",
+                "--epsilon", "6",
+                "--seed", "7",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "reports/sec" in output
+        assert "top shapes:" in output
+
     def test_ucr_file_input(self, tmp_path, capsys):
         lines = []
         for i in range(120):
@@ -121,3 +139,64 @@ class TestCommands:
         )
         assert exit_code == 0
         assert "top shapes:" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    """Every sub-command must emit one valid JSON document with --json."""
+
+    def _run_json(self, capsys, argv):
+        exit_code = main(argv + ["--json"])
+        assert exit_code == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_extract_json(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["extract", "--dataset", "trace", "--users", "600", "--epsilon", "6",
+             "--seed", "1"],
+        )
+        assert payload["command"] == "extract"
+        assert payload["estimated_length"] >= 1
+        assert all("shape" in entry for entry in payload["shapes"])
+        assert payload["accounting"]["within_budget"] is True
+
+    def test_cluster_json(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["cluster", "--dataset", "symbols", "--users", "900", "--epsilon", "6",
+             "--evaluation-size", "100", "--seed", "4"],
+        )
+        assert payload["command"] == "cluster"
+        assert "ari" in payload
+        assert isinstance(payload["shapes"], list)
+
+    def test_classify_json(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["classify", "--dataset", "trace", "--users", "900", "--epsilon", "6",
+             "--evaluation-size", "100", "--seed", "3"],
+        )
+        assert payload["command"] == "classify"
+        assert 0.0 <= payload["accuracy"] <= 1.0
+        assert payload["shapes_by_class"]
+
+    def test_sweep_json(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["sweep", "--task", "classify", "--dataset", "trace", "--users", "700",
+             "--epsilons", "2", "6", "--evaluation-size", "80", "--seed", "5"],
+        )
+        assert payload["command"] == "sweep"
+        assert [point["epsilon"] for point in payload["points"]] == [2.0, 6.0]
+
+    def test_simulate_json(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["simulate", "--users", "20000", "--batch-size", "4096", "--epsilon", "6",
+             "--seed", "7"],
+        )
+        assert payload["command"] == "simulate"
+        assert payload["throughput"]["total_reports"] == 20000
+        assert payload["throughput"]["reports_per_second"] > 0
+        assert len(payload["throughput"]["rounds"]) >= 3
+        assert payload["shapes"]

@@ -1,0 +1,96 @@
+"""Tests for the counter-based PRF behind the collection service."""
+
+import numpy as np
+import pytest
+
+from repro.utils.prf import (
+    derive_key,
+    fresh_key,
+    prf_integers,
+    prf_uint64,
+    prf_uniform_matrix,
+    prf_uniforms,
+)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_outputs(self):
+        ids = np.arange(1000)
+        assert np.array_equal(prf_uniforms(7, ids), prf_uniforms(7, ids))
+
+    def test_different_keys_differ(self):
+        ids = np.arange(1000)
+        assert not np.array_equal(prf_uniforms(7, ids), prf_uniforms(8, ids))
+
+    def test_different_slots_differ(self):
+        ids = np.arange(1000)
+        assert not np.array_equal(
+            prf_uniforms(7, ids, slot=0), prf_uniforms(7, ids, slot=1)
+        )
+
+    def test_batch_partition_invariance(self):
+        """Any split of the id range yields the same values as one call."""
+        ids = np.arange(5000)
+        whole = prf_uniforms(3, ids)
+        parts = np.concatenate(
+            [prf_uniforms(3, ids[:17]), prf_uniforms(3, ids[17:1234]), prf_uniforms(3, ids[1234:])]
+        )
+        assert np.array_equal(whole, parts)
+
+    def test_fresh_key_is_seed_deterministic(self):
+        assert fresh_key(123) == fresh_key(123)
+        assert fresh_key(123) != fresh_key(124)
+
+
+class TestDistribution:
+    def test_uniforms_in_unit_interval(self):
+        draws = prf_uniforms(11, np.arange(100000))
+        assert draws.min() >= 0.0
+        assert draws.max() < 1.0
+        assert abs(draws.mean() - 0.5) < 0.01
+
+    def test_integers_cover_range_uniformly(self):
+        draws = prf_integers(13, np.arange(60000), high=6)
+        counts = np.bincount(draws, minlength=6)
+        assert draws.min() >= 0 and draws.max() <= 5
+        assert counts.min() > 0.9 * 10000
+
+    def test_integers_rejects_nonpositive_high(self):
+        with pytest.raises(ValueError):
+            prf_integers(13, np.arange(10), high=0)
+
+    def test_uint64_no_trivial_collisions(self):
+        draws = prf_uint64(17, np.arange(100000))
+        assert len(np.unique(draws)) == 100000
+
+
+class TestMatrix:
+    def test_matrix_columns_match_slots(self):
+        """Column j of the matrix is exactly the slot-j stream."""
+        ids = np.arange(500)
+        matrix = prf_uniform_matrix(19, ids, n_columns=5)
+        for column in range(5):
+            assert np.array_equal(matrix[:, column], prf_uniforms(19, ids, slot=column))
+
+    def test_matrix_rows_are_user_functions(self):
+        """Any row subset equals the corresponding rows of the full matrix."""
+        ids = np.arange(1000)
+        full = prf_uniform_matrix(23, ids, n_columns=3)
+        subset = prf_uniform_matrix(23, ids[250:750], n_columns=3)
+        assert np.array_equal(full[250:750], subset)
+
+    def test_matrix_rejects_nonpositive_columns(self):
+        with pytest.raises(ValueError):
+            prf_uniform_matrix(23, np.arange(10), n_columns=0)
+
+
+class TestDeriveKey:
+    def test_distinct_salts_distinct_keys(self):
+        keys = {derive_key(99, salt) for salt in range(1000)}
+        assert len(keys) == 1000
+
+    def test_derived_streams_are_independent_enough(self):
+        ids = np.arange(20000)
+        a = prf_uniforms(derive_key(5, 0), ids)
+        b = prf_uniforms(derive_key(5, 1), ids)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.02
