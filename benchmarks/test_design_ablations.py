@@ -99,7 +99,7 @@ def test_population_split_ablation(benchmark):
             result = PrivShape(config).extract_labeled(
                 sequences, train.labels, n_classes=dataset.n_classes, rng=205
             )
-            labelled = {l: s for l, s in result.shapes_by_class.items() if s}
+            labelled = {c: s for c, s in result.shapes_by_class.items() if s}
             classifier = NearestShapeClassifier(
                 labelled_shapes=labelled, transformer=transformer, metric="sed"
             )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from benchmarks.helpers import bench_users, print_table, symbols_dataset
+from benchmarks.helpers import print_table, symbols_dataset
 from repro.core.baseline import BaselineMechanism
 from repro.core.config import BaselineConfig, PrivShapeConfig
 from repro.core.privshape import PrivShape
@@ -59,8 +59,8 @@ def test_theorem4_perturbation_domain_sizes(benchmark):
     # PrivShape's domain respects the c*k*(t-1) expansion bound at every level.
     assert all(size <= bound for size in privshape_sizes.values())
     # Averaged over shared levels the baseline's domain is at least as large.
-    shared = [l for l in levels if l in privshape_sizes and l in baseline_sizes and l >= 2]
+    shared = [lvl for lvl in levels if lvl in privshape_sizes and lvl in baseline_sizes and lvl >= 2]
     if shared:
-        assert np.mean([baseline_sizes[l] for l in shared]) >= np.mean(
-            [privshape_sizes[l] for l in shared]
+        assert np.mean([baseline_sizes[lvl] for lvl in shared]) >= np.mean(
+            [privshape_sizes[lvl] for lvl in shared]
         )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The experiment API: registries and composable, serializable specs.
+
+This example shows the registry-driven surface added in ``repro.api``:
+
+1. every registered mechanism — PrivShape, the trie baseline, PatternLDP,
+   PEM, and the PID ablation — runs through the *same* evaluation pipeline;
+2. an ``ExperimentSpec`` round-trips through JSON, so an experiment can be
+   stored, shipped, and replayed identically;
+3. ``oracle="auto"`` picks the minimum-variance frequency oracle for a
+   domain size analytically (the Theorem-4 trade-off);
+4. registering a custom mechanism makes it reachable from the pipelines and
+   the CLI without touching either.
+
+Run with:  python examples/experiment_api.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ExperimentSpec,
+    PrivacySpec,
+    available_mechanisms,
+    oracle_variances,
+    register_mechanism,
+    run_clustering_task,
+    select_frequency_oracle,
+    symbols_like,
+)
+from repro.api import KIND_EXTRACTION, PEMExtractor
+
+
+def main() -> None:
+    dataset = symbols_like(n_instances=1500, rng=3)
+    print(f"dataset: {len(dataset)} users, {dataset.n_classes} classes")
+
+    # ----------------------------------------------- one pipeline, N mechanisms
+    print(f"\nregistered mechanisms: {', '.join(available_mechanisms())}")
+    for mechanism in ("privshape", "baseline", "pem", "patternldp", "pid"):
+        result = run_clustering_task(
+            dataset, mechanism=mechanism, epsilon=4.0, evaluation_size=200, rng=0
+        )
+        print(f"  {mechanism:<11} ARI = {result.ari:+.3f}")
+
+    # --------------------------------------------------- spec JSON round-trip
+    spec = ExperimentSpec(mechanism="privshape", privacy=PrivacySpec(epsilon=4.0))
+    document = spec.to_json()
+    replayed = ExperimentSpec.from_json(document)
+    assert replayed == spec
+    first = run_clustering_task(dataset, spec, evaluation_size=200, rng=1)
+    second = run_clustering_task(dataset, replayed, evaluation_size=200, rng=1)
+    assert first.shapes == second.shapes
+    print(f"\nspec round-trips through JSON ({len(document)} bytes) "
+          "and replays identically ✔")
+
+    # ------------------------------------------------- analytic oracle choice
+    print("\noracle='auto' picks the min-variance frequency oracle (ε = 1):")
+    for domain_size in (4, 12, 64, 512):
+        chosen = select_frequency_oracle(1.0, domain_size)
+        variances = oracle_variances(1.0, domain_size, n=1000)
+        pretty = ", ".join(f"{k}={v:,.0f}" for k, v in variances.items())
+        print(f"  d = {domain_size:>4}: {chosen:<4} ({pretty})")
+
+    # ------------------------------------------------------ custom mechanism
+    @register_mechanism("pem-wide", KIND_EXTRACTION,
+                        "PEM extending two symbols per round")
+    def build_wide_pem(spec: ExperimentSpec):
+        wide = ExperimentSpec.from_dict(
+            {**spec.to_dict(), "options": {"symbols_per_round": 2}}
+        )
+        return PEMExtractor.from_spec(wide)
+
+    result = run_clustering_task(
+        dataset, mechanism="pem-wide", epsilon=4.0, evaluation_size=200, rng=2
+    )
+    print(f"\ncustom registered mechanism 'pem-wide': ARI = {result.ari:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

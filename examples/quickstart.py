@@ -17,7 +17,15 @@ from __future__ import annotations
 import sys
 from collections import Counter
 
-from repro import CompressiveSAX, PrivShape, PrivShapeConfig, symbols_like
+from repro import (
+    CollectionSpec,
+    CompressiveSAX,
+    ExperimentSpec,
+    PrivacySpec,
+    PrivShape,
+    SAXSpec,
+    symbols_like,
+)
 from repro.sax.reconstruction import symbols_to_values
 
 
@@ -39,14 +47,20 @@ def main(epsilon: float = 4.0) -> None:
         print(f"  {shape:<12} {count} users")
 
     # ------------------------------------------------------------ extraction
-    config = PrivShapeConfig(
-        epsilon=epsilon,          # user-level privacy budget
-        top_k=6,                  # number of shapes to extract
-        alphabet_size=6,          # must match the SAX alphabet
-        metric="dtw",             # distance used in the private selection
-        length_high=15,           # clip range for frequent-length estimation
+    # One composable spec describes the whole run; the same JSON-serializable
+    # object drives the offline mechanisms, the pipelines, the CLI, and the
+    # federated collection service.
+    spec = ExperimentSpec(
+        mechanism="privshape",
+        privacy=PrivacySpec(epsilon=epsilon),      # user-level privacy budget
+        sax=SAXSpec(alphabet_size=6, segment_length=25),
+        collection=CollectionSpec(
+            top_k=6,              # number of shapes to extract
+            metric="dtw",         # distance used in the private selection
+            length_high=15,       # clip range for frequent-length estimation
+        ),
     )
-    mechanism = PrivShape(config)
+    mechanism = PrivShape(spec)
     result = mechanism.extract(sequences, rng=0)
 
     print(f"\nPrivShape output (epsilon = {epsilon}):")

@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import sys
 
-from repro import PrivShapeConfig, PrivShape, ProtocolDriver
-from repro.service import EncodedPopulation, SyntheticShapeStream, default_templates
+from repro import CollectionSpec, ExperimentSpec, PrivacySpec, PrivShape, ProtocolDriver, SAXSpec
+from repro.service import SyntheticShapeStream, default_templates
 
 
 def main(n_users: int = 200_000) -> None:
@@ -43,11 +43,16 @@ def main(n_users: int = 200_000) -> None:
     print(f"template shapes: {', '.join(''.join(t) for t in templates)}")
 
     # -------------------------------------------------------------- protocol
-    config = PrivShapeConfig(
-        epsilon=4.0, top_k=3, alphabet_size=4, metric="sed", length_low=1, length_high=5
+    # The driver consumes the same composable ExperimentSpec as the offline
+    # pipelines and the CLI — one description of the run, three consumers.
+    spec = ExperimentSpec(
+        mechanism="privshape",
+        privacy=PrivacySpec(epsilon=4.0),
+        sax=SAXSpec(alphabet_size=4),
+        collection=CollectionSpec(top_k=3, metric="sed", length_low=1, length_high=5),
     )
     driver = ProtocolDriver(
-        config,
+        spec,
         population,
         batch_size=32_768,
         n_shards=4,
@@ -77,7 +82,7 @@ def main(n_users: int = 200_000) -> None:
         sequences.extend(
             batch.decode_row(batch.codes[i]) for i in range(len(batch))
         )
-    offline = PrivShape(config).extract(sequences, rng=2024)
+    offline = PrivShape(spec).extract(sequences, rng=2024)
     assert offline.shapes == result.shapes
     assert offline.frequencies == result.frequencies
     print("offline PrivShape.extract() agrees bit for bit ✔")

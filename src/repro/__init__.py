@@ -1,21 +1,40 @@
 """PrivShape reproduction: shape extraction in time series under user-level LDP.
 
 This package reproduces *PrivShape: Extracting Shapes in Time Series under
-User-Level Local Differential Privacy* (ICDE 2024).  The most common entry
-points are re-exported here:
+User-Level Local Differential Privacy* (ICDE 2024).  The recommended entry
+point is the experiment API: describe a run with one composable
+:class:`ExperimentSpec` and hand it to a pipeline — every registered
+mechanism (``privshape``, ``baseline``, ``patternldp``, ``pem``, ``pid``)
+runs through the same dispatch:
 
->>> from repro import PrivShape, PrivShapeConfig, CompressiveSAX, symbols_like
->>> dataset = symbols_like(n_instances=600, rng=0)
->>> transformer = CompressiveSAX(alphabet_size=6, segment_length=25)
->>> sequences = transformer.transform_dataset(dataset.series)
->>> mechanism = PrivShape(PrivShapeConfig(epsilon=4.0, top_k=6, alphabet_size=6))
->>> result = mechanism.extract(sequences, rng=0)
->>> len(result.shapes) <= 6
+>>> from repro import ExperimentSpec, PrivacySpec, symbols_like, run_clustering_task
+>>> spec = ExperimentSpec(mechanism="privshape", privacy=PrivacySpec(epsilon=4.0))
+>>> result = run_clustering_task(symbols_like(n_instances=600, rng=0), spec, rng=0)
+>>> -1.0 <= result.ari <= 1.0
 True
+
+Specs round-trip through JSON (``spec.to_json()`` / ``ExperimentSpec.from_json``)
+and are consumed identically by the offline pipelines, ``repro.cli``, and the
+federated collection service (:class:`ProtocolDriver`).  Lower-level use —
+building a mechanism directly — goes through the registries:
+
+>>> from repro import mechanism_registry, make_frequency_oracle
+>>> sorted(mechanism_registry.names())[:2]
+['baseline', 'patternldp']
+>>> make_frequency_oracle("auto", 1.0, list(range(500))).domain_size
+500
+
+The legacy configuration classes (``PrivShapeConfig``, ``BaselineConfig``)
+remain importable for backwards compatibility but are deprecated in favour of
+:class:`ExperimentSpec`.
 """
 
+# NOTE: import order matters here.  The core package must load before
+# repro.api is touched at top level: core/__init__ imports core.pipeline,
+# which imports repro.api.mechanisms, which in turn imports core submodules —
+# the cycle resolves only because every core module api.mechanisms needs is
+# already loaded by the time core/__init__ reaches pipeline.
 from repro.core.baseline import BaselineMechanism
-from repro.core.config import BaselineConfig, PrivShapeConfig
 from repro.core.pipeline import (
     ClassificationTaskResult,
     ClusteringTaskResult,
@@ -24,7 +43,23 @@ from repro.core.pipeline import (
 )
 from repro.core.privshape import PrivShape
 from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResult
-from repro.baselines.patternldp import PatternLDP
+from repro.api import (
+    CollectionSpec,
+    ExperimentSpec,
+    PrivacySpec,
+    SAXSpec,
+    available_mechanisms,
+    available_oracles,
+    make_frequency_oracle,
+    mechanism_registry,
+    oracle_registry,
+    oracle_variances,
+    register_mechanism,
+    register_oracle,
+    select_frequency_oracle,
+)
+from repro.baselines.patternldp import PatternLDP, PIDPerturbation
+from repro.baselines.pem import PrefixExtendingMiner
 from repro.datasets import (
     LabeledDataset,
     augment_dataset,
@@ -47,7 +82,11 @@ from repro.service import (
     SyntheticShapeStream,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+#: Legacy config classes served via module __getattr__ with a deprecation
+#: warning; ExperimentSpec is the composable replacement.
+_DEPRECATED_CONFIGS = ("PrivShapeConfig", "BaselineConfig", "MechanismConfig")
 
 __all__ = [
     "PrivShape",
@@ -55,6 +94,21 @@ __all__ = [
     "BaselineMechanism",
     "BaselineConfig",
     "PatternLDP",
+    "PIDPerturbation",
+    "PrefixExtendingMiner",
+    "ExperimentSpec",
+    "PrivacySpec",
+    "SAXSpec",
+    "CollectionSpec",
+    "mechanism_registry",
+    "register_mechanism",
+    "available_mechanisms",
+    "oracle_registry",
+    "register_oracle",
+    "available_oracles",
+    "make_frequency_oracle",
+    "select_frequency_oracle",
+    "oracle_variances",
     "ShapeExtractionResult",
     "LabeledShapeExtractionResult",
     "run_clustering_task",
@@ -80,3 +134,20 @@ __all__ = [
     "SyntheticShapeStream",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    """Serve deprecated legacy names with a warning (PEP 562)."""
+    if name in _DEPRECATED_CONFIGS:
+        import warnings
+
+        from repro.core import config as _config
+
+        warnings.warn(
+            f"repro.{name} is deprecated; compose a repro.ExperimentSpec "
+            "(PrivacySpec / SAXSpec / CollectionSpec) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_config, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -21,6 +21,7 @@ from repro.analysis.variance import (
     olh_variance,
     oue_variance,
     recommend_frequency_oracle,
+    sue_variance,
 )
 from repro.analysis.utility import (
     baseline_domain_bound,
@@ -34,6 +35,7 @@ __all__ = [
     "grr_variance",
     "oue_variance",
     "olh_variance",
+    "sue_variance",
     "recommend_frequency_oracle",
     "em_selection_probability",
     "privshape_domain_bound",

@@ -37,14 +37,29 @@ def olh_variance(epsilon: float, n: int) -> float:
     return oue_variance(epsilon, n)
 
 
+def sue_variance(epsilon: float, n: int) -> float:
+    """Per-item count variance of Symmetric Unary Encoding (basic RAPPOR)."""
+    epsilon = check_epsilon(epsilon)
+    n = check_positive_int(n, "n")
+    e_half = np.exp(epsilon / 2.0)
+    p = e_half / (e_half + 1.0)
+    q = 1.0 / (e_half + 1.0)
+    return float(n * q * (1 - q) / (p - q) ** 2)
+
+
 def recommend_frequency_oracle(epsilon: float, domain_size: int, n: int = 1000) -> str:
-    """Return the lower-variance oracle ("grr" or "oue") for this setting.
+    """Return the minimum-variance registered oracle for this setting.
 
     The classic rule of thumb: GRR wins for small domains
     (``d - 1 < 3 e^eps + 2`` roughly), OUE/OLH win for large domains.  The
     sub-shape domain ``t(t-1)`` of the paper sits near the boundary for
     moderate ``t``, which is why both appear in the mechanism.
+
+    Delegates to :func:`repro.api.oracles.select_frequency_oracle` so this
+    helper and ``oracle="auto"`` always agree, including for oracles
+    registered by downstream code.  (Imported lazily: the api package builds
+    on this module's closed forms.)
     """
-    if grr_variance(epsilon, domain_size, n) <= oue_variance(epsilon, n):
-        return "grr"
-    return "oue"
+    from repro.api.oracles import select_frequency_oracle
+
+    return select_frequency_oracle(epsilon, domain_size, n)

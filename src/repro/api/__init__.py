@@ -1,0 +1,78 @@
+"""The experiment API: registries and composable specs.
+
+This package is the one way to *describe* and *dispatch* an experiment:
+
+* :mod:`repro.api.spec` — :class:`PrivacySpec` / :class:`SAXSpec` /
+  :class:`CollectionSpec` composed into a serializable
+  :class:`ExperimentSpec`, consumed identically by the offline pipelines,
+  the CLI, and the federated collection service;
+* :mod:`repro.api.mechanisms` — the mechanism registry behind
+  ``run_clustering_task(..., mechanism=...)`` and ``repro.cli``
+  (``privshape``, ``baseline``, ``patternldp``, ``pem``, ``pid``, plus
+  anything you register);
+* :mod:`repro.api.oracles` — the frequency-oracle registry with analytic
+  ``oracle="auto"`` selection from the closed-form variances.
+
+>>> from repro.api import ExperimentSpec, PrivacySpec, mechanism_registry
+>>> spec = ExperimentSpec(mechanism="pem", privacy=PrivacySpec(epsilon=2.0))
+>>> spec == ExperimentSpec.from_json(spec.to_json())
+True
+>>> "pem" in mechanism_registry
+True
+"""
+
+from repro.api.mechanisms import (
+    KIND_EXTRACTION,
+    KIND_PERTURBATION,
+    MechanismEntry,
+    PEMExtractor,
+    SeriesPerturber,
+    ShapeMechanism,
+    available_mechanisms,
+    mechanism_registry,
+    register_mechanism,
+)
+from repro.api.oracles import (
+    OracleEntry,
+    available_oracles,
+    make_frequency_oracle,
+    oracle_registry,
+    oracle_variances,
+    register_oracle,
+    select_frequency_oracle,
+)
+from repro.api.registry import Registry
+from repro.api.spec import (
+    CollectionSpec,
+    ExperimentSpec,
+    PrivacySpec,
+    SAXSpec,
+    as_baseline_config,
+    as_privshape_config,
+)
+
+__all__ = [
+    "Registry",
+    "ExperimentSpec",
+    "PrivacySpec",
+    "SAXSpec",
+    "CollectionSpec",
+    "as_privshape_config",
+    "as_baseline_config",
+    "mechanism_registry",
+    "register_mechanism",
+    "available_mechanisms",
+    "MechanismEntry",
+    "ShapeMechanism",
+    "SeriesPerturber",
+    "PEMExtractor",
+    "KIND_EXTRACTION",
+    "KIND_PERTURBATION",
+    "oracle_registry",
+    "register_oracle",
+    "available_oracles",
+    "make_frequency_oracle",
+    "select_frequency_oracle",
+    "oracle_variances",
+    "OracleEntry",
+]

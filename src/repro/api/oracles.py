@@ -1,0 +1,134 @@
+"""Frequency-oracle registry with analytic ``"auto"`` selection.
+
+The LDP substrate implements several frequency oracles over the shared
+:class:`~repro.ldp.base.FrequencyOracle` ABC (GRR, OUE, SUE, OLH); call
+sites used to hard-code one.  This module gives every oracle a name, a
+factory, and its closed-form per-item count variance
+(:mod:`repro.analysis.variance`), so a caller can write ``oracle="auto"``
+and get the variance-optimal oracle for its (ε, domain size) — the exact
+trade-off Theorem 4 of the paper reasons about for the sub-shape domain
+``t·(t-1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from repro.analysis.variance import (
+    grr_variance,
+    olh_variance,
+    oue_variance,
+    sue_variance,
+)
+from repro.api.registry import Registry
+from repro.ldp.base import FrequencyOracle
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.ldp.olh import OptimizedLocalHashing
+from repro.ldp.unary import UnaryEncoding
+
+#: Name under which automatic selection is requested.
+AUTO = "auto"
+
+#: Closed-form per-item count variance: ``(epsilon, domain_size, n) -> float``.
+VarianceFn = Callable[[float, int, int], float]
+OracleFactory = Callable[[float, Sequence[Hashable]], FrequencyOracle]
+
+
+@dataclass(frozen=True)
+class OracleEntry:
+    """One registered frequency oracle: its factory and analytic variance."""
+
+    name: str
+    factory: OracleFactory
+    variance: VarianceFn
+    description: str = ""
+
+
+oracle_registry: Registry[OracleEntry] = Registry("frequency oracle")
+
+
+def register_oracle(
+    name: str, variance: VarianceFn, description: str = ""
+) -> Callable[[OracleFactory], OracleFactory]:
+    """Register an oracle factory together with its closed-form variance."""
+
+    def decorate(factory: OracleFactory) -> OracleFactory:
+        oracle_registry.add(
+            name, OracleEntry(name=name, factory=factory, variance=variance,
+                              description=description)
+        )
+        return factory
+
+    return decorate
+
+
+@register_oracle("grr", grr_variance, "Generalized Randomized Response")
+def _build_grr(epsilon: float, domain: Sequence[Hashable]) -> FrequencyOracle:
+    return GeneralizedRandomizedResponse(epsilon, domain=domain)
+
+
+@register_oracle(
+    "oue", lambda epsilon, domain_size, n: oue_variance(epsilon, n),
+    "Optimized Unary Encoding",
+)
+def _build_oue(epsilon: float, domain: Sequence[Hashable]) -> FrequencyOracle:
+    return UnaryEncoding(epsilon, domain=domain, optimized=True)
+
+
+@register_oracle(
+    "olh", lambda epsilon, domain_size, n: olh_variance(epsilon, n),
+    "Optimized Local Hashing",
+)
+def _build_olh(epsilon: float, domain: Sequence[Hashable]) -> FrequencyOracle:
+    return OptimizedLocalHashing(epsilon, domain=domain)
+
+
+@register_oracle(
+    "sue", lambda epsilon, domain_size, n: sue_variance(epsilon, n),
+    "Symmetric Unary Encoding (basic RAPPOR)",
+)
+def _build_sue(epsilon: float, domain: Sequence[Hashable]) -> FrequencyOracle:
+    return UnaryEncoding(epsilon, domain=domain, optimized=False)
+
+
+def available_oracles() -> tuple[str, ...]:
+    """Names accepted by :func:`make_frequency_oracle` (plus ``"auto"``)."""
+    return oracle_registry.names()
+
+
+def oracle_variances(
+    epsilon: float, domain_size: int, n: int = 1000
+) -> dict[str, float]:
+    """Closed-form per-item count variance of every registered oracle."""
+    return {
+        name: float(oracle_registry.get(name).variance(epsilon, domain_size, n))
+        for name in oracle_registry
+    }
+
+
+def select_frequency_oracle(epsilon: float, domain_size: int, n: int = 1000) -> str:
+    """The registered oracle with the minimum analytic variance.
+
+    Ties break in registration order (GRR first), which keeps the classic
+    small-domain GRR / large-domain OUE rule and is deterministic — OLH and
+    OUE share the same closed-form variance, so OUE wins their tie.
+    """
+    variances = oracle_variances(epsilon, domain_size, n)
+    # min() returns the first minimal key, and dicts preserve registration order.
+    return min(variances, key=variances.__getitem__)
+
+
+def make_frequency_oracle(
+    name: str, epsilon: float, domain: Sequence[Hashable], n: int = 1000
+) -> FrequencyOracle:
+    """Build a frequency oracle by name; ``"auto"`` picks the min-variance one.
+
+    ``n`` only matters for ``"auto"``: it is the anticipated report count the
+    variance formulas are evaluated at (the argmin is independent of ``n``
+    because every formula is linear in it, but the parameter keeps the
+    comparison honest).
+    """
+    if name.lower() == AUTO:
+        name = select_frequency_oracle(epsilon, len(list(domain)), n)
+    return oracle_registry.get(name).factory(epsilon, domain)

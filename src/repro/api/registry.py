@@ -1,0 +1,90 @@
+"""A small name → entry registry shared by the experiment API.
+
+The library already proved this pattern out for distance metrics
+(:mod:`repro.distance.registry`); :class:`Registry` generalizes it so the
+mechanism and frequency-oracle surfaces stop hand-maintaining parallel name
+tuples in the pipelines and the CLI.  A registry is an ordered mapping from a
+lower-cased name to an arbitrary entry object, with uniform error reporting
+for unknown or duplicate names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+E = TypeVar("E")
+
+
+class Registry(Generic[E]):
+    """Ordered name → entry mapping with uniform unknown-name errors.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable label of what the registry holds ("mechanism",
+        "frequency oracle", ...); used in error messages.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, E] = {}
+
+    def add(self, name: str, entry: E, *, overwrite: bool = False) -> E:
+        """Register ``entry`` under ``name`` (case-insensitive).
+
+        Re-registering an existing name raises unless ``overwrite=True`` —
+        accidental shadowing of a built-in is almost always a bug, while
+        deliberate replacement (e.g. a test double) stays possible.
+        """
+        key = name.lower()
+        if key in self._entries and not overwrite:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        self._entries[key] = entry
+        return entry
+
+    def get(self, name: str) -> E:
+        """Look up an entry by name, raising a helpful error when unknown."""
+        try:
+            return self._entries[name.lower()]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; available: {self.names()}"
+            ) from None
+
+    def remove(self, name: str) -> E:
+        """Unregister and return an entry (unknown names raise the usual error)."""
+        entry = self.get(name)
+        del self._entries[name.lower()]
+        return entry
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return isinstance(name, str) and name.lower() in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def register(self, name: str, **attrs) -> Callable:
+        """Decorator form of :meth:`add` for entry types built from a callable.
+
+        Sub-surfaces that need richer entries (the mechanism registry wraps
+        factories in an entry dataclass) define their own decorators on top of
+        :meth:`add`; this plain form registers the decorated callable itself.
+        """
+
+        def decorate(obj):
+            self.add(name, obj, **attrs)
+            return obj
+
+        return decorate

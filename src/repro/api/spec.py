@@ -1,0 +1,395 @@
+"""Composable experiment specifications.
+
+The seed code configured every run through a ``MechanismConfig →
+BaselineConfig → PrivShapeConfig`` inheritance chain, and each consumer (the
+offline pipelines, the CLI, the federated service) re-assembled its own copy
+of the same knobs.  This module splits the monolith into three orthogonal
+pieces composed into one :class:`ExperimentSpec`:
+
+* :class:`PrivacySpec` — the user-level budget;
+* :class:`SAXSpec` — how raw series become symbolic sequences;
+* :class:`CollectionSpec` — what the collection protocol estimates and how
+  aggressively it prunes.
+
+An :class:`ExperimentSpec` is plain frozen data with a loss-free
+``to_dict``/``from_dict`` (and JSON) round-trip, so one spec can be stored,
+shipped to a service, or replayed offline.  The legacy config classes remain
+the *engine-facing* parameter objects; :meth:`ExperimentSpec.to_privshape_config`
+and :func:`as_privshape_config` bridge the two so every execution path keeps
+one source of truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from types import MappingProxyType
+
+from repro.core.config import BaselineConfig, MechanismConfig, PrivShapeConfig
+from repro.exceptions import ConfigurationError
+from repro.sax.breakpoints import symbol_alphabet
+from repro.utils.validation import (
+    check_epsilon,
+    check_open_fraction,
+    check_optional_threshold,
+    check_population_fractions,
+    check_positive_int,
+)
+
+
+@dataclass(frozen=True)
+class PrivacySpec:
+    """User-level differential-privacy budget of one collection run."""
+
+    epsilon: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "epsilon", check_epsilon(self.epsilon))
+
+
+@dataclass(frozen=True)
+class SAXSpec:
+    """How raw time series are symbolized before any mechanism runs."""
+
+    alphabet_size: int = 4
+    segment_length: int = 10
+    compress: bool = True
+    normalize: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "alphabet_size", check_positive_int(self.alphabet_size, "alphabet_size")
+        )
+        object.__setattr__(
+            self,
+            "segment_length",
+            check_positive_int(self.segment_length, "segment_length"),
+        )
+        if self.alphabet_size < 2:
+            raise ConfigurationError("alphabet_size must be at least 2")
+
+    @property
+    def alphabet(self) -> list[str]:
+        """The SAX symbols corresponding to :attr:`alphabet_size`."""
+        return symbol_alphabet(self.alphabet_size)
+
+    def build_transformer(self):
+        """The :class:`~repro.sax.compressive.CompressiveSAX` this spec describes."""
+        from repro.sax.compressive import CompressiveSAX
+
+        return CompressiveSAX(
+            alphabet_size=self.alphabet_size,
+            segment_length=self.segment_length,
+            normalize=self.normalize,
+            compress=self.compress,
+        )
+
+
+@dataclass(frozen=True)
+class CollectionSpec:
+    """What the collection protocol estimates and how aggressively it prunes.
+
+    ``top_k=None`` and ``length_high=None`` mean "resolve from the dataset"
+    (number of classes / 90th length percentile) — the pipelines fill them in
+    via :meth:`ExperimentSpec.resolve` before any engine is built.
+    ``oracle`` names the frequency oracle preference for mechanisms that can
+    choose one (``"auto"`` picks the minimum-variance oracle analytically,
+    see :mod:`repro.api.oracles`).
+    """
+
+    top_k: int | None = None
+    metric: str = "dtw"
+    length_low: int = 1
+    length_high: int | None = None
+    candidate_factor: int = 3
+    population_fractions: tuple[float, float, float, float] = (0.02, 0.08, 0.7, 0.2)
+    refinement: bool = True
+    postprocess: bool = True
+    prune_threshold: float | None = None
+    length_population_fraction: float = 0.02
+    max_candidates: int = 512
+    oracle: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.top_k is not None:
+            object.__setattr__(self, "top_k", check_positive_int(self.top_k, "top_k"))
+        object.__setattr__(
+            self, "length_low", check_positive_int(self.length_low, "length_low")
+        )
+        if self.length_high is not None:
+            object.__setattr__(
+                self, "length_high", check_positive_int(self.length_high, "length_high")
+            )
+            if self.length_low > self.length_high:
+                raise ConfigurationError(
+                    f"length_low ({self.length_low}) must not exceed "
+                    f"length_high ({self.length_high})"
+                )
+        object.__setattr__(
+            self,
+            "candidate_factor",
+            check_positive_int(self.candidate_factor, "candidate_factor"),
+        )
+        # Shared with the legacy config classes (repro.core.config) so the
+        # two validation surfaces can never drift apart.
+        object.__setattr__(
+            self,
+            "population_fractions",
+            check_population_fractions(self.population_fractions),
+        )
+        object.__setattr__(
+            self,
+            "length_population_fraction",
+            check_open_fraction(
+                self.length_population_fraction, "length_population_fraction"
+            ),
+        )
+        object.__setattr__(
+            self, "max_candidates", check_positive_int(self.max_candidates, "max_candidates")
+        )
+        object.__setattr__(
+            self,
+            "prune_threshold",
+            check_optional_threshold(self.prune_threshold, "prune_threshold"),
+        )
+
+
+def _freeze_value(value: Any):
+    """A hashable, order-insensitive stand-in for a JSON-like value."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One complete, serializable description of an experiment run.
+
+    ``mechanism`` names an entry of the mechanism registry
+    (:mod:`repro.api.mechanisms`); ``options`` carries mechanism-specific
+    extras (e.g. PatternLDP's ``sample_fraction``) without widening the shared
+    surface.
+    """
+
+    mechanism: str = "privshape"
+    privacy: PrivacySpec = field(default_factory=PrivacySpec)
+    sax: SAXSpec = field(default_factory=SAXSpec)
+    collection: CollectionSpec = field(default_factory=CollectionSpec)
+    options: Mapping[str, Any] = field(default_factory=dict)
+    rng_seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mechanism", str(self.mechanism).lower())
+        # A read-only view keeps the frozen promise honest: mutating
+        # spec.options[...] raises instead of silently changing a spec that
+        # may already have been serialized or used as a cache key.
+        object.__setattr__(self, "options", MappingProxyType(dict(self.options)))
+
+    def __hash__(self) -> int:
+        # MappingProxyType is unhashable, so the generated frozen-dataclass
+        # hash would raise; hash a canonical frozen form of the options
+        # instead (lists/dicts from a JSON round-trip included).
+        return hash(
+            (
+                self.mechanism,
+                self.privacy,
+                self.sax,
+                self.collection,
+                _freeze_value(dict(self.options)),
+                self.rng_seed,
+            )
+        )
+
+    # -------------------------------------------------- CollectionPlan facade
+    # The federated service's CollectionPlan.freeze() reads these four names
+    # off a PrivShapeConfig; exposing them here lets a spec be consumed in the
+    # exact same way (see repro.service.plan).
+
+    @property
+    def epsilon(self) -> float:
+        return self.privacy.epsilon
+
+    @property
+    def metric(self) -> str:
+        return self.collection.metric
+
+    @property
+    def alphabet(self) -> list[str]:
+        return self.sax.alphabet
+
+    @property
+    def population_fractions(self) -> tuple[float, float, float, float]:
+        return self.collection.population_fractions
+
+    # ------------------------------------------------------------- resolution
+
+    def resolve(
+        self,
+        top_k: int | None = None,
+        length_high: int | None = None,
+        alphabet_size: int | None = None,
+    ) -> "ExperimentSpec":
+        """A copy with dataset-derived values filled in.
+
+        Values already set on the spec win; the arguments only fill the
+        ``None`` slots (and ``alphabet_size`` follows the effective
+        transformer when an ablation swaps SAX out).
+        """
+        collection = self.collection
+        updates: dict[str, Any] = {}
+        if collection.top_k is None and top_k is not None:
+            updates["top_k"] = int(top_k)
+        if collection.length_high is None and length_high is not None:
+            updates["length_high"] = int(length_high)
+        if updates:
+            collection = dataclasses.replace(collection, **updates)
+        sax = self.sax
+        if alphabet_size is not None and alphabet_size != sax.alphabet_size:
+            sax = dataclasses.replace(sax, alphabet_size=int(alphabet_size))
+        if collection is self.collection and sax is self.sax:
+            return self
+        return dataclasses.replace(self, collection=collection, sax=sax)
+
+    def _require_concrete(self) -> None:
+        if self.collection.top_k is None or self.collection.length_high is None:
+            raise ConfigurationError(
+                "spec still has unresolved fields (top_k / length_high); call "
+                "resolve() with dataset-derived defaults first"
+            )
+
+    def to_privshape_config(self) -> PrivShapeConfig:
+        """The engine-facing :class:`PrivShapeConfig` this spec describes."""
+        self._require_concrete()
+        return PrivShapeConfig(
+            epsilon=self.privacy.epsilon,
+            top_k=self.collection.top_k,
+            alphabet_size=self.sax.alphabet_size,
+            metric=self.collection.metric,
+            length_low=self.collection.length_low,
+            length_high=self.collection.length_high,
+            rng_seed=self.rng_seed,
+            candidate_factor=self.collection.candidate_factor,
+            population_fractions=self.collection.population_fractions,
+            refinement=self.collection.refinement,
+            postprocess=self.collection.postprocess,
+        )
+
+    def to_baseline_config(self) -> BaselineConfig:
+        """The engine-facing :class:`BaselineConfig` this spec describes."""
+        self._require_concrete()
+        return BaselineConfig(
+            epsilon=self.privacy.epsilon,
+            top_k=self.collection.top_k,
+            alphabet_size=self.sax.alphabet_size,
+            metric=self.collection.metric,
+            length_low=self.collection.length_low,
+            length_high=self.collection.length_high,
+            rng_seed=self.rng_seed,
+            prune_threshold=self.collection.prune_threshold,
+            length_population_fraction=self.collection.length_population_fraction,
+            max_candidates=self.collection.max_candidates,
+        )
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict[str, Any]:
+        """Loss-free plain-data form (JSON-serializable)."""
+        return {
+            "mechanism": self.mechanism,
+            "privacy": dataclasses.asdict(self.privacy),
+            "sax": dataclasses.asdict(self.sax),
+            "collection": {
+                **dataclasses.asdict(self.collection),
+                "population_fractions": list(self.collection.population_fractions),
+            },
+            "options": dict(self.options),
+            "rng_seed": self.rng_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (missing sections default)."""
+        data = dict(payload)
+        collection = dict(data.get("collection", {}))
+        if "population_fractions" in collection:
+            collection["population_fractions"] = tuple(collection["population_fractions"])
+        return cls(
+            mechanism=data.get("mechanism", "privshape"),
+            privacy=PrivacySpec(**data.get("privacy", {})),
+            sax=SAXSpec(**data.get("sax", {})),
+            collection=CollectionSpec(**collection),
+            options=dict(data.get("options", {})),
+            rng_seed=data.get("rng_seed"),
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """The spec as one JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(document))
+
+    @classmethod
+    def from_config(cls, config: MechanismConfig, mechanism: str | None = None) -> "ExperimentSpec":
+        """Lift a legacy config object into the composable spec form."""
+        if mechanism is None:
+            mechanism = "privshape" if isinstance(config, PrivShapeConfig) else "baseline"
+        collection: dict[str, Any] = dict(
+            top_k=config.top_k,
+            metric=config.metric,
+            length_low=config.length_low,
+            length_high=config.length_high,
+        )
+        if isinstance(config, PrivShapeConfig):
+            collection.update(
+                candidate_factor=config.candidate_factor,
+                population_fractions=config.population_fractions,
+                refinement=config.refinement,
+                postprocess=config.postprocess,
+            )
+        elif isinstance(config, BaselineConfig):
+            collection.update(
+                prune_threshold=config.prune_threshold,
+                length_population_fraction=config.length_population_fraction,
+                max_candidates=config.max_candidates,
+            )
+        return cls(
+            mechanism=mechanism,
+            privacy=PrivacySpec(epsilon=config.epsilon),
+            sax=SAXSpec(alphabet_size=config.alphabet_size),
+            collection=CollectionSpec(**collection),
+            rng_seed=config.rng_seed,
+        )
+
+
+def as_privshape_config(obj) -> PrivShapeConfig:
+    """Coerce a spec or legacy config into the engine's ``PrivShapeConfig``.
+
+    The protocol engine and the streaming driver accept either form; legacy
+    configs pass through untouched so seeded runs stay byte-identical.
+    """
+    if isinstance(obj, PrivShapeConfig):
+        return obj
+    if isinstance(obj, ExperimentSpec):
+        return obj.to_privshape_config()
+    raise ConfigurationError(
+        f"expected an ExperimentSpec or PrivShapeConfig, got {type(obj).__name__}"
+    )
+
+
+def as_baseline_config(obj) -> BaselineConfig:
+    """Coerce a spec or legacy config into the engine's ``BaselineConfig``."""
+    if isinstance(obj, BaselineConfig):
+        return obj
+    if isinstance(obj, ExperimentSpec):
+        return obj.to_baseline_config()
+    raise ConfigurationError(
+        f"expected an ExperimentSpec or BaselineConfig, got {type(obj).__name__}"
+    )

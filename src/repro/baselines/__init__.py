@@ -9,15 +9,22 @@
 * :class:`PrefixExtendingMiner` — a PEM-style frequent-sequence miner used in
   the paper's discussion of why bit-oriented prefix extension does not carry
   over to large symbol alphabets; provided for ablation.
+* :class:`PIDPerturbation` — PatternLDP with its importance-weighted budget
+  allocation ablated to a uniform split (the ``"pid"`` mechanism).
+
+All four are reachable end-to-end through the mechanism registry
+(:mod:`repro.api.mechanisms`) and therefore through
+``run_clustering_task`` / ``run_classification_task`` and the CLI.
 """
 
 from repro.baselines.pid import PIDImportanceScorer
-from repro.baselines.patternldp import PatternLDP, PatternLDPResult
+from repro.baselines.patternldp import PatternLDP, PatternLDPResult, PIDPerturbation
 from repro.baselines.pem import PrefixExtendingMiner
 
 __all__ = [
     "PIDImportanceScorer",
     "PatternLDP",
     "PatternLDPResult",
+    "PIDPerturbation",
     "PrefixExtendingMiner",
 ]

@@ -134,3 +134,19 @@ class PatternLDP:
         """Perturb every series in a dataset and return the reconstructed series."""
         generator = ensure_rng(rng)
         return [self.perturb_series(series, generator).reconstructed for series in dataset]
+
+
+@dataclass
+class PIDPerturbation(PatternLDP):
+    """PID-sampled value perturbation with *uniform* per-point budgets.
+
+    PatternLDP's second idea — allocating the user-level budget across the
+    sampled points proportionally to PID importance — is ablated away here:
+    the PID controller still picks the remarkable points, but every sampled
+    point receives the same ε/m share.  Registered as the ``"pid"`` mechanism,
+    it isolates how much of PatternLDP's utility comes from the importance-
+    weighted allocation versus the trend-aware sampling itself.
+    """
+
+    def _allocate_budget(self, scores: np.ndarray) -> np.ndarray:
+        return np.full(scores.size, self.epsilon / scores.size)

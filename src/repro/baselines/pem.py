@@ -42,6 +42,14 @@ class PrefixExtendingMiner:
     symbols_per_round:
         How many symbols are appended per round (PEM's "multiple levels in a
         single round"); 1 reproduces plain level-by-level extension.
+    oracle:
+        Name of the per-round frequency oracle (see
+        :mod:`repro.api.oracles`); ``"auto"`` picks the minimum-variance
+        oracle for each round's candidate-domain size analytically.
+
+    After :meth:`mine`, :attr:`estimates_` holds the final round's estimated
+    count of every returned prefix, and :attr:`round_oracles_` the concrete
+    oracle name each round actually used (``"auto"`` resolved per round).
     """
 
     epsilon: float = 1.0
@@ -49,6 +57,7 @@ class PrefixExtendingMiner:
     target_length: int = 4
     top_k: int = 8
     symbols_per_round: int = 1
+    oracle: str = "grr"
 
     def __post_init__(self) -> None:
         self.epsilon = check_epsilon(self.epsilon)
@@ -56,6 +65,9 @@ class PrefixExtendingMiner:
         self.target_length = check_positive_int(self.target_length, "target_length")
         self.top_k = check_positive_int(self.top_k, "top_k")
         self.symbols_per_round = check_positive_int(self.symbols_per_round, "symbols_per_round")
+        self.oracle = str(self.oracle).lower()
+        self.estimates_: dict[Shape, float] = {}
+        self.round_oracles_: list[str] = []
 
     def _extensions(self, prefixes: list[Shape], width: int) -> list[Shape]:
         """All candidate sequences formed by appending ``width`` symbols to each prefix."""
@@ -70,6 +82,28 @@ class PrefixExtendingMiner:
                 candidates.append(extended)
         return candidates or [prefix + suffix for prefix in prefixes for suffix in suffixes]
 
+    def _build_oracle(self, candidates: list[Shape], n_reports: int):
+        """The round's frequency oracle over ``candidates + ["__other__"]``.
+
+        The concrete name (``"auto"`` resolved against this round's domain
+        size) is recorded in :attr:`round_oracles_` so callers can audit what
+        was actually applied.
+        """
+        domain = candidates + ["__other__"]
+        name = self.oracle
+        if name == "auto":
+            from repro.api.oracles import select_frequency_oracle
+
+            name = select_frequency_oracle(self.epsilon, len(domain), n=max(n_reports, 1))
+        self.round_oracles_.append(name)
+        if name == "grr":
+            # The historical default, constructed directly so seeded runs
+            # predating the oracle registry stay byte-identical.
+            return GeneralizedRandomizedResponse(self.epsilon, domain=domain)
+        from repro.api.oracles import oracle_registry
+
+        return oracle_registry.get(name).factory(self.epsilon, domain)
+
     def mine(self, sequences: Sequence[Shape], rng: RngLike = None) -> list[Shape]:
         """Mine the top-k frequent length-``target_length`` prefixes of ``sequences``."""
         sequences = [tuple(s) for s in sequences]
@@ -81,12 +115,14 @@ class PrefixExtendingMiner:
         user_groups = chunk_evenly(generator.permutation(len(sequences)), n_rounds)
 
         prefixes: list[Shape] = [()]
+        self.estimates_ = {}
+        self.round_oracles_ = []
         current_length = 0
         for round_index in range(n_rounds):
             width = min(self.symbols_per_round, self.target_length - current_length)
             candidates = self._extensions(prefixes, width)
             current_length += width
-            oracle = GeneralizedRandomizedResponse(self.epsilon, domain=candidates + ["__other__"])
+            oracle = self._build_oracle(candidates, len(user_groups[round_index]))
 
             reports = []
             for user_index in user_groups[round_index]:
@@ -97,9 +133,11 @@ class PrefixExtendingMiner:
             if not reports:
                 # No users left for this round; keep current prefixes unchanged.
                 prefixes = candidates[: self.top_k]
+                self.estimates_ = {prefix: 0.0 for prefix in prefixes}
                 continue
             estimates = oracle.estimate_map(reports)
             estimates.pop("__other__", None)
             ranked = sorted(estimates.items(), key=lambda item: item[1], reverse=True)
             prefixes = [shape for shape, _ in ranked[: self.top_k]]
+            self.estimates_ = {shape: float(count) for shape, count in ranked[: self.top_k]}
         return prefixes

@@ -15,6 +15,13 @@ Datasets are either one of the built-in synthetic generators
 ``--ucr-file``.  Every sub-command accepts ``--json`` for machine-readable
 output (one JSON document on stdout).
 
+Mechanisms are dispatched through the registry in
+:mod:`repro.api.mechanisms`, so ``--mechanism`` accepts every registered
+name (``privshape``, ``baseline``, ``patternldp``, ``pem``, ``pid``, ...).
+Alternatively, ``--spec experiment.json`` loads a serialized
+:class:`~repro.api.spec.ExperimentSpec` and overrides the per-flag
+mechanism/privacy/SAX parameters.
+
 Examples
 --------
 ::
@@ -29,15 +36,24 @@ Examples
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
+from pathlib import Path
 from typing import Any, Sequence
 
+from repro.api import (
+    KIND_EXTRACTION,
+    CollectionSpec,
+    ExperimentSpec,
+    PrivacySpec,
+    SAXSpec,
+    available_mechanisms,
+    mechanism_registry,
+)
 from repro.core.pipeline import run_classification_task, run_clustering_task
-from repro.core.config import PrivShapeConfig, BaselineConfig
-from repro.core.baseline import BaselineMechanism
-from repro.core.privshape import PrivShape
+from repro.exceptions import ReproError
 from repro.datasets import (
     LabeledDataset,
     load_ucr_tsv,
@@ -46,7 +62,6 @@ from repro.datasets import (
     trigonometric_waves,
 )
 from repro.sax.breakpoints import symbol_alphabet
-from repro.sax.compressive import CompressiveSAX
 from repro.service import ProtocolDriver, SyntheticShapeStream, default_templates
 
 
@@ -92,8 +107,14 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--wave-length", type=int, default=400,
                         help="series length for the 'waves' dataset")
     parser.add_argument("--epsilon", type=float, default=4.0, help="user-level privacy budget")
-    parser.add_argument("--mechanism", choices=("privshape", "baseline", "patternldp"),
-                        default="privshape")
+    parser.add_argument("--mechanism", choices=available_mechanisms(),
+                        default="privshape",
+                        help="registered mechanism name (see repro.api.mechanisms)")
+    parser.add_argument("--spec", default=None, metavar="FILE",
+                        help="path to a serialized ExperimentSpec JSON document; "
+                             "replaces --mechanism, --epsilon, --alphabet-size, "
+                             "--segment-length, --metric and --top-k entirely "
+                             "(dataset/evaluation/seed flags still apply)")
     parser.add_argument("--alphabet-size", type=int, default=None, help="SAX symbol size t")
     parser.add_argument("--segment-length", type=int, default=None, help="SAX segment length w")
     parser.add_argument("--metric", default=None,
@@ -107,32 +128,59 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="print one machine-readable JSON document instead of prose")
 
 
+def _load_spec(path: str) -> ExperimentSpec:
+    """Load a serialized :class:`ExperimentSpec` from a JSON file."""
+    try:
+        return ExperimentSpec.from_json(Path(path).read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read spec file {path!r}: {exc}") from exc
+    except (json.JSONDecodeError, ReproError, TypeError, ValueError) as exc:
+        # Malformed JSON, unknown fields (TypeError), or invalid values
+        # (library ConfigurationError and friends).
+        raise SystemExit(f"invalid spec file {path!r}: {exc}") from exc
+
+
+def _spec_from_args(args: argparse.Namespace, default_metric: str) -> ExperimentSpec:
+    """The experiment spec requested on the command line (file or flags)."""
+    if args.spec:
+        return _load_spec(args.spec)
+    alphabet_size, segment_length = _default_sax(args)
+    return ExperimentSpec(
+        mechanism=args.mechanism,
+        privacy=PrivacySpec(epsilon=args.epsilon),
+        sax=SAXSpec(alphabet_size=alphabet_size, segment_length=segment_length),
+        collection=CollectionSpec(
+            top_k=args.top_k,
+            metric=args.metric or default_metric,
+        ),
+    )
+
+
 def _command_extract(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
-    alphabet_size, segment_length = _default_sax(args)
-    transformer = CompressiveSAX(alphabet_size=alphabet_size, segment_length=segment_length)
+    spec = _spec_from_args(args, default_metric="dtw")
+    entry = mechanism_registry.get(spec.mechanism)
+    if entry.kind != KIND_EXTRACTION:
+        raise SystemExit(
+            f"mechanism {spec.mechanism!r} perturbs raw series instead of extracting "
+            f"shapes; use the cluster/classify sub-commands "
+            f"(extraction mechanisms: {available_mechanisms(KIND_EXTRACTION)})"
+        )
+    transformer = spec.sax.build_transformer()
     sequences = transformer.transform_dataset(dataset.series)
-    top_k = args.top_k or dataset.n_classes
-    metric = args.metric or "dtw"
 
     lengths = sorted(len(s) for s in sequences)
     length_high = max(2, lengths[int(0.9 * (len(lengths) - 1))])
-    if args.mechanism == "baseline":
-        config = BaselineConfig(epsilon=args.epsilon, top_k=top_k, alphabet_size=alphabet_size,
-                                metric=metric, length_high=length_high)
-        extractor = BaselineMechanism(config)
-    else:
-        config = PrivShapeConfig(epsilon=args.epsilon, top_k=top_k, alphabet_size=alphabet_size,
-                                 metric=metric, length_high=length_high)
-        extractor = PrivShape(config)
+    resolved = spec.resolve(top_k=dataset.n_classes, length_high=length_high)
+    extractor = entry.build(resolved)
     result = extractor.extract(sequences, rng=args.seed)
 
     payload = {
         "command": "extract",
         "dataset": dataset.name,
         "users": len(dataset),
-        "mechanism": args.mechanism,
-        "epsilon": args.epsilon,
+        "mechanism": spec.mechanism,
+        "epsilon": spec.privacy.epsilon,
         "estimated_length": result.estimated_length,
         "shapes": [
             {"shape": shape, "estimated_count": float(frequency)}
@@ -149,7 +197,7 @@ def _command_extract(args: argparse.Namespace) -> int:
     }
     lines = [
         f"dataset: {dataset.name} ({len(dataset)} users)",
-        f"mechanism: {args.mechanism}, epsilon = {args.epsilon}",
+        f"mechanism: {spec.mechanism}, epsilon = {spec.privacy.epsilon}",
         f"estimated frequent length: {result.estimated_length}",
         "top shapes:",
     ]
@@ -163,15 +211,10 @@ def _command_extract(args: argparse.Namespace) -> int:
 
 def _command_cluster(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
-    alphabet_size, segment_length = _default_sax(args)
+    spec = _spec_from_args(args, default_metric="dtw")
     result = run_clustering_task(
         dataset,
-        mechanism=args.mechanism,
-        epsilon=args.epsilon,
-        alphabet_size=alphabet_size,
-        segment_length=segment_length,
-        metric=args.metric or "dtw",
-        top_k=args.top_k,
+        spec=spec,
         evaluation_size=args.evaluation_size,
         rng=args.seed,
     )
@@ -179,7 +222,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
         "command": "cluster",
         "dataset": dataset.name,
         "users": len(dataset),
-        "mechanism": args.mechanism,
+        "mechanism": result.mechanism,
         "epsilon": float(result.epsilon),
         "ari": float(result.ari),
         "elapsed_seconds": float(result.elapsed_seconds),
@@ -189,7 +232,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
     }
     text = "\n".join(
         [
-            f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}",
+            f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {result.mechanism}",
             f"epsilon = {result.epsilon}  ARI = {result.ari:.3f}  "
             f"elapsed = {result.elapsed_seconds:.2f}s",
             f"extracted shapes: {', '.join(result.shapes)}",
@@ -204,15 +247,10 @@ def _command_cluster(args: argparse.Namespace) -> int:
 
 def _command_classify(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
-    alphabet_size, segment_length = _default_sax(args)
+    spec = _spec_from_args(args, default_metric="sed")
     result = run_classification_task(
         dataset,
-        mechanism=args.mechanism,
-        epsilon=args.epsilon,
-        alphabet_size=alphabet_size,
-        segment_length=segment_length,
-        metric=args.metric or "sed",
-        top_k=args.top_k,
+        spec=spec,
         evaluation_size=args.evaluation_size,
         rng=args.seed,
     )
@@ -220,7 +258,7 @@ def _command_classify(args: argparse.Namespace) -> int:
         "command": "classify",
         "dataset": dataset.name,
         "users": len(dataset),
-        "mechanism": args.mechanism,
+        "mechanism": result.mechanism,
         "epsilon": float(result.epsilon),
         "accuracy": float(result.accuracy),
         "elapsed_seconds": float(result.elapsed_seconds),
@@ -231,7 +269,7 @@ def _command_classify(args: argparse.Namespace) -> int:
         "ground_truth_shapes": list(result.ground_truth_shapes),
     }
     lines = [
-        f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}",
+        f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {result.mechanism}",
         f"epsilon = {result.epsilon}  accuracy = {result.accuracy:.3f}  "
         f"elapsed = {result.elapsed_seconds:.2f}s",
         "per-class shapes:",
@@ -245,35 +283,34 @@ def _command_classify(args: argparse.Namespace) -> int:
 
 def _command_sweep(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
-    alphabet_size, segment_length = _default_sax(args)
+    base_spec = _spec_from_args(
+        args, default_metric="dtw" if args.task == "cluster" else "sed"
+    )
     header_metric = "ARI" if args.task == "cluster" else "accuracy"
     points = []
     for epsilon in args.epsilons:
+        spec = dataclasses.replace(base_spec, privacy=PrivacySpec(epsilon=epsilon))
         if args.task == "cluster":
             result = run_clustering_task(
-                dataset, mechanism=args.mechanism, epsilon=epsilon,
-                alphabet_size=alphabet_size, segment_length=segment_length,
-                metric=args.metric or "dtw", evaluation_size=args.evaluation_size, rng=args.seed,
+                dataset, spec=spec, evaluation_size=args.evaluation_size, rng=args.seed,
             )
             points.append({"epsilon": float(epsilon), header_metric: float(result.ari)})
         else:
             result = run_classification_task(
-                dataset, mechanism=args.mechanism, epsilon=epsilon,
-                alphabet_size=alphabet_size, segment_length=segment_length,
-                metric=args.metric or "sed", evaluation_size=args.evaluation_size, rng=args.seed,
+                dataset, spec=spec, evaluation_size=args.evaluation_size, rng=args.seed,
             )
             points.append({"epsilon": float(epsilon), header_metric: float(result.accuracy)})
     payload = {
         "command": "sweep",
         "dataset": dataset.name,
         "users": len(dataset),
-        "mechanism": args.mechanism,
+        "mechanism": base_spec.mechanism,
         "task": args.task,
         "metric_name": header_metric,
         "points": points,
     }
     lines = [
-        f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {args.mechanism}, "
+        f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {base_spec.mechanism}, "
         f"task: {args.task}",
         f"{'epsilon':>8}  {header_metric}",
     ]
@@ -304,16 +341,21 @@ def _command_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         length_jitter=args.length_jitter,
     )
-    config = PrivShapeConfig(
-        epsilon=args.epsilon,
-        top_k=args.top_k or min(3, len(templates)),
-        alphabet_size=alphabet_size,
-        metric=args.metric or "sed",
-        length_low=1,
-        length_high=args.template_length,
+    # The streaming service consumes the same composable spec as the offline
+    # pipelines (ProtocolDriver coerces it to the engine-facing config).
+    spec = ExperimentSpec(
+        mechanism="privshape",
+        privacy=PrivacySpec(epsilon=args.epsilon),
+        sax=SAXSpec(alphabet_size=alphabet_size),
+        collection=CollectionSpec(
+            top_k=args.top_k or min(3, len(templates)),
+            metric=args.metric or "sed",
+            length_low=1,
+            length_high=args.template_length,
+        ),
     )
     driver = ProtocolDriver(
-        config,
+        spec,
         population,
         batch_size=args.batch_size,
         n_shards=args.shards,

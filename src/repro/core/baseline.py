@@ -29,9 +29,19 @@ from repro.utils.sequences import chunk_evenly, split_population
 
 @dataclass
 class BaselineMechanism:
-    """Trie-based frequent-shape extraction with threshold pruning (Algorithm 1)."""
+    """Trie-based frequent-shape extraction with threshold pruning (Algorithm 1).
+
+    ``config`` is either a :class:`BaselineConfig` or a resolved
+    :class:`~repro.api.spec.ExperimentSpec` (coerced on construction).
+    """
 
     config: BaselineConfig
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.config, BaselineConfig) and hasattr(
+            self.config, "to_baseline_config"
+        ):
+            self.config = self.config.to_baseline_config()
 
     # ------------------------------------------------------------------ internals
 
@@ -169,7 +179,7 @@ class BaselineMechanism:
         OUE, and the per-class top shapes are read from those counts.
         """
         sequences = [tuple(s) for s in sequences]
-        labels = [int(l) for l in labels]
+        labels = [int(label) for label in labels]
         if len(sequences) != len(labels):
             raise ValueError("sequences and labels must have the same length")
         if n_classes is None:

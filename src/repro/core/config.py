@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError
 from repro.sax.breakpoints import symbol_alphabet
-from repro.utils.validation import check_epsilon, check_positive_int
+from repro.utils.validation import (
+    check_epsilon,
+    check_open_fraction,
+    check_optional_threshold,
+    check_population_fractions,
+    check_positive_int,
+)
 
 
 @dataclass
@@ -80,11 +86,13 @@ class BaselineConfig(MechanismConfig):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        if not 0.0 < self.length_population_fraction < 1.0:
-            raise ConfigurationError("length_population_fraction must be in (0, 1)")
+        self.length_population_fraction = check_open_fraction(
+            self.length_population_fraction, "length_population_fraction"
+        )
         self.max_candidates = check_positive_int(self.max_candidates, "max_candidates")
-        if self.prune_threshold is not None and self.prune_threshold < 0:
-            raise ConfigurationError("prune_threshold must be non-negative or None")
+        self.prune_threshold = check_optional_threshold(
+            self.prune_threshold, "prune_threshold"
+        )
 
 
 @dataclass
@@ -116,16 +124,7 @@ class PrivShapeConfig(MechanismConfig):
     def __post_init__(self) -> None:
         super().__post_init__()
         self.candidate_factor = check_positive_int(self.candidate_factor, "candidate_factor")
-        fractions = tuple(float(f) for f in self.population_fractions)
-        if len(fractions) != 4:
-            raise ConfigurationError("population_fractions must have exactly 4 entries")
-        if any(f <= 0 for f in fractions):
-            raise ConfigurationError("population fractions must all be positive")
-        if abs(sum(fractions) - 1.0) > 1e-6:
-            raise ConfigurationError(
-                f"population_fractions must sum to 1, got {sum(fractions)}"
-            )
-        self.population_fractions = fractions
+        self.population_fractions = check_population_fractions(self.population_fractions)
 
     @property
     def candidate_budget(self) -> int:

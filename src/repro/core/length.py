@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
 
 from repro.exceptions import EstimationError
 from repro.ldp.grr import GeneralizedRandomizedResponse
@@ -63,7 +62,7 @@ def estimate_frequent_length(
     length_high = check_positive_int(length_high, "length_high")
     if length_low > length_high:
         raise ValueError("length_low must not exceed length_high")
-    lengths = [int(l) for l in lengths]
+    lengths = [int(length) for length in lengths]
     if not lengths:
         raise EstimationError("no users were assigned to length estimation")
 

@@ -3,13 +3,23 @@
 Two pipelines are provided, matching the two applications in Section V:
 
 * :func:`run_clustering_task` — Symbols-style evaluation: extract shapes with
-  PrivShape / the baseline (or perturb the raw data with PatternLDP + KMeans),
-  assign every series to its closest shape, and score the partition with the
+  an extraction mechanism (PrivShape, the trie baseline, PEM), or perturb the
+  raw data with a perturbation mechanism (PatternLDP, PID) + KMeans, assign
+  every series to its closest shape, and score the partition with the
   Adjusted Rand Index.  Also reports the quantitative shape measures
   (DTW / SED / Euclidean against the ground-truth class shapes) of Table III.
 * :func:`run_classification_task` — Trace-style evaluation: extract per-class
-  shapes (or train a random forest on PatternLDP's perturbed output) and score
-  classification accuracy on held-out clean data; reports Table IV measures.
+  shapes (or train a random forest on a perturbation mechanism's output) and
+  score classification accuracy on held-out clean data; reports Table IV
+  measures.
+
+Both pipelines dispatch through the mechanism registry
+(:mod:`repro.api.mechanisms`), so any registered mechanism — including ones
+registered by downstream code — runs through the identical evaluation
+protocol.  They accept either the legacy keyword parameters or one
+:class:`~repro.api.spec.ExperimentSpec` (as the ``mechanism`` argument or the
+``spec`` keyword); the keyword form is internally lifted into a spec, so both
+forms share one code path.
 
 Both functions return small result dataclasses that the benchmark harness
 prints as the paper's rows.
@@ -23,10 +33,13 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.baselines.patternldp import PatternLDP
-from repro.core.baseline import BaselineMechanism
-from repro.core.config import BaselineConfig, PrivShapeConfig
-from repro.core.privshape import PrivShape
+from repro.api.mechanisms import (
+    KIND_PERTURBATION,
+    MechanismEntry,
+    available_mechanisms,
+    mechanism_registry,
+)
+from repro.api.spec import CollectionSpec, ExperimentSpec, PrivacySpec, SAXSpec
 from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResult
 from repro.core.trie import Shape
 from repro.datasets.base import LabeledDataset
@@ -39,7 +52,11 @@ from repro.mining.nearest import NearestShapeClassifier, assign_to_shapes
 from repro.sax.compressive import CompressiveSAX
 from repro.utils.rng import RngLike, ensure_rng
 
-MECHANISMS = ("privshape", "baseline", "patternldp")
+
+#: Deprecated alias kept for callers that imported the old hand-written tuple;
+#: the registry is the single source of truth now (an import-time snapshot —
+#: call available_mechanisms() for a live view including late registrations).
+MECHANISMS = available_mechanisms()
 
 
 @dataclass
@@ -94,9 +111,9 @@ def _build_transformer(
     )
 
 
-def _resolve_transformer(transformer, alphabet_size: int, segment_length: int, compress: bool):
+def _resolve_transformer(transformer, spec: ExperimentSpec):
     return transformer if transformer is not None else _build_transformer(
-        alphabet_size, segment_length, compress
+        spec.sax.alphabet_size, spec.sax.segment_length, spec.sax.compress
     )
 
 
@@ -115,12 +132,66 @@ def _transformer_alphabet_size(transformer) -> int:
     return len(transformer.alphabet)
 
 
+def _coerce_spec(
+    mechanism,
+    spec: ExperimentSpec | None,
+    *,
+    epsilon: float,
+    alphabet_size: int,
+    segment_length: int,
+    metric: str,
+    top_k: int | None,
+    candidate_factor: int,
+    length_high: int | None,
+    compress: bool,
+    options: dict,
+) -> tuple[ExperimentSpec, MechanismEntry]:
+    """Lift legacy keyword parameters into one ExperimentSpec (or pass one through)."""
+    if isinstance(mechanism, ExperimentSpec):
+        if spec is not None:
+            raise ConfigurationError(
+                "pass the ExperimentSpec either positionally or as spec=, not both"
+            )
+        spec = mechanism
+    elif spec is not None:
+        if not isinstance(spec, ExperimentSpec):
+            raise ConfigurationError(
+                f"spec must be an ExperimentSpec, got {type(spec).__name__}"
+            )
+        if mechanism not in ("privshape", spec.mechanism):
+            # A non-default mechanism string alongside a conflicting spec is
+            # a contradiction, not a tie-break; refuse rather than silently
+            # ignore the explicit request.
+            raise ConfigurationError(
+                f"mechanism {mechanism!r} conflicts with spec.mechanism "
+                f"{spec.mechanism!r}; set the mechanism inside the spec"
+            )
+    else:
+        spec = ExperimentSpec(
+            mechanism=mechanism,
+            privacy=PrivacySpec(epsilon=epsilon),
+            sax=SAXSpec(
+                alphabet_size=alphabet_size,
+                segment_length=segment_length,
+                compress=compress,
+            ),
+            collection=CollectionSpec(
+                top_k=int(top_k) if top_k is not None else None,
+                metric=metric,
+                length_high=int(length_high) if length_high is not None else None,
+                candidate_factor=candidate_factor,
+            ),
+            options=options,
+        )
+    return spec, mechanism_registry.get(spec.mechanism)
+
+
 # ------------------------------------------------------------------ clustering task
 
 
 def run_clustering_task(
     dataset: LabeledDataset,
-    mechanism: str = "privshape",
+    mechanism: str | ExperimentSpec = "privshape",
     epsilon: float = 4.0,
     alphabet_size: int = 6,
     segment_length: int = 25,
@@ -133,6 +204,7 @@ def run_clustering_task(
     evaluation_size: int = 500,
     patternldp_sample_fraction: float = 0.1,
     rng: RngLike = None,
+    spec: ExperimentSpec | None = None,
 ) -> ClusteringTaskResult:
     """Run the clustering-task evaluation for one mechanism (Fig. 9 / Table III).
 
@@ -142,7 +214,10 @@ def run_clustering_task(
         Labelled raw time series (one per user); labels are only used for
         evaluation, never by the mechanisms.
     mechanism:
-        ``"privshape"``, ``"baseline"``, or ``"patternldp"``.
+        A registered mechanism name (``repro.api.available_mechanisms()``:
+        ``"privshape"``, ``"baseline"``, ``"patternldp"``, ``"pem"``,
+        ``"pid"``, ...) — or a full :class:`ExperimentSpec`, in which case
+        the remaining keyword parameters are ignored.
     epsilon, alphabet_size, segment_length, metric, top_k, candidate_factor:
         Mechanism and SAX parameters (paper defaults: ε=4, t=6, w=25, DTW,
         k = number of classes, c=3 for Symbols).
@@ -153,24 +228,43 @@ def run_clustering_task(
     evaluation_size:
         Number of series (stratified) used to compute the ARI; extraction
         always uses the full population.
+    spec:
+        Alternative to the keyword parameters: one composable
+        :class:`ExperimentSpec` describing the whole run.  A spec is
+        self-contained — it uses its *own* defaults (t=4, w=10, DTW), not
+        this function's task-specific keyword defaults, so state the SAX
+        parameters and metric explicitly when migrating a keyword call.
     """
-    if mechanism not in MECHANISMS:
-        raise ConfigurationError(f"mechanism must be one of {MECHANISMS}, got {mechanism!r}")
-    generator = ensure_rng(rng)
-    top_k = int(top_k) if top_k is not None else dataset.n_classes
+    spec, entry = _coerce_spec(
+        mechanism,
+        spec,
+        epsilon=epsilon,
+        alphabet_size=alphabet_size,
+        segment_length=segment_length,
+        metric=metric,
+        top_k=top_k,
+        candidate_factor=candidate_factor,
+        length_high=length_high,
+        compress=compress,
+        options={"sample_fraction": patternldp_sample_fraction},
+    )
+    generator = ensure_rng(rng if rng is not None else spec.rng_seed)
+    resolved_top_k = (
+        spec.collection.top_k if spec.collection.top_k is not None else dataset.n_classes
+    )
 
-    transformer = _resolve_transformer(transformer, alphabet_size, segment_length, compress)
+    transformer = _resolve_transformer(transformer, spec)
     effective_alphabet = _transformer_alphabet_size(transformer)
     truth = ground_truth_shapes(
-        dataset, _build_transformer(alphabet_size, segment_length, True)
+        dataset, _build_transformer(spec.sax.alphabet_size, spec.sax.segment_length, True)
     )
     truth_shapes = [truth[label] for label in sorted(truth)]
 
     evaluation = dataset.subsample(min(evaluation_size, len(dataset)), rng=generator)
 
     start = time.perf_counter()
-    if mechanism == "patternldp":
-        perturber = PatternLDP(epsilon=epsilon, sample_fraction=patternldp_sample_fraction)
+    if entry.kind == KIND_PERTURBATION:
+        perturber = entry.build(spec)
         perturbed = perturber.perturb_dataset(evaluation.series, rng=generator)
         kmeans = TimeSeriesKMeans(
             n_clusters=dataset.n_classes, metric="euclidean", rng=generator
@@ -178,16 +272,18 @@ def run_clustering_task(
         predicted = kmeans.fit_predict(perturbed)
         elapsed = time.perf_counter() - start
         ari = adjusted_rand_index(evaluation.labels, predicted)
-        center_transformer = _build_transformer(alphabet_size, segment_length, True)
+        center_transformer = _build_transformer(
+            spec.sax.alphabet_size, spec.sax.segment_length, True
+        )
         extracted_shapes = [
             center_transformer.transform(center) for center in kmeans.cluster_centers_
         ]
         measures = shape_quality_measures(
-            extracted_shapes, truth_shapes, alphabet_size=alphabet_size
+            extracted_shapes, truth_shapes, alphabet_size=spec.sax.alphabet_size
         )
         return ClusteringTaskResult(
-            mechanism=mechanism,
-            epsilon=epsilon,
+            mechanism=spec.mechanism,
+            epsilon=spec.privacy.epsilon,
             ari=ari,
             shapes=["".join(s) for s in extracted_shapes],
             ground_truth_shapes=["".join(s) for s in truth_shapes],
@@ -197,28 +293,11 @@ def run_clustering_task(
         )
 
     sequences = transformer.transform_dataset(dataset.series)
-    high = _length_high_default(transformer, sequences, length_high)
-    if mechanism == "privshape":
-        config = PrivShapeConfig(
-            epsilon=epsilon,
-            top_k=top_k,
-            alphabet_size=effective_alphabet,
-            metric=metric,
-            length_low=1,
-            length_high=high,
-            candidate_factor=candidate_factor,
-        )
-        extractor = PrivShape(config)
-    else:
-        config = BaselineConfig(
-            epsilon=epsilon,
-            top_k=top_k,
-            alphabet_size=effective_alphabet,
-            metric=metric,
-            length_low=1,
-            length_high=high,
-        )
-        extractor = BaselineMechanism(config)
+    high = _length_high_default(transformer, sequences, spec.collection.length_high)
+    resolved = spec.resolve(
+        top_k=resolved_top_k, length_high=high, alphabet_size=effective_alphabet
+    )
+    extractor = entry.build(resolved)
 
     extraction = extractor.extract(sequences, rng=generator)
     elapsed = time.perf_counter() - start
@@ -228,7 +307,7 @@ def run_clustering_task(
         assignments = assign_to_shapes(
             evaluation_sequences,
             extraction.shapes,
-            metric=metric,
+            metric=resolved.collection.metric,
             alphabet_size=effective_alphabet,
         )
         ari = adjusted_rand_index(evaluation.labels, assignments)
@@ -238,8 +317,8 @@ def run_clustering_task(
         extraction.shapes, truth_shapes, alphabet_size=effective_alphabet
     )
     return ClusteringTaskResult(
-        mechanism=mechanism,
-        epsilon=epsilon,
+        mechanism=spec.mechanism,
+        epsilon=spec.privacy.epsilon,
         ari=ari,
         shapes=extraction.as_strings(),
         ground_truth_shapes=["".join(s) for s in truth_shapes],
@@ -255,7 +334,7 @@ def run_clustering_task(
 
 def run_classification_task(
     dataset: LabeledDataset,
-    mechanism: str = "privshape",
+    mechanism: str | ExperimentSpec = "privshape",
     epsilon: float = 4.0,
     alphabet_size: int = 4,
     segment_length: int = 10,
@@ -271,25 +350,43 @@ def run_classification_task(
     patternldp_train_size: int = 1200,
     forest_size: int = 20,
     rng: RngLike = None,
+    spec: ExperimentSpec | None = None,
 ) -> ClassificationTaskResult:
     """Run the classification-task evaluation for one mechanism (Fig. 11 / Table IV).
 
-    PrivShape and the baseline extract per-class shapes from the training
-    users and classify held-out clean series by the nearest labelled shape.
-    PatternLDP perturbs the training series, trains a random forest on them,
-    and is evaluated on the same held-out clean series.
+    Extraction mechanisms (PrivShape, the baseline, PEM) extract per-class
+    shapes from the training users and classify held-out clean series by the
+    nearest labelled shape.  Perturbation mechanisms (PatternLDP, PID)
+    perturb the training series, train a random forest on them, and are
+    evaluated on the same held-out clean series.  ``mechanism`` may also be a
+    full :class:`ExperimentSpec` (see :func:`run_clustering_task`) — note a
+    spec's own defaults include ``metric="dtw"``, not this task's ``"sed"``
+    keyword default, so set the metric explicitly when migrating.
     """
-    if mechanism not in MECHANISMS:
-        raise ConfigurationError(f"mechanism must be one of {MECHANISMS}, got {mechanism!r}")
-    generator = ensure_rng(rng)
+    spec, entry = _coerce_spec(
+        mechanism,
+        spec,
+        epsilon=epsilon,
+        alphabet_size=alphabet_size,
+        segment_length=segment_length,
+        metric=metric,
+        top_k=top_k,
+        candidate_factor=candidate_factor,
+        length_high=length_high,
+        compress=compress,
+        options={"sample_fraction": patternldp_sample_fraction},
+    )
+    generator = ensure_rng(rng if rng is not None else spec.rng_seed)
     # The paper sizes the OUE refinement at c*k*k cells — k candidates per the
     # k classes — so the per-class shape budget defaults to the class count.
-    top_k = int(top_k) if top_k is not None else dataset.n_classes
+    resolved_top_k = (
+        spec.collection.top_k if spec.collection.top_k is not None else dataset.n_classes
+    )
 
-    transformer = _resolve_transformer(transformer, alphabet_size, segment_length, compress)
+    transformer = _resolve_transformer(transformer, spec)
     effective_alphabet = _transformer_alphabet_size(transformer)
     truth = ground_truth_shapes(
-        dataset, _build_transformer(alphabet_size, segment_length, True)
+        dataset, _build_transformer(spec.sax.alphabet_size, spec.sax.segment_length, True)
     )
     truth_shapes = [truth[label] for label in sorted(truth)]
 
@@ -297,36 +394,42 @@ def run_classification_task(
     test = test.subsample(min(evaluation_size, len(test)), rng=generator)
 
     start = time.perf_counter()
-    if mechanism == "patternldp":
-        # PatternLDP's value perturbation and the random-forest training are
-        # per-series Python work, so its training population is capped; the
-        # extraction mechanisms still see the full population.
-        train_subset = train.subsample(min(patternldp_train_size, len(train)), rng=generator)
-        perturber = PatternLDP(epsilon=epsilon, sample_fraction=patternldp_sample_fraction)
+    if entry.kind == KIND_PERTURBATION:
+        # Value perturbation and the random-forest training are per-series
+        # Python work, so the training population is capped; the extraction
+        # mechanisms still see the full population.
+        train_size = int(spec.options.get("train_size", patternldp_train_size))
+        n_estimators = int(spec.options.get("forest_size", forest_size))
+        train_subset = train.subsample(min(train_size, len(train)), rng=generator)
+        perturber = entry.build(spec)
         perturbed_train = perturber.perturb_dataset(train_subset.series, rng=generator)
-        forest = RandomForestClassifier(n_estimators=forest_size, rng=generator)
+        forest = RandomForestClassifier(n_estimators=n_estimators, rng=generator)
         forest.fit_series(perturbed_train, train_subset.labels)
         predictions = forest.predict(series_to_matrix(test.series, length=forest.n_features_))
         elapsed = time.perf_counter() - start
         accuracy = accuracy_score(test.labels, predictions)
 
-        center_transformer = _build_transformer(alphabet_size, segment_length, True)
+        center_transformer = _build_transformer(
+            spec.sax.alphabet_size, spec.sax.segment_length, True
+        )
         per_class_shapes: dict[int, list[str]] = {}
         extracted_for_measures: list[Shape] = []
         for label in train_subset.classes:
             members = [
-                series for series, l in zip(perturbed_train, train_subset.labels) if l == label
+                series
+                for series, member_label in zip(perturbed_train, train_subset.labels)
+                if member_label == label
             ]
             center = np.mean(np.vstack(members), axis=0)
             shape = center_transformer.transform(center)
             per_class_shapes[int(label)] = ["".join(shape)]
             extracted_for_measures.append(shape)
         measures = shape_quality_measures(
-            extracted_for_measures, truth_shapes, alphabet_size=alphabet_size
+            extracted_for_measures, truth_shapes, alphabet_size=spec.sax.alphabet_size
         )
         return ClassificationTaskResult(
-            mechanism=mechanism,
-            epsilon=epsilon,
+            mechanism=spec.mechanism,
+            epsilon=spec.privacy.epsilon,
             accuracy=accuracy,
             shapes_by_class=per_class_shapes,
             ground_truth_shapes=["".join(s) for s in truth_shapes],
@@ -336,28 +439,11 @@ def run_classification_task(
         )
 
     train_sequences = transformer.transform_dataset(train.series)
-    high = _length_high_default(transformer, train_sequences, length_high)
-    if mechanism == "privshape":
-        config = PrivShapeConfig(
-            epsilon=epsilon,
-            top_k=top_k,
-            alphabet_size=effective_alphabet,
-            metric=metric,
-            length_low=1,
-            length_high=high,
-            candidate_factor=candidate_factor,
-        )
-        extractor = PrivShape(config)
-    else:
-        config = BaselineConfig(
-            epsilon=epsilon,
-            top_k=top_k,
-            alphabet_size=effective_alphabet,
-            metric=metric,
-            length_low=1,
-            length_high=high,
-        )
-        extractor = BaselineMechanism(config)
+    high = _length_high_default(transformer, train_sequences, spec.collection.length_high)
+    resolved = spec.resolve(
+        top_k=resolved_top_k, length_high=high, alphabet_size=effective_alphabet
+    )
+    extractor = entry.build(resolved)
 
     extraction = extractor.extract_labeled(
         train_sequences, train.labels, n_classes=dataset.n_classes, rng=generator
@@ -371,7 +457,7 @@ def run_classification_task(
         classifier = NearestShapeClassifier(
             labelled_shapes=labelled_shapes,
             transformer=transformer,
-            metric=metric,
+            metric=resolved.collection.metric,
         )
         predictions = classifier.predict(test.series)
         accuracy = accuracy_score(test.labels, predictions)
@@ -387,8 +473,8 @@ def run_classification_task(
         representative, truth_shapes, alphabet_size=effective_alphabet
     )
     return ClassificationTaskResult(
-        mechanism=mechanism,
-        epsilon=epsilon,
+        mechanism=spec.mechanism,
+        epsilon=spec.privacy.epsilon,
         accuracy=accuracy,
         shapes_by_class=extraction.as_strings(),
         ground_truth_shapes=["".join(s) for s in truth_shapes],

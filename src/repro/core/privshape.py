@@ -41,9 +41,19 @@ from repro.utils.rng import RngLike, ensure_rng
 
 @dataclass
 class PrivShape:
-    """User-level LDP extraction of top-k frequent shapes (Algorithm 2)."""
+    """User-level LDP extraction of top-k frequent shapes (Algorithm 2).
+
+    ``config`` is either a :class:`PrivShapeConfig` or a resolved
+    :class:`~repro.api.spec.ExperimentSpec` (coerced on construction).
+    """
 
     config: PrivShapeConfig
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.config, PrivShapeConfig) and hasattr(
+            self.config, "to_privshape_config"
+        ):
+            self.config = self.config.to_privshape_config()
 
     def _run_rounds(self, engine: PrivShapeEngine, population: EncodedPopulation) -> None:
         """Drive every protocol round with the full population as one batch."""
@@ -87,7 +97,7 @@ class PrivShape:
         described in Section V-E of the paper.
         """
         sequences = [tuple(s) for s in sequences]
-        labels = [int(l) for l in labels]
+        labels = [int(label) for label in labels]
         if len(sequences) != len(labels):
             raise ValueError("sequences and labels must have the same length")
         if not sequences:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.core.trie import Shape, ShapeTrie
 from repro.ldp.accounting import PrivacyAccountant

@@ -182,7 +182,7 @@ def oue_labeled_refine_counts(
     """
     candidate_list = [tuple(c) for c in candidates]
     sequences = [tuple(s) for s in sequences]
-    labels = [int(l) for l in labels]
+    labels = [int(label) for label in labels]
     per_class: dict[int, dict[Shape, float]] = {
         label: {candidate: 0.0 for candidate in candidate_list} for label in range(n_classes)
     }

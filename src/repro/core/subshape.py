@@ -14,7 +14,6 @@ from __future__ import annotations
 from itertools import permutations
 from typing import Sequence
 
-import numpy as np
 
 from repro.exceptions import EstimationError
 from repro.ldp.grr import GeneralizedRandomizedResponse

@@ -11,7 +11,7 @@ analysis (Theorem 4) benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.exceptions import DomainError

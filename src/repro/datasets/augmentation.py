@@ -97,7 +97,7 @@ def augment_dataset(
     new_series: list[np.ndarray] = []
     new_labels: list[int] = []
     for label, count in zip(classes, per_class):
-        seeds = [s for s, l in zip(dataset.series, dataset.labels) if l == label]
+        seeds = [s for s, y in zip(dataset.series, dataset.labels) if y == label]
         for _ in range(int(count)):
             seed = seeds[int(generator.integers(0, len(seeds)))]
             new_series.append(

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 
@@ -142,7 +142,7 @@ class LabeledDataset:
         """Per-class mean series (requires equal lengths within each class)."""
         prototypes: dict[int, np.ndarray] = {}
         for label in self.classes:
-            members = [s for s, l in zip(self.series, self.labels) if l == label]
+            members = [s for s, y in zip(self.series, self.labels) if y == label]
             lengths = {m.size for m in members}
             if len(lengths) != 1:
                 raise DataShapeError(

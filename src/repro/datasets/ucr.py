@@ -51,7 +51,7 @@ def load_ucr_tsv(path: str | os.PathLike, name: str | None = None) -> LabeledDat
 
     unique = sorted(set(raw_labels))
     label_map = {original: index for index, original in enumerate(unique)}
-    labels = np.asarray([label_map[l] for l in raw_labels], dtype=int)
+    labels = np.asarray([label_map[raw] for raw in raw_labels], dtype=int)
     return LabeledDataset(
         series=series,
         labels=labels,

@@ -10,7 +10,6 @@ for any report routing and any batch sizes.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.exceptions import ProtocolStateError
 from repro.service.plan import RoundSpec

@@ -102,6 +102,10 @@ class ProtocolDriver:
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        # Accept a resolved repro.api ExperimentSpec as well (duck-typed; see
+        # PrivShapeEngine.__init__ for why the api package is not imported).
+        if not isinstance(config, PrivShapeConfig) and hasattr(config, "to_privshape_config"):
+            config = config.to_privshape_config()
         self.config = config
         self.population = population
         self.batch_size = int(batch_size)

@@ -73,6 +73,11 @@ class PrivShapeEngine:
         labeled: bool = False,
         n_classes: int | None = None,
     ) -> None:
+        # Accept a resolved repro.api ExperimentSpec as well; duck-typed so the
+        # service layer never imports the api package (core.privshape imports
+        # this module, and the api package imports core.privshape).
+        if not isinstance(config, PrivShapeConfig) and hasattr(config, "to_privshape_config"):
+            config = config.to_privshape_config()
         self.config = config
         self.generator = ensure_rng(rng if rng is not None else config.rng_seed)
         self.accountant = PrivacyAccountant(target_epsilon=config.epsilon)

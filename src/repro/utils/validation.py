@@ -8,6 +8,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import (
+    ConfigurationError,
     DataShapeError,
     EmptyDatasetError,
     PrivacyBudgetError,
@@ -32,6 +33,46 @@ def check_positive_int(value: int, name: str = "value") -> int:
     result = int(value)
     if result <= 0:
         raise ValueError(f"{name} must be positive, got {result}")
+    return result
+
+
+def check_population_fractions(
+    fractions: Sequence[float], n_groups: int = 4
+) -> tuple[float, ...]:
+    """Validate a population split: ``n_groups`` positive fractions summing to 1.
+
+    Shared by the legacy config classes and the composable CollectionSpec so
+    the two surfaces can never drift apart.
+    """
+    values = tuple(float(f) for f in fractions)
+    if len(values) != n_groups:
+        raise ConfigurationError(
+            f"population_fractions must have exactly {n_groups} entries"
+        )
+    if any(f <= 0 for f in values):
+        raise ConfigurationError("population fractions must all be positive")
+    if abs(sum(values) - 1.0) > 1e-6:
+        raise ConfigurationError(
+            f"population_fractions must sum to 1, got {sum(values)}"
+        )
+    return values
+
+
+def check_open_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies strictly inside (0, 1)."""
+    result = float(value)
+    if not 0.0 < result < 1.0:
+        raise ConfigurationError(f"{name} must be in (0, 1)")
+    return result
+
+
+def check_optional_threshold(value: float | None, name: str) -> float | None:
+    """Validate an optional non-negative threshold (None means 'derive')."""
+    if value is None:
+        return None
+    result = float(value)
+    if result < 0:
+        raise ConfigurationError(f"{name} must be non-negative or None")
     return result
 
 

@@ -1,0 +1,100 @@
+"""Tests for the generic registry and the mechanism registry."""
+
+import pytest
+
+from repro.api import (
+    KIND_EXTRACTION,
+    KIND_PERTURBATION,
+    MechanismEntry,
+    Registry,
+    available_mechanisms,
+    mechanism_registry,
+    register_mechanism,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_add_get_roundtrip(self):
+        registry = Registry("widget")
+        registry.add("a", 1)
+        registry.add("B", 2)
+        assert registry.get("a") == 1
+        assert registry.get("b") == 2  # case-insensitive
+        assert registry.get("B") == 2
+        assert registry.names() == ("a", "b")
+        assert "A" in registry
+        assert "c" not in registry
+        assert len(registry) == 2
+
+    def test_unknown_name_lists_available(self):
+        registry = Registry("widget")
+        registry.add("alpha", object())
+        with pytest.raises(ConfigurationError, match="unknown widget 'beta'.*alpha"):
+            registry.get("beta")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("widget")
+        registry.add("a", 1)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.add("a", 2)
+        assert registry.get("a") == 1
+        registry.add("a", 3, overwrite=True)
+        assert registry.get("a") == 3
+
+    def test_remove(self):
+        registry = Registry("widget")
+        registry.add("a", 1)
+        assert registry.remove("a") == 1
+        assert "a" not in registry
+        with pytest.raises(ConfigurationError):
+            registry.remove("a")
+
+    def test_decorator_form(self):
+        registry = Registry("hook")
+
+        @registry.register("double")
+        def double(x):
+            return 2 * x
+
+        assert registry.get("double") is double
+        assert registry.get("double")(4) == 8
+
+
+class TestMechanismRegistry:
+    def test_builtins_registered(self):
+        assert set(available_mechanisms()) >= {
+            "privshape", "baseline", "patternldp", "pem", "pid",
+        }
+
+    def test_families(self):
+        assert available_mechanisms(KIND_EXTRACTION) == ("privshape", "baseline", "pem")
+        assert available_mechanisms(KIND_PERTURBATION) == ("patternldp", "pid")
+
+    def test_entries_are_mechanism_entries(self):
+        for name in available_mechanisms():
+            entry = mechanism_registry.get(name)
+            assert isinstance(entry, MechanismEntry)
+            assert entry.name == name
+            assert entry.kind in (KIND_EXTRACTION, KIND_PERTURBATION)
+            assert callable(entry.factory)
+
+    def test_unknown_mechanism_error_lists_names(self):
+        with pytest.raises(ConfigurationError, match="privshape"):
+            mechanism_registry.get("magic")
+
+    def test_register_mechanism_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            register_mechanism("broken", "other-kind")
+
+    def test_custom_registration_and_cleanup(self):
+        @register_mechanism("test-null", KIND_EXTRACTION, "test double")
+        def build(spec):  # pragma: no cover - never built
+            raise AssertionError
+
+        try:
+            assert "test-null" in mechanism_registry
+            assert "test-null" in available_mechanisms(KIND_EXTRACTION)
+        finally:
+            mechanism_registry.remove("test-null")
+        assert "test-null" not in mechanism_registry

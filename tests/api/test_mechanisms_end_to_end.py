@@ -1,0 +1,249 @@
+"""PEM / PID end-to-end through the pipelines, the CLI, and custom registration."""
+
+import pytest
+
+from repro.api import (
+    KIND_EXTRACTION,
+    ExperimentSpec,
+    PEMExtractor,
+    PrivacySpec,
+    mechanism_registry,
+    register_mechanism,
+)
+from repro.api.spec import CollectionSpec
+from repro.cli import main
+from repro.core.pipeline import run_classification_task, run_clustering_task
+from repro.datasets import symbols_like, trace_like
+
+
+@pytest.fixture(scope="module")
+def tiny_symbols():
+    return symbols_like(n_instances=420, rng=31)
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return trace_like(n_instances=240, rng=32)
+
+
+class TestPEMExtractor:
+    def test_extract_structure(self, tiny_symbols):
+        from repro.sax.compressive import CompressiveSAX
+
+        sequences = CompressiveSAX(
+            alphabet_size=6, segment_length=25
+        ).transform_dataset(tiny_symbols.series)
+        extractor = PEMExtractor(
+            epsilon=6.0, top_k=3, alphabet=tuple("abcdef"), length_high=8
+        )
+        result = extractor.extract(sequences, rng=0)
+        assert 1 <= len(result.shapes) <= 3
+        assert result.frequencies == sorted(result.frequencies, reverse=True)
+        assert result.estimated_length >= 1
+        assert result.accountant.is_valid()
+
+    def test_candidate_budget(self):
+        extractor = PEMExtractor(top_k=3, candidate_factor=2)
+        assert extractor.candidate_budget == 6
+
+    def test_small_population_raises_instead_of_reusing_users(self):
+        # With too few users to fill the Pa length-estimation group, the
+        # extractor must refuse (like the baseline mechanism) rather than
+        # silently let users report twice at full epsilon.
+        from repro.exceptions import EstimationError
+
+        extractor = PEMExtractor(epsilon=4.0, top_k=2, length_high=4)
+        with pytest.raises(EstimationError):
+            extractor.extract([("a", "b", "c")] * 10, rng=0)
+
+    def test_accountant_records_resolved_oracle(self):
+        # oracle="auto" must be resolved per round before it reaches the
+        # privacy audit — the accountant names what actually ran.
+        sequences = [("a", "b", "c", "d"), ("b", "a", "c", "a"), ("a", "c", "b", "d")] * 20
+        extractor = PEMExtractor(
+            epsilon=4.0, top_k=2, length_high=5, oracle="auto",
+            length_population_fraction=0.1,
+        )
+        result = extractor.extract(sequences, rng=1)
+        mechanisms = [
+            spend.mechanism for spend in result.accountant.spends
+            if "prefix-frequency oracle" in spend.mechanism
+        ]
+        assert mechanisms, result.accountant.spends
+        assert all("AUTO" not in mechanism for mechanism in mechanisms)
+        assert all(
+            mechanism.split()[0] in ("GRR", "OUE", "OLH", "SUE")
+            for mechanism in mechanisms
+        )
+
+    def test_from_spec_reads_options(self):
+        spec = ExperimentSpec(
+            mechanism="pem",
+            collection=CollectionSpec(top_k=2, length_high=6, oracle="oue"),
+            options={"symbols_per_round": 2},
+        )
+        extractor = PEMExtractor.from_spec(spec)
+        assert extractor.symbols_per_round == 2
+        assert extractor.oracle == "oue"
+        assert extractor.top_k == 2
+
+
+class TestPemPidPipelines:
+    def test_pem_clustering_end_to_end(self, tiny_symbols):
+        result = run_clustering_task(
+            tiny_symbols, mechanism="pem", epsilon=6.0, evaluation_size=80, rng=1
+        )
+        assert -1.0 <= result.ari <= 1.0
+        assert result.shapes
+        assert result.extraction is not None
+        assert result.extraction.accountant.is_valid()
+
+    def test_pid_clustering_end_to_end(self, tiny_symbols):
+        result = run_clustering_task(
+            tiny_symbols, mechanism="pid", epsilon=6.0, evaluation_size=60, rng=2
+        )
+        assert -1.0 <= result.ari <= 1.0
+        assert result.extraction is None  # perturbation mechanisms have none
+
+    def test_pem_classification_end_to_end(self, tiny_trace):
+        result = run_classification_task(
+            tiny_trace, mechanism="pem", epsilon=6.0, evaluation_size=60, rng=3
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+        assert set(result.shapes_by_class) <= set(range(tiny_trace.n_classes))
+
+    def test_pid_classification_end_to_end(self, tiny_trace):
+        result = run_classification_task(
+            tiny_trace,
+            mechanism="pid",
+            epsilon=6.0,
+            evaluation_size=50,
+            patternldp_train_size=120,
+            forest_size=4,
+            rng=4,
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_spec_invocation_replays_identically(self, tiny_symbols):
+        spec = ExperimentSpec(mechanism="pem", privacy=PrivacySpec(epsilon=6.0))
+        replayed = ExperimentSpec.from_json(spec.to_json())
+        first = run_clustering_task(tiny_symbols, spec, evaluation_size=60, rng=5)
+        second = run_clustering_task(tiny_symbols, replayed, evaluation_size=60, rng=5)
+        assert first.shapes == second.shapes
+        assert first.ari == second.ari
+
+    def test_spec_and_keyword_paths_agree(self, tiny_symbols):
+        from repro.api import SAXSpec
+
+        by_keywords = run_clustering_task(
+            tiny_symbols, mechanism="privshape", epsilon=6.0, evaluation_size=60, rng=6
+        )
+        # A spec matching the clustering task's keyword defaults (t=6, w=25)
+        # must reproduce the keyword invocation exactly.
+        by_spec = run_clustering_task(
+            tiny_symbols,
+            ExperimentSpec(
+                mechanism="privshape",
+                privacy=PrivacySpec(epsilon=6.0),
+                sax=SAXSpec(alphabet_size=6, segment_length=25),
+            ),
+            evaluation_size=60,
+            rng=6,
+        )
+        assert by_keywords.shapes == by_spec.shapes
+        assert by_keywords.ari == by_spec.ari
+
+    def test_spec_rng_seed_used_when_no_rng_given(self, tiny_symbols):
+        spec = ExperimentSpec(
+            mechanism="privshape", privacy=PrivacySpec(epsilon=6.0), rng_seed=9
+        )
+        first = run_clustering_task(tiny_symbols, spec, evaluation_size=60)
+        second = run_clustering_task(tiny_symbols, spec, evaluation_size=60)
+        assert first.shapes == second.shapes
+
+    def test_positional_spec_plus_spec_kwarg_rejected(self, tiny_symbols):
+        from repro.exceptions import ConfigurationError
+
+        spec = ExperimentSpec()
+        with pytest.raises(ConfigurationError, match="not both"):
+            run_clustering_task(tiny_symbols, spec, spec=spec)
+
+    def test_conflicting_mechanism_string_and_spec_rejected(self, tiny_symbols):
+        from repro.exceptions import ConfigurationError
+
+        spec = ExperimentSpec(mechanism="privshape")
+        with pytest.raises(ConfigurationError, match="conflicts"):
+            run_clustering_task(tiny_symbols, mechanism="pem", spec=spec)
+
+    def test_matching_mechanism_string_and_spec_allowed(self, tiny_symbols):
+        spec = ExperimentSpec(mechanism="pem", privacy=PrivacySpec(epsilon=6.0))
+        result = run_clustering_task(
+            tiny_symbols, mechanism="pem", spec=spec, evaluation_size=60, rng=8
+        )
+        assert result.mechanism == "pem"
+
+
+class TestCliIntegration:
+    def test_cluster_accepts_pem(self, capsys):
+        exit_code = main(
+            ["cluster", "--dataset", "symbols", "--users", "240",
+             "--mechanism", "pem", "--epsilon", "6", "--evaluation-size", "60",
+             "--seed", "1"]
+        )
+        assert exit_code == 0
+        assert "mechanism: pem" in capsys.readouterr().out
+
+    def test_classify_accepts_pid(self, capsys):
+        exit_code = main(
+            ["classify", "--dataset", "trace", "--users", "240",
+             "--mechanism", "pid", "--epsilon", "6", "--evaluation-size", "50",
+             "--seed", "2"]
+        )
+        assert exit_code == 0
+        assert "mechanism: pid" in capsys.readouterr().out
+
+    def test_extract_accepts_pem(self, capsys):
+        exit_code = main(
+            ["extract", "--dataset", "trace", "--users", "240",
+             "--mechanism", "pem", "--epsilon", "6", "--seed", "3"]
+        )
+        assert exit_code == 0
+        assert "top shapes:" in capsys.readouterr().out
+
+    def test_extract_rejects_perturbation_mechanisms(self):
+        with pytest.raises(SystemExit, match="perturbs raw series"):
+            main(["extract", "--dataset", "trace", "--users", "240",
+                  "--mechanism", "patternldp"])
+
+    def test_spec_file_round_trip(self, tmp_path, capsys):
+        spec = ExperimentSpec(mechanism="pem", privacy=PrivacySpec(epsilon=6.0))
+        path = tmp_path / "experiment.json"
+        path.write_text(spec.to_json())
+        exit_code = main(
+            ["cluster", "--dataset", "symbols", "--users", "240",
+             "--spec", str(path), "--evaluation-size", "60", "--seed", "4", "--json"]
+        )
+        assert exit_code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mechanism"] == "pem"
+
+
+class TestCustomMechanism:
+    def test_registered_mechanism_reaches_pipeline(self, tiny_symbols):
+        @register_mechanism("test-pem-wide", KIND_EXTRACTION, "two symbols per round")
+        def build(spec):
+            wide = ExperimentSpec.from_dict(
+                {**spec.to_dict(), "options": {"symbols_per_round": 2}}
+            )
+            return PEMExtractor.from_spec(wide)
+
+        try:
+            result = run_clustering_task(
+                tiny_symbols, mechanism="test-pem-wide", epsilon=6.0,
+                evaluation_size=60, rng=7,
+            )
+            assert -1.0 <= result.ari <= 1.0
+        finally:
+            mechanism_registry.remove("test-pem-wide")

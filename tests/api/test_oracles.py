@@ -1,0 +1,113 @@
+"""Tests for the frequency-oracle registry and analytic auto-selection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variance import (
+    grr_variance,
+    olh_variance,
+    oue_variance,
+    sue_variance,
+)
+from repro.api import (
+    available_oracles,
+    make_frequency_oracle,
+    oracle_variances,
+    select_frequency_oracle,
+)
+from repro.exceptions import ConfigurationError
+from repro.ldp.base import FrequencyOracle
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.ldp.olh import OptimizedLocalHashing
+from repro.ldp.unary import UnaryEncoding
+
+
+class TestOracleRegistry:
+    def test_builtins_registered(self):
+        assert available_oracles() == ("grr", "oue", "olh", "sue")
+
+    def test_named_construction(self):
+        domain = list("abcd")
+        assert isinstance(make_frequency_oracle("grr", 1.0, domain),
+                          GeneralizedRandomizedResponse)
+        oue = make_frequency_oracle("oue", 1.0, domain)
+        assert isinstance(oue, UnaryEncoding) and oue.optimized
+        sue = make_frequency_oracle("sue", 1.0, domain)
+        assert isinstance(sue, UnaryEncoding) and not sue.optimized
+        assert isinstance(make_frequency_oracle("olh", 1.0, domain),
+                          OptimizedLocalHashing)
+
+    def test_oracles_preserve_domain(self):
+        domain = [("a", "b"), ("b", "a"), "__other__"]
+        oracle = make_frequency_oracle("grr", 2.0, domain)
+        assert oracle.domain == domain
+        assert isinstance(oracle, FrequencyOracle)
+
+    def test_unknown_oracle_error_lists_names(self):
+        with pytest.raises(ConfigurationError, match="grr"):
+            make_frequency_oracle("magic", 1.0, list("ab"))
+
+    def test_variances_cover_every_oracle(self):
+        variances = oracle_variances(1.0, 16, n=500)
+        assert set(variances) == set(available_oracles())
+        assert all(v > 0 for v in variances.values())
+
+
+class TestAutoSelection:
+    def test_auto_matches_closed_form_argmin(self):
+        """`auto` must provably pick the variance-optimal oracle everywhere."""
+        for epsilon in (0.5, 1.0, 2.0, 4.0):
+            for domain_size in (2, 3, 6, 12, 30, 64, 256, 1024):
+                chosen = select_frequency_oracle(epsilon, domain_size)
+                variances = oracle_variances(epsilon, domain_size, n=1000)
+                assert variances[chosen] == min(variances.values()), (
+                    epsilon, domain_size, variances,
+                )
+
+    def test_small_domain_prefers_grr(self):
+        # d = 2 at epsilon 1: GRR variance is far below OUE's.
+        assert grr_variance(1.0, 2, 1000) < oue_variance(1.0, 1000)
+        assert select_frequency_oracle(1.0, 2) == "grr"
+
+    def test_large_domain_prefers_oue(self):
+        assert grr_variance(1.0, 500, 1000) > oue_variance(1.0, 1000)
+        assert select_frequency_oracle(1.0, 500) == "oue"
+
+    def test_olh_ties_resolve_to_oue(self):
+        # OLH shares OUE's closed-form variance; registration order breaks the
+        # tie deterministically in OUE's favour.
+        assert olh_variance(1.0, 1000) == oue_variance(1.0, 1000)
+        for domain_size in (2, 64, 4096):
+            assert select_frequency_oracle(1.0, domain_size) != "olh"
+
+    def test_selection_independent_of_n(self):
+        for n in (10, 1000, 10**6):
+            assert select_frequency_oracle(2.0, 40, n=n) == select_frequency_oracle(2.0, 40)
+
+    def test_auto_constructs_the_selected_oracle(self):
+        small = make_frequency_oracle("auto", 1.0, list("ab"))
+        assert isinstance(small, GeneralizedRandomizedResponse)
+        large = make_frequency_oracle("auto", 1.0, list(range(500)))
+        assert isinstance(large, UnaryEncoding)
+
+    def test_boundary_consistent_with_classic_rule(self):
+        """The classic d-1 < 3e^eps + 2 rule of thumb holds at the boundary."""
+        epsilon = 1.0
+        boundary = 3 * np.exp(epsilon) + 2
+        assert select_frequency_oracle(epsilon, int(boundary) - 2) == "grr"
+        assert select_frequency_oracle(epsilon, int(boundary) + 3) == "oue"
+
+
+class TestSueVariance:
+    def test_sue_never_beats_oue(self):
+        # OUE minimizes unary-encoding variance; SUE must be no better.
+        for epsilon in (0.5, 1.0, 2.0, 4.0):
+            assert sue_variance(epsilon, 1000) >= oue_variance(epsilon, 1000)
+
+    def test_matches_direct_formula(self):
+        epsilon, n = 1.0, 1000
+        e_half = np.exp(epsilon / 2)
+        p = e_half / (e_half + 1)
+        q = 1 - p
+        expected = n * q * (1 - q) / (p - q) ** 2
+        assert sue_variance(epsilon, n) == pytest.approx(expected)

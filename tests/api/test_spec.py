@@ -1,0 +1,245 @@
+"""Tests for the composable experiment specs and the legacy-config bridge."""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro
+from repro.api import (
+    CollectionSpec,
+    ExperimentSpec,
+    PrivacySpec,
+    SAXSpec,
+    as_baseline_config,
+    as_privshape_config,
+)
+from repro.core.config import BaselineConfig, PrivShapeConfig
+from repro.exceptions import ConfigurationError
+from repro.service.plan import CollectionPlan
+
+
+class TestComponentSpecs:
+    def test_privacy_validation(self):
+        assert PrivacySpec(epsilon=2).epsilon == 2.0
+        with pytest.raises(Exception):
+            PrivacySpec(epsilon=-1.0)
+
+    def test_sax_validation_and_alphabet(self):
+        spec = SAXSpec(alphabet_size=4, segment_length=10)
+        assert spec.alphabet == ["a", "b", "c", "d"]
+        with pytest.raises(ConfigurationError):
+            SAXSpec(alphabet_size=1)
+
+    def test_sax_builds_equivalent_transformer(self):
+        spec = SAXSpec(alphabet_size=6, segment_length=25, compress=False)
+        transformer = spec.build_transformer()
+        assert transformer.alphabet_size == 6
+        assert transformer.segment_length == 25
+        assert transformer.compress is False
+
+    def test_collection_validation(self):
+        with pytest.raises(ConfigurationError):
+            CollectionSpec(length_low=5, length_high=2)
+        with pytest.raises(ConfigurationError):
+            CollectionSpec(population_fractions=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            CollectionSpec(population_fractions=(0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            CollectionSpec(length_population_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            CollectionSpec(prune_threshold=-1.0)
+
+
+class TestExperimentSpecRoundTrip:
+    def test_dict_round_trip_defaults(self):
+        spec = ExperimentSpec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_round_trip_custom(self):
+        spec = ExperimentSpec(
+            mechanism="PEM",
+            privacy=PrivacySpec(epsilon=2.5),
+            sax=SAXSpec(alphabet_size=6, segment_length=25, compress=False),
+            collection=CollectionSpec(
+                top_k=4,
+                metric="sed",
+                length_high=9,
+                candidate_factor=2,
+                population_fractions=(0.1, 0.1, 0.6, 0.2),
+                refinement=False,
+                oracle="oue",
+            ),
+            options={"symbols_per_round": 2},
+            rng_seed=7,
+        )
+        assert spec.mechanism == "pem"  # normalized to lower case
+        restored = ExperimentSpec.from_dict(spec.to_dict())
+        assert restored == spec
+
+    def test_json_round_trip_is_valid_json(self):
+        spec = ExperimentSpec(mechanism="baseline", rng_seed=3)
+        document = spec.to_json()
+        payload = json.loads(document)
+        assert payload["mechanism"] == "baseline"
+        assert ExperimentSpec.from_json(document) == spec
+
+    def test_from_dict_defaults_missing_sections(self):
+        spec = ExperimentSpec.from_dict({"mechanism": "privshape"})
+        assert spec.privacy == PrivacySpec()
+        assert spec.sax == SAXSpec()
+        assert spec.collection == CollectionSpec()
+
+    def test_to_dict_is_plain_data(self):
+        payload = ExperimentSpec().to_dict()
+        assert isinstance(payload["collection"]["population_fractions"], list)
+        json.dumps(payload)  # must not raise
+
+
+class TestResolution:
+    def test_resolve_fills_only_none_slots(self):
+        spec = ExperimentSpec(collection=CollectionSpec(top_k=5))
+        resolved = spec.resolve(top_k=3, length_high=8)
+        assert resolved.collection.top_k == 5  # explicit value wins
+        assert resolved.collection.length_high == 8
+
+    def test_resolve_is_noop_when_concrete(self):
+        spec = ExperimentSpec(collection=CollectionSpec(top_k=3, length_high=8))
+        assert spec.resolve(top_k=1, length_high=1, alphabet_size=4) is spec
+
+    def test_resolve_updates_alphabet(self):
+        resolved = ExperimentSpec().resolve(top_k=2, length_high=5, alphabet_size=7)
+        assert resolved.sax.alphabet_size == 7
+
+    def test_unresolved_spec_refuses_config_conversion(self):
+        with pytest.raises(ConfigurationError, match="unresolved"):
+            ExperimentSpec().to_privshape_config()
+        with pytest.raises(ConfigurationError, match="unresolved"):
+            ExperimentSpec().to_baseline_config()
+
+
+class TestConfigBridge:
+    def test_to_privshape_config_matches_legacy(self):
+        spec = ExperimentSpec(
+            privacy=PrivacySpec(epsilon=3.0),
+            sax=SAXSpec(alphabet_size=5),
+            collection=CollectionSpec(
+                top_k=2, metric="dtw", length_high=7, candidate_factor=4,
+                population_fractions=(0.1, 0.1, 0.6, 0.2), postprocess=False,
+            ),
+            rng_seed=11,
+        )
+        config = spec.to_privshape_config()
+        assert config == PrivShapeConfig(
+            epsilon=3.0, top_k=2, alphabet_size=5, metric="dtw",
+            length_low=1, length_high=7, rng_seed=11, candidate_factor=4,
+            population_fractions=(0.1, 0.1, 0.6, 0.2), postprocess=False,
+        )
+
+    def test_to_baseline_config_matches_legacy(self):
+        spec = ExperimentSpec(
+            collection=CollectionSpec(
+                top_k=3, length_high=6, prune_threshold=12.0, max_candidates=64,
+            )
+        )
+        config = spec.to_baseline_config()
+        assert config == BaselineConfig(
+            epsilon=1.0, top_k=3, alphabet_size=4, metric="dtw",
+            length_low=1, length_high=6, prune_threshold=12.0, max_candidates=64,
+        )
+
+    def test_from_config_round_trip(self):
+        config = PrivShapeConfig(
+            epsilon=2.0, top_k=4, alphabet_size=6, metric="sed",
+            length_high=9, candidate_factor=2, refinement=False,
+        )
+        spec = ExperimentSpec.from_config(config)
+        assert spec.mechanism == "privshape"
+        assert spec.to_privshape_config() == config
+
+        baseline = BaselineConfig(epsilon=2.0, top_k=4, length_high=9, max_candidates=32)
+        spec = ExperimentSpec.from_config(baseline)
+        assert spec.mechanism == "baseline"
+        assert spec.to_baseline_config() == baseline
+
+    def test_as_config_coercions(self):
+        config = PrivShapeConfig(epsilon=2.0, length_high=5)
+        assert as_privshape_config(config) is config
+        spec = ExperimentSpec(collection=CollectionSpec(top_k=3, length_high=5))
+        assert isinstance(as_privshape_config(spec), PrivShapeConfig)
+        assert isinstance(as_baseline_config(spec), BaselineConfig)
+        with pytest.raises(ConfigurationError):
+            as_privshape_config(42)
+
+    def test_collection_plan_consumes_spec_directly(self):
+        spec = ExperimentSpec(
+            privacy=PrivacySpec(epsilon=2.0),
+            collection=CollectionSpec(top_k=3, length_high=5, metric="sed"),
+        )
+        plan = CollectionPlan.freeze(spec, split_key=123)
+        reference = CollectionPlan.freeze(spec.to_privshape_config(), split_key=123)
+        assert plan == reference
+
+
+class TestEngineEquivalence:
+    def test_privshape_runs_identically_from_spec_and_config(self, symbols_sequences):
+        spec = ExperimentSpec(
+            privacy=PrivacySpec(epsilon=4.0),
+            sax=SAXSpec(alphabet_size=6, segment_length=25),
+            collection=CollectionSpec(top_k=3, metric="sed", length_high=8),
+        )
+        from_spec = repro.PrivShape(spec).extract(symbols_sequences, rng=5)
+        with pytest.warns(DeprecationWarning):
+            config = repro.PrivShapeConfig(
+                epsilon=4.0, top_k=3, alphabet_size=6, metric="sed", length_high=8
+            )
+        from_config = repro.PrivShape(config).extract(symbols_sequences, rng=5)
+        assert from_spec.shapes == from_config.shapes
+        assert from_spec.frequencies == from_config.frequencies
+
+
+class TestDeprecationShims:
+    def test_legacy_imports_warn_but_work(self):
+        for name in ("PrivShapeConfig", "BaselineConfig", "MechanismConfig"):
+            with pytest.warns(DeprecationWarning, match=name):
+                cls = getattr(repro, name)
+            assert cls is not None
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.DoesNotExist
+
+    def test_legacy_names_stay_in_all(self):
+        assert "PrivShapeConfig" in repro.__all__
+        assert "BaselineConfig" in repro.__all__
+
+    def test_spec_is_frozen(self):
+        spec = ExperimentSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.mechanism = "baseline"
+
+    def test_options_are_immutable(self):
+        spec = ExperimentSpec(options={"sample_fraction": 0.2})
+        with pytest.raises(TypeError):
+            spec.options["sample_fraction"] = 0.9
+        assert spec.options["sample_fraction"] == 0.2
+
+    def test_spec_is_hashable_and_usable_as_cache_key(self):
+        first = ExperimentSpec(options={"a": 1})
+        second = ExperimentSpec(options={"a": 1})
+        different = ExperimentSpec(options={"a": 2})
+        assert first == second
+        assert hash(first) == hash(second)
+        cache = {first: "result"}
+        assert cache[second] == "result"
+        assert different not in cache
+
+    def test_hash_handles_json_container_options(self):
+        # from_json legally produces list/dict option values; hashing must
+        # not blow up on them.
+        spec = ExperimentSpec.from_json(
+            '{"options": {"epsilons": [1, 2], "nested": {"b": 2, "a": 1}}}'
+        )
+        twin = ExperimentSpec(options={"nested": {"a": 1, "b": 2}, "epsilons": [1, 2]})
+        assert spec == twin
+        assert hash(spec) == hash(twin)

@@ -1,6 +1,5 @@
 """Tests for the result containers."""
 
-import pytest
 
 from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResult
 from repro.core.trie import ShapeTrie

@@ -1,6 +1,5 @@
 """Tests for frequent sub-shape estimation."""
 
-import numpy as np
 import pytest
 
 from repro.core.subshape import (

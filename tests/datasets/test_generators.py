@@ -42,8 +42,8 @@ class TestSymbolsLike:
         for label in dataset.classes:
             shapes = [
                 transformer.transform_string(s)
-                for s, l in zip(dataset.series, dataset.labels)
-                if l == label
+                for s, y in zip(dataset.series, dataset.labels)
+                if y == label
             ]
             modal[label] = Counter(shapes).most_common(1)[0][0]
         assert len(set(modal.values())) == dataset.n_classes
@@ -71,8 +71,8 @@ class TestTraceLike:
         for label in dataset.classes:
             shapes = [
                 transformer.transform_string(s)
-                for s, l in zip(dataset.series, dataset.labels)
-                if l == label
+                for s, y in zip(dataset.series, dataset.labels)
+                if y == label
             ]
             modal[label] = Counter(shapes).most_common(1)[0][0]
         assert len(set(modal.values())) == dataset.n_classes

@@ -1,6 +1,5 @@
 """Tests for the string edit distance."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -42,8 +42,8 @@ class TestNearestShapeClassifier:
         for label in dataset.classes:
             shapes = [
                 transformer.transform(s)
-                for s, l in zip(dataset.series, dataset.labels)
-                if l == label
+                for s, y in zip(dataset.series, dataset.labels)
+                if y == label
             ]
             labelled[int(label)] = [Counter(shapes).most_common(1)[0][0]]
         classifier = NearestShapeClassifier(

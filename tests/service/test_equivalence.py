@@ -8,7 +8,6 @@ integer addition.  These tests pin that guarantee on the paper's two main
 dataset configurations and across the service's degrees of freedom.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.config import PrivShapeConfig
