@@ -22,10 +22,12 @@ length.
 
 from __future__ import annotations
 
+import json
 import os
 import re
 from functools import lru_cache
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -98,3 +100,39 @@ def _fmt(cell) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"
     return str(cell)
+
+
+def record_benchmark(
+    name: str,
+    *,
+    metric: str,
+    value: float,
+    units: str,
+    seed: int | None = None,
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Persist one machine-readable benchmark result next to the ``.txt`` tables.
+
+    Every performance benchmark writes a ``BENCH_<name>.json`` document under
+    ``benchmarks/results/`` with one headline metric plus context, so the
+    perf trajectory across commits can be tracked by tooling instead of by
+    eyeballing captured stdout.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+    payload: dict[str, Any] = {
+        "name": slug,
+        "metric": metric,
+        "value": float(value),
+        "units": units,
+        "seed": seed,
+        "bench_users": bench_users(),
+        "bench_trials": bench_trials(),
+    }
+    if extra:
+        payload.update(extra)
+    path = RESULTS_DIR / f"BENCH_{slug}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -20,7 +20,7 @@ import time
 
 import numpy as np
 
-from benchmarks.helpers import print_table
+from benchmarks.helpers import print_table, record_benchmark
 from repro.core.config import PrivShapeConfig
 from repro.ldp.grr import GeneralizedRandomizedResponse
 from repro.ldp.olh import OptimizedLocalHashing
@@ -92,6 +92,14 @@ def test_batch_perturbation_speedup(benchmark):
 
     for mechanism in ("grr", "olh"):
         scalar, batch, prf = results[mechanism]
+        record_benchmark(
+            f"{mechanism}_encode_batch",
+            metric="throughput",
+            value=prf,
+            units="reports/sec",
+            seed=0,
+            extra={"scalar_reports_per_sec": scalar, "batch_reports_per_sec": batch},
+        )
         assert batch > 3.0 * scalar, f"{mechanism}: batch path should be >3x the scalar loop"
         assert prf > 3.0 * scalar, f"{mechanism}: PRF path should be >3x the scalar loop"
 
@@ -128,6 +136,14 @@ def test_streaming_driver_throughput(benchmark):
         rows,
     )
 
+    record_benchmark(
+        "streaming_driver",
+        metric="throughput",
+        value=stats.reports_per_second,
+        units="reports/sec",
+        seed=0,
+        extra={"users": n_users, "shards": 4, "batch_size": 32768},
+    )
     assert stats.total_reports == n_users
     assert result.shapes, "the simulated run must extract at least one shape"
     # Conservative floor: vectorized rounds run at hundreds of thousands of

@@ -11,7 +11,13 @@ perturbs every series and fits a downstream model on the perturbed values.
 
 from __future__ import annotations
 
-from benchmarks.helpers import bench_eval_size, print_table, symbols_dataset, trace_dataset
+from benchmarks.helpers import (
+    bench_eval_size,
+    print_table,
+    record_benchmark,
+    symbols_dataset,
+    trace_dataset,
+)
 from repro.core.pipeline import run_classification_task, run_clustering_task
 
 
@@ -68,6 +74,14 @@ def test_table5_execution_time(benchmark):
         ["task", "Baseline", "PrivShape", "PatternLDP"],
         rows,
     )
+    for (task, mechanism), seconds in timings.items():
+        record_benchmark(
+            f"table5_{task}_{mechanism}",
+            metric="execution_time",
+            value=seconds,
+            units="seconds",
+            seed=51,
+        )
 
     # PatternLDP pays for per-point perturbation + downstream model fitting and
     # is the slowest mechanism overall (summed over both tasks).  Per-task

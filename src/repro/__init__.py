@@ -81,8 +81,15 @@ from repro.service import (
     ShardedAggregator,
     SyntheticShapeStream,
 )
+from repro.server import (
+    CheckpointStore,
+    CollectionGateway,
+    GatewayClient,
+    run_loadgen,
+    serve_in_thread,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Legacy config classes served via module __getattr__ with a deprecation
 #: warning; ExperimentSpec is the composable replacement.
@@ -132,6 +139,11 @@ __all__ = [
     "PrivShapeEngine",
     "ProtocolDriver",
     "SyntheticShapeStream",
+    "CollectionGateway",
+    "GatewayClient",
+    "CheckpointStore",
+    "run_loadgen",
+    "serve_in_thread",
     "__version__",
 ]
 

@@ -1,6 +1,6 @@
 """Command-line interface for the PrivShape reproduction.
 
-Five sub-commands mirror the library's main entry points:
+Seven sub-commands mirror the library's main entry points:
 
 * ``extract``   — run PrivShape (or the baseline) on a dataset and print the
   top-k frequent shapes with their estimated counts and the privacy audit;
@@ -8,7 +8,12 @@ Five sub-commands mirror the library's main entry points:
 * ``classify``  — run the paper's classification-task evaluation;
 * ``sweep``     — sweep the privacy budget for one task and print the curve;
 * ``simulate``  — stream a large synthetic population through the round-based
-  collection service in constant memory and report throughput.
+  collection service in constant memory and report throughput;
+* ``serve``     — run the network-facing collection gateway (NDJSON over TCP
+  + HTTP ``/status`` / ``/result``), with optional durable checkpoints and
+  ``--resume`` crash recovery;
+* ``loadgen``   — hammer a running gateway with the synthetic population over
+  the socket, optionally from multiple worker processes.
 
 Datasets are either one of the built-in synthetic generators
 (``symbols``, ``trace``, ``waves``) or a UCR-format file passed with
@@ -36,6 +41,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import asyncio
 import dataclasses
 import json
 import os
@@ -43,6 +49,7 @@ import sys
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro import __version__
 from repro.api import (
     KIND_EXTRACTION,
     CollectionSpec,
@@ -62,6 +69,7 @@ from repro.datasets import (
     trigonometric_waves,
 )
 from repro.sax.breakpoints import symbol_alphabet
+from repro.server import CollectionGateway, GatewayClient, run_loadgen
 from repro.service import ProtocolDriver, SyntheticShapeStream, default_templates
 
 
@@ -320,8 +328,14 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_simulate(args: argparse.Namespace) -> int:
-    """Stream a synthetic population through the round-based collection service."""
+def _synthetic_stream(args: argparse.Namespace) -> tuple[SyntheticShapeStream, list, int]:
+    """The deterministic synthetic population shared by simulate and loadgen.
+
+    Template weights follow a geometric-ish popularity profile so the top
+    templates are the ground truth the extraction should recover.  ``serve``
+    + ``loadgen`` with the same seed/flags therefore collect exactly the
+    population ``simulate`` streams in-process.
+    """
     alphabet_size = args.alphabet_size or 4
     alphabet = symbol_alphabet(alphabet_size)
     templates = default_templates(
@@ -330,8 +344,6 @@ def _command_simulate(args: argparse.Namespace) -> int:
         length=args.template_length,
         rng=args.seed,
     )
-    # A geometric-ish popularity profile so the top templates are the ground
-    # truth the extraction should recover.
     weights = [1.0 / (rank + 1) for rank in range(len(templates))]
     population = SyntheticShapeStream(
         n_users=args.users,
@@ -341,19 +353,31 @@ def _command_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         length_jitter=args.length_jitter,
     )
-    # The streaming service consumes the same composable spec as the offline
-    # pipelines (ProtocolDriver coerces it to the engine-facing config).
-    spec = ExperimentSpec(
+    return population, templates, alphabet_size
+
+
+def _serving_spec(args: argparse.Namespace, n_templates: int | None = None) -> ExperimentSpec:
+    """The collection spec shared by ``simulate`` and ``serve``."""
+    default_top_k = 3 if n_templates is None else min(3, n_templates)
+    return ExperimentSpec(
         mechanism="privshape",
         privacy=PrivacySpec(epsilon=args.epsilon),
-        sax=SAXSpec(alphabet_size=alphabet_size),
+        sax=SAXSpec(alphabet_size=args.alphabet_size or 4),
         collection=CollectionSpec(
-            top_k=args.top_k or min(3, len(templates)),
+            top_k=args.top_k or default_top_k,
             metric=args.metric or "sed",
             length_low=1,
             length_high=args.template_length,
         ),
     )
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    """Stream a synthetic population through the round-based collection service."""
+    population, templates, alphabet_size = _synthetic_stream(args)
+    # The streaming service consumes the same composable spec as the offline
+    # pipelines (ProtocolDriver coerces it to the engine-facing config).
+    spec = _serving_spec(args, n_templates=len(templates))
     driver = ProtocolDriver(
         spec,
         population,
@@ -412,11 +436,124 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the network-facing collection gateway until stopped."""
+    try:
+        if args.resume:
+            if not args.checkpoint_dir:
+                raise SystemExit("--resume requires --checkpoint-dir")
+            gateway = CollectionGateway.from_checkpoint(
+                args.checkpoint_dir,
+                queue_depth=args.queue_depth,
+                checkpoint_every=args.checkpoint_every,
+            )
+        else:
+            spec = _load_spec(args.spec) if args.spec else _serving_spec(args)
+            gateway = CollectionGateway(
+                spec,
+                rng=args.seed,
+                n_shards=args.shards,
+                queue_depth=args.queue_depth or 64,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+            )
+    except ReproError as exc:
+        raise SystemExit(f"cannot start gateway: {exc}") from exc
+
+    async def _serve() -> None:
+        await gateway.start(args.host, args.port)
+        if args.port_file:
+            # Written only once the listener is bound, so scripts can poll
+            # this file to learn an ephemeral (--port 0) port race-free.
+            Path(args.port_file).write_text(f"{gateway.port}\n", encoding="utf-8")
+        announcement = {
+            "event": "listening",
+            "host": gateway.host,
+            "port": gateway.port,
+            "shards": gateway.n_shards,
+            "queue_depth": gateway.queue_depth,
+            "checkpoint_dir": args.checkpoint_dir,
+            "resumed": bool(args.resume),
+            "stage": gateway.engine.stage,
+        }
+        _emit(
+            args,
+            announcement,
+            f"collection gateway listening on {gateway.host}:{gateway.port} "
+            f"({gateway.n_shards} shard(s), stage {gateway.engine.stage}"
+            + (f", checkpoints in {args.checkpoint_dir}" if args.checkpoint_dir else "")
+            + ")",
+        )
+        sys.stdout.flush()
+        await gateway.serve_until_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running gateway through a full synthetic collection run."""
+    population, templates, alphabet_size = _synthetic_stream(args)
+    try:
+        stats = run_loadgen(
+            args.host,
+            args.port,
+            population,
+            batch_size=args.batch_size,
+            workers=args.workers,
+        )
+        if args.stop_server:
+            with GatewayClient(args.host, args.port) as client:
+                client.stop()
+    except ReproError as exc:
+        raise SystemExit(f"load generation failed: {exc}") from exc
+
+    result = stats.result or {}
+    payload = {
+        "command": "loadgen",
+        "host": args.host,
+        "port": args.port,
+        "users": args.users,
+        "batch_size": args.batch_size,
+        "workers": args.workers,
+        "alphabet_size": alphabet_size,
+        "templates": ["".join(t) for t in templates],
+        **stats.to_dict(),
+    }
+    lines = [
+        f"load generation against {args.host}:{args.port}: {args.users} users, "
+        f"{args.workers or 'in-process'} worker(s), batch size {args.batch_size}",
+        "rounds:",
+    ]
+    for round_stats in stats.rounds:
+        lines.append(
+            f"  round {round_stats.index}: {round_stats.kind:<14} "
+            f"{round_stats.reports:>9} reports in {round_stats.elapsed_seconds:6.2f}s "
+            f"({round_stats.reports_per_second:>12,.0f} reports/sec)"
+        )
+    lines.append(
+        f"total: {stats.total_reports} reports in {stats.total_seconds:.2f}s "
+        f"= {stats.reports_per_second:,.0f} reports/sec over the socket"
+    )
+    lines.append(f"estimated frequent length: {result.get('estimated_length')}")
+    lines.append("top shapes (from GET /result):")
+    for shape, frequency in zip(result.get("shapes", []), result.get("frequencies", [])):
+        lines.append(f"  {shape:<16} estimated count {frequency:12.1f}")
+    _emit(args, payload, "\n".join(lines))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PrivShape: shape extraction in time series under user-level LDP",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -438,36 +575,92 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--epsilons", type=float, nargs="+", default=[0.5, 1.0, 2.0, 4.0])
     sweep.set_defaults(handler=_command_sweep)
 
+    def _add_population_arguments(sub: argparse.ArgumentParser, default_users: int) -> None:
+        """Synthetic-population knobs shared by simulate and loadgen."""
+        sub.add_argument("--users", type=int, default=default_users,
+                         help=f"population size to stream (default: {default_users:,})")
+        sub.add_argument("--batch-size", type=int, default=65536,
+                         help="users per streamed batch (bounds peak memory)")
+        sub.add_argument("--alphabet-size", type=int, default=None,
+                         help="SAX symbol size t (default: 4)")
+        sub.add_argument("--templates", type=int, default=6,
+                         help="number of template shapes in the synthetic pool")
+        sub.add_argument("--template-length", type=int, default=5,
+                         help="length of each template shape")
+        sub.add_argument("--length-jitter", type=float, default=0.2,
+                         help="fraction of users whose shape is one symbol shorter")
+        sub.add_argument("--seed", type=int, default=0, help="random seed")
+        sub.add_argument("--json", action="store_true",
+                         help="print one machine-readable JSON document instead of prose")
+
+    def _add_serving_spec_arguments(sub: argparse.ArgumentParser) -> None:
+        """Collection-run knobs shared by simulate and serve."""
+        sub.add_argument("--epsilon", type=float, default=4.0,
+                         help="user-level privacy budget")
+        sub.add_argument("--metric", default=None,
+                         help="distance metric (default: sed)")
+        sub.add_argument("--top-k", type=int, default=None,
+                         help="number of shapes to extract (default: 3)")
+
     simulate = subparsers.add_parser(
         "simulate",
         help="stream a synthetic population through the round-based collection service",
     )
-    simulate.add_argument("--users", type=int, default=1_000_000,
-                          help="population size to stream (default: 1,000,000)")
-    simulate.add_argument("--batch-size", type=int, default=65536,
-                          help="users per streamed batch (bounds peak memory)")
+    _add_population_arguments(simulate, default_users=1_000_000)
+    _add_serving_spec_arguments(simulate)
     simulate.add_argument("--shards", type=int, default=1,
                           help="number of aggregator shards")
     simulate.add_argument("--serialize", action="store_true",
                           help="push every report batch through the wire format")
-    simulate.add_argument("--epsilon", type=float, default=4.0,
-                          help="user-level privacy budget")
-    simulate.add_argument("--alphabet-size", type=int, default=None,
-                          help="SAX symbol size t (default: 4)")
-    simulate.add_argument("--metric", default=None,
-                          help="distance metric (default: sed)")
-    simulate.add_argument("--top-k", type=int, default=None,
-                          help="number of shapes to extract (default: min(3, templates))")
-    simulate.add_argument("--templates", type=int, default=6,
-                          help="number of template shapes in the synthetic pool")
-    simulate.add_argument("--template-length", type=int, default=5,
-                          help="length of each template shape")
-    simulate.add_argument("--length-jitter", type=float, default=0.2,
-                          help="fraction of users whose shape is one symbol shorter")
-    simulate.add_argument("--seed", type=int, default=0, help="random seed")
-    simulate.add_argument("--json", action="store_true",
-                          help="print one machine-readable JSON document instead of prose")
     simulate.set_defaults(handler=_command_simulate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the network-facing collection gateway (NDJSON over TCP + HTTP status)",
+    )
+    _add_serving_spec_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument("--port", type=int, default=7733,
+                       help="TCP port to bind (0 picks an ephemeral port)")
+    serve.add_argument("--port-file", default=None, metavar="FILE",
+                       help="write the bound port to FILE once listening "
+                            "(for scripts using --port 0)")
+    serve.add_argument("--spec", default=None, metavar="FILE",
+                       help="serialized ExperimentSpec JSON describing the run; "
+                            "must be concrete (top_k and length_high set); "
+                            "replaces --epsilon/--metric/--top-k/--alphabet-size")
+    serve.add_argument("--alphabet-size", type=int, default=None,
+                       help="SAX symbol size t (default: 4)")
+    serve.add_argument("--template-length", type=int, default=5,
+                       help="length_high of the collection (matches loadgen templates)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="number of aggregation workers (bounded queue each)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="bounded per-shard queue depth (backpressure threshold; "
+                            "default 64, or the checkpointed value with --resume)")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for atomic JSON checkpoints (durability)")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="also checkpoint mid-round every N accepted batches")
+    serve.add_argument("--resume", action="store_true",
+                       help="resume from the checkpoint in --checkpoint-dir")
+    serve.add_argument("--seed", type=int, default=0, help="random seed")
+    serve.add_argument("--json", action="store_true",
+                       help="print the listening announcement as JSON")
+    serve.set_defaults(handler=_command_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="hammer a running gateway with the synthetic population over the socket",
+    )
+    _add_population_arguments(loadgen, default_users=100_000)
+    loadgen.add_argument("--host", default="127.0.0.1", help="gateway host")
+    loadgen.add_argument("--port", type=int, required=True, help="gateway port")
+    loadgen.add_argument("--workers", type=int, default=0,
+                         help="load-generation worker processes (0 = in-process)")
+    loadgen.add_argument("--stop-server", action="store_true",
+                         help="send a stop op to the gateway after the run")
+    loadgen.set_defaults(handler=_command_loadgen)
 
     return parser
 

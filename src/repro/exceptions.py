@@ -25,6 +25,10 @@ class DataShapeError(ReproError):
     """Input data does not have the expected shape, length, or dtype."""
 
 
+class WireFormatError(DataShapeError):
+    """A serialized payload received over the wire is malformed or hostile."""
+
+
 class EmptyDatasetError(DataShapeError):
     """An operation that requires at least one time series received none."""
 
@@ -39,6 +43,10 @@ class EstimationError(ReproError):
 
 class ProtocolStateError(ReproError):
     """A collection-service round was opened, closed, or finalized out of order."""
+
+
+class ServerError(ReproError):
+    """The collection gateway rejected a request or the connection failed."""
 
 
 class NotFittedError(ReproError):

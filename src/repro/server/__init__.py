@@ -1,0 +1,62 @@
+"""Network-facing collection gateway for the PrivShape service.
+
+This package puts a wire boundary, concurrency, and durability around the
+round-based collection service:
+
+* :class:`CollectionGateway` — asyncio TCP server speaking a newline-delimited
+  JSON protocol (plus HTTP ``GET /status`` / ``GET /result`` on the same
+  port), with one bounded queue + aggregation worker per shard and idempotent
+  batch ingestion;
+* :class:`CheckpointStore` — atomic (write-temp + rename) JSON checkpoints of
+  the full protocol state, written after every round close and optionally
+  mid-round, enabling exact crash recovery via
+  :meth:`CollectionGateway.from_checkpoint`;
+* :class:`GatewayClient` — the blocking reference client;
+* :func:`run_loadgen` — a multi-process load generator built on
+  :class:`~repro.service.population.SyntheticShapeStream` and the vectorized
+  client encoding paths (``repro loadgen`` on the command line);
+* :func:`serve_in_thread` — in-process hosting for tests and benchmarks.
+
+A run driven through the gateway — any batching, any sharding, including a
+kill-and-recover from a mid-round checkpoint — finalizes byte-identically to
+the offline ``PrivShape.extract()`` path under the same master seed.
+"""
+
+from repro.server.client import GatewayClient
+from repro.server.gateway import CollectionGateway
+from repro.server.loadgen import (
+    LoadgenRoundStats,
+    LoadgenStats,
+    batch_id_for,
+    run_loadgen,
+    stream_round,
+)
+from repro.server.state import CheckpointStore
+from repro.server.testing import GatewayHandle, serve_in_thread
+from repro.server.wire import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    batch_from_wire,
+    batch_to_wire,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "CollectionGateway",
+    "GatewayClient",
+    "CheckpointStore",
+    "GatewayHandle",
+    "serve_in_thread",
+    "run_loadgen",
+    "stream_round",
+    "batch_id_for",
+    "LoadgenStats",
+    "LoadgenRoundStats",
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "encode_message",
+    "decode_message",
+    "batch_to_wire",
+    "batch_from_wire",
+]

@@ -1,0 +1,104 @@
+"""Blocking socket client for the collection gateway.
+
+:class:`GatewayClient` is the reference NDJSON peer: one request line out,
+one response line back.  The load generator, the CLI, and the tests all talk
+to the gateway through it; anything it can do, any language with a TCP
+socket and a JSON encoder can do too.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.exceptions import ServerError
+from repro.server.wire import batch_to_wire, encode_message
+from repro.service.reports import ReportBatch
+
+
+class GatewayClient:
+    """One NDJSON connection to a :class:`~repro.server.gateway.CollectionGateway`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = int(port)
+        try:
+            self._socket = socket.create_connection((host, self.port), timeout=timeout)
+        except OSError as exc:
+            raise ServerError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._reader = self._socket.makefile("rb")
+
+    # ------------------------------------------------------------- transport
+
+    def request(self, payload: dict[str, Any], check: bool = True) -> dict[str, Any]:
+        """Send one op and return the response dict.
+
+        With ``check`` (the default), a response whose ``ok`` is false raises
+        :class:`~repro.exceptions.ServerError` carrying the server's message.
+        """
+        try:
+            self._socket.sendall(encode_message(payload))
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServerError(f"connection to {self.host}:{self.port} failed: {exc}") from exc
+        if not line:
+            raise ServerError(f"connection to {self.host}:{self.port} closed by server")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServerError(f"server sent a malformed response: {exc}") from exc
+        if check and not (isinstance(response, dict) and response.get("ok")):
+            error = response.get("error") if isinstance(response, dict) else response
+            raise ServerError(f"server rejected {payload.get('op')!r}: {error}")
+        return response
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- ops
+
+    def hello(self) -> dict[str, Any]:
+        """Protocol version, mechanism, and the published collection plan."""
+        return self.request({"op": "hello"})
+
+    def round(self) -> dict[str, Any]:
+        """The currently open round (``done`` true once the protocol ended)."""
+        return self.request({"op": "round"})
+
+    def report(self, batch: ReportBatch, batch_id: str) -> dict[str, Any]:
+        """Submit one report batch under an idempotency key."""
+        return self.request(
+            {"op": "report", "batch_id": batch_id, "data": batch_to_wire(batch)}
+        )
+
+    def close_round(self, index: int) -> dict[str, Any]:
+        """Close round ``index`` and receive the next round (or ``done``)."""
+        return self.request({"op": "close_round", "round": int(index)})
+
+    def status(self) -> dict[str, Any]:
+        """The gateway's live status record."""
+        return self.request({"op": "status"})["status"]
+
+    def result(self) -> dict[str, Any]:
+        """The finalized extraction result (errors while rounds remain open)."""
+        return self.request({"op": "result"})["result"]
+
+    def checkpoint(self) -> dict[str, Any]:
+        """Force an immediate durable checkpoint."""
+        return self.request({"op": "checkpoint"})
+
+    def stop(self) -> None:
+        """Ask the gateway process to shut down."""
+        self.request({"op": "stop"})

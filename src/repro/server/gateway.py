@@ -1,0 +1,492 @@
+"""The network-facing collection gateway.
+
+:class:`CollectionGateway` turns the in-process service stack
+(:class:`~repro.service.protocol.PrivShapeEngine` +
+:class:`~repro.service.aggregator.ShardedAggregator`) into an actual server:
+
+* an asyncio TCP listener speaking the newline-delimited JSON protocol of
+  :mod:`repro.server.wire`, with plain HTTP ``GET /status`` / ``GET /result``
+  answered on the same port;
+* one bounded :class:`asyncio.Queue` and one aggregation worker per shard —
+  a full queue blocks the producing connection (explicit backpressure), it
+  never buffers without bound;
+* idempotent ingestion: every ``report`` op carries a client-chosen
+  ``batch_id``; replays of an already-accepted id are acknowledged but not
+  re-counted, which is what makes crash recovery exact;
+* durable state: with a checkpoint directory configured, the gateway writes
+  an atomic snapshot after every round close (and, optionally, every
+  ``checkpoint_every`` accepted batches mid-round) and can resume from it via
+  :meth:`from_checkpoint` without double-counting a single report.
+
+Because the engine, the PRF-keyed client randomness, and the integer count
+state are exactly the ones the offline path uses, a run driven through this
+gateway — including one killed and recovered mid-round — finalizes to results
+byte-identical to ``PrivShape.extract()`` under the same master seed
+(``tests/server/test_gateway.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Optional
+
+from repro.exceptions import (
+    ProtocolStateError,
+    ReproError,
+    ServerError,
+    WireFormatError,
+)
+from repro.server.state import CheckpointStore
+from repro.server.wire import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    batch_from_wire,
+    check_batch_id,
+    decode_message,
+    encode_message,
+)
+from repro.service.aggregator import ShardedAggregator
+from repro.service.plan import RoundSpec
+from repro.service.protocol import PrivShapeEngine
+from repro.utils.rng import RngLike
+
+
+class CollectionGateway:
+    """Round-based PrivShape collection behind a TCP wire boundary."""
+
+    def __init__(
+        self,
+        config,
+        *,
+        rng: RngLike = None,
+        n_shards: int = 1,
+        queue_depth: int = 64,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 0,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.n_shards = int(n_shards)
+        self.queue_depth = int(queue_depth)
+        self.checkpoint_every = max(int(checkpoint_every), 0)
+        self.store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        self.engine = PrivShapeEngine(config, rng=rng)
+        self.aggregator: Optional[ShardedAggregator] = None
+        self.seen_batches: set[str] = set()
+        self.total_reports = 0
+        self.accepted_batches = 0
+        self.duplicate_batches = 0
+        self.rejected_batches = 0
+        self.checkpoints_written = 0
+        self._accepted_since_checkpoint = 0
+        self._started_at = time.monotonic()
+        self._result_payload: dict[str, Any] | None = None
+        # asyncio plumbing; created once the event loop runs (see start()).
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._lock: asyncio.Lock | None = None
+        self._queues: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._server: asyncio.base_events.Server | None = None
+        self._stop_event: asyncio.Event | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self._set_round(self.engine.open_round())
+
+    # ---------------------------------------------------------------- factory
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint_dir: str,
+        *,
+        queue_depth: int | None = None,
+        checkpoint_every: int = 0,
+    ) -> "CollectionGateway":
+        """Resume the run persisted in ``checkpoint_dir`` (exact recovery).
+
+        ``queue_depth`` is an operational knob, not protocol state: passing a
+        value overrides the checkpointed depth (e.g. to relieve backpressure
+        on restart); ``None`` keeps the checkpointed one.
+        """
+        store = CheckpointStore(checkpoint_dir)
+        state = store.load()
+        if state is None:
+            raise ServerError(f"no checkpoint found under {store.directory}")
+        gateway = cls.__new__(cls)
+        gateway.n_shards = int(state["n_shards"])
+        gateway.queue_depth = (
+            int(state["queue_depth"]) if queue_depth is None else int(queue_depth)
+        )
+        gateway.checkpoint_every = max(int(checkpoint_every), 0)
+        gateway.store = store
+        gateway.engine = PrivShapeEngine.from_state(state["engine"])
+        gateway.aggregator = (
+            None
+            if state["aggregator"] is None
+            else ShardedAggregator.from_state(state["aggregator"])
+        )
+        gateway.seen_batches = set(state["seen_batches"])
+        gateway.total_reports = int(state["total_reports"])
+        gateway.accepted_batches = int(state["accepted_batches"])
+        gateway.duplicate_batches = int(state["duplicate_batches"])
+        gateway.rejected_batches = int(state["rejected_batches"])
+        gateway.checkpoints_written = int(state.get("checkpoints_written", 0))
+        gateway._accepted_since_checkpoint = 0
+        gateway._started_at = time.monotonic()
+        gateway._result_payload = None
+        gateway._loop = None
+        gateway._lock = None
+        gateway._queues = []
+        gateway._workers = []
+        gateway._server = None
+        gateway._stop_event = None
+        gateway.host = None
+        gateway.port = None
+        open_spec = gateway.engine.current_round
+        if (open_spec is None) != (gateway.aggregator is None):
+            raise ServerError(
+                "checkpoint is inconsistent: open round and aggregator disagree"
+            )
+        return gateway
+
+    # ----------------------------------------------------------- round state
+
+    def _set_round(self, spec: Optional[RoundSpec]) -> None:
+        self.aggregator = (
+            None if spec is None else ShardedAggregator(spec, n_shards=self.n_shards)
+        )
+        self.seen_batches = set()
+
+    def to_state(self) -> dict[str, Any]:
+        """The complete durable state (engine + mid-round counts + dedup ids)."""
+        return {
+            "n_shards": self.n_shards,
+            "queue_depth": self.queue_depth,
+            "engine": self.engine.to_state(),
+            "aggregator": None if self.aggregator is None else self.aggregator.to_state(),
+            "seen_batches": sorted(self.seen_batches),
+            "total_reports": self.total_reports,
+            "accepted_batches": self.accepted_batches,
+            "duplicate_batches": self.duplicate_batches,
+            "rejected_batches": self.rejected_batches,
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind the listener and launch the per-shard aggregation workers."""
+        self._loop = asyncio.get_running_loop()
+        self._lock = asyncio.Lock()
+        self._stop_event = asyncio.Event()
+        self._queues = [
+            asyncio.Queue(maxsize=self.queue_depth) for _ in range(self.n_shards)
+        ]
+        self._workers = [
+            asyncio.create_task(self._shard_worker(shard, queue))
+            for shard, queue in enumerate(self._queues)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=MAX_LINE_BYTES
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        if self.store is not None:
+            # Baseline checkpoint at boot: a crash before the first round
+            # close is recoverable too (and a resumed gateway re-asserts its
+            # restored state as the newest snapshot).
+            await self._checkpoint_locked()
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until a ``stop`` op or :meth:`request_stop` arrives."""
+        if self._server is None or self._stop_event is None:
+            raise ServerError("gateway is not started; call start() first")
+        async with self._server:
+            await self._stop_event.wait()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+
+    async def run(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Start and serve until stopped (the CLI entry point)."""
+        await self.start(host, port)
+        await self.serve_until_stopped()
+
+    def request_stop(self) -> None:
+        """Ask the serving loop to exit (safe to call from any thread)."""
+        if self._loop is None or self._stop_event is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+
+    # --------------------------------------------------------------- workers
+
+    async def _shard_worker(self, shard: int, queue: asyncio.Queue) -> None:
+        """Fold routed sub-batches into this worker's shard, forever."""
+        while True:
+            batch = await queue.get()
+            try:
+                assert self.aggregator is not None  # enqueue happens under lock
+                self.aggregator.consume_shard(shard, batch)
+            finally:
+                queue.task_done()
+
+    async def _drain(self) -> None:
+        """Wait until every enqueued batch has been folded into its shard."""
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+
+    async def _checkpoint_locked(self) -> dict[str, Any]:
+        """Quiesce the workers and persist one atomic snapshot (lock held)."""
+        if self.store is None:
+            raise ServerError("no checkpoint directory is configured")
+        await self._drain()
+        path = self.store.save(self.to_state())
+        self.checkpoints_written += 1
+        self._accepted_since_checkpoint = 0
+        return {"ok": True, "path": str(path)}
+
+    # ------------------------------------------------------------ dispatching
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if line[:4] == b"GET " or line[:5] == b"HEAD ":
+                await self._handle_http(line, reader, writer)
+                return
+            while line:
+                stripped = line.strip()
+                if stripped:
+                    response = await self._dispatch_safely(stripped)
+                    writer.write(encode_message(response))
+                    await writer.drain()
+                    if response.get("stopping"):
+                        break
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except ValueError:
+            # Line exceeded the stream limit: tell the peer once, then drop it.
+            try:
+                writer.write(
+                    encode_message(
+                        {"ok": False, "error": f"line exceeds {MAX_LINE_BYTES} bytes"}
+                    )
+                )
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch_safely(self, line: bytes) -> dict[str, Any]:
+        try:
+            message = decode_message(line)
+            return await self._dispatch(message)
+        except ReproError as exc:
+            self.rejected_batches += 1
+            return {"ok": False, "error": str(exc), "error_type": type(exc).__name__}
+
+    async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        op = message.get("op")
+        if op == "hello":
+            return {
+                "ok": True,
+                "protocol": PROTOCOL_VERSION,
+                "mechanism": "privshape",
+                "epsilon": self.engine.config.epsilon,
+                "n_shards": self.n_shards,
+                "plan": self.engine.plan.to_dict(),
+            }
+        if op == "round":
+            assert self._lock is not None
+            async with self._lock:
+                return self._round_payload()
+        if op == "report":
+            return await self._op_report(message)
+        if op == "close_round":
+            return await self._op_close_round(message)
+        if op == "status":
+            return {"ok": True, "status": self._status_payload()}
+        if op == "result":
+            assert self._lock is not None
+            async with self._lock:
+                return self._op_result()
+        if op == "checkpoint":
+            assert self._lock is not None
+            async with self._lock:
+                return await self._checkpoint_locked()
+        if op == "stop":
+            if self._stop_event is not None:
+                self._stop_event.set()
+            return {"ok": True, "stopping": True}
+        raise WireFormatError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------- ops
+
+    def _round_payload(self) -> dict[str, Any]:
+        spec = self.engine.current_round
+        return {
+            "ok": True,
+            "done": spec is None and self.engine.is_done,
+            "round": None if spec is None else spec.to_dict(),
+            "plan": self.engine.plan.to_dict(),
+        }
+
+    async def _op_report(self, message: dict[str, Any]) -> dict[str, Any]:
+        batch_id = check_batch_id(message.get("batch_id"))
+        batch = batch_from_wire(message.get("data"))
+        assert self._lock is not None
+        async with self._lock:
+            spec = self.engine.current_round
+            if spec is None or self.aggregator is None:
+                raise ProtocolStateError(
+                    "no round is open"
+                    + ("; the protocol is finished" if self.engine.is_done else "")
+                )
+            if batch.round_index != spec.index or batch.kind != spec.kind:
+                raise ProtocolStateError(
+                    f"batch for round {batch.round_index} ({batch.kind}) does not "
+                    f"match open round {spec.index} ({spec.kind})"
+                )
+            batch.validate_against(spec)
+            if batch_id in self.seen_batches:
+                self.duplicate_batches += 1
+                return {
+                    "ok": True,
+                    "accepted": False,
+                    "round": spec.index,
+                    "reports": 0,
+                }
+            self.seen_batches.add(batch_id)
+            # A full shard queue blocks here — and, because requests on one
+            # connection are handled in arrival order, blocks that client —
+            # until the worker catches up: bounded memory by construction.
+            for shard, sub_batch in self.aggregator.route(batch):
+                await self._queues[shard].put(sub_batch)
+            self.total_reports += len(batch)
+            self.accepted_batches += 1
+            self._accepted_since_checkpoint += 1
+            if (
+                self.store is not None
+                and self.checkpoint_every
+                and self._accepted_since_checkpoint >= self.checkpoint_every
+            ):
+                await self._checkpoint_locked()
+            return {
+                "ok": True,
+                "accepted": True,
+                "round": spec.index,
+                "reports": len(batch),
+            }
+
+    async def _op_close_round(self, message: dict[str, Any]) -> dict[str, Any]:
+        assert self._lock is not None
+        async with self._lock:
+            spec = self.engine.current_round
+            if spec is None:
+                return self._round_payload()
+            index = message.get("round")
+            if index != spec.index:
+                raise ProtocolStateError(
+                    f"close_round for round {index!r}, but round {spec.index} is open"
+                )
+            await self._drain()
+            assert self.aggregator is not None
+            aggregate = self.aggregator.finalize_round()
+            self.engine.close_round(spec, aggregate)
+            self._set_round(self.engine.open_round())
+            if self.store is not None:
+                await self._checkpoint_locked()
+            return self._round_payload()
+
+    def _status_payload(self) -> dict[str, Any]:
+        spec = self.engine.current_round
+        return {
+            "stage": self.engine.stage,
+            "done": self.engine.is_done,
+            "round": None if spec is None else spec.index,
+            "kind": None if spec is None else spec.kind,
+            "reports_in_round": 0 if self.aggregator is None else self.aggregator.n_reports,
+            "total_reports": self.total_reports,
+            "accepted_batches": self.accepted_batches,
+            "duplicate_batches": self.duplicate_batches,
+            "rejected_requests": self.rejected_batches,
+            "checkpoints_written": self.checkpoints_written,
+            "n_shards": self.n_shards,
+            "queue_depth": self.queue_depth,
+            "epsilon": self.engine.config.epsilon,
+            "uptime_seconds": time.monotonic() - self._started_at,
+        }
+
+    def _op_result(self) -> dict[str, Any]:
+        if not self.engine.is_done:
+            raise ProtocolStateError(
+                f"protocol still in stage {self.engine.stage!r}; "
+                "close every round first"
+            )
+        if self._result_payload is None:
+            result = self.engine.finalize()
+            self._result_payload = {
+                "shapes": ["".join(shape) for shape in result.shapes],
+                "shape_tuples": [list(shape) for shape in result.shapes],
+                "frequencies": [float(f) for f in result.frequencies],
+                "estimated_length": result.estimated_length,
+                "accounting": {
+                    "per_population": {
+                        name: float(total)
+                        for name, total in result.accountant.per_population().items()
+                    },
+                    "user_level_epsilon": float(
+                        result.accountant.user_level_epsilon()
+                    ),
+                    "within_budget": result.accountant.is_valid(),
+                },
+            }
+        return {"ok": True, "result": self._result_payload}
+
+    # ---------------------------------------------------------------- HTTP
+
+    async def _handle_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        parts = request_line.decode("latin-1").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        while True:  # drain request headers
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        if path == "/status":
+            status, payload = 200, {"ok": True, "status": self._status_payload()}
+        elif path == "/result":
+            assert self._lock is not None
+            async with self._lock:
+                try:
+                    status, payload = 200, self._op_result()
+                except ReproError as exc:
+                    status, payload = 409, {"ok": False, "error": str(exc)}
+        elif path == "/healthz":
+            status, payload = 200, {"ok": True}
+        else:
+            status, payload = 404, {"ok": False, "error": f"unknown path {path!r}"}
+        body = json.dumps(payload).encode("utf-8")
+        reason = {200: "OK", 404: "Not Found", 409: "Conflict"}[status]
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+            + body
+        )
+        await writer.drain()

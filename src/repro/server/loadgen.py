@@ -1,0 +1,205 @@
+"""Load generation for the collection gateway.
+
+``run_loadgen`` drives a full protocol run over the socket: it asks the
+gateway for the open round, streams a population source through the
+vectorized :class:`~repro.service.client.ClientReporter` encoding paths,
+ships the resulting :class:`~repro.service.reports.ReportBatch` frames, and
+closes the round — repeating until the protocol is done.
+
+The per-round streaming can fan out over ``workers`` OS processes: user ids
+are split into contiguous slices and every worker regenerates its own slice
+(populations are PRF-keyed pure functions of the user id, so slices are
+exact).  Batch ids are deterministic functions of ``(round, user-id window)``,
+which makes retries and post-crash replays idempotent on the server side.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.server.client import GatewayClient
+from repro.service.client import ClientReporter
+from repro.service.plan import CollectionPlan, RoundSpec
+
+
+def batch_id_for(round_index: int, window_start: int, window_stop: int) -> str:
+    """The deterministic idempotency key of one (round, user-window) batch."""
+    return f"r{int(round_index)}:u{int(window_start)}:{int(window_stop)}"
+
+
+def stream_round(
+    host: str,
+    port: int,
+    population,
+    plan_dict: dict[str, Any],
+    round_dict: dict[str, Any],
+    start: int,
+    stop: int,
+    batch_size: int,
+) -> int:
+    """Stream one round's reports for the user-id slice ``[start, stop)``.
+
+    Top-level (picklable) so multiprocessing workers can run it.  Returns the
+    number of reports the gateway newly accepted from this slice; replayed
+    batches (after a reconnect or crash recovery) count zero.
+    """
+    plan = CollectionPlan.from_dict(plan_dict)
+    spec = RoundSpec.from_dict(round_dict)
+    reporter = ClientReporter()
+    accepted = 0
+    with GatewayClient(host, port) as client:
+        for user_ids, batch_population in population.iter_range(start, stop, batch_size):
+            mask = plan.participant_mask(spec, user_ids)
+            if not mask.any():
+                continue
+            participants = np.flatnonzero(mask)
+            batch = reporter.make_reports(
+                spec, batch_population.take(participants), user_ids[participants]
+            )
+            response = client.report(
+                batch,
+                batch_id=batch_id_for(spec.index, user_ids[0], user_ids[-1] + 1),
+            )
+            if response.get("accepted"):
+                accepted += int(response.get("reports", len(batch)))
+    return accepted
+
+
+@dataclass
+class LoadgenRoundStats:
+    """Observability record of one round driven over the socket."""
+
+    index: int
+    kind: str
+    reports: int
+    elapsed_seconds: float
+
+    @property
+    def reports_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.reports / self.elapsed_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "round": self.index,
+            "kind": self.kind,
+            "reports": self.reports,
+            "elapsed_seconds": self.elapsed_seconds,
+            "reports_per_second": self.reports_per_second,
+        }
+
+
+@dataclass
+class LoadgenStats:
+    """Observability record of one full load-generation run."""
+
+    rounds: list[LoadgenRoundStats] = field(default_factory=list)
+    total_reports: int = 0
+    total_seconds: float = 0.0
+    workers: int = 0
+    result: dict[str, Any] | None = None
+    server_status: dict[str, Any] | None = None
+
+    @property
+    def reports_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_reports / self.total_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rounds": [r.to_dict() for r in self.rounds],
+            "total_reports": self.total_reports,
+            "total_seconds": self.total_seconds,
+            "reports_per_second": self.reports_per_second,
+            "workers": self.workers,
+            "result": self.result,
+            "server_status": self.server_status,
+        }
+
+
+def _worker_slices(n_users: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous, disjoint, covering user-id slices, one per worker."""
+    bounds = np.linspace(0, n_users, workers + 1).astype(int)
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(workers)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    population,
+    *,
+    batch_size: int = 8192,
+    workers: int = 0,
+    mp_context: str = "spawn",
+    timeout: float = 120.0,
+) -> LoadgenStats:
+    """Drive a complete collection run against a gateway and fetch the result.
+
+    ``workers=0`` streams in-process (deterministic, test-friendly);
+    ``workers>=1`` fans each round out over that many OS processes.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    stats = LoadgenStats(workers=max(int(workers), 0))
+    n_users = population.n_users
+    started = time.perf_counter()
+    pool = None
+    try:
+        with GatewayClient(host, port, timeout=timeout) as control:
+            while True:
+                current = control.round()
+                if current["done"]:
+                    break
+                round_dict, plan_dict = current["round"], current["plan"]
+                round_started = time.perf_counter()
+                if stats.workers >= 1:
+                    slices = _worker_slices(n_users, stats.workers)
+                    if pool is None:
+                        # One pool for the whole run: workers pay the spawn +
+                        # import cost once, not once per protocol round.
+                        context = multiprocessing.get_context(mp_context)
+                        pool = context.Pool(len(slices))
+                    counts = pool.starmap(
+                        stream_round,
+                        [
+                            (host, port, population, plan_dict, round_dict,
+                             start, stop, batch_size)
+                            for start, stop in slices
+                        ],
+                    )
+                else:
+                    counts = [
+                        stream_round(
+                            host, port, population, plan_dict, round_dict,
+                            0, n_users, batch_size,
+                        )
+                    ]
+                control.close_round(round_dict["index"])
+                stats.rounds.append(
+                    LoadgenRoundStats(
+                        index=int(round_dict["index"]),
+                        kind=str(round_dict["kind"]),
+                        reports=int(sum(counts)),
+                        elapsed_seconds=time.perf_counter() - round_started,
+                    )
+                )
+            stats.total_seconds = time.perf_counter() - started
+            stats.total_reports = sum(r.reports for r in stats.rounds)
+            stats.result = control.result()
+            stats.server_status = control.status()
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+    return stats

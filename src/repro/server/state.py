@@ -1,0 +1,76 @@
+"""Durable gateway state: atomic JSON checkpoints.
+
+A checkpoint is one JSON document holding the complete protocol state — the
+:class:`~repro.service.protocol.PrivShapeEngine` snapshot (master-generator
+state included), the open round's :class:`~repro.service.aggregator.ShardedAggregator`
+shard counts, and the set of already-accepted batch ids.  Writes go through
+the classic write-temp + fsync + rename dance, so a crash mid-write leaves
+the previous checkpoint intact; restores therefore always see either the old
+or the new state, never a torn one.
+
+Idempotent batch ids are what make recovery exact: a load generator that
+replays a round after a crash re-sends every batch, the gateway drops the
+ones whose ids are already in the checkpoint, and the integer count state
+ends up identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import WireFormatError
+
+#: Checkpoint schema revision.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointStore:
+    """Atomic single-file JSON checkpoint storage for one collection run."""
+
+    FILENAME = "checkpoint.json"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+
+    @property
+    def path(self) -> Path:
+        """Location of the current checkpoint document."""
+        return self.directory / self.FILENAME
+
+    def save(self, state: dict[str, Any]) -> Path:
+        """Atomically persist ``state`` (write temp, fsync, rename)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = dict(state)
+        payload["version"] = CHECKPOINT_VERSION
+        temp_path = self.directory / (self.FILENAME + ".tmp")
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.path)
+        return self.path
+
+    def load(self) -> dict[str, Any] | None:
+        """The latest checkpoint, or ``None`` when none has been written."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        try:
+            state = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise WireFormatError(
+                f"checkpoint {self.path} is corrupt: {exc}"
+            ) from exc
+        if not isinstance(state, dict):
+            raise WireFormatError(f"checkpoint {self.path} is not a JSON object")
+        version = state.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise WireFormatError(
+                f"checkpoint {self.path} has version {version!r}; "
+                f"this build reads version {CHECKPOINT_VERSION}"
+            )
+        return state

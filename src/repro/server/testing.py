@@ -1,0 +1,84 @@
+"""In-process gateway hosting for tests, benchmarks, and embedding.
+
+``serve_in_thread`` runs a :class:`~repro.server.gateway.CollectionGateway`
+on a private event loop in a daemon thread and hands back a
+:class:`GatewayHandle` with the bound address — the calling thread can then
+talk to it over real sockets exactly like an external client would, and shut
+it down deterministically when finished.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.exceptions import ServerError
+from repro.server.gateway import CollectionGateway
+
+
+class GatewayHandle:
+    """A gateway serving on a background thread, with its bound address."""
+
+    def __init__(
+        self, gateway: CollectionGateway, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.gateway = gateway
+        self._requested_host = host
+        self._requested_port = port
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="collection-gateway", daemon=True
+        )
+
+    @property
+    def host(self) -> str:
+        assert self.gateway.host is not None
+        return self.gateway.host
+
+    @property
+    def port(self) -> int:
+        assert self.gateway.port is not None
+        return self.gateway.port
+
+    def start(self, timeout: float = 30.0) -> "GatewayHandle":
+        """Launch the serving thread and wait until the listener is bound (idempotent)."""
+        if not self._thread.is_alive() and not self._ready.is_set():
+            self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServerError("gateway did not come up within the timeout")
+        if self._error is not None:
+            raise ServerError(f"gateway failed to start: {self._error!r}")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop serving and join the thread (idempotent)."""
+        self.gateway.request_stop()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise ServerError("gateway thread did not exit within the timeout")
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - surfaced via start()
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        await self.gateway.start(self._requested_host, self._requested_port)
+        self._ready.set()
+        await self.gateway.serve_until_stopped()
+
+    def __enter__(self) -> "GatewayHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    gateway: CollectionGateway, host: str = "127.0.0.1", port: int = 0
+) -> GatewayHandle:
+    """Serve ``gateway`` on a daemon thread; returns the started handle."""
+    return GatewayHandle(gateway, host, port).start()

@@ -1,0 +1,76 @@
+"""Newline-delimited JSON wire protocol of the collection gateway.
+
+One request is one line of JSON (an object with an ``"op"`` field); one
+response is one line of JSON with ``"ok"`` set.  Report payloads ride inside
+the ``report`` op as base64 of the :class:`~repro.service.reports.ReportBatch`
+binary frame, so the batch hardening in ``ReportBatch.from_bytes`` applies to
+everything that crosses the socket.
+
+The same port also answers plain ``GET /status`` / ``GET /result`` HTTP
+requests (the gateway sniffs the first line), so the protocol here only
+covers the NDJSON side.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from typing import Any
+
+from repro.exceptions import WireFormatError
+from repro.service.reports import ReportBatch
+
+#: Protocol revision announced in the ``hello`` response.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one NDJSON line (also the asyncio stream limit).  A 65 536
+#: user OUE batch packs to well under 1 MiB of base64; 64 MiB leaves room for
+#: any realistic batch while still bounding a hostile sender.
+MAX_LINE_BYTES = 1 << 26
+
+#: Upper bound on a client-chosen batch id (idempotency key).
+MAX_BATCH_ID_LENGTH = 256
+
+
+def encode_message(payload: dict[str, Any]) -> bytes:
+    """One wire line (compact JSON + newline) for a message dict."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict[str, Any]:
+    """Parse one wire line into a message dict (hostile input tolerated)."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"message is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise WireFormatError("message must be a JSON object")
+    return message
+
+
+def batch_to_wire(batch: ReportBatch) -> str:
+    """Base64 text form of a report batch for the ``report`` op."""
+    return base64.b64encode(batch.to_bytes()).decode("ascii")
+
+
+def batch_from_wire(data: Any) -> ReportBatch:
+    """Decode and validate a base64 report-batch payload."""
+    if not isinstance(data, str):
+        raise WireFormatError("report data must be a base64 string")
+    try:
+        raw = base64.b64decode(data.encode("ascii"), validate=True)
+    except (UnicodeEncodeError, binascii.Error, ValueError) as exc:
+        raise WireFormatError(f"report data is not valid base64: {exc}") from exc
+    return ReportBatch.from_bytes(raw)
+
+
+def check_batch_id(batch_id: Any) -> str:
+    """Validate a client-supplied idempotency key."""
+    if not isinstance(batch_id, str) or not batch_id:
+        raise WireFormatError("batch_id must be a non-empty string")
+    if len(batch_id) > MAX_BATCH_ID_LENGTH:
+        raise WireFormatError(
+            f"batch_id longer than {MAX_BATCH_ID_LENGTH} characters"
+        )
+    return batch_id

@@ -10,6 +10,7 @@ for any report routing and any batch sizes.
 
 from __future__ import annotations
 
+from typing import Iterator
 
 from repro.exceptions import ProtocolStateError
 from repro.service.plan import RoundSpec
@@ -33,8 +34,12 @@ class ShardedAggregator:
         """Total reports consumed so far across all shards."""
         return sum(shard.n_reports for shard in self._shards)
 
-    def consume(self, batch: ReportBatch) -> None:
-        """Route a report batch to shards by user id and merge it (vectorized)."""
+    @property
+    def finalized(self) -> bool:
+        """True once :meth:`finalize_round` has been called."""
+        return self._finalized
+
+    def _check_open(self, batch: ReportBatch) -> None:
         if self._finalized:
             raise ProtocolStateError("aggregator already finalized")
         if batch.round_index != self.spec.index or batch.kind != self.spec.kind:
@@ -42,16 +47,63 @@ class ShardedAggregator:
                 f"batch for round {batch.round_index} ({batch.kind}) does not "
                 f"match open round {self.spec.index} ({self.spec.kind})"
             )
+
+    def route(self, batch: ReportBatch) -> Iterator[tuple[int, ReportBatch]]:
+        """Split a batch into its non-empty ``(shard index, sub-batch)`` parts.
+
+        Routing is by ``user_id % n_shards``, the same partition
+        :meth:`consume` applies; a server with one worker per shard uses this
+        to hand each worker exactly the rows its shard owns.
+        """
         if len(batch) == 0:
             return
         if self.n_shards == 1:
-            accumulate(self.spec, self._shards[0], batch.payload)
+            yield 0, batch
             return
         shard_ids = batch.user_ids % self.n_shards
         for shard in range(self.n_shards):
             mask = shard_ids == shard
             if mask.any():
-                accumulate(self.spec, self._shards[shard], batch.payload[mask])
+                yield shard, batch.take(mask)
+
+    def consume_shard(self, shard: int, batch: ReportBatch) -> None:
+        """Merge an already-routed sub-batch into one shard's state."""
+        self._check_open(batch)
+        accumulate(self.spec, self._shards[shard], batch.payload)
+
+    def consume(self, batch: ReportBatch) -> None:
+        """Route a report batch to shards by user id and merge it (vectorized)."""
+        self._check_open(batch)
+        for shard, sub_batch in self.route(batch):
+            accumulate(self.spec, self._shards[shard], sub_batch.payload)
+
+    # ---------------------------------------------------------------- snapshot
+
+    def to_state(self) -> dict:
+        """Loss-free plain-data snapshot of the mid-round aggregation state."""
+        return {
+            "spec": self.spec.to_dict(),
+            "n_shards": self.n_shards,
+            "finalized": self._finalized,
+            "shards": [shard.to_state() for shard in self._shards],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ShardedAggregator":
+        """Rebuild the exact aggregator serialized by :meth:`to_state`."""
+        aggregator = cls(
+            RoundSpec.from_dict(state["spec"]), n_shards=int(state["n_shards"])
+        )
+        aggregator._shards = [
+            RoundAccumulator.from_state(shard) for shard in state["shards"]
+        ]
+        if len(aggregator._shards) != aggregator.n_shards:
+            raise ProtocolStateError(
+                f"snapshot carries {len(aggregator._shards)} shard states for "
+                f"{aggregator.n_shards} shards"
+            )
+        aggregator._finalized = bool(state["finalized"])
+        return aggregator
 
     def finalize_round(self) -> RoundAccumulator:
         """Merge all shard states into the round's final aggregate (exact)."""

@@ -134,6 +134,27 @@ class CollectionPlan:
             mask &= self.expand_level_of(user_ids, max(spec.est_length, 1)) == spec.level
         return mask
 
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-serializable) — what a server publishes to clients."""
+        return {
+            "split_key": int(self.split_key),
+            "fractions": list(self.fractions),
+            "epsilon": float(self.epsilon),
+            "metric": self.metric,
+            "alphabet": list(self.alphabet),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CollectionPlan":
+        """Rebuild the exact plan from :meth:`to_dict` output."""
+        return cls(
+            split_key=int(payload["split_key"]),
+            fractions=tuple(float(f) for f in payload["fractions"]),
+            epsilon=float(payload["epsilon"]),
+            metric=str(payload["metric"]),
+            alphabet=tuple(payload["alphabet"]),
+        )
+
     def describe(self) -> list[dict[str, Any]]:
         """Static skeleton of the round schedule (before any data arrives)."""
         return [

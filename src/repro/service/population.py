@@ -91,12 +91,25 @@ class EncodedPopulation:
         self, batch_size: int
     ) -> Iterator[tuple[np.ndarray, "EncodedPopulation"]]:
         """Stream the population as ``(user_ids, sub-population)`` batches."""
+        yield from self.iter_range(0, len(self), batch_size)
+
+    def iter_range(
+        self, start: int, stop: int, batch_size: int
+    ) -> Iterator[tuple[np.ndarray, "EncodedPopulation"]]:
+        """Stream the user-id slice ``[start, stop)`` as batches.
+
+        Slicing by user id lets several load-generation workers cover disjoint
+        parts of one population; the union of the slices is exactly
+        :meth:`iter_batches` because user ids are absolute row indexes.
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        for start in range(0, len(self), batch_size):
-            stop = min(start + batch_size, len(self))
-            yield np.arange(start, stop, dtype=np.int64), self.take(
-                np.arange(start, stop)
+        start = max(int(start), 0)
+        stop = min(int(stop), len(self))
+        for batch_start in range(start, stop, batch_size):
+            batch_stop = min(batch_start + batch_size, stop)
+            yield np.arange(batch_start, batch_stop, dtype=np.int64), self.take(
+                np.arange(batch_start, batch_stop)
             )
 
 
@@ -181,12 +194,25 @@ class SyntheticShapeStream:
         self, batch_size: int
     ) -> Iterator[tuple[np.ndarray, EncodedPopulation]]:
         """Regenerate the user stream deterministically, ``batch_size`` at a time."""
+        yield from self.iter_range(0, self.n_users, batch_size)
+
+    def iter_range(
+        self, start: int, stop: int, batch_size: int
+    ) -> Iterator[tuple[np.ndarray, EncodedPopulation]]:
+        """Regenerate the user-id slice ``[start, stop)`` of the stream.
+
+        Users are PRF functions of their id, so any slice reproduces exactly
+        the rows :meth:`iter_batches` would emit for those ids — this is what
+        lets multiple load-generation processes share one population.
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         width = self._template_codes.shape[1]
         columns = np.arange(width)
-        for start in range(0, self.n_users, batch_size):
-            stop = min(start + batch_size, self.n_users)
+        range_start = max(int(start), 0)
+        range_stop = min(int(stop), self.n_users)
+        for start in range(range_start, range_stop, batch_size):
+            stop = min(start + batch_size, range_stop)
             user_ids = np.arange(start, stop, dtype=np.int64)
             picks = np.searchsorted(
                 self._cum_weights, prf_uniforms(self.seed, user_ids, slot=0), side="right"

@@ -22,7 +22,8 @@ assert to the byte.
 
 from __future__ import annotations
 
-from typing import Optional
+import dataclasses
+from typing import Any, Optional
 
 import numpy as np
 
@@ -33,7 +34,7 @@ from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResu
 from repro.core.subshape import rank_top_subshapes
 from repro.core.trie import Shape, ShapeTrie
 from repro.exceptions import EstimationError, ProtocolStateError
-from repro.ldp.accounting import PrivacyAccountant
+from repro.ldp.accounting import BudgetSpend, PrivacyAccountant
 from repro.service.plan import (
     GROUP_EXPAND,
     GROUP_LENGTH,
@@ -98,6 +99,28 @@ class PrivShapeEngine:
         self._level = 0
         self._round_index = 0
         self._open: Optional[RoundSpec] = None
+
+    # -------------------------------------------------------------- inspection
+
+    @property
+    def stage(self) -> str:
+        """The protocol stage (length / subshape / expand / refine / done)."""
+        return self._stage
+
+    @property
+    def is_done(self) -> bool:
+        """True once every round has been closed."""
+        return self._stage == _STAGE_DONE
+
+    @property
+    def round_index(self) -> int:
+        """Index the *next* opened round will carry."""
+        return self._round_index
+
+    @property
+    def current_round(self) -> Optional[RoundSpec]:
+        """The currently open round's spec, or None between rounds."""
+        return self._open
 
     # ------------------------------------------------------------- round flow
 
@@ -300,6 +323,134 @@ class PrivShapeEngine:
         self.frequencies = refined
         for shape, count in refined.items():
             self.trie.set_frequency(shape, count)
+
+    # -------------------------------------------------------------- snapshot
+
+    def to_state(self) -> dict[str, Any]:
+        """Loss-free plain-data snapshot of the full protocol state.
+
+        Everything a server must persist to resume a run — configuration,
+        master-generator state (so later rounds draw the same PRF keys), the
+        frozen plan, privacy spends, the candidate trie, and the stage
+        bookkeeping — lands in one JSON-serializable dict.
+        ``from_state(to_state())`` resumes byte-identically: the restored
+        engine opens the same rounds with the same keys and finalizes to the
+        same result as the original would have.
+        """
+        return {
+            "config": dataclasses.asdict(self.config),
+            "generator": self.generator.bit_generator.state,
+            "plan": self.plan.to_dict(),
+            "accountant": {
+                "target_epsilon": self.accountant.target_epsilon,
+                "strict": self.accountant.strict,
+                "spends": [
+                    {
+                        "population": s.population,
+                        "epsilon": s.epsilon,
+                        "mechanism": s.mechanism,
+                    }
+                    for s in self.accountant.spends
+                ],
+            },
+            "trie": [
+                [list(node.shape), node.frequency, node.pruned]
+                for level in range(self.trie.height + 1)
+                for node in self.trie.nodes_at_level(level, include_pruned=True)
+            ],
+            "labeled": self.labeled,
+            "n_classes": self.n_classes,
+            "estimated_length": self.estimated_length,
+            "subshape_candidates": [
+                [level, [list(pair) for pair in pairs]]
+                for level, pairs in self.subshape_candidates.items()
+            ],
+            "leaf_shapes": [list(shape) for shape in self.leaf_shapes],
+            "frequencies": [
+                [list(shape), count] for shape, count in self.frequencies.items()
+            ],
+            "per_class_counts": None
+            if self.per_class_counts is None
+            else [
+                [label, [[list(shape), count] for shape, count in counts.items()]]
+                for label, counts in self.per_class_counts.items()
+            ],
+            "stage": self._stage,
+            "level": self._level,
+            "round_index": self._round_index,
+            "open_round": None if self._open is None else self._open.to_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "PrivShapeEngine":
+        """Rebuild the exact engine serialized by :meth:`to_state`."""
+        config_data = dict(state["config"])
+        config_data["population_fractions"] = tuple(
+            config_data["population_fractions"]
+        )
+        config = PrivShapeConfig(**config_data)
+        engine = cls(
+            config,
+            rng=0,
+            labeled=bool(state["labeled"]),
+            n_classes=state["n_classes"] if state["labeled"] else None,
+        )
+        generator_state = state["generator"]
+        bit_generator = getattr(np.random, generator_state["bit_generator"])()
+        bit_generator.state = generator_state
+        engine.generator = np.random.Generator(bit_generator)
+        engine.plan = CollectionPlan.from_dict(state["plan"])
+        accountant = PrivacyAccountant(
+            target_epsilon=float(state["accountant"]["target_epsilon"]),
+            strict=bool(state["accountant"]["strict"]),
+        )
+        for spend in state["accountant"]["spends"]:
+            accountant.spends.append(
+                BudgetSpend(
+                    population=spend["population"],
+                    epsilon=float(spend["epsilon"]),
+                    mechanism=spend.get("mechanism", ""),
+                )
+            )
+        engine.accountant = accountant
+        engine.trie = ShapeTrie(config.alphabet)
+        for shape, frequency, pruned in state["trie"]:
+            shape = tuple(shape)
+            if shape:
+                node = engine.trie.add(shape)
+                node.frequency = float(frequency)
+                node.pruned = bool(pruned)
+            else:
+                engine.trie.root.frequency = float(frequency)
+                engine.trie.root.pruned = bool(pruned)
+        engine.estimated_length = state["estimated_length"]
+        engine.subshape_candidates = {
+            int(level): [tuple(pair) for pair in pairs]
+            for level, pairs in state["subshape_candidates"]
+        }
+        engine.leaf_shapes = [tuple(shape) for shape in state["leaf_shapes"]]
+        engine.frequencies = {
+            tuple(shape): float(count) for shape, count in state["frequencies"]
+        }
+        engine.per_class_counts = (
+            None
+            if state["per_class_counts"] is None
+            else {
+                int(label): {
+                    tuple(shape): float(count) for shape, count in counts
+                }
+                for label, counts in state["per_class_counts"]
+            }
+        )
+        engine._stage = state["stage"]
+        engine._level = int(state["level"])
+        engine._round_index = int(state["round_index"])
+        engine._open = (
+            None
+            if state["open_round"] is None
+            else RoundSpec.from_dict(state["open_round"])
+        )
+        return engine
 
     # -------------------------------------------------------------- finalize
 

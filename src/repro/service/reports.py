@@ -14,13 +14,35 @@ can exercise end-to-end (``serialize=True``) without changing any result.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.exceptions import DomainError, WireFormatError
+
 _HEADER_LENGTH_BYTES = 4
+#: Largest JSON header a well-formed frame can carry (a defensive bound — real
+#: headers are under 200 bytes).
+_MAX_HEADER_BYTES = 1 << 16
 #: Payload kinds stored as packed bits on the wire.
 _BIT_MATRIX_KINDS = ("refine", "refine_labeled")
+#: Per-kind wire contract: (unpacked dtype kinds accepted, payload ndim,
+#: exact column count or None).  Length/expand reports are GRR / EM index
+#: vectors, subshape is exactly (sampled level, perturbed pair) columns,
+#: refinement is an OUE bit matrix whose width the round spec checks.
+_KIND_CONTRACTS: dict[str, tuple[tuple[str, ...], int, int | None]] = {
+    "length": (("i", "u"), 1, None),
+    "subshape": (("i", "u"), 2, 2),
+    "expand": (("i", "u"), 1, None),
+    "refine": (("u",), 2, None),
+    "refine_labeled": (("u",), 2, None),
+}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise WireFormatError(message)
 
 
 @dataclass
@@ -87,28 +109,174 @@ class ReportBatch:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ReportBatch":
-        """Reconstruct the exact batch serialized by :meth:`to_bytes`."""
+        """Reconstruct the exact batch serialized by :meth:`to_bytes`.
+
+        Input is treated as hostile (it typically arrives over a socket):
+        every header field is type/range-checked, the payload dtype and shape
+        must match the declared round kind, and the frame length must account
+        for every byte — truncated, padded, or type-confused frames raise
+        :class:`~repro.exceptions.WireFormatError` instead of leaking numpy
+        or ``KeyError`` internals.
+        """
+        _require(isinstance(data, (bytes, bytearray, memoryview)), "frame must be bytes")
+        data = bytes(data)
+        _require(len(data) >= _HEADER_LENGTH_BYTES, "frame shorter than its length prefix")
         header_size = int.from_bytes(data[:_HEADER_LENGTH_BYTES], "big")
+        _require(0 < header_size <= _MAX_HEADER_BYTES, f"implausible header size {header_size}")
         offset = _HEADER_LENGTH_BYTES + header_size
-        header = json.loads(data[_HEADER_LENGTH_BYTES:offset].decode("utf-8"))
-        n = int(header["n"])
+        _require(len(data) >= offset, "frame truncated inside the header")
+        try:
+            header = json.loads(data[_HEADER_LENGTH_BYTES:offset].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireFormatError(f"header is not valid JSON: {exc}") from exc
+        _require(isinstance(header, dict), "header must be a JSON object")
+        missing = {
+            "round_index", "kind", "n", "payload_dtype", "payload_shape", "bit_columns",
+        } - header.keys()
+        _require(not missing, f"header is missing fields {sorted(missing)}")
+
+        round_index = header["round_index"]
+        _require(
+            isinstance(round_index, int) and not isinstance(round_index, bool)
+            and round_index >= 0,
+            f"round_index must be a non-negative integer, got {round_index!r}",
+        )
+        kind = header["kind"]
+        _require(kind in _KIND_CONTRACTS, f"unknown round kind {kind!r}")
+        n = header["n"]
+        _require(
+            isinstance(n, int) and not isinstance(n, bool) and n >= 0,
+            f"n must be a non-negative integer, got {n!r}",
+        )
+        try:
+            dtype = np.dtype(header["payload_dtype"])
+        except (TypeError, ValueError) as exc:
+            raise WireFormatError(
+                f"invalid payload dtype {header['payload_dtype']!r}"
+            ) from exc
+        _require(
+            dtype.kind in ("i", "u") and dtype.itemsize <= 8,
+            f"payload dtype {dtype} is not an allowed integer type",
+        )
+        shape_field = header["payload_shape"]
+        _require(
+            isinstance(shape_field, list)
+            and 1 <= len(shape_field) <= 2
+            and all(
+                isinstance(d, int) and not isinstance(d, bool) and d >= 0
+                for d in shape_field
+            ),
+            f"payload_shape must be a list of 1-2 non-negative ints, got {shape_field!r}",
+        )
+        shape = tuple(shape_field)
+        _require(
+            shape[0] == n,
+            f"payload rows ({shape[0]}) must match the declared user count ({n})",
+        )
+        bit_columns = header["bit_columns"]
+        if bit_columns is not None:
+            _require(
+                isinstance(bit_columns, int) and not isinstance(bit_columns, bool),
+                f"bit_columns must be an integer or null, got {bit_columns!r}",
+            )
+            _require(
+                kind in _BIT_MATRIX_KINDS and dtype == np.uint8 and len(shape) == 2,
+                f"bit packing is only valid for uint8 {_BIT_MATRIX_KINDS} matrices",
+            )
+            _require(
+                8 * (shape[1] - 1) < bit_columns <= 8 * shape[1],
+                f"bit_columns ({bit_columns}) inconsistent with {shape[1]} packed bytes",
+            )
+
+        # math.prod over Python ints cannot overflow, so a hostile shape like
+        # [4, 2**62] fails the length equation instead of wrapping through
+        # int64 arithmetic and sneaking past it.
+        count = math.prod(shape)
+        expected = offset + n * 8 + count * dtype.itemsize
+        _require(
+            len(data) == expected,
+            f"frame length {len(data)} does not match the declared "
+            f"{expected} bytes (truncated or padded frame)",
+        )
         user_ids = np.frombuffer(data, dtype="<i8", count=n, offset=offset).astype(
             np.int64
         )
         offset += n * 8
-        dtype = np.dtype(header["payload_dtype"])
-        shape = tuple(header["payload_shape"])
-        count = int(np.prod(shape)) if shape else 0
         payload = (
             np.frombuffer(data, dtype=dtype, count=count, offset=offset)
             .reshape(shape)
             .astype(dtype.newbyteorder("="))
         )
-        if header["bit_columns"] is not None:
-            payload = np.unpackbits(payload, axis=1, count=int(header["bit_columns"]))
+        if bit_columns is not None:
+            payload = np.unpackbits(payload, axis=1, count=int(bit_columns))
+        expected_kinds, expected_ndim, expected_columns = _KIND_CONTRACTS[kind]
+        _require(
+            payload.ndim == expected_ndim and payload.dtype.kind in expected_kinds,
+            f"{kind} payload must be a {expected_ndim}-d integer array, "
+            f"got {payload.dtype} with shape {payload.shape}",
+        )
+        _require(
+            expected_columns is None or payload.shape[1] == expected_columns,
+            f"{kind} payload must have exactly {expected_columns} columns, "
+            f"got shape {payload.shape}",
+        )
         return cls(
-            round_index=int(header["round_index"]),
-            kind=header["kind"],
+            round_index=round_index,
+            kind=kind,
             user_ids=user_ids,
             payload=payload,
         )
+
+    # ------------------------------------------------------------- validation
+
+    def validate_against(self, spec) -> None:
+        """Check every report value against one round's declared domain.
+
+        :meth:`from_bytes` can only enforce structural invariants; once the
+        server knows which round a batch claims to belong to, this check
+        pins the payload to that round's perturbation domain so hostile
+        values cannot corrupt the integer count state (or crash ``bincount``
+        mid-aggregation).  Raises :class:`~repro.exceptions.DomainError`.
+        """
+        if len(self) == 0:
+            return
+        if self.user_ids.size != np.unique(self.user_ids).size:
+            raise DomainError("batch contains duplicated user ids")
+        if np.any(self.user_ids < 0):
+            raise DomainError("batch contains negative user ids")
+        payload = self.payload
+        if self.kind == "length":
+            size = spec.length_high - spec.length_low + 1
+            if np.any(payload < 0) or np.any(payload >= size):
+                raise DomainError(
+                    f"length reports must lie in [0, {size}), the clipped domain"
+                )
+        elif self.kind == "subshape":
+            if payload.ndim != 2 or payload.shape[1] != 2:
+                raise DomainError(
+                    f"subshape reports must be (level, pair) pairs, "
+                    f"got shape {payload.shape}"
+                )
+            n_levels = max(spec.est_length - 1, 1)
+            n_pairs = len(spec.alphabet) * (len(spec.alphabet) - 1)
+            levels, pairs = payload[:, 0], payload[:, 1]
+            if np.any(levels < 1) or np.any(levels > n_levels):
+                raise DomainError(f"subshape levels must lie in [1, {n_levels}]")
+            if np.any(pairs < 0) or np.any(pairs >= n_pairs):
+                raise DomainError(f"subshape pairs must lie in [0, {n_pairs})")
+        elif self.kind == "expand":
+            size = max(len(spec.candidates), 1)
+            if np.any(payload < 0) or np.any(payload >= size):
+                raise DomainError(
+                    f"expand selections must lie in [0, {size}), the candidate set"
+                )
+        elif self.kind in _BIT_MATRIX_KINDS:
+            if payload.shape[1] != spec.n_cells:
+                raise DomainError(
+                    f"refinement reports must carry {spec.n_cells} cells, "
+                    f"got {payload.shape[1]}"
+                )
+            if np.any(payload > 1):
+                raise DomainError("refinement reports must be 0/1 bit vectors")
+        else:  # pragma: no cover - from_bytes rejects unknown kinds first
+            raise DomainError(f"unknown round kind {self.kind!r}")

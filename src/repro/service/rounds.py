@@ -55,6 +55,22 @@ class RoundAccumulator:
         self.counts += other.counts
         self.n_reports += other.n_reports
 
+    def to_state(self) -> dict:
+        """Loss-free plain-data snapshot (JSON-serializable; int64 exact)."""
+        return {
+            "counts": self.counts.tolist(),
+            "shape": list(self.counts.shape),
+            "n_reports": int(self.n_reports),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RoundAccumulator":
+        """Rebuild the exact accumulator serialized by :meth:`to_state`."""
+        counts = np.asarray(state["counts"], dtype=np.int64).reshape(
+            tuple(state["shape"])
+        )
+        return cls(counts=counts, n_reports=int(state["n_reports"]))
+
 
 def length_oracle(spec: RoundSpec) -> GeneralizedRandomizedResponse | None:
     """The GRR oracle of a length round, or None for a single-value domain."""

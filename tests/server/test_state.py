@@ -1,0 +1,185 @@
+"""Snapshot/restore and durable checkpoints.
+
+The engine and aggregator snapshots must be *exact*: a protocol resumed from
+``from_state(to_state())`` — at any point, including mid-round — must
+finalize byte-identically to an uninterrupted run, because the snapshot
+carries the master-generator state (future PRF keys), the integer count
+state, and every piece of trie/accounting bookkeeping.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import PrivShapeConfig
+from repro.core.privshape import PrivShape
+from repro.exceptions import WireFormatError
+from repro.server.state import CheckpointStore
+from repro.service import EncodedPopulation, ShardedAggregator
+from repro.service.client import ClientReporter
+from repro.service.protocol import PrivShapeEngine
+from repro.service.rounds import RoundAccumulator
+
+SEQUENCES = [tuple("abcd")] * 500 + [tuple("dcba")] * 300 + [tuple("bca")] * 200
+CONFIG = dict(epsilon=6.0, top_k=2, alphabet_size=4, metric="sed", length_high=6)
+
+
+def _drive(engine, population, snapshot_at_round=None, mid_round=False):
+    """Run every round; optionally snapshot+restore (JSON round-trip) mid-way."""
+    user_ids = np.arange(len(population), dtype=np.int64)
+    reporter = ClientReporter()
+    round_number = 0
+    while (spec := engine.open_round()) is not None:
+        aggregator = ShardedAggregator(spec, n_shards=2)
+        mask = engine.plan.participant_mask(spec, user_ids)
+        if mask.any():
+            participants = np.flatnonzero(mask)
+            batch = reporter.make_reports(
+                spec, population.take(participants), user_ids[participants]
+            )
+            half = len(batch) // 2
+            aggregator.consume(batch.take(np.arange(half)))
+            if mid_round and round_number == snapshot_at_round:
+                state = json.loads(
+                    json.dumps(
+                        {"engine": engine.to_state(), "aggregator": aggregator.to_state()}
+                    )
+                )
+                engine = PrivShapeEngine.from_state(state["engine"])
+                aggregator = ShardedAggregator.from_state(state["aggregator"])
+            aggregator.consume(batch.take(np.arange(half, len(batch))))
+        engine.close_round(spec, aggregator.finalize_round())
+        if not mid_round and round_number == snapshot_at_round:
+            engine = PrivShapeEngine.from_state(
+                json.loads(json.dumps(engine.to_state()))
+            )
+        round_number += 1
+    return engine
+
+
+class TestEngineSnapshot:
+    def _offline(self):
+        return PrivShape(PrivShapeConfig(**CONFIG)).extract(SEQUENCES, rng=5)
+
+    @pytest.mark.parametrize("snapshot_at_round", [0, 1, 2, 4])
+    def test_between_round_snapshot_resumes_byte_identically(self, snapshot_at_round):
+        offline = self._offline()
+        config = PrivShapeConfig(**CONFIG)
+        population = EncodedPopulation.from_sequences(SEQUENCES, config.alphabet)
+        engine = _drive(
+            PrivShapeEngine(config, rng=5), population,
+            snapshot_at_round=snapshot_at_round,
+        )
+        result = engine.finalize()
+        assert result.shapes == offline.shapes
+        assert result.frequencies == offline.frequencies
+        assert result.estimated_length == offline.estimated_length
+        assert result.subshape_candidates == offline.subshape_candidates
+        assert result.accountant.per_population() == offline.accountant.per_population()
+
+    @pytest.mark.parametrize("snapshot_at_round", [1, 3])
+    def test_mid_round_snapshot_preserves_partial_counts(self, snapshot_at_round):
+        offline = self._offline()
+        config = PrivShapeConfig(**CONFIG)
+        population = EncodedPopulation.from_sequences(SEQUENCES, config.alphabet)
+        engine = _drive(
+            PrivShapeEngine(config, rng=5), population,
+            snapshot_at_round=snapshot_at_round, mid_round=True,
+        )
+        result = engine.finalize()
+        assert result.shapes == offline.shapes
+        assert result.frequencies == offline.frequencies
+
+    def test_labeled_engine_snapshot(self):
+        config = PrivShapeConfig(**CONFIG)
+        labels = [0] * 500 + [1] * 300 + [0] * 200
+        offline = PrivShape(config).extract_labeled(SEQUENCES, labels, rng=9)
+        population = EncodedPopulation.from_sequences(
+            SEQUENCES, config.alphabet, labels=labels
+        )
+        engine = PrivShapeEngine(config, rng=9, labeled=True, n_classes=2)
+        user_ids = np.arange(len(population), dtype=np.int64)
+        reporter = ClientReporter()
+        while (spec := engine.open_round()) is not None:
+            aggregator = ShardedAggregator(spec)
+            mask = engine.plan.participant_mask(spec, user_ids)
+            if mask.any():
+                participants = np.flatnonzero(mask)
+                aggregator.consume(
+                    reporter.make_reports(
+                        spec, population.take(participants), user_ids[participants]
+                    )
+                )
+            engine.close_round(spec, aggregator.finalize_round())
+            engine = PrivShapeEngine.from_state(
+                json.loads(json.dumps(engine.to_state()))
+            )
+        result = engine.finalize_labeled()
+        assert result.shapes_by_class == offline.shapes_by_class
+        assert result.frequencies_by_class == offline.frequencies_by_class
+
+    def test_snapshot_preserves_future_randomness(self):
+        """The restored master generator must emit the original key stream."""
+        engine = PrivShapeEngine(PrivShapeConfig(**CONFIG), rng=11)
+        clone = PrivShapeEngine.from_state(engine.to_state())
+        assert clone.generator.integers(0, 2**63, 8).tolist() == \
+            engine.generator.integers(0, 2**63, 8).tolist()
+
+    def test_snapshot_rejects_wrong_shard_count(self):
+        engine = PrivShapeEngine(PrivShapeConfig(**CONFIG), rng=1)
+        spec = engine.open_round()
+        state = ShardedAggregator(spec, n_shards=3).to_state()
+        state["n_shards"] = 2
+        from repro.exceptions import ProtocolStateError
+
+        with pytest.raises(ProtocolStateError):
+            ShardedAggregator.from_state(state)
+
+
+class TestAccumulatorState:
+    def test_round_trip_is_exact(self):
+        accumulator = RoundAccumulator(
+            counts=np.arange(12, dtype=np.int64).reshape(3, 4), n_reports=9
+        )
+        restored = RoundAccumulator.from_state(
+            json.loads(json.dumps(accumulator.to_state()))
+        )
+        assert restored.n_reports == 9
+        assert restored.counts.dtype == np.int64
+        assert np.array_equal(restored.counts, accumulator.counts)
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        payload = {"engine": {"stage": "expand"}, "seen_batches": ["a", "b"]}
+        path = store.save(payload)
+        assert path.exists()
+        assert not (path.parent / (store.FILENAME + ".tmp")).exists()
+        loaded = store.load()
+        assert loaded["engine"] == payload["engine"]
+        assert loaded["seen_batches"] == ["a", "b"]
+
+    def test_missing_checkpoint_is_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load() is None
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"x": 1})
+        store.path.write_text("{truncated", encoding="utf-8")
+        with pytest.raises(WireFormatError):
+            store.load()
+
+    def test_version_mismatch_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        store.path.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(WireFormatError):
+            store.load()
+
+    def test_overwrite_keeps_latest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"round": 1})
+        store.save({"round": 2})
+        assert store.load()["round"] == 2

@@ -1,0 +1,305 @@
+"""Hostile-input hardening of the wire formats.
+
+Once batches arrive over a socket, ``ReportBatch.from_bytes`` is an attack
+surface: every malformed frame must raise a clear
+:class:`~repro.exceptions.WireFormatError` (a :class:`ReproError`), never a
+raw ``KeyError`` / ``TypeError`` / numpy internal error.  The property-style
+tests below feed truncated, mutated, duplicated, and wrong-domain payloads.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DomainError, ReproError, WireFormatError
+from repro.server.wire import (
+    batch_from_wire,
+    batch_to_wire,
+    check_batch_id,
+    decode_message,
+    encode_message,
+)
+from repro.service.plan import (
+    GROUP_EXPAND,
+    GROUP_LENGTH,
+    GROUP_REFINE,
+    GROUP_SUBSHAPE,
+    KIND_EXPAND,
+    KIND_LENGTH,
+    KIND_REFINE,
+    KIND_SUBSHAPE,
+    RoundSpec,
+)
+from repro.service.reports import ReportBatch
+
+
+def _length_batch(n: int = 40) -> ReportBatch:
+    return ReportBatch(
+        round_index=0,
+        kind="length",
+        user_ids=np.arange(n, dtype=np.int64),
+        payload=np.arange(n, dtype=np.int32) % 7,
+    )
+
+
+def _refine_batch(n: int = 32, cells: int = 13) -> ReportBatch:
+    rng = np.random.default_rng(0)
+    return ReportBatch(
+        round_index=3,
+        kind="refine",
+        user_ids=np.arange(n, dtype=np.int64),
+        payload=(rng.random((n, cells)) < 0.3).astype(np.uint8),
+    )
+
+
+def _spec(kind: str, **overrides) -> RoundSpec:
+    defaults = dict(
+        index=0,
+        key=12345,
+        epsilon=2.0,
+        metric="sed",
+        alphabet=("a", "b", "c", "d"),
+    )
+    defaults.update(overrides)
+    return RoundSpec(kind=kind, **defaults)
+
+
+class TestFrameHardening:
+    @pytest.mark.parametrize("make", [_length_batch, _refine_batch])
+    def test_every_truncation_raises_wire_format_error(self, make):
+        """No prefix of a valid frame may crash or silently half-parse."""
+        wire = make().to_bytes()
+        step = max(len(wire) // 97, 1)  # cover all regions without O(n^2) cost
+        for cut in range(0, len(wire), step):
+            with pytest.raises(WireFormatError):
+                ReportBatch.from_bytes(wire[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        wire = _length_batch().to_bytes()
+        with pytest.raises(WireFormatError):
+            ReportBatch.from_bytes(wire + b"\x00")
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(min_size=0, max_size=300))
+    def test_random_bytes_never_leak_internal_errors(self, blob):
+        try:
+            ReportBatch.from_bytes(blob)
+        except WireFormatError:
+            pass  # the only acceptable failure mode
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=190), st.integers(min_value=0, max_value=255))
+    def test_single_byte_corruption_is_contained(self, position, value):
+        """Flipping any byte either round-trips harmlessly or raises cleanly."""
+        wire = bytearray(_length_batch().to_bytes())
+        position %= len(wire)
+        wire[position] = value
+        try:
+            restored = ReportBatch.from_bytes(bytes(wire))
+        except WireFormatError:
+            return
+        assert restored.kind in ("length", "subshape", "expand", "refine", "refine_labeled")
+        assert len(restored) == restored.payload.shape[0]
+
+    def _mutated(self, **header_overrides) -> bytes:
+        """A valid frame with its JSON header fields overwritten."""
+        wire = _length_batch().to_bytes()
+        header_size = int.from_bytes(wire[:4], "big")
+        header = json.loads(wire[4 : 4 + header_size])
+        header.update(header_overrides)
+        new_header = json.dumps(header, separators=(",", ":")).encode()
+        return len(new_header).to_bytes(4, "big") + new_header + wire[4 + header_size :]
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"kind": "not-a-round"},
+            {"kind": 7},
+            {"round_index": -1},
+            {"round_index": "zero"},
+            {"round_index": True},
+            {"n": -3},
+            {"n": 2**40},
+            {"n": "40"},
+            {"payload_dtype": "<f8"},
+            {"payload_dtype": "O"},
+            {"payload_dtype": ["<i4"]},
+            {"payload_shape": [40, 1, 1]},
+            {"payload_shape": [39]},
+            {"payload_shape": [-40]},
+            {"payload_shape": "40"},
+            {"bit_columns": 5},
+            {"bit_columns": "8"},
+        ],
+    )
+    def test_header_type_confusion_rejected(self, overrides):
+        with pytest.raises(WireFormatError):
+            ReportBatch.from_bytes(self._mutated(**overrides))
+
+    def test_missing_header_fields_rejected(self):
+        wire = _length_batch().to_bytes()
+        header_size = int.from_bytes(wire[:4], "big")
+        header = json.loads(wire[4 : 4 + header_size])
+        for field in list(header):
+            partial = {k: v for k, v in header.items() if k != field}
+            encoded = json.dumps(partial, separators=(",", ":")).encode()
+            frame = len(encoded).to_bytes(4, "big") + encoded + wire[4 + header_size :]
+            with pytest.raises(WireFormatError):
+                ReportBatch.from_bytes(frame)
+
+    def test_subshape_column_count_enforced(self):
+        """A 1-column 'subshape' frame must die in from_bytes, not later as an
+        IndexError inside domain validation."""
+        # The base frame has 40 int32 values (160 payload bytes); declaring
+        # them as a (40, 1) subshape matrix keeps every structural check
+        # (n, frame length) satisfied — only the column contract can catch it.
+        frame = self._mutated(kind="subshape", payload_shape=[40, 1])
+        with pytest.raises(WireFormatError):
+            ReportBatch.from_bytes(frame)
+        # And validate_against itself rejects malformed local batches cleanly.
+        spec = _spec(KIND_SUBSHAPE, group=GROUP_SUBSHAPE, est_length=4)
+        narrow = ReportBatch(
+            round_index=0, kind="subshape", user_ids=np.arange(2),
+            payload=np.zeros((2, 1), dtype=np.int32),
+        )
+        with pytest.raises(DomainError):
+            narrow.validate_against(spec)
+
+    def test_overflowing_shape_product_rejected(self):
+        """payload_shape [40, 2**61 + 1] wraps to a count of exactly 40 under
+        int64 arithmetic (40·(2**61+1) ≡ 40 mod 2**64), which would sneak past
+        a numpy-based length equation; exact integer accounting rejects it."""
+        frame = self._mutated(payload_shape=[40, 2**61 + 1])
+        with pytest.raises(WireFormatError):
+            ReportBatch.from_bytes(frame)
+
+    def test_header_must_be_json_object(self):
+        body = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(WireFormatError):
+            ReportBatch.from_bytes(len(body).to_bytes(4, "big") + body)
+
+    def test_implausible_header_size_rejected(self):
+        with pytest.raises(WireFormatError):
+            ReportBatch.from_bytes((1 << 20).to_bytes(4, "big") + b"{}" * 10)
+
+    def test_refine_bit_packing_round_trips_through_base64(self):
+        batch = _refine_batch()
+        restored = batch_from_wire(batch_to_wire(batch))
+        assert np.array_equal(restored.payload, batch.payload)
+        assert np.array_equal(restored.user_ids, batch.user_ids)
+
+
+class TestValidateAgainst:
+    def test_length_domain(self):
+        spec = _spec(KIND_LENGTH, group=GROUP_LENGTH, length_low=1, length_high=7)
+        good = _length_batch()  # values 0..6 within the 7-value clipped domain
+        good.validate_against(spec)
+        bad = ReportBatch(
+            round_index=0,
+            kind="length",
+            user_ids=np.arange(4),
+            payload=np.array([0, 1, 7, 2], dtype=np.int32),
+        )
+        with pytest.raises(DomainError):
+            bad.validate_against(spec)
+
+    def test_subshape_domain(self):
+        spec = _spec(KIND_SUBSHAPE, group=GROUP_SUBSHAPE, est_length=4)
+        good = ReportBatch(
+            round_index=0,
+            kind="subshape",
+            user_ids=np.arange(3),
+            payload=np.array([[1, 0], [3, 11], [2, 5]], dtype=np.int32),
+        )
+        good.validate_against(spec)
+        for payload in ([[0, 0]], [[4, 0]], [[1, 12]], [[1, -1]]):
+            bad = ReportBatch(
+                round_index=0,
+                kind="subshape",
+                user_ids=np.arange(1),
+                payload=np.array(payload, dtype=np.int32),
+            )
+            with pytest.raises(DomainError):
+                bad.validate_against(spec)
+
+    def test_expand_domain(self):
+        spec = _spec(
+            KIND_EXPAND,
+            group=GROUP_EXPAND,
+            level=0,
+            est_length=2,
+            candidates=(("a",), ("b",), ("c",)),
+        )
+        ReportBatch(
+            round_index=0, kind="expand", user_ids=np.arange(3),
+            payload=np.array([0, 1, 2], dtype=np.int32),
+        ).validate_against(spec)
+        with pytest.raises(DomainError):
+            ReportBatch(
+                round_index=0, kind="expand", user_ids=np.arange(1),
+                payload=np.array([3], dtype=np.int32),
+            ).validate_against(spec)
+
+    def test_refine_cells_and_bits(self):
+        spec = _spec(KIND_REFINE, group=GROUP_REFINE, candidates=(("a",), ("b",)))
+        ReportBatch(
+            round_index=0, kind="refine", user_ids=np.arange(2),
+            payload=np.array([[0, 1], [1, 1]], dtype=np.uint8),
+        ).validate_against(spec)
+        with pytest.raises(DomainError):  # wrong cell count
+            ReportBatch(
+                round_index=0, kind="refine", user_ids=np.arange(2),
+                payload=np.zeros((2, 3), dtype=np.uint8),
+            ).validate_against(spec)
+        with pytest.raises(DomainError):  # non-bit values corrupt the counts
+            ReportBatch(
+                round_index=0, kind="refine", user_ids=np.arange(1),
+                payload=np.array([[7, 0]], dtype=np.uint8),
+            ).validate_against(spec)
+
+    def test_duplicated_and_negative_user_ids_rejected(self):
+        spec = _spec(KIND_LENGTH, group=GROUP_LENGTH, length_low=1, length_high=6)
+        with pytest.raises(DomainError):
+            ReportBatch(
+                round_index=0, kind="length",
+                user_ids=np.array([5, 5], dtype=np.int64),
+                payload=np.zeros(2, dtype=np.int32),
+            ).validate_against(spec)
+        with pytest.raises(DomainError):
+            ReportBatch(
+                round_index=0, kind="length",
+                user_ids=np.array([-1], dtype=np.int64),
+                payload=np.zeros(1, dtype=np.int32),
+            ).validate_against(spec)
+
+    def test_empty_batch_is_valid(self):
+        spec = _spec(KIND_LENGTH, group=GROUP_LENGTH, length_low=1, length_high=6)
+        ReportBatch(
+            round_index=0, kind="length",
+            user_ids=np.empty(0, dtype=np.int64),
+            payload=np.empty(0, dtype=np.int32),
+        ).validate_against(spec)
+
+
+class TestMessageFraming:
+    def test_message_round_trip(self):
+        payload = {"op": "report", "batch_id": "r0:u0:100", "data": "QUJD"}
+        assert decode_message(encode_message(payload).strip()) == payload
+
+    @pytest.mark.parametrize("line", [b"", b"[1,2]", b'"text"', b"\xff\xfe", b"{bad json"])
+    def test_malformed_messages_rejected(self, line):
+        with pytest.raises(WireFormatError):
+            decode_message(line)
+
+    @pytest.mark.parametrize("data", [None, 7, "not base64!!", "QQ="])
+    def test_malformed_report_data_rejected(self, data):
+        with pytest.raises(ReproError):
+            batch_from_wire(data)
+
+    @pytest.mark.parametrize("batch_id", [None, "", 12, "x" * 1000])
+    def test_bad_batch_ids_rejected(self, batch_id):
+        with pytest.raises(WireFormatError):
+            check_batch_id(batch_id)

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 
 
@@ -11,6 +12,13 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        """``repro --version`` prints the single-sourced package version."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
 
     def test_extract_defaults(self):
         args = build_parser().parse_args(["extract"])
@@ -200,3 +208,54 @@ class TestJsonOutput:
         assert payload["throughput"]["reports_per_second"] > 0
         assert len(payload["throughput"]["rounds"]) >= 3
         assert payload["shapes"]
+
+
+class TestServeAndLoadgen:
+    def test_loadgen_against_gateway_matches_simulate(self, capsys):
+        """``repro loadgen`` against a served gateway reproduces exactly what
+        ``repro simulate`` computes in-process from the same seed/flags."""
+        from repro.cli import _serving_spec
+        from repro.server import CollectionGateway, serve_in_thread
+
+        simulate_exit = main(
+            ["simulate", "--users", "8000", "--batch-size", "2048", "--epsilon", "6",
+             "--seed", "7", "--json"]
+        )
+        assert simulate_exit == 0
+        simulate_payload = json.loads(capsys.readouterr().out)
+
+        args = build_parser().parse_args(
+            ["serve", "--epsilon", "6", "--seed", "7"]
+        )
+        gateway = CollectionGateway(_serving_spec(args), rng=7, n_shards=2)
+        with serve_in_thread(gateway) as handle:
+            exit_code = main(
+                ["loadgen", "--host", handle.host, "--port", str(handle.port),
+                 "--users", "8000", "--batch-size", "2048", "--seed", "7", "--json"]
+            )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "loadgen"
+        assert payload["total_reports"] == 8000
+        assert payload["result"]["shapes"] == [
+            entry["shape"] for entry in simulate_payload["shapes"]
+        ]
+        assert payload["result"]["frequencies"] == [
+            entry["estimated_count"] for entry in simulate_payload["shapes"]
+        ]
+
+    def test_loadgen_unreachable_gateway_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="load generation failed"):
+            main(["loadgen", "--port", "1", "--users", "100"])
+
+    def test_serve_resume_without_checkpoint_dir_rejected(self):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["serve", "--resume"])
+
+    def test_serve_rejects_unresolved_spec(self, tmp_path):
+        from repro import ExperimentSpec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(ExperimentSpec(mechanism="privshape").to_json())
+        with pytest.raises(SystemExit, match="unresolved"):
+            main(["serve", "--spec", str(spec_path)])
