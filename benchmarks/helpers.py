@@ -25,12 +25,14 @@ from __future__ import annotations
 import json
 import os
 import re
+import subprocess
 from functools import lru_cache
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+import repro
 from repro.datasets import symbols_like, trace_like
 
 #: Directory where every reproduced table is also written as a text file, so
@@ -102,6 +104,38 @@ def _fmt(cell) -> str:
     return str(cell)
 
 
+@lru_cache(maxsize=1)
+def git_commit() -> str | None:
+    """The current commit hash (``-dirty`` if uncommitted changes exist).
+
+    The suffix matters: benchmark numbers produced from a modified work tree
+    must not be attributed to the clean commit whose code did not run them.
+    Returns None outside a work tree.
+    """
+    cwd = Path(__file__).resolve().parent
+
+    def _git(*argv: str) -> str | None:
+        try:
+            completed = subprocess.run(
+                ["git", *argv], capture_output=True, text=True, timeout=10,
+                cwd=cwd,
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        if completed.returncode != 0:
+            return None
+        return completed.stdout
+
+    head = (_git("rev-parse", "HEAD") or "").strip()
+    if not head:
+        return None
+    # The suite rewrites tracked files under benchmarks/results/ while it
+    # runs; exclude them or every run on a pristine commit reads as dirty.
+    status = _git("status", "--porcelain", "--", ":!results")
+    dirty = status is None or bool(status.strip())
+    return head + ("-dirty" if dirty else "")
+
+
 def record_benchmark(
     name: str,
     *,
@@ -109,14 +143,16 @@ def record_benchmark(
     value: float,
     units: str,
     seed: int | None = None,
+    backend: str = "inline",
     extra: dict[str, Any] | None = None,
 ) -> Path:
     """Persist one machine-readable benchmark result next to the ``.txt`` tables.
 
     Every performance benchmark writes a ``BENCH_<name>.json`` document under
-    ``benchmarks/results/`` with one headline metric plus context, so the
-    perf trajectory across commits can be tracked by tooling instead of by
-    eyeballing captured stdout.
+    ``benchmarks/results/`` with one headline metric plus context — including
+    the package version, the git commit, and the execution backend that
+    produced the number — so the perf trajectory across commits is
+    attributable by tooling instead of by eyeballing captured stdout.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     slug = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
@@ -126,8 +162,11 @@ def record_benchmark(
         "value": float(value),
         "units": units,
         "seed": seed,
+        "backend": backend,
         "bench_users": bench_users(),
         "bench_trials": bench_trials(),
+        "repro_version": repro.__version__,
+        "git_commit": git_commit(),
     }
     if extra:
         payload.update(extra)

@@ -68,6 +68,7 @@ def test_gateway_socket_throughput(benchmark):
         value=stats.reports_per_second,
         units="reports/sec",
         seed=0,
+        backend="gateway",
         extra={
             "users": N_USERS,
             "shards": N_SHARDS,

@@ -98,6 +98,7 @@ def test_batch_perturbation_speedup(benchmark):
             value=prf,
             units="reports/sec",
             seed=0,
+            backend="inline",
             extra={"scalar_reports_per_sec": scalar, "batch_reports_per_sec": batch},
         )
         assert batch > 3.0 * scalar, f"{mechanism}: batch path should be >3x the scalar loop"
@@ -142,6 +143,7 @@ def test_streaming_driver_throughput(benchmark):
         value=stats.reports_per_second,
         units="reports/sec",
         seed=0,
+        backend="inline",
         extra={"users": n_users, "shards": 4, "batch_size": 32768},
     )
     assert stats.total_reports == n_users

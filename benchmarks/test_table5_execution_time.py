@@ -81,6 +81,7 @@ def test_table5_execution_time(benchmark):
             value=seconds,
             units="seconds",
             seed=51,
+            backend="inline",
         )
 
     # PatternLDP pays for per-point perturbation + downstream model fitting and

@@ -75,6 +75,16 @@ def main() -> None:
     )
     print(f"\ncustom registered mechanism 'pem-wide': ARI = {result.ari:+.3f}")
 
+    # --------------------------------------------- unified execution artifact
+    # Every task result converts to the structured RunResult artifact, and
+    # spec.run() is the one-liner execution path (see
+    # examples/unified_execution.py for the full backend tour).
+    artifact = result.to_run_result(seed=2)
+    replayed_artifact = type(artifact).from_json(artifact.to_json())
+    assert replayed_artifact.metrics["ari"] == artifact.metrics["ari"]
+    print(f"RunResult artifact round-trips through JSON "
+          f"({len(artifact.to_json())} bytes) ✔")
+
 
 if __name__ == "__main__":
     main()

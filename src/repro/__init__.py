@@ -15,8 +15,13 @@ True
 
 Specs round-trip through JSON (``spec.to_json()`` / ``ExperimentSpec.from_json``)
 and are consumed identically by the offline pipelines, ``repro.cli``, and the
-federated collection service (:class:`ProtocolDriver`).  Lower-level use —
-building a mechanism directly — goes through the registries:
+federated collection service (:class:`ProtocolDriver`).  Execution is unified
+behind ``spec.run(data, backend=...)``: the ``inline``, ``sharded``,
+``gateway``, and ``subprocess`` backends all return the same structured
+:class:`RunResult` artifact, byte-identical under one master seed, and
+:class:`SweepSpec` expands eps/mechanism/dataset/SAX grids over any backend.
+Lower-level use — building a mechanism directly — goes through the
+registries:
 
 >>> from repro import mechanism_registry, make_frequency_oracle
 >>> sorted(mechanism_registry.names())[:2]
@@ -45,17 +50,25 @@ from repro.core.privshape import PrivShape
 from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResult
 from repro.api import (
     CollectionSpec,
+    DataSpec,
     ExperimentSpec,
     PrivacySpec,
+    RunResult,
     SAXSpec,
+    SweepResult,
+    SweepSpec,
+    available_executors,
     available_mechanisms,
     available_oracles,
+    executor_registry,
     make_frequency_oracle,
     mechanism_registry,
     oracle_registry,
     oracle_variances,
+    register_executor,
     register_mechanism,
     register_oracle,
+    run_spec,
     select_frequency_oracle,
 )
 from repro.baselines.patternldp import PatternLDP, PIDPerturbation
@@ -89,7 +102,7 @@ from repro.server import (
     serve_in_thread,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Legacy config classes served via module __getattr__ with a deprecation
 #: warning; ExperimentSpec is the composable replacement.
@@ -107,6 +120,14 @@ __all__ = [
     "PrivacySpec",
     "SAXSpec",
     "CollectionSpec",
+    "DataSpec",
+    "RunResult",
+    "SweepSpec",
+    "SweepResult",
+    "run_spec",
+    "executor_registry",
+    "register_executor",
+    "available_executors",
     "mechanism_registry",
     "register_mechanism",
     "available_mechanisms",

@@ -1,6 +1,7 @@
-"""The experiment API: registries and composable specs.
+"""The experiment API: registries, composable specs, and unified execution.
 
-This package is the one way to *describe* and *dispatch* an experiment:
+This package is the one way to *describe*, *dispatch*, and *execute* an
+experiment:
 
 * :mod:`repro.api.spec` — :class:`PrivacySpec` / :class:`SAXSpec` /
   :class:`CollectionSpec` composed into a serializable
@@ -11,13 +12,22 @@ This package is the one way to *describe* and *dispatch* an experiment:
   (``privshape``, ``baseline``, ``patternldp``, ``pem``, ``pid``, plus
   anything you register);
 * :mod:`repro.api.oracles` — the frequency-oracle registry with analytic
-  ``oracle="auto"`` selection from the closed-form variances.
+  ``oracle="auto"`` selection from the closed-form variances;
+* :mod:`repro.api.executors` — the execution-backend registry behind
+  :meth:`ExperimentSpec.run` (``inline``, ``sharded``, ``gateway``,
+  ``subprocess``), all byte-identical under one master seed;
+* :mod:`repro.api.data` / :mod:`repro.api.sweep` — serializable population
+  descriptions and grid sweeps over eps/mechanism/dataset/SAX axes;
+* :mod:`repro.api.results` — the structured :class:`RunResult` /
+  :class:`SweepResult` artifacts every execution path returns.
 
->>> from repro.api import ExperimentSpec, PrivacySpec, mechanism_registry
+>>> from repro.api import DataSpec, ExperimentSpec, PrivacySpec
 >>> spec = ExperimentSpec(mechanism="pem", privacy=PrivacySpec(epsilon=2.0))
 >>> spec == ExperimentSpec.from_json(spec.to_json())
 True
->>> "pem" in mechanism_registry
+>>> result = ExperimentSpec().run(DataSpec(n_users=1500), seed=0)
+>>> result.shapes == ExperimentSpec().run(
+...     DataSpec(n_users=1500), backend="inline", seed=0).shapes
 True
 """
 
@@ -50,6 +60,18 @@ from repro.api.spec import (
     as_baseline_config,
     as_privshape_config,
 )
+from repro.api.data import DataSpec
+from repro.api.results import RunResult
+from repro.api.executors import (
+    ExecutionRequest,
+    Executor,
+    ExecutorEntry,
+    available_executors,
+    executor_registry,
+    register_executor,
+    run_spec,
+)
+from repro.api.sweep import SweepResult, SweepSpec
 
 __all__ = [
     "Registry",
@@ -57,6 +79,17 @@ __all__ = [
     "PrivacySpec",
     "SAXSpec",
     "CollectionSpec",
+    "DataSpec",
+    "RunResult",
+    "SweepSpec",
+    "SweepResult",
+    "run_spec",
+    "executor_registry",
+    "register_executor",
+    "available_executors",
+    "Executor",
+    "ExecutorEntry",
+    "ExecutionRequest",
     "as_privshape_config",
     "as_baseline_config",
     "mechanism_registry",

@@ -1,0 +1,263 @@
+"""Serializable population descriptions for the unified execution API.
+
+A :class:`DataSpec` describes *what population a run collects from* in plain
+data, the same way an :class:`~repro.api.spec.ExperimentSpec` describes the
+mechanism.  That makes the data axis of an experiment storable, sweepable
+(:class:`~repro.api.sweep.SweepSpec` grids), and shippable to another process
+(the ``subprocess`` executor re-materializes the identical population from
+the JSON form).
+
+Two families of sources exist:
+
+* labelled datasets (``symbols`` / ``trace`` / ``waves`` generators, or a
+  ``ucr`` file) — symbolized through the spec's SAX transformer before
+  collection, and usable for the cluster/classify evaluation tasks;
+* the ``synthetic`` template stream — the constant-memory, PRF-keyed
+  :class:`~repro.service.population.SyntheticShapeStream` used for
+  population-scale collection runs (``repro run`` / ``repro simulate`` /
+  the load generator all build exactly this population from the same knobs).
+
+:meth:`DataSpec.realize` turns the description into a concrete population
+plus the *resolved* spec (dataset-derived ``top_k`` / ``length_high`` filled
+in).  Resolution happens once, before any executor is chosen, so every
+backend collects under the identical concrete spec — a precondition of the
+byte-equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import ConfigurationError
+
+#: Known population sources.
+SOURCE_SYNTHETIC = "synthetic"
+LABELED_SOURCES = ("symbols", "trace", "waves", "ucr")
+SOURCES = (SOURCE_SYNTHETIC,) + LABELED_SOURCES
+
+
+def length_percentile(lengths, fraction: float = 0.9) -> int:
+    """The clip-range upper bound from a population's sequence lengths.
+
+    The order statistic at ``fraction`` (not an interpolating percentile) —
+    exactly what the original ``repro extract`` computed, so the deprecated
+    shim stays byte-identical on variable-length data too.
+    """
+    ordered = sorted(int(n) for n in lengths)
+    if not ordered:
+        return 2
+    return max(2, ordered[int(fraction * (len(ordered) - 1))])
+
+
+@dataclass
+class RealizedData:
+    """A data spec made concrete for one run."""
+
+    population: Any
+    spec: ExperimentSpec
+    meta: dict[str, Any] = field(default_factory=dict)
+    dataset: Any = None
+    sequences: list | None = None
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """One serializable description of a collection population."""
+
+    source: str = SOURCE_SYNTHETIC
+    n_users: int = 10_000
+    seed: int = 0
+    #: synthetic stream: template pool shape.
+    n_templates: int = 6
+    template_length: int = 5
+    length_jitter: float = 0.2
+    #: ``waves`` generator: raw series length.
+    wave_length: int = 400
+    #: ``ucr``: path of the UCR-format file.
+    path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ConfigurationError(
+                f"unknown data source {self.source!r}; expected one of {SOURCES}"
+            )
+        if self.source == "ucr":
+            if not self.path:
+                raise ConfigurationError("source 'ucr' requires a file path")
+        elif self.n_users <= 0:
+            raise ConfigurationError(
+                f"n_users must be positive, got {self.n_users}"
+            )
+
+    @property
+    def labeled(self) -> bool:
+        """Whether this source carries class labels (evaluation tasks need them)."""
+        return self.source in LABELED_SOURCES
+
+    @property
+    def name(self) -> str:
+        """Short display name of the population."""
+        if self.source == "ucr":
+            return f"ucr:{self.path}"
+        return self.source
+
+    # ------------------------------------------------------------ realization
+
+    def build_dataset(self):
+        """The labelled :class:`~repro.datasets.LabeledDataset` this spec names."""
+        # Imported lazily: repro.api is loaded mid-way through repro.core's
+        # import cycle, before repro.datasets is guaranteed to be on hand.
+        from repro.datasets import (
+            load_ucr_tsv,
+            symbols_like,
+            trace_like,
+            trigonometric_waves,
+        )
+
+        if self.source == "ucr":
+            return load_ucr_tsv(self.path)
+        if self.source == "symbols":
+            return symbols_like(n_instances=self.n_users, rng=self.seed)
+        if self.source == "trace":
+            return trace_like(n_instances=self.n_users, rng=self.seed)
+        if self.source == "waves":
+            return trigonometric_waves(
+                n_instances=self.n_users, length=self.wave_length, rng=self.seed
+            )
+        raise ConfigurationError(
+            f"source {self.source!r} is a raw population stream, not a "
+            "labelled dataset; use realize() / build_population()"
+        )
+
+    def build_population(self, spec: ExperimentSpec):
+        """The population source plus its metadata for ``spec``'s alphabet."""
+        from repro.service.population import SyntheticShapeStream, default_templates
+
+        if self.source == SOURCE_SYNTHETIC:
+            alphabet = tuple(spec.sax.alphabet)
+            templates = default_templates(
+                alphabet,
+                n_templates=self.n_templates,
+                length=self.template_length,
+                rng=self.seed,
+            )
+            # Geometric-ish popularity profile: the top templates are the
+            # ground truth the extraction should recover (same profile the
+            # CLI's simulate/loadgen population has always used).
+            weights = [1.0 / (rank + 1) for rank in range(len(templates))]
+            population = SyntheticShapeStream(
+                n_users=self.n_users,
+                alphabet=alphabet,
+                templates=tuple(templates),
+                weights=tuple(weights),
+                seed=self.seed,
+                length_jitter=self.length_jitter,
+            )
+            meta = {
+                "templates": ["".join(t) for t in templates],
+                "dataset": self.name,
+                "n_users": self.n_users,
+            }
+            return population, meta, None, None
+
+        from repro.service.population import EncodedPopulation
+
+        dataset = self.build_dataset()
+        transformer = spec.sax.build_transformer()
+        sequences = transformer.transform_dataset(dataset.series)
+        population = EncodedPopulation.from_sequences(sequences, spec.sax.alphabet)
+        meta = {
+            "n_classes": int(dataset.n_classes),
+            "dataset": dataset.name,
+            "n_users": len(dataset),
+        }
+        return population, meta, dataset, sequences
+
+    def realize(
+        self, spec: ExperimentSpec, cache: dict | None = None
+    ) -> RealizedData:
+        """Concrete population + resolved spec (top_k / length_high filled in).
+
+        ``cache`` (a plain dict owned by the caller, e.g. one sweep run)
+        memoizes the expensive part — dataset generation and SAX encoding —
+        keyed by ``(self, spec.sax)``; the cheap per-spec resolution is
+        re-applied every call, so grid points sharing a population but
+        varying epsilon/mechanism realize the data only once.
+        """
+        key = (self, spec.sax)
+        built = None if cache is None else cache.get(key)
+        if built is None:
+            population, meta, dataset, sequences = self.build_population(spec)
+            if self.source == SOURCE_SYNTHETIC:
+                # min(3, actual pool size): small alphabets can yield fewer
+                # distinct templates than requested.
+                top_k = min(3, len(meta["templates"]))
+                length_high = self.template_length
+            else:
+                top_k = dataset.n_classes
+                length_high = length_percentile([len(s) for s in sequences])
+            built = (population, meta, dataset, sequences, top_k, length_high)
+            if cache is not None:
+                cache[key] = built
+        population, meta, dataset, sequences, top_k, length_high = built
+        return RealizedData(
+            population=population,
+            spec=spec.resolve(top_k=top_k, length_high=length_high),
+            meta=meta,
+            dataset=dataset,
+            sequences=sequences,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Echo form stamped into a :class:`~repro.api.results.RunResult`.
+
+        Unlike :meth:`to_dict`, only the fields that actually shaped this
+        population appear — a ``ucr`` echo carries no synthetic-stream knobs,
+        so the stored artifact's provenance never claims defaults that were
+        never read.
+        """
+        payload: dict[str, Any] = {"source": self.source, "name": self.name}
+        if self.source == "ucr":
+            payload["path"] = self.path
+            return payload
+        payload["n_users"] = self.n_users
+        payload["seed"] = self.seed
+        if self.source == SOURCE_SYNTHETIC:
+            payload["n_templates"] = self.n_templates
+            payload["template_length"] = self.template_length
+            payload["length_jitter"] = self.length_jitter
+        elif self.source == "waves":
+            payload["wave_length"] = self.wave_length
+        return payload
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict[str, Any]:
+        """Loss-free plain-data form (JSON-serializable)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DataSpec":
+        """Rebuild a data spec from :meth:`to_dict` output."""
+        data = dict(payload)
+        data.pop("name", None)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown DataSpec fields: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """The data spec as one JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, document: str) -> "DataSpec":
+        """Rebuild a data spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(document))

@@ -1,0 +1,248 @@
+"""Structured, provenance-stamped run artifacts.
+
+Every execution surface used to hand back its own shape of data: the offline
+pipelines returned dataclasses, the CLI assembled per-command payload dicts,
+the streaming driver exposed ``DriverStats``, and the gateway published a
+third JSON layout over the wire.  Comparing two runs therefore meant knowing
+which door the run came through.
+
+:class:`RunResult` is the one artifact every executor returns and every
+consumer (CLI ``--json``, benchmarks, examples, the sweep harness) reads:
+
+* ``estimates`` — the extracted shapes with their estimated counts (plus the
+  class label for labelled runs), ordered by decreasing frequency;
+* ``rounds`` — per-round accounting (kind, level, report counts, timings) in
+  one normalized key set, whichever backend produced them;
+* ``timings`` / ``metrics`` — throughput and task-quality numbers;
+* ``spec`` / ``data`` / ``backend_info`` — the full provenance: the exact
+  resolved :class:`~repro.api.spec.ExperimentSpec`, the dataset description,
+  and the backend that ran it, stamped with the package version.
+
+Artifacts round-trip losslessly through JSON (``to_json``/``from_json``;
+Python float repr round-trips exactly, so estimate equality survives the
+trip), and :meth:`RunResult.fingerprint` projects out the deterministic part
+— the fields that must be byte-identical across backends under one master
+seed — which is what the executor-equivalence tests and the CI sweep-smoke
+diff compare.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import DataShapeError
+
+#: Format tag embedded in every serialized artifact.
+RUN_RESULT_FORMAT = "repro.run_result/v1"
+SWEEP_RESULT_FORMAT = "repro.sweep_result/v1"
+
+#: The tasks a spec can be executed as.
+TASK_EXTRACT = "extract"
+TASK_CLUSTER = "cluster"
+TASK_CLASSIFY = "classify"
+TASKS = (TASK_EXTRACT, TASK_CLUSTER, TASK_CLASSIFY)
+
+#: Canonical key set of one per-round accounting record.  Whatever backend a
+#: run went through (driver "participants", loadgen "reports", gateway
+#: status), its rounds are normalized to exactly these keys.
+ROUND_KEYS = ("round", "kind", "level", "reports", "elapsed_seconds",
+              "reports_per_second")
+
+
+def package_version() -> str:
+    """The installed ``repro`` version (resolved lazily to avoid a cycle)."""
+    import repro
+
+    return str(getattr(repro, "__version__", "unknown"))
+
+
+def normalize_round(record: Mapping[str, Any]) -> dict[str, Any]:
+    """One per-round record in the canonical :data:`ROUND_KEYS` form.
+
+    Accepts the historical spellings (``participants`` from ``DriverStats``,
+    ``reports`` from ``LoadgenStats``) and returns a plain dict with every
+    canonical key present.
+    """
+    reports = record.get("reports", record.get("participants", 0))
+    elapsed = float(record.get("elapsed_seconds", 0.0))
+    rate = record.get("reports_per_second")
+    if rate is None:
+        rate = (float(reports) / elapsed) if elapsed > 0 else 0.0
+    return {
+        "round": int(record.get("round", record.get("index", 0))),
+        "kind": str(record.get("kind", "")),
+        "level": int(record.get("level", -1)),
+        "reports": int(reports),
+        "elapsed_seconds": elapsed,
+        "reports_per_second": float(rate),
+    }
+
+
+def estimates_from_extraction(result) -> list[dict[str, Any]]:
+    """Estimate records from a :class:`~repro.core.results.ShapeExtractionResult`."""
+    return [
+        {"shape": "".join(shape), "estimated_count": float(count)}
+        for shape, count in zip(result.shapes, result.frequencies)
+    ]
+
+
+def estimates_from_labeled(result) -> list[dict[str, Any]]:
+    """Estimate records from a labelled extraction, class label included."""
+    records: list[dict[str, Any]] = []
+    for label in sorted(result.shapes_by_class):
+        shapes = result.shapes_by_class[label]
+        counts = result.frequencies_by_class.get(label, [])
+        for position, shape in enumerate(shapes):
+            count = counts[position] if position < len(counts) else 0.0
+            records.append(
+                {
+                    "shape": "".join(shape),
+                    "estimated_count": float(count),
+                    "label": int(label),
+                }
+            )
+    return records
+
+
+def accounting_payload(accountant) -> dict[str, Any]:
+    """The canonical accounting section from a :class:`PrivacyAccountant`."""
+    return {
+        "per_population": {
+            name: float(total) for name, total in accountant.per_population().items()
+        },
+        "user_level_epsilon": float(accountant.user_level_epsilon()),
+        "within_budget": bool(accountant.is_valid()),
+    }
+
+
+@dataclass
+class RunResult:
+    """One executed spec: estimates, accounting, timings, and provenance."""
+
+    task: str
+    spec: ExperimentSpec
+    backend: str = "inline"
+    seed: int | None = None
+    estimates: list[dict[str, Any]] = field(default_factory=list)
+    estimated_length: int | None = None
+    metrics: dict[str, float] = field(default_factory=dict)
+    accounting: dict[str, Any] = field(default_factory=dict)
+    rounds: list[dict[str, Any]] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+    backend_info: dict[str, Any] = field(default_factory=dict)
+    data: dict[str, Any] = field(default_factory=dict)
+    details: dict[str, Any] = field(default_factory=dict)
+    repro_version: str = field(default_factory=package_version)
+
+    def __post_init__(self) -> None:
+        if self.task not in TASKS:
+            raise DataShapeError(
+                f"task must be one of {TASKS}, got {self.task!r}"
+            )
+        self.rounds = [normalize_round(record) for record in self.rounds]
+
+    # ------------------------------------------------------------ convenience
+
+    @property
+    def shapes(self) -> list[str]:
+        """The extracted shapes as strings, most frequent first."""
+        return [entry["shape"] for entry in self.estimates]
+
+    @property
+    def frequencies(self) -> list[float]:
+        """The estimated count of each extracted shape (NaN where unknown)."""
+        return [
+            float("nan") if entry.get("estimated_count") is None
+            else float(entry["estimated_count"])
+            for entry in self.estimates
+        ]
+
+    def shapes_by_class(self) -> dict[int, list[str]]:
+        """Labelled runs: extracted shapes grouped by class label."""
+        grouped: dict[int, list[str]] = {}
+        for entry in self.estimates:
+            if "label" in entry:
+                grouped.setdefault(int(entry["label"]), []).append(entry["shape"])
+        return grouped
+
+    def fingerprint(self) -> dict[str, Any]:
+        """The deterministic projection of this run.
+
+        Two runs of the same resolved spec on the same data under the same
+        master seed must have equal fingerprints no matter which backend
+        executed them; timings, backend metadata, and version stamps are
+        excluded by construction.
+        """
+        return {
+            "task": self.task,
+            "spec": self.spec.to_dict(),
+            "data": dict(self.data),
+            "seed": self.seed,
+            "estimates": [dict(entry) for entry in self.estimates],
+            "estimated_length": self.estimated_length,
+            "accounting": dict(self.accounting),
+        }
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict[str, Any]:
+        """Loss-free plain-data form (JSON-serializable)."""
+        return {
+            "format": RUN_RESULT_FORMAT,
+            "task": self.task,
+            "spec": self.spec.to_dict(),
+            "backend": self.backend,
+            "seed": self.seed,
+            "estimates": [dict(entry) for entry in self.estimates],
+            "estimated_length": self.estimated_length,
+            "metrics": dict(self.metrics),
+            "accounting": dict(self.accounting),
+            "rounds": [dict(record) for record in self.rounds],
+            "timings": dict(self.timings),
+            "backend_info": dict(self.backend_info),
+            "data": dict(self.data),
+            "details": dict(self.details),
+            "repro_version": self.repro_version,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
+        """Rebuild an artifact from :meth:`to_dict` output.
+
+        Unknown keys (e.g. the CLI's ``command`` envelope) are ignored, so a
+        ``repro run --json`` document parses directly.
+        """
+        data = dict(payload)
+        declared = data.get("format", RUN_RESULT_FORMAT)
+        if declared != RUN_RESULT_FORMAT:
+            raise DataShapeError(
+                f"expected a {RUN_RESULT_FORMAT} document, got {declared!r}"
+            )
+        return cls(
+            task=str(data.get("task", TASK_EXTRACT)),
+            spec=ExperimentSpec.from_dict(data.get("spec", {})),
+            backend=str(data.get("backend", "inline")),
+            seed=data.get("seed"),
+            estimates=[dict(entry) for entry in data.get("estimates", [])],
+            estimated_length=data.get("estimated_length"),
+            metrics=dict(data.get("metrics", {})),
+            accounting=dict(data.get("accounting", {})),
+            rounds=[dict(record) for record in data.get("rounds", [])],
+            timings=dict(data.get("timings", {})),
+            backend_info=dict(data.get("backend_info", {})),
+            data=dict(data.get("data", {})),
+            details=dict(data.get("details", {})),
+            repro_version=str(data.get("repro_version", "unknown")),
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """The artifact as one JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, document: str) -> "RunResult":
+        """Rebuild an artifact from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(document))

@@ -262,6 +262,41 @@ class ExperimentSpec:
                 "resolve() with dataset-derived defaults first"
             )
 
+    # --------------------------------------------------------------- execution
+
+    def run(
+        self,
+        data,
+        *,
+        backend: str = "inline",
+        task: str = "extract",
+        seed: int | None = None,
+        **options: Any,
+    ):
+        """Execute this spec on ``data`` with a registered backend.
+
+        The single way to launch work: ``data`` is a
+        :class:`~repro.api.data.DataSpec`, a labelled dataset, a population
+        source, or a plain sequence list; ``backend`` names an entry of
+        :data:`~repro.api.executors.executor_registry` (``inline``,
+        ``sharded``, ``gateway``, ``subprocess``, or anything registered).
+        Returns a :class:`~repro.api.results.RunResult`; under one master
+        ``seed`` every backend returns byte-identical estimates.
+
+        >>> from repro.api import DataSpec, ExperimentSpec
+        >>> spec = ExperimentSpec(mechanism="privshape")
+        >>> result = spec.run(DataSpec(source="synthetic", n_users=2000), seed=7)
+        >>> result.backend
+        'inline'
+        """
+        # Imported lazily: executors pull the service/server stacks, which
+        # must not load during the core <-> api import cycle.
+        from repro.api.executors import run_spec
+
+        return run_spec(
+            self, data, backend=backend, task=task, seed=seed, **options
+        )
+
     def to_privshape_config(self) -> PrivShapeConfig:
         """The engine-facing :class:`PrivShapeConfig` this spec describes."""
         self._require_concrete()

@@ -1,0 +1,337 @@
+"""Grid sweeps: one spec template expanded over experiment axes.
+
+The paper's evaluation is a grid — mechanisms × datasets × privacy budgets ×
+SAX parameters (Tables IV/V, Figures 15–17) — and before this module each
+cell of that grid was a hand-written loop somewhere (the CLI's epsilon sweep,
+per-figure benchmark files, ad-hoc scripts).  A :class:`SweepSpec` makes the
+grid itself a serializable object:
+
+* a ``base`` :class:`~repro.api.spec.ExperimentSpec` provides every knob the
+  grid does not vary;
+* the axes (``epsilons``, ``mechanisms``, ``alphabet_sizes``,
+  ``segment_lengths``, ``datasets``) expand as a cartesian product in a
+  fixed, deterministic order;
+* :meth:`SweepSpec.run` executes every point through the executor registry —
+  any backend, optionally fanned out over a thread pool (``parallel=N``; the
+  ``gateway`` and ``subprocess`` backends genuinely overlap) — and returns a
+  :class:`SweepResult` holding one :class:`~repro.api.results.RunResult` per
+  point.
+
+Like the run artifact, a sweep artifact round-trips through JSON, and
+:meth:`SweepResult.fingerprint` projects out the deterministic part so two
+sweeps of the same grid on different backends can be diffed byte for byte
+(the CI ``sweep-smoke`` job does exactly that for ``inline`` vs
+``gateway``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api.data import DataSpec
+from repro.api.results import (
+    SWEEP_RESULT_FORMAT,
+    TASK_EXTRACT,
+    TASKS,
+    RunResult,
+    package_version,
+)
+from repro.api.spec import ExperimentSpec, PrivacySpec
+from repro.exceptions import ConfigurationError, DataShapeError
+
+#: Axis expansion order (also the nesting order of the cartesian product):
+#: datasets vary slowest, epsilons fastest.
+AXIS_ORDER = ("dataset", "mechanism", "alphabet_size", "segment_length", "epsilon")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A serializable grid of experiment points over one base spec."""
+
+    base: ExperimentSpec = field(default_factory=ExperimentSpec)
+    task: str = TASK_EXTRACT
+    epsilons: tuple[float, ...] = ()
+    mechanisms: tuple[str, ...] = ()
+    alphabet_sizes: tuple[int, ...] = ()
+    segment_lengths: tuple[int, ...] = ()
+    datasets: tuple[DataSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.task not in TASKS:
+            raise ConfigurationError(
+                f"task must be one of {TASKS}, got {self.task!r}"
+            )
+        object.__setattr__(
+            self, "epsilons", tuple(float(e) for e in self.epsilons)
+        )
+        object.__setattr__(
+            self, "mechanisms", tuple(str(m).lower() for m in self.mechanisms)
+        )
+        object.__setattr__(
+            self, "alphabet_sizes", tuple(int(t) for t in self.alphabet_sizes)
+        )
+        object.__setattr__(
+            self, "segment_lengths", tuple(int(w) for w in self.segment_lengths)
+        )
+        datasets = tuple(
+            d if isinstance(d, DataSpec) else DataSpec.from_dict(d)
+            for d in self.datasets
+        )
+        object.__setattr__(self, "datasets", datasets)
+
+    # -------------------------------------------------------------- expansion
+
+    def axes(self) -> dict[str, tuple]:
+        """The non-empty axes, keyed by their singular point name."""
+        every = {
+            "dataset": self.datasets,
+            "mechanism": self.mechanisms,
+            "alphabet_size": self.alphabet_sizes,
+            "segment_length": self.segment_lengths,
+            "epsilon": self.epsilons,
+        }
+        return {name: values for name, values in every.items() if values}
+
+    def points(self) -> list[dict[str, Any]]:
+        """Every grid point as a dict of axis assignments (base run if empty)."""
+        axes = self.axes()
+        if not axes:
+            return [{}]
+        names = [name for name in AXIS_ORDER if name in axes]
+        return [
+            dict(zip(names, combination))
+            for combination in itertools.product(*(axes[name] for name in names))
+        ]
+
+    def spec_for(self, point: Mapping[str, Any]) -> ExperimentSpec:
+        """The concrete :class:`ExperimentSpec` of one grid point."""
+        spec = self.base
+        if "mechanism" in point:
+            spec = dataclasses.replace(spec, mechanism=str(point["mechanism"]))
+        if "epsilon" in point:
+            spec = dataclasses.replace(
+                spec, privacy=PrivacySpec(epsilon=float(point["epsilon"]))
+            )
+        sax_updates: dict[str, Any] = {}
+        if "alphabet_size" in point:
+            sax_updates["alphabet_size"] = int(point["alphabet_size"])
+        if "segment_length" in point:
+            sax_updates["segment_length"] = int(point["segment_length"])
+        if sax_updates:
+            spec = dataclasses.replace(
+                spec, sax=dataclasses.replace(spec.sax, **sax_updates)
+            )
+        return spec
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+    # -------------------------------------------------------------- execution
+
+    def run(
+        self,
+        data=None,
+        *,
+        backend: str = "inline",
+        seed: int | None = None,
+        parallel: int = 1,
+        **options: Any,
+    ) -> "SweepResult":
+        """Execute every grid point → :class:`SweepResult`.
+
+        ``data`` is the population every point collects from, unless the
+        sweep has a ``datasets`` axis (then each point brings its own).  The
+        same master ``seed`` is used at every point, so two sweeps of one
+        grid on different backends are comparable point by point.
+        ``parallel`` fans points out over a thread pool; results keep grid
+        order regardless.
+        """
+        from repro.api.executors import run_spec
+
+        points = self.points()
+        jobs = []
+        for point in points:
+            point_data = point.get("dataset", data)
+            if point_data is None:
+                raise ConfigurationError(
+                    "sweep has no datasets axis and no data was passed to run()"
+                )
+            jobs.append((self.spec_for(point), point_data))
+
+        # One realization cache for the whole sweep: grid points that share a
+        # DataSpec + SAX parameters (e.g. an epsilon axis) generate and
+        # encode the population once, not once per point.  Benign under
+        # parallel fan-out: concurrent misses recompute the same value.
+        realize_cache: dict = {}
+
+        def run_one(job) -> RunResult:
+            spec, point_data = job
+            return run_spec(
+                spec, point_data, backend=backend, task=self.task, seed=seed,
+                cache=realize_cache, **options,
+            )
+
+        if parallel > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=int(parallel)) as pool:
+                runs = list(pool.map(run_one, jobs))
+        else:
+            runs = [run_one(job) for job in jobs]
+        return SweepResult(
+            sweep=self, backend=backend, seed=seed, runs=runs,
+            parallel=int(parallel),
+        )
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict[str, Any]:
+        """Loss-free plain-data form (JSON-serializable)."""
+        return {
+            "base": self.base.to_dict(),
+            "task": self.task,
+            "epsilons": list(self.epsilons),
+            "mechanisms": list(self.mechanisms),
+            "alphabet_sizes": list(self.alphabet_sizes),
+            "segment_lengths": list(self.segment_lengths),
+            "datasets": [d.to_dict() for d in self.datasets],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        """Rebuild a sweep spec from :meth:`to_dict` output.
+
+        Unknown keys raise: a typo'd axis name (``epsilon`` for
+        ``epsilons``) in a ``--sweep-spec`` file must not silently run a
+        different grid.
+        """
+        data = dict(payload)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SweepSpec fields: {sorted(unknown)}"
+            )
+        return cls(
+            base=ExperimentSpec.from_dict(data.get("base", {})),
+            task=str(data.get("task", TASK_EXTRACT)),
+            epsilons=tuple(data.get("epsilons", ())),
+            mechanisms=tuple(data.get("mechanisms", ())),
+            alphabet_sizes=tuple(data.get("alphabet_sizes", ())),
+            segment_lengths=tuple(data.get("segment_lengths", ())),
+            datasets=tuple(
+                DataSpec.from_dict(d) for d in data.get("datasets", ())
+            ),
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """The sweep spec as one JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, document: str) -> "SweepSpec":
+        """Rebuild a sweep spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(document))
+
+
+def _point_payload(point: Mapping[str, Any]) -> dict[str, Any]:
+    """One grid point in JSON-serializable form."""
+    return {
+        name: (value.to_dict() if isinstance(value, DataSpec) else value)
+        for name, value in point.items()
+    }
+
+
+@dataclass
+class SweepResult:
+    """Every grid point's :class:`RunResult`, plus the sweep's provenance."""
+
+    sweep: SweepSpec
+    backend: str = "inline"
+    seed: int | None = None
+    runs: list[RunResult] = field(default_factory=list)
+    parallel: int = 1
+    repro_version: str = field(default_factory=package_version)
+
+    @property
+    def points(self) -> list[dict[str, Any]]:
+        """The grid points, aligned with :attr:`runs`."""
+        return self.sweep.points()
+
+    def fingerprint(self) -> dict[str, Any]:
+        """The deterministic projection of the whole sweep.
+
+        Equal for two sweeps of the same grid under the same master seed, no
+        matter which backend (or parallelism) executed them.
+        """
+        return {
+            "sweep": self.sweep.to_dict(),
+            "seed": self.seed,
+            "runs": [run.fingerprint() for run in self.runs],
+        }
+
+    def table(self) -> tuple[list[str], list[list[Any]]]:
+        """A printable (headers, rows) view: one row per grid point."""
+        axis_names = [
+            name for name in AXIS_ORDER if name in self.sweep.axes()
+        ]
+        metric_names = sorted(
+            {name for run in self.runs for name in run.metrics}
+        )
+        headers = axis_names + ["shapes"] + metric_names
+        rows: list[list[Any]] = []
+        for point, run in zip(self.points, self.runs):
+            cells: list[Any] = []
+            for name in axis_names:
+                value = point[name]
+                cells.append(value.name if isinstance(value, DataSpec) else value)
+            cells.append(",".join(run.shapes))
+            cells.extend(run.metrics.get(name, float("nan")) for name in metric_names)
+            rows.append(cells)
+        return headers, rows
+
+    # ---------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict[str, Any]:
+        """Loss-free plain-data form (JSON-serializable)."""
+        return {
+            "format": SWEEP_RESULT_FORMAT,
+            "sweep": self.sweep.to_dict(),
+            "backend": self.backend,
+            "seed": self.seed,
+            "parallel": self.parallel,
+            "points": [_point_payload(point) for point in self.points],
+            "runs": [run.to_dict() for run in self.runs],
+            "repro_version": self.repro_version,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepResult":
+        """Rebuild a sweep artifact from :meth:`to_dict` output."""
+        data = dict(payload)
+        declared = data.get("format", SWEEP_RESULT_FORMAT)
+        if declared != SWEEP_RESULT_FORMAT:
+            raise DataShapeError(
+                f"expected a {SWEEP_RESULT_FORMAT} document, got {declared!r}"
+            )
+        return cls(
+            sweep=SweepSpec.from_dict(data.get("sweep", {})),
+            backend=str(data.get("backend", "inline")),
+            seed=data.get("seed"),
+            runs=[RunResult.from_dict(run) for run in data.get("runs", [])],
+            parallel=int(data.get("parallel", 1)),
+            repro_version=str(data.get("repro_version", "unknown")),
+        )
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """The sweep artifact as one JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True, **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, document: str) -> "SweepResult":
+        """Rebuild a sweep artifact from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(document))

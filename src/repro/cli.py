@@ -1,100 +1,109 @@
 """Command-line interface for the PrivShape reproduction.
 
-Seven sub-commands mirror the library's main entry points:
+The canonical execution surface is ``repro run`` — one spec, one population,
+one ``--backend`` — and ``repro sweep`` for grids:
 
-* ``extract``   — run PrivShape (or the baseline) on a dataset and print the
-  top-k frequent shapes with their estimated counts and the privacy audit;
-* ``cluster``   — run the paper's clustering-task evaluation for one mechanism;
-* ``classify``  — run the paper's classification-task evaluation;
-* ``sweep``     — sweep the privacy budget for one task and print the curve;
-* ``simulate``  — stream a large synthetic population through the round-based
-  collection service in constant memory and report throughput;
+* ``run``       — execute one experiment spec on a chosen backend
+  (``inline`` / ``sharded`` / ``gateway`` / ``subprocess``) and print the
+  structured :class:`~repro.api.results.RunResult` artifact;
+* ``sweep``     — expand a :class:`~repro.api.sweep.SweepSpec` grid
+  (epsilons × mechanisms × SAX parameters × datasets) on any backend, with
+  optional ``--parallel`` fan-out, and print the
+  :class:`~repro.api.sweep.SweepResult`;
+* ``cluster``   — the paper's clustering-task evaluation for one mechanism;
+* ``classify``  — the paper's classification-task evaluation;
 * ``serve``     — run the network-facing collection gateway (NDJSON over TCP
   + HTTP ``/status`` / ``/result``), with optional durable checkpoints and
   ``--resume`` crash recovery;
 * ``loadgen``   — hammer a running gateway with the synthetic population over
   the socket, optionally from multiple worker processes.
 
-Datasets are either one of the built-in synthetic generators
-(``symbols``, ``trace``, ``waves``) or a UCR-format file passed with
-``--ucr-file``.  Every sub-command accepts ``--json`` for machine-readable
-output (one JSON document on stdout).
+Two legacy sub-commands remain as deprecated shims over the same path:
+``extract`` (= ``run --task extract``) and ``simulate``
+(= ``run --dataset synthetic``); they keep their flags and emit a
+``DeprecationWarning``.
 
-Mechanisms are dispatched through the registry in
-:mod:`repro.api.mechanisms`, so ``--mechanism`` accepts every registered
-name (``privshape``, ``baseline``, ``patternldp``, ``pem``, ``pid``, ...).
-Alternatively, ``--spec experiment.json`` loads a serialized
-:class:`~repro.api.spec.ExperimentSpec` and overrides the per-flag
-mechanism/privacy/SAX parameters.
+Datasets are the built-in generators (``symbols``, ``trace``, ``waves``),
+the constant-memory ``synthetic`` template stream, or a UCR-format file
+passed with ``--ucr-file``.  Every sub-command accepts ``--json`` for
+machine-readable output; run/cluster/classify/extract print one
+:class:`RunResult` document (estimates, per-round accounting, timings,
+backend metadata, spec echo) with normalized key names across sub-commands.
 
 Examples
 --------
 ::
 
-    python -m repro.cli extract --dataset symbols --users 10000 --epsilon 4
+    python -m repro.cli run --dataset trace --users 10000 --epsilon 4
+    python -m repro.cli run --dataset synthetic --users 200000 --backend gateway --shards 4
+    python -m repro.cli sweep --task extract --dataset synthetic --epsilons 1 2 4 --backend inline
     python -m repro.cli classify --dataset trace --mechanism privshape --epsilon 2
-    python -m repro.cli sweep --task classify --dataset trace --epsilons 0.5 1 2 4
     python -m repro.cli cluster --ucr-file Symbols_TRAIN.tsv --epsilon 4 --alphabet-size 6
-    python -m repro.cli simulate --users 1000000 --batch-size 65536 --shards 4 --json
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
-import dataclasses
 import json
 import os
 import sys
+import warnings
 from pathlib import Path
 from typing import Any, Sequence
 
 from repro import __version__
 from repro.api import (
-    KIND_EXTRACTION,
     CollectionSpec,
+    DataSpec,
     ExperimentSpec,
     PrivacySpec,
+    RunResult,
     SAXSpec,
+    SweepSpec,
+    available_executors,
     available_mechanisms,
-    mechanism_registry,
 )
-from repro.core.pipeline import run_classification_task, run_clustering_task
+from repro.api.sweep import AXIS_ORDER
 from repro.exceptions import ReproError
-from repro.datasets import (
-    LabeledDataset,
-    load_ucr_tsv,
-    symbols_like,
-    trace_like,
-    trigonometric_waves,
-)
-from repro.sax.breakpoints import symbol_alphabet
 from repro.server import CollectionGateway, GatewayClient, run_loadgen
-from repro.service import ProtocolDriver, SyntheticShapeStream, default_templates
+
+#: Dataset sources selectable with --dataset (DataSpec sources).
+DATASET_CHOICES = ("trace", "symbols", "waves", "synthetic")
 
 
-def _build_dataset(args: argparse.Namespace) -> LabeledDataset:
-    """Resolve the dataset requested on the command line."""
-    if args.ucr_file:
-        return load_ucr_tsv(args.ucr_file)
-    if args.dataset == "symbols":
-        return symbols_like(n_instances=args.users, rng=args.seed)
-    if args.dataset == "trace":
-        return trace_like(n_instances=args.users, rng=args.seed)
-    if args.dataset == "waves":
-        return trigonometric_waves(n_instances=args.users, length=args.wave_length, rng=args.seed)
-    raise SystemExit(f"unknown dataset {args.dataset!r}")
+#: One-shot guard: main() must not grow warnings.filters on every call when
+#: embedded (tests, programmatic drivers invoke it repeatedly).
+_deprecations_visible = False
 
 
-def _default_sax(args: argparse.Namespace) -> tuple[int, int]:
-    """Dataset-appropriate SAX defaults when the user did not override them."""
-    alphabet_size = args.alphabet_size
-    segment_length = args.segment_length
-    if alphabet_size is None:
-        alphabet_size = 6 if args.dataset == "symbols" and not args.ucr_file else 4
-    if segment_length is None:
-        segment_length = 25 if args.dataset == "symbols" and not args.ucr_file else 10
-    return alphabet_size, segment_length
+def _ensure_deprecations_visible() -> None:
+    """Show this CLI's DeprecationWarnings regardless of the entry point.
+
+    Python's default filters only display DeprecationWarning raised from
+    ``__main__``, which would hide the extract/simulate notices when the CLI
+    runs through the installed ``repro`` console script (module
+    ``repro.cli``).  Installed once per process, and never when the user
+    configured warnings explicitly (``-W`` / ``PYTHONWARNINGS``) — e.g.
+    ``-W error::DeprecationWarning`` must stay fatal.
+    """
+    global _deprecations_visible
+    if not _deprecations_visible and not sys.warnoptions:
+        warnings.filterwarnings(
+            "default", category=DeprecationWarning,
+            module=r"(repro\.cli|__main__)$",
+        )
+    _deprecations_visible = True
+
+
+def _deprecated(old: str, new: str) -> None:
+    """Emit one DeprecationWarning for a legacy CLI surface (kept working)."""
+    warnings.warn(
+        f"`repro {old}` is deprecated; use `repro {new}` instead "
+        "(same results, structured RunResult output)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _emit(args: argparse.Namespace, payload: dict[str, Any], text: str) -> None:
@@ -105,47 +114,36 @@ def _emit(args: argparse.Namespace, payload: dict[str, Any], text: str) -> None:
         print(text)
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--dataset", choices=("symbols", "trace", "waves"), default="trace",
-                        help="built-in synthetic dataset (default: trace)")
-    parser.add_argument("--ucr-file", default=None,
-                        help="path to a UCR-format file; overrides --dataset")
-    parser.add_argument("--users", type=int, default=10000,
-                        help="number of users for the synthetic datasets")
-    parser.add_argument("--wave-length", type=int, default=400,
-                        help="series length for the 'waves' dataset")
-    parser.add_argument("--epsilon", type=float, default=4.0, help="user-level privacy budget")
-    parser.add_argument("--mechanism", choices=available_mechanisms(),
-                        default="privshape",
-                        help="registered mechanism name (see repro.api.mechanisms)")
-    parser.add_argument("--spec", default=None, metavar="FILE",
-                        help="path to a serialized ExperimentSpec JSON document; "
-                             "replaces --mechanism, --epsilon, --alphabet-size, "
-                             "--segment-length, --metric and --top-k entirely "
-                             "(dataset/evaluation/seed flags still apply)")
-    parser.add_argument("--alphabet-size", type=int, default=None, help="SAX symbol size t")
-    parser.add_argument("--segment-length", type=int, default=None, help="SAX segment length w")
-    parser.add_argument("--metric", default=None,
-                        help="distance metric (dtw / sed / euclidean); task-appropriate default")
-    parser.add_argument("--top-k", type=int, default=None,
-                        help="number of shapes to extract (default: number of classes)")
-    parser.add_argument("--evaluation-size", type=int, default=500,
-                        help="number of held-out series scored for ARI / accuracy")
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
-    parser.add_argument("--json", action="store_true",
-                        help="print one machine-readable JSON document instead of prose")
+def _load_json_file(path: str, kind: str, parse) -> Any:
+    """Load and parse one JSON document file with CLI-grade errors."""
+    try:
+        return parse(Path(path).read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read {kind} file {path!r}: {exc}") from exc
+    except (json.JSONDecodeError, ReproError, TypeError, ValueError) as exc:
+        # Malformed JSON, unknown fields (TypeError), or invalid values
+        # (library ConfigurationError and friends).
+        raise SystemExit(f"invalid {kind} file {path!r}: {exc}") from exc
 
 
 def _load_spec(path: str) -> ExperimentSpec:
     """Load a serialized :class:`ExperimentSpec` from a JSON file."""
-    try:
-        return ExperimentSpec.from_json(Path(path).read_text())
-    except OSError as exc:
-        raise SystemExit(f"cannot read spec file {path!r}: {exc}") from exc
-    except (json.JSONDecodeError, ReproError, TypeError, ValueError) as exc:
-        # Malformed JSON, unknown fields (TypeError), or invalid values
-        # (library ConfigurationError and friends).
-        raise SystemExit(f"invalid spec file {path!r}: {exc}") from exc
+    return _load_json_file(path, "spec", ExperimentSpec.from_json)
+
+
+# --------------------------------------------------------------- spec building
+
+
+def _default_sax(args: argparse.Namespace) -> tuple[int, int]:
+    """Dataset-appropriate SAX defaults when the user did not override them."""
+    alphabet_size = args.alphabet_size
+    segment_length = args.segment_length
+    symbols = args.dataset == "symbols" and not args.ucr_file
+    if alphabet_size is None:
+        alphabet_size = 6 if symbols else 4
+    if segment_length is None:
+        segment_length = 25 if symbols else 10
+    return alphabet_size, segment_length
 
 
 def _spec_from_args(args: argparse.Namespace, default_metric: str) -> ExperimentSpec:
@@ -164,196 +162,291 @@ def _spec_from_args(args: argparse.Namespace, default_metric: str) -> Experiment
     )
 
 
-def _command_extract(args: argparse.Namespace) -> int:
-    dataset = _build_dataset(args)
-    spec = _spec_from_args(args, default_metric="dtw")
-    entry = mechanism_registry.get(spec.mechanism)
-    if entry.kind != KIND_EXTRACTION:
-        raise SystemExit(
-            f"mechanism {spec.mechanism!r} perturbs raw series instead of extracting "
-            f"shapes; use the cluster/classify sub-commands "
-            f"(extraction mechanisms: {available_mechanisms(KIND_EXTRACTION)})"
+def _data_from_args(
+    args: argparse.Namespace, source: str | None = None
+) -> DataSpec:
+    """The population description requested on the command line.
+
+    ``source`` overrides ``--dataset`` (the sweep's ``--datasets`` axis
+    builds one DataSpec per named source from the same remaining flags).
+    """
+    if source is None:
+        if getattr(args, "data_spec", None):
+            return _load_json_file(args.data_spec, "data spec", DataSpec.from_json)
+        if args.ucr_file:
+            return DataSpec(source="ucr", path=args.ucr_file)
+        source = args.dataset
+    return DataSpec(
+        source=source,
+        n_users=args.users,
+        seed=args.seed,
+        n_templates=getattr(args, "templates", 6),
+        template_length=getattr(args, "template_length", 5),
+        length_jitter=getattr(args, "length_jitter", 0.2),
+        wave_length=getattr(args, "wave_length", 400),
+    )
+
+
+def _default_metric(data: DataSpec, task: str) -> str:
+    """The task/data-appropriate distance metric default."""
+    if data.source == "synthetic" or task == "classify":
+        return "sed"
+    return "dtw"
+
+
+def _backend_options(args: argparse.Namespace, task: str) -> dict[str, Any]:
+    """Backend options actually set on the command line, scoped to the task.
+
+    ``evaluation_size`` only reaches the evaluation tasks and the collection
+    knobs only reach extract runs, so an inert flag raises in `run_spec`
+    instead of being forwarded and silently ignored.
+    """
+    options: dict[str, Any] = {}
+    if task in ("cluster", "classify"):
+        if getattr(args, "evaluation_size", None) is not None:
+            options["evaluation_size"] = args.evaluation_size
+        return options
+    for name in ("batch_size", "shards", "workers", "queue_depth",
+                 "mp_context"):
+        value = getattr(args, name, None)
+        if value is not None:
+            options[name] = value
+    if getattr(args, "serialize", False):
+        options["serialize"] = True
+    return options
+
+
+# ---------------------------------------------------------------- emitting
+
+
+def _dataset_and_users(result: RunResult) -> tuple[Any, Any]:
+    """The display (dataset name, user count) of one run, wherever stamped."""
+    dataset = result.details.get(
+        "dataset", result.data.get("name", result.data.get("source"))
+    )
+    users = result.details.get("n_users", result.data.get("n_users"))
+    return dataset, users
+
+
+def _run_payload(command: str, result: RunResult) -> dict[str, Any]:
+    """One normalized ``--json`` document for a finished run.
+
+    The document is the :class:`RunResult` serialization itself, plus a few
+    flattened convenience keys every sub-command spells identically
+    (``epsilon`` — never ``eps`` —, ``mechanism``, ``dataset``, ``users``,
+    lowercase ``ari`` / ``accuracy``).
+    """
+    payload = {"command": command, **result.to_dict()}
+    payload["mechanism"] = result.spec.mechanism
+    payload["epsilon"] = float(result.spec.privacy.epsilon)
+    payload["dataset"], payload["users"] = _dataset_and_users(result)
+    payload["shapes"] = [dict(entry) for entry in result.estimates]
+    if result.estimated_length is not None:
+        payload["estimated_length"] = result.estimated_length
+    for metric in ("ari", "accuracy", "elapsed_seconds"):
+        if metric in result.metrics:
+            payload[metric] = float(result.metrics[metric])
+    grouped = result.shapes_by_class()
+    if grouped:
+        payload["shapes_by_class"] = {
+            str(label): shapes for label, shapes in sorted(grouped.items())
+        }
+    return payload
+
+
+def _accounting_lines(result: RunResult) -> list[str]:
+    accounting = result.accounting
+    if not accounting:
+        return []
+    lines = []
+    per_population = accounting.get("per_population", {})
+    if per_population:
+        lines.append(
+            "population budgets: "
+            + ", ".join(f"{name}={value:g}" for name, value in per_population.items())
         )
-    transformer = spec.sax.build_transformer()
-    sequences = transformer.transform_dataset(dataset.series)
+    if "user_level_epsilon" in accounting:
+        verdict = "within budget" if accounting.get("within_budget") else "OVER BUDGET"
+        lines.append(
+            f"effective user-level epsilon {accounting['user_level_epsilon']:g} "
+            f"({verdict})"
+        )
+    return lines
 
-    lengths = sorted(len(s) for s in sequences)
-    length_high = max(2, lengths[int(0.9 * (len(lengths) - 1))])
-    resolved = spec.resolve(top_k=dataset.n_classes, length_high=length_high)
-    extractor = entry.build(resolved)
-    result = extractor.extract(sequences, rng=args.seed)
 
-    payload = {
-        "command": "extract",
-        "dataset": dataset.name,
-        "users": len(dataset),
-        "mechanism": spec.mechanism,
-        "epsilon": spec.privacy.epsilon,
-        "estimated_length": result.estimated_length,
-        "shapes": [
-            {"shape": shape, "estimated_count": float(frequency)}
-            for shape, frequency in zip(result.as_strings(), result.frequencies)
-        ],
-        "accounting": {
-            "per_population": {
-                name: float(total)
-                for name, total in result.accountant.per_population().items()
-            },
-            "user_level_epsilon": float(result.accountant.user_level_epsilon()),
-            "within_budget": result.accountant.is_valid(),
-        },
-    }
+def _run_text(result: RunResult) -> str:
+    """Human-readable rendering of one RunResult."""
+    dataset, users = _dataset_and_users(result)
     lines = [
-        f"dataset: {dataset.name} ({len(dataset)} users)",
-        f"mechanism: {spec.mechanism}, epsilon = {spec.privacy.epsilon}",
-        f"estimated frequent length: {result.estimated_length}",
-        "top shapes:",
+        f"task: {result.task}  backend: {result.backend}",
+        f"dataset: {dataset or '?'} ({users if users is not None else '?'} users)",
+        f"mechanism: {result.spec.mechanism}, "
+        f"epsilon = {result.spec.privacy.epsilon}",
     ]
-    for shape, frequency in zip(result.as_strings(), result.frequencies):
-        lines.append(f"  {shape:<16} estimated count {frequency:10.1f}")
-    lines.append("")
-    lines.append(result.accountant.summary())
-    _emit(args, payload, "\n".join(lines))
+    for metric in ("ari", "accuracy"):
+        if metric in result.metrics:
+            lines.append(f"{metric.upper() if metric == 'ari' else metric} = "
+                         f"{result.metrics[metric]:.3f}")
+    if "elapsed_seconds" in result.metrics:
+        lines.append(f"elapsed = {result.metrics['elapsed_seconds']:.2f}s")
+    if result.estimated_length is not None:
+        lines.append(f"estimated frequent length: {result.estimated_length}")
+    grouped = result.shapes_by_class()
+    if grouped:
+        lines.append("per-class shapes:")
+        for label, shapes in sorted(grouped.items()):
+            lines.append(f"  class {label}: {', '.join(shapes) if shapes else '-'}")
+    elif result.estimates:
+        lines.append("top shapes:")
+        for entry in result.estimates:
+            count = entry.get("estimated_count")
+            suffix = "" if count is None else f" estimated count {count:12.1f}"
+            lines.append(f"  {entry['shape']:<16}{suffix}")
+    truth = result.details.get("ground_truth_shapes")
+    if truth:
+        lines.append(f"ground truth: {', '.join(truth)}")
+    if result.timings.get("total_reports"):
+        lines.append(
+            f"total: {result.timings['total_reports']} reports in "
+            f"{result.timings.get('total_seconds', 0.0):.2f}s "
+            f"= {result.timings.get('reports_per_second', 0.0):,.0f} reports/sec"
+        )
+    lines.extend(_accounting_lines(result))
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------- sub-commands
+
+
+def _execute(args: argparse.Namespace, task: str, backend: str) -> RunResult:
+    """Shared spec-building + execution path of run/extract/cluster/classify."""
+    data = _data_from_args(args)
+    spec = _spec_from_args(args, _default_metric(data, task))
+    try:
+        return spec.run(
+            data, backend=backend, task=task, seed=args.seed,
+            **_backend_options(args, task),
+        )
+    except ReproError as exc:
+        raise SystemExit(f"run failed: {exc}") from exc
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    result = _execute(args, task=args.task, backend=args.backend)
+    _emit(args, _run_payload("run", result), _run_text(result))
+    return 0
+
+
+def _command_extract(args: argparse.Namespace) -> int:
+    _deprecated("extract", "run --task extract")
+    result = _execute(args, task="extract", backend="inline")
+    _emit(args, _run_payload("extract", result), _run_text(result))
     return 0
 
 
 def _command_cluster(args: argparse.Namespace) -> int:
-    dataset = _build_dataset(args)
-    spec = _spec_from_args(args, default_metric="dtw")
-    result = run_clustering_task(
-        dataset,
-        spec=spec,
-        evaluation_size=args.evaluation_size,
-        rng=args.seed,
-    )
-    payload = {
-        "command": "cluster",
-        "dataset": dataset.name,
-        "users": len(dataset),
-        "mechanism": result.mechanism,
-        "epsilon": float(result.epsilon),
-        "ari": float(result.ari),
-        "elapsed_seconds": float(result.elapsed_seconds),
-        "shapes": list(result.shapes),
-        "ground_truth_shapes": list(result.ground_truth_shapes),
-        "shape_measures": {k: float(v) for k, v in result.shape_measures.items()},
-    }
-    text = "\n".join(
-        [
-            f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {result.mechanism}",
-            f"epsilon = {result.epsilon}  ARI = {result.ari:.3f}  "
-            f"elapsed = {result.elapsed_seconds:.2f}s",
-            f"extracted shapes: {', '.join(result.shapes)}",
-            f"ground truth:     {', '.join(result.ground_truth_shapes)}",
-            "shape distances to ground truth: "
-            + ", ".join(f"{k}={v:.2f}" for k, v in result.shape_measures.items()),
-        ]
-    )
-    _emit(args, payload, text)
+    result = _execute(args, task="cluster", backend="inline")
+    _emit(args, _run_payload("cluster", result), _run_text(result))
     return 0
 
 
 def _command_classify(args: argparse.Namespace) -> int:
-    dataset = _build_dataset(args)
-    spec = _spec_from_args(args, default_metric="sed")
-    result = run_classification_task(
-        dataset,
-        spec=spec,
-        evaluation_size=args.evaluation_size,
-        rng=args.seed,
-    )
-    payload = {
-        "command": "classify",
-        "dataset": dataset.name,
-        "users": len(dataset),
-        "mechanism": result.mechanism,
-        "epsilon": float(result.epsilon),
-        "accuracy": float(result.accuracy),
-        "elapsed_seconds": float(result.elapsed_seconds),
-        "shapes_by_class": {
-            str(label): list(shapes)
-            for label, shapes in sorted(result.shapes_by_class.items())
-        },
-        "ground_truth_shapes": list(result.ground_truth_shapes),
-    }
-    lines = [
-        f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {result.mechanism}",
-        f"epsilon = {result.epsilon}  accuracy = {result.accuracy:.3f}  "
-        f"elapsed = {result.elapsed_seconds:.2f}s",
-        "per-class shapes:",
-    ]
-    for label, shapes in sorted(result.shapes_by_class.items()):
-        lines.append(f"  class {label}: {', '.join(shapes) if shapes else '-'}")
-    lines.append(f"ground truth: {', '.join(result.ground_truth_shapes)}")
-    _emit(args, payload, "\n".join(lines))
+    result = _execute(args, task="classify", backend="inline")
+    _emit(args, _run_payload("classify", result), _run_text(result))
     return 0
+
+
+# ---------------------------------------------------------------------- sweep
+
+
+def _sweep_from_args(args: argparse.Namespace) -> tuple[SweepSpec, DataSpec | None]:
+    """The sweep grid requested on the command line (file or flags)."""
+    if args.sweep_spec:
+        sweep = _load_json_file(args.sweep_spec, "sweep spec", SweepSpec.from_json)
+        return sweep, None if sweep.datasets else _data_from_args(args)
+    data = _data_from_args(args)
+    base = _spec_from_args(args, _default_metric(data, args.task))
+    datasets: tuple[DataSpec, ...] = ()
+    if args.datasets:
+        datasets = tuple(
+            _data_from_args(args, source=source) for source in args.datasets
+        )
+    sweep = SweepSpec(
+        base=base,
+        task=args.task,
+        epsilons=tuple(args.epsilons or ()),
+        mechanisms=tuple(args.mechanisms or ()),
+        alphabet_sizes=tuple(args.alphabet_sizes or ()),
+        segment_lengths=tuple(args.segment_lengths or ()),
+        datasets=datasets,
+    )
+    return sweep, None if datasets else data
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    dataset = _build_dataset(args)
-    base_spec = _spec_from_args(
-        args, default_metric="dtw" if args.task == "cluster" else "sed"
+    sweep, data = _sweep_from_args(args)
+    try:
+        result = sweep.run(
+            data,
+            backend=args.backend,
+            seed=args.seed,
+            parallel=args.parallel,
+            **_backend_options(args, sweep.task),
+        )
+    except ReproError as exc:
+        raise SystemExit(f"sweep failed: {exc}") from exc
+
+    metric_name = {"cluster": "ari", "classify": "accuracy"}.get(
+        sweep.task, "elapsed_seconds"
     )
-    header_metric = "ARI" if args.task == "cluster" else "accuracy"
     points = []
-    for epsilon in args.epsilons:
-        spec = dataclasses.replace(base_spec, privacy=PrivacySpec(epsilon=epsilon))
-        if args.task == "cluster":
-            result = run_clustering_task(
-                dataset, spec=spec, evaluation_size=args.evaluation_size, rng=args.seed,
-            )
-            points.append({"epsilon": float(epsilon), header_metric: float(result.ari)})
-        else:
-            result = run_classification_task(
-                dataset, spec=spec, evaluation_size=args.evaluation_size, rng=args.seed,
-            )
-            points.append({"epsilon": float(epsilon), header_metric: float(result.accuracy)})
+    for point, run in zip(result.points, result.runs):
+        record = {
+            name: (value.name if isinstance(value, DataSpec) else value)
+            for name, value in point.items()
+        }
+        record.update({name: float(value) for name, value in run.metrics.items()})
+        points.append(record)
     payload = {
         "command": "sweep",
-        "dataset": dataset.name,
-        "users": len(dataset),
-        "mechanism": base_spec.mechanism,
-        "task": args.task,
-        "metric_name": header_metric,
+        **result.to_dict(),
+        "task": sweep.task,
+        "metric_name": metric_name,
         "points": points,
     }
+
+    axis_names = [name for name in AXIS_ORDER if name in sweep.axes()]
+    header = "  ".join(f"{name:>14}" for name in axis_names + [metric_name])
     lines = [
-        f"dataset: {dataset.name} ({len(dataset)} users), mechanism: {base_spec.mechanism}, "
-        f"task: {args.task}",
-        f"{'epsilon':>8}  {header_metric}",
+        f"sweep: task={sweep.task}, backend={result.backend}, "
+        f"{len(result.runs)} point(s)",
+        header,
+        "-" * len(header),
     ]
-    for point in points:
-        lines.append(f"{point['epsilon']:>8.2f}  {point[header_metric]:.3f}")
+    for record in points:
+        cells = [f"{record.get(name, ''):>14}" for name in axis_names]
+        cells.append(f"{record.get(metric_name, float('nan')):>14.3f}")
+        lines.append("  ".join(cells))
     _emit(args, payload, "\n".join(lines))
     return 0
 
 
-def _synthetic_stream(args: argparse.Namespace) -> tuple[SyntheticShapeStream, list, int]:
-    """The deterministic synthetic population shared by simulate and loadgen.
+# ----------------------------------------------------- simulate / serve / loadgen
 
-    Template weights follow a geometric-ish popularity profile so the top
-    templates are the ground truth the extraction should recover.  ``serve``
-    + ``loadgen`` with the same seed/flags therefore collect exactly the
-    population ``simulate`` streams in-process.
+
+def _synthetic_stream(args: argparse.Namespace):
+    """The deterministic synthetic population shared by serve and loadgen.
+
+    Built through :meth:`DataSpec.build_population` — the same code path
+    ``repro run --dataset synthetic`` uses — so serve + loadgen with the
+    same seed/flags collect exactly the population the in-process run
+    streams.  Returns ``(population, template_strings, alphabet_size)``.
     """
     alphabet_size = args.alphabet_size or 4
-    alphabet = symbol_alphabet(alphabet_size)
-    templates = default_templates(
-        alphabet,
-        n_templates=args.templates,
-        length=args.template_length,
-        rng=args.seed,
-    )
-    weights = [1.0 / (rank + 1) for rank in range(len(templates))]
-    population = SyntheticShapeStream(
-        n_users=args.users,
-        alphabet=tuple(alphabet),
-        templates=tuple(templates),
-        weights=tuple(weights),
-        seed=args.seed,
-        length_jitter=args.length_jitter,
-    )
-    return population, templates, alphabet_size
+    data = _data_from_args(args, source="synthetic")
+    spec = ExperimentSpec(sax=SAXSpec(alphabet_size=alphabet_size))
+    population, meta, _, _ = data.build_population(spec)
+    return population, meta["templates"], alphabet_size
 
 
 def _serving_spec(args: argparse.Namespace, n_templates: int | None = None) -> ExperimentSpec:
@@ -373,65 +466,81 @@ def _serving_spec(args: argparse.Namespace, n_templates: int | None = None) -> E
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
-    """Stream a synthetic population through the round-based collection service."""
-    population, templates, alphabet_size = _synthetic_stream(args)
-    # The streaming service consumes the same composable spec as the offline
-    # pipelines (ProtocolDriver coerces it to the engine-facing config).
-    spec = _serving_spec(args, n_templates=len(templates))
-    driver = ProtocolDriver(
-        spec,
-        population,
-        batch_size=args.batch_size,
-        n_shards=args.shards,
-        serialize=args.serialize,
-        rng=args.seed,
+    """Deprecated shim: stream the synthetic population through `run`."""
+    _deprecated("simulate", "run --dataset synthetic")
+    data = _data_from_args(args, source="synthetic")
+    # top_k=None resolves to min(3, the *actual* template-pool size) at
+    # realization, exactly like the pre-shim code that counted the generated
+    # templates (a small alphabet can yield fewer than requested).
+    spec = ExperimentSpec(
+        mechanism="privshape",
+        privacy=PrivacySpec(epsilon=args.epsilon),
+        sax=SAXSpec(alphabet_size=args.alphabet_size or 4),
+        collection=CollectionSpec(
+            top_k=args.top_k,
+            metric=args.metric or "sed",
+            length_low=1,
+            length_high=args.template_length,
+        ),
     )
-    result = driver.run()
-    stats = driver.stats
+    try:
+        result = spec.run(
+            data,
+            backend="inline",
+            seed=args.seed,
+            batch_size=args.batch_size,
+            shards=args.shards,
+            serialize=args.serialize,
+        )
+    except ReproError as exc:
+        raise SystemExit(f"simulate failed: {exc}") from exc
 
+    # Legacy envelope, now assembled from the structured artifact.
     payload = {
         "command": "simulate",
-        "users": args.users,
+        **_run_payload("simulate", result),
         "batch_size": args.batch_size,
         "shards": args.shards,
         "serialize_reports": bool(args.serialize),
-        "epsilon": args.epsilon,
-        "alphabet_size": alphabet_size,
-        "templates": ["".join(t) for t in templates],
-        "estimated_length": result.estimated_length,
-        "shapes": [
-            {"shape": shape, "estimated_count": float(frequency)}
-            for shape, frequency in zip(result.as_strings(), result.frequencies)
-        ],
-        "throughput": stats.to_dict(),
-        "accounting": {
-            "user_level_epsilon": float(result.accountant.user_level_epsilon()),
-            "within_budget": result.accountant.is_valid(),
+        "alphabet_size": result.spec.sax.alphabet_size,
+        "templates": result.details.get("templates", []),
+        "throughput": {
+            **result.timings,
+            # "participants" is the key DriverStats always emitted here;
+            # keep it alongside the normalized "reports" for old consumers.
+            "rounds": [
+                {**record, "participants": record["reports"]}
+                for record in result.rounds
+            ],
         },
     }
     lines = [
         f"simulated population: {args.users} users "
         f"(batch size {args.batch_size}, {args.shards} shard(s), "
         f"wire serialization {'on' if args.serialize else 'off'})",
-        f"templates: {', '.join(''.join(t) for t in templates)}",
+        f"templates: {', '.join(result.details.get('templates', []))}",
         "rounds:",
     ]
-    for round_stats in stats.rounds:
-        level = f" level {round_stats.level}" if round_stats.kind == "expand" else ""
+    for record in result.rounds:
+        level = f" level {record['level']}" if record["kind"] == "expand" else ""
         lines.append(
-            f"  round {round_stats.index}: {round_stats.kind}{level:<8} "
-            f"{round_stats.participants:>9} reports in {round_stats.elapsed_seconds:6.2f}s "
-            f"({round_stats.reports_per_second:>12,.0f} reports/sec)"
+            f"  round {record['round']}: {record['kind']}{level:<8} "
+            f"{record['reports']:>9} reports in {record['elapsed_seconds']:6.2f}s "
+            f"({record['reports_per_second']:>12,.0f} reports/sec)"
         )
     lines.append(
-        f"total: {stats.total_reports} reports in {stats.total_seconds:.2f}s "
-        f"= {stats.reports_per_second:,.0f} reports/sec"
+        f"total: {result.timings['total_reports']} reports in "
+        f"{result.timings['total_seconds']:.2f}s "
+        f"= {result.timings['reports_per_second']:,.0f} reports/sec"
     )
-    lines.append(f"peak RSS: {stats.peak_rss_bytes / 1e6:.1f} MB")
+    lines.append(f"peak RSS: {result.timings['peak_rss_bytes'] / 1e6:.1f} MB")
     lines.append(f"estimated frequent length: {result.estimated_length}")
     lines.append("top shapes:")
-    for shape, frequency in zip(result.as_strings(), result.frequencies):
-        lines.append(f"  {shape:<16} estimated count {frequency:12.1f}")
+    for entry in result.estimates:
+        lines.append(
+            f"  {entry['shape']:<16} estimated count {entry['estimated_count']:12.1f}"
+        )
+    lines.extend(_accounting_lines(result))
     _emit(args, payload, "\n".join(lines))
     return 0
 
@@ -520,7 +629,7 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         "batch_size": args.batch_size,
         "workers": args.workers,
         "alphabet_size": alphabet_size,
-        "templates": ["".join(t) for t in templates],
+        "templates": list(templates),
         **stats.to_dict(),
     }
     lines = [
@@ -546,6 +655,74 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- parser
+
+
+def _add_common_arguments(
+    parser: argparse.ArgumentParser,
+    datasets: Sequence[str] = ("symbols", "trace", "waves"),
+) -> None:
+    parser.add_argument("--dataset", choices=tuple(datasets), default="trace",
+                        help="population source (default: trace)")
+    parser.add_argument("--ucr-file", default=None,
+                        help="path to a UCR-format file; overrides --dataset")
+    parser.add_argument("--users", type=int, default=10000,
+                        help="number of users for the synthetic datasets")
+    parser.add_argument("--wave-length", type=int, default=400,
+                        help="series length for the 'waves' dataset")
+    parser.add_argument("--epsilon", type=float, default=4.0, help="user-level privacy budget")
+    parser.add_argument("--mechanism", choices=available_mechanisms(),
+                        default="privshape",
+                        help="registered mechanism name (see repro.api.mechanisms)")
+    parser.add_argument("--spec", default=None, metavar="FILE",
+                        help="path to a serialized ExperimentSpec JSON document; "
+                             "replaces --mechanism, --epsilon, --alphabet-size, "
+                             "--segment-length, --metric and --top-k entirely "
+                             "(dataset/evaluation/seed flags still apply)")
+    parser.add_argument("--alphabet-size", type=int, default=None, help="SAX symbol size t")
+    parser.add_argument("--segment-length", type=int, default=None, help="SAX segment length w")
+    parser.add_argument("--metric", default=None,
+                        help="distance metric (dtw / sed / euclidean); task-appropriate default")
+    parser.add_argument("--top-k", type=int, default=None,
+                        help="number of shapes to extract (default: number of classes)")
+    parser.add_argument("--evaluation-size", type=int, default=500,
+                        help="number of held-out series scored for ARI / accuracy")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--json", action="store_true",
+                        help="print one machine-readable JSON document instead of prose")
+
+
+def _add_synthetic_arguments(parser: argparse.ArgumentParser) -> None:
+    """Knobs of the constant-memory synthetic template stream."""
+    parser.add_argument("--templates", type=int, default=6,
+                        help="number of template shapes in the synthetic pool")
+    parser.add_argument("--template-length", type=int, default=5,
+                        help="length of each template shape")
+    parser.add_argument("--length-jitter", type=float, default=0.2,
+                        help="fraction of users whose shape is one symbol shorter")
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend knobs of the run/sweep sub-commands."""
+    parser.add_argument("--backend", choices=available_executors(), default="inline",
+                        help="execution backend (see repro.api.executors)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="users per streamed batch (bounds peak memory)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="aggregation shards (inline/gateway) or worker "
+                             "processes (sharded backend)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="gateway backend: load-generation worker processes")
+    parser.add_argument("--queue-depth", type=int, default=None,
+                        help="gateway backend: bounded per-shard queue depth")
+    parser.add_argument("--mp-context", choices=("spawn", "fork", "forkserver"),
+                        default=None,
+                        help="multiprocessing start method for process fan-out")
+    parser.add_argument("--data-spec", default=None, metavar="FILE",
+                        help="serialized DataSpec JSON describing the population; "
+                             "replaces the dataset flags")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -557,7 +734,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    extract = subparsers.add_parser("extract", help="extract top-k frequent shapes")
+    run = subparsers.add_parser(
+        "run",
+        help="execute one experiment spec on a chosen backend (RunResult out)",
+    )
+    _add_common_arguments(run, datasets=DATASET_CHOICES)
+    _add_synthetic_arguments(run)
+    _add_backend_arguments(run)
+    run.add_argument("--task", choices=("extract", "cluster", "classify"),
+                     default="extract",
+                     help="what to execute: the collection itself, or one of "
+                          "the paper's evaluation tasks (default: extract)")
+    run.add_argument("--serialize", action="store_true",
+                     help="inline backend: push every report batch through the "
+                          "wire format")
+    run.set_defaults(handler=_command_run)
+
+    extract = subparsers.add_parser(
+        "extract", help="[deprecated: use `run --task extract`]")
     _add_common_arguments(extract)
     extract.set_defaults(handler=_command_extract)
 
@@ -569,10 +763,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(classify)
     classify.set_defaults(handler=_command_classify)
 
-    sweep = subparsers.add_parser("sweep", help="sweep the privacy budget for one task")
-    _add_common_arguments(sweep)
-    sweep.add_argument("--task", choices=("cluster", "classify"), default="classify")
-    sweep.add_argument("--epsilons", type=float, nargs="+", default=[0.5, 1.0, 2.0, 4.0])
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="expand an experiment grid (SweepSpec) on any backend",
+    )
+    _add_common_arguments(sweep, datasets=DATASET_CHOICES)
+    _add_synthetic_arguments(sweep)
+    _add_backend_arguments(sweep)
+    sweep.add_argument("--task", choices=("extract", "cluster", "classify"),
+                       default="classify")
+    sweep.add_argument("--epsilons", type=float, nargs="+", default=[0.5, 1.0, 2.0, 4.0],
+                       help="privacy-budget axis of the grid")
+    sweep.add_argument("--mechanisms", nargs="+", choices=available_mechanisms(),
+                       default=None, help="mechanism axis of the grid")
+    sweep.add_argument("--alphabet-sizes", type=int, nargs="+", default=None,
+                       help="SAX symbol-size axis of the grid")
+    sweep.add_argument("--segment-lengths", type=int, nargs="+", default=None,
+                       help="SAX segment-length axis of the grid")
+    sweep.add_argument("--datasets", nargs="+", choices=DATASET_CHOICES,
+                       default=None, help="dataset axis of the grid")
+    sweep.add_argument("--parallel", type=int, default=1,
+                       help="run up to N grid points concurrently")
+    sweep.add_argument("--sweep-spec", default=None, metavar="FILE",
+                       help="serialized SweepSpec JSON; replaces the grid flags")
     sweep.set_defaults(handler=_command_sweep)
 
     def _add_population_arguments(sub: argparse.ArgumentParser, default_users: int) -> None:
@@ -583,12 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="users per streamed batch (bounds peak memory)")
         sub.add_argument("--alphabet-size", type=int, default=None,
                          help="SAX symbol size t (default: 4)")
-        sub.add_argument("--templates", type=int, default=6,
-                         help="number of template shapes in the synthetic pool")
-        sub.add_argument("--template-length", type=int, default=5,
-                         help="length of each template shape")
-        sub.add_argument("--length-jitter", type=float, default=0.2,
-                         help="fraction of users whose shape is one symbol shorter")
+        _add_synthetic_arguments(sub)
         sub.add_argument("--seed", type=int, default=0, help="random seed")
         sub.add_argument("--json", action="store_true",
                          help="print one machine-readable JSON document instead of prose")
@@ -604,7 +812,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = subparsers.add_parser(
         "simulate",
-        help="stream a synthetic population through the round-based collection service",
+        help="[deprecated: use `run --dataset synthetic`]",
     )
     _add_population_arguments(simulate, default_users=1_000_000)
     _add_serving_spec_arguments(simulate)
@@ -667,6 +875,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    _ensure_deprecations_visible()
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -39,6 +39,12 @@ from repro.api.mechanisms import (
     available_mechanisms,
     mechanism_registry,
 )
+from repro.api.results import (
+    RunResult,
+    accounting_payload,
+    estimates_from_extraction,
+    estimates_from_labeled,
+)
 from repro.api.spec import CollectionSpec, ExperimentSpec, PrivacySpec, SAXSpec
 from repro.core.results import LabeledShapeExtractionResult, ShapeExtractionResult
 from repro.core.trie import Shape
@@ -72,6 +78,46 @@ class ClusteringTaskResult:
     elapsed_seconds: float
     extraction: ShapeExtractionResult | None = None
     details: dict = field(default_factory=dict)
+    #: Echo of the (resolved, where applicable) spec the run executed.
+    spec: ExperimentSpec | None = None
+
+    def to_run_result(self, *, backend: str = "inline", seed=None) -> RunResult:
+        """This task outcome as the canonical structured artifact."""
+        if self.extraction is not None:
+            estimates = estimates_from_extraction(self.extraction)
+            estimated_length = self.extraction.estimated_length
+            accounting = accounting_payload(self.extraction.accountant)
+        else:
+            # Perturbation mechanisms have no frequency estimates; the shapes
+            # are cluster-centre symbolizations (null counts survive JSON).
+            estimates = [
+                {"shape": shape, "estimated_count": None} for shape in self.shapes
+            ]
+            estimated_length = None
+            accounting = {}
+        spec = self.spec if self.spec is not None else ExperimentSpec(
+            mechanism=self.mechanism, privacy=PrivacySpec(epsilon=self.epsilon)
+        )
+        return RunResult(
+            task="cluster",
+            spec=spec,
+            backend=backend,
+            seed=seed,
+            estimates=estimates,
+            estimated_length=estimated_length,
+            metrics={
+                "ari": float(self.ari),
+                "elapsed_seconds": float(self.elapsed_seconds),
+            },
+            accounting=accounting,
+            details={
+                "ground_truth_shapes": list(self.ground_truth_shapes),
+                "shape_measures": {
+                    k: float(v) for k, v in self.shape_measures.items()
+                },
+                **self.details,
+            },
+        )
 
 
 @dataclass
@@ -87,6 +133,46 @@ class ClassificationTaskResult:
     elapsed_seconds: float
     extraction: LabeledShapeExtractionResult | None = None
     details: dict = field(default_factory=dict)
+    #: Echo of the (resolved, where applicable) spec the run executed.
+    spec: ExperimentSpec | None = None
+
+    def to_run_result(self, *, backend: str = "inline", seed=None) -> RunResult:
+        """This task outcome as the canonical structured artifact."""
+        if self.extraction is not None:
+            estimates = estimates_from_labeled(self.extraction)
+            estimated_length = self.extraction.estimated_length
+            accounting = accounting_payload(self.extraction.accountant)
+        else:
+            estimates = [
+                {"shape": shape, "estimated_count": None, "label": int(label)}
+                for label, shapes in sorted(self.shapes_by_class.items())
+                for shape in shapes
+            ]
+            estimated_length = None
+            accounting = {}
+        spec = self.spec if self.spec is not None else ExperimentSpec(
+            mechanism=self.mechanism, privacy=PrivacySpec(epsilon=self.epsilon)
+        )
+        return RunResult(
+            task="classify",
+            spec=spec,
+            backend=backend,
+            seed=seed,
+            estimates=estimates,
+            estimated_length=estimated_length,
+            metrics={
+                "accuracy": float(self.accuracy),
+                "elapsed_seconds": float(self.elapsed_seconds),
+            },
+            accounting=accounting,
+            details={
+                "ground_truth_shapes": list(self.ground_truth_shapes),
+                "shape_measures": {
+                    k: float(v) for k, v in self.shape_measures.items()
+                },
+                **self.details,
+            },
+        )
 
 
 # --------------------------------------------------------------------------- helpers
@@ -290,6 +376,7 @@ def run_clustering_task(
             shape_measures=measures,
             elapsed_seconds=elapsed,
             details={"n_evaluated": len(evaluation)},
+            spec=spec,
         )
 
     sequences = transformer.transform_dataset(dataset.series)
@@ -326,6 +413,7 @@ def run_clustering_task(
         elapsed_seconds=elapsed,
         extraction=extraction,
         details={"estimated_length": extraction.estimated_length, "n_evaluated": len(evaluation)},
+        spec=resolved,
     )
 
 
@@ -436,6 +524,7 @@ def run_classification_task(
             shape_measures=measures,
             elapsed_seconds=elapsed,
             details={"n_train": len(train), "n_test": len(test)},
+            spec=spec,
         )
 
     train_sequences = transformer.transform_dataset(train.series)
@@ -486,4 +575,5 @@ def run_classification_task(
             "n_train": len(train),
             "n_test": len(test),
         },
+        spec=resolved,
     )

@@ -49,5 +49,9 @@ class ServerError(ReproError):
     """The collection gateway rejected a request or the connection failed."""
 
 
+class ExecutionError(ReproError):
+    """An execution backend failed to run a spec to completion."""
+
+
 class NotFittedError(ReproError):
     """A model (clusterer, classifier) was used before being fitted."""

@@ -25,6 +25,7 @@ import numpy as np
 from repro.server.client import GatewayClient
 from repro.service.client import ClientReporter
 from repro.service.plan import CollectionPlan, RoundSpec
+from repro.service.population import worker_slices
 
 
 def batch_id_for(round_index: int, window_start: int, window_stop: int) -> str:
@@ -78,6 +79,8 @@ class LoadgenRoundStats:
     kind: str
     reports: int
     elapsed_seconds: float
+    #: Trie level of an expand round (-1 otherwise), published by the server.
+    level: int = -1
 
     @property
     def reports_per_second(self) -> float:
@@ -89,6 +92,7 @@ class LoadgenRoundStats:
         return {
             "round": self.index,
             "kind": self.kind,
+            "level": self.level,
             "reports": self.reports,
             "elapsed_seconds": self.elapsed_seconds,
             "reports_per_second": self.reports_per_second,
@@ -124,16 +128,6 @@ class LoadgenStats:
         }
 
 
-def _worker_slices(n_users: int, workers: int) -> list[tuple[int, int]]:
-    """Contiguous, disjoint, covering user-id slices, one per worker."""
-    bounds = np.linspace(0, n_users, workers + 1).astype(int)
-    return [
-        (int(bounds[i]), int(bounds[i + 1]))
-        for i in range(workers)
-        if bounds[i + 1] > bounds[i]
-    ]
-
-
 def run_loadgen(
     host: str,
     port: int,
@@ -164,7 +158,7 @@ def run_loadgen(
                 round_dict, plan_dict = current["round"], current["plan"]
                 round_started = time.perf_counter()
                 if stats.workers >= 1:
-                    slices = _worker_slices(n_users, stats.workers)
+                    slices = worker_slices(n_users, stats.workers)
                     if pool is None:
                         # One pool for the whole run: workers pay the spawn +
                         # import cost once, not once per protocol round.
@@ -192,6 +186,7 @@ def run_loadgen(
                         kind=str(round_dict["kind"]),
                         reports=int(sum(counts)),
                         elapsed_seconds=time.perf_counter() - round_started,
+                        level=int(round_dict.get("level", -1)),
                     )
                 )
             stats.total_seconds = time.perf_counter() - started

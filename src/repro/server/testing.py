@@ -51,6 +51,17 @@ class GatewayHandle:
             raise ServerError(f"gateway failed to start: {self._error!r}")
         return self
 
+    def client(self, timeout: float = 60.0):
+        """A fresh blocking :class:`~repro.server.client.GatewayClient`.
+
+        Convenience for callers already holding the handle (tests, embedded
+        gateways): the caller owns the connection — use it as a context
+        manager.
+        """
+        from repro.server.client import GatewayClient
+
+        return GatewayClient(self.host, self.port, timeout=timeout)
+
     def stop(self, timeout: float = 30.0) -> None:
         """Stop serving and join the thread (idempotent)."""
         self.gateway.request_stop()

@@ -23,6 +23,21 @@ from repro.utils.rng import RngLike, ensure_rng
 PAD_CODE = -1
 
 
+def worker_slices(n_users: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous, disjoint, covering user-id slices, one per worker.
+
+    The one partition rule every process fan-out uses (the load generator's
+    OS workers and the sharded executor), so user-id coverage can never
+    diverge between them.
+    """
+    bounds = np.linspace(0, n_users, max(int(workers), 1) + 1).astype(int)
+    return [
+        (int(bounds[i]), int(bounds[i + 1]))
+        for i in range(len(bounds) - 1)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
 @dataclass
 class EncodedPopulation:
     """A batch of users' compressed sequences as a padded int16 code matrix.

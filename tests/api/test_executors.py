@@ -1,0 +1,247 @@
+"""Executor registry behaviour and the cross-backend equivalence guarantee.
+
+The acceptance bar of the unified execution API: under one master seed,
+``ExperimentSpec.run(backend=b)`` returns byte-identical estimates for every
+built-in backend, and all of them equal the offline ``PrivShape.extract()``
+reference.
+"""
+
+import pytest
+
+from repro.api import (
+    DataSpec,
+    ExperimentSpec,
+    PrivacySpec,
+    RunResult,
+    SAXSpec,
+    available_executors,
+    executor_registry,
+    register_executor,
+    run_spec,
+)
+from repro.api.data import RealizedData
+from repro.api.executors import (
+    ExecutionRequest,
+    materialize_sequences,
+    worker_slices,
+)
+from repro.core.privshape import PrivShape
+from repro.exceptions import ConfigurationError, ExecutionError
+
+SEED = 2024
+
+#: Small enough for the multiprocess backends on a 1-core CI box, large
+#: enough that every protocol round has participants.
+DATA = DataSpec(source="synthetic", n_users=2500, seed=9)
+SPEC = ExperimentSpec(
+    mechanism="privshape",
+    privacy=PrivacySpec(epsilon=6.0),
+    sax=SAXSpec(alphabet_size=4),
+)
+
+#: Per-backend options: the sharded backend uses fork (cheap on CI), the
+#: gateway gets two shards to exercise routed aggregation.
+BACKEND_OPTIONS = {
+    "inline": {"batch_size": 333},
+    "sharded": {"shards": 2, "mp_context": "fork", "batch_size": 512},
+    "gateway": {"shards": 2, "batch_size": 700},
+}
+
+
+@pytest.fixture(scope="module")
+def offline_reference():
+    """The offline extraction every backend must reproduce byte for byte."""
+    realized = DATA.realize(SPEC)
+    sequences = materialize_sequences(realized.population)
+    return PrivShape(realized.spec.to_privshape_config()).extract(sequences, rng=SEED)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", ["inline", "sharded", "gateway"])
+    def test_backend_matches_offline_extraction(self, offline_reference, backend):
+        """inline == sharded == gateway == offline, byte for byte."""
+        result = SPEC.run(DATA, backend=backend, seed=SEED,
+                          **BACKEND_OPTIONS[backend])
+        assert result.backend == backend
+        assert result.shapes == ["".join(s) for s in offline_reference.shapes]
+        assert result.frequencies == offline_reference.frequencies
+        assert result.estimated_length == offline_reference.estimated_length
+        assert result.accounting["per_population"] == \
+            offline_reference.accountant.per_population()
+        assert result.timings["total_reports"] == DATA.n_users
+
+    @pytest.mark.parametrize("backend", ["sharded", "gateway"])
+    def test_fingerprint_identical_to_inline(self, backend):
+        """The full deterministic projection matches, not just the shapes."""
+        inline = SPEC.run(DATA, backend="inline", seed=SEED)
+        other = SPEC.run(DATA, backend=backend, seed=SEED,
+                         **BACKEND_OPTIONS[backend])
+        assert other.fingerprint() == inline.fingerprint()
+
+    def test_subprocess_runs_cluster_task(self):
+        """The subprocess route works for the evaluation tasks too."""
+        spec = ExperimentSpec(
+            mechanism="privshape",
+            privacy=PrivacySpec(epsilon=6.0),
+            sax=SAXSpec(alphabet_size=6, segment_length=25),
+        )
+        data = DataSpec(source="symbols", n_users=240, seed=11)
+        child = spec.run(data, backend="subprocess", task="cluster", seed=0,
+                         evaluation_size=60)
+        inline = spec.run(data, backend="inline", task="cluster", seed=0,
+                          evaluation_size=60)
+        assert child.task == "cluster"
+        assert child.metrics["ari"] == inline.metrics["ari"]
+        assert child.estimates == inline.estimates
+
+    def test_subprocess_matches_inline(self):
+        """The CLI-backed child interpreter reproduces the inline run."""
+        inline = SPEC.run(DATA, backend="inline", seed=SEED)
+        child = SPEC.run(DATA, backend="subprocess", seed=SEED)
+        assert child.backend == "subprocess"
+        assert child.fingerprint() == inline.fingerprint()
+        assert child.backend_info["inner_backend"] == "inline"
+
+    def test_rounds_report_identical_totals(self):
+        """Per-round accounting agrees across backends, levels included."""
+        inline = SPEC.run(DATA, backend="inline", seed=SEED)
+        sharded = SPEC.run(DATA, backend="sharded", seed=SEED,
+                           **BACKEND_OPTIONS["sharded"])
+        gateway = SPEC.run(DATA, backend="gateway", seed=SEED,
+                           **BACKEND_OPTIONS["gateway"])
+        reference = [
+            (r["kind"], r["level"], r["reports"]) for r in inline.rounds
+        ]
+        for other in (sharded, gateway):
+            assert [
+                (r["kind"], r["level"], r["reports"]) for r in other.rounds
+            ] == reference
+
+
+class TestInlineBackend:
+    def test_non_privshape_extraction_mechanism(self):
+        """Any registered extraction mechanism runs inline."""
+        spec = ExperimentSpec(mechanism="baseline", privacy=PrivacySpec(epsilon=6.0))
+        result = spec.run(DataSpec(source="trace", n_users=400, seed=1), seed=3)
+        assert result.task == "extract"
+        assert result.estimates
+        assert result.accounting["within_budget"] is True
+
+    def test_sequences_list_input(self):
+        """A plain list of symbol tuples is a valid population."""
+        sequences = [tuple("abcd")] * 600 + [tuple("dcba")] * 400
+        result = SPEC.run(sequences, seed=5)
+        assert result.shapes
+        assert result.spec.collection.top_k == 3
+
+    def test_perturbation_mechanism_rejected_for_extract(self):
+        spec = ExperimentSpec(mechanism="patternldp")
+        with pytest.raises(ConfigurationError, match="perturbs raw series"):
+            spec.run(DATA, seed=0)
+
+    def test_cluster_task_through_run(self, small_symbols_dataset):
+        spec = ExperimentSpec(
+            mechanism="privshape",
+            privacy=PrivacySpec(epsilon=6.0),
+            sax=SAXSpec(alphabet_size=6, segment_length=25),
+        )
+        result = spec.run(
+            small_symbols_dataset, task="cluster", seed=0, evaluation_size=100
+        )
+        assert result.task == "cluster"
+        assert "ari" in result.metrics
+        assert -1.0 <= result.metrics["ari"] <= 1.0
+
+    def test_classify_task_needs_labels(self):
+        with pytest.raises(ConfigurationError, match="class labels"):
+            SPEC.run(DATA, task="classify", seed=0)
+
+
+class TestExecutorRegistry:
+    def test_builtins_registered(self):
+        assert set(available_executors()) >= {
+            "inline", "sharded", "gateway", "subprocess",
+        }
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SPEC.run(DATA, backend="quantum", seed=0)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ConfigurationError, match="task"):
+            run_spec(SPEC, DATA, task="teleport", seed=0)
+
+    def test_misspelled_option_rejected(self):
+        """A typo'd backend knob raises instead of silently using defaults."""
+        with pytest.raises(ConfigurationError, match="unknown or inert"):
+            SPEC.run(DATA, seed=0, shard=8)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            SPEC.run(DATA, backend="sharded", seed=0, shards=0,
+                     mp_context="fork")
+
+    def test_ucr_data_echo_carries_only_relevant_fields(self):
+        echo = DataSpec(source="ucr", path="/tmp/x.tsv").describe()
+        assert set(echo) == {"source", "name", "path"}
+
+    def test_custom_executor_dispatches(self):
+        """Downstream code can register a backend and reach it by name."""
+
+        @register_executor("test-echo", "echo backend for the registry test")
+        def _echo(request: ExecutionRequest) -> RunResult:
+            return RunResult(task="extract", spec=request.spec,
+                             backend="test-echo", seed=request.seed)
+
+        try:
+            result = SPEC.run(DATA, backend="test-echo", seed=123)
+            assert result.backend == "test-echo"
+            assert result.seed == 123
+        finally:
+            executor_registry.remove("test-echo")
+
+    def test_gateway_requires_privshape(self):
+        spec = ExperimentSpec(mechanism="baseline", privacy=PrivacySpec(epsilon=6.0))
+        with pytest.raises(ConfigurationError, match="round-based"):
+            spec.run(DataSpec(source="trace", n_users=300), backend="gateway", seed=0)
+
+    def test_subprocess_requires_dataspec(self):
+        with pytest.raises(ConfigurationError, match="DataSpec"):
+            SPEC.run([tuple("abcd")] * 100, backend="subprocess", seed=0)
+
+    def test_cluster_task_restricted_to_inline(self, small_symbols_dataset):
+        with pytest.raises(ConfigurationError, match="inline"):
+            SPEC.run(small_symbols_dataset, task="cluster", backend="gateway", seed=0)
+
+
+class TestHelpers:
+    def test_worker_slices_cover_and_disjoint(self):
+        for n_users, workers in [(10, 3), (5, 8), (1000, 4)]:
+            slices = worker_slices(n_users, workers)
+            covered = [i for start, stop in slices for i in range(start, stop)]
+            assert covered == list(range(n_users))
+
+    def test_materialize_round_trips_population(self):
+        realized = DATA.realize(SPEC)
+        a = materialize_sequences(realized.population, batch_size=97)
+        b = materialize_sequences(realized.population, batch_size=1000)
+        assert a == b
+        assert len(a) == DATA.n_users
+
+    def test_realized_data_is_concrete(self):
+        realized = DATA.realize(SPEC)
+        assert isinstance(realized, RealizedData)
+        assert realized.spec.collection.top_k == 3
+        assert realized.spec.collection.length_high == DATA.template_length
+
+
+class TestSubprocessFailures:
+    def test_inner_backend_cannot_be_subprocess(self):
+        with pytest.raises(ConfigurationError, match="inner_backend"):
+            SPEC.run(DATA, backend="subprocess", seed=0,
+                     inner_backend="subprocess")
+
+    def test_child_failure_surfaces_stderr(self):
+        bad = DataSpec(source="ucr", path="/nonexistent/file.tsv")
+        with pytest.raises((ExecutionError, ConfigurationError)):
+            SPEC.run(bad, backend="subprocess", seed=0, timeout=120)

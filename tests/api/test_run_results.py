@@ -1,0 +1,187 @@
+"""RunResult artifacts: normalization, JSON round-trips, fingerprints."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import DataSpec, ExperimentSpec, PrivacySpec, RunResult, SAXSpec
+from repro.api.results import (
+    ROUND_KEYS,
+    RUN_RESULT_FORMAT,
+    normalize_round,
+    package_version,
+)
+from repro.exceptions import DataShapeError
+
+# --------------------------------------------------------------- strategies
+
+epsilons = st.floats(min_value=0.1, max_value=16.0, allow_nan=False,
+                     allow_infinity=False)
+shape_texts = st.text(alphabet="abcdef", min_size=1, max_size=8)
+
+specs = st.builds(
+    ExperimentSpec,
+    mechanism=st.sampled_from(["privshape", "baseline", "pem"]),
+    privacy=st.builds(PrivacySpec, epsilon=epsilons),
+    sax=st.builds(
+        SAXSpec,
+        alphabet_size=st.integers(min_value=2, max_value=8),
+        segment_length=st.integers(min_value=1, max_value=50),
+    ),
+    rng_seed=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+)
+
+estimates = st.lists(
+    st.fixed_dictionaries(
+        {
+            "shape": shape_texts,
+            "estimated_count": st.one_of(
+                st.none(),
+                st.floats(min_value=0, max_value=1e9, allow_nan=False),
+            ),
+        },
+        optional={"label": st.integers(min_value=0, max_value=9)},
+    ),
+    max_size=6,
+)
+
+rounds = st.lists(
+    st.fixed_dictionaries(
+        {
+            "round": st.integers(min_value=0, max_value=64),
+            "kind": st.sampled_from(["length", "subshape", "expand", "refine"]),
+            "level": st.integers(min_value=-1, max_value=16),
+            "reports": st.integers(min_value=0, max_value=10**7),
+            "elapsed_seconds": st.floats(min_value=0, max_value=1e4,
+                                         allow_nan=False),
+        }
+    ),
+    max_size=8,
+)
+
+metric_dicts = st.dictionaries(
+    st.sampled_from(["ari", "accuracy", "elapsed_seconds"]),
+    st.floats(min_value=-1, max_value=1e4, allow_nan=False),
+    max_size=3,
+)
+
+run_results = st.builds(
+    RunResult,
+    task=st.sampled_from(["extract", "cluster", "classify"]),
+    spec=specs,
+    backend=st.sampled_from(["inline", "sharded", "gateway", "subprocess"]),
+    seed=st.one_of(st.none(), st.integers(min_value=0, max_value=2**31)),
+    estimates=estimates,
+    estimated_length=st.one_of(st.none(), st.integers(min_value=1, max_value=64)),
+    metrics=metric_dicts,
+    rounds=rounds,
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(result=run_results)
+    def test_json_round_trip_is_lossless(self, result):
+        """from_json(to_json(r)) reproduces the artifact field for field."""
+        replayed = RunResult.from_json(result.to_json())
+        assert replayed.to_dict() == result.to_dict()
+        assert replayed.fingerprint() == result.fingerprint()
+
+    @settings(max_examples=30, deadline=None)
+    @given(result=run_results)
+    def test_fingerprint_ignores_backend_and_timing(self, result):
+        """Fingerprints must not depend on how or how fast a run executed."""
+        replayed = RunResult.from_json(result.to_json())
+        replayed.backend = "somewhere-else"
+        replayed.backend_info = {"host": "example", "port": 1}
+        replayed.timings = {"total_seconds": 1e9}
+        replayed.repro_version = "0.0.0"
+        assert replayed.fingerprint() == result.fingerprint()
+
+    def test_cli_envelope_parses(self):
+        """A `repro run --json` document (extra command key) parses directly."""
+        result = RunResult(task="extract", spec=ExperimentSpec())
+        payload = {"command": "run", **result.to_dict()}
+        assert RunResult.from_dict(payload).to_dict() == result.to_dict()
+
+
+class TestSchema:
+    def test_format_tag_is_stamped(self):
+        payload = RunResult(task="extract", spec=ExperimentSpec()).to_dict()
+        assert payload["format"] == RUN_RESULT_FORMAT
+        assert payload["repro_version"] == package_version()
+
+    def test_wrong_format_rejected(self):
+        payload = RunResult(task="extract", spec=ExperimentSpec()).to_dict()
+        payload["format"] = "repro.other/v9"
+        with pytest.raises(DataShapeError, match="expected a"):
+            RunResult.from_dict(payload)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(DataShapeError, match="task"):
+            RunResult(task="frobnicate", spec=ExperimentSpec())
+
+    def test_rounds_are_normalized_on_construction(self):
+        """Driver-style 'participants' records come out in canonical keys."""
+        result = RunResult(
+            task="extract",
+            spec=ExperimentSpec(),
+            rounds=[{"round": 0, "kind": "length", "level": -1,
+                     "participants": 42, "elapsed_seconds": 0.5}],
+        )
+        assert set(result.rounds[0]) == set(ROUND_KEYS)
+        assert result.rounds[0]["reports"] == 42
+        assert result.rounds[0]["reports_per_second"] == pytest.approx(84.0)
+
+    def test_normalize_round_defaults(self):
+        record = normalize_round({})
+        assert set(record) == set(ROUND_KEYS)
+        assert record["reports"] == 0
+        assert record["reports_per_second"] == 0.0
+
+    def test_json_document_is_plain_data(self):
+        """The serialized artifact is valid strict JSON (no NaN, no objects)."""
+        result = RunResult(
+            task="cluster",
+            spec=ExperimentSpec(),
+            estimates=[{"shape": "ab", "estimated_count": None}],
+            metrics={"ari": 0.5},
+        )
+        parsed = json.loads(result.to_json())
+        assert parsed["estimates"][0]["estimated_count"] is None
+
+
+class TestAccessors:
+    def test_shapes_and_frequencies(self):
+        result = RunResult(
+            task="extract",
+            spec=ExperimentSpec(),
+            estimates=[
+                {"shape": "abc", "estimated_count": 10.5},
+                {"shape": "cba", "estimated_count": None},
+            ],
+        )
+        assert result.shapes == ["abc", "cba"]
+        assert result.frequencies[0] == 10.5
+        assert result.frequencies[1] != result.frequencies[1]  # NaN
+
+    def test_shapes_by_class_groups_labels(self):
+        result = RunResult(
+            task="classify",
+            spec=ExperimentSpec(),
+            estimates=[
+                {"shape": "ab", "estimated_count": 3.0, "label": 1},
+                {"shape": "ba", "estimated_count": 2.0, "label": 0},
+                {"shape": "aa", "estimated_count": 1.0, "label": 1},
+            ],
+        )
+        assert result.shapes_by_class() == {0: ["ba"], 1: ["ab", "aa"]}
+
+    def test_data_echo_round_trips_dataspec(self):
+        data = DataSpec(source="trace", n_users=123, seed=7)
+        result = RunResult(task="extract", spec=ExperimentSpec(),
+                           data=data.describe())
+        replayed = RunResult.from_json(result.to_json())
+        assert DataSpec.from_dict(replayed.data) == data

@@ -1,0 +1,156 @@
+"""SweepSpec grids: expansion, JSON round-trips, execution, fingerprints."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    DataSpec,
+    ExperimentSpec,
+    PrivacySpec,
+    SAXSpec,
+    SweepResult,
+    SweepSpec,
+)
+from repro.exceptions import ConfigurationError
+
+# --------------------------------------------------------------- strategies
+
+epsilons = st.floats(min_value=0.1, max_value=16.0, allow_nan=False,
+                     allow_infinity=False)
+
+data_specs = st.builds(
+    DataSpec,
+    source=st.sampled_from(["synthetic", "symbols", "trace", "waves"]),
+    n_users=st.integers(min_value=1, max_value=10**6),
+    seed=st.integers(min_value=0, max_value=2**31),
+    n_templates=st.integers(min_value=1, max_value=12),
+    template_length=st.integers(min_value=2, max_value=9),
+)
+
+base_specs = st.builds(
+    ExperimentSpec,
+    mechanism=st.sampled_from(["privshape", "baseline", "pem"]),
+    privacy=st.builds(PrivacySpec, epsilon=epsilons),
+    sax=st.builds(SAXSpec, alphabet_size=st.integers(min_value=2, max_value=8)),
+)
+
+sweep_specs = st.builds(
+    SweepSpec,
+    base=base_specs,
+    task=st.sampled_from(["extract", "cluster", "classify"]),
+    epsilons=st.lists(epsilons, max_size=4, unique=True).map(tuple),
+    mechanisms=st.lists(
+        st.sampled_from(["privshape", "baseline", "pem"]), max_size=3,
+        unique=True,
+    ).map(tuple),
+    alphabet_sizes=st.lists(
+        st.integers(min_value=2, max_value=8), max_size=3, unique=True
+    ).map(tuple),
+    segment_lengths=st.lists(
+        st.integers(min_value=1, max_value=50), max_size=3, unique=True
+    ).map(tuple),
+    datasets=st.lists(data_specs, max_size=2).map(tuple),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(sweep=sweep_specs)
+    def test_json_round_trip_is_lossless(self, sweep):
+        """from_json(to_json(s)) reproduces the grid exactly."""
+        replayed = SweepSpec.from_json(sweep.to_json())
+        assert replayed == sweep
+        assert replayed.points() == sweep.points()
+
+    @settings(max_examples=40, deadline=None)
+    @given(sweep=sweep_specs)
+    def test_expansion_size_is_product_of_axes(self, sweep):
+        expected = 1
+        for values in sweep.axes().values():
+            expected *= len(values)
+        assert len(sweep.points()) == expected
+        assert len(sweep) == expected
+
+
+class TestExpansion:
+    def test_point_order_is_deterministic(self):
+        sweep = SweepSpec(epsilons=(1.0, 2.0), alphabet_sizes=(3, 4))
+        assert sweep.points() == [
+            {"alphabet_size": 3, "epsilon": 1.0},
+            {"alphabet_size": 3, "epsilon": 2.0},
+            {"alphabet_size": 4, "epsilon": 1.0},
+            {"alphabet_size": 4, "epsilon": 2.0},
+        ]
+
+    def test_spec_for_applies_every_axis(self):
+        sweep = SweepSpec(
+            base=ExperimentSpec(mechanism="privshape"),
+            epsilons=(2.0,),
+            mechanisms=("baseline",),
+            alphabet_sizes=(5,),
+            segment_lengths=(17,),
+        )
+        (point,) = sweep.points()
+        spec = sweep.spec_for(point)
+        assert spec.mechanism == "baseline"
+        assert spec.privacy.epsilon == 2.0
+        assert spec.sax.alphabet_size == 5
+        assert spec.sax.segment_length == 17
+
+    def test_empty_grid_is_one_base_run(self):
+        assert SweepSpec().points() == [{}]
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ConfigurationError, match="task"):
+            SweepSpec(task="teleport")
+
+    def test_dataset_axis_survives_dict_form(self):
+        sweep = SweepSpec(datasets=(DataSpec(source="trace", n_users=99),))
+        rebuilt = SweepSpec.from_dict(sweep.to_dict())
+        assert rebuilt.datasets[0].source == "trace"
+        assert rebuilt.datasets[0].n_users == 99
+
+
+DATA = DataSpec(source="synthetic", n_users=1500, seed=4)
+BASE = ExperimentSpec(mechanism="privshape", privacy=PrivacySpec(epsilon=6.0))
+
+
+class TestExecution:
+    def test_mini_sweep_runs_every_point(self):
+        sweep = SweepSpec(base=BASE, task="extract", epsilons=(2.0, 6.0))
+        result = sweep.run(DATA, backend="inline", seed=1)
+        assert len(result.runs) == 2
+        assert [run.spec.privacy.epsilon for run in result.runs] == [2.0, 6.0]
+        assert all(run.estimates for run in result.runs)
+
+    def test_parallel_fanout_preserves_order_and_results(self):
+        sweep = SweepSpec(base=BASE, task="extract", epsilons=(2.0, 6.0))
+        serial = sweep.run(DATA, backend="inline", seed=1)
+        fanned = sweep.run(DATA, backend="inline", seed=1, parallel=2)
+        assert fanned.fingerprint() == serial.fingerprint()
+
+    def test_missing_data_rejected_without_dataset_axis(self):
+        with pytest.raises(ConfigurationError, match="datasets axis"):
+            SweepSpec(base=BASE, epsilons=(1.0,)).run(None)
+
+    def test_dataset_axis_provides_per_point_data(self):
+        sweep = SweepSpec(
+            base=BASE,
+            task="extract",
+            datasets=(
+                DataSpec(source="synthetic", n_users=1000, seed=1),
+                DataSpec(source="synthetic", n_users=1000, seed=2),
+            ),
+        )
+        result = sweep.run(backend="inline", seed=0)
+        assert [run.data["seed"] for run in result.runs] == [1, 2]
+
+    def test_result_round_trip_and_table(self):
+        sweep = SweepSpec(base=BASE, task="extract", epsilons=(6.0,))
+        result = sweep.run(DATA, backend="inline", seed=2)
+        replayed = SweepResult.from_json(result.to_json())
+        assert replayed.fingerprint() == result.fingerprint()
+        headers, rows = replayed.table()
+        assert headers[0] == "epsilon"
+        assert len(rows) == 1

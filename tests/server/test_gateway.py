@@ -99,7 +99,7 @@ class TestSocketEquivalence:
     ):
         gateway = CollectionGateway(PrivShapeConfig(**CONFIG), rng=5, n_shards=2)
         with serve_in_thread(gateway) as handle:
-            with GatewayClient(handle.host, handle.port) as client:
+            with handle.client() as client:
                 while not (current := client.round())["done"]:
                     batches = _collect_round_batches(
                         population, current["plan"], current["round"], 250
@@ -147,7 +147,7 @@ class TestSocketEquivalence:
         recovered = CollectionGateway.from_checkpoint(checkpoint_dir)
         assert recovered.engine.current_round.index == current["round"]["index"]
         with serve_in_thread(recovered) as handle:
-            with GatewayClient(handle.host, handle.port) as client:
+            with handle.client() as client:
                 duplicates = 0
                 for batch, batch_id in batches:  # replay the full round
                     if not client.report(batch, batch_id)["accepted"]:
@@ -171,7 +171,7 @@ class TestSocketEquivalence:
             checkpoint_every=2,
         )
         handle = serve_in_thread(gateway)
-        with GatewayClient(handle.host, handle.port) as client:
+        with handle.client() as client:
             current = client.round()
             batches = _collect_round_batches(
                 population, current["plan"], current["round"], 150
@@ -184,7 +184,7 @@ class TestSocketEquivalence:
 
         recovered = CollectionGateway.from_checkpoint(checkpoint_dir)
         with serve_in_thread(recovered) as handle:
-            with GatewayClient(handle.host, handle.port) as client:
+            with handle.client() as client:
                 for batch, batch_id in batches:
                     client.report(batch, batch_id)
                 client.close_round(current["round"]["index"])
@@ -197,7 +197,7 @@ class TestProtocolErrors:
     def served(self):
         gateway = CollectionGateway(PrivShapeConfig(**CONFIG), rng=5)
         with serve_in_thread(gateway) as handle:
-            with GatewayClient(handle.host, handle.port) as client:
+            with handle.client() as client:
                 yield handle, client
 
     def test_result_before_done_is_rejected(self, served):

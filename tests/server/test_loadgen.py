@@ -6,7 +6,7 @@ import pytest
 from repro.core.config import PrivShapeConfig
 from repro.core.privshape import PrivShape
 from repro.server import CollectionGateway, batch_id_for, run_loadgen, serve_in_thread
-from repro.server.loadgen import _worker_slices
+from repro.service.population import worker_slices
 from repro.service import EncodedPopulation, SyntheticShapeStream, default_templates
 
 ALPHABET = ("a", "b", "c", "d")
@@ -56,7 +56,7 @@ class TestRangeIteration:
 
     def test_worker_slices_partition_the_population(self):
         for n_users, workers in [(10, 3), (1000, 4), (3, 8)]:
-            slices = _worker_slices(n_users, workers)
+            slices = worker_slices(n_users, workers)
             covered = [i for start, stop in slices for i in range(start, stop)]
             assert covered == list(range(n_users))
 

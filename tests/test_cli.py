@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro import __version__
+from repro.api import DataSpec, ExperimentSpec, PrivacySpec, SweepSpec
 from repro.cli import build_parser, main
 
 
@@ -33,6 +34,34 @@ class TestParser:
     def test_unknown_mechanism_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["extract", "--mechanism", "magic"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.task == "extract"
+        assert args.backend == "inline"
+        assert args.dataset == "trace"
+
+    def test_run_accepts_every_backend(self):
+        for backend in ("inline", "sharded", "gateway", "subprocess"):
+            args = build_parser().parse_args(["run", "--backend", backend])
+            assert args.backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "quantum"])
+
+    def test_sweep_grid_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--task", "extract", "--mechanisms", "privshape", "baseline",
+             "--alphabet-sizes", "3", "4", "--datasets", "trace", "symbols",
+             "--backend", "gateway", "--parallel", "2"]
+        )
+        assert args.mechanisms == ["privshape", "baseline"]
+        assert args.alphabet_sizes == [3, 4]
+        assert args.datasets == ["trace", "symbols"]
+        assert args.backend == "gateway"
+        assert args.parallel == 2
 
 
 class TestCommands:
@@ -208,6 +237,171 @@ class TestJsonOutput:
         assert payload["throughput"]["reports_per_second"] > 0
         assert len(payload["throughput"]["rounds"]) >= 3
         assert payload["shapes"]
+
+
+class TestRunCommand:
+    """The canonical `repro run` path: one spec, one backend, one RunResult."""
+
+    def _run_json(self, capsys, argv):
+        exit_code = main(argv + ["--json"])
+        assert exit_code == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_run_extract_synthetic(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["run", "--dataset", "synthetic", "--users", "2000", "--seed", "11"],
+        )
+        assert payload["command"] == "run"
+        assert payload["task"] == "extract"
+        assert payload["backend"] == "inline"
+        assert payload["estimates"]
+        assert payload["timings"]["total_reports"] == 2000
+
+    def test_run_matches_legacy_extract(self, capsys):
+        """`run --task extract` and the deprecated `extract` shim agree."""
+        run_payload = self._run_json(
+            capsys,
+            ["run", "--dataset", "trace", "--users", "600", "--epsilon", "6",
+             "--seed", "1"],
+        )
+        with pytest.deprecated_call():
+            extract_payload = self._run_json(
+                capsys,
+                ["extract", "--dataset", "trace", "--users", "600",
+                 "--epsilon", "6", "--seed", "1"],
+            )
+        assert run_payload["estimates"] == extract_payload["estimates"]
+        assert run_payload["accounting"] == extract_payload["accounting"]
+
+    def test_run_task_cluster(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["run", "--task", "cluster", "--dataset", "symbols",
+             "--users", "900", "--epsilon", "6", "--evaluation-size", "100",
+             "--seed", "4"],
+        )
+        assert payload["task"] == "cluster"
+        assert -1.0 <= payload["ari"] <= 1.0
+
+    def test_run_gateway_backend_matches_inline(self, capsys):
+        inline = self._run_json(
+            capsys,
+            ["run", "--dataset", "synthetic", "--users", "2000", "--seed", "7"],
+        )
+        gateway = self._run_json(
+            capsys,
+            ["run", "--dataset", "synthetic", "--users", "2000", "--seed", "7",
+             "--backend", "gateway", "--shards", "2"],
+        )
+        assert gateway["backend"] == "gateway"
+        assert gateway["estimates"] == inline["estimates"]
+        assert gateway["accounting"] == inline["accounting"]
+
+    def test_run_data_spec_file(self, tmp_path, capsys):
+        data = DataSpec(source="synthetic", n_users=1500, seed=3)
+        path = tmp_path / "population.json"
+        path.write_text(data.to_json())
+        payload = self._run_json(
+            capsys, ["run", "--data-spec", str(path), "--seed", "3"]
+        )
+        assert payload["data"]["n_users"] == 1500
+
+    def test_simulate_is_deprecated_but_working(self, capsys):
+        with pytest.deprecated_call():
+            exit_code = main(
+                ["simulate", "--users", "5000", "--batch-size", "2048",
+                 "--epsilon", "6", "--seed", "7", "--json"]
+            )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["throughput"]["total_reports"] == 5000
+
+
+class TestSweepCommand:
+    def _run_json(self, capsys, argv):
+        exit_code = main(argv + ["--json"])
+        assert exit_code == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_extract_grid_sweep(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["sweep", "--task", "extract", "--dataset", "synthetic",
+             "--users", "1500", "--epsilons", "2", "6",
+             "--alphabet-sizes", "3", "4", "--seed", "5"],
+        )
+        assert payload["command"] == "sweep"
+        assert len(payload["runs"]) == 4
+        assert [
+            (p["alphabet_size"], p["epsilon"]) for p in payload["points"]
+        ] == [(3, 2.0), (3, 6.0), (4, 2.0), (4, 6.0)]
+
+    def test_sweep_spec_file_round_trip(self, tmp_path, capsys):
+        sweep = SweepSpec(
+            base=ExperimentSpec(mechanism="privshape",
+                                privacy=PrivacySpec(epsilon=6.0)),
+            task="extract",
+            epsilons=(6.0,),
+            datasets=(DataSpec(source="synthetic", n_users=1200, seed=2),),
+        )
+        path = tmp_path / "sweep.json"
+        path.write_text(sweep.to_json())
+        payload = self._run_json(capsys, ["sweep", "--sweep-spec", str(path)])
+        assert len(payload["runs"]) == 1
+        assert payload["runs"][0]["data"]["n_users"] == 1200
+
+
+class TestJsonSchema:
+    """`--json` key naming is normalized across sub-commands (no eps/ARI
+    spelling drift): every run-shaped payload carries the RunResult document
+    plus identical convenience keys."""
+
+    REQUIRED = ("command", "format", "task", "backend", "spec", "estimates",
+                "shapes", "mechanism", "epsilon", "dataset", "users",
+                "accounting", "metrics", "timings", "data", "repro_version")
+
+    def _run_json(self, capsys, argv):
+        exit_code = main(argv + ["--json"])
+        assert exit_code == 0
+        return json.loads(capsys.readouterr().out)
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--dataset", "synthetic", "--users", "1500", "--seed", "1"],
+            ["cluster", "--dataset", "symbols", "--users", "600",
+             "--epsilon", "6", "--evaluation-size", "60", "--seed", "4"],
+            ["classify", "--dataset", "trace", "--users", "600",
+             "--epsilon", "6", "--evaluation-size", "60", "--seed", "3"],
+        ],
+    )
+    def test_common_schema(self, capsys, argv):
+        payload = self._run_json(capsys, argv)
+        for key in self.REQUIRED:
+            assert key in payload, f"{argv[0]}: missing {key}"
+        # Normalized spellings: epsilon (never eps), lowercase metric names.
+        assert "eps" not in payload
+        assert "ARI" not in payload
+        assert payload["epsilon"] == payload["spec"]["privacy"]["epsilon"]
+        for entry in payload["shapes"]:
+            assert set(entry) >= {"shape", "estimated_count"}
+        if payload["task"] == "cluster":
+            assert isinstance(payload["ari"], float)
+        if payload["task"] == "classify":
+            assert isinstance(payload["accuracy"], float)
+            assert payload["shapes_by_class"]
+
+    def test_sweep_metric_names_are_lowercase(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["sweep", "--task", "cluster", "--dataset", "symbols",
+             "--users", "600", "--epsilons", "6", "--evaluation-size", "60",
+             "--seed", "4"],
+        )
+        assert payload["metric_name"] == "ari"
+        assert all("ari" in point for point in payload["points"])
+        assert all("ARI" not in point for point in payload["points"])
 
 
 class TestServeAndLoadgen:
