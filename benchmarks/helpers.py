@@ -144,6 +144,7 @@ def record_benchmark(
     units: str,
     seed: int | None = None,
     backend: str = "inline",
+    workers: int | None = None,
     extra: dict[str, Any] | None = None,
 ) -> Path:
     """Persist one machine-readable benchmark result next to the ``.txt`` tables.
@@ -163,6 +164,7 @@ def record_benchmark(
         "units": units,
         "seed": seed,
         "backend": backend,
+        "workers": workers,
         "bench_users": bench_users(),
         "bench_trials": bench_trials(),
         "repro_version": repro.__version__,

@@ -69,6 +69,7 @@ def test_gateway_socket_throughput(benchmark):
         units="reports/sec",
         seed=0,
         backend="gateway",
+        workers=0,
         extra={
             "users": N_USERS,
             "shards": N_SHARDS,

@@ -17,9 +17,11 @@ Specs round-trip through JSON (``spec.to_json()`` / ``ExperimentSpec.from_json``
 and are consumed identically by the offline pipelines, ``repro.cli``, and the
 federated collection service (:class:`ProtocolDriver`).  Execution is unified
 behind ``spec.run(data, backend=...)``: the ``inline``, ``sharded``,
-``gateway``, and ``subprocess`` backends all return the same structured
-:class:`RunResult` artifact, byte-identical under one master seed, and
-:class:`SweepSpec` expands eps/mechanism/dataset/SAX grids over any backend.
+``gateway``, ``cluster``, and ``subprocess`` backends all return the same
+structured :class:`RunResult` artifact, byte-identical under one master seed
+(the ``cluster`` backend runs a supervised multi-process coordinator/worker
+topology — see :mod:`repro.cluster`), and :class:`SweepSpec` expands
+eps/mechanism/dataset/SAX grids over any backend.
 Lower-level use — building a mechanism directly — goes through the
 registries:
 
@@ -101,8 +103,16 @@ from repro.server import (
     run_loadgen,
     serve_in_thread,
 )
+from repro.cluster import (
+    ClusterSpec,
+    Coordinator,
+    ShardWorker,
+    Supervisor,
+    launch_cluster,
+    run_cluster_loadgen,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Legacy config classes served via module __getattr__ with a deprecation
 #: warning; ExperimentSpec is the composable replacement.
@@ -165,6 +175,12 @@ __all__ = [
     "CheckpointStore",
     "run_loadgen",
     "serve_in_thread",
+    "ClusterSpec",
+    "Coordinator",
+    "ShardWorker",
+    "Supervisor",
+    "launch_cluster",
+    "run_cluster_loadgen",
     "__version__",
 ]
 

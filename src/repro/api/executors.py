@@ -479,6 +479,93 @@ def run_gateway(request: ExecutionRequest) -> RunResult:
     )
 
 
+# ----------------------------------------------------------- cluster backend
+
+
+@register_executor(
+    "cluster",
+    "multi-process execution: boots a supervised coordinator/worker cluster "
+    "and streams each user-id slice straight to its owning shard worker",
+    options=("workers", "queue_depth", "checkpoint_every", "loadgen_workers",
+             "mp_context", "kill_round", "kill_worker", "kill_after_batches"),
+)
+def run_cluster(request: ExecutionRequest) -> RunResult:
+    _require_privshape(request, "cluster")
+    # Imported lazily for the same reason as the gateway backend.
+    from repro.cluster.loadgen import ChaosKill, run_cluster_loadgen
+    from repro.cluster.testing import launch_cluster
+
+    n_workers = int(request.option("workers", 2))
+    batch_size = int(request.option("batch_size", 8192))
+    loadgen_workers = int(request.option("loadgen_workers", 0))
+    mp_context = str(request.option("mp_context", "spawn"))
+    kill_round = request.option("kill_round", None)
+    chaos = None
+    if kill_round is not None:
+        # Fault injection: SIGKILL one shard worker mid-round and prove the
+        # supervised recovery leaves the estimates untouched.
+        chaos = ChaosKill(
+            round_index=int(kill_round),
+            worker_index=int(request.option("kill_worker", 0)),
+            after_batches=int(request.option("kill_after_batches", 1)),
+        )
+    started = time.perf_counter()
+    with launch_cluster(
+        request.spec.to_privshape_config(),
+        n_users=request.population.n_users,
+        n_workers=n_workers,
+        rng=request.seed,
+        queue_depth=int(request.option("queue_depth", 64)),
+        checkpoint_every=int(request.option("checkpoint_every", 16)),
+        mp_context=mp_context,
+    ) as cluster:
+        host, port = cluster.host, cluster.port
+        stats = run_cluster_loadgen(
+            host,
+            port,
+            request.population,
+            batch_size=batch_size,
+            workers=loadgen_workers,
+            mp_context=mp_context,
+            chaos=chaos,
+        )
+        restarts = cluster.supervisor.restarts
+    elapsed = time.perf_counter() - started
+    payload = stats.result or {}
+    estimates = [
+        {"shape": shape, "estimated_count": float(count)}
+        for shape, count in zip(payload.get("shapes", []),
+                                payload.get("frequencies", []))
+    ]
+    return RunResult(
+        task=TASK_EXTRACT,
+        spec=request.spec,
+        backend="cluster",
+        seed=request.seed,
+        estimates=estimates,
+        estimated_length=payload.get("estimated_length"),
+        metrics={"elapsed_seconds": elapsed},
+        accounting=dict(payload.get("accounting", {})),
+        rounds=[r.to_dict() for r in stats.rounds],
+        timings={
+            "total_reports": stats.total_reports,
+            "total_seconds": stats.total_seconds,
+            "reports_per_second": stats.reports_per_second,
+        },
+        backend_info={
+            "host": host,
+            "port": port,
+            "n_workers": n_workers,
+            "batch_size": batch_size,
+            "loadgen_workers": loadgen_workers,
+            "restarts": restarts,
+            "retries": stats.retries,
+            "server_status": stats.server_status,
+        },
+        data={} if request.data is None else request.data.describe(),
+    )
+
+
 # -------------------------------------------------------- subprocess backend
 
 

@@ -66,7 +66,7 @@ from repro.api import (
 )
 from repro.api.sweep import AXIS_ORDER
 from repro.exceptions import ReproError
-from repro.server import CollectionGateway, GatewayClient, run_loadgen
+from repro.server import CollectionGateway, GatewayClient, publish_port, run_loadgen
 
 #: Dataset sources selectable with --dataset (DataSpec sources).
 DATASET_CHOICES = ("trace", "symbols", "waves", "synthetic")
@@ -572,9 +572,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     async def _serve() -> None:
         await gateway.start(args.host, args.port)
         if args.port_file:
-            # Written only once the listener is bound, so scripts can poll
-            # this file to learn an ephemeral (--port 0) port race-free.
-            Path(args.port_file).write_text(f"{gateway.port}\n", encoding="utf-8")
+            # Published only once the listener is bound, and atomically
+            # (write-temp + rename), so scripts polling this file to learn an
+            # ephemeral (--port 0) port can never read a torn write.
+            publish_port(args.port_file, gateway.port)
         announcement = {
             "event": "listening",
             "host": gateway.host,
@@ -604,16 +605,37 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def _command_loadgen(args: argparse.Namespace) -> int:
-    """Drive a running gateway through a full synthetic collection run."""
+    """Drive a running gateway or cluster through a full collection run."""
     population, templates, alphabet_size = _synthetic_stream(args)
     try:
-        stats = run_loadgen(
-            args.host,
-            args.port,
-            population,
-            batch_size=args.batch_size,
-            workers=args.workers,
-        )
+        if args.cluster:
+            from repro.cluster import ChaosKill, run_cluster_loadgen
+
+            chaos = None
+            if args.chaos_kill_round is not None:
+                # Fault injection for smoke tests: SIGKILL one shard worker
+                # mid-round and let the supervised recovery prove itself.
+                chaos = ChaosKill(
+                    round_index=args.chaos_kill_round,
+                    worker_index=args.chaos_kill_worker,
+                    after_batches=args.chaos_kill_after,
+                )
+            stats = run_cluster_loadgen(
+                args.host,
+                args.port,
+                population,
+                batch_size=args.batch_size,
+                workers=args.workers,
+                chaos=chaos,
+            )
+        else:
+            stats = run_loadgen(
+                args.host,
+                args.port,
+                population,
+                batch_size=args.batch_size,
+                workers=args.workers,
+            )
         if args.stop_server:
             with GatewayClient(args.host, args.port) as client:
                 client.stop()
@@ -625,6 +647,7 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         "command": "loadgen",
         "host": args.host,
         "port": args.port,
+        "cluster": bool(args.cluster),
         "users": args.users,
         "batch_size": args.batch_size,
         "workers": args.workers,
@@ -632,9 +655,11 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         "templates": list(templates),
         **stats.to_dict(),
     }
+    target = "cluster coordinator" if args.cluster else "gateway"
     lines = [
-        f"load generation against {args.host}:{args.port}: {args.users} users, "
-        f"{args.workers or 'in-process'} worker(s), batch size {args.batch_size}",
+        f"load generation against {target} {args.host}:{args.port}: "
+        f"{args.users} users, {args.workers or 'in-process'} worker(s), "
+        f"batch size {args.batch_size}",
         "rounds:",
     ]
     for round_stats in stats.rounds:
@@ -645,13 +670,121 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         )
     lines.append(
         f"total: {stats.total_reports} reports in {stats.total_seconds:.2f}s "
-        f"= {stats.reports_per_second:,.0f} reports/sec over the socket"
+        f"= {stats.reports_per_second:,.0f} reports/sec over the socket "
+        f"({stats.batches} batches, {stats.retries} retries)"
     )
     lines.append(f"estimated frequent length: {result.get('estimated_length')}")
     lines.append("top shapes (from GET /result):")
     for shape, frequency in zip(result.get("shapes", []), result.get("frequencies", [])):
         lines.append(f"  {shape:<16} estimated count {frequency:12.1f}")
     _emit(args, payload, "\n".join(lines))
+    return 0
+
+
+def _command_cluster_serve(args: argparse.Namespace) -> int:
+    """Boot a supervised worker fleet plus coordinator; serve until stopped."""
+    import tempfile
+
+    from repro.cluster import Coordinator, Supervisor
+
+    try:
+        spec = _load_spec(args.spec) if args.spec else _serving_spec(args)
+    except ReproError as exc:
+        raise SystemExit(f"cannot start cluster: {exc}") from exc
+    cluster_dir = args.cluster_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+    supervisor = Supervisor(
+        args.workers,
+        cluster_dir,
+        host=args.host,
+        n_shards=args.shards,
+        queue_depth=args.queue_depth or 64,
+        checkpoint_every=args.checkpoint_every,
+    )
+    try:
+        supervisor.start()
+        coordinator = Coordinator(
+            spec,
+            supervisor.cluster_spec(),
+            n_users=args.users,
+            rng=args.seed,
+            supervisor=supervisor,
+        )
+
+        async def _serve() -> None:
+            await coordinator.start(args.host, args.port)
+            if args.port_file:
+                publish_port(args.port_file, coordinator.port)
+            announcement = {
+                "event": "listening",
+                "host": coordinator.host,
+                "port": coordinator.port,
+                "n_workers": supervisor.n_workers,
+                "n_users": args.users,
+                "cluster_dir": cluster_dir,
+                "worker_ports": [w.port for w in supervisor.cluster_spec()],
+                "stage": coordinator.engine.stage,
+            }
+            _emit(
+                args,
+                announcement,
+                f"cluster coordinator listening on "
+                f"{coordinator.host}:{coordinator.port} "
+                f"({supervisor.n_workers} worker(s), {args.users} users, "
+                f"state in {cluster_dir})",
+            )
+            sys.stdout.flush()
+            await coordinator.serve_until_stopped()
+
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    except ReproError as exc:
+        raise SystemExit(f"cannot start cluster: {exc}") from exc
+    finally:
+        supervisor.stop()
+    return 0
+
+
+def _command_cluster_status(args: argparse.Namespace) -> int:
+    """Print a running cluster's status (coordinator + per-worker health)."""
+    try:
+        with GatewayClient(args.host, args.port) as client:
+            status = client.status()
+    except ReproError as exc:
+        raise SystemExit(f"cannot reach cluster: {exc}") from exc
+    lines = [
+        f"cluster at {args.host}:{args.port}: stage {status.get('stage')}, "
+        f"round {status.get('round')}, "
+        f"{status.get('rounds_closed', 0)} round(s) closed, "
+        f"{status.get('total_reports', 0)} reports",
+    ]
+    for worker in status.get("workers", []):
+        state = "alive" if worker.get("alive") else "DOWN"
+        detail = worker.get("status", {})
+        lines.append(
+            f"  worker {worker['index']} @ {worker['host']}:{worker['port']} "
+            f"[{state}] pid={worker.get('pid')} "
+            f"reports={detail.get('total_reports', '?')} "
+            f"checkpoint_lag={detail.get('checkpoint_lag_batches', '?')}"
+        )
+    if "restarts" in status:
+        lines.append(f"restarts: {status['restarts']}")
+    _emit(args, {"command": "cluster-status", "status": status}, "\n".join(lines))
+    return 0
+
+
+def _command_cluster_stop(args: argparse.Namespace) -> int:
+    """Ask a running cluster coordinator to shut down."""
+    try:
+        with GatewayClient(args.host, args.port) as client:
+            client.stop()
+    except ReproError as exc:
+        raise SystemExit(f"cannot reach cluster: {exc}") from exc
+    _emit(
+        args,
+        {"command": "cluster-stop", "stopping": True},
+        f"cluster at {args.host}:{args.port} is stopping",
+    )
     return 0
 
 
@@ -755,9 +888,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(extract)
     extract.set_defaults(handler=_command_extract)
 
-    cluster = subparsers.add_parser("cluster", help="run the clustering-task evaluation")
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run the clustering-task evaluation, or manage a collection "
+             "cluster (`cluster serve` / `cluster status` / `cluster stop`)",
+    )
     _add_common_arguments(cluster)
     cluster.set_defaults(handler=_command_cluster)
+    # Optional nested sub-commands: a bare `repro cluster` stays the paper's
+    # clustering evaluation; `repro cluster serve/status/stop` manage the
+    # multi-process collection cluster.
+    cluster_sub = cluster.add_subparsers(dest="cluster_command")
+
+    cluster_serve = cluster_sub.add_parser(
+        "serve",
+        help="boot a supervised coordinator/worker collection cluster",
+    )
+    cluster_serve.add_argument("--users", type=int, default=100_000,
+                               help="population size the cluster is sized for")
+    cluster_serve.add_argument("--workers", type=int, default=2,
+                               help="shard-worker processes to supervise")
+    cluster_serve.add_argument("--cluster-dir", default=None, metavar="DIR",
+                               help="directory for worker state (ports, pids, "
+                                    "checkpoints); default: a temp directory")
+    cluster_serve.add_argument("--host", default="127.0.0.1",
+                               help="interface to bind")
+    cluster_serve.add_argument("--port", type=int, default=0,
+                               help="coordinator TCP port (0 picks ephemeral)")
+    cluster_serve.add_argument("--port-file", default=None, metavar="FILE",
+                               help="atomically publish the coordinator port "
+                                    "to FILE once listening")
+    cluster_serve.add_argument("--epsilon", type=float, default=4.0,
+                               help="user-level privacy budget")
+    cluster_serve.add_argument("--metric", default=None,
+                               help="distance metric (default: sed)")
+    cluster_serve.add_argument("--top-k", type=int, default=None,
+                               help="number of shapes to extract (default: 3)")
+    cluster_serve.add_argument("--alphabet-size", type=int, default=None,
+                               help="SAX symbol size t (default: 4)")
+    cluster_serve.add_argument("--template-length", type=int, default=5,
+                               help="length_high of the collection "
+                                    "(matches loadgen templates)")
+    cluster_serve.add_argument("--spec", default=None, metavar="FILE",
+                               help="serialized ExperimentSpec JSON; replaces "
+                                    "the spec flags")
+    cluster_serve.add_argument("--shards", type=int, default=1,
+                               help="aggregation shards per worker")
+    cluster_serve.add_argument("--queue-depth", type=int, default=None,
+                               help="bounded per-shard queue depth per worker")
+    cluster_serve.add_argument("--checkpoint-every", type=int, default=16,
+                               help="checkpoint each worker every N accepted "
+                                    "batches (crash-recovery granularity)")
+    cluster_serve.add_argument("--seed", type=int, default=0, help="random seed")
+    cluster_serve.add_argument("--json", action="store_true",
+                               help="print the listening announcement as JSON")
+    cluster_serve.set_defaults(handler=_command_cluster_serve)
+
+    cluster_status = cluster_sub.add_parser(
+        "status", help="query a running cluster's coordinator + worker health")
+    cluster_status.add_argument("--host", default="127.0.0.1")
+    cluster_status.add_argument("--port", type=int, required=True)
+    cluster_status.add_argument("--json", action="store_true",
+                                help="print the raw status document as JSON")
+    cluster_status.set_defaults(handler=_command_cluster_status)
+
+    cluster_stop = cluster_sub.add_parser(
+        "stop", help="shut a running cluster down (coordinator + workers)")
+    cluster_stop.add_argument("--host", default="127.0.0.1")
+    cluster_stop.add_argument("--port", type=int, required=True)
+    cluster_stop.add_argument("--json", action="store_true",
+                              help="print the acknowledgement as JSON")
+    cluster_stop.set_defaults(handler=_command_cluster_stop)
 
     classify = subparsers.add_parser("classify", help="run the classification-task evaluation")
     _add_common_arguments(classify)
@@ -866,8 +1067,23 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--port", type=int, required=True, help="gateway port")
     loadgen.add_argument("--workers", type=int, default=0,
                          help="load-generation worker processes (0 = in-process)")
+    loadgen.add_argument("--cluster", action="store_true",
+                         help="the target is a cluster coordinator: fetch the "
+                              "worker topology and stream each user-id slice "
+                              "straight to its owning shard worker")
+    loadgen.add_argument("--chaos-kill-round", type=int, default=None,
+                         metavar="ROUND",
+                         help="cluster mode fault injection: SIGKILL one shard "
+                              "worker during round ROUND and recover")
+    loadgen.add_argument("--chaos-kill-worker", type=int, default=0,
+                         metavar="INDEX",
+                         help="which worker --chaos-kill-round kills (default 0)")
+    loadgen.add_argument("--chaos-kill-after", type=int, default=1,
+                         metavar="BATCHES",
+                         help="kill after this many batches of the slice "
+                              "(default 1)")
     loadgen.add_argument("--stop-server", action="store_true",
-                         help="send a stop op to the gateway after the run")
+                         help="send a stop op to the server after the run")
     loadgen.set_defaults(handler=_command_loadgen)
 
     return parser

@@ -1,0 +1,350 @@
+"""The cluster's control plane: round control and exact shard-state merge.
+
+The :class:`Coordinator` owns the one :class:`~repro.service.protocol.
+PrivShapeEngine` of a cluster run — workers are engine-less, so protocol
+sequencing, the PRF round keys, and the final estimates live in exactly one
+place, just as with the single-process gateway.  Its job per round:
+
+1. broadcast ``open_round`` (round spec + user-id slice) to every worker;
+2. wait for the client to stream batches straight to the workers (the
+   coordinator is *not* on the data path — that is the whole point);
+3. on ``close_round``: ``collect`` every worker's merged int64 accumulator
+   state, add them in worker-index order (integer addition is associative
+   and commutative, so the merge equals the unsharded aggregate bit for
+   bit), feed the aggregate to the engine, and open the next round.
+
+A worker that cannot be collected (crashed mid-round) does **not** poison
+the round: ``close_round`` answers ``ok: false`` with ``retryable: true``
+and the indexes that failed, the supervisor restarts the worker from its
+checkpoint, the client replays that slice (idempotent batch ids make the
+replay exact), and retries the close.  The coordinator itself keeps no
+checkpoint — a cluster run's durability lives in the per-worker snapshots
+plus the deterministic client-side replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from repro.cluster.spec import ClusterSpec, WorkerAddress
+from repro.exceptions import (
+    ProtocolStateError,
+    ReproError,
+    ServerConnectionError,
+    ServerError,
+    WireFormatError,
+)
+from repro.server.base import SocketServiceBase, result_payload
+from repro.server.wire import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+)
+from repro.service.protocol import PrivShapeEngine
+from repro.service.rounds import RoundAccumulator, new_accumulator
+from repro.utils.rng import RngLike
+
+
+class Coordinator(SocketServiceBase):
+    """Round control, worker health, and exact merge for one cluster run."""
+
+    def __init__(
+        self,
+        config,
+        cluster: ClusterSpec,
+        *,
+        n_users: int,
+        rng: RngLike = None,
+        supervisor=None,
+        rpc_timeout: float = 60.0,
+    ) -> None:
+        if n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {n_users}")
+        # No data plane: reports flow client -> worker, never through here.
+        self._init_plumbing(0, 1)
+        self.cluster = cluster
+        self.n_users = int(n_users)
+        self.supervisor = supervisor
+        self.rpc_timeout = float(rpc_timeout)
+        self.engine = PrivShapeEngine(config, rng=rng)
+        self.rounds_closed: list[dict[str, Any]] = []
+        self.total_reports = 0
+        self.rejected_requests = 0
+        self._result_payload: dict[str, Any] | None = None
+        self.engine.open_round()
+
+    # ---------------------------------------------------------- worker RPCs
+
+    def _live_cluster(self) -> ClusterSpec:
+        """The topology with supervisor-refreshed pids, when supervised."""
+        if self.supervisor is None:
+            return self.cluster
+        return self.supervisor.cluster_spec()
+
+    async def _worker_request(
+        self, address: WorkerAddress, payload: dict[str, Any]
+    ) -> dict[str, Any]:
+        """One request/response exchange with one worker (own connection)."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(
+                    address.host, address.port, limit=MAX_LINE_BYTES
+                ),
+                timeout=self.rpc_timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ServerConnectionError(
+                f"cannot connect to worker {address.index} at "
+                f"{address.host}:{address.port}: {exc}"
+            ) from exc
+        try:
+            writer.write(encode_message(payload))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=self.rpc_timeout)
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ServerConnectionError(
+                f"worker {address.index} at {address.host}:{address.port} "
+                f"failed mid-request: {exc}"
+            ) from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        if not line:
+            raise ServerConnectionError(
+                f"worker {address.index} closed the connection without answering"
+            )
+        response = decode_message(line.strip())
+        if not response.get("ok"):
+            raise ServerError(
+                f"worker {address.index} rejected {payload.get('op')!r}: "
+                f"{response.get('error')}"
+            )
+        return response
+
+    async def _broadcast_open_round(self) -> None:
+        """Best-effort ``open_round`` to every worker (clients re-send it).
+
+        A worker that is down right now is not an error: the loadgen opens
+        the round again on every slice before streaming, which also heals
+        workers restarted from a pre-open checkpoint.
+        """
+        spec = self.engine.current_round
+        if spec is None:
+            return
+        cluster = self._live_cluster()
+        assignments = cluster.assignments(self.n_users)
+        results = await asyncio.gather(
+            *(
+                self._worker_request(
+                    address,
+                    {
+                        "op": "open_round",
+                        "round": spec.to_dict(),
+                        "start": start,
+                        "stop": stop,
+                    },
+                )
+                for address, (start, stop) in zip(cluster, assignments)
+            ),
+            return_exceptions=True,
+        )
+        for address, outcome in zip(cluster, results):
+            if isinstance(outcome, BaseException) and not isinstance(
+                outcome, ServerConnectionError
+            ):
+                if isinstance(outcome, ServerError):
+                    continue  # stale/duplicate open: the worker said why
+                raise outcome
+
+    async def _on_started(self) -> None:
+        await self._broadcast_open_round()
+
+    # ------------------------------------------------------------ dispatching
+
+    def _note_rejection(self, exc: ReproError) -> None:
+        self.rejected_requests += 1
+
+    async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        op = message.get("op")
+        if op == "hello":
+            return self._hello_payload()
+        if op == "round":
+            assert self._lock is not None
+            async with self._lock:
+                return self._round_payload()
+        if op == "close_round":
+            return await self._op_close_round(message)
+        if op == "status":
+            return {"ok": True, "status": await self._status_payload()}
+        if op == "result":
+            assert self._lock is not None
+            async with self._lock:
+                return self._op_result()
+        if op == "stop":
+            return self._signal_stop()
+        raise WireFormatError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------- ops
+
+    def _hello_payload(self) -> dict[str, Any]:
+        cluster = self._live_cluster()
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "role": "coordinator",
+            "mechanism": "privshape",
+            "epsilon": self.engine.config.epsilon,
+            "n_users": self.n_users,
+            "n_workers": cluster.n_workers,
+            "workers": [address.to_dict() for address in cluster],
+            "assignments": cluster.assignments(self.n_users),
+            "plan": self.engine.plan.to_dict(),
+        }
+
+    def _round_payload(self) -> dict[str, Any]:
+        spec = self.engine.current_round
+        cluster = self._live_cluster()
+        return {
+            "ok": True,
+            "done": spec is None and self.engine.is_done,
+            "round": None if spec is None else spec.to_dict(),
+            "plan": self.engine.plan.to_dict(),
+            "workers": [address.to_dict() for address in cluster],
+            "assignments": cluster.assignments(self.n_users),
+        }
+
+    async def _op_close_round(self, message: dict[str, Any]) -> dict[str, Any]:
+        assert self._lock is not None
+        async with self._lock:
+            spec = self.engine.current_round
+            if spec is None:
+                return self._round_payload()
+            index = message.get("round")
+            if isinstance(index, int) and index < spec.index:
+                # The round was already closed (e.g. a retried close whose
+                # first attempt succeeded after the reply was lost).
+                return self._round_payload()
+            if index != spec.index:
+                raise ProtocolStateError(
+                    f"close_round for round {index!r}, but round {spec.index} is open"
+                )
+            cluster = self._live_cluster()
+            outcomes = await asyncio.gather(
+                *(
+                    self._worker_request(address, {"op": "collect", "round": spec.index})
+                    for address in cluster
+                ),
+                return_exceptions=True,
+            )
+            failed = [
+                address.index
+                for address, outcome in zip(cluster, outcomes)
+                if isinstance(outcome, BaseException)
+            ]
+            if failed:
+                for outcome in outcomes:
+                    if isinstance(outcome, BaseException) and not isinstance(
+                        outcome, ReproError
+                    ):
+                        raise outcome
+                # Answer, don't raise: the client replays the failed slices
+                # (after the supervisor restarts the workers) and retries.
+                return {
+                    "ok": False,
+                    "error": (
+                        f"could not collect round {spec.index} from "
+                        f"workers {failed}"
+                    ),
+                    "error_type": "ServerConnectionError",
+                    "round": spec.index,
+                    "failed_workers": failed,
+                    "retryable": True,
+                }
+            aggregate = new_accumulator(spec)
+            for outcome in sorted(outcomes, key=lambda o: o["worker_index"]):
+                aggregate.merge(RoundAccumulator.from_state(outcome["state"]))
+            closed = {
+                "round": spec.index,
+                "kind": spec.kind,
+                "level": getattr(spec, "level", -1),
+                "reports": aggregate.n_reports,
+            }
+            self.engine.close_round(spec, aggregate)
+            self.rounds_closed.append(closed)
+            self.total_reports += aggregate.n_reports
+            self.engine.open_round()
+            await self._broadcast_open_round()
+            return {**self._round_payload(), "closed": closed}
+
+    async def _status_payload(self) -> dict[str, Any]:
+        spec = self.engine.current_round
+        cluster = self._live_cluster()
+        health: list[dict[str, Any]] = []
+        statuses = await asyncio.gather(
+            *(
+                self._worker_request(address, {"op": "status"})
+                for address in cluster
+            ),
+            return_exceptions=True,
+        )
+        for address, outcome in zip(cluster, statuses):
+            entry: dict[str, Any] = {
+                "index": address.index,
+                "host": address.host,
+                "port": address.port,
+                "pid": address.pid,
+                "alive": not isinstance(outcome, BaseException),
+            }
+            if isinstance(outcome, BaseException):
+                entry["error"] = str(outcome)
+            else:
+                entry["status"] = outcome["status"]
+            health.append(entry)
+        payload = {
+            "role": "coordinator",
+            "stage": self.engine.stage,
+            "done": self.engine.is_done,
+            "round": None if spec is None else spec.index,
+            "kind": None if spec is None else spec.kind,
+            "rounds_closed": len(self.rounds_closed),
+            "total_reports": self.total_reports,
+            "rejected_requests": self.rejected_requests,
+            "n_users": self.n_users,
+            "n_workers": cluster.n_workers,
+            "workers": health,
+            "epsilon": self.engine.config.epsilon,
+            "uptime_seconds": time.monotonic() - self._started_at,
+        }
+        if self.supervisor is not None:
+            payload["restarts"] = list(self.supervisor.restarts)
+        return payload
+
+    def _op_result(self) -> dict[str, Any]:
+        if not self.engine.is_done:
+            raise ProtocolStateError(
+                f"protocol still in stage {self.engine.stage!r}; "
+                "close every round first"
+            )
+        if self._result_payload is None:
+            self._result_payload = result_payload(self.engine)
+        return {"ok": True, "result": self._result_payload}
+
+    # ---------------------------------------------------------------- HTTP
+
+    async def _http_payload(self, path: str) -> tuple[int, dict[str, Any]]:
+        if path == "/status":
+            return 200, {"ok": True, "status": await self._status_payload()}
+        if path == "/result":
+            assert self._lock is not None
+            async with self._lock:
+                try:
+                    return 200, self._op_result()
+                except ReproError as exc:
+                    return 409, {"ok": False, "error": str(exc)}
+        return await super()._http_payload(path)

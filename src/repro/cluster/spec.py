@@ -1,0 +1,132 @@
+"""Cluster topology description shared by the coordinator and its clients.
+
+A :class:`ClusterSpec` is a plain-data record of the collection cluster: one
+:class:`WorkerAddress` per shard worker, in worker-index order.  Clients use
+it to route report batches — :meth:`ClusterSpec.assignments` partitions the
+user-id space ``[0, n_users)`` into one contiguous slice per worker with the
+exact same :func:`~repro.service.population.worker_slices` arithmetic the
+single-gateway load generator uses, so a batch streamed to worker *i* under a
+cluster run carries precisely the users a ``workers=n`` loadgen slice *i*
+would have carried.  Because the spec is JSON round-trippable, the
+coordinator can hand it to any client in its ``hello`` payload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkerAddress:
+    """Where one shard worker listens, and (when known) its process id."""
+
+    index: int
+    host: str
+    port: int
+    pid: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "host": self.host,
+            "port": self.port,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WorkerAddress":
+        pid = data.get("pid")
+        return cls(
+            index=int(data["index"]),
+            host=str(data["host"]),
+            port=int(data["port"]),
+            pid=None if pid is None else int(pid),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The worker topology of one collection cluster, in index order."""
+
+    workers: tuple[WorkerAddress, ...]
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise ConfigurationError("a cluster needs at least one worker")
+        indexes = [worker.index for worker in self.workers]
+        if indexes != list(range(len(self.workers))):
+            raise ConfigurationError(
+                f"worker indexes must be contiguous from 0, got {indexes}"
+            )
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    def __iter__(self) -> Iterator[WorkerAddress]:
+        return iter(self.workers)
+
+    def __getitem__(self, index: int) -> WorkerAddress:
+        return self.workers[index]
+
+    # ---------------------------------------------------------------- routing
+
+    def slice_bounds(self, n_users: int) -> list[int]:
+        """The ``n_workers + 1`` contiguous partition bounds of ``[0, n_users)``."""
+        if n_users < 0:
+            raise ConfigurationError(f"n_users must be >= 0, got {n_users}")
+        return [
+            int(b) for b in np.linspace(0, n_users, self.n_workers + 1).astype(np.int64)
+        ]
+
+    def assignments(self, n_users: int) -> list[tuple[int, int]]:
+        """One ``(start, stop)`` user-id slice per worker, possibly empty.
+
+        Unlike :func:`~repro.service.population.worker_slices`, empty slices
+        are kept so the list aligns positionally with :attr:`workers` — the
+        non-empty entries are identical to ``worker_slices(n_users, n)``.
+        """
+        bounds = self.slice_bounds(n_users)
+        return [(bounds[i], bounds[i + 1]) for i in range(self.n_workers)]
+
+    def worker_for(self, user_id: int, n_users: int) -> WorkerAddress:
+        """The worker owning ``user_id`` under an ``n_users`` population."""
+        if not 0 <= user_id < n_users:
+            raise ConfigurationError(
+                f"user id {user_id} outside population [0, {n_users})"
+            )
+        bounds = self.slice_bounds(n_users)
+        # bounds is sorted; the owning slice is the last one starting at or
+        # before user_id (empty slices have start == stop and never match).
+        index = int(np.searchsorted(np.asarray(bounds), user_id, side="right")) - 1
+        return self.workers[index]
+
+    # --------------------------------------------------------------- plumbing
+
+    def with_pid(self, index: int, pid: int | None) -> "ClusterSpec":
+        """A copy with worker ``index``'s pid replaced (after a restart)."""
+        workers = list(self.workers)
+        workers[index] = replace(workers[index], pid=pid)
+        return ClusterSpec(tuple(workers))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"workers": [worker.to_dict() for worker in self.workers]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ClusterSpec":
+        return cls(
+            tuple(WorkerAddress.from_dict(worker) for worker in data["workers"])
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterSpec":
+        return cls.from_dict(json.loads(text))

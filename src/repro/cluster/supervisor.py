@@ -1,0 +1,245 @@
+"""Process supervision for the cluster's shard workers.
+
+The :class:`Supervisor` owns the worker processes' lifecycle: it spawns N
+:func:`~repro.cluster.worker.run_worker_process` children (``spawn`` context
+— safe from threaded parents), waits for each to publish its ephemeral port
+atomically, and then watches them from a monitor thread.  A worker that dies
+— crash or ``SIGKILL`` — is respawned on its *recorded* port within one poll
+interval; because the restart goes through :meth:`ShardWorker.boot`, the new
+process resumes from the dead one's last atomic checkpoint, and because the
+address is stable, clients simply reconnect and replay their slice.
+
+Everything a worker persists lives under one supervisor directory::
+
+    <directory>/worker-0.port      the atomically-published bound port
+    <directory>/worker-0.pid       current pid (refreshed on restart)
+    <directory>/worker-0/          the worker's checkpoint directory
+
+``max_restarts`` bounds crash loops: a worker that keeps dying is declared
+failed and left down, and :meth:`alive` / :meth:`failed` expose that to the
+coordinator's health reporting.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro.cluster.spec import ClusterSpec, WorkerAddress
+from repro.cluster.worker import run_worker_process
+from repro.exceptions import ServerError
+from repro.server.portfile import wait_for_port_file
+
+
+class Supervisor:
+    """Spawn, watch, and restart the shard-worker processes of one cluster."""
+
+    def __init__(
+        self,
+        n_workers: int,
+        directory: str | os.PathLike,
+        *,
+        host: str = "127.0.0.1",
+        n_shards: int = 1,
+        queue_depth: int = 64,
+        checkpoint_every: int = 16,
+        mp_context: str = "spawn",
+        poll_interval: float = 0.2,
+        max_restarts: int = 5,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self.directory = Path(directory)
+        self.host = host
+        self.n_shards = int(n_shards)
+        self.queue_depth = int(queue_depth)
+        self.checkpoint_every = int(checkpoint_every)
+        self.poll_interval = float(poll_interval)
+        self.max_restarts = int(max_restarts)
+        self._context = multiprocessing.get_context(mp_context)
+        self._lock = threading.Lock()
+        self._processes: list[multiprocessing.process.BaseProcess | None] = [
+            None
+        ] * self.n_workers
+        self._ports: list[int] = [0] * self.n_workers
+        self._restarts = [0] * self.n_workers
+        self._failed: set[int] = set()
+        self._stopping = False
+        self._monitor: threading.Thread | None = None
+
+    # ----------------------------------------------------------------- paths
+
+    def port_file(self, index: int) -> Path:
+        return self.directory / f"worker-{index}.port"
+
+    def pid_file(self, index: int) -> Path:
+        return self.directory / f"worker-{index}.pid"
+
+    def checkpoint_dir(self, index: int) -> Path:
+        return self.directory / f"worker-{index}"
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self, timeout: float = 60.0) -> "Supervisor":
+        """Spawn every worker, wait for all ports, start the monitor thread."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        for index in range(self.n_workers):
+            # Stale port files from a previous run would short-circuit the
+            # wait below with a dead port.
+            self.port_file(index).unlink(missing_ok=True)
+            self._spawn(index, port=0)
+        for index in range(self.n_workers):
+            self._ports[index] = wait_for_port_file(self.port_file(index), timeout)
+        self._monitor = threading.Thread(
+            target=self._watch, name="cluster-supervisor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def _spawn(self, index: int, port: int) -> None:
+        process = self._context.Process(
+            target=run_worker_process,
+            args=(self.host, port),
+            kwargs={
+                "worker_index": index,
+                "n_shards": self.n_shards,
+                "queue_depth": self.queue_depth,
+                "checkpoint_dir": str(self.checkpoint_dir(index)),
+                "checkpoint_every": self.checkpoint_every,
+                "port_file": str(self.port_file(index)),
+            },
+            daemon=True,
+            name=f"shard-worker-{index}",
+        )
+        process.start()
+        self._processes[index] = process
+        self._write_pid(index, process.pid)
+
+    def _write_pid(self, index: int, pid: int | None) -> None:
+        target = self.pid_file(index)
+        temp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+        temp.write_text(f"{pid}\n", encoding="utf-8")
+        os.replace(temp, target)
+
+    def _watch(self) -> None:
+        """Monitor loop: reap dead workers and respawn them on their port."""
+        while not self._stopping:
+            with self._lock:
+                if self._stopping:
+                    break
+                for index, process in enumerate(self._processes):
+                    if process is None or process.is_alive():
+                        continue
+                    if index in self._failed:
+                        continue
+                    process.join(0)
+                    if self._restarts[index] >= self.max_restarts:
+                        self._failed.add(index)
+                        continue
+                    self._restarts[index] += 1
+                    # Same recorded port: the topology handed to clients
+                    # stays valid across the restart; the new process
+                    # resumes from the dead one's checkpoint.
+                    self._spawn(index, port=self._ports[index])
+            time.sleep(self.poll_interval)
+
+    def stop(self) -> None:
+        """Terminate every worker and the monitor thread (idempotent)."""
+        self._stopping = True
+        if self._monitor is not None:
+            self._monitor.join(timeout=10.0)
+            self._monitor = None
+        with self._lock:
+            for process in self._processes:
+                if process is not None and process.is_alive():
+                    process.terminate()
+            for process in self._processes:
+                if process is not None:
+                    process.join(timeout=10.0)
+                    if process.is_alive():  # pragma: no cover - defensive
+                        process.kill()
+                        process.join(timeout=10.0)
+
+    def __enter__(self) -> "Supervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # --------------------------------------------------------------- control
+
+    def kill_worker(self, index: int) -> int:
+        """SIGKILL worker ``index`` (crash injection for tests/examples)."""
+        with self._lock:
+            process = self._processes[index]
+            if process is None or process.pid is None or not process.is_alive():
+                raise ServerError(f"worker {index} is not running")
+            os.kill(process.pid, signal.SIGKILL)
+            return process.pid
+
+    def ensure_alive(self, index: int, timeout: float = 30.0) -> None:
+        """Block until worker ``index`` accepts connections again."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                process = self._processes[index]
+                port = self._ports[index]
+                running = process is not None and process.is_alive()
+            if running:
+                try:
+                    with socket.create_connection((self.host, port), timeout=1.0):
+                        return
+                except OSError:
+                    pass
+            time.sleep(0.05)
+        raise ServerError(f"worker {index} did not come back within {timeout:.0f}s")
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def restarts(self) -> list[int]:
+        """Per-worker restart counts so far."""
+        with self._lock:
+            return list(self._restarts)
+
+    def failed(self) -> list[int]:
+        """Workers abandoned after exceeding ``max_restarts``."""
+        with self._lock:
+            return sorted(self._failed)
+
+    def alive(self) -> list[bool]:
+        """Per-worker liveness right now."""
+        with self._lock:
+            return [
+                process is not None and process.is_alive()
+                for process in self._processes
+            ]
+
+    def pids(self) -> list[int | None]:
+        """Current per-worker pids (refreshed across restarts)."""
+        with self._lock:
+            return [
+                None if process is None else process.pid
+                for process in self._processes
+            ]
+
+    def cluster_spec(self) -> ClusterSpec:
+        """The current topology (stable ports, live pids)."""
+        with self._lock:
+            return ClusterSpec(
+                tuple(
+                    WorkerAddress(
+                        index=index,
+                        host=self.host,
+                        port=self._ports[index],
+                        pid=None if process is None else process.pid,
+                    )
+                    for index, process in enumerate(self._processes)
+                )
+            )

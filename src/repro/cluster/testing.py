@@ -1,0 +1,96 @@
+"""In-process cluster hosting for tests, benchmarks, and the executor.
+
+``launch_cluster`` boots the whole topology — a :class:`~repro.cluster.
+supervisor.Supervisor` with its N OS-process shard workers, plus a
+:class:`~repro.cluster.coordinator.Coordinator` served on a daemon thread —
+yields a :class:`ClusterHandle`, and tears everything down (including the
+scratch state directory) on exit.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.supervisor import Supervisor
+from repro.server.testing import ServerHandle, serve_in_thread
+from repro.utils.rng import RngLike
+
+
+@dataclass
+class ClusterHandle:
+    """A running cluster: its coordinator, supervisor, and serving thread."""
+
+    coordinator: Coordinator
+    supervisor: Supervisor
+    handle: ServerHandle
+
+    @property
+    def host(self) -> str:
+        return self.handle.host
+
+    @property
+    def port(self) -> int:
+        return self.handle.port
+
+    def client(self, timeout: float = 60.0):
+        """A fresh blocking client connected to the coordinator."""
+        return self.handle.client(timeout=timeout)
+
+
+@contextmanager
+def launch_cluster(
+    config,
+    *,
+    n_users: int,
+    n_workers: int = 2,
+    rng: RngLike = None,
+    directory: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    n_shards: int = 1,
+    queue_depth: int = 64,
+    checkpoint_every: int = 16,
+    mp_context: str = "spawn",
+    start_timeout: float = 120.0,
+) -> Iterator[ClusterHandle]:
+    """Boot a supervised cluster, yield its handle, tear it all down after.
+
+    Without ``directory`` the worker state lives in a scratch directory that
+    is removed on exit; pass one to keep checkpoints around (e.g. to restart
+    the same cluster later).
+    """
+    scratch = directory is None
+    state_dir = tempfile.mkdtemp(prefix="repro-cluster-") if scratch else directory
+    supervisor = Supervisor(
+        n_workers,
+        state_dir,
+        host=host,
+        n_shards=n_shards,
+        queue_depth=queue_depth,
+        checkpoint_every=checkpoint_every,
+        mp_context=mp_context,
+    )
+    handle = None
+    try:
+        supervisor.start(timeout=start_timeout)
+        coordinator = Coordinator(
+            config,
+            supervisor.cluster_spec(),
+            n_users=n_users,
+            rng=rng,
+            supervisor=supervisor,
+        )
+        handle = serve_in_thread(coordinator, host, port)
+        yield ClusterHandle(coordinator, supervisor, handle)
+    finally:
+        if handle is not None:
+            handle.stop()
+        supervisor.stop()
+        if scratch:
+            shutil.rmtree(Path(state_dir), ignore_errors=True)

@@ -1,0 +1,411 @@
+"""The cluster's data plane: one OS process aggregating one user-id slice.
+
+A :class:`ShardWorker` is the collection gateway's aggregation loop with the
+engine taken out: it owns no protocol state machine and no noise plan — the
+coordinator tells it which round is open (``open_round``), it ingests
+idempotent report batches for the users in its slice exactly like the
+gateway does (bounded shard queues, dedup by batch id, vectorized int64
+accumulation), and at ``collect`` time it ships its merged
+:class:`~repro.service.rounds.RoundAccumulator` state back for the
+coordinator's exact cross-worker merge.
+
+Durability mirrors the gateway: with a checkpoint directory configured the
+worker snapshots atomically (round spec + slice + accumulator + dedup ids +
+counters), and :meth:`ShardWorker.boot` restores a killed worker to its
+last snapshot.  Replaying the slice from the top then reconstructs the lost
+tail exactly — already-checkpointed batches are deduplicated, lost ones are
+re-accumulated — which is what makes a mid-round ``SIGKILL`` invisible in
+the final estimates.
+
+``run_worker_process`` is the picklable ``multiprocessing`` entry point the
+:class:`~repro.cluster.supervisor.Supervisor` spawns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Optional
+
+from repro.exceptions import ProtocolStateError, ReproError, ServerError, WireFormatError
+from repro.server.base import SocketServiceBase
+from repro.server.portfile import publish_port
+from repro.server.state import CheckpointStore
+from repro.server.wire import PROTOCOL_VERSION, batch_from_wire, check_batch_id
+from repro.service.aggregator import ShardedAggregator
+from repro.service.plan import RoundSpec
+
+
+class ShardWorker(SocketServiceBase):
+    """Engine-less round aggregation over one disjoint user-id slice."""
+
+    def __init__(
+        self,
+        *,
+        worker_index: int = 0,
+        n_shards: int = 1,
+        queue_depth: int = 64,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 0,
+    ) -> None:
+        if worker_index < 0:
+            raise ValueError(f"worker_index must be >= 0, got {worker_index}")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self._init_plumbing(n_shards, queue_depth)
+        self.worker_index = int(worker_index)
+        self.checkpoint_every = max(int(checkpoint_every), 0)
+        self.store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+        self.round_spec: Optional[RoundSpec] = None
+        self.slice_start = 0
+        self.slice_stop = 0
+        self.aggregator: Optional[ShardedAggregator] = None
+        self.seen_batches: set[str] = set()
+        self.total_reports = 0
+        self.accepted_batches = 0
+        self.duplicate_batches = 0
+        self.rejected_batches = 0
+        self.checkpoints_written = 0
+        self._accepted_since_checkpoint = 0
+        #: True when this instance was rebuilt from a checkpoint (observability).
+        self.restored = False
+
+    # ---------------------------------------------------------------- factory
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint_dir: str,
+        *,
+        queue_depth: int | None = None,
+        checkpoint_every: int = 0,
+    ) -> "ShardWorker":
+        """Resume the worker persisted in ``checkpoint_dir`` (exact recovery)."""
+        store = CheckpointStore(checkpoint_dir)
+        state = store.load()
+        if state is None:
+            raise ServerError(f"no checkpoint found under {store.directory}")
+        worker = cls.__new__(cls)
+        worker._init_plumbing(
+            int(state["n_shards"]),
+            int(state["queue_depth"]) if queue_depth is None else int(queue_depth),
+        )
+        worker.worker_index = int(state["worker_index"])
+        worker.checkpoint_every = max(int(checkpoint_every), 0)
+        worker.store = store
+        worker.round_spec = (
+            None if state["round"] is None else RoundSpec.from_dict(state["round"])
+        )
+        worker.slice_start = int(state["slice_start"])
+        worker.slice_stop = int(state["slice_stop"])
+        worker.aggregator = (
+            None
+            if state["aggregator"] is None
+            else ShardedAggregator.from_state(state["aggregator"])
+        )
+        worker.seen_batches = set(state["seen_batches"])
+        worker.total_reports = int(state["total_reports"])
+        worker.accepted_batches = int(state["accepted_batches"])
+        worker.duplicate_batches = int(state["duplicate_batches"])
+        worker.rejected_batches = int(state["rejected_batches"])
+        worker.checkpoints_written = int(state.get("checkpoints_written", 0))
+        worker._accepted_since_checkpoint = 0
+        worker.restored = True
+        if (worker.round_spec is None) != (worker.aggregator is None):
+            raise ServerError(
+                "checkpoint is inconsistent: open round and aggregator disagree"
+            )
+        return worker
+
+    @classmethod
+    def boot(cls, checkpoint_dir: str | None = None, **kwargs: Any) -> "ShardWorker":
+        """A restored worker when a checkpoint exists, a fresh one otherwise.
+
+        This is the supervisor's restart path: the same call boots a
+        first-time worker and resurrects a killed one.
+        """
+        if checkpoint_dir is not None:
+            store = CheckpointStore(checkpoint_dir)
+            if store.load() is not None:
+                return cls.from_checkpoint(
+                    checkpoint_dir,
+                    queue_depth=kwargs.get("queue_depth"),
+                    checkpoint_every=kwargs.get("checkpoint_every", 0),
+                )
+        return cls(checkpoint_dir=checkpoint_dir, **kwargs)
+
+    # ----------------------------------------------------------- round state
+
+    def to_state(self) -> dict[str, Any]:
+        """The complete durable state of this worker's slice of the round."""
+        return {
+            "worker_index": self.worker_index,
+            "n_shards": self.n_shards,
+            "queue_depth": self.queue_depth,
+            "round": None if self.round_spec is None else self.round_spec.to_dict(),
+            "slice_start": self.slice_start,
+            "slice_stop": self.slice_stop,
+            "aggregator": None if self.aggregator is None else self.aggregator.to_state(),
+            "seen_batches": sorted(self.seen_batches),
+            "total_reports": self.total_reports,
+            "accepted_batches": self.accepted_batches,
+            "duplicate_batches": self.duplicate_batches,
+            "rejected_batches": self.rejected_batches,
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+    async def _checkpoint_locked(self) -> dict[str, Any]:
+        """Quiesce the shard queues and persist one atomic snapshot (lock held)."""
+        if self.store is None:
+            raise ServerError("no checkpoint directory is configured")
+        await self._drain()
+        path = self.store.save(self.to_state())
+        self.checkpoints_written += 1
+        self._accepted_since_checkpoint = 0
+        return {"ok": True, "path": str(path)}
+
+    async def _maybe_checkpoint_locked(self) -> None:
+        if self.store is not None:
+            await self._checkpoint_locked()
+
+    # --------------------------------------------------------------- workers
+
+    def _consume_shard_batch(self, shard: int, batch) -> None:
+        assert self.aggregator is not None  # enqueue happens under lock
+        self.aggregator.consume_shard(shard, batch)
+
+    # ------------------------------------------------------------ dispatching
+
+    def _note_rejection(self, exc: ReproError) -> None:
+        self.rejected_batches += 1
+
+    async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        op = message.get("op")
+        if op == "hello":
+            return {
+                "ok": True,
+                "protocol": PROTOCOL_VERSION,
+                "role": "shard_worker",
+                "worker_index": self.worker_index,
+                "round": None if self.round_spec is None else self.round_spec.index,
+                "slice": [self.slice_start, self.slice_stop],
+            }
+        if op == "open_round":
+            return await self._op_open_round(message)
+        if op == "report":
+            return await self._op_report(message)
+        if op == "collect":
+            return await self._op_collect(message)
+        if op == "status":
+            return {"ok": True, "status": self._status_payload()}
+        if op == "checkpoint":
+            assert self._lock is not None
+            async with self._lock:
+                return await self._checkpoint_locked()
+        if op == "stop":
+            return self._signal_stop()
+        raise WireFormatError(f"unknown op {op!r}")
+
+    # ------------------------------------------------------------------- ops
+
+    async def _op_open_round(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Install a round and this worker's user-id slice (idempotent).
+
+        Re-opening the currently open round with the same spec and slice is
+        acknowledged without touching state — that is what lets a client
+        heal a restarted worker that lost a not-yet-checkpointed open_round.
+        Opening a *newer* round implicitly abandons the current one (the
+        coordinator already collected it, or deliberately moved on).
+        """
+        spec = RoundSpec.from_dict(message.get("round") or {})
+        start = int(message.get("start", 0))
+        stop = int(message.get("stop", 0))
+        if stop < start:
+            raise WireFormatError(f"slice stop {stop} precedes start {start}")
+        assert self._lock is not None
+        async with self._lock:
+            current = self.round_spec
+            if current is not None:
+                if spec.index == current.index:
+                    if spec.to_dict() != current.to_dict() or (
+                        start != self.slice_start or stop != self.slice_stop
+                    ):
+                        raise ProtocolStateError(
+                            f"round {spec.index} is already open with a different "
+                            "spec or slice"
+                        )
+                    return self._open_ack()
+                if spec.index < current.index:
+                    raise ProtocolStateError(
+                        f"open_round for stale round {spec.index}; "
+                        f"round {current.index} is open"
+                    )
+                # Newer round: fold any queued batches into the old aggregator
+                # first so the swap never consumes a stale batch into the new
+                # round's counts.
+                await self._drain()
+            self.round_spec = spec
+            self.slice_start = start
+            self.slice_stop = stop
+            self.aggregator = ShardedAggregator(spec, n_shards=self.n_shards)
+            self.seen_batches = set()
+            await self._maybe_checkpoint_locked()
+            return self._open_ack()
+
+    def _open_ack(self) -> dict[str, Any]:
+        assert self.round_spec is not None
+        return {
+            "ok": True,
+            "round": self.round_spec.index,
+            "worker_index": self.worker_index,
+            "slice": [self.slice_start, self.slice_stop],
+        }
+
+    async def _op_report(self, message: dict[str, Any]) -> dict[str, Any]:
+        batch_id = check_batch_id(message.get("batch_id"))
+        batch = batch_from_wire(message.get("data"))
+        assert self._lock is not None
+        async with self._lock:
+            spec = self.round_spec
+            if spec is None or self.aggregator is None:
+                raise ProtocolStateError(
+                    f"worker {self.worker_index} has no open round"
+                )
+            if batch.round_index != spec.index or batch.kind != spec.kind:
+                raise ProtocolStateError(
+                    f"batch for round {batch.round_index} ({batch.kind}) does not "
+                    f"match open round {spec.index} ({spec.kind})"
+                )
+            batch.validate_against(spec)
+            if len(batch):
+                lowest = int(batch.user_ids.min())
+                highest = int(batch.user_ids.max())
+                if lowest < self.slice_start or highest >= self.slice_stop:
+                    raise ProtocolStateError(
+                        f"batch users [{lowest}, {highest}] outside worker "
+                        f"{self.worker_index} slice "
+                        f"[{self.slice_start}, {self.slice_stop})"
+                    )
+            if batch_id in self.seen_batches:
+                self.duplicate_batches += 1
+                return {
+                    "ok": True,
+                    "accepted": False,
+                    "round": spec.index,
+                    "reports": 0,
+                }
+            self.seen_batches.add(batch_id)
+            for shard, sub_batch in self.aggregator.route(batch):
+                await self._queues[shard].put(sub_batch)
+            self.total_reports += len(batch)
+            self.accepted_batches += 1
+            self._accepted_since_checkpoint += 1
+            if (
+                self.store is not None
+                and self.checkpoint_every
+                and self._accepted_since_checkpoint >= self.checkpoint_every
+            ):
+                await self._checkpoint_locked()
+            return {
+                "ok": True,
+                "accepted": True,
+                "round": spec.index,
+                "reports": len(batch),
+            }
+
+    async def _op_collect(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Ship the merged (but still open) shard state to the coordinator.
+
+        ``merged`` does not finalize: if the coordinator fails to collect a
+        peer and the round has to be replayed, this worker can keep ingesting
+        and be collected again — the second collect simply returns the newer
+        exact snapshot.
+        """
+        assert self._lock is not None
+        async with self._lock:
+            spec = self.round_spec
+            if spec is None or self.aggregator is None:
+                raise ProtocolStateError(
+                    f"worker {self.worker_index} has no open round"
+                )
+            index = message.get("round")
+            if index != spec.index:
+                raise ProtocolStateError(
+                    f"collect for round {index!r}, but round {spec.index} is open "
+                    f"on worker {self.worker_index}"
+                )
+            await self._drain()
+            await self._maybe_checkpoint_locked()
+            return {
+                "ok": True,
+                "round": spec.index,
+                "worker_index": self.worker_index,
+                "reports": self.aggregator.n_reports,
+                "state": self.aggregator.merged().to_state(),
+            }
+
+    def _status_payload(self) -> dict[str, Any]:
+        spec = self.round_spec
+        uptime = max(time.monotonic() - self._started_at, 1e-9)
+        return {
+            "role": "shard_worker",
+            "worker_index": self.worker_index,
+            "round": None if spec is None else spec.index,
+            "kind": None if spec is None else spec.kind,
+            "slice": [self.slice_start, self.slice_stop],
+            "reports_in_round": 0 if self.aggregator is None else self.aggregator.n_reports,
+            "total_reports": self.total_reports,
+            "accepted_batches": self.accepted_batches,
+            "duplicate_batches": self.duplicate_batches,
+            "rejected_requests": self.rejected_batches,
+            "checkpoints_written": self.checkpoints_written,
+            "n_shards": self.n_shards,
+            "queue_depth": self.queue_depth,
+            "queue_depths": self.queue_depths(),
+            "checkpoint_lag_batches": self._accepted_since_checkpoint,
+            "reports_per_second": self.total_reports / uptime,
+            "restored": self.restored,
+            "uptime_seconds": time.monotonic() - self._started_at,
+        }
+
+    # ---------------------------------------------------------------- HTTP
+
+    async def _http_payload(self, path: str) -> tuple[int, dict[str, Any]]:
+        if path == "/status":
+            return 200, {"ok": True, "status": self._status_payload()}
+        return await super()._http_payload(path)
+
+
+def run_worker_process(
+    host: str,
+    port: int,
+    *,
+    worker_index: int = 0,
+    n_shards: int = 1,
+    queue_depth: int = 64,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    port_file: str | None = None,
+) -> None:
+    """Boot-or-restore a :class:`ShardWorker` and serve until stopped.
+
+    Top-level (picklable) so a ``spawn`` multiprocessing context can target
+    it.  When a checkpoint exists under ``checkpoint_dir`` the worker resumes
+    from it — the supervisor restarts crashed workers through this same
+    entry point.
+    """
+    worker = ShardWorker.boot(
+        checkpoint_dir,
+        worker_index=worker_index,
+        n_shards=n_shards,
+        queue_depth=queue_depth,
+        checkpoint_every=checkpoint_every,
+    )
+
+    async def _serve() -> None:
+        await worker.start(host, port)
+        if port_file is not None:
+            publish_port(port_file, worker.port)
+        await worker.serve_until_stopped()
+
+    asyncio.run(_serve())

@@ -49,6 +49,15 @@ class ServerError(ReproError):
     """The collection gateway rejected a request or the connection failed."""
 
 
+class ServerConnectionError(ServerError):
+    """The transport to a server failed (connect, send, or receive).
+
+    Distinct from a protocol-level rejection so retry loops can replay a
+    slice after a worker crash without also retrying requests the server
+    deliberately refused.
+    """
+
+
 class ExecutionError(ReproError):
     """An execution backend failed to run a spec to completion."""
 

@@ -3,6 +3,10 @@
 This package puts a wire boundary, concurrency, and durability around the
 round-based collection service:
 
+* :class:`SocketServiceBase` — the shared asyncio transport (NDJSON ops +
+  HTTP ``GET`` on one port, bounded per-shard queues, deterministic
+  lifecycle) that the gateway and the :mod:`repro.cluster` processes all
+  serve through;
 * :class:`CollectionGateway` — asyncio TCP server speaking a newline-delimited
   JSON protocol (plus HTTP ``GET /status`` / ``GET /result`` on the same
   port), with one bounded queue + aggregation worker per shard and idempotent
@@ -15,24 +19,30 @@ round-based collection service:
 * :func:`run_loadgen` — a multi-process load generator built on
   :class:`~repro.service.population.SyntheticShapeStream` and the vectorized
   client encoding paths (``repro loadgen`` on the command line);
-* :func:`serve_in_thread` — in-process hosting for tests and benchmarks.
+* :func:`serve_in_thread` — in-process hosting for tests and benchmarks,
+  returning a :class:`ServerHandle`;
+* :func:`publish_port` / :func:`wait_for_port_file` — atomic port-file
+  publication for servers bound to ephemeral ports.
 
 A run driven through the gateway — any batching, any sharding, including a
 kill-and-recover from a mid-round checkpoint — finalizes byte-identically to
 the offline ``PrivShape.extract()`` path under the same master seed.
 """
 
+from repro.server.base import SocketServiceBase, result_payload
 from repro.server.client import GatewayClient
 from repro.server.gateway import CollectionGateway
 from repro.server.loadgen import (
     LoadgenRoundStats,
     LoadgenStats,
+    SliceStats,
     batch_id_for,
     run_loadgen,
     stream_round,
 )
+from repro.server.portfile import publish_port, read_port, wait_for_port_file
 from repro.server.state import CheckpointStore
-from repro.server.testing import GatewayHandle, serve_in_thread
+from repro.server.testing import GatewayHandle, ServerHandle, serve_in_thread
 from repro.server.wire import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -43,16 +53,23 @@ from repro.server.wire import (
 )
 
 __all__ = [
+    "SocketServiceBase",
+    "result_payload",
     "CollectionGateway",
     "GatewayClient",
     "CheckpointStore",
     "GatewayHandle",
+    "ServerHandle",
     "serve_in_thread",
+    "publish_port",
+    "read_port",
+    "wait_for_port_file",
     "run_loadgen",
     "stream_round",
     "batch_id_for",
     "LoadgenStats",
     "LoadgenRoundStats",
+    "SliceStats",
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "encode_message",

@@ -1,0 +1,242 @@
+"""Shared asyncio serving plumbing for every wire-facing server.
+
+:class:`SocketServiceBase` factors the transport layer out of the collection
+gateway so the cluster processes (:class:`~repro.cluster.worker.ShardWorker`,
+:class:`~repro.cluster.coordinator.Coordinator`) expose the exact same wire
+surface: an asyncio TCP listener answering the newline-delimited JSON ops of
+:mod:`repro.server.wire` and plain HTTP ``GET`` requests on the same port,
+one bounded :class:`asyncio.Queue` plus one aggregation task per shard
+(explicit backpressure — a full queue blocks the producing connection, it
+never buffers without bound), and a deterministic start / drain / stop
+lifecycle that is safe to drive from another thread.
+
+Subclasses supply the protocol: :meth:`_dispatch` (the op table),
+:meth:`_consume_shard_batch` (what an aggregation task does with a routed
+sub-batch), and :meth:`_http_payload` (the GET routes beyond ``/healthz``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any
+
+from repro.exceptions import ReproError, ServerError
+from repro.server.wire import MAX_LINE_BYTES, decode_message, encode_message
+
+#: HTTP reason phrases for the status codes the servers emit.
+_HTTP_REASONS = {200: "OK", 404: "Not Found", 409: "Conflict"}
+
+
+def result_payload(engine) -> dict[str, Any]:
+    """The canonical ``result`` document of one finalized engine.
+
+    Shared by the gateway and the cluster coordinator so every serving
+    surface publishes byte-identical result payloads for the same run.
+    """
+    result = engine.finalize()
+    return {
+        "shapes": ["".join(shape) for shape in result.shapes],
+        "shape_tuples": [list(shape) for shape in result.shapes],
+        "frequencies": [float(f) for f in result.frequencies],
+        "estimated_length": result.estimated_length,
+        "accounting": {
+            "per_population": {
+                name: float(total)
+                for name, total in result.accountant.per_population().items()
+            },
+            "user_level_epsilon": float(result.accountant.user_level_epsilon()),
+            "within_budget": result.accountant.is_valid(),
+        },
+    }
+
+
+class SocketServiceBase:
+    """Asyncio TCP server speaking NDJSON ops + HTTP GETs on one port."""
+
+    def _init_plumbing(self, n_shards: int, queue_depth: int) -> None:
+        """Initialize the transport state (call from __init__ *and* any
+        ``__new__``-based restore path before the instance serves)."""
+        if n_shards < 0:
+            raise ValueError(f"n_shards must be >= 0, got {n_shards}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.n_shards = int(n_shards)
+        self.queue_depth = int(queue_depth)
+        self._started_at = time.monotonic()
+        # asyncio plumbing; created once the event loop runs (see start()).
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._lock: asyncio.Lock | None = None
+        self._queues: list[asyncio.Queue] = []
+        self._workers: list[asyncio.Task] = []
+        self._server: asyncio.base_events.Server | None = None
+        self._stop_event: asyncio.Event | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind the listener and launch the per-shard aggregation workers."""
+        self._loop = asyncio.get_running_loop()
+        self._lock = asyncio.Lock()
+        self._stop_event = asyncio.Event()
+        self._queues = [
+            asyncio.Queue(maxsize=self.queue_depth) for _ in range(self.n_shards)
+        ]
+        self._workers = [
+            asyncio.create_task(self._shard_worker(shard, queue))
+            for shard, queue in enumerate(self._queues)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=MAX_LINE_BYTES
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        await self._on_started()
+
+    async def _on_started(self) -> None:
+        """Hook: runs once the listener is bound (e.g. baseline checkpoint)."""
+
+    async def serve_until_stopped(self) -> None:
+        """Serve until a ``stop`` op or :meth:`request_stop` arrives."""
+        if self._server is None or self._stop_event is None:
+            raise ServerError("server is not started; call start() first")
+        async with self._server:
+            await self._stop_event.wait()
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+
+    async def run(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Start and serve until stopped (the CLI entry point)."""
+        await self.start(host, port)
+        await self.serve_until_stopped()
+
+    def request_stop(self) -> None:
+        """Ask the serving loop to exit (safe to call from any thread)."""
+        if self._loop is None or self._stop_event is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_event.set)
+
+    def _signal_stop(self) -> dict[str, Any]:
+        """The ``stop`` op body: set the stop event, acknowledge."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+        return {"ok": True, "stopping": True}
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self._started_at
+
+    # --------------------------------------------------------------- workers
+
+    async def _shard_worker(self, shard: int, queue: asyncio.Queue) -> None:
+        """Fold routed sub-batches into this worker's shard, forever."""
+        while True:
+            batch = await queue.get()
+            try:
+                self._consume_shard_batch(shard, batch)
+            finally:
+                queue.task_done()
+
+    def _consume_shard_batch(self, shard: int, batch) -> None:
+        raise NotImplementedError
+
+    async def _drain(self) -> None:
+        """Wait until every enqueued batch has been folded into its shard."""
+        await asyncio.gather(*(queue.join() for queue in self._queues))
+
+    def queue_depths(self) -> list[int]:
+        """Live per-shard queue depths (observability; empty before start)."""
+        return [queue.qsize() for queue in self._queues]
+
+    # ------------------------------------------------------------ dispatching
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            line = await reader.readline()
+            if line[:4] == b"GET " or line[:5] == b"HEAD ":
+                await self._handle_http(line, reader, writer)
+                return
+            while line:
+                stripped = line.strip()
+                if stripped:
+                    response = await self._dispatch_safely(stripped)
+                    writer.write(encode_message(response))
+                    await writer.drain()
+                    if response.get("stopping"):
+                        break
+                line = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except ValueError:
+            # Line exceeded the stream limit: tell the peer once, then drop it.
+            try:
+                writer.write(
+                    encode_message(
+                        {"ok": False, "error": f"line exceeds {MAX_LINE_BYTES} bytes"}
+                    )
+                )
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            except asyncio.CancelledError:
+                # Event-loop teardown cancelled us while the peer's socket
+                # was still closing; the connection is gone either way.
+                pass
+
+    async def _dispatch_safely(self, line: bytes) -> dict[str, Any]:
+        try:
+            message = decode_message(line)
+            return await self._dispatch(message)
+        except ReproError as exc:
+            self._note_rejection(exc)
+            return {"ok": False, "error": str(exc), "error_type": type(exc).__name__}
+
+    def _note_rejection(self, exc: ReproError) -> None:
+        """Hook: count a rejected request (subclasses keep the counter)."""
+
+    async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
+        raise NotImplementedError
+
+    # ---------------------------------------------------------------- HTTP
+
+    async def _handle_http(
+        self,
+        request_line: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        parts = request_line.decode("latin-1").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        while True:  # drain request headers
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+        status, payload = await self._http_payload(path)
+        body = json.dumps(payload).encode("utf-8")
+        reason = _HTTP_REASONS.get(status, "Error")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+            + body
+        )
+        await writer.drain()
+
+    async def _http_payload(self, path: str) -> tuple[int, dict[str, Any]]:
+        """Route one GET path; subclasses extend and fall back to this."""
+        if path == "/healthz":
+            return 200, {"ok": True}
+        return 404, {"ok": False, "error": f"unknown path {path!r}"}

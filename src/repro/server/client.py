@@ -12,7 +12,7 @@ import json
 import socket
 from typing import Any
 
-from repro.exceptions import ServerError
+from repro.exceptions import ServerConnectionError, ServerError
 from repro.server.wire import batch_to_wire, encode_message
 from repro.service.reports import ReportBatch
 
@@ -26,7 +26,9 @@ class GatewayClient:
         try:
             self._socket = socket.create_connection((host, self.port), timeout=timeout)
         except OSError as exc:
-            raise ServerError(f"cannot connect to {host}:{port}: {exc}") from exc
+            raise ServerConnectionError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
         self._reader = self._socket.makefile("rb")
 
     # ------------------------------------------------------------- transport
@@ -36,14 +38,22 @@ class GatewayClient:
 
         With ``check`` (the default), a response whose ``ok`` is false raises
         :class:`~repro.exceptions.ServerError` carrying the server's message.
+        Transport failures (connect, send, receive, or a server that vanished
+        mid-request) raise the :class:`~repro.exceptions.ServerConnectionError`
+        subclass instead, so retry loops can replay a slice after a worker
+        crash without also retrying requests the server deliberately refused.
         """
         try:
             self._socket.sendall(encode_message(payload))
             line = self._reader.readline()
         except OSError as exc:
-            raise ServerError(f"connection to {self.host}:{self.port} failed: {exc}") from exc
+            raise ServerConnectionError(
+                f"connection to {self.host}:{self.port} failed: {exc}"
+            ) from exc
         if not line:
-            raise ServerError(f"connection to {self.host}:{self.port} closed by server")
+            raise ServerConnectionError(
+                f"connection to {self.host}:{self.port} closed by server"
+            )
         try:
             response = json.loads(line.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -6,7 +6,9 @@
 
 * an asyncio TCP listener speaking the newline-delimited JSON protocol of
   :mod:`repro.server.wire`, with plain HTTP ``GET /status`` / ``GET /result``
-  answered on the same port;
+  answered on the same port (the transport lives in
+  :class:`~repro.server.base.SocketServiceBase`, shared with the cluster
+  processes);
 * one bounded :class:`asyncio.Queue` and one aggregation worker per shard —
   a full queue blocks the producing connection (explicit backpressure), it
   never buffers without bound;
@@ -27,8 +29,6 @@ byte-identical to ``PrivShape.extract()`` under the same master seed
 
 from __future__ import annotations
 
-import asyncio
-import json
 import time
 from typing import Any, Optional
 
@@ -38,14 +38,12 @@ from repro.exceptions import (
     ServerError,
     WireFormatError,
 )
+from repro.server.base import SocketServiceBase, result_payload
 from repro.server.state import CheckpointStore
 from repro.server.wire import (
-    MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     batch_from_wire,
     check_batch_id,
-    decode_message,
-    encode_message,
 )
 from repro.service.aggregator import ShardedAggregator
 from repro.service.plan import RoundSpec
@@ -53,7 +51,7 @@ from repro.service.protocol import PrivShapeEngine
 from repro.utils.rng import RngLike
 
 
-class CollectionGateway:
+class CollectionGateway(SocketServiceBase):
     """Round-based PrivShape collection behind a TCP wire boundary."""
 
     def __init__(
@@ -68,10 +66,7 @@ class CollectionGateway:
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-        if queue_depth < 1:
-            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
-        self.n_shards = int(n_shards)
-        self.queue_depth = int(queue_depth)
+        self._init_plumbing(n_shards, queue_depth)
         self.checkpoint_every = max(int(checkpoint_every), 0)
         self.store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
         self.engine = PrivShapeEngine(config, rng=rng)
@@ -83,17 +78,7 @@ class CollectionGateway:
         self.rejected_batches = 0
         self.checkpoints_written = 0
         self._accepted_since_checkpoint = 0
-        self._started_at = time.monotonic()
         self._result_payload: dict[str, Any] | None = None
-        # asyncio plumbing; created once the event loop runs (see start()).
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._lock: asyncio.Lock | None = None
-        self._queues: list[asyncio.Queue] = []
-        self._workers: list[asyncio.Task] = []
-        self._server: asyncio.base_events.Server | None = None
-        self._stop_event: asyncio.Event | None = None
-        self.host: str | None = None
-        self.port: int | None = None
         self._set_round(self.engine.open_round())
 
     # ---------------------------------------------------------------- factory
@@ -117,9 +102,9 @@ class CollectionGateway:
         if state is None:
             raise ServerError(f"no checkpoint found under {store.directory}")
         gateway = cls.__new__(cls)
-        gateway.n_shards = int(state["n_shards"])
-        gateway.queue_depth = (
-            int(state["queue_depth"]) if queue_depth is None else int(queue_depth)
+        gateway._init_plumbing(
+            int(state["n_shards"]),
+            int(state["queue_depth"]) if queue_depth is None else int(queue_depth),
         )
         gateway.checkpoint_every = max(int(checkpoint_every), 0)
         gateway.store = store
@@ -136,16 +121,7 @@ class CollectionGateway:
         gateway.rejected_batches = int(state["rejected_batches"])
         gateway.checkpoints_written = int(state.get("checkpoints_written", 0))
         gateway._accepted_since_checkpoint = 0
-        gateway._started_at = time.monotonic()
         gateway._result_payload = None
-        gateway._loop = None
-        gateway._lock = None
-        gateway._queues = []
-        gateway._workers = []
-        gateway._server = None
-        gateway._stop_event = None
-        gateway.host = None
-        gateway.port = None
         open_spec = gateway.engine.current_round
         if (open_spec is None) != (gateway.aggregator is None):
             raise ServerError(
@@ -178,65 +154,18 @@ class CollectionGateway:
 
     # ------------------------------------------------------------- lifecycle
 
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
-        """Bind the listener and launch the per-shard aggregation workers."""
-        self._loop = asyncio.get_running_loop()
-        self._lock = asyncio.Lock()
-        self._stop_event = asyncio.Event()
-        self._queues = [
-            asyncio.Queue(maxsize=self.queue_depth) for _ in range(self.n_shards)
-        ]
-        self._workers = [
-            asyncio.create_task(self._shard_worker(shard, queue))
-            for shard, queue in enumerate(self._queues)
-        ]
-        self._server = await asyncio.start_server(
-            self._handle_connection, host, port, limit=MAX_LINE_BYTES
-        )
-        sockname = self._server.sockets[0].getsockname()
-        self.host, self.port = sockname[0], sockname[1]
+    async def _on_started(self) -> None:
         if self.store is not None:
             # Baseline checkpoint at boot: a crash before the first round
             # close is recoverable too (and a resumed gateway re-asserts its
             # restored state as the newest snapshot).
             await self._checkpoint_locked()
 
-    async def serve_until_stopped(self) -> None:
-        """Serve until a ``stop`` op or :meth:`request_stop` arrives."""
-        if self._server is None or self._stop_event is None:
-            raise ServerError("gateway is not started; call start() first")
-        async with self._server:
-            await self._stop_event.wait()
-        for worker in self._workers:
-            worker.cancel()
-        await asyncio.gather(*self._workers, return_exceptions=True)
-
-    async def run(self, host: str = "127.0.0.1", port: int = 0) -> None:
-        """Start and serve until stopped (the CLI entry point)."""
-        await self.start(host, port)
-        await self.serve_until_stopped()
-
-    def request_stop(self) -> None:
-        """Ask the serving loop to exit (safe to call from any thread)."""
-        if self._loop is None or self._stop_event is None:
-            return
-        self._loop.call_soon_threadsafe(self._stop_event.set)
-
     # --------------------------------------------------------------- workers
 
-    async def _shard_worker(self, shard: int, queue: asyncio.Queue) -> None:
-        """Fold routed sub-batches into this worker's shard, forever."""
-        while True:
-            batch = await queue.get()
-            try:
-                assert self.aggregator is not None  # enqueue happens under lock
-                self.aggregator.consume_shard(shard, batch)
-            finally:
-                queue.task_done()
-
-    async def _drain(self) -> None:
-        """Wait until every enqueued batch has been folded into its shard."""
-        await asyncio.gather(*(queue.join() for queue in self._queues))
+    def _consume_shard_batch(self, shard: int, batch) -> None:
+        assert self.aggregator is not None  # enqueue happens under lock
+        self.aggregator.consume_shard(shard, batch)
 
     async def _checkpoint_locked(self) -> dict[str, Any]:
         """Quiesce the workers and persist one atomic snapshot (lock held)."""
@@ -250,50 +179,8 @@ class CollectionGateway:
 
     # ------------------------------------------------------------ dispatching
 
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        try:
-            line = await reader.readline()
-            if line[:4] == b"GET " or line[:5] == b"HEAD ":
-                await self._handle_http(line, reader, writer)
-                return
-            while line:
-                stripped = line.strip()
-                if stripped:
-                    response = await self._dispatch_safely(stripped)
-                    writer.write(encode_message(response))
-                    await writer.drain()
-                    if response.get("stopping"):
-                        break
-                line = await reader.readline()
-        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
-            pass
-        except ValueError:
-            # Line exceeded the stream limit: tell the peer once, then drop it.
-            try:
-                writer.write(
-                    encode_message(
-                        {"ok": False, "error": f"line exceeds {MAX_LINE_BYTES} bytes"}
-                    )
-                )
-                await writer.drain()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-
-    async def _dispatch_safely(self, line: bytes) -> dict[str, Any]:
-        try:
-            message = decode_message(line)
-            return await self._dispatch(message)
-        except ReproError as exc:
-            self.rejected_batches += 1
-            return {"ok": False, "error": str(exc), "error_type": type(exc).__name__}
+    def _note_rejection(self, exc: ReproError) -> None:
+        self.rejected_batches += 1
 
     async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
         op = message.get("op")
@@ -325,9 +212,7 @@ class CollectionGateway:
             async with self._lock:
                 return await self._checkpoint_locked()
         if op == "stop":
-            if self._stop_event is not None:
-                self._stop_event.set()
-            return {"ok": True, "stopping": True}
+            return self._signal_stop()
         raise WireFormatError(f"unknown op {op!r}")
 
     # ------------------------------------------------------------------- ops
@@ -410,6 +295,7 @@ class CollectionGateway:
 
     def _status_payload(self) -> dict[str, Any]:
         spec = self.engine.current_round
+        uptime = max(time.monotonic() - self._started_at, 1e-9)
         return {
             "stage": self.engine.stage,
             "done": self.engine.is_done,
@@ -423,6 +309,12 @@ class CollectionGateway:
             "checkpoints_written": self.checkpoints_written,
             "n_shards": self.n_shards,
             "queue_depth": self.queue_depth,
+            # Live health: how deep each bounded shard queue currently sits,
+            # how many accepted batches the last durable snapshot is behind,
+            # and the cumulative ingest rate since boot.
+            "queue_depths": self.queue_depths(),
+            "checkpoint_lag_batches": self._accepted_since_checkpoint,
+            "reports_per_second": self.total_reports / uptime,
             "epsilon": self.engine.config.epsilon,
             "uptime_seconds": time.monotonic() - self._started_at,
         }
@@ -434,59 +326,19 @@ class CollectionGateway:
                 "close every round first"
             )
         if self._result_payload is None:
-            result = self.engine.finalize()
-            self._result_payload = {
-                "shapes": ["".join(shape) for shape in result.shapes],
-                "shape_tuples": [list(shape) for shape in result.shapes],
-                "frequencies": [float(f) for f in result.frequencies],
-                "estimated_length": result.estimated_length,
-                "accounting": {
-                    "per_population": {
-                        name: float(total)
-                        for name, total in result.accountant.per_population().items()
-                    },
-                    "user_level_epsilon": float(
-                        result.accountant.user_level_epsilon()
-                    ),
-                    "within_budget": result.accountant.is_valid(),
-                },
-            }
+            self._result_payload = result_payload(self.engine)
         return {"ok": True, "result": self._result_payload}
 
     # ---------------------------------------------------------------- HTTP
 
-    async def _handle_http(
-        self,
-        request_line: bytes,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        parts = request_line.decode("latin-1").split()
-        path = parts[1] if len(parts) >= 2 else "/"
-        while True:  # drain request headers
-            header = await reader.readline()
-            if header in (b"\r\n", b"\n", b""):
-                break
+    async def _http_payload(self, path: str) -> tuple[int, dict[str, Any]]:
         if path == "/status":
-            status, payload = 200, {"ok": True, "status": self._status_payload()}
-        elif path == "/result":
+            return 200, {"ok": True, "status": self._status_payload()}
+        if path == "/result":
             assert self._lock is not None
             async with self._lock:
                 try:
-                    status, payload = 200, self._op_result()
+                    return 200, self._op_result()
                 except ReproError as exc:
-                    status, payload = 409, {"ok": False, "error": str(exc)}
-        elif path == "/healthz":
-            status, payload = 200, {"ok": True}
-        else:
-            status, payload = 404, {"ok": False, "error": f"unknown path {path!r}"}
-        body = json.dumps(payload).encode("utf-8")
-        reason = {200: "OK", 404: "Not Found", 409: "Conflict"}[status]
-        writer.write(
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n".encode("latin-1")
-            + body
-        )
-        await writer.drain()
+                    return 409, {"ok": False, "error": str(exc)}
+        return await super()._http_payload(path)

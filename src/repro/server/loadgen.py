@@ -10,7 +10,9 @@ The per-round streaming can fan out over ``workers`` OS processes: user ids
 are split into contiguous slices and every worker regenerates its own slice
 (populations are PRF-keyed pure functions of the user id, so slices are
 exact).  Batch ids are deterministic functions of ``(round, user-id window)``,
-which makes retries and post-crash replays idempotent on the server side.
+which makes retries and post-crash replays idempotent on the server side: a
+slice can be replayed from the top after a connection failure and every
+already-accepted batch is acknowledged without being counted twice.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.exceptions import ServerConnectionError
 from repro.server.client import GatewayClient
 from repro.service.client import ClientReporter
 from repro.service.plan import CollectionPlan, RoundSpec
@@ -33,6 +36,46 @@ def batch_id_for(round_index: int, window_start: int, window_stop: int) -> str:
     return f"r{int(round_index)}:u{int(window_start)}:{int(window_stop)}"
 
 
+@dataclass
+class SliceStats:
+    """What streaming one user-id slice through one round achieved."""
+
+    #: Reports the server newly accepted (idempotent replays count zero).
+    accepted: int = 0
+    #: Batches sent (including replays and duplicate acknowledgements).
+    batches: int = 0
+    #: Reconnect-and-replay attempts beyond the first.
+    retries: int = 0
+
+
+def _stream_once(
+    client: GatewayClient,
+    population,
+    plan: CollectionPlan,
+    spec: RoundSpec,
+    start: int,
+    stop: int,
+    batch_size: int,
+    stats: SliceStats,
+) -> None:
+    reporter = ClientReporter()
+    for user_ids, batch_population in population.iter_range(start, stop, batch_size):
+        mask = plan.participant_mask(spec, user_ids)
+        if not mask.any():
+            continue
+        participants = np.flatnonzero(mask)
+        batch = reporter.make_reports(
+            spec, batch_population.take(participants), user_ids[participants]
+        )
+        response = client.report(
+            batch,
+            batch_id=batch_id_for(spec.index, user_ids[0], user_ids[-1] + 1),
+        )
+        stats.batches += 1
+        if response.get("accepted"):
+            stats.accepted += int(response.get("reports", len(batch)))
+
+
 def stream_round(
     host: str,
     port: int,
@@ -42,33 +85,33 @@ def stream_round(
     start: int,
     stop: int,
     batch_size: int,
-) -> int:
+    *,
+    max_attempts: int = 1,
+    retry_delay: float = 0.5,
+) -> SliceStats:
     """Stream one round's reports for the user-id slice ``[start, stop)``.
 
-    Top-level (picklable) so multiprocessing workers can run it.  Returns the
-    number of reports the gateway newly accepted from this slice; replayed
-    batches (after a reconnect or crash recovery) count zero.
+    Top-level (picklable) so multiprocessing workers can run it.  A transport
+    failure (the server died or a connection dropped) replays the whole slice
+    from the top, up to ``max_attempts`` times — deterministic batch ids make
+    the replay exact.  Protocol rejections are never retried.
     """
     plan = CollectionPlan.from_dict(plan_dict)
     spec = RoundSpec.from_dict(round_dict)
-    reporter = ClientReporter()
-    accepted = 0
-    with GatewayClient(host, port) as client:
-        for user_ids, batch_population in population.iter_range(start, stop, batch_size):
-            mask = plan.participant_mask(spec, user_ids)
-            if not mask.any():
-                continue
-            participants = np.flatnonzero(mask)
-            batch = reporter.make_reports(
-                spec, batch_population.take(participants), user_ids[participants]
-            )
-            response = client.report(
-                batch,
-                batch_id=batch_id_for(spec.index, user_ids[0], user_ids[-1] + 1),
-            )
-            if response.get("accepted"):
-                accepted += int(response.get("reports", len(batch)))
-    return accepted
+    stats = SliceStats()
+    for attempt in range(max(int(max_attempts), 1)):
+        try:
+            with GatewayClient(host, port) as client:
+                _stream_once(
+                    client, population, plan, spec, start, stop, batch_size, stats
+                )
+            return stats
+        except ServerConnectionError:
+            if attempt + 1 >= max_attempts:
+                raise
+            stats.retries += 1
+            time.sleep(min(retry_delay * (attempt + 1), 2.0))
+    return stats  # pragma: no cover - loop always returns or raises
 
 
 @dataclass
@@ -107,6 +150,8 @@ class LoadgenStats:
     total_reports: int = 0
     total_seconds: float = 0.0
     workers: int = 0
+    batches: int = 0
+    retries: int = 0
     result: dict[str, Any] | None = None
     server_status: dict[str, Any] | None = None
 
@@ -116,6 +161,17 @@ class LoadgenStats:
             return 0.0
         return self.total_reports / self.total_seconds
 
+    def summary(self) -> dict[str, Any]:
+        """The one-look run summary (``repro loadgen --json`` publishes this)."""
+        return {
+            "reports_sent": self.total_reports,
+            "batches": self.batches,
+            "retries": self.retries,
+            "wall_seconds": self.total_seconds,
+            "reports_per_second": self.reports_per_second,
+            "workers": self.workers,
+        }
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "rounds": [r.to_dict() for r in self.rounds],
@@ -123,6 +179,9 @@ class LoadgenStats:
             "total_seconds": self.total_seconds,
             "reports_per_second": self.reports_per_second,
             "workers": self.workers,
+            "batches": self.batches,
+            "retries": self.retries,
+            "summary": self.summary(),
             "result": self.result,
             "server_status": self.server_status,
         }
@@ -164,7 +223,7 @@ def run_loadgen(
                         # import cost once, not once per protocol round.
                         context = multiprocessing.get_context(mp_context)
                         pool = context.Pool(len(slices))
-                    counts = pool.starmap(
+                    slice_stats = pool.starmap(
                         stream_round,
                         [
                             (host, port, population, plan_dict, round_dict,
@@ -173,18 +232,20 @@ def run_loadgen(
                         ],
                     )
                 else:
-                    counts = [
+                    slice_stats = [
                         stream_round(
                             host, port, population, plan_dict, round_dict,
                             0, n_users, batch_size,
                         )
                     ]
                 control.close_round(round_dict["index"])
+                stats.batches += sum(s.batches for s in slice_stats)
+                stats.retries += sum(s.retries for s in slice_stats)
                 stats.rounds.append(
                     LoadgenRoundStats(
                         index=int(round_dict["index"]),
                         kind=str(round_dict["kind"]),
-                        reports=int(sum(counts)),
+                        reports=int(sum(s.accepted for s in slice_stats)),
                         elapsed_seconds=time.perf_counter() - round_started,
                         level=int(round_dict.get("level", -1)),
                     )

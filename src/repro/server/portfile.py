@@ -1,0 +1,61 @@
+"""Atomic port-file publication for servers bound to ephemeral ports.
+
+A server asked to bind port 0 learns its real port only after the listener
+exists; scripts that started it need a race-free way to read that port.  The
+contract here is the classic write-temp + rename dance: the port file either
+does not exist yet or contains one complete, valid port number — a reader
+polling the path can never observe a partially written file, even when
+several servers boot in parallel in the same directory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.exceptions import ServerError
+
+
+def publish_port(path: str | os.PathLike, port: int) -> Path:
+    """Atomically write ``port`` to ``path`` (write temp, rename).
+
+    The temp file carries the writer's pid so concurrent publishers in one
+    directory never clobber each other's half-written files.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    temp = target.with_name(f"{target.name}.tmp.{os.getpid()}")
+    temp.write_text(f"{int(port)}\n", encoding="utf-8")
+    os.replace(temp, target)
+    return target
+
+
+def read_port(path: str | os.PathLike) -> int | None:
+    """The published port, or ``None`` while nothing is published yet."""
+    try:
+        text = Path(path).read_text(encoding="utf-8").strip()
+    except FileNotFoundError:
+        return None
+    if not text:
+        return None
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise ServerError(f"port file {path} is not a port number: {text!r}") from exc
+
+
+def wait_for_port_file(
+    path: str | os.PathLike, timeout: float = 30.0, poll_interval: float = 0.05
+) -> int:
+    """Poll ``path`` until a port appears (atomic writes make this race-free)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        port = read_port(path)
+        if port is not None:
+            return port
+        if time.monotonic() >= deadline:
+            raise ServerError(
+                f"no port was published in {path} within {timeout:.0f}s"
+            )
+        time.sleep(poll_interval)

@@ -1,61 +1,78 @@
-"""In-process gateway hosting for tests, benchmarks, and embedding.
+"""In-process server hosting for tests, benchmarks, and embedding.
 
-``serve_in_thread`` runs a :class:`~repro.server.gateway.CollectionGateway`
-on a private event loop in a daemon thread and hands back a
-:class:`GatewayHandle` with the bound address — the calling thread can then
-talk to it over real sockets exactly like an external client would, and shut
-it down deterministically when finished.
+``serve_in_thread`` runs any :class:`~repro.server.base.SocketServiceBase`
+(the collection gateway, a cluster shard worker, or a coordinator) on a
+private event loop in a daemon thread and hands back a :class:`ServerHandle`
+with the bound address — the calling thread can then talk to it over real
+sockets exactly like an external client would, and shut it down
+deterministically when finished.
+
+With ``port_file`` set, the handle publishes the actual bound port with an
+atomic write-temp + rename once the listener is up, so several servers asked
+for port 0 can boot in parallel without any reader ever seeing a torn file.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 
 from repro.exceptions import ServerError
-from repro.server.gateway import CollectionGateway
+from repro.server.base import SocketServiceBase
+from repro.server.portfile import publish_port
 
 
-class GatewayHandle:
-    """A gateway serving on a background thread, with its bound address."""
+class ServerHandle:
+    """A server serving on a background thread, with its bound address."""
 
     def __init__(
-        self, gateway: CollectionGateway, host: str = "127.0.0.1", port: int = 0
+        self,
+        server: SocketServiceBase,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        port_file: str | os.PathLike | None = None,
     ) -> None:
-        self.gateway = gateway
+        self.server = server
+        self.port_file = port_file
         self._requested_host = host
         self._requested_port = port
         self._ready = threading.Event()
         self._error: BaseException | None = None
         self._thread = threading.Thread(
-            target=self._run, name="collection-gateway", daemon=True
+            target=self._run, name=type(server).__name__, daemon=True
         )
 
     @property
+    def gateway(self) -> SocketServiceBase:
+        """Back-compat alias for callers that hosted a CollectionGateway."""
+        return self.server
+
+    @property
     def host(self) -> str:
-        assert self.gateway.host is not None
-        return self.gateway.host
+        assert self.server.host is not None
+        return self.server.host
 
     @property
     def port(self) -> int:
-        assert self.gateway.port is not None
-        return self.gateway.port
+        assert self.server.port is not None
+        return self.server.port
 
-    def start(self, timeout: float = 30.0) -> "GatewayHandle":
+    def start(self, timeout: float = 30.0) -> "ServerHandle":
         """Launch the serving thread and wait until the listener is bound (idempotent)."""
         if not self._thread.is_alive() and not self._ready.is_set():
             self._thread.start()
         if not self._ready.wait(timeout):
-            raise ServerError("gateway did not come up within the timeout")
+            raise ServerError("server did not come up within the timeout")
         if self._error is not None:
-            raise ServerError(f"gateway failed to start: {self._error!r}")
+            raise ServerError(f"server failed to start: {self._error!r}")
         return self
 
     def client(self, timeout: float = 60.0):
         """A fresh blocking :class:`~repro.server.client.GatewayClient`.
 
         Convenience for callers already holding the handle (tests, embedded
-        gateways): the caller owns the connection — use it as a context
+        servers): the caller owns the connection — use it as a context
         manager.
         """
         from repro.server.client import GatewayClient
@@ -64,10 +81,10 @@ class GatewayHandle:
 
     def stop(self, timeout: float = 30.0) -> None:
         """Stop serving and join the thread (idempotent)."""
-        self.gateway.request_stop()
+        self.server.request_stop()
         self._thread.join(timeout)
         if self._thread.is_alive():  # pragma: no cover - defensive
-            raise ServerError("gateway thread did not exit within the timeout")
+            raise ServerError("server thread did not exit within the timeout")
 
     def _run(self) -> None:
         try:
@@ -77,19 +94,31 @@ class GatewayHandle:
             self._ready.set()
 
     async def _main(self) -> None:
-        await self.gateway.start(self._requested_host, self._requested_port)
+        await self.server.start(self._requested_host, self._requested_port)
+        if self.port_file is not None:
+            # Publish only after the listener is bound: the file appearing
+            # guarantees the port is connectable, and the rename makes the
+            # appearance atomic.
+            publish_port(self.port_file, self.port)
         self._ready.set()
-        await self.gateway.serve_until_stopped()
+        await self.server.serve_until_stopped()
 
-    def __enter__(self) -> "GatewayHandle":
+    def __enter__(self) -> "ServerHandle":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
 
+#: Historical name from when the gateway was the only hostable server.
+GatewayHandle = ServerHandle
+
+
 def serve_in_thread(
-    gateway: CollectionGateway, host: str = "127.0.0.1", port: int = 0
-) -> GatewayHandle:
-    """Serve ``gateway`` on a daemon thread; returns the started handle."""
-    return GatewayHandle(gateway, host, port).start()
+    server: SocketServiceBase,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    port_file: str | os.PathLike | None = None,
+) -> ServerHandle:
+    """Serve ``server`` on a daemon thread; returns the started handle."""
+    return ServerHandle(server, host, port, port_file=port_file).start()

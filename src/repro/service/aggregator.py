@@ -105,10 +105,19 @@ class ShardedAggregator:
         aggregator._finalized = bool(state["finalized"])
         return aggregator
 
-    def finalize_round(self) -> RoundAccumulator:
-        """Merge all shard states into the round's final aggregate (exact)."""
-        self._finalized = True
+    def merged(self) -> RoundAccumulator:
+        """An exact merged snapshot of all shard states, without finalizing.
+
+        Cluster workers ship this to the coordinator at ``collect`` time: the
+        aggregator stays open, so a replay after a coordinator-side failure
+        can still add batches and be collected again.
+        """
         merged = new_accumulator(self.spec)
         for shard in self._shards:
             merged.merge(shard)
         return merged
+
+    def finalize_round(self) -> RoundAccumulator:
+        """Merge all shard states into the round's final aggregate (exact)."""
+        self._finalized = True
+        return self.merged()

@@ -40,11 +40,13 @@ SPEC = ExperimentSpec(
 )
 
 #: Per-backend options: the sharded backend uses fork (cheap on CI), the
-#: gateway gets two shards to exercise routed aggregation.
+#: gateway gets two shards to exercise routed aggregation, the cluster boots
+#: two supervised worker processes.
 BACKEND_OPTIONS = {
     "inline": {"batch_size": 333},
     "sharded": {"shards": 2, "mp_context": "fork", "batch_size": 512},
     "gateway": {"shards": 2, "batch_size": 700},
+    "cluster": {"workers": 2, "batch_size": 512},
 }
 
 
@@ -57,9 +59,9 @@ def offline_reference():
 
 
 class TestBackendEquivalence:
-    @pytest.mark.parametrize("backend", ["inline", "sharded", "gateway"])
+    @pytest.mark.parametrize("backend", ["inline", "sharded", "gateway", "cluster"])
     def test_backend_matches_offline_extraction(self, offline_reference, backend):
-        """inline == sharded == gateway == offline, byte for byte."""
+        """inline == sharded == gateway == cluster == offline, byte for byte."""
         result = SPEC.run(DATA, backend=backend, seed=SEED,
                           **BACKEND_OPTIONS[backend])
         assert result.backend == backend
@@ -70,13 +72,26 @@ class TestBackendEquivalence:
             offline_reference.accountant.per_population()
         assert result.timings["total_reports"] == DATA.n_users
 
-    @pytest.mark.parametrize("backend", ["sharded", "gateway"])
+    @pytest.mark.parametrize("backend", ["sharded", "gateway", "cluster"])
     def test_fingerprint_identical_to_inline(self, backend):
         """The full deterministic projection matches, not just the shapes."""
         inline = SPEC.run(DATA, backend="inline", seed=SEED)
         other = SPEC.run(DATA, backend=backend, seed=SEED,
                          **BACKEND_OPTIONS[backend])
         assert other.fingerprint() == inline.fingerprint()
+
+    def test_cluster_backend_survives_worker_kill(self):
+        """A SIGKILLed shard worker mid-round leaves the fingerprint intact:
+        the supervisor restarts it from its checkpoint and the loadgen
+        replays the slice with idempotent batch ids."""
+        inline = SPEC.run(DATA, backend="inline", seed=SEED)
+        killed = SPEC.run(
+            DATA, backend="cluster", seed=SEED, workers=2, batch_size=512,
+            checkpoint_every=4, kill_round=1, kill_worker=0,
+        )
+        assert killed.fingerprint() == inline.fingerprint()
+        assert killed.backend_info["restarts"][0] >= 1
+        assert killed.timings["total_reports"] == DATA.n_users
 
     def test_subprocess_runs_cluster_task(self):
         """The subprocess route works for the evaluation tasks too."""
@@ -160,7 +175,7 @@ class TestInlineBackend:
 class TestExecutorRegistry:
     def test_builtins_registered(self):
         assert set(available_executors()) >= {
-            "inline", "sharded", "gateway", "subprocess",
+            "inline", "sharded", "gateway", "cluster", "subprocess",
         }
 
     def test_unknown_backend_rejected(self):

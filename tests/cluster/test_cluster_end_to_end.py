@@ -1,0 +1,95 @@
+"""Whole-cluster acceptance: supervised OS processes, byte-identical results.
+
+The bar mirrors the gateway's: a run driven through the coordinator/worker
+topology — including a mid-round ``SIGKILL`` of a shard worker — produces
+byte-identical shape estimates to the offline ``PrivShape.extract()`` under
+the same PRF seed.  Population sizes stay small; the point is topology and
+crash recovery, not throughput (``benchmarks/test_cluster_throughput.py``
+covers scale).
+"""
+
+import pytest
+
+from repro.cluster import ChaosKill, launch_cluster, run_cluster_loadgen
+from repro.core.config import PrivShapeConfig
+from repro.core.privshape import PrivShape
+from repro.service import EncodedPopulation
+
+SEQUENCES = [tuple("abcd")] * 180 + [tuple("dcba")] * 120 + [tuple("bca")] * 60
+CONFIG = dict(epsilon=6.0, top_k=2, alphabet_size=4, metric="sed", length_high=6)
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def offline_result():
+    return PrivShape(PrivShapeConfig(**CONFIG)).extract(SEQUENCES, rng=SEED)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return EncodedPopulation.from_sequences(
+        SEQUENCES, PrivShapeConfig(**CONFIG).alphabet
+    )
+
+
+def _assert_matches_offline(result_payload, offline):
+    assert [tuple(s) for s in result_payload["shape_tuples"]] == offline.shapes
+    assert result_payload["frequencies"] == offline.frequencies
+    assert result_payload["estimated_length"] == offline.estimated_length
+
+
+def test_cluster_run_matches_offline(offline_result, population):
+    """Two supervised worker processes, zero faults: exact equivalence, and
+    the coordinator's status sees every worker as healthy."""
+    with launch_cluster(
+        PrivShapeConfig(**CONFIG), n_users=population.n_users, n_workers=2, rng=SEED
+    ) as cluster:
+        with cluster.client() as client:
+            status = client.status()
+            assert status["role"] == "coordinator"
+            assert status["n_workers"] == 2
+            assert all(worker["alive"] for worker in status["workers"])
+            assert all(
+                worker["status"]["role"] == "shard_worker"
+                for worker in status["workers"]
+            )
+        stats = run_cluster_loadgen(
+            cluster.host, cluster.port, population, batch_size=64
+        )
+    _assert_matches_offline(stats.result, offline_result)
+    assert stats.total_reports == population.n_users
+    assert stats.retries == 0
+    assert stats.server_status["restarts"] == [0, 0]
+
+
+def test_worker_kill_mid_round_is_invisible(offline_result, population):
+    """SIGKILL a worker mid-round-1: the supervisor restarts it from its
+    checkpoint, the loadgen replays the slice, and the final estimates are
+    byte-identical — with every user still counted exactly once."""
+    chaos = ChaosKill(round_index=1, worker_index=0, after_batches=1)
+    with launch_cluster(
+        PrivShapeConfig(**CONFIG),
+        n_users=population.n_users,
+        n_workers=2,
+        rng=SEED,
+        checkpoint_every=4,
+    ) as cluster:
+        stats = run_cluster_loadgen(
+            cluster.host, cluster.port, population, batch_size=64, chaos=chaos
+        )
+        restarts = list(cluster.supervisor.restarts)
+    assert chaos.fired, "the fault injector never fired"
+    assert restarts[0] >= 1, "the supervisor never restarted the killed worker"
+    assert stats.retries >= 1
+    _assert_matches_offline(stats.result, offline_result)
+    assert stats.total_reports == population.n_users
+
+
+def test_population_size_mismatch_rejected(population):
+    from repro.exceptions import ConfigurationError
+
+    with launch_cluster(
+        PrivShapeConfig(**CONFIG), n_users=99, n_workers=2, rng=SEED
+    ) as cluster:
+        with pytest.raises(ConfigurationError, match="sized for"):
+            run_cluster_loadgen(cluster.host, cluster.port, population)

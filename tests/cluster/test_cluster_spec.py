@@ -1,0 +1,105 @@
+"""ClusterSpec routing arithmetic: the partition law every client relies on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, WorkerAddress
+from repro.exceptions import ConfigurationError
+from repro.service.population import worker_slices
+
+
+def _cluster(n_workers: int) -> ClusterSpec:
+    return ClusterSpec(
+        tuple(
+            WorkerAddress(index=i, host="127.0.0.1", port=9000 + i)
+            for i in range(n_workers)
+        )
+    )
+
+
+class TestValidation:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ClusterSpec(())
+
+    def test_non_contiguous_indexes_rejected(self):
+        with pytest.raises(ConfigurationError, match="contiguous"):
+            ClusterSpec(
+                (
+                    WorkerAddress(index=0, host="h", port=1),
+                    WorkerAddress(index=2, host="h", port=2),
+                )
+            )
+
+    def test_negative_population_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_users"):
+            _cluster(2).assignments(-1)
+
+
+class TestAssignments:
+    @settings(deadline=None, max_examples=50)
+    @given(
+        n_users=st.integers(min_value=0, max_value=5000),
+        n_workers=st.integers(min_value=1, max_value=12),
+    )
+    def test_assignments_partition_the_population(self, n_users, n_workers):
+        """Contiguous, disjoint, covering — for every (population, topology)."""
+        assignments = _cluster(n_workers).assignments(n_users)
+        assert len(assignments) == n_workers
+        cursor = 0
+        for start, stop in assignments:
+            assert start == cursor
+            assert stop >= start
+            cursor = stop
+        assert cursor == n_users
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        n_users=st.integers(min_value=1, max_value=5000),
+        n_workers=st.integers(min_value=1, max_value=12),
+    )
+    def test_non_empty_assignments_equal_worker_slices(self, n_users, n_workers):
+        """Cluster routing uses the exact slice arithmetic of the loadgen
+        fan-out, so the same user always lands on the same worker index."""
+        assignments = _cluster(n_workers).assignments(n_users)
+        assert [s for s in assignments if s[1] > s[0]] == worker_slices(
+            n_users, n_workers
+        )
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        n_users=st.integers(min_value=1, max_value=500),
+        n_workers=st.integers(min_value=1, max_value=7),
+    )
+    def test_worker_for_agrees_with_assignments(self, n_users, n_workers):
+        cluster = _cluster(n_workers)
+        assignments = cluster.assignments(n_users)
+        for user_id in range(n_users):
+            owner = cluster.worker_for(user_id, n_users)
+            start, stop = assignments[owner.index]
+            assert start <= user_id < stop
+
+    def test_worker_for_outside_population_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside population"):
+            _cluster(2).worker_for(10, 10)
+
+
+class TestPlumbing:
+    def test_json_round_trip(self):
+        cluster = _cluster(3).with_pid(1, 4242)
+        restored = ClusterSpec.from_json(cluster.to_json())
+        assert restored == cluster
+        assert restored[1].pid == 4242
+
+    def test_with_pid_replaces_only_one_worker(self):
+        cluster = _cluster(3)
+        updated = cluster.with_pid(2, 99)
+        assert updated[2].pid == 99
+        assert updated[0].pid is None and updated[1].pid is None
+        assert cluster[2].pid is None  # original untouched (frozen)
+
+    def test_iteration_and_len(self):
+        cluster = _cluster(4)
+        assert cluster.n_workers == 4
+        assert [w.index for w in cluster] == [0, 1, 2, 3]

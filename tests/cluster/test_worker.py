@@ -1,0 +1,283 @@
+"""ShardWorker protocol behaviour, driven in-thread over a real socket.
+
+These tests need no OS processes: the worker serves from a background thread
+(exactly like the gateway tests) and a :class:`GatewayClient` speaks the
+NDJSON ops to it.  The supervisor/coordinator machinery is exercised
+separately in ``test_cluster_end_to_end``.
+"""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardWorker
+from repro.core.config import PrivShapeConfig
+from repro.exceptions import ServerError
+from repro.server import batch_id_for, serve_in_thread
+from repro.service import EncodedPopulation, PrivShapeEngine, ShardedAggregator
+from repro.service.client import ClientReporter
+
+SEQUENCES = [tuple("abcd")] * 240 + [tuple("dcba")] * 100 + [tuple("bca")] * 60
+CONFIG = dict(epsilon=6.0, top_k=2, alphabet_size=4, metric="sed", length_high=6)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return EncodedPopulation.from_sequences(
+        SEQUENCES, PrivShapeConfig(**CONFIG).alphabet
+    )
+
+
+@pytest.fixture(scope="module")
+def round_specs(population):
+    """The first two RoundSpecs of a real engine run (index 0 and 1)."""
+    engine = PrivShapeEngine(PrivShapeConfig(**CONFIG), rng=5)
+    specs = []
+    reporter = ClientReporter()
+    while len(specs) < 2 and (spec := engine.open_round()) is not None:
+        specs.append(spec)
+        aggregator = ShardedAggregator(spec, n_shards=1)
+        user_ids = np.arange(population.n_users, dtype=np.int64)
+        aggregator.consume(
+            reporter.make_reports(spec, population.take(user_ids), user_ids)
+        )
+        engine.close_round(spec, aggregator.finalize_round())
+    assert len(specs) == 2
+    return specs
+
+
+def _batches(population, spec, start, stop, batch_size):
+    """(batch, batch_id) pairs covering the user-id slice ``[start, stop)``."""
+    reporter = ClientReporter()
+    out = []
+    for user_ids, batch_population in population.iter_range(start, stop, batch_size):
+        out.append(
+            (
+                reporter.make_reports(spec, batch_population, user_ids),
+                batch_id_for(spec.index, user_ids[0], user_ids[-1] + 1),
+            )
+        )
+    return out
+
+
+def _open(client, spec, start, stop):
+    return client.request(
+        {"op": "open_round", "round": spec.to_dict(), "start": start, "stop": stop}
+    )
+
+
+class TestRoundLifecycle:
+    def test_open_report_collect_matches_direct_aggregation(
+        self, population, round_specs
+    ):
+        """The collected state is bit-identical to aggregating the same
+        batches directly — the worker adds transport, not arithmetic."""
+        spec = round_specs[0]
+        batches = _batches(population, spec, 0, 200, 64)
+        reference = ShardedAggregator(spec, n_shards=2)
+        for batch, _ in batches:
+            reference.consume(batch)
+
+        worker = ShardWorker(worker_index=3, n_shards=2)
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                ack = _open(client, spec, 0, 200)
+                assert ack["slice"] == [0, 200] and ack["worker_index"] == 3
+                for batch, batch_id in batches:
+                    assert client.report(batch, batch_id)["accepted"] is True
+                collected = client.request({"op": "collect", "round": spec.index})
+        assert collected["reports"] == 200
+        assert collected["state"] == reference.merged().to_state()
+
+    def test_hello_reports_role_and_slice(self, round_specs):
+        worker = ShardWorker(worker_index=1)
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                hello = client.hello()
+                assert hello["role"] == "shard_worker"
+                assert hello["round"] is None
+                _open(client, round_specs[0], 10, 20)
+                assert client.hello()["slice"] == [10, 20]
+
+    def test_reopen_same_round_is_idempotent(self, round_specs):
+        worker = ShardWorker()
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, round_specs[0], 0, 50)
+                assert _open(client, round_specs[0], 0, 50)["ok"] is True
+
+    def test_reopen_with_different_slice_rejected(self, round_specs):
+        worker = ShardWorker()
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, round_specs[0], 0, 50)
+                with pytest.raises(ServerError, match="different"):
+                    _open(client, round_specs[0], 0, 60)
+
+    def test_stale_round_rejected_newer_round_swaps(
+        self, population, round_specs
+    ):
+        spec0, spec1 = round_specs
+        worker = ShardWorker()
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, spec0, 0, 100)
+                batch, batch_id = _batches(population, spec0, 0, 100, 100)[0]
+                client.report(batch, batch_id)
+                # Moving to the newer round abandons round 0's state...
+                _open(client, spec1, 0, 100)
+                status = client.status()
+                assert status["round"] == spec1.index
+                assert status["reports_in_round"] == 0
+                # ...and the old round can never come back.
+                with pytest.raises(ServerError, match="stale"):
+                    _open(client, spec0, 0, 100)
+
+
+class TestRejections:
+    def test_report_without_open_round_rejected(self, population, round_specs):
+        worker = ShardWorker()
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                batch, batch_id = _batches(population, round_specs[0], 0, 40, 40)[0]
+                with pytest.raises(ServerError, match="no open round"):
+                    client.report(batch, batch_id)
+
+    def test_batch_outside_slice_rejected(self, population, round_specs):
+        """Slice ownership is enforced: a misrouted batch is an error, not a
+        silent double count waiting to happen."""
+        spec = round_specs[0]
+        worker = ShardWorker()
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, spec, 0, 100)
+                stray, stray_id = _batches(population, spec, 90, 130, 40)[0]
+                with pytest.raises(ServerError, match="outside worker"):
+                    client.report(stray, stray_id)
+                status = client.status()
+        assert status["rejected_requests"] == 1
+        assert status["total_reports"] == 0
+
+    def test_wrong_round_batch_rejected(self, population, round_specs):
+        spec0, spec1 = round_specs
+        worker = ShardWorker()
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, spec1, 0, 100)
+                old, old_id = _batches(population, spec0, 0, 40, 40)[0]
+                with pytest.raises(ServerError, match="does not"):
+                    client.report(old, old_id)
+
+    def test_collect_wrong_round_rejected(self, round_specs):
+        worker = ShardWorker()
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, round_specs[0], 0, 10)
+                with pytest.raises(ServerError, match="collect for round"):
+                    client.request({"op": "collect", "round": 7})
+
+    def test_duplicate_batches_counted_once(self, population, round_specs):
+        spec = round_specs[0]
+        worker = ShardWorker()
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, spec, 0, 80)
+                batch, batch_id = _batches(population, spec, 0, 80, 80)[0]
+                assert client.report(batch, batch_id)["accepted"] is True
+                replay = client.report(batch, batch_id)
+                assert replay["accepted"] is False and replay["reports"] == 0
+                collected = client.request({"op": "collect", "round": spec.index})
+        assert collected["reports"] == 80
+
+
+class TestDurability:
+    def test_checkpoint_boot_replay_is_exact(
+        self, population, round_specs, tmp_path
+    ):
+        """Kill after a checkpoint, boot from it, replay the slice from the
+        top: checkpointed batches dedup, lost ones re-accumulate — the
+        collected state equals an uninterrupted run's."""
+        spec = round_specs[0]
+        batches = _batches(population, spec, 0, 160, 40)
+        half = len(batches) // 2
+        reference = ShardedAggregator(spec, n_shards=2)
+        for batch, _ in batches:
+            reference.consume(batch)
+
+        checkpoint_dir = str(tmp_path / "worker-0")
+        worker = ShardWorker(n_shards=2, checkpoint_dir=checkpoint_dir)
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, spec, 0, 160)
+                for batch, batch_id in batches[:half]:
+                    client.report(batch, batch_id)
+                client.checkpoint()
+        # The worker object dies here; everything since the checkpoint — in
+        # this case nothing, the second half was never sent — must come back
+        # from disk plus the client's deterministic replay.
+        revived = ShardWorker.boot(checkpoint_dir, n_shards=2)
+        assert revived.restored is True
+        with serve_in_thread(revived) as handle:
+            with handle.client() as client:
+                _open(client, spec, 0, 160)  # idempotent heal
+                duplicates = 0
+                for batch, batch_id in batches:
+                    if not client.report(batch, batch_id)["accepted"]:
+                        duplicates += 1
+                collected = client.request({"op": "collect", "round": spec.index})
+        assert duplicates == half
+        assert collected["reports"] == 160
+        assert collected["state"] == reference.merged().to_state()
+
+    def test_boot_without_checkpoint_is_fresh(self, tmp_path):
+        worker = ShardWorker.boot(str(tmp_path / "empty"), worker_index=2)
+        assert worker.restored is False
+        assert worker.worker_index == 2
+
+    def test_checkpoint_every_writes_unprompted(
+        self, population, round_specs, tmp_path
+    ):
+        spec = round_specs[0]
+        worker = ShardWorker(
+            checkpoint_dir=str(tmp_path / "auto"), checkpoint_every=2
+        )
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, spec, 0, 120)
+                for batch, batch_id in _batches(population, spec, 0, 120, 30):
+                    client.report(batch, batch_id)
+                status = client.status()
+        assert status["checkpoints_written"] >= 2
+        assert status["checkpoint_lag_batches"] < 2
+
+
+class TestObservability:
+    def test_status_payload_fields(self, population, round_specs):
+        spec = round_specs[0]
+        worker = ShardWorker(worker_index=1, n_shards=3)
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, spec, 0, 90)
+                for batch, batch_id in _batches(population, spec, 0, 90, 45):
+                    client.report(batch, batch_id)
+                status = client.status()
+        assert status["role"] == "shard_worker"
+        assert status["worker_index"] == 1
+        assert status["slice"] == [0, 90]
+        assert status["total_reports"] == 90
+        assert len(status["queue_depths"]) == 3
+        assert status["reports_per_second"] > 0
+        assert status["restored"] is False
+
+    def test_http_status_endpoint(self, round_specs):
+        worker = ShardWorker(worker_index=5)
+        with serve_in_thread(worker) as handle:
+            with handle.client() as client:
+                _open(client, round_specs[0], 3, 9)
+            url = f"http://{handle.host}:{handle.port}/status"
+            payload = json.load(urllib.request.urlopen(url, timeout=30))
+        assert payload["ok"] is True
+        assert payload["status"]["worker_index"] == 5
+        assert payload["status"]["slice"] == [3, 9]

@@ -256,6 +256,11 @@ class TestHttpEndpoints:
             status = json.load(urllib.request.urlopen(f"{base}/status", timeout=30))
             assert status["ok"] is True
             assert status["status"]["stage"] == "length"
+            # Operational metrics: per-shard queue depth, checkpoint lag, and
+            # cumulative throughput ride along with the protocol state.
+            assert status["status"]["queue_depths"] == [0]
+            assert status["status"]["checkpoint_lag_batches"] == 0
+            assert status["status"]["reports_per_second"] == 0.0
             assert json.load(urllib.request.urlopen(f"{base}/healthz", timeout=30))["ok"]
 
             with pytest.raises(urllib.error.HTTPError) as not_done:
@@ -271,3 +276,4 @@ class TestHttpEndpoints:
         _assert_matches_offline(result["result"], offline_result)
         assert status["status"]["done"] is True
         assert status["status"]["total_reports"] == len(SEQUENCES)
+        assert status["status"]["reports_per_second"] > 0

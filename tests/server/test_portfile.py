@@ -1,0 +1,51 @@
+"""Atomic port-file publication: the boot handshake of every served process."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ServerError
+from repro.server import publish_port, read_port, wait_for_port_file
+
+
+def test_publish_then_read_round_trips(tmp_path):
+    path = tmp_path / "svc.port"
+    publish_port(path, 54321)
+    assert read_port(path) == 54321
+
+
+def test_read_missing_file_is_none(tmp_path):
+    assert read_port(tmp_path / "nope.port") is None
+
+
+def test_publish_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "svc.port"
+    publish_port(path, 1234)
+    assert read_port(path) == 1234
+
+
+def test_publish_overwrites_atomically(tmp_path):
+    """Re-publishing replaces the old port and never leaves temp litter."""
+    path = tmp_path / "svc.port"
+    publish_port(path, 1111)
+    publish_port(path, 2222)
+    assert read_port(path) == 2222
+    assert os.listdir(tmp_path) == ["svc.port"]
+
+
+def test_garbage_content_is_an_error(tmp_path):
+    path = tmp_path / "svc.port"
+    path.write_text("not-a-port\n", encoding="utf-8")
+    with pytest.raises(ServerError, match="not a port number"):
+        read_port(path)
+
+
+def test_wait_returns_published_port(tmp_path):
+    path = tmp_path / "svc.port"
+    publish_port(path, 4040)
+    assert wait_for_port_file(path, timeout=1.0) == 4040
+
+
+def test_wait_times_out_without_publisher(tmp_path):
+    with pytest.raises(ServerError, match="no port was published"):
+        wait_for_port_file(tmp_path / "never.port", timeout=0.2, poll_interval=0.01)

@@ -1,0 +1,137 @@
+"""``iter_range`` slicing edge cases — the contract cluster routing rests on.
+
+Every process fan-out (loadgen workers, the sharded executor, cluster shard
+slices) assumes that streaming disjoint user-id ranges reproduces exactly the
+rows ``iter_batches`` would emit.  These properties pin that down for both
+population types, including the degenerate slices real topologies produce
+(empty slices from more workers than users, stops beyond the population,
+single-user slices).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import EncodedPopulation, SyntheticShapeStream, default_templates
+from repro.service.population import worker_slices
+
+ALPHABET = ("a", "b", "c", "d")
+
+
+def _encoded(n_users: int) -> EncodedPopulation:
+    sequences = [tuple(ALPHABET[: 2 + i % 3]) for i in range(n_users)]
+    return EncodedPopulation.from_sequences(sequences, ALPHABET)
+
+
+def _stream(n_users: int) -> SyntheticShapeStream:
+    templates = default_templates(ALPHABET, n_templates=4, length=5, rng=0)
+    return SyntheticShapeStream(
+        n_users=n_users,
+        alphabet=ALPHABET,
+        templates=tuple(templates),
+        weights=(0.4, 0.3, 0.2, 0.1),
+        seed=7,
+        length_jitter=0.2,
+    )
+
+
+def _materialize(population, start, stop, batch_size):
+    """(user_ids, codes, lengths) concatenated over one iter_range stream."""
+    ids, codes, lengths = [], [], []
+    for user_ids, batch in population.iter_range(start, stop, batch_size):
+        assert len(user_ids) == len(batch.lengths)
+        ids.append(user_ids)
+        codes.append(batch.codes)
+        lengths.append(batch.lengths)
+    if not ids:
+        return np.array([], dtype=np.int64), None, None
+    return np.concatenate(ids), np.vstack(codes), np.concatenate(lengths)
+
+
+@pytest.fixture(scope="module", params=["encoded", "stream"])
+def population(request):
+    build = _encoded if request.param == "encoded" else _stream
+    return build(101)
+
+
+class TestDegenerateSlices:
+    def test_empty_slice_yields_nothing(self, population):
+        assert list(population.iter_range(40, 40, 16)) == []
+
+    def test_inverted_slice_yields_nothing(self, population):
+        assert list(population.iter_range(50, 10, 16)) == []
+
+    def test_slice_fully_beyond_population_yields_nothing(self, population):
+        assert list(population.iter_range(500, 900, 16)) == []
+
+    def test_stop_beyond_population_clamps(self, population):
+        ids, _, _ = _materialize(population, 90, 10_000, 7)
+        assert ids.tolist() == list(range(90, 101))
+
+    def test_negative_start_clamps_to_zero(self, population):
+        ids, _, _ = _materialize(population, -25, 10, 16)
+        assert ids.tolist() == list(range(10))
+
+    def test_single_user_slices(self, population):
+        for user_id in (0, 57, 100):
+            batches = list(population.iter_range(user_id, user_id + 1, 64))
+            assert len(batches) == 1
+            user_ids, batch = batches[0]
+            assert user_ids.tolist() == [user_id]
+            assert len(batch.lengths) == 1
+
+    def test_non_positive_batch_size_rejected(self, population):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(population.iter_range(0, 10, 0))
+
+
+class TestPartitionProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        n_users=st.integers(min_value=1, max_value=300),
+        workers=st.integers(min_value=1, max_value=9),
+        batch_size=st.integers(min_value=1, max_value=64),
+        kind=st.sampled_from(["encoded", "stream"]),
+    )
+    def test_worker_slices_union_equals_iter_batches(
+        self, n_users, workers, batch_size, kind
+    ):
+        """Streaming every worker slice reproduces iter_batches exactly —
+        same user ids, same codes, same lengths, no user lost or repeated.
+        Holds even when workers > n_users (some slices are empty)."""
+        population = (_encoded if kind == "encoded" else _stream)(n_users)
+        whole_ids, whole_codes, whole_lengths = [], [], []
+        for user_ids, batch in population.iter_batches(batch_size):
+            whole_ids.append(user_ids)
+            whole_codes.append(batch.codes)
+            whole_lengths.append(batch.lengths)
+        sliced_ids, sliced_codes, sliced_lengths = [], [], []
+        for start, stop in worker_slices(n_users, workers):
+            ids, codes, lengths = _materialize(population, start, stop, batch_size)
+            if len(ids):
+                sliced_ids.append(ids)
+                sliced_codes.append(codes)
+                sliced_lengths.append(lengths)
+        assert np.concatenate(sliced_ids).tolist() == np.concatenate(
+            whole_ids
+        ).tolist()
+        assert np.array_equal(
+            np.concatenate(sliced_lengths), np.concatenate(whole_lengths)
+        )
+        assert np.array_equal(np.vstack(sliced_codes), np.vstack(whole_codes))
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        start=st.integers(min_value=-10, max_value=120),
+        stop=st.integers(min_value=-10, max_value=120),
+        batch_size=st.integers(min_value=1, max_value=50),
+    )
+    def test_any_slice_is_a_contiguous_id_run(self, population, start, stop, batch_size):
+        """iter_range(start, stop) always yields exactly the ids in
+        [max(start,0), min(stop, n_users)), in order."""
+        ids, _, _ = _materialize(population, start, stop, batch_size)
+        expected = list(range(max(start, 0), min(max(stop, 0), 101)))
+        if max(start, 0) >= min(max(stop, 0), 101):
+            expected = []
+        assert ids.tolist() == expected

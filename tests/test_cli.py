@@ -453,3 +453,78 @@ class TestServeAndLoadgen:
         spec_path.write_text(ExperimentSpec(mechanism="privshape").to_json())
         with pytest.raises(SystemExit, match="unresolved"):
             main(["serve", "--spec", str(spec_path)])
+
+
+class TestClusterCli:
+    """`repro cluster` stays the paper's evaluation; the nested serve/status/
+    stop sub-commands (and `loadgen --cluster`) manage the collection
+    cluster."""
+
+    def test_bare_cluster_is_the_evaluation(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.handler.__name__ == "_command_cluster"
+        assert args.cluster_command is None
+
+    def test_cluster_serve_defaults(self):
+        args = build_parser().parse_args(["cluster", "serve"])
+        assert args.handler.__name__ == "_command_cluster_serve"
+        assert args.workers == 2
+        assert args.users == 100_000
+        assert args.port == 0
+
+    def test_cluster_status_and_stop_parse(self):
+        status = build_parser().parse_args(["cluster", "status", "--port", "9"])
+        assert status.handler.__name__ == "_command_cluster_status"
+        assert status.port == 9
+        stop = build_parser().parse_args(["cluster", "stop", "--port", "9"])
+        assert stop.handler.__name__ == "_command_cluster_stop"
+
+    def test_loadgen_cluster_and_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "1", "--cluster", "--chaos-kill-round", "1"]
+        )
+        assert args.cluster is True
+        assert args.chaos_kill_round == 1
+        assert args.chaos_kill_worker == 0  # default target
+        assert args.chaos_kill_after == 1
+        plain = build_parser().parse_args(["loadgen", "--port", "1"])
+        assert plain.cluster is False
+        assert plain.chaos_kill_round is None
+
+    def test_cluster_loadgen_matches_simulate(self, capsys):
+        """`repro loadgen --cluster` against a live coordinator reproduces
+        exactly what `repro simulate` computes in-process, and the --json
+        payload carries the machine-readable summary block."""
+        from repro.cli import _serving_spec
+        from repro.cluster import launch_cluster
+
+        simulate_exit = main(
+            ["simulate", "--users", "4000", "--batch-size", "1024", "--epsilon", "6",
+             "--seed", "7", "--json"]
+        )
+        assert simulate_exit == 0
+        simulate_payload = json.loads(capsys.readouterr().out)
+
+        serve_args = build_parser().parse_args(["serve", "--epsilon", "6", "--seed", "7"])
+        with launch_cluster(
+            _serving_spec(serve_args), n_users=4000, n_workers=2, rng=7
+        ) as cluster:
+            exit_code = main(
+                ["loadgen", "--cluster", "--host", cluster.host,
+                 "--port", str(cluster.port), "--users", "4000",
+                 "--batch-size", "1024", "--seed", "7", "--json"]
+            )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "loadgen"
+        assert payload["cluster"] is True
+        assert payload["total_reports"] == 4000
+        assert payload["result"]["shapes"] == [
+            entry["shape"] for entry in simulate_payload["shapes"]
+        ]
+        summary = payload["summary"]
+        assert summary["reports_sent"] == 4000
+        assert summary["batches"] >= 1
+        assert summary["retries"] == 0
+        assert summary["wall_seconds"] > 0
+        assert summary["reports_per_second"] > 0
