@@ -151,10 +151,13 @@ def record_benchmark(
 
     Every performance benchmark writes a ``BENCH_<name>.json`` document under
     ``benchmarks/results/`` with one headline metric plus context — including
-    the package version, the git commit, and the execution backend that
-    produced the number — so the perf trajectory across commits is
-    attributable by tooling instead of by eyeballing captured stdout.
+    the package version, the git commit, the execution backend, and the host
+    envelope (CPU count, peak RSS) that produced the number — so the perf
+    trajectory across commits is attributable by tooling instead of by
+    eyeballing captured stdout.
     """
+    from repro.service.metrics import cpu_count, peak_rss_bytes
+
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     slug = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
     payload: dict[str, Any] = {
@@ -167,6 +170,8 @@ def record_benchmark(
         "workers": workers,
         "bench_users": bench_users(),
         "bench_trials": bench_trials(),
+        "cpu_count": cpu_count(),
+        "peak_rss_bytes": peak_rss_bytes(),
         "repro_version": repro.__version__,
         "git_commit": git_commit(),
     }

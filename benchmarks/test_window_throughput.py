@@ -1,0 +1,132 @@
+"""Continual-collection throughput: window count and carry-over cost.
+
+Drives the same drifting synthetic stream through the inline
+:class:`~repro.continual.engine.ContinualEngine` at increasing window
+counts, with trie carry-over on and off, and records how per-window wall
+time and end-to-end report throughput respond.  Carry-over seeds each
+window's trie from the previous window's surviving shapes, so its cost per
+window should be flat (a decayed frequency injection), not growing with
+history length.
+
+Results land in ``benchmarks/results/BENCH_continual_windows.json``: the
+headline number is the report throughput of the largest carry-over-enabled
+configuration, with every (windows, carry-over) cell preserved in
+``extra.grid``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.helpers import print_table, record_benchmark
+from repro.continual import ContinualEngine, WindowSpec
+from repro.core.config import PrivShapeConfig
+from repro.service import DriftingShapeStream, default_templates
+
+N_USERS = int(os.environ.get("PRIVSHAPE_BENCH_WINDOW_USERS", 120_000))
+WINDOW_COUNTS = (1, 2, 4)
+BATCH_SIZE = 8192
+SEED = 0
+
+
+def _population(n_users: int) -> DriftingShapeStream:
+    alphabet = ("a", "b", "c", "d")
+    templates = default_templates(alphabet, n_templates=6, length=5, rng=0)
+    weights = tuple(1.0 / (rank + 1) for rank in range(len(templates)))
+    return DriftingShapeStream(
+        n_users=n_users,
+        alphabet=alphabet,
+        templates=tuple(templates),
+        weights=weights,
+        seed=SEED,
+        length_jitter=0.2,
+        breakpoints=(n_users // 2,),
+        mixtures=(weights, tuple(reversed(weights))),
+    )
+
+
+def _config() -> PrivShapeConfig:
+    return PrivShapeConfig(
+        epsilon=4.0, top_k=3, alphabet_size=4, metric="sed",
+        length_low=1, length_high=5,
+    )
+
+
+def _run_once(population, n_windows: int, carry_over: bool):
+    windows = WindowSpec(
+        length=population.n_users // n_windows,
+        carry_over=carry_over,
+        drift_threshold=2.0,  # never fires: this measures steady-state cost
+    )
+    started = time.perf_counter()
+    outcome = ContinualEngine(
+        _config(), windows, population, batch_size=BATCH_SIZE, seed=SEED
+    ).run()
+    elapsed = time.perf_counter() - started
+    reports = sum(stats["total_reports"] for stats in outcome.timings)
+    window_seconds = [stats["total_seconds"] for stats in outcome.timings]
+    return {
+        "windows": n_windows,
+        "carry_over": carry_over,
+        "elapsed_seconds": elapsed,
+        "reports": reports,
+        "reports_per_second": reports / max(elapsed, 1e-9),
+        "window_seconds": [round(t, 4) for t in window_seconds],
+        "mean_window_seconds": sum(window_seconds) / len(window_seconds),
+    }
+
+
+def test_window_throughput(benchmark):
+    """Per-window wall time must not grow with window count or carry-over."""
+    population = _population(N_USERS)
+    grid = []
+    for n_windows in WINDOW_COUNTS:
+        for carry_over in (True, False):
+            grid.append(_run_once(population, n_windows, carry_over))
+
+    headline_spec = WindowSpec(
+        length=N_USERS // WINDOW_COUNTS[-1], carry_over=True, drift_threshold=2.0
+    )
+    outcome = benchmark.pedantic(
+        lambda: ContinualEngine(
+            _config(), headline_spec, population, batch_size=BATCH_SIZE, seed=SEED
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+    headline = next(
+        cell for cell in grid
+        if cell["windows"] == WINDOW_COUNTS[-1] and cell["carry_over"]
+    )
+
+    print_table(
+        f"Continual window throughput ({N_USERS // 1000}k users)",
+        ["windows", "carry-over", "seconds", "reports/sec", "sec/window"],
+        [
+            [c["windows"], "on" if c["carry_over"] else "off",
+             c["elapsed_seconds"], c["reports_per_second"],
+             c["mean_window_seconds"]]
+            for c in grid
+        ],
+    )
+    record_benchmark(
+        "continual_windows",
+        metric="throughput",
+        value=headline["reports_per_second"],
+        units="reports/sec",
+        seed=SEED,
+        backend="inline",
+        extra={
+            "users": N_USERS,
+            "batch_size": BATCH_SIZE,
+            "window_counts": list(WINDOW_COUNTS),
+            "grid": grid,
+        },
+    )
+
+    # Every configuration covers the whole stream and stays within budget.
+    assert len(outcome.windows) == WINDOW_COUNTS[-1]
+    assert outcome.accounting["within_budget"]
+    for cell in grid:
+        assert len(cell["window_seconds"]) == cell["windows"]

@@ -56,6 +56,8 @@ from repro.api import (
     ExperimentSpec,
     PrivacySpec,
     RunResult,
+    RunSequence,
+    run_windows,
     SAXSpec,
     SweepResult,
     SweepSpec,
@@ -89,12 +91,21 @@ from repro.sax.sax import SAXTransformer
 from repro.service import (
     ClientReporter,
     CollectionPlan,
+    DriftingShapeStream,
     PrivShapeEngine,
     ProtocolDriver,
     ReportBatch,
     RoundSpec,
     ShardedAggregator,
     SyntheticShapeStream,
+)
+from repro.continual import (
+    ContinualEngine,
+    ContinualResult,
+    DriftDetector,
+    WindowController,
+    WindowPlan,
+    WindowSpec,
 )
 from repro.server import (
     CheckpointStore,
@@ -112,7 +123,7 @@ from repro.cluster import (
     run_cluster_loadgen,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Legacy config classes served via module __getattr__ with a deprecation
 #: warning; ExperimentSpec is the composable replacement.
@@ -132,6 +143,8 @@ __all__ = [
     "CollectionSpec",
     "DataSpec",
     "RunResult",
+    "RunSequence",
+    "run_windows",
     "SweepSpec",
     "SweepResult",
     "run_spec",
@@ -170,6 +183,13 @@ __all__ = [
     "PrivShapeEngine",
     "ProtocolDriver",
     "SyntheticShapeStream",
+    "DriftingShapeStream",
+    "WindowSpec",
+    "WindowPlan",
+    "WindowController",
+    "ContinualEngine",
+    "ContinualResult",
+    "DriftDetector",
     "CollectionGateway",
     "GatewayClient",
     "CheckpointStore",

@@ -60,6 +60,7 @@ from repro.api.spec import (
     as_baseline_config,
     as_privshape_config,
 )
+from repro.api.continual import RunSequence, run_windows, window_run_result
 from repro.api.data import DataSpec
 from repro.api.results import RunResult
 from repro.api.executors import (
@@ -81,6 +82,9 @@ __all__ = [
     "CollectionSpec",
     "DataSpec",
     "RunResult",
+    "RunSequence",
+    "run_windows",
+    "window_run_result",
     "SweepSpec",
     "SweepResult",
     "run_spec",

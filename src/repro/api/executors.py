@@ -806,6 +806,18 @@ def run_spec(
     """
     if task not in TASKS:
         raise ConfigurationError(f"task must be one of {TASKS}, got {task!r}")
+    if spec.windows is not None:
+        # A windowed spec executes to a per-window RunResult sequence; the
+        # continual dispatcher owns backend/option validation for that path.
+        if task != TASK_EXTRACT:
+            raise ConfigurationError(
+                f"a windowed spec only runs task 'extract', got {task!r}"
+            )
+        from repro.api.continual import run_windows
+
+        return run_windows(
+            spec, data, backend=backend, seed=seed, cache=cache, **options
+        )
     entry = executor_registry.get(backend)
     # One up-front accepted-option set per (task, backend): a misspelled or
     # inert knob (shard= for shards=, shards on a single-process evaluation

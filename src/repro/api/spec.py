@@ -24,9 +24,12 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from types import MappingProxyType
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.continual.windows import WindowSpec
 
 from repro.core.config import BaselineConfig, MechanismConfig, PrivShapeConfig
 from repro.exceptions import ConfigurationError
@@ -182,6 +185,9 @@ class ExperimentSpec:
     collection: CollectionSpec = field(default_factory=CollectionSpec)
     options: Mapping[str, Any] = field(default_factory=dict)
     rng_seed: int | None = None
+    #: Optional continual-collection schedule: when set, ``run()`` executes the
+    #: spec window by window and returns a per-window RunResult sequence.
+    windows: "WindowSpec | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "mechanism", str(self.mechanism).lower())
@@ -189,6 +195,12 @@ class ExperimentSpec:
         # spec.options[...] raises instead of silently changing a spec that
         # may already have been serialized or used as a cache key.
         object.__setattr__(self, "options", MappingProxyType(dict(self.options)))
+        if self.windows is not None and isinstance(self.windows, Mapping):
+            # Imported lazily: repro.continual pulls the service stack, which
+            # must not load while the core <-> api import cycle resolves.
+            from repro.continual.windows import WindowSpec
+
+            object.__setattr__(self, "windows", WindowSpec.from_dict(self.windows))
 
     def __hash__(self) -> int:
         # MappingProxyType is unhashable, so the generated frozen-dataclass
@@ -202,6 +214,7 @@ class ExperimentSpec:
                 self.collection,
                 _freeze_value(dict(self.options)),
                 self.rng_seed,
+                self.windows,
             )
         )
 
@@ -334,7 +347,7 @@ class ExperimentSpec:
 
     def to_dict(self) -> dict[str, Any]:
         """Loss-free plain-data form (JSON-serializable)."""
-        return {
+        payload = {
             "mechanism": self.mechanism,
             "privacy": dataclasses.asdict(self.privacy),
             "sax": dataclasses.asdict(self.sax),
@@ -345,6 +358,11 @@ class ExperimentSpec:
             "options": dict(self.options),
             "rng_seed": self.rng_seed,
         }
+        # Emitted only when set: one-shot specs keep their historical document
+        # form (and fingerprints) byte for byte.
+        if self.windows is not None:
+            payload["windows"] = self.windows.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
@@ -360,6 +378,7 @@ class ExperimentSpec:
             collection=CollectionSpec(**collection),
             options=dict(data.get("options", {})),
             rng_seed=data.get("rng_seed"),
+            windows=data.get("windows"),
         )
 
     def to_json(self, **dumps_kwargs: Any) -> str:

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import dataclasses
 import json
 import os
 import sys
@@ -334,6 +335,117 @@ def _execute(args: argparse.Namespace, task: str, backend: str) -> RunResult:
 def _command_run(args: argparse.Namespace) -> int:
     result = _execute(args, task=args.task, backend=args.backend)
     _emit(args, _run_payload("run", result), _run_text(result))
+    return 0
+
+
+def _windows_payload(sequence) -> dict[str, Any]:
+    """One ``--json`` document for a finished continual run."""
+    return {"command": "windows", **sequence.to_dict()}
+
+
+def _windows_text(sequence) -> str:
+    """Human-readable rendering of one RunSequence."""
+    continual = sequence.continual
+    lines = [
+        f"continual run: {len(sequence)} closed windows "
+        f"({len(sequence.final_results)} final) on backend "
+        f"{continual.get('backend', '?')}"
+    ]
+    for result in sequence:
+        data = result.data
+        drift = result.details.get("drift") or {}
+        mark = "final" if data.get("final") else "superseded"
+        line = (
+            f"  window {data['window']} [{data['start']}:{data['stop']}] "
+            f"attempt {data['attempt']} {data['mode']:<7} {mark}: "
+            + (", ".join(result.shapes) or "-")
+        )
+        if drift:
+            line += f"  (l1 drift {drift.get('l1', 0.0):.3f}"
+            if drift.get("fired"):
+                line += ", re-extraction FIRED"
+            line += ")"
+        lines.append(line)
+    accounting = continual.get("accounting", {})
+    if accounting:
+        verdict = (
+            "within budget" if accounting.get("within_budget") else "OVER BUDGET"
+        )
+        lines.append(
+            f"user-level epsilon {accounting.get('user_level_epsilon', 0.0):g} "
+            f"over the whole stream; {accounting.get('user_horizon', '?')}-window "
+            f"horizon epsilon "
+            f"{accounting.get('user_level_epsilon_horizon', 0.0):g} ({verdict})"
+        )
+    return "\n".join(lines)
+
+
+def _drifting_population(args: argparse.Namespace, spec: ExperimentSpec):
+    """The scripted-drift synthetic stream the windows sub-command runs on.
+
+    Template pool and base weights match the ``synthetic`` DataSpec source;
+    every ``--breakpoint`` flips to the reversed popularity profile and back,
+    so the dominant shape changes at each scripted arrival index.
+    """
+    from repro.service.population import DriftingShapeStream, default_templates
+
+    alphabet = tuple(spec.sax.alphabet)
+    templates = default_templates(
+        alphabet,
+        n_templates=args.templates,
+        length=args.template_length,
+        rng=args.seed,
+    )
+    base = tuple(1.0 / (rank + 1) for rank in range(len(templates)))
+    breakpoints = tuple(sorted(int(b) for b in (args.breakpoints or [])))
+    mixtures = tuple(
+        base if segment % 2 == 0 else tuple(reversed(base))
+        for segment in range(len(breakpoints) + 1)
+    )
+    return DriftingShapeStream(
+        n_users=args.users,
+        alphabet=alphabet,
+        templates=tuple(templates),
+        weights=base,
+        seed=args.seed,
+        length_jitter=args.length_jitter,
+        breakpoints=breakpoints,
+        mixtures=mixtures,
+    )
+
+
+def _command_windows(args: argparse.Namespace) -> int:
+    from repro.continual import WindowSpec
+
+    windows = WindowSpec(
+        length=args.window_length,
+        stride=args.stride,
+        n_windows=args.n_windows,
+        budget_renewal=args.budget_renewal,
+        carry_over=not args.no_carry_over,
+        decay=args.decay,
+        refresh=args.refresh,
+        refresh_fraction=args.refresh_fraction,
+        drift_threshold=args.drift_threshold,
+        churn_threshold=args.churn_threshold,
+        hysteresis=args.hysteresis,
+    )
+    spec = dataclasses.replace(_spec_from_args(args, "sed"), windows=windows)
+    population = _drifting_population(args, spec)
+    # Live streams expose no sequence lengths, so resolve the open spec slots
+    # the way the synthetic DataSpec source does.
+    spec = spec.resolve(
+        top_k=min(3, len(population.templates)),
+        length_high=args.template_length,
+    )
+    try:
+        sequence = spec.run(
+            population, backend=args.backend, seed=args.seed,
+            **_backend_options(args, "extract"),
+        )
+    except ReproError as exc:
+        raise SystemExit(f"windows run failed: {exc}") from exc
+    _emit(args, _windows_payload(sequence), _windows_text(sequence))
     return 0
 
 
@@ -882,6 +994,49 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inline backend: push every report batch through the "
                           "wire format")
     run.set_defaults(handler=_command_run)
+
+    windows = subparsers.add_parser(
+        "windows",
+        help="run a continual (sliding-window) collection over a scripted "
+             "drifting synthetic stream (RunSequence out)",
+    )
+    _add_common_arguments(windows, datasets=("synthetic",))
+    _add_synthetic_arguments(windows)
+    _add_backend_arguments(windows)
+    windows.add_argument("--window-length", type=int, required=True,
+                         help="users per collection window")
+    windows.add_argument("--stride", type=int, default=None,
+                         help="window start offset (default: the length, i.e. "
+                              "tumbling windows)")
+    windows.add_argument("--n-windows", type=int, default=None,
+                         help="cap on the number of windows (default: cover "
+                              "the whole stream)")
+    windows.add_argument("--budget-renewal", choices=("per_window", "global"),
+                         default="per_window",
+                         help="epsilon renews every window (event-level view) "
+                              "or is split across all windows")
+    windows.add_argument("--no-carry-over", action="store_true",
+                         help="start every window's trie cold instead of "
+                              "seeding it from the previous window")
+    windows.add_argument("--decay", type=float, default=0.5,
+                         help="carry-over frequency decay factor in (0, 1]")
+    windows.add_argument("--refresh", action="store_true",
+                         help="refine-only refresh windows (full re-extraction "
+                              "only when drift fires)")
+    windows.add_argument("--refresh-fraction", type=float, default=0.5,
+                         help="fraction of the window budget spent by a "
+                              "refresh probe")
+    windows.add_argument("--drift-threshold", type=float, default=0.25,
+                         help="L1 (total-variation) drift firing threshold")
+    windows.add_argument("--churn-threshold", type=float, default=None,
+                         help="top-k churn firing threshold (default: L1 only)")
+    windows.add_argument("--hysteresis", type=int, default=1,
+                         help="consecutive drifted windows before firing")
+    windows.add_argument("--breakpoints", type=int, nargs="*", default=[],
+                         metavar="USER_ID",
+                         help="scripted drift: user ids where the stream's "
+                              "template mixture flips")
+    windows.set_defaults(handler=_command_windows, dataset="synthetic")
 
     extract = subparsers.add_parser(
         "extract", help="[deprecated: use `run --task extract`]")

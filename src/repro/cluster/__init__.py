@@ -29,7 +29,12 @@ any crash-and-replay schedule produce the same final counts.
 """
 
 from repro.cluster.coordinator import Coordinator
-from repro.cluster.loadgen import ChaosKill, run_cluster_loadgen, stream_worker_slice
+from repro.cluster.loadgen import (
+    ChaosKill,
+    run_cluster_loadgen,
+    run_window_cluster_loadgen,
+    stream_worker_slice,
+)
 from repro.cluster.spec import ClusterSpec, WorkerAddress
 from repro.cluster.supervisor import Supervisor
 from repro.cluster.testing import ClusterHandle, launch_cluster
@@ -45,6 +50,7 @@ __all__ = [
     "WorkerAddress",
     "launch_cluster",
     "run_cluster_loadgen",
+    "run_window_cluster_loadgen",
     "run_worker_process",
     "stream_worker_slice",
 ]

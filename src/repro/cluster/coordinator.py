@@ -29,6 +29,8 @@ import time
 from typing import Any
 
 from repro.cluster.spec import ClusterSpec, WorkerAddress
+from repro.continual.engine import WindowController
+from repro.continual.windows import WindowSpec, WindowTicket
 from repro.exceptions import (
     ProtocolStateError,
     ReproError,
@@ -58,6 +60,7 @@ class Coordinator(SocketServiceBase):
         *,
         n_users: int,
         rng: RngLike = None,
+        windows: WindowSpec | None = None,
         supervisor=None,
         rpc_timeout: float = 60.0,
     ) -> None:
@@ -69,7 +72,24 @@ class Coordinator(SocketServiceBase):
         self.n_users = int(n_users)
         self.supervisor = supervisor
         self.rpc_timeout = float(rpc_timeout)
-        self.engine = PrivShapeEngine(config, rng=rng)
+        self.controller: WindowController | None = None
+        self._ticket: WindowTicket | None = None
+        if windows is not None:
+            # Continual mode: the coordinator hosts the same backend-shared
+            # window controller the gateway does, swapping in a fresh
+            # per-window engine at every ``window`` op.  ``rng`` must be the
+            # integer base seed (or None for fresh entropy) — windows derive
+            # their own seeds from it.
+            self.controller = WindowController(
+                config,
+                windows,
+                self.n_users,
+                base_seed=None if rng is None else int(rng),
+            )
+            self._ticket = self.controller.next_ticket()
+            self.engine = self.controller.build_engine(self._ticket)
+        else:
+            self.engine = PrivShapeEngine(config, rng=rng)
         self.rounds_closed: list[dict[str, Any]] = []
         self.total_reports = 0
         self.rejected_requests = 0
@@ -83,6 +103,18 @@ class Coordinator(SocketServiceBase):
         if self.supervisor is None:
             return self.cluster
         return self.supervisor.cluster_spec()
+
+    def _scope_users(self) -> int:
+        """How many user ids the current engine's rounds span.
+
+        Windowed runs stream each window under LOCAL ids ``[0, stop - start)``
+        (client randomness is a PRF of the user id, so re-basing is what makes
+        a window byte-identical to a standalone run); worker slice assignments
+        must therefore partition the window's local size, not the stream's.
+        """
+        if self._ticket is not None:
+            return self._ticket.n_users
+        return self.n_users
 
     async def _worker_request(
         self, address: WorkerAddress, payload: dict[str, Any]
@@ -138,7 +170,7 @@ class Coordinator(SocketServiceBase):
         if spec is None:
             return
         cluster = self._live_cluster()
-        assignments = cluster.assignments(self.n_users)
+        assignments = cluster.assignments(self._scope_users())
         results = await asyncio.gather(
             *(
                 self._worker_request(
@@ -180,6 +212,8 @@ class Coordinator(SocketServiceBase):
                 return self._round_payload()
         if op == "close_round":
             return await self._op_close_round(message)
+        if op == "window":
+            return await self._op_window(message)
         if op == "status":
             return {"ok": True, "status": await self._status_payload()}
         if op == "result":
@@ -194,7 +228,7 @@ class Coordinator(SocketServiceBase):
 
     def _hello_payload(self) -> dict[str, Any]:
         cluster = self._live_cluster()
-        return {
+        payload = {
             "ok": True,
             "protocol": PROTOCOL_VERSION,
             "role": "coordinator",
@@ -203,21 +237,38 @@ class Coordinator(SocketServiceBase):
             "n_users": self.n_users,
             "n_workers": cluster.n_workers,
             "workers": [address.to_dict() for address in cluster],
-            "assignments": cluster.assignments(self.n_users),
+            "assignments": cluster.assignments(self._scope_users()),
             "plan": self.engine.plan.to_dict(),
         }
+        if self.controller is not None:
+            payload["windows"] = {
+                "n_users": self.controller.plan.n_users,
+                "n_windows": self.controller.plan.n_windows,
+                "window_epsilon": self.controller.plan.window_epsilon,
+            }
+        return payload
 
     def _round_payload(self) -> dict[str, Any]:
         spec = self.engine.current_round
         cluster = self._live_cluster()
-        return {
+        payload = {
             "ok": True,
             "done": spec is None and self.engine.is_done,
             "round": None if spec is None else spec.to_dict(),
             "plan": self.engine.plan.to_dict(),
             "workers": [address.to_dict() for address in cluster],
-            "assignments": cluster.assignments(self.n_users),
+            "assignments": cluster.assignments(self._scope_users()),
         }
+        if self.controller is not None:
+            # Windowed contract, identical to the gateway's: one window's
+            # completion ("window_done") asks the client for a ``window`` op,
+            # and the ticket tells it which user slice to stream.
+            payload["done"] = self.controller.done
+            payload["window_done"] = self.engine.is_done and not self.controller.done
+            payload["window"] = (
+                None if self._ticket is None else self._ticket.to_dict()
+            )
+        return payload
 
     async def _op_close_round(self, message: dict[str, Any]) -> dict[str, Any]:
         assert self._lock is not None
@@ -282,6 +333,41 @@ class Coordinator(SocketServiceBase):
             await self._broadcast_open_round()
             return {**self._round_payload(), "closed": closed}
 
+    async def _op_window(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Close the finished window, fold it into the run, open the next.
+
+        The coordinator keeps no data plane to drain — by the time the last
+        ``close_round`` answered, every worker's state is already merged into
+        the engine — so this only advances the controller and re-broadcasts
+        the successor window's first round to the workers.
+        """
+        assert self._lock is not None
+        async with self._lock:
+            if self.controller is None:
+                raise ProtocolStateError(
+                    "this coordinator is not running a continual (windowed) plan"
+                )
+            if self._ticket is None:
+                raise ProtocolStateError("every window is already closed")
+            if not self.engine.is_done:
+                raise ProtocolStateError(
+                    f"window {self._ticket.index} is still in stage "
+                    f"{self.engine.stage!r}; close its rounds first"
+                )
+            closed = self.controller.close_window(self._ticket, self.engine)
+            self._ticket = self.controller.next_ticket()
+            if self._ticket is not None:
+                self.engine = self.controller.build_engine(self._ticket)
+                self.engine.open_round()
+                await self._broadcast_open_round()
+            self._result_payload = None
+            return {
+                "ok": True,
+                "closed": closed,
+                "done": self.controller.done,
+                "window": None if self._ticket is None else self._ticket.to_dict(),
+            }
+
     async def _status_payload(self) -> dict[str, Any]:
         spec = self.engine.current_round
         cluster = self._live_cluster()
@@ -323,9 +409,37 @@ class Coordinator(SocketServiceBase):
         }
         if self.supervisor is not None:
             payload["restarts"] = list(self.supervisor.restarts)
+        if self.controller is not None:
+            payload.update(
+                {
+                    "windowed": True,
+                    "done": self.controller.done,
+                    "window": None if self._ticket is None else self._ticket.index,
+                    "window_attempt": None
+                    if self._ticket is None
+                    else self._ticket.attempt,
+                    "window_mode": None if self._ticket is None else self._ticket.mode,
+                    "windows_total": self.controller.plan.n_windows,
+                    "windows_closed": len(self.controller.results),
+                }
+            )
         return payload
 
     def _op_result(self) -> dict[str, Any]:
+        if self.controller is not None:
+            if not self.controller.done:
+                raise ProtocolStateError(
+                    f"continual run still in stage {self.engine.stage!r} of window "
+                    f"{self._ticket.index if self._ticket else '?'}; "
+                    "close every window first"
+                )
+            if self._result_payload is None:
+                self._result_payload = {
+                    "windows": self.controller.results,
+                    "accounting": self.controller.master_accounting(),
+                    "base_seed": self.controller.base_seed,
+                }
+            return {"ok": True, "result": self._result_payload}
         if not self.engine.is_done:
             raise ProtocolStateError(
                 f"protocol still in stage {self.engine.stage!r}; "

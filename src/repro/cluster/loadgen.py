@@ -28,12 +28,14 @@ from typing import Any
 
 import numpy as np
 
+from repro.continual.windows import WindowView
 from repro.exceptions import ConfigurationError, ServerConnectionError, ServerError
 from repro.server.client import GatewayClient
 from repro.server.loadgen import (
     LoadgenRoundStats,
     LoadgenStats,
     SliceStats,
+    WindowLoadgenStats,
     batch_id_for,
 )
 from repro.service.client import ClientReporter
@@ -227,6 +229,127 @@ def run_cluster_loadgen(
                         # client-side accepted counts double-count any batch a
                         # crashed worker lost after acking and re-accepted on
                         # replay.
+                        reports=int(closed["reports"])
+                        if closed is not None
+                        else int(sum(s.accepted for s in slice_stats)),
+                        elapsed_seconds=time.perf_counter() - round_started,
+                        level=int(round_dict.get("level", -1)),
+                    )
+                )
+            stats.total_seconds = time.perf_counter() - started
+            stats.total_reports = sum(r.reports for r in stats.rounds)
+            stats.result = control.result()
+            stats.server_status = control.status()
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+    return stats
+
+
+def run_window_cluster_loadgen(
+    host: str,
+    port: int,
+    population,
+    *,
+    batch_size: int = 8192,
+    workers: int = 0,
+    mp_context: str = "spawn",
+    timeout: float = 120.0,
+    chaos: ChaosKill | None = None,
+    max_attempts: int = 12,
+    retry_delay: float = 0.25,
+) -> WindowLoadgenStats:
+    """Drive a complete *continual* run against a windowed cluster coordinator.
+
+    Same contract as :func:`run_cluster_loadgen`, window by window: the
+    coordinator's slice assignments partition the current window's LOCAL id
+    space, so every slice streams from a :class:`~repro.continual.windows.
+    WindowView` of the population, and a ``window`` op folds each finished
+    window into the run before the next one opens.  Crash handling (slice
+    replay, retryable closes, :class:`ChaosKill`) is unchanged.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    stats = WindowLoadgenStats(workers=max(int(workers), 0))
+    started = time.perf_counter()
+    pool = None
+    try:
+        with GatewayClient(host, port, timeout=timeout) as control:
+            hello = control.hello()
+            info = hello.get("windows")
+            if info is None:
+                raise ConfigurationError(
+                    "coordinator is not running a continual plan; "
+                    "use run_cluster_loadgen"
+                )
+            if int(info["n_users"]) != int(population.n_users):
+                raise ConfigurationError(
+                    f"cluster planned windows over {info['n_users']} users, "
+                    f"population has {population.n_users}"
+                )
+            while True:
+                current = control.round()
+                if current["done"]:
+                    break
+                if current.get("window_done"):
+                    advanced = control.request({"op": "window"})
+                    closed = advanced.get("closed", {})
+                    stats.windows.append(
+                        {
+                            "window": closed.get("window"),
+                            "attempt": closed.get("attempt"),
+                            "mode": closed.get("mode"),
+                            "final": closed.get("final"),
+                            "shapes": closed.get("shapes"),
+                        }
+                    )
+                    continue
+                ticket = current["window"]
+                view = WindowView(population, ticket["start"], ticket["stop"])
+                round_dict, plan_dict = current["round"], current["plan"]
+                addresses = current["workers"]
+                assignments = [tuple(a) for a in current["assignments"]]
+                round_started = time.perf_counter()
+                tasks = [
+                    (
+                        address["host"],
+                        address["port"],
+                        view,
+                        plan_dict,
+                        round_dict,
+                        start,
+                        stop,
+                        batch_size,
+                        address["index"],
+                        address.get("pid"),
+                        max_attempts,
+                        retry_delay,
+                        chaos,
+                    )
+                    for address, (start, stop) in zip(addresses, assignments)
+                ]
+                if stats.workers >= 1:
+                    if pool is None:
+                        context = multiprocessing.get_context(mp_context)
+                        pool = context.Pool(min(stats.workers, len(tasks)))
+                    slice_stats = pool.starmap(stream_worker_slice, tasks)
+                else:
+                    slice_stats = [stream_worker_slice(*task) for task in tasks]
+                stats.batches += sum(s.batches for s in slice_stats)
+                stats.retries += sum(s.retries for s in slice_stats)
+                closed = _close_with_replays(
+                    control,
+                    int(round_dict["index"]),
+                    tasks,
+                    stats,
+                    max_attempts=max_attempts,
+                    retry_delay=retry_delay,
+                )
+                stats.rounds.append(
+                    LoadgenRoundStats(
+                        index=int(round_dict["index"]),
+                        kind=str(round_dict["kind"]),
                         reports=int(closed["reports"])
                         if closed is not None
                         else int(sum(s.accepted for s in slice_stats)),

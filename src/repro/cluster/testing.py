@@ -50,6 +50,7 @@ def launch_cluster(
     n_users: int,
     n_workers: int = 2,
     rng: RngLike = None,
+    windows=None,
     directory: str | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
@@ -84,6 +85,7 @@ def launch_cluster(
             supervisor.cluster_spec(),
             n_users=n_users,
             rng=rng,
+            windows=windows,
             supervisor=supervisor,
         )
         handle = serve_in_thread(coordinator, host, port)

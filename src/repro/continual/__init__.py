@@ -1,0 +1,52 @@
+"""Continual (sliding-window) collection over a drifting user stream.
+
+Layers a windowed lifecycle on top of the one-shot round protocol: window
+geometry and seeds (:mod:`~repro.continual.windows`), drift detection
+(:mod:`~repro.continual.drift`), and the backend-shared window controller
+plus the inline runner (:mod:`~repro.continual.engine`).  The gateway and
+cluster coordinator host the same :class:`WindowController` behind their
+sockets; ``repro.api.continual`` converts its payloads into per-window
+:class:`~repro.api.results.RunResult` sequences.
+"""
+
+from repro.continual.drift import (
+    DriftDecision,
+    DriftDetector,
+    l1_drift,
+    topk_churn,
+)
+from repro.continual.engine import (
+    ContinualEngine,
+    ContinualResult,
+    WindowController,
+)
+from repro.continual.windows import (
+    MODE_FULL,
+    MODE_REFRESH,
+    RENEW_GLOBAL,
+    RENEW_PER_WINDOW,
+    WindowPlan,
+    WindowSpec,
+    WindowTicket,
+    WindowView,
+    window_seed,
+)
+
+__all__ = [
+    "MODE_FULL",
+    "MODE_REFRESH",
+    "RENEW_GLOBAL",
+    "RENEW_PER_WINDOW",
+    "ContinualEngine",
+    "ContinualResult",
+    "DriftDecision",
+    "DriftDetector",
+    "WindowController",
+    "WindowPlan",
+    "WindowSpec",
+    "WindowTicket",
+    "WindowView",
+    "l1_drift",
+    "topk_churn",
+    "window_seed",
+]

@@ -1,0 +1,172 @@
+"""Drift detection over per-window shape-frequency estimates.
+
+A continual run in refresh mode keeps re-estimating the carried candidate
+frequencies with cheap refine-only windows; this module decides when those
+estimates say the *dominant shape mixture* has shifted enough to pay for a
+full re-extraction.  Two complementary signals:
+
+* :func:`l1_drift` — total-variation distance between the normalized
+  baseline and current mixtures (sensitive to mass moving between shapes);
+* :func:`topk_churn` — the fraction of the baseline top-k that fell out of
+  the current top-k (sensitive to rank changes even when mass moves little).
+
+:class:`DriftDetector` wraps both with hysteresis: a re-extraction fires
+only after ``hysteresis`` *consecutive* drifted windows, so one noisy
+estimate can't trigger a full (and budget-hungry) protocol run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.trie import Shape
+
+Frequencies = Mapping[Shape, float]
+
+
+def _normalize(frequencies: Frequencies) -> dict[Shape, float]:
+    clipped = {shape: max(float(count), 0.0) for shape, count in frequencies.items()}
+    total = sum(clipped.values())
+    if total <= 0.0:
+        return {}
+    return {shape: count / total for shape, count in clipped.items()}
+
+
+def l1_drift(baseline: Frequencies, current: Frequencies) -> float:
+    """Total-variation distance between two shape mixtures, in ``[0, 1]``.
+
+    Both inputs are normalized to probability mixtures first (negative
+    estimates clip to zero), so the score compares *shapes of the
+    distribution*, not population sizes.  An empty mixture against a
+    non-empty one scores 1.0; two empty mixtures score 0.0.
+    """
+    a, b = _normalize(baseline), _normalize(current)
+    if not a and not b:
+        return 0.0
+    if not a or not b:
+        return 1.0
+    support = set(a) | set(b)
+    return sum(abs(a.get(s, 0.0) - b.get(s, 0.0)) for s in support) / 2.0
+
+
+def _top_shapes(frequencies: Frequencies, k: int) -> list[Shape]:
+    ranked = sorted(frequencies.items(), key=lambda item: (-item[1], item[0]))
+    return [shape for shape, _ in ranked[:k]]
+
+
+def topk_churn(baseline: Frequencies, current: Frequencies, k: int) -> float:
+    """Fraction of the baseline top-``k`` absent from the current top-``k``.
+
+    0.0 means the leading shapes are unchanged (whatever their exact
+    counts); 1.0 means a complete turnover.  Empty-vs-non-empty scores 1.0.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not baseline and not current:
+        return 0.0
+    if not baseline or not current:
+        return 1.0
+    top_a = _top_shapes(baseline, k)
+    top_b = set(_top_shapes(current, k))
+    missing = sum(1 for shape in top_a if shape not in top_b)
+    return missing / len(top_a)
+
+
+@dataclass(frozen=True)
+class DriftDecision:
+    """One refresh window's drift verdict (scores + whether the trigger fired)."""
+
+    l1: float
+    churn: float
+    drifted: bool
+    fired: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "l1": self.l1,
+            "churn": self.churn,
+            "drifted": self.drifted,
+            "fired": self.fired,
+        }
+
+
+@dataclass
+class DriftDetector:
+    """Hysteresis-debounced mixture-shift detector.
+
+    ``update`` scores the current estimates against the baseline set by the
+    last full extraction; a window counts as *drifted* when the L1 score
+    exceeds ``l1_threshold`` or (when enabled) the churn score exceeds
+    ``churn_threshold``.  The trigger *fires* after ``hysteresis``
+    consecutive drifted windows, and the streak resets on any calm window
+    and on every new baseline.
+    """
+
+    l1_threshold: float = 0.25
+    churn_threshold: float | None = None
+    top_k: int = 3
+    hysteresis: int = 1
+    baseline: dict[Shape, float] | None = None
+    _streak: int = field(default=0, repr=False)
+
+    def set_baseline(self, frequencies: Frequencies) -> None:
+        """Adopt a full extraction's estimates as the new reference mixture."""
+        self.baseline = {tuple(s): float(c) for s, c in frequencies.items()}
+        self._streak = 0
+
+    def update(self, frequencies: Frequencies) -> DriftDecision:
+        """Score one refresh window and advance the hysteresis streak."""
+        if self.baseline is None:
+            raise ValueError("set_baseline must be called before update")
+        l1 = l1_drift(self.baseline, frequencies)
+        churn = topk_churn(self.baseline, frequencies, self.top_k)
+        drifted = l1 > self.l1_threshold or (
+            self.churn_threshold is not None and churn > self.churn_threshold
+        )
+        self._streak = self._streak + 1 if drifted else 0
+        fired = self._streak >= self.hysteresis
+        if fired:
+            self._streak = 0
+        return DriftDecision(l1=l1, churn=churn, drifted=drifted, fired=fired)
+
+    # ------------------------------------------------------------- snapshot
+
+    def to_state(self) -> dict[str, Any]:
+        return {
+            "l1_threshold": self.l1_threshold,
+            "churn_threshold": self.churn_threshold,
+            "top_k": self.top_k,
+            "hysteresis": self.hysteresis,
+            "baseline": None
+            if self.baseline is None
+            else [[list(shape), count] for shape, count in sorted(self.baseline.items())],
+            "streak": self._streak,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "DriftDetector":
+        detector = cls(
+            l1_threshold=float(state["l1_threshold"]),
+            churn_threshold=None
+            if state["churn_threshold"] is None
+            else float(state["churn_threshold"]),
+            top_k=int(state["top_k"]),
+            hysteresis=int(state["hysteresis"]),
+        )
+        if state["baseline"] is not None:
+            detector.baseline = {
+                tuple(shape): float(count) for shape, count in state["baseline"]
+            }
+        detector._streak = int(state["streak"])
+        return detector
+
+
+def detector_for(spec: Any) -> DriftDetector:
+    """Build a detector from a :class:`~repro.continual.windows.WindowSpec`."""
+    return DriftDetector(
+        l1_threshold=float(spec.drift_threshold),
+        churn_threshold=spec.churn_threshold,
+        top_k=int(spec.drift_top_k),
+        hysteresis=int(spec.hysteresis),
+    )

@@ -1,0 +1,380 @@
+"""The continual collection engine: windows scheduled over one population.
+
+:class:`WindowController` is the pure state machine every execution backend
+shares: it schedules :class:`~repro.continual.windows.WindowTicket`\\ s,
+builds the per-window :class:`~repro.service.protocol.PrivShapeEngine`
+(carry-over-seeded full runs, refine-only refresh probes, drift-triggered
+re-extractions), folds each closed window into the master window-tagged
+privacy ledger, and emits one plain JSON payload per window attempt.  The
+inline :class:`ContinualEngine` drives the controller directly over a
+population source; the gateway and cluster coordinator host the *same*
+controller behind their sockets, which is what makes per-window results
+backend-equivalent by construction.
+
+Determinism contract: window ``(index, attempt)`` runs from
+``window_seed(base_seed, index, attempt)`` over a
+:class:`~repro.continual.windows.WindowView` that presents the window's
+users with local ids — so any window with an empty carry-over is
+byte-identical to a standalone run handed the same seed and users.  Round
+indexes are offset so they increase globally across windows (cluster shard
+workers reject stale indexes); the index feeds nothing but round matching,
+so the offset is invisible in estimates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.continual.drift import DriftDetector, detector_for
+from repro.continual.windows import (
+    MODE_FULL,
+    MODE_REFRESH,
+    WindowPlan,
+    WindowSpec,
+    WindowTicket,
+    WindowView,
+    window_seed,
+)
+from repro.core.config import PrivShapeConfig
+from repro.exceptions import ProtocolStateError
+from repro.ldp.accounting import BudgetSpend, PrivacyAccountant
+from repro.service.driver import ProtocolDriver
+from repro.service.protocol import PrivShapeEngine
+from repro.utils.prf import fresh_key
+from repro.utils.rng import ensure_rng
+
+
+class WindowController:
+    """Backend-shared window scheduler, ledger, and drift policy.
+
+    The controller never touches sockets or report batches; backends feed it
+    finished window engines and it hands back tickets and payload dicts.
+    Snapshots (:meth:`to_state` / :meth:`from_state`) are loss-free so a
+    gateway checkpoint taken mid-window resumes the exact schedule.
+    """
+
+    def __init__(
+        self,
+        config: PrivShapeConfig,
+        windows: WindowSpec,
+        n_users: int,
+        base_seed: int | None = None,
+    ) -> None:
+        if not isinstance(config, PrivShapeConfig) and hasattr(config, "to_privshape_config"):
+            config = config.to_privshape_config()
+        self.config = config
+        self.windows = windows
+        self.plan = WindowPlan.freeze(windows, n_users=n_users, epsilon=config.epsilon)
+        self.base_seed = (
+            int(base_seed) if base_seed is not None else fresh_key(ensure_rng(None))
+        )
+        # The master ledger records every window's spends tagged with the
+        # window index; strict enforcement is per (population, window), which
+        # is exactly the renewal semantics.
+        self.master = PrivacyAccountant(target_epsilon=config.epsilon)
+        self.detector: DriftDetector = detector_for(windows)
+        self.carryover: list[tuple[tuple[str, ...], float]] = []
+        self.carried_length: int | None = None
+        self.results: list[dict[str, Any]] = []
+        self._next_index = 0
+        self._pending_full = False
+        self._round_offset = 0
+
+    # ------------------------------------------------------------ scheduling
+
+    @property
+    def done(self) -> bool:
+        """True once every window (and any pending re-extraction) closed."""
+        return self._next_index >= self.plan.n_windows
+
+    @property
+    def user_horizon(self) -> int:
+        """Max windows one user can appear in (ceil(length / stride))."""
+        stride = self.windows.effective_stride
+        return max(1, -(-self.windows.length // stride))
+
+    def next_ticket(self) -> Optional[WindowTicket]:
+        """The next window execution to run, or ``None`` when done."""
+        if self.done:
+            return None
+        index = self._next_index
+        start, stop = self.plan.bounds[index]
+        attempt = 1 if self._pending_full else 0
+        leaf_level = max(self.carried_length or 1, 1)
+        can_refresh = (
+            self.windows.refresh
+            and attempt == 0
+            and index > 0
+            and self.carried_length is not None
+            and any(len(shape) == leaf_level for shape, _ in self.carryover)
+        )
+        mode = MODE_REFRESH if can_refresh else MODE_FULL
+        epsilon = self.plan.window_epsilon
+        if mode == MODE_REFRESH:
+            epsilon *= self.windows.refresh_fraction
+        elif attempt > 0:
+            # A drift-triggered re-extraction: the refresh probe already
+            # spent its fraction of this window's budget.
+            epsilon *= 1.0 - self.windows.refresh_fraction
+        return WindowTicket(
+            index=index,
+            attempt=attempt,
+            mode=mode,
+            start=start,
+            stop=stop,
+            seed=window_seed(self.base_seed, index, attempt),
+            epsilon=epsilon,
+        )
+
+    def build_engine(self, ticket: WindowTicket) -> PrivShapeEngine:
+        """Construct the protocol engine for one ticket."""
+        config = dataclasses.replace(self.config, epsilon=ticket.epsilon)
+        if ticket.mode == MODE_REFRESH:
+            return PrivShapeEngine.for_refresh(
+                config,
+                rng=ticket.seed,
+                carryover=self.carryover,
+                estimated_length=self.carried_length,
+                first_round_index=self._round_offset,
+            )
+        return PrivShapeEngine(
+            config,
+            rng=ticket.seed,
+            carryover=self.carryover,
+            first_round_index=self._round_offset,
+        )
+
+    # --------------------------------------------------------------- closing
+
+    def close_window(
+        self, ticket: WindowTicket, engine: PrivShapeEngine
+    ) -> dict[str, Any]:
+        """Fold one finished window engine into the run and emit its payload.
+
+        Returns the plain JSON payload recorded for this window attempt; the
+        same dict is produced by every backend, which is what makes the
+        per-window result sequence fingerprint-identical across them.
+        """
+        if not engine.is_done:
+            raise ProtocolStateError(
+                f"window {ticket.index} engine is still in stage {engine.stage!r}"
+            )
+        result = engine.finalize()
+        for spend in engine.accountant.spends:
+            self.master.spend(
+                spend.population,
+                spend.epsilon,
+                mechanism=spend.mechanism,
+                window=ticket.index,
+            )
+        frequencies = dict(zip(result.shapes, result.frequencies))
+        drift: dict[str, Any] | None = None
+        final = True
+        if ticket.mode == MODE_REFRESH:
+            decision = self.detector.update(frequencies)
+            drift = decision.to_dict()
+            if decision.fired:
+                # The mixture shifted: re-run this window as a full
+                # extraction (attempt 1) before moving on.
+                final = False
+        else:
+            self.detector.set_baseline(frequencies)
+        payload = {
+            "window": ticket.index,
+            "attempt": ticket.attempt,
+            "mode": ticket.mode,
+            "start": ticket.start,
+            "stop": ticket.stop,
+            "seed": ticket.seed,
+            "epsilon": ticket.epsilon,
+            "final": final,
+            "shapes": ["".join(shape) for shape in result.shapes],
+            "shape_tuples": [list(shape) for shape in result.shapes],
+            "frequencies": [float(count) for count in result.frequencies],
+            "estimated_length": result.estimated_length,
+            "accounting": {
+                "per_population": engine.accountant.per_population(),
+                "user_level_epsilon": engine.accountant.user_level_epsilon(),
+                "within_budget": engine.accountant.is_valid(),
+            },
+            "drift": drift,
+        }
+        if final and self.windows.carry_over:
+            self.carryover = engine.trie.export_carryover(self.windows.decay)
+            self.carried_length = engine.estimated_length
+        self._pending_full = not final
+        if final:
+            self._next_index += 1
+        self._round_offset = engine.round_index
+        self.results.append(payload)
+        return payload
+
+    def master_accounting(self) -> dict[str, Any]:
+        """The run-level ledger: per-window renewal plus user-level views."""
+        horizon = self.user_horizon
+        return {
+            "target_epsilon": self.master.target_epsilon,
+            "budget_renewal": self.windows.budget_renewal,
+            "per_population": self.master.per_population(),
+            "window_epsilons": {
+                str(window): epsilon
+                for window, epsilon in self.master.window_epsilons().items()
+            },
+            "user_level_epsilon": self.master.user_level_epsilon(),
+            "user_horizon": horizon,
+            "user_level_epsilon_horizon": self.master.user_level_epsilon(
+                horizon=horizon
+            ),
+            "within_budget": self.master.is_valid(),
+        }
+
+    # -------------------------------------------------------------- snapshot
+
+    def to_state(self) -> dict[str, Any]:
+        """Loss-free plain-data snapshot (window schedule + ledger + drift)."""
+        return {
+            "config": dataclasses.asdict(self.config),
+            "windows": self.windows.to_dict(),
+            "n_users": self.plan.n_users,
+            "base_seed": self.base_seed,
+            "master_spends": [
+                {
+                    "population": s.population,
+                    "epsilon": s.epsilon,
+                    "mechanism": s.mechanism,
+                    "window": s.window,
+                }
+                for s in self.master.spends
+            ],
+            "detector": self.detector.to_state(),
+            "carryover": [[list(shape), count] for shape, count in self.carryover],
+            "carried_length": self.carried_length,
+            "results": self.results,
+            "next_index": self._next_index,
+            "pending_full": self._pending_full,
+            "round_offset": self._round_offset,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "WindowController":
+        """Rebuild the exact controller serialized by :meth:`to_state`."""
+        config_data = dict(state["config"])
+        config_data["population_fractions"] = tuple(
+            config_data["population_fractions"]
+        )
+        controller = cls(
+            PrivShapeConfig(**config_data),
+            WindowSpec.from_dict(state["windows"]),
+            n_users=int(state["n_users"]),
+            base_seed=int(state["base_seed"]),
+        )
+        for spend in state["master_spends"]:
+            controller.master.spends.append(
+                BudgetSpend(
+                    population=spend["population"],
+                    epsilon=float(spend["epsilon"]),
+                    mechanism=spend.get("mechanism", ""),
+                    window=spend.get("window"),
+                )
+            )
+        controller.detector = DriftDetector.from_state(state["detector"])
+        controller.carryover = [
+            (tuple(shape), float(count)) for shape, count in state["carryover"]
+        ]
+        controller.carried_length = state["carried_length"]
+        controller.results = list(state["results"])
+        controller._next_index = int(state["next_index"])
+        controller._pending_full = bool(state["pending_full"])
+        controller._round_offset = int(state["round_offset"])
+        return controller
+
+
+@dataclass
+class ContinualResult:
+    """Everything one continual run produced.
+
+    ``windows`` holds one payload per window *attempt* in execution order
+    (a drift-probing refresh that fired and its full re-extraction both
+    appear; ``payload["final"]`` marks the authoritative record for each
+    window index).  ``timings`` is the parallel list of driver stats — kept
+    out of the payloads so they stay backend-comparable.
+    """
+
+    windows: list[dict[str, Any]]
+    accounting: dict[str, Any]
+    base_seed: int
+    timings: list[dict[str, Any]] = field(default_factory=list)
+
+    def final_windows(self) -> list[dict[str, Any]]:
+        """The authoritative payload for each window index, in order."""
+        return [payload for payload in self.windows if payload["final"]]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": "repro.continual_result/v1",
+            "windows": self.windows,
+            "accounting": self.accounting,
+            "base_seed": self.base_seed,
+            "timings": self.timings,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ContinualResult":
+        return cls(
+            windows=list(data["windows"]),
+            accounting=dict(data["accounting"]),
+            base_seed=int(data["base_seed"]),
+            timings=list(data.get("timings", [])),
+        )
+
+
+class ContinualEngine:
+    """Inline window-by-window execution of a continual run.
+
+    Each window builds its engine through the shared controller and streams
+    its :class:`~repro.continual.windows.WindowView` through the standard
+    :class:`~repro.service.driver.ProtocolDriver` round loop — the same loop
+    one-shot runs use, so per-window results inherit the service layer's
+    batching/sharding equivalence for free.
+    """
+
+    def __init__(
+        self,
+        config: PrivShapeConfig,
+        windows: WindowSpec,
+        population: Any,
+        *,
+        batch_size: int = 8192,
+        n_shards: int = 1,
+        seed: int | None = None,
+    ) -> None:
+        self.controller = WindowController(
+            config, windows, n_users=int(population.n_users), base_seed=seed
+        )
+        self.population = population
+        self.batch_size = int(batch_size)
+        self.n_shards = int(n_shards)
+
+    def run(self) -> ContinualResult:
+        """Run every window (including drift re-extractions) to completion."""
+        timings: list[dict[str, Any]] = []
+        while (ticket := self.controller.next_ticket()) is not None:
+            engine = self.controller.build_engine(ticket)
+            view = WindowView(self.population, ticket.start, ticket.stop)
+            driver = ProtocolDriver(
+                engine.config,
+                view,
+                batch_size=self.batch_size,
+                n_shards=self.n_shards,
+            )
+            driver.run(engine=engine)
+            self.controller.close_window(ticket, engine)
+            timings.append(driver.stats.to_dict())
+        return ContinualResult(
+            windows=list(self.controller.results),
+            accounting=self.controller.master_accounting(),
+            base_seed=self.controller.base_seed,
+            timings=timings,
+        )

@@ -1,0 +1,348 @@
+"""Window geometry and seeds for continual (sliding-window) collection.
+
+A continual run re-opens collection over a sliding horizon of user reports:
+window ``w`` covers the user-id slice ``[w * stride, w * stride + length)``
+and runs the full round-based protocol (or a cheap refine-only refresh) over
+just those users.  This module holds the pure geometry — :class:`WindowSpec`
+(the user-facing knobs), :class:`WindowPlan` (the frozen per-run schedule),
+:class:`WindowTicket` (one scheduled window execution), :class:`WindowView`
+(a population slice re-based to local user ids), and :func:`window_seed`
+(the per-(window, attempt) PRF seed derivation).
+
+Deliberately free of any service/server/api imports: ``repro.api.spec``
+embeds :class:`WindowSpec` and the import order in ``repro/__init__`` puts
+the api package before the service package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.prf import derive_key
+
+#: Budget-renewal policies.
+RENEW_PER_WINDOW = "per_window"
+RENEW_GLOBAL = "global"
+RENEWAL_POLICIES = (RENEW_PER_WINDOW, RENEW_GLOBAL)
+
+#: Window execution modes.
+MODE_FULL = "full"
+MODE_REFRESH = "refresh"
+
+
+def window_seed(base_seed: int, index: int, attempt: int = 0) -> int:
+    """Deterministic PRF seed for one (window, attempt) execution.
+
+    Derived with two rounds of the SplitMix64 mixer so distinct windows —
+    and distinct attempts at the same window after a drift re-trigger — get
+    statistically independent master seeds from one base seed.  The result
+    fits in a uint64 and seeds ``numpy.random.default_rng`` directly, which
+    is what makes a window byte-identical standalone vs continual: a
+    standalone run handed ``window_seed(base, w, a)`` draws the exact PRF
+    key sequence the continual engine used for that window.
+    """
+    return derive_key(derive_key(int(base_seed), 1 + int(index)), int(attempt))
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """User-facing knobs of a continual collection run.
+
+    Parameters
+    ----------
+    length:
+        Users per window.
+    stride:
+        User-id distance between consecutive window starts; ``None`` means
+        tumbling windows (``stride == length``).  Overlapping windows
+        (``stride < length``) re-observe users, which is exactly the
+        event-level vs user-level accounting distinction —
+        ``PrivacyAccountant.user_level_epsilon(horizon=...)`` quantifies it.
+    n_windows:
+        Cap on the number of windows; ``None`` runs as many full-stride
+        windows as the population allows.
+    budget_renewal:
+        ``"per_window"`` renews the full ε every window (event-level
+        budgeting); ``"global"`` divides ε across the resolved window count
+        so the whole stream stays within one user-level budget even if a
+        user appears in every window.
+    carry_over:
+        Seed each window's trie from the previous window's survivors
+        (decayed by ``decay``).  Disabling it makes every window
+        byte-identical to a standalone run over its users.
+    decay:
+        Multiplier applied to carried frequencies, in ``(0, 1]``.
+    refresh:
+        Use cheap refine-only windows (only the Pd population reports
+        against the carried candidates) while no drift is detected; a full
+        re-extraction is triggered only when the detector fires.  Requires
+        ``carry_over``.
+    refresh_fraction:
+        Fraction of a window's ε a refresh probe spends; a drift-triggered
+        re-extraction of the same window runs at the remaining
+        ``1 - refresh_fraction``, so probe + re-run together never exceed
+        the window's renewed budget.
+    drift_threshold:
+        Total-variation distance between the carried baseline mixture and a
+        refresh window's estimates above which the window counts as drifted.
+    churn_threshold:
+        Optional top-k churn fraction (how much of the baseline top-k left
+        the current top-k) that also counts as drifted; ``None`` disables
+        the churn signal.
+    drift_top_k:
+        ``k`` for the churn signal.
+    hysteresis:
+        Consecutive drifted refresh windows required before a full
+        re-extraction fires (debounces noisy estimates).
+    """
+
+    length: int
+    stride: int | None = None
+    n_windows: int | None = None
+    budget_renewal: str = RENEW_PER_WINDOW
+    carry_over: bool = True
+    decay: float = 0.5
+    refresh: bool = False
+    refresh_fraction: float = 0.5
+    drift_threshold: float = 0.25
+    churn_threshold: float | None = None
+    drift_top_k: int = 3
+    hysteresis: int = 1
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ConfigurationError(f"window length must be positive, got {self.length}")
+        if self.stride is not None and self.stride <= 0:
+            raise ConfigurationError(f"stride must be positive, got {self.stride}")
+        if self.n_windows is not None and self.n_windows <= 0:
+            raise ConfigurationError(f"n_windows must be positive, got {self.n_windows}")
+        if self.budget_renewal not in RENEWAL_POLICIES:
+            raise ConfigurationError(
+                f"budget_renewal must be one of {RENEWAL_POLICIES}, "
+                f"got {self.budget_renewal!r}"
+            )
+        if not 0.0 < self.decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {self.decay}")
+        if self.refresh and not self.carry_over:
+            raise ConfigurationError(
+                "refresh windows re-estimate carried candidates; "
+                "they require carry_over=True"
+            )
+        if not 0.0 < self.refresh_fraction < 1.0:
+            raise ConfigurationError(
+                f"refresh_fraction must be in (0, 1), got {self.refresh_fraction}"
+            )
+        if self.drift_threshold < 0:
+            raise ConfigurationError(
+                f"drift_threshold must be >= 0, got {self.drift_threshold}"
+            )
+        if self.churn_threshold is not None and not 0.0 <= self.churn_threshold <= 1.0:
+            raise ConfigurationError(
+                f"churn_threshold must be in [0, 1], got {self.churn_threshold}"
+            )
+        if self.drift_top_k <= 0:
+            raise ConfigurationError(
+                f"drift_top_k must be positive, got {self.drift_top_k}"
+            )
+        if self.hysteresis <= 0:
+            raise ConfigurationError(
+                f"hysteresis must be positive, got {self.hysteresis}"
+            )
+
+    @property
+    def effective_stride(self) -> int:
+        """The stride actually used (tumbling windows when unset)."""
+        return self.length if self.stride is None else self.stride
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "length": self.length,
+            "stride": self.stride,
+            "n_windows": self.n_windows,
+            "budget_renewal": self.budget_renewal,
+            "carry_over": self.carry_over,
+            "decay": self.decay,
+            "refresh": self.refresh,
+            "refresh_fraction": self.refresh_fraction,
+            "drift_threshold": self.drift_threshold,
+            "churn_threshold": self.churn_threshold,
+            "drift_top_k": self.drift_top_k,
+            "hysteresis": self.hysteresis,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WindowSpec":
+        return cls(
+            length=int(data["length"]),
+            stride=None if data.get("stride") is None else int(data["stride"]),
+            n_windows=None if data.get("n_windows") is None else int(data["n_windows"]),
+            budget_renewal=str(data.get("budget_renewal", RENEW_PER_WINDOW)),
+            carry_over=bool(data.get("carry_over", True)),
+            decay=float(data.get("decay", 0.5)),
+            refresh=bool(data.get("refresh", False)),
+            refresh_fraction=float(data.get("refresh_fraction", 0.5)),
+            drift_threshold=float(data.get("drift_threshold", 0.25)),
+            churn_threshold=None
+            if data.get("churn_threshold") is None
+            else float(data["churn_threshold"]),
+            drift_top_k=int(data.get("drift_top_k", 3)),
+            hysteresis=int(data.get("hysteresis", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """The frozen schedule of one continual run: bounds and per-window ε.
+
+    Freezing resolves everything that depends on the population size — the
+    window count, each window's ``[start, stop)`` user-id slice, and the
+    per-window privacy budget under the renewal policy — so every execution
+    path (inline, gateway, cluster) schedules the identical windows.
+    """
+
+    spec: WindowSpec
+    n_users: int
+    bounds: tuple[tuple[int, int], ...]
+    window_epsilon: float
+
+    @classmethod
+    def freeze(cls, spec: WindowSpec, n_users: int, epsilon: float) -> "WindowPlan":
+        if n_users <= 0:
+            raise ConfigurationError(f"n_users must be positive, got {n_users}")
+        stride = spec.effective_stride
+        bounds: list[tuple[int, int]] = []
+        start = 0
+        while start < n_users:
+            stop = min(start + spec.length, n_users)
+            bounds.append((start, stop))
+            if spec.n_windows is not None and len(bounds) >= spec.n_windows:
+                break
+            start += stride
+        if spec.n_windows is not None and len(bounds) < spec.n_windows:
+            raise ConfigurationError(
+                f"{n_users} users cover only {len(bounds)} windows of "
+                f"length {spec.length} / stride {stride}; "
+                f"n_windows={spec.n_windows} was requested"
+            )
+        if spec.budget_renewal == RENEW_GLOBAL:
+            window_epsilon = float(epsilon) / len(bounds)
+        else:
+            window_epsilon = float(epsilon)
+        return cls(
+            spec=spec,
+            n_users=int(n_users),
+            bounds=tuple(bounds),
+            window_epsilon=window_epsilon,
+        )
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.bounds)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "n_users": self.n_users,
+            "bounds": [list(b) for b in self.bounds],
+            "window_epsilon": self.window_epsilon,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WindowPlan":
+        return cls(
+            spec=WindowSpec.from_dict(data["spec"]),
+            n_users=int(data["n_users"]),
+            bounds=tuple((int(b[0]), int(b[1])) for b in data["bounds"]),
+            window_epsilon=float(data["window_epsilon"]),
+        )
+
+
+@dataclass(frozen=True)
+class WindowTicket:
+    """One scheduled window execution (a window may run twice after drift).
+
+    ``attempt`` 0 is the scheduled pass (full or refresh); a drift-triggered
+    full re-extraction of the same window runs as ``attempt`` 1 with its own
+    derived seed.  ``seed`` is the complete randomness of the execution —
+    handing it to a standalone run over the same users reproduces the window
+    byte for byte.
+    """
+
+    index: int
+    attempt: int
+    mode: str
+    start: int
+    stop: int
+    seed: int
+    epsilon: float
+
+    @property
+    def n_users(self) -> int:
+        return self.stop - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "attempt": self.attempt,
+            "mode": self.mode,
+            "start": self.start,
+            "stop": self.stop,
+            "seed": self.seed,
+            "epsilon": self.epsilon,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WindowTicket":
+        return cls(
+            index=int(data["index"]),
+            attempt=int(data["attempt"]),
+            mode=str(data["mode"]),
+            start=int(data["start"]),
+            stop=int(data["stop"]),
+            seed=int(data["seed"]),
+            epsilon=float(data["epsilon"]),
+        )
+
+
+class WindowView:
+    """A population slice re-based to local user ids ``0..n_window_users``.
+
+    Client randomness is a PRF of the user id, so a window must present its
+    users with *local* ids for the continual path to be byte-identical to a
+    standalone run over those users (whose ids naturally start at 0).  The
+    view implements the population-source protocol (``n_users`` /
+    ``iter_batches`` / ``iter_range``) by translating local ranges to the
+    underlying absolute slice.
+    """
+
+    def __init__(self, population: Any, start: int, stop: int) -> None:
+        n = int(getattr(population, "n_users"))
+        start, stop = int(start), int(stop)
+        if not 0 <= start < stop <= n:
+            raise ConfigurationError(
+                f"window [{start}, {stop}) does not fit a population of {n} users"
+            )
+        self.population = population
+        self.start = start
+        self.stop = stop
+
+    @property
+    def n_users(self) -> int:
+        return self.stop - self.start
+
+    def iter_batches(self, batch_size: int) -> Iterator[tuple[np.ndarray, Any]]:
+        yield from self.iter_range(0, self.n_users, batch_size)
+
+    def iter_range(
+        self, start: int, stop: int, batch_size: int
+    ) -> Iterator[tuple[np.ndarray, Any]]:
+        start = max(int(start), 0)
+        stop = min(int(stop), self.n_users)
+        for user_ids, batch in self.population.iter_range(
+            self.start + start, self.start + stop, batch_size
+        ):
+            yield user_ids - self.start, batch

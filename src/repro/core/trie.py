@@ -226,6 +226,24 @@ class ShapeTrie:
         """Perturbation-domain size per level — used by the Theorem 4 bench."""
         return {level: self.domain_size_at_level(level) for level in range(1, self.height + 1)}
 
+    def export_carryover(self, decay: float = 0.5) -> list[tuple[Shape, float]]:
+        """Export surviving shapes for seeding the next window's trie.
+
+        Continual collection carries the previous window's candidate structure
+        forward so early rounds don't re-pay for stable prefixes.  Every
+        non-root, unpruned node is exported with its frequency multiplied by
+        ``decay`` (0 < decay <= 1), so stale counts fade over successive
+        windows instead of dominating fresh evidence.  Sorted by shape for
+        deterministic replay.
+        """
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        return sorted(
+            (node.shape, node.frequency * decay)
+            for node in self._nodes.values()
+            if node.shape and not node.pruned
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ShapeTrie(alphabet={self.alphabet}, nodes={len(self)}, height={self.height})"

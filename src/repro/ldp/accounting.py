@@ -20,14 +20,23 @@ from repro.utils.validation import check_epsilon
 
 @dataclass(frozen=True)
 class BudgetSpend:
-    """A single privacy expenditure: ``epsilon`` charged to ``population``."""
+    """A single privacy expenditure: ``epsilon`` charged to ``population``.
+
+    ``window`` scopes the spend to one collection window in continual mode.
+    ``None`` (the default, and the only value the one-shot pipeline ever
+    produces) means the spend is window-less and composes sequentially with
+    every other spend against the same population.
+    """
 
     population: str
     epsilon: float
     mechanism: str = ""
+    window: int | None = None
 
     def __post_init__(self) -> None:
         check_epsilon(self.epsilon, name="spend epsilon")
+        if self.window is not None and self.window < 0:
+            raise PrivacyBudgetError(f"window must be >= 0, got {self.window}")
 
 
 @dataclass
@@ -51,21 +60,48 @@ class PrivacyAccountant:
     def __post_init__(self) -> None:
         self.target_epsilon = check_epsilon(self.target_epsilon, name="target_epsilon")
 
-    def spend(self, population: str, epsilon: float, mechanism: str = "") -> BudgetSpend:
-        """Record a spend of ``epsilon`` against ``population`` and return it."""
-        record = BudgetSpend(population=population, epsilon=float(epsilon), mechanism=mechanism)
+    def spend(
+        self,
+        population: str,
+        epsilon: float,
+        mechanism: str = "",
+        window: int | None = None,
+    ) -> BudgetSpend:
+        """Record a spend of ``epsilon`` against ``population`` and return it.
+
+        Strict enforcement is scoped per ``(population, window)``: in continual
+        mode each window's budget renews, so a spend only trips the cap when
+        its *own window's* sequential total for that population exceeds the
+        target.  Window-less spends (the one-shot pipeline) all share the
+        ``None`` scope, which reproduces the original behaviour exactly.
+        """
+        record = BudgetSpend(
+            population=population,
+            epsilon=float(epsilon),
+            mechanism=mechanism,
+            window=window,
+        )
         self.spends.append(record)
-        if self.strict and self.sequential_epsilon(population) > self.target_epsilon + 1e-12:
+        scoped = self._scoped_epsilon(population, window)
+        if self.strict and scoped > self.target_epsilon + 1e-12:
             self.spends.pop()
             raise PrivacyBudgetError(
-                f"population {population!r} would spend "
-                f"{self.sequential_epsilon(population) + epsilon:.4f} > target "
-                f"{self.target_epsilon:.4f}"
+                f"population {population!r}"
+                + (f" in window {window}" if window is not None else "")
+                + f" would spend {scoped:.4f} > target {self.target_epsilon:.4f}"
             )
         return record
 
+    def _scoped_epsilon(self, population: str, window: int | None) -> float:
+        """Sequential total for one ``(population, window)`` enforcement scope."""
+        return sum(
+            s.epsilon
+            for s in self.spends
+            if s.population == population and s.window == window
+        )
+
     def sequential_epsilon(self, population: str) -> float:
-        """Total ε charged to one population (sequential composition)."""
+        """Total ε charged to one population (sequential composition, all windows)."""
         return sum(s.epsilon for s in self.spends if s.population == population)
 
     def per_population(self) -> Dict[str, float]:
@@ -75,18 +111,74 @@ class PrivacyAccountant:
             totals[spend.population] = totals.get(spend.population, 0.0) + spend.epsilon
         return totals
 
-    def user_level_epsilon(self) -> float:
+    def window_epsilons(self) -> Dict[int, float]:
+        """Per-window event-level ε: max over populations within each window.
+
+        Only window-tagged spends contribute; the one-shot pipeline (all
+        spends window-less) yields an empty mapping.
+        """
+        per_window: Dict[int, Dict[str, float]] = {}
+        for spend in self.spends:
+            if spend.window is None:
+                continue
+            totals = per_window.setdefault(spend.window, {})
+            totals[spend.population] = totals.get(spend.population, 0.0) + spend.epsilon
+        return {
+            window: max(totals.values())
+            for window, totals in sorted(per_window.items())
+        }
+
+    def user_level_epsilon(self, horizon: int | None = None) -> float:
         """Effective user-level ε under parallel composition across populations.
 
-        Disjoint populations compose in parallel, so the user-level guarantee
-        is the *maximum* sequential total over populations.
+        Disjoint populations compose in parallel, so within one enforcement
+        scope the guarantee is the *maximum* sequential total over
+        populations.  With window-tagged spends (continual mode) windows
+        compose *sequentially* for a user present in all of them:
+
+        - ``horizon=None``: worst case — the user participates in every
+          window, so the window-level maxima sum over the whole stream (plus
+          any window-less base spends).
+        - ``horizon=h``: the user participates in at most ``h`` consecutive
+          windows, so the guarantee is the worst sum over any ``h``
+          consecutive recorded windows.
+
+        Without window tags this reduces exactly to the original one-shot
+        semantics regardless of ``horizon``.
         """
-        totals = self.per_population()
-        return max(totals.values()) if totals else 0.0
+        base_totals: Dict[str, float] = {}
+        for spend in self.spends:
+            if spend.window is None:
+                base_totals[spend.population] = (
+                    base_totals.get(spend.population, 0.0) + spend.epsilon
+                )
+        base = max(base_totals.values()) if base_totals else 0.0
+        windows = self.window_epsilons()
+        if not windows:
+            return base
+        if horizon is not None and horizon <= 0:
+            raise PrivacyBudgetError(f"horizon must be positive, got {horizon}")
+        ordered = [windows[index] for index in sorted(windows)]
+        if horizon is None or horizon >= len(ordered):
+            return base + sum(ordered)
+        worst = max(
+            sum(ordered[i : i + horizon]) for i in range(len(ordered) - horizon + 1)
+        )
+        return base + worst
 
     def is_valid(self) -> bool:
-        """True when the user-level ε does not exceed the target budget."""
-        return self.user_level_epsilon() <= self.target_epsilon + 1e-12
+        """True when every enforcement scope stays within the target budget.
+
+        One-shot runs have a single ``None`` scope, so this coincides with
+        ``user_level_epsilon() <= target``.  Continual runs renew the budget
+        per window: each ``(population, window)`` scope is checked on its own.
+        """
+        scopes: Dict[tuple[str, int | None], float] = {}
+        for spend in self.spends:
+            key = (spend.population, spend.window)
+            scopes[key] = scopes.get(key, 0.0) + spend.epsilon
+        worst = max(scopes.values()) if scopes else 0.0
+        return worst <= self.target_epsilon + 1e-12
 
     def summary(self) -> str:
         """Human-readable accounting summary used in logs and examples."""

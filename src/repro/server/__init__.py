@@ -36,8 +36,10 @@ from repro.server.loadgen import (
     LoadgenRoundStats,
     LoadgenStats,
     SliceStats,
+    WindowLoadgenStats,
     batch_id_for,
     run_loadgen,
+    run_window_loadgen,
     stream_round,
 )
 from repro.server.portfile import publish_port, read_port, wait_for_port_file
@@ -65,11 +67,13 @@ __all__ = [
     "read_port",
     "wait_for_port_file",
     "run_loadgen",
+    "run_window_loadgen",
     "stream_round",
     "batch_id_for",
     "LoadgenStats",
     "LoadgenRoundStats",
     "SliceStats",
+    "WindowLoadgenStats",
     "PROTOCOL_VERSION",
     "MAX_LINE_BYTES",
     "encode_message",

@@ -32,6 +32,8 @@ from __future__ import annotations
 import time
 from typing import Any, Optional
 
+from repro.continual.engine import WindowController
+from repro.continual.windows import WindowSpec, WindowTicket
 from repro.exceptions import (
     ProtocolStateError,
     ReproError,
@@ -63,13 +65,33 @@ class CollectionGateway(SocketServiceBase):
         queue_depth: int = 64,
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 0,
+        windows: WindowSpec | None = None,
+        n_users: int | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self._init_plumbing(n_shards, queue_depth)
         self.checkpoint_every = max(int(checkpoint_every), 0)
         self.store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
-        self.engine = PrivShapeEngine(config, rng=rng)
+        self.controller: Optional[WindowController] = None
+        self._ticket: Optional[WindowTicket] = None
+        if windows is not None:
+            # Continual mode: the gateway hosts the backend-shared window
+            # controller and swaps in a fresh per-window engine at every
+            # ``window`` op.  ``rng`` must be the integer base seed (or None
+            # for fresh entropy) — windows derive their own seeds from it.
+            if n_users is None:
+                raise ValueError("windowed gateways need n_users to plan the schedule")
+            self.controller = WindowController(
+                config,
+                windows,
+                n_users=int(n_users),
+                base_seed=None if rng is None else int(rng),
+            )
+            self._ticket = self.controller.next_ticket()
+            self.engine = self.controller.build_engine(self._ticket)
+        else:
+            self.engine = PrivShapeEngine(config, rng=rng)
         self.aggregator: Optional[ShardedAggregator] = None
         self.seen_batches: set[str] = set()
         self.total_reports = 0
@@ -108,6 +130,16 @@ class CollectionGateway(SocketServiceBase):
         )
         gateway.checkpoint_every = max(int(checkpoint_every), 0)
         gateway.store = store
+        gateway.controller = (
+            None
+            if state.get("windows") is None
+            else WindowController.from_state(state["windows"])
+        )
+        gateway._ticket = (
+            None
+            if state.get("ticket") is None
+            else WindowTicket.from_dict(state["ticket"])
+        )
         gateway.engine = PrivShapeEngine.from_state(state["engine"])
         gateway.aggregator = (
             None
@@ -142,6 +174,8 @@ class CollectionGateway(SocketServiceBase):
         return {
             "n_shards": self.n_shards,
             "queue_depth": self.queue_depth,
+            "windows": None if self.controller is None else self.controller.to_state(),
+            "ticket": None if self._ticket is None else self._ticket.to_dict(),
             "engine": self.engine.to_state(),
             "aggregator": None if self.aggregator is None else self.aggregator.to_state(),
             "seen_batches": sorted(self.seen_batches),
@@ -185,7 +219,7 @@ class CollectionGateway(SocketServiceBase):
     async def _dispatch(self, message: dict[str, Any]) -> dict[str, Any]:
         op = message.get("op")
         if op == "hello":
-            return {
+            payload = {
                 "ok": True,
                 "protocol": PROTOCOL_VERSION,
                 "mechanism": "privshape",
@@ -193,6 +227,13 @@ class CollectionGateway(SocketServiceBase):
                 "n_shards": self.n_shards,
                 "plan": self.engine.plan.to_dict(),
             }
+            if self.controller is not None:
+                payload["windows"] = {
+                    "n_users": self.controller.plan.n_users,
+                    "n_windows": self.controller.plan.n_windows,
+                    "window_epsilon": self.controller.plan.window_epsilon,
+                }
+            return payload
         if op == "round":
             assert self._lock is not None
             async with self._lock:
@@ -201,6 +242,8 @@ class CollectionGateway(SocketServiceBase):
             return await self._op_report(message)
         if op == "close_round":
             return await self._op_close_round(message)
+        if op == "window":
+            return await self._op_window(message)
         if op == "status":
             return {"ok": True, "status": self._status_payload()}
         if op == "result":
@@ -219,12 +262,23 @@ class CollectionGateway(SocketServiceBase):
 
     def _round_payload(self) -> dict[str, Any]:
         spec = self.engine.current_round
-        return {
+        payload = {
             "ok": True,
             "done": spec is None and self.engine.is_done,
             "round": None if spec is None else spec.to_dict(),
             "plan": self.engine.plan.to_dict(),
         }
+        if self.controller is not None:
+            # Continual mode: "done" means the whole run; the current
+            # window's completion ("window_done") asks the client for a
+            # ``window`` op, and the ticket tells it which user slice to
+            # stream (with local ids starting at 0).
+            payload["done"] = self.controller.done
+            payload["window_done"] = self.engine.is_done and not self.controller.done
+            payload["window"] = (
+                None if self._ticket is None else self._ticket.to_dict()
+            )
+        return payload
 
     async def _op_report(self, message: dict[str, Any]) -> dict[str, Any]:
         batch_id = check_batch_id(message.get("batch_id"))
@@ -293,10 +347,48 @@ class CollectionGateway(SocketServiceBase):
                 await self._checkpoint_locked()
             return self._round_payload()
 
+    async def _op_window(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Close the finished window, fold it into the run, open the next.
+
+        Not idempotent by id like ``report`` — but safe to replay: once the
+        window has advanced, a stale retry sees a not-yet-finished successor
+        engine and is rejected, and the client just re-reads ``round``.
+        """
+        assert self._lock is not None
+        async with self._lock:
+            if self.controller is None:
+                raise ProtocolStateError(
+                    "this gateway is not running a continual (windowed) plan"
+                )
+            if self._ticket is None:
+                raise ProtocolStateError("every window is already closed")
+            if not self.engine.is_done:
+                raise ProtocolStateError(
+                    f"window {self._ticket.index} is still in stage "
+                    f"{self.engine.stage!r}; close its rounds first"
+                )
+            await self._drain()
+            closed = self.controller.close_window(self._ticket, self.engine)
+            self._ticket = self.controller.next_ticket()
+            if self._ticket is not None:
+                self.engine = self.controller.build_engine(self._ticket)
+                self._set_round(self.engine.open_round())
+            else:
+                self._set_round(None)
+            self._result_payload = None
+            if self.store is not None:
+                await self._checkpoint_locked()
+            return {
+                "ok": True,
+                "closed": closed,
+                "done": self.controller.done,
+                "window": None if self._ticket is None else self._ticket.to_dict(),
+            }
+
     def _status_payload(self) -> dict[str, Any]:
         spec = self.engine.current_round
         uptime = max(time.monotonic() - self._started_at, 1e-9)
-        return {
+        payload = {
             "stage": self.engine.stage,
             "done": self.engine.is_done,
             "round": None if spec is None else spec.index,
@@ -318,8 +410,37 @@ class CollectionGateway(SocketServiceBase):
             "epsilon": self.engine.config.epsilon,
             "uptime_seconds": time.monotonic() - self._started_at,
         }
+        if self.controller is not None:
+            payload.update(
+                {
+                    "windowed": True,
+                    "done": self.controller.done,
+                    "window": None if self._ticket is None else self._ticket.index,
+                    "window_attempt": None
+                    if self._ticket is None
+                    else self._ticket.attempt,
+                    "window_mode": None if self._ticket is None else self._ticket.mode,
+                    "windows_total": self.controller.plan.n_windows,
+                    "windows_closed": len(self.controller.results),
+                }
+            )
+        return payload
 
     def _op_result(self) -> dict[str, Any]:
+        if self.controller is not None:
+            if not self.controller.done:
+                raise ProtocolStateError(
+                    f"continual run still in stage {self.engine.stage!r} of window "
+                    f"{self._ticket.index if self._ticket else '?'}; "
+                    "close every window first"
+                )
+            if self._result_payload is None:
+                self._result_payload = {
+                    "windows": self.controller.results,
+                    "accounting": self.controller.master_accounting(),
+                    "base_seed": self.controller.base_seed,
+                }
+            return {"ok": True, "result": self._result_payload}
         if not self.engine.is_done:
             raise ProtocolStateError(
                 f"protocol still in stage {self.engine.stage!r}; "

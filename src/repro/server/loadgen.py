@@ -24,7 +24,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.exceptions import ServerConnectionError
+from repro.continual.windows import WindowView
+from repro.exceptions import ConfigurationError, ServerConnectionError
 from repro.server.client import GatewayClient
 from repro.service.client import ClientReporter
 from repro.service.plan import CollectionPlan, RoundSpec
@@ -236,6 +237,123 @@ def run_loadgen(
                         stream_round(
                             host, port, population, plan_dict, round_dict,
                             0, n_users, batch_size,
+                        )
+                    ]
+                control.close_round(round_dict["index"])
+                stats.batches += sum(s.batches for s in slice_stats)
+                stats.retries += sum(s.retries for s in slice_stats)
+                stats.rounds.append(
+                    LoadgenRoundStats(
+                        index=int(round_dict["index"]),
+                        kind=str(round_dict["kind"]),
+                        reports=int(sum(s.accepted for s in slice_stats)),
+                        elapsed_seconds=time.perf_counter() - round_started,
+                        level=int(round_dict.get("level", -1)),
+                    )
+                )
+            stats.total_seconds = time.perf_counter() - started
+            stats.total_reports = sum(r.reports for r in stats.rounds)
+            stats.result = control.result()
+            stats.server_status = control.status()
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+    return stats
+
+
+@dataclass
+class WindowLoadgenStats(LoadgenStats):
+    """Loadgen stats for a continual run: rounds plus closed-window records."""
+
+    #: One summary per ``window`` op the loadgen drove, in execution order.
+    windows: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = super().to_dict()
+        data["windows"] = self.windows
+        return data
+
+
+def run_window_loadgen(
+    host: str,
+    port: int,
+    population,
+    *,
+    batch_size: int = 8192,
+    workers: int = 0,
+    mp_context: str = "spawn",
+    timeout: float = 120.0,
+    max_attempts: int = 1,
+    retry_delay: float = 0.5,
+) -> WindowLoadgenStats:
+    """Drive a complete *continual* run against a windowed gateway.
+
+    Same contract as :func:`run_loadgen`, window by window: each round is
+    streamed from a :class:`~repro.continual.windows.WindowView` of the
+    population (the current ticket's user slice, re-based to local ids so
+    the gateway's estimates are byte-identical to a standalone run), and
+    whenever the gateway reports the window's protocol finished, a
+    ``window`` op folds it into the run and opens the next window.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    stats = WindowLoadgenStats(workers=max(int(workers), 0))
+    started = time.perf_counter()
+    pool = None
+    try:
+        with GatewayClient(host, port, timeout=timeout) as control:
+            hello = control.hello()
+            info = hello.get("windows")
+            if info is None:
+                raise ConfigurationError(
+                    "gateway is not running a continual plan; use run_loadgen"
+                )
+            if int(info["n_users"]) != int(population.n_users):
+                raise ConfigurationError(
+                    f"gateway planned windows over {info['n_users']} users, "
+                    f"population has {population.n_users}"
+                )
+            while True:
+                current = control.round()
+                if current["done"]:
+                    break
+                if current.get("window_done"):
+                    advanced = control.request({"op": "window"})
+                    closed = advanced.get("closed", {})
+                    stats.windows.append(
+                        {
+                            "window": closed.get("window"),
+                            "attempt": closed.get("attempt"),
+                            "mode": closed.get("mode"),
+                            "final": closed.get("final"),
+                            "shapes": closed.get("shapes"),
+                        }
+                    )
+                    continue
+                ticket = current["window"]
+                view = WindowView(population, ticket["start"], ticket["stop"])
+                round_dict, plan_dict = current["round"], current["plan"]
+                round_started = time.perf_counter()
+                if stats.workers >= 1:
+                    slices = worker_slices(view.n_users, stats.workers)
+                    if pool is None:
+                        context = multiprocessing.get_context(mp_context)
+                        pool = context.Pool(min(stats.workers, len(slices)))
+                    slice_stats = pool.starmap(
+                        stream_round,
+                        [
+                            (host, port, view, plan_dict, round_dict,
+                             start, stop, batch_size)
+                            for start, stop in slices
+                        ],
+                    )
+                else:
+                    slice_stats = [
+                        stream_round(
+                            host, port, view, plan_dict, round_dict,
+                            0, view.n_users, batch_size,
+                            max_attempts=max_attempts, retry_delay=retry_delay,
                         )
                     ]
                 control.close_round(round_dict["index"])

@@ -25,6 +25,7 @@ from repro.service.driver import DriverStats, ProtocolDriver, RoundStats
 from repro.service.metrics import ThroughputMeter, peak_rss_bytes
 from repro.service.plan import CollectionPlan, RoundSpec
 from repro.service.population import (
+    DriftingShapeStream,
     EncodedPopulation,
     SyntheticShapeStream,
     default_templates,
@@ -43,6 +44,7 @@ __all__ = [
     "ProtocolDriver",
     "DriverStats",
     "RoundStats",
+    "DriftingShapeStream",
     "EncodedPopulation",
     "SyntheticShapeStream",
     "default_templates",

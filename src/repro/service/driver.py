@@ -114,9 +114,15 @@ class ProtocolDriver:
         self.rng = rng
         self.stats = DriverStats()
 
-    def run(self) -> ShapeExtractionResult:
-        """Execute every round of the protocol and return the extraction result."""
-        engine = PrivShapeEngine(self.config, rng=self.rng)
+    def run(self, engine: PrivShapeEngine | None = None) -> ShapeExtractionResult:
+        """Execute every round of the protocol and return the extraction result.
+
+        ``engine`` lets a caller inject a pre-built engine (the continual
+        subsystem passes carry-over-seeded and refresh-mode engines); by
+        default a fresh one is constructed from the driver's config and rng.
+        """
+        if engine is None:
+            engine = PrivShapeEngine(self.config, rng=self.rng)
         reporter = ClientReporter()
         total = ThroughputMeter()
         total.start()

@@ -6,6 +6,17 @@ import time
 from dataclasses import dataclass, field
 
 
+def cpu_count() -> int:
+    """Number of CPUs visible to this process (at least 1).
+
+    Benchmark artifacts stamp this so single-core numbers (e.g. a cluster
+    "speedup" below 1x with no parallelism to buy) are self-explanatory.
+    """
+    import os
+
+    return os.cpu_count() or 1
+
+
 def peak_rss_bytes() -> int:
     """Peak resident set size of this process in bytes (0 when unavailable)."""
     try:
@@ -40,7 +51,12 @@ class ThroughputMeter:
 
     @property
     def reports_per_second(self) -> float:
-        """Aggregate throughput; 0 when no time was measured."""
-        if self.elapsed_seconds <= 0:
+        """Aggregate throughput; 0 when no (or near-zero) time was measured.
+
+        A stop() immediately after start() can leave elapsed_seconds at the
+        clock's resolution floor; dividing by it would report absurd rates,
+        so anything under a microsecond counts as "no time measured".
+        """
+        if self.elapsed_seconds <= 1e-6:
             return 0.0
         return self.reports / self.elapsed_seconds

@@ -229,10 +229,7 @@ class SyntheticShapeStream:
         for start in range(range_start, range_stop, batch_size):
             stop = min(start + batch_size, range_stop)
             user_ids = np.arange(start, stop, dtype=np.int64)
-            picks = np.searchsorted(
-                self._cum_weights, prf_uniforms(self.seed, user_ids, slot=0), side="right"
-            )
-            picks = np.minimum(picks, len(self.templates) - 1)
+            picks = self._pick_templates(user_ids)
             codes = self._template_codes[picks].copy()
             lengths = self._template_lengths[picks].copy()
             if self.length_jitter > 0.0:
@@ -244,3 +241,71 @@ class SyntheticShapeStream:
             yield user_ids, EncodedPopulation(
                 codes=codes, lengths=lengths, alphabet=self.alphabet
             )
+
+    def _pick_templates(self, user_ids: np.ndarray) -> np.ndarray:
+        """Template index per user (a pure PRF function of the user id)."""
+        picks = np.searchsorted(
+            self._cum_weights, prf_uniforms(self.seed, user_ids, slot=0), side="right"
+        )
+        return np.minimum(picks, len(self.templates) - 1)
+
+
+@dataclass
+class DriftingShapeStream(SyntheticShapeStream):
+    """A synthetic stream whose template mixture shifts at scripted breakpoints.
+
+    User ids play the role of arrival time: users with ids below
+    ``breakpoints[0]`` draw from ``mixtures[0]``, users in
+    ``[breakpoints[i-1], breakpoints[i])`` from ``mixtures[i]``, and so on —
+    ``len(mixtures) == len(breakpoints) + 1``.  Within each segment the draw
+    is the same PRF function of the user id as :class:`SyntheticShapeStream`,
+    so any slice is reproducible and a single-mixture drifting stream is
+    byte-identical to the plain stream with those weights.  This is the
+    scripted-drift scenario the continual subsystem's detector is tested
+    against: sliding windows that cross a breakpoint see the dominant shape
+    mixture change.
+    """
+
+    breakpoints: tuple[int, ...] = ()
+    mixtures: tuple[tuple[float, ...], ...] = ()
+    _breakpoint_ids: np.ndarray = field(init=False, repr=False)
+    _segment_cum: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.breakpoints = tuple(int(b) for b in self.breakpoints)
+        self.mixtures = tuple(tuple(float(w) for w in m) for m in self.mixtures)
+        if len(self.mixtures) != len(self.breakpoints) + 1:
+            raise ValueError(
+                f"need len(breakpoints) + 1 = {len(self.breakpoints) + 1} "
+                f"mixtures, got {len(self.mixtures)}"
+            )
+        if any(b <= 0 for b in self.breakpoints) or any(
+            b2 <= b1 for b1, b2 in zip(self.breakpoints, self.breakpoints[1:])
+        ):
+            raise ValueError(
+                f"breakpoints must be positive and strictly increasing, "
+                f"got {self.breakpoints}"
+            )
+        rows = []
+        for mixture in self.mixtures:
+            weights = np.asarray(mixture, dtype=float)
+            if weights.size != len(self.templates) or np.any(weights <= 0):
+                raise ValueError(
+                    "every mixture needs one positive weight per template"
+                )
+            rows.append(np.cumsum(weights / weights.sum()))
+        self._breakpoint_ids = np.asarray(self.breakpoints, dtype=np.int64)
+        self._segment_cum = np.vstack(rows)
+
+    def segment_of(self, user_id: int) -> int:
+        """Index of the mixture segment a user id falls in."""
+        return int(np.searchsorted(self._breakpoint_ids, user_id, side="right"))
+
+    def _pick_templates(self, user_ids: np.ndarray) -> np.ndarray:
+        segments = np.searchsorted(self._breakpoint_ids, user_ids, side="right")
+        uniforms = prf_uniforms(self.seed, user_ids, slot=0)
+        # Row-wise searchsorted: count of cumulative weights <= u is exactly
+        # np.searchsorted(cum, u, side="right") per user.
+        picks = np.sum(self._segment_cum[segments] <= uniforms[:, None], axis=1)
+        return np.minimum(picks, len(self.templates) - 1)

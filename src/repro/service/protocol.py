@@ -23,7 +23,7 @@ assert to the byte.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -73,6 +73,8 @@ class PrivShapeEngine:
         rng: RngLike = None,
         labeled: bool = False,
         n_classes: int | None = None,
+        carryover: Sequence[tuple[Sequence[str], float]] | None = None,
+        first_round_index: int = 0,
     ) -> None:
         # Accept a resolved repro.api ExperimentSpec as well; duck-typed so the
         # service layer never imports the api package (core.privshape imports
@@ -95,10 +97,64 @@ class PrivShapeEngine:
         self.frequencies: dict[Shape, float] = {}
         self.per_class_counts: dict[int, dict[Shape, float]] | None = None
 
+        # Carried (shape, decayed frequency) pairs from the previous continual
+        # window; applied to the trie once this window's length estimate fixes
+        # the leaf level.  Empty for one-shot runs — an empty carry-over makes
+        # this engine byte-identical to one constructed without the argument.
+        self._carryover: list[tuple[Shape, float]] = sorted(
+            (tuple(shape), float(count)) for shape, count in (carryover or [])
+        )
+
         self._stage = _STAGE_LENGTH
         self._level = 0
-        self._round_index = 0
+        # Continual mode offsets round indexes so they increase globally
+        # across windows (cluster shard workers reject stale indexes).  The
+        # index feeds nothing but round matching, so the offset is invisible
+        # in estimates.
+        self._round_index = int(first_round_index)
         self._open: Optional[RoundSpec] = None
+
+    @classmethod
+    def for_refresh(
+        cls,
+        config: PrivShapeConfig,
+        rng: RngLike = None,
+        *,
+        carryover: Sequence[tuple[Sequence[str], float]],
+        estimated_length: int,
+        first_round_index: int = 0,
+    ) -> "PrivShapeEngine":
+        """Build a refine-only engine over carried candidates (refresh window).
+
+        Continual collection uses these cheap windows as drift probes: only
+        the Pd population reports, the candidate set comes from the previous
+        window's carry-over, and the single OUE refinement round re-estimates
+        the carried shapes' frequencies.  Frequencies are pre-seeded from the
+        carry-over so an empty Pd still finalizes (keeping the carried
+        estimates, exactly like a one-shot run with an empty refine round).
+        """
+        engine = cls(config, rng=rng, first_round_index=first_round_index)
+        depth = max(int(estimated_length), 1)
+        leaves = sorted(
+            (
+                (tuple(shape), float(count))
+                for shape, count in carryover
+                if len(tuple(shape)) == depth
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )[: config.candidate_budget]
+        if not leaves:
+            raise ProtocolStateError(
+                f"carry-over holds no shapes at leaf level {depth}; "
+                "refresh windows need the previous window's survivors"
+            )
+        engine.estimated_length = depth
+        engine.leaf_shapes = [shape for shape, _ in leaves]
+        engine.frequencies = dict(leaves)
+        for shape, count in leaves:
+            engine.trie.set_frequency(shape, count)
+        engine._stage = _STAGE_REFINE
+        return engine
 
     # -------------------------------------------------------------- inspection
 
@@ -214,10 +270,22 @@ class PrivShapeEngine:
             }
             self.estimated_length = select_modal_length(counts)
         self.accountant.spend("Pa", spec.epsilon, mechanism="GRR length estimation")
+        self._apply_carryover()
         self._stage = (
             _STAGE_SUBSHAPE if self.estimated_length >= 2 else _STAGE_EXPAND
         )
         self._level = 0
+
+    def _apply_carryover(self) -> None:
+        """Seed the trie with the previous window's decayed survivors.
+
+        Deferred until the length estimate is known so carried nodes deeper
+        than this window's trie can never shift the leaf level.
+        """
+        depth = max(self.estimated_length or 1, 1)
+        for shape, frequency in self._carryover:
+            if 0 < len(shape) <= depth:
+                self.trie.set_frequency(shape, frequency)
 
     def _close_subshape(self, spec: RoundSpec, aggregate: RoundAccumulator) -> None:
         if aggregate.n_reports == 0:
@@ -349,10 +417,14 @@ class PrivShapeEngine:
                         "population": s.population,
                         "epsilon": s.epsilon,
                         "mechanism": s.mechanism,
+                        "window": s.window,
                     }
                     for s in self.accountant.spends
                 ],
             },
+            "carryover": [
+                [list(shape), count] for shape, count in self._carryover
+            ],
             "trie": [
                 [list(node.shape), node.frequency, node.pruned]
                 for level in range(self.trie.height + 1)
@@ -410,9 +482,14 @@ class PrivShapeEngine:
                     population=spend["population"],
                     epsilon=float(spend["epsilon"]),
                     mechanism=spend.get("mechanism", ""),
+                    window=spend.get("window"),
                 )
             )
         engine.accountant = accountant
+        engine._carryover = [
+            (tuple(shape), float(count))
+            for shape, count in state.get("carryover", [])
+        ]
         engine.trie = ShapeTrie(config.alphabet)
         for shape, frequency, pruned in state["trie"]:
             shape = tuple(shape)

@@ -1,0 +1,149 @@
+"""The experiment-API surface of continual collection.
+
+``ExperimentSpec.windows`` turns one spec into a windowed run; ``spec.run``
+routes it through :func:`repro.run_windows` and returns a
+:class:`~repro.api.continual.RunSequence` whose fingerprint sequence is
+byte-identical across backends under one master seed.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import ExperimentSpec, PrivacySpec, RunSequence, run_windows
+from repro.api.continual import RUN_SEQUENCE_FORMAT
+from repro.api.spec import CollectionSpec, SAXSpec
+from repro.continual.windows import WindowSpec
+from repro.exceptions import ConfigurationError
+from repro.service import DriftingShapeStream
+
+WINDOWS = WindowSpec(length=600, refresh=True, drift_threshold=0.3)
+SEED = 11
+
+
+def _spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        mechanism="privshape",
+        privacy=PrivacySpec(epsilon=6.0),
+        sax=SAXSpec(alphabet_size=4),
+        collection=CollectionSpec(top_k=2, metric="sed", length_high=5),
+        windows=WINDOWS,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return DriftingShapeStream(
+        n_users=1800,
+        alphabet=("a", "b", "c", "d"),
+        templates=(
+            ("a", "b", "c", "d"),
+            ("d", "c", "b", "a"),
+            ("b", "c", "a", "b"),
+        ),
+        weights=(0.7, 0.2, 0.1),
+        seed=3,
+        breakpoints=(1200,),
+        mixtures=((0.7, 0.2, 0.1), (0.1, 0.2, 0.7)),
+    )
+
+
+@pytest.fixture(scope="module")
+def inline_sequence(population):
+    return _spec().run(population, seed=SEED, batch_size=512)
+
+
+class TestSpecWindows:
+    def test_windows_field_round_trips_through_dict(self):
+        spec = _spec()
+        payload = spec.to_dict()
+        assert payload["windows"]["length"] == 600
+        restored = ExperimentSpec.from_dict(payload)
+        assert restored.windows == WINDOWS
+        assert restored == spec
+
+    def test_windows_mapping_is_coerced_to_windowspec(self):
+        spec = _spec(windows={"length": 600, "refresh": True,
+                              "drift_threshold": 0.3})
+        assert spec.windows == WINDOWS
+
+    def test_one_shot_specs_keep_their_historical_byte_form(self):
+        payload = _spec(windows=None).to_dict()
+        assert "windows" not in payload
+
+    def test_json_round_trip(self):
+        spec = _spec()
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+
+class TestRunWindows:
+    def test_inline_run_returns_a_sequence(self, inline_sequence):
+        assert isinstance(inline_sequence, RunSequence)
+        # 3 windows plus window 2's superseded drift probe.
+        assert len(inline_sequence) == 4
+        assert len(inline_sequence.final_results) == 3
+        assert inline_sequence.continual["backend"] == "inline"
+        assert inline_sequence.continual["n_windows"] == 3
+        assert inline_sequence.continual["accounting"]["within_budget"] is True
+
+    def test_results_carry_window_coordinates(self, inline_sequence):
+        first = inline_sequence[0]
+        assert first.data["window"] == 0
+        assert first.data["mode"] == "full"
+        assert first.data["start"] == 0 and first.data["stop"] == 600
+        assert first.details["master_seed"] == SEED
+        assert first.estimates
+
+    def test_gateway_fingerprints_match_inline(self, population, inline_sequence):
+        gateway = _spec().run(
+            population, seed=SEED, backend="gateway", batch_size=257, shards=2
+        )
+        assert gateway.fingerprints() == inline_sequence.fingerprints()
+        assert (
+            gateway.continual["accounting"]
+            == inline_sequence.continual["accounting"]
+        )
+        assert gateway.continual["base_seed"] == inline_sequence.continual["base_seed"]
+
+    def test_sequence_json_round_trip(self, inline_sequence):
+        document = json.dumps(inline_sequence.to_dict())
+        restored = RunSequence.from_dict(json.loads(document))
+        assert restored.fingerprints() == inline_sequence.fingerprints()
+        assert restored.to_dict() == inline_sequence.to_dict()
+
+    def test_from_dict_rejects_foreign_documents(self):
+        with pytest.raises(ConfigurationError, match=RUN_SEQUENCE_FORMAT):
+            RunSequence.from_dict({"format": "repro.run_result/v1"})
+
+
+class TestRouting:
+    def test_spec_run_dispatches_windowed_specs(self, population):
+        # Identical call shape to a one-shot run; the windows field decides.
+        sequence = _spec().run(population, seed=SEED, batch_size=512)
+        assert isinstance(sequence, RunSequence)
+
+    def test_windowless_spec_rejected_by_run_windows(self, population):
+        with pytest.raises(ConfigurationError, match="windowed spec"):
+            run_windows(_spec(windows=None), population, seed=SEED)
+
+    def test_non_extract_task_rejected(self, population):
+        with pytest.raises(ConfigurationError, match="extract"):
+            _spec().run(population, task="clustering", seed=SEED)
+
+    def test_unsupported_backend_rejected(self, population):
+        with pytest.raises(ConfigurationError, match="window controller"):
+            run_windows(_spec(), population, backend="subprocess", seed=SEED)
+
+    def test_unknown_option_rejected(self, population):
+        with pytest.raises(ConfigurationError, match="checkpoint_every"):
+            run_windows(
+                _spec(), population, seed=SEED, checkpoint_every=4
+            )
+
+    def test_non_privshape_mechanism_rejected(self, population):
+        spec = dataclasses.replace(_spec(), mechanism="baseline")
+        with pytest.raises(ConfigurationError, match="cannot run mechanism"):
+            run_windows(spec, population, seed=SEED)

@@ -1,0 +1,151 @@
+"""Drift detection: L1 mixture distance, top-k churn, and hysteresis."""
+
+import pytest
+
+from repro.continual.drift import (
+    DriftDetector,
+    detector_for,
+    l1_drift,
+    topk_churn,
+)
+from repro.continual.windows import WindowSpec
+
+A, B, C = ("a",), ("b",), ("c",)
+
+
+class TestL1Drift:
+    def test_identical_mixtures_score_zero(self):
+        mixture = {A: 3.0, B: 1.0}
+        assert l1_drift(mixture, mixture) == 0.0
+
+    def test_disjoint_supports_score_one(self):
+        assert l1_drift({A: 1.0}, {B: 1.0}) == 1.0
+
+    def test_scale_invariant(self):
+        assert l1_drift({A: 1.0, B: 3.0}, {A: 100.0, B: 300.0}) == pytest.approx(0.0)
+
+    def test_half_mass_moved_scores_half(self):
+        assert l1_drift({A: 1.0, B: 1.0}, {A: 1.0, C: 1.0}) == pytest.approx(0.5)
+
+    def test_negative_estimates_clip_to_zero(self):
+        assert l1_drift({A: 1.0, B: -5.0}, {A: 1.0}) == pytest.approx(0.0)
+
+    def test_empty_cases(self):
+        assert l1_drift({}, {}) == 0.0
+        assert l1_drift({}, {A: 1.0}) == 1.0
+        assert l1_drift({A: 1.0}, {}) == 1.0
+
+
+class TestTopkChurn:
+    def test_same_leaders_score_zero(self):
+        # Counts change, ranking does not.
+        assert topk_churn({A: 5.0, B: 3.0}, {A: 9.0, B: 4.0}, k=2) == 0.0
+
+    def test_full_turnover_scores_one(self):
+        assert topk_churn({A: 5.0}, {B: 5.0}, k=1) == 1.0
+
+    def test_partial_turnover(self):
+        baseline = {A: 5.0, B: 3.0, C: 1.0}
+        current = {A: 5.0, C: 4.0, B: 0.5}
+        assert topk_churn(baseline, current, k=2) == pytest.approx(0.5)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            topk_churn({A: 1.0}, {A: 1.0}, k=0)
+
+    def test_empty_cases(self):
+        assert topk_churn({}, {}, k=2) == 0.0
+        assert topk_churn({A: 1.0}, {}, k=2) == 1.0
+
+
+class TestDriftDetector:
+    def test_update_requires_baseline(self):
+        with pytest.raises(ValueError, match="set_baseline"):
+            DriftDetector().update({A: 1.0})
+
+    def test_calm_window_does_not_fire(self):
+        detector = DriftDetector(l1_threshold=0.25)
+        detector.set_baseline({A: 3.0, B: 1.0})
+        decision = detector.update({A: 3.1, B: 0.9})
+        assert not decision.drifted
+        assert not decision.fired
+
+    def test_shifted_mixture_fires_immediately_at_hysteresis_one(self):
+        detector = DriftDetector(l1_threshold=0.25, hysteresis=1)
+        detector.set_baseline({A: 3.0, B: 1.0})
+        decision = detector.update({A: 0.5, B: 3.5})
+        assert decision.drifted
+        assert decision.fired
+
+    def test_hysteresis_requires_consecutive_drifted_windows(self):
+        detector = DriftDetector(l1_threshold=0.25, hysteresis=2)
+        detector.set_baseline({A: 3.0, B: 1.0})
+        shifted = {A: 0.5, B: 3.5}
+        calm = {A: 3.0, B: 1.0}
+        assert not detector.update(shifted).fired  # streak 1
+        assert not detector.update(calm).fired  # streak resets
+        assert not detector.update(shifted).fired  # streak 1 again
+        second = detector.update(shifted)  # streak 2 -> fire
+        assert second.drifted
+        assert second.fired
+
+    def test_streak_resets_after_firing(self):
+        detector = DriftDetector(l1_threshold=0.25, hysteresis=2)
+        detector.set_baseline({A: 3.0, B: 1.0})
+        shifted = {A: 0.5, B: 3.5}
+        detector.update(shifted)
+        assert detector.update(shifted).fired
+        # The very next drifted window starts a fresh streak.
+        assert not detector.update(shifted).fired
+
+    def test_new_baseline_resets_streak(self):
+        detector = DriftDetector(l1_threshold=0.25, hysteresis=2)
+        detector.set_baseline({A: 3.0, B: 1.0})
+        detector.update({A: 0.5, B: 3.5})
+        detector.set_baseline({A: 0.5, B: 3.5})
+        assert not detector.update({A: 3.0, B: 1.0}).fired
+
+    def test_churn_signal_triggers_without_l1(self):
+        # Ranks flip while total variation stays small: only churn sees it.
+        detector = DriftDetector(
+            l1_threshold=0.9, churn_threshold=0.4, top_k=1, hysteresis=1
+        )
+        detector.set_baseline({A: 1.02, B: 0.98})
+        decision = detector.update({A: 0.98, B: 1.02})
+        assert decision.l1 < 0.9
+        assert decision.churn == 1.0
+        assert decision.fired
+
+    def test_state_round_trip_preserves_streak_and_baseline(self):
+        detector = DriftDetector(
+            l1_threshold=0.3, churn_threshold=0.5, top_k=2, hysteresis=3
+        )
+        detector.set_baseline({A: 3.0, B: 1.0})
+        detector.update({A: 0.5, B: 3.5})  # streak 1 of 3
+        clone = DriftDetector.from_state(detector.to_state())
+        assert clone.baseline == detector.baseline
+        # Two more drifted windows fire on the clone exactly as they would
+        # have on the original: the streak survived the round trip.
+        assert not clone.update({A: 0.5, B: 3.5}).fired
+        assert clone.update({A: 0.5, B: 3.5}).fired
+
+    def test_decision_to_dict(self):
+        detector = DriftDetector(l1_threshold=0.25)
+        detector.set_baseline({A: 1.0})
+        data = detector.update({A: 1.0}).to_dict()
+        assert set(data) == {"l1", "churn", "drifted", "fired"}
+
+
+def test_detector_for_maps_spec_fields():
+    spec = WindowSpec(
+        length=100,
+        drift_threshold=0.4,
+        churn_threshold=0.6,
+        drift_top_k=5,
+        hysteresis=2,
+    )
+    detector = detector_for(spec)
+    assert detector.l1_threshold == 0.4
+    assert detector.churn_threshold == 0.6
+    assert detector.top_k == 5
+    assert detector.hysteresis == 2

@@ -1,0 +1,229 @@
+"""The continual engine: standalone equivalence, budget renewal, drift policy.
+
+These are the subsystem's core guarantees: a window with carry-over disabled
+is byte-identical to a standalone run over its users, every window's ledger
+renews under ``per_window`` budgeting, and a scripted mixture shift triggers
+a full re-extraction exactly at the breakpoint window.
+"""
+
+import pytest
+
+from repro.continual import ContinualEngine, ContinualResult, WindowController
+from repro.continual.windows import (
+    RENEW_GLOBAL,
+    WindowSpec,
+    WindowView,
+    window_seed,
+)
+from repro.core.config import PrivShapeConfig
+from repro.service import DriftingShapeStream, ProtocolDriver, PrivShapeEngine
+
+ALPHABET = ("a", "b", "c", "d")
+TEMPLATES = (
+    ("a", "b", "c", "d"),
+    ("d", "c", "b", "a"),
+    ("b", "c", "a", "b"),
+)
+WEIGHTS = (0.7, 0.2, 0.1)
+SHIFTED = (0.1, 0.2, 0.7)
+N_USERS = 3600
+BREAKPOINT = 2400
+SEED = 11
+
+
+def _config(epsilon: float = 6.0) -> PrivShapeConfig:
+    return PrivShapeConfig(
+        epsilon=epsilon, top_k=2, alphabet_size=4, metric="sed",
+        length_low=1, length_high=5,
+    )
+
+
+def _population(n_users: int = N_USERS) -> DriftingShapeStream:
+    return DriftingShapeStream(
+        n_users=n_users,
+        alphabet=ALPHABET,
+        templates=TEMPLATES,
+        weights=WEIGHTS,
+        seed=3,
+        breakpoints=(BREAKPOINT,),
+        mixtures=(WEIGHTS, SHIFTED),
+    )
+
+
+def _run(windows: WindowSpec, *, batch_size: int = 1024, seed: int = SEED):
+    return ContinualEngine(
+        _config(), windows, _population(), batch_size=batch_size, seed=seed
+    ).run()
+
+
+class TestStandaloneEquivalence:
+    def test_carry_over_off_windows_match_standalone_runs(self):
+        """Each window without carry-over is byte-identical to a one-shot
+        protocol run over the same users with the window's derived seed."""
+        outcome = _run(WindowSpec(length=1200, carry_over=False))
+        population = _population()
+        assert len(outcome.windows) == 3
+        for index, payload in enumerate(outcome.windows):
+            engine = PrivShapeEngine(
+                _config(), rng=window_seed(outcome.base_seed, index, 0)
+            )
+            view = WindowView(population, payload["start"], payload["stop"])
+            ProtocolDriver(_config(), view, batch_size=1024).run(engine=engine)
+            result = engine.finalize()
+            assert payload["shape_tuples"] == [list(s) for s in result.shapes]
+            assert payload["frequencies"] == [float(f) for f in result.frequencies]
+            assert payload["estimated_length"] == result.estimated_length
+
+    def test_batch_size_is_invisible(self):
+        windows = WindowSpec(length=1200)
+        small = _run(windows, batch_size=333)
+        large = _run(windows, batch_size=4096)
+        assert small.windows == large.windows
+        assert small.accounting == large.accounting
+
+    def test_same_seed_reproduces_exactly(self):
+        windows = WindowSpec(length=1200, refresh=True, drift_threshold=0.3)
+        first, second = _run(windows), _run(windows)
+        # Timings carry wall-clock and are excluded by design.
+        assert first.windows == second.windows
+        assert first.accounting == second.accounting
+        assert first.base_seed == second.base_seed
+
+    def test_different_seeds_differ(self):
+        windows = WindowSpec(length=1200)
+        assert (
+            _run(windows, seed=1).windows[0]["frequencies"]
+            != _run(windows, seed=2).windows[0]["frequencies"]
+        )
+
+
+class TestBudgetRenewal:
+    def test_per_window_renewal_ledger(self):
+        outcome = _run(WindowSpec(length=1200))
+        accounting = outcome.accounting
+        assert accounting["budget_renewal"] == "per_window"
+        # Every window spends the full epsilon and stays within it.
+        assert accounting["window_epsilons"] == {"0": 6.0, "1": 6.0, "2": 6.0}
+        assert accounting["within_budget"] is True
+        # Tumbling windows: each user appears exactly once.
+        assert accounting["user_horizon"] == 1
+        assert accounting["user_level_epsilon_horizon"] == pytest.approx(6.0)
+        # Worst case (a user in every window) sums the renewals.
+        assert accounting["user_level_epsilon"] == pytest.approx(18.0)
+
+    def test_global_renewal_divides_epsilon(self):
+        outcome = _run(WindowSpec(length=1200, budget_renewal=RENEW_GLOBAL))
+        accounting = outcome.accounting
+        assert accounting["window_epsilons"] == {"0": 2.0, "1": 2.0, "2": 2.0}
+        # Even a user in every window stays within the target.
+        assert accounting["user_level_epsilon"] == pytest.approx(6.0)
+        assert accounting["within_budget"] is True
+
+    def test_per_window_payload_accounting_is_self_contained(self):
+        outcome = _run(WindowSpec(length=1200))
+        for payload in outcome.windows:
+            accounting = payload["accounting"]
+            assert accounting["within_budget"] is True
+            assert accounting["user_level_epsilon"] <= 6.0 + 1e-9
+            assert max(accounting["per_population"].values()) <= 6.0 + 1e-9
+
+    def test_refresh_probe_plus_rerun_fit_one_window_budget(self):
+        outcome = _run(
+            WindowSpec(
+                length=1200, refresh=True, refresh_fraction=0.5,
+                drift_threshold=0.3,
+            )
+        )
+        accounting = outcome.accounting
+        assert accounting["within_budget"] is True
+        for epsilon in accounting["window_epsilons"].values():
+            assert epsilon <= 6.0 + 1e-9
+
+
+class TestDriftPolicy:
+    def test_drift_fires_exactly_at_the_breakpoint_window(self):
+        """Windows 0-1 draw from the base mixture, window 2 from the shifted
+        one; with refresh probing, exactly window 2 re-extracts."""
+        outcome = _run(
+            WindowSpec(length=1200, refresh=True, drift_threshold=0.3)
+        )
+        kinds = [
+            (p["window"], p["mode"], p["attempt"], p["final"])
+            for p in outcome.windows
+        ]
+        assert kinds == [
+            (0, "full", 0, True),  # first window always runs full
+            (1, "refresh", 0, True),  # same mixture: probe suffices
+            (2, "refresh", 0, False),  # drift fired: probe superseded
+            (2, "full", 1, True),  # budget-split full re-extraction
+        ]
+        fired = [p["window"] for p in outcome.windows if (p["drift"] or {}).get("fired")]
+        assert fired == [2]
+        assert len(outcome.final_windows()) == 3
+
+    def test_final_windows_reflect_the_shift(self):
+        outcome = _run(
+            WindowSpec(length=1200, refresh=True, drift_threshold=0.3)
+        )
+        finals = outcome.final_windows()
+        # Dominant shape before and after the breakpoint.
+        assert finals[0]["shapes"][0] == "abcd"
+        assert finals[2]["shapes"][0] == "bcab"
+
+    def test_no_refresh_means_every_window_runs_full(self):
+        outcome = _run(WindowSpec(length=1200, refresh=False))
+        assert [p["mode"] for p in outcome.windows] == ["full"] * 3
+        assert all(p["drift"] is None for p in outcome.windows)
+
+
+class TestControllerSnapshot:
+    def test_mid_run_state_round_trip_finishes_identically(self):
+        windows = WindowSpec(length=1200, refresh=True, drift_threshold=0.3)
+        population = _population()
+
+        def finish(controller):
+            while (ticket := controller.next_ticket()) is not None:
+                engine = controller.build_engine(ticket)
+                view = WindowView(population, ticket.start, ticket.stop)
+                ProtocolDriver(_config(), view, batch_size=1024).run(engine=engine)
+                controller.close_window(ticket, engine)
+            return controller
+
+        # Reference: run straight through.
+        reference = finish(
+            WindowController(_config(), windows, N_USERS, base_seed=SEED)
+        )
+
+        # Snapshot after the first window closed, restore, and finish.
+        controller = WindowController(_config(), windows, N_USERS, base_seed=SEED)
+        ticket = controller.next_ticket()
+        engine = controller.build_engine(ticket)
+        view = WindowView(population, ticket.start, ticket.stop)
+        ProtocolDriver(_config(), view, batch_size=1024).run(engine=engine)
+        controller.close_window(ticket, engine)
+        restored = finish(WindowController.from_state(controller.to_state()))
+
+        assert restored.results == reference.results
+        assert restored.master_accounting() == reference.master_accounting()
+
+    def test_state_preserves_base_seed_and_schedule(self):
+        controller = WindowController(
+            _config(), WindowSpec(length=1200), N_USERS, base_seed=SEED
+        )
+        clone = WindowController.from_state(controller.to_state())
+        assert clone.base_seed == controller.base_seed
+        assert clone.plan == controller.plan
+        assert clone.next_ticket() == controller.next_ticket()
+
+
+class TestContinualResult:
+    def test_dict_round_trip(self):
+        outcome = _run(WindowSpec(length=1200))
+        clone = ContinualResult.from_dict(outcome.to_dict())
+        assert clone.to_dict() == outcome.to_dict()
+
+    def test_timings_parallel_the_window_attempts(self):
+        outcome = _run(WindowSpec(length=1200, refresh=True, drift_threshold=0.3))
+        assert len(outcome.timings) == len(outcome.windows)
+        for stats in outcome.timings:
+            assert stats["total_reports"] > 0

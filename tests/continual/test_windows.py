@@ -1,0 +1,189 @@
+"""Window geometry: specs, frozen plans, tickets, views, and seeds."""
+
+import numpy as np
+import pytest
+
+from repro.continual.windows import (
+    RENEW_GLOBAL,
+    RENEW_PER_WINDOW,
+    WindowPlan,
+    WindowSpec,
+    WindowTicket,
+    WindowView,
+    window_seed,
+)
+from repro.exceptions import ConfigurationError
+from repro.service import SyntheticShapeStream
+
+
+class TestWindowSeed:
+    def test_deterministic(self):
+        assert window_seed(7, 3, 1) == window_seed(7, 3, 1)
+
+    def test_distinct_across_windows_and_attempts(self):
+        seeds = {
+            window_seed(7, index, attempt)
+            for index in range(16)
+            for attempt in range(4)
+        }
+        assert len(seeds) == 64
+
+    def test_distinct_across_base_seeds(self):
+        assert window_seed(1, 0, 0) != window_seed(2, 0, 0)
+
+    def test_fits_uint64(self):
+        for index in range(8):
+            assert 0 <= window_seed(12345, index) < 2**64
+
+
+class TestWindowSpec:
+    def test_defaults_are_tumbling(self):
+        spec = WindowSpec(length=100)
+        assert spec.effective_stride == 100
+        assert spec.budget_renewal == RENEW_PER_WINDOW
+
+    def test_explicit_stride(self):
+        assert WindowSpec(length=100, stride=50).effective_stride == 50
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(length=0),
+            dict(length=10, stride=0),
+            dict(length=10, n_windows=0),
+            dict(length=10, budget_renewal="monthly"),
+            dict(length=10, decay=0.0),
+            dict(length=10, decay=1.5),
+            dict(length=10, refresh=True, carry_over=False),
+            dict(length=10, refresh_fraction=0.0),
+            dict(length=10, refresh_fraction=1.0),
+            dict(length=10, drift_threshold=-0.1),
+            dict(length=10, churn_threshold=1.5),
+            dict(length=10, drift_top_k=0),
+            dict(length=10, hysteresis=0),
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WindowSpec(**kwargs)
+
+    def test_dict_round_trip(self):
+        spec = WindowSpec(
+            length=500,
+            stride=250,
+            n_windows=4,
+            budget_renewal=RENEW_GLOBAL,
+            carry_over=True,
+            decay=0.75,
+            refresh=True,
+            refresh_fraction=0.4,
+            drift_threshold=0.3,
+            churn_threshold=0.5,
+            drift_top_k=2,
+            hysteresis=2,
+        )
+        assert WindowSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_defaults(self):
+        assert WindowSpec.from_dict({"length": 10}) == WindowSpec(length=10)
+
+
+class TestWindowPlan:
+    def test_tumbling_bounds(self):
+        plan = WindowPlan.freeze(WindowSpec(length=100), n_users=350, epsilon=4.0)
+        assert plan.bounds == ((0, 100), (100, 200), (200, 300), (300, 350))
+        assert plan.n_windows == 4
+        assert plan.window_epsilon == 4.0
+
+    def test_sliding_bounds_overlap(self):
+        plan = WindowPlan.freeze(
+            WindowSpec(length=100, stride=50), n_users=200, epsilon=4.0
+        )
+        assert plan.bounds == ((0, 100), (50, 150), (100, 200), (150, 200))
+
+    def test_n_windows_caps_the_schedule(self):
+        plan = WindowPlan.freeze(
+            WindowSpec(length=100, n_windows=2), n_users=1000, epsilon=4.0
+        )
+        assert plan.bounds == ((0, 100), (100, 200))
+
+    def test_too_few_users_for_requested_windows(self):
+        with pytest.raises(ConfigurationError, match="cover only"):
+            WindowPlan.freeze(
+                WindowSpec(length=100, n_windows=5), n_users=150, epsilon=4.0
+            )
+
+    def test_global_renewal_divides_epsilon(self):
+        plan = WindowPlan.freeze(
+            WindowSpec(length=100, budget_renewal=RENEW_GLOBAL),
+            n_users=400,
+            epsilon=4.0,
+        )
+        assert plan.n_windows == 4
+        assert plan.window_epsilon == 1.0
+
+    def test_nonpositive_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowPlan.freeze(WindowSpec(length=10), n_users=0, epsilon=1.0)
+
+    def test_dict_round_trip(self):
+        plan = WindowPlan.freeze(
+            WindowSpec(length=100, stride=60), n_users=500, epsilon=2.0
+        )
+        assert WindowPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestWindowTicket:
+    def test_n_users(self):
+        ticket = WindowTicket(
+            index=1, attempt=0, mode="full", start=100, stop=250, seed=9, epsilon=2.0
+        )
+        assert ticket.n_users == 150
+
+    def test_dict_round_trip(self):
+        ticket = WindowTicket(
+            index=2, attempt=1, mode="refresh", start=200, stop=300,
+            seed=window_seed(5, 2, 1), epsilon=1.5,
+        )
+        assert WindowTicket.from_dict(ticket.to_dict()) == ticket
+
+
+class TestWindowView:
+    @pytest.fixture()
+    def stream(self):
+        return SyntheticShapeStream(
+            n_users=1000,
+            alphabet=("a", "b"),
+            templates=(("a", "b"), ("b", "a")),
+            seed=3,
+        )
+
+    def test_rebases_user_ids_to_local(self, stream):
+        view = WindowView(stream, 400, 700)
+        assert view.n_users == 300
+        seen = []
+        for user_ids, _ in view.iter_batches(128):
+            seen.append(user_ids)
+        flat = np.concatenate(seen)
+        assert flat[0] == 0 and flat[-1] == 299
+        assert np.array_equal(flat, np.arange(300))
+
+    def test_view_batches_match_absolute_slice(self, stream):
+        view = WindowView(stream, 400, 700)
+        local = [batch for _, batch in view.iter_batches(97)]
+        absolute = [batch for _, batch in stream.iter_range(400, 700, 97)]
+        for a, b in zip(local, absolute):
+            assert np.array_equal(a.codes, b.codes)
+            assert np.array_equal(a.lengths, b.lengths)
+        assert len(local) == len(absolute)
+
+    def test_iter_range_clamps_to_window(self, stream):
+        view = WindowView(stream, 0, 100)
+        chunks = list(view.iter_range(50, 500, 64))
+        total = sum(len(user_ids) for user_ids, _ in chunks)
+        assert total == 50  # local [50, 100)
+
+    @pytest.mark.parametrize("start,stop", [(-1, 10), (10, 10), (900, 1100)])
+    def test_out_of_bounds_rejected(self, stream, start, stop):
+        with pytest.raises(ConfigurationError):
+            WindowView(stream, start, stop)

@@ -1,0 +1,162 @@
+"""Property-based tests for the privacy accountant.
+
+The accountant's algebra — sequential composition within a population,
+parallel composition across disjoint populations, per-(population, window)
+strict enforcement — is exactly the kind of code where a hand-picked example
+passes while an order- or grouping-dependent bug hides.  Hypothesis drives
+the laws over random spend sequences instead.
+"""
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.exceptions import PrivacyBudgetError  # noqa: E402
+from repro.ldp.accounting import PrivacyAccountant  # noqa: E402
+
+POPULATIONS = ("Pa", "Pb", "Pc1", "Pc2", "Pd")
+
+#: One window-less spend: (population, epsilon).
+spends = st.lists(
+    st.tuples(
+        st.sampled_from(POPULATIONS),
+        st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _charge_all(accountant, sequence):
+    for population, epsilon in sequence:
+        accountant.spend(population, epsilon)
+
+
+@given(sequence=spends)
+def test_sequential_total_is_sum_of_spends_per_population(sequence):
+    accountant = PrivacyAccountant(target_epsilon=1e9, strict=False)
+    _charge_all(accountant, sequence)
+    for population in POPULATIONS:
+        expected = sum(eps for pop, eps in sequence if pop == population)
+        assert math.isclose(
+            accountant.sequential_epsilon(population), expected, abs_tol=1e-9
+        )
+
+
+@given(sequence=spends)
+def test_user_level_epsilon_is_max_across_populations(sequence):
+    accountant = PrivacyAccountant(target_epsilon=1e9, strict=False)
+    _charge_all(accountant, sequence)
+    totals = accountant.per_population()
+    assert math.isclose(
+        accountant.user_level_epsilon(), max(totals.values()), abs_tol=1e-9
+    )
+    # per_population only lists populations actually charged.
+    assert set(totals) == {pop for pop, _ in sequence}
+
+
+@given(sequence=spends, seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_spend_order_is_irrelevant(sequence, seed):
+    import random
+
+    shuffled = list(sequence)
+    random.Random(seed).shuffle(shuffled)
+    ordered = PrivacyAccountant(target_epsilon=1e9, strict=False)
+    permuted = PrivacyAccountant(target_epsilon=1e9, strict=False)
+    _charge_all(ordered, sequence)
+    _charge_all(permuted, shuffled)
+    assert math.isclose(
+        ordered.user_level_epsilon(), permuted.user_level_epsilon(), abs_tol=1e-9
+    )
+    for population in POPULATIONS:
+        assert math.isclose(
+            ordered.sequential_epsilon(population),
+            permuted.sequential_epsilon(population),
+            abs_tol=1e-9,
+        )
+
+
+@given(sequence=spends)
+def test_strict_mode_raises_exactly_when_a_population_would_exceed_target(sequence):
+    target = 4.0
+    strict = PrivacyAccountant(target_epsilon=target, strict=True)
+    running = {pop: 0.0 for pop in POPULATIONS}
+    for population, epsilon in sequence:
+        would_be = running[population] + epsilon
+        if would_be > target + 1e-12:
+            with pytest.raises(PrivacyBudgetError):
+                strict.spend(population, epsilon)
+            # The rejected spend must not be recorded.
+            assert math.isclose(
+                strict.sequential_epsilon(population),
+                running[population],
+                abs_tol=1e-9,
+            )
+        else:
+            strict.spend(population, epsilon)
+            running[population] = would_be
+    assert strict.is_valid()
+
+
+@given(sequence=spends)
+def test_lenient_mode_records_everything_and_validity_matches_worst_scope(sequence):
+    target = 4.0
+    lenient = PrivacyAccountant(target_epsilon=target, strict=False)
+    _charge_all(lenient, sequence)
+    assert len(lenient.spends) == len(sequence)
+    worst = max(lenient.per_population().values())
+    assert lenient.is_valid() == (worst <= target + 1e-12)
+
+
+@settings(max_examples=50)
+@given(
+    per_window=st.lists(
+        st.lists(
+            st.tuples(
+                st.sampled_from(POPULATIONS),
+                st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_windowed_spends_compose_sequentially_across_windows(per_window):
+    accountant = PrivacyAccountant(target_epsilon=1e9, strict=False)
+    for window, window_spends in enumerate(per_window):
+        for population, epsilon in window_spends:
+            accountant.spend(population, epsilon, window=window)
+    expected = {
+        window: max(
+            sum(eps for pop, eps in window_spends if pop == population)
+            for population in {pop for pop, _ in window_spends}
+        )
+        for window, window_spends in enumerate(per_window)
+    }
+    observed = accountant.window_epsilons()
+    assert set(observed) == set(expected)
+    for window, epsilon in expected.items():
+        assert math.isclose(observed[window], epsilon, abs_tol=1e-9)
+    # Worst case: a user in every window sees the sum of window maxima.
+    assert math.isclose(
+        accountant.user_level_epsilon(), sum(expected.values()), abs_tol=1e-9
+    )
+    # A one-window horizon is the single worst window.
+    assert math.isclose(
+        accountant.user_level_epsilon(horizon=1),
+        max(expected.values()),
+        abs_tol=1e-9,
+    )
+    # Horizons are monotone in h and capped by the full-stream worst case.
+    previous = 0.0
+    for horizon in range(1, len(per_window) + 2):
+        current = accountant.user_level_epsilon(horizon=horizon)
+        assert current >= previous - 1e-9
+        assert current <= accountant.user_level_epsilon() + 1e-9
+        previous = current

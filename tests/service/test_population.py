@@ -5,6 +5,7 @@ import pytest
 
 from repro.service.population import (
     PAD_CODE,
+    DriftingShapeStream,
     EncodedPopulation,
     SyntheticShapeStream,
     default_templates,
@@ -109,3 +110,82 @@ class TestSyntheticShapeStream:
             SyntheticShapeStream(
                 n_users=10, alphabet=("a", "b"), templates=(), seed=0
             )
+
+
+class TestDriftingShapeStream:
+    TEMPLATES = (tuple("abcd"), tuple("dcba"), tuple("bcd"))
+
+    def _stream(self, n_users=4000, **overrides):
+        defaults = dict(
+            n_users=n_users,
+            alphabet=("a", "b", "c", "d"),
+            templates=self.TEMPLATES,
+            weights=(0.6, 0.3, 0.1),
+            seed=3,
+            breakpoints=(n_users // 2,),
+            mixtures=((0.6, 0.3, 0.1), (0.1, 0.3, 0.6)),
+        )
+        defaults.update(overrides)
+        return DriftingShapeStream(**defaults)
+
+    def test_single_mixture_matches_plain_stream(self):
+        """One segment with the base weights is byte-identical to
+        SyntheticShapeStream: drift is a pure superset of the plain stream."""
+        drifting = self._stream(breakpoints=(), mixtures=((0.6, 0.3, 0.1),))
+        plain = SyntheticShapeStream(
+            n_users=4000,
+            alphabet=("a", "b", "c", "d"),
+            templates=self.TEMPLATES,
+            weights=(0.6, 0.3, 0.1),
+            seed=3,
+        )
+        for (_, a), (_, b) in zip(
+            drifting.iter_batches(777), plain.iter_batches(777)
+        ):
+            assert np.array_equal(a.codes, b.codes)
+            assert np.array_equal(a.lengths, b.lengths)
+
+    def test_segment_of(self):
+        stream = self._stream(n_users=1000, breakpoints=(300, 600),
+                              mixtures=((1.0, 1.0, 1.0),) * 3)
+        assert stream.segment_of(0) == 0
+        assert stream.segment_of(299) == 0
+        assert stream.segment_of(300) == 1
+        assert stream.segment_of(599) == 1
+        assert stream.segment_of(600) == 2
+        assert stream.segment_of(999) == 2
+
+    def test_mixture_shifts_at_the_breakpoint(self):
+        stream = self._stream(n_users=40000, breakpoints=(20000,))
+
+        def dominant(start, stop):
+            counts = {}
+            for _, population in stream.iter_range(start, stop, 8192):
+                for i in range(len(population)):
+                    shape = population.decode_row(population.codes[i])
+                    base = next(
+                        t for t in self.TEMPLATES if shape == t or shape == t[:-1]
+                    )
+                    counts[base] = counts.get(base, 0) + 1
+            return max(counts, key=counts.get)
+
+        assert dominant(0, 20000) == tuple("abcd")
+        assert dominant(20000, 40000) == tuple("bcd")
+
+    def test_slices_are_reproducible(self):
+        stream = self._stream()
+        first = [pop.codes.copy() for _, pop in stream.iter_range(1000, 3000, 513)]
+        second = [pop.codes.copy() for _, pop in stream.iter_range(1000, 3000, 513)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mixtures"):
+            self._stream(mixtures=((0.6, 0.3, 0.1),))  # one breakpoint, one mixture
+        with pytest.raises(ValueError, match="increasing"):
+            self._stream(breakpoints=(600, 300),
+                         mixtures=((1.0, 1.0, 1.0),) * 3)
+        with pytest.raises(ValueError, match="positive weight"):
+            self._stream(mixtures=((0.6, 0.3, 0.1), (0.1, 0.3)))
+        with pytest.raises(ValueError, match="positive"):
+            self._stream(breakpoints=(0,))

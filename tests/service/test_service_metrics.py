@@ -1,0 +1,52 @@
+"""Tests for the service metrics helpers."""
+
+from repro.service.metrics import ThroughputMeter, cpu_count, peak_rss_bytes
+
+
+class TestThroughputMeter:
+    def test_counts_reports_across_scopes(self):
+        meter = ThroughputMeter()
+        meter.add(100)
+        meter.add(250)
+        assert meter.reports == 350
+
+    def test_rate_uses_accumulated_elapsed_time(self):
+        meter = ThroughputMeter(reports=500, elapsed_seconds=2.0)
+        assert meter.reports_per_second == 250.0
+
+    def test_zero_elapsed_reports_zero_rate(self):
+        meter = ThroughputMeter(reports=1000)
+        assert meter.elapsed_seconds == 0.0
+        assert meter.reports_per_second == 0.0
+
+    def test_near_zero_elapsed_reports_zero_rate(self):
+        # A stop() right after start() can leave elapsed at the clock's
+        # resolution floor; the rate must clamp to 0 instead of exploding.
+        meter = ThroughputMeter(reports=1000, elapsed_seconds=1e-7)
+        assert meter.reports_per_second == 0.0
+
+    def test_just_above_guard_divides_normally(self):
+        meter = ThroughputMeter(reports=10, elapsed_seconds=1e-3)
+        assert meter.reports_per_second == 10 / 1e-3
+
+    def test_stop_without_start_is_a_no_op(self):
+        meter = ThroughputMeter()
+        meter.stop()
+        assert meter.elapsed_seconds == 0.0
+
+    def test_start_stop_accumulates(self):
+        meter = ThroughputMeter()
+        meter.start()
+        meter.stop()
+        first = meter.elapsed_seconds
+        meter.start()
+        meter.stop()
+        assert meter.elapsed_seconds >= first >= 0.0
+
+
+def test_cpu_count_is_at_least_one():
+    assert cpu_count() >= 1
+
+
+def test_peak_rss_is_nonnegative():
+    assert peak_rss_bytes() >= 0

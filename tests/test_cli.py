@@ -528,3 +528,94 @@ class TestClusterCli:
         assert summary["retries"] == 0
         assert summary["wall_seconds"] > 0
         assert summary["reports_per_second"] > 0
+
+
+class TestWindowsCommand:
+    """`repro windows`: continual collection over a scripted-drift stream."""
+
+    def _run_json(self, capsys, argv):
+        exit_code = main(argv + ["--json"])
+        assert exit_code == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_window_length_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["windows"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["windows", "--window-length", "500"])
+        assert args.command == "windows"
+        assert args.dataset == "synthetic"
+        assert args.budget_renewal == "per_window"
+        assert args.no_carry_over is False
+        assert args.refresh is False
+        assert args.breakpoints == []
+
+    def test_tumbling_run_renews_budget_per_window(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["windows", "--users", "3000", "--window-length", "1000",
+             "--epsilon", "6", "--seed", "7"],
+        )
+        assert payload["command"] == "windows"
+        assert payload["format"] == "repro.run_sequence/v1"
+        assert len(payload["results"]) == 3
+        accounting = payload["continual"]["accounting"]
+        assert accounting["window_epsilons"] == {"0": 6.0, "1": 6.0, "2": 6.0}
+        assert accounting["user_horizon"] == 1
+        assert accounting["within_budget"] is True
+        for result in payload["results"]:
+            assert result["data"]["final"] is True
+            assert result["estimates"]
+
+    def test_refresh_with_breakpoint_triggers_reextraction(self, capsys):
+        payload = self._run_json(
+            capsys,
+            ["windows", "--users", "12000", "--window-length", "4000",
+             "--epsilon", "6", "--breakpoints", "8000",
+             "--drift-threshold", "0.2", "--refresh", "--seed", "7"],
+        )
+        # Windows 0-1 share the base mixture; window 2 crosses the scripted
+        # breakpoint: its refresh probe fires and a full re-run supersedes it.
+        modes = [
+            (r["data"]["window"], r["data"]["mode"], r["data"]["final"])
+            for r in payload["results"]
+        ]
+        assert modes == [
+            (0, "full", True),
+            (1, "refresh", True),
+            (2, "refresh", False),
+            (2, "full", True),
+        ]
+        fired = [
+            r["data"]["window"]
+            for r in payload["results"]
+            if (r["details"]["drift"] or {}).get("fired")
+        ]
+        assert fired == [2]
+
+    def test_gateway_backend_matches_inline(self, capsys):
+        argv = ["windows", "--users", "3000", "--window-length", "1000",
+                "--epsilon", "6", "--seed", "7"]
+        inline = self._run_json(capsys, argv)
+        gateway = self._run_json(
+            capsys, argv + ["--backend", "gateway", "--shards", "2"]
+        )
+        for a, b in zip(inline["results"], gateway["results"]):
+            assert a["estimates"] == b["estimates"]
+            assert a["seed"] == b["seed"]
+            assert a["accounting"] == b["accounting"]
+        assert (
+            inline["continual"]["accounting"] == gateway["continual"]["accounting"]
+        )
+
+    def test_text_output_summarizes_windows(self, capsys):
+        exit_code = main(
+            ["windows", "--users", "2000", "--window-length", "1000",
+             "--epsilon", "6", "--seed", "3"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "window 0" in out
+        assert "window 1" in out
+        assert "user-level" in out
