@@ -1,0 +1,121 @@
+"""Telemetry no-op overhead on the GRR encode hot path.
+
+The observability layer's contract is "zero-overhead unless installed": with
+no tracer/profiler installed, every ``profile_kernel``/``trace_span`` call
+site costs one function call returning a shared null context manager.  This
+benchmark times the instrumented GRR ``encode_batch`` path (the hottest
+kernel call site, ``repro.service.rounds._encode_length``-shaped) against the
+same loop with the hooks bypassed entirely, and asserts the no-op overhead
+stays under the 2% acceptance gate.  A second measurement records the cost
+with a *recording* profiler installed, which is allowed to be visible but
+must stay small at realistic batch sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.helpers import print_table, record_benchmark
+from repro.ldp.grr import GeneralizedRandomizedResponse
+from repro.obs import (
+    PhaseProfiler,
+    install_profiler,
+    profile_kernel,
+    uninstall_profiler,
+)
+
+#: Batch size of one encode call — matches the service's default report batch.
+BATCH = 8192
+#: Encode calls per timed repetition.
+CALLS = 60
+#: Timed repetitions; the median damps scheduler noise.
+REPETITIONS = 9
+#: Acceptance gate on the no-op (hooks present, nothing installed) overhead.
+MAX_NOOP_OVERHEAD_PERCENT = 2.0
+
+
+def _encode_loop(oracle, indices, user_ids, *, hooked: bool) -> None:
+    if hooked:
+        for call in range(CALLS):
+            with profile_kernel("grr.encode_batch"):
+                oracle.encode_batch(indices, user_ids, key=call)
+    else:
+        for call in range(CALLS):
+            oracle.encode_batch(indices, user_ids, key=call)
+
+
+def _median_seconds(fn) -> float:
+    samples = []
+    for _ in range(REPETITIONS):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_noop_telemetry_overhead_is_under_the_gate():
+    oracle = GeneralizedRandomizedResponse(4.0, domain=list("abcdef"))
+    indices = np.arange(BATCH) % 6
+    user_ids = np.arange(BATCH)
+
+    # Warm both paths (imports, numpy buffers) before timing anything.
+    _encode_loop(oracle, indices, user_ids, hooked=False)
+    _encode_loop(oracle, indices, user_ids, hooked=True)
+
+    bare = _median_seconds(
+        lambda: _encode_loop(oracle, indices, user_ids, hooked=False)
+    )
+    noop = _median_seconds(
+        lambda: _encode_loop(oracle, indices, user_ids, hooked=True)
+    )
+    noop_overhead = (noop - bare) / bare * 100.0
+
+    profiler = PhaseProfiler()
+    install_profiler(profiler)
+    try:
+        recording = _median_seconds(
+            lambda: _encode_loop(oracle, indices, user_ids, hooked=True)
+        )
+    finally:
+        uninstall_profiler()
+    recording_overhead = (recording - bare) / bare * 100.0
+    assert profiler.report()["kernels"]["grr.encode_batch"]["calls"] > 0
+
+    reports = CALLS * BATCH
+    print_table(
+        "telemetry overhead on the GRR encode path "
+        f"({BATCH} users/batch, {CALLS} calls, median of {REPETITIONS})",
+        ["path", "seconds", "reports/sec", "overhead %"],
+        [
+            ["bare loop", f"{bare:.4f}", f"{reports / bare:,.0f}", "-"],
+            ["no-op hooks", f"{noop:.4f}", f"{reports / noop:,.0f}",
+             f"{noop_overhead:+.2f}"],
+            ["recording profiler", f"{recording:.4f}",
+             f"{reports / recording:,.0f}", f"{recording_overhead:+.2f}"],
+        ],
+    )
+    record_benchmark(
+        "telemetry_overhead",
+        metric="noop_overhead_percent",
+        value=noop_overhead,
+        units="percent",
+        seed=None,
+        backend="inline",
+        extra={
+            "batch_size": BATCH,
+            "calls_per_repetition": CALLS,
+            "repetitions": REPETITIONS,
+            "bare_seconds": bare,
+            "noop_seconds": noop,
+            "recording_seconds": recording,
+            "recording_overhead_percent": recording_overhead,
+            "gate_percent": MAX_NOOP_OVERHEAD_PERCENT,
+        },
+    )
+    assert noop_overhead < MAX_NOOP_OVERHEAD_PERCENT, (
+        f"no-op telemetry hooks cost {noop_overhead:.2f}% on the GRR encode "
+        f"path (gate: {MAX_NOOP_OVERHEAD_PERCENT}%)"
+    )

@@ -156,12 +156,19 @@ def run_windows(
     boots a windowed :class:`~repro.server.gateway.CollectionGateway` on an
     ephemeral port, ``cluster`` a windowed coordinator/worker topology.  All
     three return byte-identical window payloads under one master ``seed``.
+
+    ``telemetry=True`` runs the controller under a recording tracer/profiler
+    and attaches its summary as ``sequence.continual["telemetry"]``;
+    ``trace="out.json"`` additionally writes the spans as Chrome-trace JSON.
+    Wall-clock only — window payloads and fingerprints are unchanged.
     """
     # Imported lazily for the same reason as ExperimentSpec.run: executors
     # pull the service/server stacks.
     from repro.api.data import DataSpec
     from repro.api.executors import _coerce_population
 
+    telemetry_enabled = bool(options.pop("telemetry", False))
+    trace_path = options.pop("trace", None)
     if spec.windows is None:
         raise ConfigurationError(
             "run_windows needs a windowed spec; set ExperimentSpec.windows to "
@@ -193,6 +200,52 @@ def run_windows(
     data_desc = data.describe() if isinstance(data, DataSpec) else {}
     started = time.perf_counter()
 
+    telemetry: dict[str, Any] | None = None
+    if telemetry_enabled or trace_path is not None:
+        from repro.obs import capture
+
+        with capture() as cap:
+            payloads, accounting, base_seed, info = _execute_windows(
+                backend, config, rspec, population, batch_size, seed, options
+            )
+        telemetry = cap.summary()
+        if trace_path is not None:
+            cap.write_chrome_trace(str(trace_path))
+    else:
+        payloads, accounting, base_seed, info = _execute_windows(
+            backend, config, rspec, population, batch_size, seed, options
+        )
+
+    results = [
+        window_run_result(
+            rspec, payload, backend=backend, master_seed=seed, data=data_desc
+        )
+        for payload in payloads
+    ]
+    continual: dict[str, Any] = {
+        "accounting": dict(accounting),
+        "base_seed": base_seed,
+        "backend": backend,
+        "n_windows": len({r.data["window"] for r in results}),
+        "elapsed_seconds": time.perf_counter() - started,
+        **info,
+    }
+    if telemetry is not None:
+        continual["telemetry"] = telemetry
+    return RunSequence(results=results, continual=continual)
+
+
+def _execute_windows(
+    backend: str,
+    config,
+    rspec: ExperimentSpec,
+    population,
+    batch_size: int,
+    seed: int | None,
+    options: dict[str, Any],
+) -> tuple[list, dict, Any, dict[str, Any]]:
+    """Host the window controller on one backend → (payloads, accounting,
+    base_seed, backend info)."""
     if backend == "inline":
         from repro.continual.engine import ContinualEngine
 
@@ -271,20 +324,4 @@ def run_windows(
             "server_status": stats.server_status,
         }
 
-    results = [
-        window_run_result(
-            rspec, payload, backend=backend, master_seed=seed, data=data_desc
-        )
-        for payload in payloads
-    ]
-    return RunSequence(
-        results=results,
-        continual={
-            "accounting": dict(accounting),
-            "base_seed": base_seed,
-            "backend": backend,
-            "n_windows": len({r.data["window"] for r in results}),
-            "elapsed_seconds": time.perf_counter() - started,
-            **info,
-        },
-    )
+    return payloads, accounting, base_seed, info

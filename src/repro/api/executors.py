@@ -803,9 +803,18 @@ def run_spec(
     caller-owned dict memoizing dataset generation + SAX encoding across
     calls that share a :class:`DataSpec` (the sweep harness passes one per
     sweep).
+
+    Two telemetry options are accepted by every backend and task:
+    ``telemetry=True`` runs under a recording tracer/profiler
+    (:func:`repro.obs.capture`) and attaches its summary as
+    ``result.telemetry``; ``trace="out.json"`` additionally writes the spans
+    as Chrome-trace JSON (implies ``telemetry=True``).  Neither touches any
+    random generator, so fingerprints are unchanged.
     """
     if task not in TASKS:
         raise ConfigurationError(f"task must be one of {TASKS}, got {task!r}")
+    telemetry_enabled = bool(options.pop("telemetry", False))
+    trace_path = options.pop("trace", None)
     if spec.windows is not None:
         # A windowed spec executes to a per-window RunResult sequence; the
         # continual dispatcher owns backend/option validation for that path.
@@ -816,8 +825,31 @@ def run_spec(
         from repro.api.continual import run_windows
 
         return run_windows(
-            spec, data, backend=backend, seed=seed, cache=cache, **options
+            spec, data, backend=backend, seed=seed, cache=cache,
+            telemetry=telemetry_enabled, trace=trace_path, **options,
         )
+    if not telemetry_enabled and trace_path is None:
+        return _run_spec_dispatch(spec, data, backend, task, seed, cache, options)
+    from repro.obs import capture
+
+    with capture() as cap:
+        result = _run_spec_dispatch(spec, data, backend, task, seed, cache, options)
+    result.telemetry = cap.summary()
+    if trace_path is not None:
+        cap.write_chrome_trace(str(trace_path))
+    return result
+
+
+def _run_spec_dispatch(
+    spec: ExperimentSpec,
+    data,
+    backend: str,
+    task: str,
+    seed: int | None,
+    cache: dict | None,
+    options: dict[str, Any],
+) -> RunResult:
+    """Validate options and execute one non-windowed run (see run_spec)."""
     entry = executor_registry.get(backend)
     # One up-front accepted-option set per (task, backend): a misspelled or
     # inert knob (shard= for shards=, shards on a single-process evaluation

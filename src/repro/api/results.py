@@ -135,6 +135,9 @@ class RunResult:
     backend_info: dict[str, Any] = field(default_factory=dict)
     data: dict[str, Any] = field(default_factory=dict)
     details: dict[str, Any] = field(default_factory=dict)
+    #: Optional observability block (phase/kernel profile + span counts) from
+    #: a telemetry-enabled run; wall-clock data, so excluded from fingerprints.
+    telemetry: dict[str, Any] = field(default_factory=dict)
     repro_version: str = field(default_factory=package_version)
 
     def __post_init__(self) -> None:
@@ -205,6 +208,7 @@ class RunResult:
             "backend_info": dict(self.backend_info),
             "data": dict(self.data),
             "details": dict(self.details),
+            "telemetry": dict(self.telemetry),
             "repro_version": self.repro_version,
         }
 
@@ -235,6 +239,7 @@ class RunResult:
             backend_info=dict(data.get("backend_info", {})),
             data=dict(data.get("data", {})),
             details=dict(data.get("details", {})),
+            telemetry=dict(data.get("telemetry", {})),
             repro_version=str(data.get("repro_version", "unknown")),
         )
 

@@ -203,6 +203,12 @@ def _backend_options(args: argparse.Namespace, task: str) -> dict[str, Any]:
     instead of being forwarded and silently ignored.
     """
     options: dict[str, Any] = {}
+    # Telemetry is accepted by every task/backend (run_spec pops it before
+    # the per-backend option validation).
+    if getattr(args, "telemetry", False):
+        options["telemetry"] = True
+    if getattr(args, "trace", None):
+        options["trace"] = args.trace
     if task in ("cluster", "classify"):
         if getattr(args, "evaluation_size", None) is not None:
             options["evaluation_size"] = args.evaluation_size
@@ -719,7 +725,8 @@ def _command_serve(args: argparse.Namespace) -> int:
 def _command_loadgen(args: argparse.Namespace) -> int:
     """Drive a running gateway or cluster through a full collection run."""
     population, templates, alphabet_size = _synthetic_stream(args)
-    try:
+
+    def _drive():
         if args.cluster:
             from repro.cluster import ChaosKill, run_cluster_loadgen
 
@@ -732,7 +739,7 @@ def _command_loadgen(args: argparse.Namespace) -> int:
                     worker_index=args.chaos_kill_worker,
                     after_batches=args.chaos_kill_after,
                 )
-            stats = run_cluster_loadgen(
+            return run_cluster_loadgen(
                 args.host,
                 args.port,
                 population,
@@ -740,14 +747,26 @@ def _command_loadgen(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 chaos=chaos,
             )
+        return run_loadgen(
+            args.host,
+            args.port,
+            population,
+            batch_size=args.batch_size,
+            workers=args.workers,
+        )
+
+    telemetry = None
+    try:
+        if args.telemetry or args.trace:
+            from repro.obs import capture
+
+            with capture() as cap:
+                stats = _drive()
+            telemetry = cap.summary()
+            if args.trace:
+                cap.write_chrome_trace(args.trace)
         else:
-            stats = run_loadgen(
-                args.host,
-                args.port,
-                population,
-                batch_size=args.batch_size,
-                workers=args.workers,
-            )
+            stats = _drive()
         if args.stop_server:
             with GatewayClient(args.host, args.port) as client:
                 client.stop()
@@ -767,6 +786,8 @@ def _command_loadgen(args: argparse.Namespace) -> int:
         "templates": list(templates),
         **stats.to_dict(),
     }
+    if telemetry is not None:
+        payload["telemetry"] = telemetry
     target = "cluster coordinator" if args.cluster else "gateway"
     lines = [
         f"load generation against {target} {args.host}:{args.port}: "
@@ -968,6 +989,18 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "replaces the dataset flags")
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Observability knobs (repro.obs) of the run/windows/loadgen commands."""
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record spans + phase/kernel profile and attach "
+                             "the summary to the result (wall-clock only; "
+                             "fingerprints are unchanged)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write recorded spans as Chrome-trace JSON "
+                             "(open in Perfetto / chrome://tracing; implies "
+                             "--telemetry)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -993,6 +1026,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--serialize", action="store_true",
                      help="inline backend: push every report batch through the "
                           "wire format")
+    _add_telemetry_arguments(run)
     run.set_defaults(handler=_command_run)
 
     windows = subparsers.add_parser(
@@ -1036,6 +1070,7 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="USER_ID",
                          help="scripted drift: user ids where the stream's "
                               "template mixture flips")
+    _add_telemetry_arguments(windows)
     windows.set_defaults(handler=_command_windows, dataset="synthetic")
 
     extract = subparsers.add_parser(
@@ -1239,6 +1274,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default 1)")
     loadgen.add_argument("--stop-server", action="store_true",
                          help="send a stop op to the server after the run")
+    _add_telemetry_arguments(loadgen)
     loadgen.set_defaults(handler=_command_loadgen)
 
     return parser

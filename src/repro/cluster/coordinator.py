@@ -38,6 +38,8 @@ from repro.exceptions import (
     ServerError,
     WireFormatError,
 )
+from repro.obs.metrics import merge_snapshots
+from repro.obs.tracing import trace_span
 from repro.server.base import SocketServiceBase, result_payload
 from repro.server.wire import (
     MAX_LINE_BYTES,
@@ -94,7 +96,74 @@ class Coordinator(SocketServiceBase):
         self.total_reports = 0
         self.rejected_requests = 0
         self._result_payload: dict[str, Any] | None = None
+        self._init_coordinator_metrics()
         self.engine.open_round()
+
+    # -------------------------------------------------------------- telemetry
+
+    def _init_coordinator_metrics(self) -> None:
+        """Register the control-plane metric families.
+
+        The coordinator carries no data plane, so its own registry covers
+        round control only; the per-worker ingest series are gathered live
+        from the workers at scrape time (see :meth:`_render_metrics`).
+        """
+        m = self.metrics
+        self._metric_reports = m.counter(
+            "privshape_reports_total", "Reports merged across all workers"
+        )
+        self._metric_rounds_closed = m.counter(
+            "privshape_rounds_closed_total",
+            "Protocol rounds closed",
+            labelnames=("kind",),
+        )
+        self._metric_round_index = m.gauge(
+            "privshape_round_index", "Index of the open round (-1 when none)"
+        )
+        self._metric_workers = m.gauge(
+            "privshape_cluster_workers", "Workers in the cluster topology"
+        )
+        self._metric_restarts = m.gauge(
+            "privshape_worker_restarts", "Supervisor-recorded worker restarts"
+        )
+
+    def _update_metrics(self) -> None:
+        super()._update_metrics()
+        self._metric_reports.set_total(self.total_reports)
+        self._metric_rejected.set_total(self.rejected_requests)
+        spec = self.engine.current_round
+        self._metric_round_index.set(-1 if spec is None else spec.index)
+        self._metric_workers.set(self._live_cluster().n_workers)
+        if self.supervisor is not None:
+            self._metric_restarts.set(sum(self.supervisor.restarts))
+
+    async def _render_metrics(self) -> str:
+        """One scrape covering the whole topology.
+
+        The coordinator's own families render unlabelled; every reachable
+        worker's snapshot (gathered over the ``metrics`` op) is folded in
+        with a ``worker="<index>"`` label.  A worker that is down mid-scrape
+        is simply absent — the scrape itself must never fail over it.
+        """
+        self._update_metrics()
+        cluster = self._live_cluster()
+        outcomes = await asyncio.gather(
+            *(
+                self._worker_request(address, {"op": "metrics"})
+                for address in cluster
+            ),
+            return_exceptions=True,
+        )
+        parts: list[tuple[dict[str, str], dict[str, Any]]] = [
+            ({}, self.metrics.snapshot())
+        ]
+        for address, outcome in zip(cluster, outcomes):
+            if isinstance(outcome, BaseException):
+                continue
+            parts.append(
+                ({"worker": str(address.index)}, outcome["metrics"])
+            )
+        return merge_snapshots(parts)
 
     # ---------------------------------------------------------- worker RPCs
 
@@ -317,18 +386,22 @@ class Coordinator(SocketServiceBase):
                     "failed_workers": failed,
                     "retryable": True,
                 }
-            aggregate = new_accumulator(spec)
-            for outcome in sorted(outcomes, key=lambda o: o["worker_index"]):
-                aggregate.merge(RoundAccumulator.from_state(outcome["state"]))
-            closed = {
-                "round": spec.index,
-                "kind": spec.kind,
-                "level": getattr(spec, "level", -1),
-                "reports": aggregate.n_reports,
-            }
-            self.engine.close_round(spec, aggregate)
+            with trace_span(
+                "coordinator.close_round", round=spec.index, kind=spec.kind
+            ):
+                aggregate = new_accumulator(spec)
+                for outcome in sorted(outcomes, key=lambda o: o["worker_index"]):
+                    aggregate.merge(RoundAccumulator.from_state(outcome["state"]))
+                closed = {
+                    "round": spec.index,
+                    "kind": spec.kind,
+                    "level": getattr(spec, "level", -1),
+                    "reports": aggregate.n_reports,
+                }
+                self.engine.close_round(spec, aggregate)
             self.rounds_closed.append(closed)
             self.total_reports += aggregate.n_reports
+            self._metric_rounds_closed.inc(kind=spec.kind)
             self.engine.open_round()
             await self._broadcast_open_round()
             return {**self._round_payload(), "closed": closed}

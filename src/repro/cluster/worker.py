@@ -28,6 +28,7 @@ import time
 from typing import Any, Optional
 
 from repro.exceptions import ProtocolStateError, ReproError, ServerError, WireFormatError
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
 from repro.server.base import SocketServiceBase
 from repro.server.portfile import publish_port
 from repro.server.state import CheckpointStore
@@ -69,6 +70,7 @@ class ShardWorker(SocketServiceBase):
         self._accepted_since_checkpoint = 0
         #: True when this instance was rebuilt from a checkpoint (observability).
         self.restored = False
+        self._init_worker_metrics()
 
     # ---------------------------------------------------------------- factory
 
@@ -111,6 +113,7 @@ class ShardWorker(SocketServiceBase):
         worker.checkpoints_written = int(state.get("checkpoints_written", 0))
         worker._accepted_since_checkpoint = 0
         worker.restored = True
+        worker._init_worker_metrics()
         if (worker.round_spec is None) != (worker.aggregator is None):
             raise ServerError(
                 "checkpoint is inconsistent: open round and aggregator disagree"
@@ -133,6 +136,61 @@ class ShardWorker(SocketServiceBase):
                     checkpoint_every=kwargs.get("checkpoint_every", 0),
                 )
         return cls(checkpoint_dir=checkpoint_dir, **kwargs)
+
+    # -------------------------------------------------------------- telemetry
+
+    def _init_worker_metrics(self) -> None:
+        """Register this worker's metric families (fresh and restored paths).
+
+        Totals mirror the instance counters at scrape time (see the gateway's
+        rationale); ``GET /metrics`` on the worker port and the coordinator's
+        ``metrics`` op both read the same registry.
+        """
+        m = self.metrics
+        self._metric_reports = m.counter(
+            "privshape_reports_total", "Reports accepted into shard aggregators"
+        )
+        self._metric_batches = m.counter(
+            "privshape_batches_total",
+            "Report batches by ingest outcome",
+            labelnames=("result",),
+        )
+        self._metric_checkpoints = m.counter(
+            "privshape_checkpoints_written_total", "Durable snapshots written"
+        )
+        self._metric_round_index = m.gauge(
+            "privshape_round_index", "Index of the open round (-1 when none)"
+        )
+        self._metric_checkpoint_lag = m.gauge(
+            "privshape_checkpoint_lag_batches",
+            "Accepted batches since the last durable snapshot",
+        )
+        self._metric_slice_users = m.gauge(
+            "privshape_slice_users", "User-id slice width this worker owns"
+        )
+        self._metric_restored = m.gauge(
+            "privshape_worker_restored",
+            "1 when this worker resumed from a checkpoint",
+        )
+        self._metric_batch_reports = m.histogram(
+            "privshape_batch_reports",
+            "Reports per accepted batch",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+
+    def _update_metrics(self) -> None:
+        super()._update_metrics()
+        self._metric_reports.set_total(self.total_reports)
+        self._metric_batches.set_total(self.accepted_batches, result="accepted")
+        self._metric_batches.set_total(self.duplicate_batches, result="duplicate")
+        self._metric_rejected.set_total(self.rejected_batches)
+        self._metric_checkpoints.set_total(self.checkpoints_written)
+        self._metric_checkpoint_lag.set(self._accepted_since_checkpoint)
+        self._metric_round_index.set(
+            -1 if self.round_spec is None else self.round_spec.index
+        )
+        self._metric_slice_users.set(self.slice_stop - self.slice_start)
+        self._metric_restored.set(1.0 if self.restored else 0.0)
 
     # ----------------------------------------------------------- round state
 
@@ -198,6 +256,15 @@ class ShardWorker(SocketServiceBase):
             return await self._op_collect(message)
         if op == "status":
             return {"ok": True, "status": self._status_payload()}
+        if op == "metrics":
+            # The coordinator gathers these snapshots and re-renders them with
+            # a ``worker`` label on its own /metrics scrape.
+            self._update_metrics()
+            return {
+                "ok": True,
+                "worker_index": self.worker_index,
+                "metrics": self.metrics.snapshot(),
+            }
         if op == "checkpoint":
             assert self._lock is not None
             async with self._lock:
@@ -300,6 +367,7 @@ class ShardWorker(SocketServiceBase):
             self.total_reports += len(batch)
             self.accepted_batches += 1
             self._accepted_since_checkpoint += 1
+            self._metric_batch_reports.observe(len(batch))
             if (
                 self.store is not None
                 and self.checkpoint_every

@@ -40,6 +40,7 @@ from repro.continual.windows import (
 from repro.core.config import PrivShapeConfig
 from repro.exceptions import ProtocolStateError
 from repro.ldp.accounting import BudgetSpend, PrivacyAccountant
+from repro.obs.tracing import trace_span
 from repro.service.driver import ProtocolDriver
 from repro.service.protocol import PrivShapeEngine
 from repro.utils.prf import fresh_key
@@ -130,6 +131,12 @@ class WindowController:
 
     def build_engine(self, ticket: WindowTicket) -> PrivShapeEngine:
         """Construct the protocol engine for one ticket."""
+        with trace_span(
+            "window.build_engine", window=ticket.index, mode=ticket.mode,
+        ):
+            return self._build_engine(ticket)
+
+    def _build_engine(self, ticket: WindowTicket) -> PrivShapeEngine:
         config = dataclasses.replace(self.config, epsilon=ticket.epsilon)
         if ticket.mode == MODE_REFRESH:
             return PrivShapeEngine.for_refresh(
@@ -161,6 +168,15 @@ class WindowController:
             raise ProtocolStateError(
                 f"window {ticket.index} engine is still in stage {engine.stage!r}"
             )
+        with trace_span(
+            "window.close", window=ticket.index, attempt=ticket.attempt,
+            mode=ticket.mode,
+        ):
+            return self._close_window(ticket, engine)
+
+    def _close_window(
+        self, ticket: WindowTicket, engine: PrivShapeEngine
+    ) -> dict[str, Any]:
         result = engine.finalize()
         for spend in engine.accountant.spends:
             self.master.spend(

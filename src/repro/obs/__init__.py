@@ -1,0 +1,150 @@
+"""Unified telemetry: metrics registry, structured spans, phase profiling.
+
+The subsystem is dependency-free (stdlib only) and instruments every
+execution layer behind a zero-overhead no-op default:
+
+* :class:`MetricsRegistry` — process-local counters/gauges/histograms; every
+  server (gateway, shard worker, cluster coordinator) owns one and serves it
+  as Prometheus text on ``GET /metrics`` (the coordinator merges its
+  workers' snapshots into one scrape).
+* :func:`trace_span` — structured spans emitted by the engine, driver,
+  aggregator, and servers; recorded spans export as Chrome-trace JSON that
+  loads in Perfetto (``repro run --trace out.json``).
+* :func:`profile_phase` / :func:`profile_kernel` — opt-in hooks attributing
+  per-round wall time to the encode/transport/aggregate/estimate phases and
+  the hot kernels underneath them.
+
+:func:`capture` bundles the three for one run::
+
+    with capture() as cap:
+        result = spec.run(data, backend="inline")
+    print(cap.summary()["phases"])        # {'encode': ..., 'aggregate': ...}
+    cap.write_chrome_trace("trace.json")  # load in https://ui.perfetto.dev
+
+Nothing in this package reads or advances a random generator, so enabling
+telemetry never perturbs RNG draw order: run fingerprints are identical with
+and without it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    merge_snapshots,
+    render_snapshot,
+)
+from repro.obs.profiling import (
+    PHASE_AGGREGATE,
+    PHASE_ENCODE,
+    PHASE_ESTIMATE,
+    PHASE_TRANSPORT,
+    PhaseProfiler,
+    current_profiler,
+    install_profiler,
+    profile_kernel,
+    profile_phase,
+    uninstall_profiler,
+)
+from repro.obs.promtext import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from repro.obs.promtext import PromTextError, parse_prometheus_text
+from repro.obs.tracing import (
+    SpanRecord,
+    Tracer,
+    chrome_trace,
+    current_tracer,
+    install_tracer,
+    trace_span,
+    uninstall_tracer,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "merge_snapshots",
+    "render_snapshot",
+    "PROMETHEUS_CONTENT_TYPE",
+    "PromTextError",
+    "parse_prometheus_text",
+    "SpanRecord",
+    "Tracer",
+    "trace_span",
+    "install_tracer",
+    "uninstall_tracer",
+    "current_tracer",
+    "chrome_trace",
+    "write_chrome_trace",
+    "PHASE_ENCODE",
+    "PHASE_TRANSPORT",
+    "PHASE_AGGREGATE",
+    "PHASE_ESTIMATE",
+    "PhaseProfiler",
+    "profile_phase",
+    "profile_kernel",
+    "install_profiler",
+    "uninstall_profiler",
+    "current_profiler",
+    "TelemetryCapture",
+    "capture",
+]
+
+
+class TelemetryCapture:
+    """A live tracer + profiler pair installed for the duration of one run."""
+
+    def __init__(self, tracer: Tracer, profiler: PhaseProfiler) -> None:
+        self.tracer = tracer
+        self.profiler = profiler
+
+    def summary(self) -> dict[str, Any]:
+        """The ``telemetry`` block attached to run artifacts (JSON-able)."""
+        report = self.profiler.report()
+        span_names: dict[str, int] = {}
+        for span in self.tracer.spans:
+            span_names[span.name] = span_names.get(span.name, 0) + 1
+        report["spans"] = {
+            "total": len(self.tracer.spans),
+            "by_name": dict(sorted(span_names.items())),
+        }
+        return report
+
+    def write_chrome_trace(self, path: str, process_name: str = "repro") -> None:
+        write_chrome_trace(path, self.tracer.spans, process_name=process_name)
+
+
+@contextmanager
+def capture() -> Iterator[TelemetryCapture]:
+    """Install a recording tracer + profiler; restore the previous pair on exit.
+
+    Captures nest: an inner capture shadows the outer one for its duration
+    (the outer tracer misses those spans), which keeps the semantics simple
+    and the teardown exception-safe.
+    """
+    previous_tracer = current_tracer()
+    previous_profiler = current_profiler()
+    cap = TelemetryCapture(Tracer(), PhaseProfiler())
+    install_tracer(cap.tracer)
+    install_profiler(cap.profiler)
+    try:
+        yield cap
+    finally:
+        if previous_tracer is None:
+            uninstall_tracer()
+        else:
+            install_tracer(previous_tracer)
+        if previous_profiler is None:
+            uninstall_profiler()
+        else:
+            install_profiler(previous_profiler)

@@ -1,0 +1,347 @@
+"""Process-local metrics registry with Prometheus text exposition.
+
+Dependency-free counters, gauges, and histograms keyed by fixed label names.
+Every server (gateway, shard worker, cluster coordinator) owns one
+:class:`MetricsRegistry` and serves its :meth:`~MetricsRegistry.render` output
+on ``GET /metrics``; the cluster coordinator additionally merges the
+:meth:`~MetricsRegistry.snapshot` documents it gathers from its workers (see
+:func:`merge_snapshots`) so one scrape covers the whole topology.
+
+Two update styles coexist deliberately:
+
+* **event-driven** — ``counter.inc()`` / ``histogram.observe()`` at the point
+  where the event happens (batch accepted, round closed);
+* **scrape-time** — gauges and monotonic totals whose authoritative value
+  already lives on the serving object (``gateway.total_reports``, queue
+  depths) are refreshed via ``gauge.set`` / ``counter.set_total`` in the
+  server's ``_update_metrics`` hook just before rendering, so the scrape can
+  never drift from ``/status`` and restarts from a checkpoint do not zero the
+  totals twice.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "merge_snapshots",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Wall-time buckets (seconds) spanning sub-millisecond kernels to multi-second
+#: round closes.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Size buckets (reports per batch) matching the batch sizes the drivers use.
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    64, 256, 1024, 4096, 8192, 16384, 32768, 65536, 131072,
+)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus expects (ints stay ints)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_pairs(labelnames: tuple[str, ...], labelvalues: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + body + "}"
+
+
+class _MetricFamily:
+    """Base class: one named family holding samples keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: tuple[str, ...]) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._values: dict[tuple[str, ...], Any] = {}
+
+    def _key(self, labels: dict[str, Any]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def samples(self) -> list[tuple[tuple[str, ...], Any]]:
+        """Snapshot of ``(labelvalues, value)`` pairs in insertion order."""
+        with self._lock:
+            return list(self._values.items())
+
+
+class Counter(_MetricFamily):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_total(self, value: float, **labels: Any) -> None:
+        """Scrape-time refresh from an authoritative in-memory total.
+
+        Used by servers whose counts already live on the instance (and survive
+        checkpoint restore there); the registry then mirrors rather than
+        double-books them.  ``value`` must not regress.
+        """
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = max(float(value), self._values.get(key, 0.0))
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._values.get(self._key(labels), 0.0))
+
+
+class Gauge(_MetricFamily):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return float(self._values.get(self._key(labels), 0.0))
+
+
+class Histogram(_MetricFamily):
+    """Cumulative histogram with a fixed bucket layout."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be sorted and distinct")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = {"counts": [0] * (len(self.buckets) + 1), "sum": 0.0, "count": 0}
+                self._values[key] = state
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state["counts"][i] += 1
+                    break
+            else:
+                state["counts"][-1] += 1
+            state["sum"] += float(value)
+            state["count"] += 1
+
+
+class MetricsRegistry:
+    """Get-or-create factory for metric families plus the exposition renderer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, _MetricFamily] = {}
+
+    def _get_or_create(self, cls: type, name: str, help_text: str,
+                       labelnames: Iterable[str], **kwargs: Any) -> Any:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if not isinstance(family, cls) or family.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered with a different "
+                        f"type or label set"
+                    )
+                return family
+            family = cls(name, help_text, labelnames, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Iterable[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Iterable[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Iterable[str] = (),
+                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text, labelnames,
+                                   buckets=buckets)
+
+    def families(self) -> list[_MetricFamily]:
+        with self._lock:
+            return list(self._families.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump of every family — the worker→coordinator wire form."""
+        families = []
+        for family in self.families():
+            entry: dict[str, Any] = {
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help_text,
+                "labelnames": list(family.labelnames),
+                "samples": [
+                    [list(labelvalues), value]
+                    for labelvalues, value in family.samples()
+                ],
+            }
+            if isinstance(family, Histogram):
+                entry["buckets"] = list(family.buckets)
+            families.append(entry)
+        return {"families": families}
+
+    def render(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        return render_snapshot(self.snapshot())
+
+
+def _render_family(lines: list[str], entry: dict[str, Any]) -> None:
+    """Render one normalized family (samples are (labelnames, labelvalues, value))."""
+    name = entry["name"]
+    if entry.get("help"):
+        lines.append(f"# HELP {name} {_escape_help(entry['help'])}")
+    lines.append(f"# TYPE {name} {entry['kind']}")
+    for labelnames, labelvalues, value in entry["samples"]:
+        labelnames = tuple(labelnames)
+        labelvalues = tuple(str(v) for v in labelvalues)
+        if entry["kind"] == "histogram":
+            bounds = [float(b) for b in value["buckets"]] + [math.inf]
+            cumulative = 0
+            for bound, count in zip(bounds, value["counts"]):
+                cumulative += count
+                pairs = _label_pairs(
+                    labelnames + ("le",), labelvalues + (_format_value(bound),)
+                )
+                lines.append(f"{name}_bucket{pairs} {cumulative}")
+            pairs = _label_pairs(labelnames, labelvalues)
+            lines.append(f"{name}_sum{pairs} {_format_value(value['sum'])}")
+            lines.append(f"{name}_count{pairs} {value['count']}")
+        else:
+            pairs = _label_pairs(labelnames, labelvalues)
+            lines.append(f"{name}{pairs} {_format_value(float(value))}")
+
+
+def _normalize(snapshot: dict[str, Any],
+               extra_labels: dict[str, str] | None = None) -> list[dict[str, Any]]:
+    """Snapshot families → render form; each sample carries its own labelnames."""
+    extra_labels = extra_labels or {}
+    extra_names = tuple(extra_labels)
+    extra_values = tuple(str(extra_labels[k]) for k in extra_names)
+    families = []
+    for entry in snapshot.get("families", []):
+        labelnames = tuple(entry.get("labelnames", ())) + extra_names
+        buckets = list(entry.get("buckets", ()))
+        samples = []
+        for labelvalues, value in entry.get("samples", []):
+            if entry["kind"] == "histogram":
+                value = dict(value, buckets=buckets)
+            samples.append(
+                (labelnames, tuple(labelvalues) + extra_values, value)
+            )
+        families.append({
+            "name": entry["name"],
+            "kind": entry["kind"],
+            "help": entry.get("help", ""),
+            "samples": samples,
+        })
+    return families
+
+
+def render_snapshot(snapshot: dict[str, Any]) -> str:
+    """Render one :meth:`MetricsRegistry.snapshot` document as exposition text."""
+    lines: list[str] = []
+    for entry in _normalize(snapshot):
+        _render_family(lines, entry)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_snapshots(parts: Iterable[tuple[dict[str, str], dict[str, Any]]]) -> str:
+    """Merge labelled snapshots into one exposition document.
+
+    ``parts`` yields ``(extra_labels, snapshot)`` pairs; every sample in a
+    snapshot gains that part's extra labels (e.g. ``{"worker": "0"}``), and
+    families with the same name are folded into one TYPE block — label sets
+    may differ sample to sample, which the text format allows.  This is how
+    the cluster coordinator presents its workers' registries on one scrape.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for extra_labels, snapshot in parts:
+        for entry in _normalize(snapshot, dict(extra_labels)):
+            target = merged.get(entry["name"])
+            if target is None:
+                merged[entry["name"]] = entry
+            else:
+                target["samples"].extend(entry["samples"])
+                if not target["help"]:
+                    target["help"] = entry["help"]
+    lines: list[str] = []
+    for entry in merged.values():
+        _render_family(lines, entry)
+    return "\n".join(lines) + ("\n" if lines else "")

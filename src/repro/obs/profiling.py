@@ -1,0 +1,148 @@
+"""Opt-in phase and kernel profiling for the collection hot path.
+
+Two granularities share one :class:`PhaseProfiler`:
+
+* **phases** — every instrumented driver attributes per-round wall time to
+  the four protocol phases :data:`PHASE_ENCODE` (client-side report
+  construction), :data:`PHASE_TRANSPORT` (wire serialization / socket
+  round-trips), :data:`PHASE_AGGREGATE` (accumulator folds), and
+  :data:`PHASE_ESTIMATE` (server-side round close / estimation);
+* **kernels** — the numerical kernels inside those phases (GRR/OUE
+  ``encode_batch``, the EM sampler, ``accumulate``) record call counts and
+  cumulative seconds, at per-batch granularity so the bookkeeping stays off
+  the per-report path.
+
+Like tracing, the default is a shared no-op: :func:`profile_phase` and
+:func:`profile_kernel` return a stateless null context manager until a
+profiler is installed, and nothing here ever touches a random generator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.obs.tracing import NULL_SPAN
+
+__all__ = [
+    "PHASE_ENCODE",
+    "PHASE_TRANSPORT",
+    "PHASE_AGGREGATE",
+    "PHASE_ESTIMATE",
+    "PhaseProfiler",
+    "profile_phase",
+    "profile_kernel",
+    "install_profiler",
+    "uninstall_profiler",
+    "current_profiler",
+]
+
+PHASE_ENCODE = "encode"
+PHASE_TRANSPORT = "transport"
+PHASE_AGGREGATE = "aggregate"
+PHASE_ESTIMATE = "estimate"
+
+#: Attribution order used when reporting (not all phases occur on all paths).
+PHASES = (PHASE_ENCODE, PHASE_TRANSPORT, PHASE_AGGREGATE, PHASE_ESTIMATE)
+
+
+class _TimedSection:
+    __slots__ = ("_profiler", "_table", "_key", "_start_ns")
+
+    def __init__(self, profiler: "PhaseProfiler", table: str, key: Any) -> None:
+        self._profiler = profiler
+        self._table = table
+        self._key = key
+
+    def __enter__(self) -> "_TimedSection":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        elapsed = (time.perf_counter_ns() - self._start_ns) / 1e9
+        self._profiler._add(self._table, self._key, elapsed)
+        return False
+
+
+class PhaseProfiler:
+    """Accumulates phase and kernel wall time; thread-safe."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # (round_index | None, phase) -> seconds
+        self._phases: dict[tuple[Any, str], float] = {}
+        # kernel name -> [calls, seconds]
+        self._kernels: dict[str, list[float]] = {}
+
+    def _add(self, table: str, key: Any, elapsed: float) -> None:
+        with self._lock:
+            if table == "phase":
+                self._phases[key] = self._phases.get(key, 0.0) + elapsed
+            else:
+                entry = self._kernels.setdefault(key, [0, 0.0])
+                entry[0] += 1
+                entry[1] += elapsed
+
+    def phase(self, phase: str, round_index: int | None = None) -> _TimedSection:
+        return _TimedSection(self, "phase", (round_index, phase))
+
+    def kernel(self, name: str) -> _TimedSection:
+        return _TimedSection(self, "kernel", name)
+
+    def report(self) -> dict[str, Any]:
+        """JSON-able summary: total seconds per phase, per round, per kernel."""
+        with self._lock:
+            phases = dict(self._phases)
+            kernels = {k: list(v) for k, v in self._kernels.items()}
+        totals = {phase: 0.0 for phase in PHASES}
+        rounds: dict[int, dict[str, float]] = {}
+        for (round_index, phase), seconds in phases.items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+            if round_index is not None:
+                rounds.setdefault(int(round_index), {})[phase] = round(seconds, 6)
+        return {
+            "phases": {k: round(v, 6) for k, v in totals.items() if v > 0.0},
+            "rounds": [
+                {"round": index, **rounds[index]} for index in sorted(rounds)
+            ],
+            "kernels": {
+                name: {"calls": int(calls), "seconds": round(seconds, 6)}
+                for name, (calls, seconds) in sorted(kernels.items())
+            },
+        }
+
+
+_PROFILER: PhaseProfiler | None = None
+
+
+def profile_phase(phase: str, round_index: int | None = None):
+    """Time a protocol phase — a shared no-op until a profiler is installed."""
+    profiler = _PROFILER
+    if profiler is None:
+        return NULL_SPAN
+    return profiler.phase(phase, round_index)
+
+
+def profile_kernel(name: str):
+    """Time one hot-kernel call — a shared no-op until a profiler is installed."""
+    profiler = _PROFILER
+    if profiler is None:
+        return NULL_SPAN
+    return profiler.kernel(name)
+
+
+def install_profiler(profiler: PhaseProfiler) -> None:
+    global _PROFILER
+    _PROFILER = profiler
+
+
+def uninstall_profiler() -> None:
+    global _PROFILER
+    _PROFILER = None
+
+
+def current_profiler() -> PhaseProfiler | None:
+    return _PROFILER

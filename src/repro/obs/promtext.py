@@ -1,0 +1,185 @@
+"""A small parser/validator for the Prometheus text exposition format.
+
+Used by the test suite and the CI smoke step to check that what the servers
+serve on ``GET /metrics`` is well-formed — without depending on the real
+``prometheus_client``.  Implements the subset the registry emits (format
+version 0.0.4): ``# HELP`` / ``# TYPE`` comment lines and
+``name{label="value",...} value`` samples.
+
+:func:`parse_prometheus_text` raises :class:`PromTextError` on malformed
+input and returns ``{family_name: ParsedFamily}``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["PromTextError", "ParsedSample", "ParsedFamily", "parse_prometheus_text"]
+
+#: Content type the servers attach to ``/metrics`` responses.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_KNOWN_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class PromTextError(ValueError):
+    """The exposition document violates the text format."""
+
+
+@dataclass
+class ParsedSample:
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+@dataclass
+class ParsedFamily:
+    name: str
+    kind: str = "untyped"
+    help_text: str = ""
+    samples: list[ParsedSample] = field(default_factory=list)
+
+    def sample_values(self, name: str | None = None) -> list[float]:
+        wanted = name or self.name
+        return [s.value for s in self.samples if s.name == wanted]
+
+
+def _parse_value(raw: str, lineno: int) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise PromTextError(f"line {lineno}: unparsable value {raw!r}") from None
+
+
+def _parse_labels(raw: str, lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    rest = raw.strip()
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if not match:
+            raise PromTextError(f"line {lineno}: malformed label section {raw!r}")
+        key, value = match.group(1), match.group(2)
+        if key in labels:
+            raise PromTextError(f"line {lineno}: duplicate label {key!r}")
+        labels[key] = (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        rest = rest[match.end():].lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+    return labels
+
+
+def _family_for(name: str, families: dict[str, ParsedFamily]) -> ParsedFamily | None:
+    """The family a sample line belongs to (histograms own the _bucket etc.)."""
+    if name in families:
+        return families[name]
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            family = families.get(base)
+            if family is not None and family.kind in ("histogram", "summary"):
+                return family
+    return None
+
+
+def _check_histogram(family: ParsedFamily) -> None:
+    """Bucket counts must be cumulative and end at an +Inf bucket == _count."""
+    series: dict[tuple[tuple[str, str], ...], list[tuple[float, float]]] = {}
+    counts: dict[tuple[tuple[str, str], ...], float] = {}
+    for sample in family.samples:
+        key = tuple(sorted(
+            (k, v) for k, v in sample.labels.items() if k != "le"
+        ))
+        if sample.name == family.name + "_bucket":
+            if "le" not in sample.labels:
+                raise PromTextError(
+                    f"histogram {family.name!r}: bucket without le label")
+            le = math.inf if sample.labels["le"] == "+Inf" else float(sample.labels["le"])
+            series.setdefault(key, []).append((le, sample.value))
+        elif sample.name == family.name + "_count":
+            counts[key] = sample.value
+    for key, buckets in series.items():
+        ordered = sorted(buckets)
+        values = [count for _, count in ordered]
+        if values != sorted(values):
+            raise PromTextError(
+                f"histogram {family.name!r}: bucket counts not cumulative")
+        if not ordered or ordered[-1][0] != math.inf:
+            raise PromTextError(
+                f"histogram {family.name!r}: missing le=\"+Inf\" bucket")
+        if key in counts and counts[key] != ordered[-1][1]:
+            raise PromTextError(
+                f"histogram {family.name!r}: _count != +Inf bucket")
+
+
+def parse_prometheus_text(text: str) -> dict[str, ParsedFamily]:
+    """Parse and validate one exposition document.
+
+    Returns families keyed by base name; histogram ``_bucket``/``_sum``/
+    ``_count`` samples are attached to their base family.  Raises
+    :class:`PromTextError` on any violation of the format.
+    """
+    families: dict[str, ParsedFamily] = {}
+    for lineno, raw_line in enumerate(text.split("\n"), start=1):
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            if not _NAME_RE.match(name):
+                raise PromTextError(f"line {lineno}: invalid metric name {name!r}")
+            family = families.setdefault(name, ParsedFamily(name))
+            family.help_text = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                raise PromTextError(f"line {lineno}: malformed TYPE line")
+            name, kind = parts
+            if not _NAME_RE.match(name):
+                raise PromTextError(f"line {lineno}: invalid metric name {name!r}")
+            if kind not in _KNOWN_TYPES:
+                raise PromTextError(f"line {lineno}: unknown metric type {kind!r}")
+            family = families.setdefault(name, ParsedFamily(name))
+            if family.samples:
+                raise PromTextError(
+                    f"line {lineno}: TYPE for {name!r} after its samples")
+            family.kind = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise PromTextError(f"line {lineno}: malformed sample line {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", lineno)
+        value = _parse_value(match.group("value"), lineno)
+        family = _family_for(name, families)
+        if family is None:
+            family = families.setdefault(name, ParsedFamily(name))
+        family.samples.append(ParsedSample(name, labels, value))
+    for family in families.values():
+        if family.kind == "histogram":
+            _check_histogram(family)
+    return families

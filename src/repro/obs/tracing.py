@@ -1,0 +1,171 @@
+"""Structured spans with a zero-overhead no-op default and Perfetto export.
+
+Instrumented code calls :func:`trace_span` unconditionally::
+
+    with trace_span("round.encode", round=spec.index):
+        ...
+
+With no tracer installed (the default) this returns a shared, stateless
+null context manager — no clock reads, no allocation beyond the call itself —
+so the hot paths stay within the telemetry-overhead budget.  Installing a
+:class:`Tracer` (see :func:`install_tracer` or :func:`repro.obs.capture`)
+makes every span record its wall-clock interval; the recorded spans export as
+Chrome-trace JSON (``{"traceEvents": [...]}``) that loads directly in
+Perfetto / ``chrome://tracing``.
+
+Spans never touch any random generator: they read ``time.perf_counter_ns``
+and append to a list, which is why fingerprint equivalence across backends
+holds with tracing enabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "trace_span",
+    "install_tracer",
+    "uninstall_tracer",
+    "current_tracer",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class SpanRecord:
+    """One completed span: a named wall-clock interval with attributes."""
+
+    name: str
+    start_us: float
+    duration_us: float
+    thread_id: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class _Span:
+    __slots__ = ("_tracer", "name", "attrs", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        end_ns = time.perf_counter_ns()
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                start_us=(self._start_ns - self._tracer.epoch_ns) / 1000.0,
+                duration_us=(end_ns - self._start_ns) / 1000.0,
+                thread_id=threading.get_ident(),
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Records spans in memory; thread-safe, append-only."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.epoch_ns = time.perf_counter_ns()
+        self.spans: list[SpanRecord] = []
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        return _Span(self, name, attrs)
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+
+# The installed tracer; ``None`` keeps trace_span on the no-allocation path.
+_TRACER: Tracer | None = None
+
+
+def trace_span(name: str, **attrs: Any):
+    """A context manager timing ``name`` — a shared no-op when tracing is off."""
+    tracer = _TRACER
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def install_tracer(tracer: Tracer) -> None:
+    global _TRACER
+    _TRACER = tracer
+
+
+def uninstall_tracer() -> None:
+    global _TRACER
+    _TRACER = None
+
+
+def current_tracer() -> Tracer | None:
+    return _TRACER
+
+
+def chrome_trace(spans: list[SpanRecord], process_name: str = "repro") -> dict[str, Any]:
+    """Spans → Chrome-trace document (complete events, microsecond units)."""
+    pid = os.getpid()
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ts": span.start_us,
+                "dur": span.duration_us,
+                "pid": pid,
+                "tid": span.thread_id,
+                "args": dict(span.attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: list[SpanRecord],
+                       process_name: str = "repro") -> None:
+    """Write spans as Chrome-trace JSON loadable in Perfetto."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans, process_name=process_name), handle)
+        handle.write("\n")

@@ -12,7 +12,11 @@ lifecycle that is safe to drive from another thread.
 
 Subclasses supply the protocol: :meth:`_dispatch` (the op table),
 :meth:`_consume_shard_batch` (what an aggregation task does with a routed
-sub-batch), and :meth:`_http_payload` (the GET routes beyond ``/healthz``).
+sub-batch), and :meth:`_http_payload` (the JSON GET routes beyond
+``/healthz``).  Every server also owns a telemetry registry
+(``self.metrics``) served as Prometheus text on ``GET /metrics``; the
+:meth:`_update_metrics` hook refreshes scrape-time gauges just before
+rendering.
 """
 
 from __future__ import annotations
@@ -23,10 +27,12 @@ import time
 from typing import Any
 
 from repro.exceptions import ReproError, ServerError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import CONTENT_TYPE as _METRICS_CONTENT_TYPE
 from repro.server.wire import MAX_LINE_BYTES, decode_message, encode_message
 
 #: HTTP reason phrases for the status codes the servers emit.
-_HTTP_REASONS = {200: "OK", 404: "Not Found", 409: "Conflict"}
+_HTTP_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 409: "Conflict"}
 
 
 def result_payload(engine) -> dict[str, Any]:
@@ -65,6 +71,22 @@ class SocketServiceBase:
         self.n_shards = int(n_shards)
         self.queue_depth = int(queue_depth)
         self._started_at = time.monotonic()
+        # Telemetry: one process-local registry per server, scraped on
+        # GET /metrics.  The rejection counter lives here because
+        # _dispatch_safely (the only place rejections surface) is ours.
+        self.metrics = MetricsRegistry()
+        self._metric_rejected = self.metrics.counter(
+            "privshape_requests_rejected_total",
+            "NDJSON ops rejected with a ReproError",
+        )
+        self._metric_queue_depth = self.metrics.gauge(
+            "privshape_queue_depth",
+            "Live aggregation queue depth per shard",
+            labelnames=("shard",),
+        )
+        self._metric_uptime = self.metrics.gauge(
+            "privshape_uptime_seconds", "Seconds since this server object started"
+        )
         # asyncio plumbing; created once the event loop runs (see start()).
         self._loop: asyncio.AbstractEventLoop | None = None
         self._lock: asyncio.Lock | None = None
@@ -200,6 +222,7 @@ class SocketServiceBase:
             message = decode_message(line)
             return await self._dispatch(message)
         except ReproError as exc:
+            self._metric_rejected.inc()
             self._note_rejection(exc)
             return {"ok": False, "error": str(exc), "error_type": type(exc).__name__}
 
@@ -218,25 +241,54 @@ class SocketServiceBase:
         writer: asyncio.StreamWriter,
     ) -> None:
         parts = request_line.decode("latin-1").split()
-        path = parts[1] if len(parts) >= 2 else "/"
         while True:  # drain request headers
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
-        status, payload = await self._http_payload(path)
-        body = json.dumps(payload).encode("utf-8")
+        if len(parts) >= 2:
+            status, body, content_type = await self._http_response(parts[1])
+        else:
+            # Malformed request line (e.g. bare "GET"): answer 400, not a
+            # guessed route.
+            payload = {"ok": False, "error": "malformed request line"}
+            status, content_type = 400, "application/json"
+            body = json.dumps(payload).encode("utf-8")
         reason = _HTTP_REASONS.get(status, "Error")
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n".encode("latin-1")
             + body
         )
         await writer.drain()
 
+    async def _http_response(self, path: str) -> tuple[int, bytes, str]:
+        """Route one GET path to ``(status, body, content_type)``.
+
+        ``/metrics`` serves the telemetry registry as Prometheus text; every
+        other route goes through the JSON :meth:`_http_payload` table.
+        """
+        if path == "/metrics":
+            text = await self._render_metrics()
+            return 200, text.encode("utf-8"), _METRICS_CONTENT_TYPE
+        status, payload = await self._http_payload(path)
+        return status, json.dumps(payload).encode("utf-8"), "application/json"
+
+    async def _render_metrics(self) -> str:
+        """Render the exposition document (the coordinator overrides this to
+        merge its workers' snapshots into the scrape)."""
+        self._update_metrics()
+        return self.metrics.render()
+
+    def _update_metrics(self) -> None:
+        """Hook: refresh scrape-time gauges from authoritative server state."""
+        self._metric_uptime.set(self.uptime_seconds)
+        for shard, depth in enumerate(self.queue_depths()):
+            self._metric_queue_depth.set(depth, shard=shard)
+
     async def _http_payload(self, path: str) -> tuple[int, dict[str, Any]]:
-        """Route one GET path; subclasses extend and fall back to this."""
+        """Route one JSON GET path; subclasses extend and fall back to this."""
         if path == "/healthz":
             return 200, {"ok": True}
         return 404, {"ok": False, "error": f"unknown path {path!r}"}

@@ -40,6 +40,8 @@ from repro.exceptions import (
     ServerError,
     WireFormatError,
 )
+from repro.obs.metrics import DEFAULT_SIZE_BUCKETS
+from repro.obs.tracing import trace_span
 from repro.server.base import SocketServiceBase, result_payload
 from repro.server.state import CheckpointStore
 from repro.server.wire import (
@@ -51,6 +53,9 @@ from repro.service.aggregator import ShardedAggregator
 from repro.service.plan import RoundSpec
 from repro.service.protocol import PrivShapeEngine
 from repro.utils.rng import RngLike
+
+#: Protocol stages the ``privshape_stage`` gauge enumerates.
+_STAGES = ("length", "subshape", "expand", "refine", "done")
 
 
 class CollectionGateway(SocketServiceBase):
@@ -101,6 +106,7 @@ class CollectionGateway(SocketServiceBase):
         self.checkpoints_written = 0
         self._accepted_since_checkpoint = 0
         self._result_payload: dict[str, Any] | None = None
+        self._init_gateway_metrics()
         self._set_round(self.engine.open_round())
 
     # ---------------------------------------------------------------- factory
@@ -154,12 +160,119 @@ class CollectionGateway(SocketServiceBase):
         gateway.checkpoints_written = int(state.get("checkpoints_written", 0))
         gateway._accepted_since_checkpoint = 0
         gateway._result_payload = None
+        gateway._init_gateway_metrics()
         open_spec = gateway.engine.current_round
         if (open_spec is None) != (gateway.aggregator is None):
             raise ServerError(
                 "checkpoint is inconsistent: open round and aggregator disagree"
             )
         return gateway
+
+    # -------------------------------------------------------------- telemetry
+
+    def _init_gateway_metrics(self) -> None:
+        """Register this gateway's metric families (fresh and restored paths).
+
+        Monotonic totals that already live on the instance (and survive a
+        checkpoint restore there) are mirrored into the registry at scrape
+        time by :meth:`_update_metrics`; only genuinely event-shaped series
+        (histograms) record inline.
+        """
+        m = self.metrics
+        self._metric_reports = m.counter(
+            "privshape_reports_total", "Reports accepted into shard aggregators"
+        )
+        self._metric_batches = m.counter(
+            "privshape_batches_total",
+            "Report batches by ingest outcome",
+            labelnames=("result",),
+        )
+        self._metric_rounds_closed = m.counter(
+            "privshape_rounds_closed_total",
+            "Protocol rounds closed",
+            labelnames=("kind",),
+        )
+        self._metric_checkpoints = m.counter(
+            "privshape_checkpoints_written_total", "Durable snapshots written"
+        )
+        self._metric_round_index = m.gauge(
+            "privshape_round_index", "Index of the open round (-1 when none)"
+        )
+        self._metric_stage = m.gauge(
+            "privshape_stage",
+            "Protocol stage indicator (1 on the current stage)",
+            labelnames=("stage",),
+        )
+        self._metric_checkpoint_lag = m.gauge(
+            "privshape_checkpoint_lag_batches",
+            "Accepted batches since the last durable snapshot",
+        )
+        self._metric_batch_reports = m.histogram(
+            "privshape_batch_reports",
+            "Reports per accepted batch",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._metric_close_seconds = m.histogram(
+            "privshape_round_close_seconds",
+            "Wall time of close_round (drain + finalize + estimate)",
+        )
+        if self.controller is not None:
+            self._metric_window = m.gauge(
+                "privshape_window_index", "Index of the live window (-1 when done)"
+            )
+            self._metric_window_attempt = m.gauge(
+                "privshape_window_attempt",
+                "Attempt number of the live window (1 = drift re-extraction)",
+            )
+            self._metric_window_epsilon = m.gauge(
+                "privshape_window_epsilon_spent",
+                "User-level epsilon the live window's ledger has spent so far",
+            )
+            self._metric_windows_closed = m.gauge(
+                "privshape_windows_closed", "Window attempts folded into the run"
+            )
+            self._metric_drift_l1 = m.gauge(
+                "privshape_drift_l1",
+                "L1 distance of the newest drift-detector decision",
+            )
+            self._metric_drift_fired = m.gauge(
+                "privshape_drift_fired",
+                "1 when the newest drift decision fired a re-extraction",
+            )
+
+    def _update_metrics(self) -> None:
+        super()._update_metrics()
+        self._metric_reports.set_total(self.total_reports)
+        self._metric_batches.set_total(self.accepted_batches, result="accepted")
+        self._metric_batches.set_total(self.duplicate_batches, result="duplicate")
+        self._metric_rejected.set_total(self.rejected_batches)
+        self._metric_checkpoints.set_total(self.checkpoints_written)
+        self._metric_checkpoint_lag.set(self._accepted_since_checkpoint)
+        spec = self.engine.current_round
+        self._metric_round_index.set(-1 if spec is None else spec.index)
+        for stage in _STAGES:
+            self._metric_stage.set(
+                1.0 if self.engine.stage == stage else 0.0, stage=stage
+            )
+        if self.controller is not None:
+            ticket = self._ticket
+            self._metric_window.set(-1 if ticket is None else ticket.index)
+            self._metric_window_attempt.set(0 if ticket is None else ticket.attempt)
+            self._metric_window_epsilon.set(
+                float(self.engine.accountant.user_level_epsilon())
+            )
+            self._metric_windows_closed.set(len(self.controller.results))
+            drift = next(
+                (
+                    payload["drift"]
+                    for payload in reversed(self.controller.results)
+                    if payload.get("drift") is not None
+                ),
+                None,
+            )
+            if drift is not None:
+                self._metric_drift_l1.set(float(drift.get("l1", 0.0)))
+                self._metric_drift_fired.set(1.0 if drift.get("fired") else 0.0)
 
     # ----------------------------------------------------------- round state
 
@@ -205,8 +318,9 @@ class CollectionGateway(SocketServiceBase):
         """Quiesce the workers and persist one atomic snapshot (lock held)."""
         if self.store is None:
             raise ServerError("no checkpoint directory is configured")
-        await self._drain()
-        path = self.store.save(self.to_state())
+        with trace_span("gateway.checkpoint"):
+            await self._drain()
+            path = self.store.save(self.to_state())
         self.checkpoints_written += 1
         self._accepted_since_checkpoint = 0
         return {"ok": True, "path": str(path)}
@@ -314,6 +428,7 @@ class CollectionGateway(SocketServiceBase):
             self.total_reports += len(batch)
             self.accepted_batches += 1
             self._accepted_since_checkpoint += 1
+            self._metric_batch_reports.observe(len(batch))
             if (
                 self.store is not None
                 and self.checkpoint_every
@@ -338,11 +453,15 @@ class CollectionGateway(SocketServiceBase):
                 raise ProtocolStateError(
                     f"close_round for round {index!r}, but round {spec.index} is open"
                 )
-            await self._drain()
-            assert self.aggregator is not None
-            aggregate = self.aggregator.finalize_round()
-            self.engine.close_round(spec, aggregate)
-            self._set_round(self.engine.open_round())
+            started = time.perf_counter()
+            with trace_span("gateway.close_round", round=spec.index, kind=spec.kind):
+                await self._drain()
+                assert self.aggregator is not None
+                aggregate = self.aggregator.finalize_round()
+                self.engine.close_round(spec, aggregate)
+                self._set_round(self.engine.open_round())
+            self._metric_close_seconds.observe(time.perf_counter() - started)
+            self._metric_rounds_closed.inc(kind=spec.kind)
             if self.store is not None:
                 await self._checkpoint_locked()
             return self._round_payload()
@@ -367,8 +486,13 @@ class CollectionGateway(SocketServiceBase):
                     f"window {self._ticket.index} is still in stage "
                     f"{self.engine.stage!r}; close its rounds first"
                 )
-            await self._drain()
-            closed = self.controller.close_window(self._ticket, self.engine)
+            with trace_span(
+                "gateway.close_window",
+                window=self._ticket.index,
+                attempt=self._ticket.attempt,
+            ):
+                await self._drain()
+                closed = self.controller.close_window(self._ticket, self.engine)
             self._ticket = self.controller.next_ticket()
             if self._ticket is not None:
                 self.engine = self.controller.build_engine(self._ticket)

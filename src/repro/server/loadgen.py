@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.continual.windows import WindowView
 from repro.exceptions import ConfigurationError, ServerConnectionError
+from repro.obs import PHASE_ENCODE, PHASE_TRANSPORT, profile_phase, trace_span
 from repro.server.client import GatewayClient
 from repro.service.client import ClientReporter
 from repro.service.plan import CollectionPlan, RoundSpec
@@ -65,13 +66,15 @@ def _stream_once(
         if not mask.any():
             continue
         participants = np.flatnonzero(mask)
-        batch = reporter.make_reports(
-            spec, batch_population.take(participants), user_ids[participants]
-        )
-        response = client.report(
-            batch,
-            batch_id=batch_id_for(spec.index, user_ids[0], user_ids[-1] + 1),
-        )
+        with profile_phase(PHASE_ENCODE, spec.index):
+            batch = reporter.make_reports(
+                spec, batch_population.take(participants), user_ids[participants]
+            )
+        with profile_phase(PHASE_TRANSPORT, spec.index):
+            response = client.report(
+                batch,
+                batch_id=batch_id_for(spec.index, user_ids[0], user_ids[-1] + 1),
+            )
         stats.batches += 1
         if response.get("accepted"):
             stats.accepted += int(response.get("reports", len(batch)))
@@ -217,29 +220,34 @@ def run_loadgen(
                     break
                 round_dict, plan_dict = current["round"], current["plan"]
                 round_started = time.perf_counter()
-                if stats.workers >= 1:
-                    slices = worker_slices(n_users, stats.workers)
-                    if pool is None:
-                        # One pool for the whole run: workers pay the spawn +
-                        # import cost once, not once per protocol round.
-                        context = multiprocessing.get_context(mp_context)
-                        pool = context.Pool(len(slices))
-                    slice_stats = pool.starmap(
-                        stream_round,
-                        [
-                            (host, port, population, plan_dict, round_dict,
-                             start, stop, batch_size)
-                            for start, stop in slices
-                        ],
-                    )
-                else:
-                    slice_stats = [
-                        stream_round(
-                            host, port, population, plan_dict, round_dict,
-                            0, n_users, batch_size,
+                with trace_span(
+                    "loadgen.round",
+                    round=round_dict["index"],
+                    kind=round_dict["kind"],
+                ):
+                    if stats.workers >= 1:
+                        slices = worker_slices(n_users, stats.workers)
+                        if pool is None:
+                            # One pool for the whole run: workers pay the
+                            # spawn + import cost once, not once per round.
+                            context = multiprocessing.get_context(mp_context)
+                            pool = context.Pool(len(slices))
+                        slice_stats = pool.starmap(
+                            stream_round,
+                            [
+                                (host, port, population, plan_dict, round_dict,
+                                 start, stop, batch_size)
+                                for start, stop in slices
+                            ],
                         )
-                    ]
-                control.close_round(round_dict["index"])
+                    else:
+                        slice_stats = [
+                            stream_round(
+                                host, port, population, plan_dict, round_dict,
+                                0, n_users, batch_size,
+                            )
+                        ]
+                    control.close_round(round_dict["index"])
                 stats.batches += sum(s.batches for s in slice_stats)
                 stats.retries += sum(s.retries for s in slice_stats)
                 stats.rounds.append(
@@ -335,28 +343,35 @@ def run_window_loadgen(
                 view = WindowView(population, ticket["start"], ticket["stop"])
                 round_dict, plan_dict = current["round"], current["plan"]
                 round_started = time.perf_counter()
-                if stats.workers >= 1:
-                    slices = worker_slices(view.n_users, stats.workers)
-                    if pool is None:
-                        context = multiprocessing.get_context(mp_context)
-                        pool = context.Pool(min(stats.workers, len(slices)))
-                    slice_stats = pool.starmap(
-                        stream_round,
-                        [
-                            (host, port, view, plan_dict, round_dict,
-                             start, stop, batch_size)
-                            for start, stop in slices
-                        ],
-                    )
-                else:
-                    slice_stats = [
-                        stream_round(
-                            host, port, view, plan_dict, round_dict,
-                            0, view.n_users, batch_size,
-                            max_attempts=max_attempts, retry_delay=retry_delay,
+                with trace_span(
+                    "loadgen.round",
+                    round=round_dict["index"],
+                    kind=round_dict["kind"],
+                    window=ticket["index"],
+                ):
+                    if stats.workers >= 1:
+                        slices = worker_slices(view.n_users, stats.workers)
+                        if pool is None:
+                            context = multiprocessing.get_context(mp_context)
+                            pool = context.Pool(min(stats.workers, len(slices)))
+                        slice_stats = pool.starmap(
+                            stream_round,
+                            [
+                                (host, port, view, plan_dict, round_dict,
+                                 start, stop, batch_size)
+                                for start, stop in slices
+                            ],
                         )
-                    ]
-                control.close_round(round_dict["index"])
+                    else:
+                        slice_stats = [
+                            stream_round(
+                                host, port, view, plan_dict, round_dict,
+                                0, view.n_users, batch_size,
+                                max_attempts=max_attempts,
+                                retry_delay=retry_delay,
+                            )
+                        ]
+                    control.close_round(round_dict["index"])
                 stats.batches += sum(s.batches for s in slice_stats)
                 stats.retries += sum(s.retries for s in slice_stats)
                 stats.rounds.append(

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.exceptions import ProtocolStateError
+from repro.obs.tracing import trace_span
 from repro.service.plan import RoundSpec
 from repro.service.reports import ReportBatch
 from repro.service.rounds import RoundAccumulator, accumulate, new_accumulator
@@ -119,5 +120,11 @@ class ShardedAggregator:
 
     def finalize_round(self) -> RoundAccumulator:
         """Merge all shard states into the round's final aggregate (exact)."""
-        self._finalized = True
-        return self.merged()
+        with trace_span(
+            "aggregator.finalize_round",
+            round=self.spec.index,
+            kind=self.spec.kind,
+            shards=self.n_shards,
+        ):
+            self._finalized = True
+            return self.merged()

@@ -28,6 +28,14 @@ import numpy as np
 
 from repro.core.config import PrivShapeConfig
 from repro.core.results import ShapeExtractionResult
+from repro.obs.profiling import (
+    PHASE_AGGREGATE,
+    PHASE_ENCODE,
+    PHASE_ESTIMATE,
+    PHASE_TRANSPORT,
+    profile_phase,
+)
+from repro.obs.tracing import trace_span
 from repro.service.aggregator import ShardedAggregator
 from repro.service.client import ClientReporter
 from repro.service.metrics import ThroughputMeter, peak_rss_bytes
@@ -130,22 +138,35 @@ class ProtocolDriver:
             aggregator = ShardedAggregator(spec, n_shards=self.n_shards)
             meter = ThroughputMeter()
             meter.start()
-            for user_ids, batch_population in self.population.iter_batches(
-                self.batch_size
-            ):
-                mask = engine.plan.participant_mask(spec, user_ids)
-                if not mask.any():
-                    continue
-                participants = np.flatnonzero(mask)
-                batch = reporter.make_reports(
-                    spec, batch_population.take(participants), user_ids[participants]
-                )
-                if self.serialize:
-                    batch = ReportBatch.from_bytes(batch.to_bytes())
-                aggregator.consume(batch)
-                meter.add(len(batch))
-            aggregate = aggregator.finalize_round()
-            engine.close_round(spec, aggregate)
+            # Telemetry attributes this round's wall time to the protocol
+            # phases (encode / transport / aggregate / estimate); both hooks
+            # are shared no-ops unless a capture is active, and neither ever
+            # touches the engine's generator.
+            with trace_span("round", round=spec.index, kind=spec.kind,
+                            level=spec.level):
+                for user_ids, batch_population in self.population.iter_batches(
+                    self.batch_size
+                ):
+                    mask = engine.plan.participant_mask(spec, user_ids)
+                    if not mask.any():
+                        continue
+                    participants = np.flatnonzero(mask)
+                    with profile_phase(PHASE_ENCODE, spec.index):
+                        batch = reporter.make_reports(
+                            spec,
+                            batch_population.take(participants),
+                            user_ids[participants],
+                        )
+                    if self.serialize:
+                        with profile_phase(PHASE_TRANSPORT, spec.index):
+                            batch = ReportBatch.from_bytes(batch.to_bytes())
+                    with profile_phase(PHASE_AGGREGATE, spec.index):
+                        aggregator.consume(batch)
+                    meter.add(len(batch))
+                with profile_phase(PHASE_AGGREGATE, spec.index):
+                    aggregate = aggregator.finalize_round()
+                with profile_phase(PHASE_ESTIMATE, spec.index):
+                    engine.close_round(spec, aggregate)
             meter.stop()
             self.stats.rounds.append(
                 RoundStats(

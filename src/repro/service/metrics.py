@@ -17,17 +17,31 @@ def cpu_count() -> int:
     return os.cpu_count() or 1
 
 
+def _ru_maxrss_to_bytes(peak: int, platform: str) -> int:
+    """Convert a ``ru_maxrss`` reading to bytes for a known platform.
+
+    The unit of ``ru_maxrss`` is platform-defined: macOS reports bytes,
+    Linux (and the BSDs getrusage descends from) reports kibibytes.  On any
+    other platform the unit is unknown, and 0 ("unavailable") is more honest
+    than a number that may be off by three orders of magnitude.
+    """
+    if platform == "darwin":
+        return int(peak)
+    if platform.startswith(("linux", "freebsd", "openbsd", "netbsd")):
+        return int(peak) * 1024
+    return 0
+
+
 def peak_rss_bytes() -> int:
     """Peak resident set size of this process in bytes (0 when unavailable)."""
+    import sys
+
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX platforms
         return 0
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports kilobytes, macOS reports bytes.
-    import sys
-
-    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+    return _ru_maxrss_to_bytes(int(peak), sys.platform)
 
 
 @dataclass
@@ -39,15 +53,25 @@ class ThroughputMeter:
     _started_at: float | None = field(default=None, repr=False)
 
     def start(self) -> None:
-        self._started_at = time.perf_counter()
+        """Begin an interval; idempotent — a second start() while one is
+        already running is a no-op, so the in-progress interval is kept
+        rather than silently discarded."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
 
     def add(self, n_reports: int) -> None:
         self.reports += int(n_reports)
 
     def stop(self) -> None:
+        """Close the current interval; idempotent when none is running."""
         if self._started_at is not None:
             self.elapsed_seconds += time.perf_counter() - self._started_at
             self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        """True while an interval is open (between start() and stop())."""
+        return self._started_at is not None
 
     @property
     def reports_per_second(self) -> float:

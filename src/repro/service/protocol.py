@@ -35,6 +35,7 @@ from repro.core.subshape import rank_top_subshapes
 from repro.core.trie import Shape, ShapeTrie
 from repro.exceptions import EstimationError, ProtocolStateError
 from repro.ldp.accounting import BudgetSpend, PrivacyAccountant
+from repro.obs.tracing import trace_span
 from repro.service.plan import (
     GROUP_EXPAND,
     GROUP_LENGTH,
@@ -188,6 +189,11 @@ class PrivShapeEngine:
             )
         if self._stage == _STAGE_DONE:
             return None
+        with trace_span("engine.open_round", round=self._round_index,
+                        stage=self._stage):
+            return self._build_round_spec()
+
+    def _build_round_spec(self) -> RoundSpec:
         key = fresh_key(self.generator)
         common = dict(
             index=self._round_index,
@@ -241,16 +247,19 @@ class PrivShapeEngine:
                 f"round {spec.index} is not the currently open round"
             )
         self._open = None
-        if spec.kind == KIND_LENGTH:
-            self._close_length(spec, aggregate)
-        elif spec.kind == KIND_SUBSHAPE:
-            self._close_subshape(spec, aggregate)
-        elif spec.kind == KIND_EXPAND:
-            self._close_expand(spec, aggregate)
-        elif spec.kind in (KIND_REFINE, KIND_REFINE_LABELED):
-            self._close_refine(spec, aggregate)
-        else:  # pragma: no cover - defensive
-            raise ProtocolStateError(f"unknown round kind {spec.kind!r}")
+        # The span wraps the estimation step whole; it reads only the clock,
+        # never the generator, so draw order is unchanged under tracing.
+        with trace_span("engine.close_round", round=spec.index, kind=spec.kind):
+            if spec.kind == KIND_LENGTH:
+                self._close_length(spec, aggregate)
+            elif spec.kind == KIND_SUBSHAPE:
+                self._close_subshape(spec, aggregate)
+            elif spec.kind == KIND_EXPAND:
+                self._close_expand(spec, aggregate)
+            elif spec.kind in (KIND_REFINE, KIND_REFINE_LABELED):
+                self._close_refine(spec, aggregate)
+            else:  # pragma: no cover - defensive
+                raise ProtocolStateError(f"unknown round kind {spec.kind!r}")
 
     # --------------------------------------------------------- stage closers
 

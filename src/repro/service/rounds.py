@@ -31,6 +31,7 @@ from repro.exceptions import DomainError
 from repro.ldp.exponential import ExponentialMechanism
 from repro.ldp.grr import GeneralizedRandomizedResponse
 from repro.ldp.unary import UnaryEncoding
+from repro.obs.profiling import profile_kernel
 from repro.service.plan import (
     KIND_EXPAND,
     KIND_LENGTH,
@@ -130,7 +131,10 @@ def _encode_length(spec: RoundSpec, population: EncodedPopulation, user_ids: np.
     oracle = length_oracle(spec)
     if oracle is None:  # degenerate single-length domain: nothing to hide
         return clipped.astype(np.int32)
-    return oracle.encode_batch(clipped, user_ids, spec.key).astype(np.int32)
+    # Kernel hooks are per batch (not per report) and are shared no-ops
+    # unless a profiler is installed — see repro.obs.profiling.
+    with profile_kernel("grr.encode_batch"):
+        return oracle.encode_batch(clipped, user_ids, spec.key).astype(np.int32)
 
 
 def _encode_subshape(spec: RoundSpec, population: EncodedPopulation, user_ids: np.ndarray) -> np.ndarray:
@@ -150,7 +154,8 @@ def _encode_subshape(spec: RoundSpec, population: EncodedPopulation, user_ids: n
     true_indices = np.where(valid, pair_indices, noise)
     # The GRR perturbation draws from an independent sub-key so its slots do
     # not collide with the level/noise draws above.
-    reported = oracle.encode_batch(true_indices, user_ids, derive_key(spec.key, 2))
+    with profile_kernel("grr.encode_batch"):
+        reported = oracle.encode_batch(true_indices, user_ids, derive_key(spec.key, 2))
     return np.stack([levels, reported], axis=1).astype(np.int32)
 
 
@@ -180,7 +185,10 @@ def _encode_expand(
             cdf = mechanism.selection_cdf(scores)
             cdf_memo[key] = cdf
         members = inverse == group
-        selected[members] = ExponentialMechanism.sample_from_cdf(cdf, uniforms[members])
+        with profile_kernel("em.sample_from_cdf"):
+            selected[members] = ExponentialMechanism.sample_from_cdf(
+                cdf, uniforms[members]
+            )
     return selected.astype(np.int32)
 
 
@@ -256,7 +264,8 @@ def _encode_refine(
         if population.labels is None:
             raise DomainError("labelled refinement requires a labelled population")
         cells = cells * spec.n_classes + (population.labels % spec.n_classes)
-    return oracle.encode_batch(cells, user_ids, spec.key)
+    with profile_kernel("oue.encode_batch"):
+        return oracle.encode_batch(cells, user_ids, spec.key)
 
 
 def encode_reports(
@@ -301,6 +310,11 @@ def accumulate(spec: RoundSpec, accumulator: RoundAccumulator, payload: np.ndarr
     """Fold a batch of reports into the round's count state (vectorized)."""
     if payload.size == 0:
         return
+    with profile_kernel("accumulate"):
+        _accumulate(spec, accumulator, payload)
+
+
+def _accumulate(spec: RoundSpec, accumulator: RoundAccumulator, payload: np.ndarray) -> None:
     if spec.kind == KIND_LENGTH:
         accumulator.counts += np.bincount(
             payload.astype(np.int64), minlength=accumulator.counts.size

@@ -1,0 +1,129 @@
+"""Telemetry options on run_spec/run_windows: summaries, traces, and the
+fingerprint-safety gate (telemetry must never perturb RNG draw order)."""
+
+import json
+
+import pytest
+
+from repro.api import DataSpec, ExperimentSpec, PrivacySpec, SAXSpec
+from repro.api.results import RunResult
+from repro.continual import WindowSpec
+from repro.exceptions import ConfigurationError
+from repro.obs import current_profiler, current_tracer
+
+SEED = 2024
+DATA = DataSpec(source="synthetic", n_users=2500, seed=9)
+SPEC = ExperimentSpec(
+    mechanism="privshape",
+    privacy=PrivacySpec(epsilon=6.0),
+    sax=SAXSpec(alphabet_size=4),
+)
+
+BACKEND_OPTIONS = {
+    "inline": {"batch_size": 333},
+    "sharded": {"shards": 2, "mp_context": "fork", "batch_size": 512},
+    "gateway": {"shards": 2, "batch_size": 700},
+    "cluster": {"workers": 2, "batch_size": 512},
+}
+
+
+@pytest.fixture(scope="module")
+def plain_inline():
+    return SPEC.run(DATA, backend="inline", seed=SEED, **BACKEND_OPTIONS["inline"])
+
+
+class TestRunTelemetry:
+    def test_default_run_has_no_telemetry_block(self, plain_inline):
+        assert plain_inline.telemetry == {}
+
+    def test_telemetry_summary_shape(self):
+        result = SPEC.run(
+            DATA, backend="inline", seed=SEED, telemetry=True,
+            **BACKEND_OPTIONS["inline"],
+        )
+        telemetry = result.telemetry
+        assert set(telemetry) == {"phases", "rounds", "kernels", "spans"}
+        assert telemetry["phases"]["encode"] > 0
+        assert telemetry["kernels"]["grr.encode_batch"]["calls"] > 0
+        assert telemetry["spans"]["total"] > 0
+        assert telemetry["spans"]["by_name"]["round"] == len(result.rounds)
+
+    def test_telemetry_is_json_serializable(self):
+        result = SPEC.run(
+            DATA, backend="inline", seed=SEED, telemetry=True,
+            **BACKEND_OPTIONS["inline"],
+        )
+        round_tripped = RunResult.from_json(result.to_json())
+        assert round_tripped.telemetry == result.telemetry
+
+    def test_trace_option_writes_chrome_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        SPEC.run(
+            DATA, backend="inline", seed=SEED, trace=str(path),
+            **BACKEND_OPTIONS["inline"],
+        )
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "round" in names
+        assert "engine.close_round" in names
+
+    def test_capture_is_uninstalled_after_the_run(self):
+        SPEC.run(
+            DATA, backend="inline", seed=SEED, telemetry=True,
+            **BACKEND_OPTIONS["inline"],
+        )
+        assert current_tracer() is None
+        assert current_profiler() is None
+
+    def test_telemetry_still_validates_real_unknown_options(self):
+        with pytest.raises(ConfigurationError, match="unknown or inert"):
+            SPEC.run(DATA, seed=SEED, telemetry=True, shard=2)
+
+
+class TestFingerprintSafety:
+    """The acceptance gate: telemetry must not move a single RNG draw."""
+
+    def test_inline_fingerprint_unchanged_by_telemetry(self, plain_inline):
+        observed = SPEC.run(
+            DATA, backend="inline", seed=SEED, telemetry=True,
+            **BACKEND_OPTIONS["inline"],
+        )
+        assert observed.fingerprint() == plain_inline.fingerprint()
+
+    @pytest.mark.parametrize("backend", ["sharded", "gateway", "cluster"])
+    def test_every_backend_fingerprint_with_telemetry_enabled(
+        self, plain_inline, backend
+    ):
+        observed = SPEC.run(
+            DATA, backend=backend, seed=SEED, telemetry=True,
+            **BACKEND_OPTIONS[backend],
+        )
+        assert observed.telemetry
+        assert observed.fingerprint() == plain_inline.fingerprint()
+
+
+class TestWindowTelemetry:
+    def _windowed_spec(self):
+        import dataclasses
+
+        return dataclasses.replace(
+            SPEC, windows=WindowSpec(length=1000, n_windows=2)
+        )
+
+    def test_sequence_telemetry_block_and_fingerprints(self, tmp_path):
+        spec = self._windowed_spec()
+        data = DataSpec(source="synthetic", n_users=2000, seed=9)
+        plain = spec.run(data, backend="inline", seed=SEED)
+        assert "telemetry" not in plain.continual
+
+        path = tmp_path / "windows.json"
+        observed = spec.run(
+            data, backend="inline", seed=SEED, telemetry=True, trace=str(path)
+        )
+        telemetry = observed.continual["telemetry"]
+        assert telemetry["spans"]["by_name"]["window.close"] == len(observed)
+        assert observed.fingerprints() == plain.fingerprints()
+        assert json.loads(path.read_text())["traceEvents"]

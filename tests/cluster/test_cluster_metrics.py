@@ -1,0 +1,67 @@
+"""Cluster observability: worker scrapes and the coordinator's merged view."""
+
+import urllib.request
+
+import pytest
+
+from repro.cluster import launch_cluster, run_cluster_loadgen
+from repro.core.config import PrivShapeConfig
+from repro.obs.promtext import CONTENT_TYPE, parse_prometheus_text
+from repro.service import EncodedPopulation
+
+SEQUENCES = [tuple("abcd")] * 180 + [tuple("dcba")] * 120 + [tuple("bca")] * 60
+CONFIG = dict(epsilon=6.0, top_k=2, alphabet_size=4, metric="sed", length_high=6)
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def population():
+    return EncodedPopulation.from_sequences(
+        SEQUENCES, PrivShapeConfig(**CONFIG).alphabet
+    )
+
+
+def _scrape(host, port):
+    response = urllib.request.urlopen(
+        f"http://{host}:{port}/metrics", timeout=30
+    )
+    assert response.headers["Content-Type"] == CONTENT_TYPE
+    return parse_prometheus_text(response.read().decode())
+
+
+def test_worker_and_coordinator_scrapes(population):
+    with launch_cluster(
+        PrivShapeConfig(**CONFIG),
+        n_users=population.n_users,
+        n_workers=2,
+        rng=SEED,
+    ) as cluster:
+        stats = run_cluster_loadgen(
+            cluster.host, cluster.port, population, batch_size=64
+        )
+        assert stats.total_reports == population.n_users
+
+        # Each shard worker serves its own valid exposition on its own port.
+        addresses = cluster.supervisor.cluster_spec().workers
+        per_worker_reports = []
+        for address in addresses:
+            families = _scrape(address.host, address.port)
+            assert families["privshape_worker_restored"].sample_values() == [0]
+            assert families["privshape_slice_users"].sample_values()[0] > 0
+            per_worker_reports.append(
+                families["privshape_reports_total"].sample_values()[0]
+            )
+        assert sum(per_worker_reports) == population.n_users
+
+        # The coordinator's scrape merges its own families with every
+        # worker's, tagging worker samples with a worker="<index>" label.
+        merged = _scrape(cluster.host, cluster.port)
+        reports = merged["privshape_reports_total"]
+        by_worker = {
+            sample.labels.get("worker"): sample.value
+            for sample in reports.samples
+        }
+        assert by_worker[None] == population.n_users  # coordinator's own
+        assert by_worker["0"] + by_worker["1"] == population.n_users
+        assert merged["privshape_cluster_workers"].sample_values() == [2]
+        assert merged["privshape_worker_restarts"].sample_values() == [0]

@@ -1,0 +1,55 @@
+"""Tests for the capture() convenience wrapper."""
+
+import json
+
+from repro.obs import capture, current_profiler, current_tracer, trace_span
+from repro.obs.profiling import PHASE_ENCODE, profile_kernel, profile_phase
+
+
+def test_capture_installs_and_uninstalls():
+    assert current_tracer() is None
+    with capture() as cap:
+        assert current_tracer() is cap.tracer
+        assert current_profiler() is cap.profiler
+    assert current_tracer() is None
+    assert current_profiler() is None
+
+
+def test_capture_summary_shape():
+    with capture() as cap:
+        with trace_span("round", round=0):
+            with profile_phase(PHASE_ENCODE, round_index=0):
+                pass
+            with profile_kernel("grr.encode_batch"):
+                pass
+    summary = cap.summary()
+    assert summary["spans"]["total"] == 1
+    assert summary["spans"]["by_name"] == {"round": 1}
+    assert PHASE_ENCODE in summary["phases"]
+    assert summary["kernels"]["grr.encode_batch"]["calls"] == 1
+    assert summary["rounds"][0]["round"] == 0
+
+
+def test_nested_capture_shadows_and_restores_outer():
+    with capture() as outer:
+        with trace_span("outer.span"):
+            pass
+        with capture() as inner:
+            with trace_span("inner.span"):
+                pass
+        assert current_tracer() is outer.tracer
+        with trace_span("outer.again"):
+            pass
+    assert [s.name for s in inner.tracer.spans] == ["inner.span"]
+    assert [s.name for s in outer.tracer.spans] == ["outer.span", "outer.again"]
+
+
+def test_capture_write_chrome_trace(tmp_path):
+    with capture() as cap:
+        with trace_span("round"):
+            pass
+    path = tmp_path / "trace.json"
+    cap.write_chrome_trace(path)
+    document = json.loads(path.read_text())
+    names = [e["name"] for e in document["traceEvents"]]
+    assert "round" in names

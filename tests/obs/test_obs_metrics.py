@@ -1,0 +1,185 @@
+"""Tests for the process-local metrics registry and Prometheus rendering."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    render_snapshot,
+)
+from repro.obs.promtext import parse_prometheus_text
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("privshape_things_total", "Things.")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("privshape_things_total", "Things.")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_set_total_is_monotonic(self):
+        # set_total mirrors an authoritative instance counter at scrape time;
+        # a stale mirror (checkpoint replay) must never move the total back.
+        counter = MetricsRegistry().counter("privshape_things_total", "Things.")
+        counter.set_total(10)
+        counter.set_total(4)
+        assert counter.value() == 10
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "privshape_batches_total", "Batches.", labelnames=("result",)
+        )
+        counter.inc(result="accepted")
+        counter.inc(3, result="rejected")
+        assert counter.value(result="accepted") == 1
+        assert counter.value(result="rejected") == 3
+
+    def test_missing_label_raises(self):
+        counter = MetricsRegistry().counter(
+            "privshape_batches_total", "Batches.", labelnames=("result",)
+        )
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_unknown_label_raises(self):
+        counter = MetricsRegistry().counter("privshape_things_total", "Things.")
+        with pytest.raises(ValueError):
+            counter.inc(shard="0")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("privshape_round_index", "Round.")
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value() == 8
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "privshape_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        families = parse_prometheus_text(registry.render())
+        family = families["privshape_latency_seconds"]
+        buckets = {
+            sample.labels["le"]: sample.value
+            for sample in family.samples
+            if sample.name.endswith("_bucket")
+        }
+        # Integral bounds render canonically without a trailing ".0".
+        assert buckets == {"0.1": 1, "1": 2, "+Inf": 3}
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("privshape_h", "H.", buckets=(1.0, 0.5))
+
+    def test_default_latency_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_metric_names_are_validated(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("not a name", "Bad.")
+
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        first = registry.counter("privshape_things_total", "Things.")
+        again = registry.counter("privshape_things_total", "Things.")
+        assert first is again
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("privshape_things_total", "Things.")
+        with pytest.raises(ValueError):
+            registry.gauge("privshape_things_total", "Things.")
+
+    def test_labelset_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("privshape_things_total", "Things.")
+        with pytest.raises(ValueError):
+            registry.counter(
+                "privshape_things_total", "Things.", labelnames=("shard",)
+            )
+
+    def test_render_is_valid_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("privshape_reports_total", "Reports.").inc(42)
+        registry.gauge("privshape_round_index", "Round.").set(3)
+        registry.histogram(
+            "privshape_batch_reports", "Batch sizes.", buckets=(10, 100)
+        ).observe(55)
+        families = parse_prometheus_text(registry.render())
+        assert families["privshape_reports_total"].sample_values() == [42]
+        assert families["privshape_round_index"].sample_values() == [3]
+        assert families["privshape_batch_reports"].kind == "histogram"
+
+    def test_render_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("privshape_reports_total", "Reports.").inc()
+        assert registry.render().endswith("\n")
+
+
+class TestSnapshots:
+    def test_snapshot_render_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "privshape_batches_total", "Batches.", labelnames=("result",)
+        ).inc(2, result="accepted")
+        assert render_snapshot(registry.snapshot()) == registry.render()
+
+    def test_merge_attaches_extra_labels_per_part(self):
+        coordinator = MetricsRegistry()
+        coordinator.counter("privshape_reports_total", "Reports.").inc(5)
+        worker = MetricsRegistry()
+        worker.counter("privshape_reports_total", "Reports.").inc(7)
+        merged = merge_snapshots(
+            [({}, coordinator.snapshot()), ({"worker": "0"}, worker.snapshot())]
+        )
+        family = parse_prometheus_text(merged)["privshape_reports_total"]
+        by_labels = {
+            tuple(sorted(sample.labels.items())): sample.value
+            for sample in family.samples
+        }
+        # One un-labelled coordinator sample, one worker-labelled sample, in
+        # the same family (the text format allows heterogeneous label sets).
+        assert by_labels[()] == 5
+        assert by_labels[(("worker", "0"),)] == 7
+
+    def test_merge_tolerates_families_missing_from_one_part(self):
+        left = MetricsRegistry()
+        left.counter("privshape_only_left_total", "L.").inc()
+        right = MetricsRegistry()
+        right.gauge("privshape_only_right", "R.").set(1)
+        merged = parse_prometheus_text(
+            merge_snapshots(
+                [({}, left.snapshot()), ({"worker": "1"}, right.snapshot())]
+            )
+        )
+        assert set(merged) == {"privshape_only_left_total", "privshape_only_right"}
+
+
+def test_counter_gauge_histogram_exported_types():
+    registry = MetricsRegistry()
+    assert isinstance(registry.counter("privshape_c_total", "C."), Counter)
+    assert isinstance(registry.gauge("privshape_g", "G."), Gauge)
+    assert isinstance(registry.histogram("privshape_h", "H."), Histogram)

@@ -1,0 +1,66 @@
+"""Tests for the opt-in phase/kernel profiler."""
+
+from repro.obs.profiling import (
+    PHASE_AGGREGATE,
+    PHASE_ENCODE,
+    PHASES,
+    PhaseProfiler,
+    current_profiler,
+    install_profiler,
+    profile_kernel,
+    profile_phase,
+    uninstall_profiler,
+)
+from repro.obs.tracing import NULL_SPAN
+
+
+def test_no_op_default():
+    assert current_profiler() is None
+    assert profile_phase(PHASE_ENCODE) is NULL_SPAN
+    assert profile_kernel("grr.encode_batch") is NULL_SPAN
+
+
+def test_phase_table_lists_all_four_phases():
+    assert PHASES == ("encode", "transport", "aggregate", "estimate")
+
+
+class TestPhaseProfiler:
+    def _profile(self):
+        profiler = PhaseProfiler()
+        install_profiler(profiler)
+        try:
+            with profile_phase(PHASE_ENCODE, round_index=0):
+                pass
+            with profile_phase(PHASE_ENCODE, round_index=1):
+                pass
+            with profile_phase(PHASE_AGGREGATE, round_index=1):
+                pass
+            with profile_kernel("grr.encode_batch"):
+                pass
+            with profile_kernel("grr.encode_batch"):
+                pass
+        finally:
+            uninstall_profiler()
+        return profiler.report()
+
+    def test_report_totals_by_phase(self):
+        report = self._profile()
+        assert set(report["phases"]) == {PHASE_ENCODE, PHASE_AGGREGATE}
+        for seconds in report["phases"].values():
+            assert seconds >= 0
+
+    def test_report_attributes_phases_to_rounds(self):
+        rounds = self._profile()["rounds"]
+        assert [entry["round"] for entry in rounds] == [0, 1]
+        assert PHASE_ENCODE in rounds[0]
+        assert PHASE_AGGREGATE in rounds[1]
+
+    def test_report_counts_kernel_calls(self):
+        kernels = self._profile()["kernels"]
+        assert kernels["grr.encode_batch"]["calls"] == 2
+        assert kernels["grr.encode_batch"]["seconds"] >= 0
+
+    def test_uninstall_restores_no_op(self):
+        install_profiler(PhaseProfiler())
+        uninstall_profiler()
+        assert profile_phase(PHASE_ENCODE) is NULL_SPAN

@@ -1,0 +1,111 @@
+"""Tests for the small in-tree Prometheus text-format parser."""
+
+import pytest
+
+from repro.obs.promtext import (
+    CONTENT_TYPE,
+    PromTextError,
+    parse_prometheus_text,
+)
+
+
+def test_content_type_pins_exposition_version():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+
+def test_parses_counter_gauge_and_labels():
+    text = (
+        "# HELP privshape_reports_total Reports accepted.\n"
+        "# TYPE privshape_reports_total counter\n"
+        "privshape_reports_total 42\n"
+        "# HELP privshape_queue_depth Queue depth.\n"
+        "# TYPE privshape_queue_depth gauge\n"
+        'privshape_queue_depth{shard="0"} 3\n'
+        'privshape_queue_depth{shard="1"} 5\n'
+    )
+    families = parse_prometheus_text(text)
+    assert families["privshape_reports_total"].kind == "counter"
+    assert families["privshape_reports_total"].sample_values() == [42]
+    depth = families["privshape_queue_depth"]
+    assert {s.labels["shard"]: s.value for s in depth.samples} == {"0": 3, "1": 5}
+
+
+def test_parses_escaped_label_values():
+    text = (
+        "# TYPE privshape_info gauge\n"
+        'privshape_info{path="C:\\\\x \\"q\\"\\n"} 1\n'
+    )
+    (sample,) = parse_prometheus_text(text)["privshape_info"].samples
+    assert sample.labels["path"] == 'C:\\x "q"\n'
+
+
+def test_parses_special_float_values():
+    text = (
+        "# TYPE privshape_g gauge\n"
+        "privshape_g +Inf\n"
+    )
+    assert parse_prometheus_text(text)["privshape_g"].sample_values() == [
+        float("inf")
+    ]
+
+
+def test_histogram_series_attach_to_base_family():
+    text = (
+        "# TYPE privshape_latency_seconds histogram\n"
+        'privshape_latency_seconds_bucket{le="0.1"} 1\n'
+        'privshape_latency_seconds_bucket{le="+Inf"} 3\n'
+        "privshape_latency_seconds_sum 2.5\n"
+        "privshape_latency_seconds_count 3\n"
+    )
+    families = parse_prometheus_text(text)
+    assert set(families) == {"privshape_latency_seconds"}
+    family = families["privshape_latency_seconds"]
+    assert family.kind == "histogram"
+    assert family.sample_values("privshape_latency_seconds_count") == [3]
+
+
+def test_rejects_unknown_metric_type():
+    with pytest.raises(PromTextError):
+        parse_prometheus_text("# TYPE privshape_x tachometer\n")
+
+
+def test_rejects_type_after_samples():
+    text = (
+        "privshape_x 1\n"
+        "# TYPE privshape_x counter\n"
+    )
+    with pytest.raises(PromTextError):
+        parse_prometheus_text(text)
+
+
+def test_rejects_malformed_sample_line():
+    with pytest.raises(PromTextError):
+        parse_prometheus_text("this is not a metric\n")
+
+
+def test_rejects_non_cumulative_histogram_buckets():
+    text = (
+        "# TYPE privshape_h histogram\n"
+        'privshape_h_bucket{le="0.1"} 5\n'
+        'privshape_h_bucket{le="+Inf"} 3\n'
+        "privshape_h_sum 1\n"
+        "privshape_h_count 3\n"
+    )
+    with pytest.raises(PromTextError):
+        parse_prometheus_text(text)
+
+
+def test_rejects_histogram_without_inf_bucket():
+    text = (
+        "# TYPE privshape_h histogram\n"
+        'privshape_h_bucket{le="0.1"} 1\n'
+        "privshape_h_sum 1\n"
+        "privshape_h_count 1\n"
+    )
+    with pytest.raises(PromTextError):
+        parse_prometheus_text(text)
+
+
+def test_ignores_comments_and_blank_lines():
+    text = "\n# just a comment\n# TYPE privshape_x counter\nprivshape_x 1\n\n"
+    assert parse_prometheus_text(text)["privshape_x"].sample_values() == [1]

@@ -1,0 +1,96 @@
+"""Tests for structured spans and the Chrome-trace exporter."""
+
+import json
+
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Tracer,
+    chrome_trace,
+    current_tracer,
+    install_tracer,
+    trace_span,
+    uninstall_tracer,
+    write_chrome_trace,
+)
+
+
+class TestNoOpDefault:
+    def test_trace_span_without_tracer_is_the_shared_null_span(self):
+        assert current_tracer() is None
+        assert trace_span("round.encode", round=3) is NULL_SPAN
+
+    def test_null_span_is_a_working_context_manager(self):
+        with trace_span("anything"):
+            pass
+
+
+class TestTracer:
+    def test_spans_record_name_attrs_and_duration(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        try:
+            with trace_span("round.encode", round=2, kind="expand"):
+                pass
+        finally:
+            uninstall_tracer()
+        (span,) = tracer.spans
+        assert span.name == "round.encode"
+        assert span.attrs == {"round": 2, "kind": "expand"}
+        assert span.duration_us >= 0
+        assert span.start_us >= 0
+
+    def test_nested_spans_all_record(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        try:
+            with trace_span("outer"):
+                with trace_span("inner"):
+                    pass
+        finally:
+            uninstall_tracer()
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_uninstall_restores_no_op(self):
+        install_tracer(Tracer())
+        uninstall_tracer()
+        assert trace_span("x") is NULL_SPAN
+
+
+class TestChromeTrace:
+    def _spans(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        try:
+            with trace_span("gateway.close_round", round=0):
+                pass
+            with trace_span("round"):
+                pass
+        finally:
+            uninstall_tracer()
+        return tracer.spans
+
+    def test_document_shape(self):
+        document = chrome_trace(self._spans(), process_name="repro-test")
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        metadata = events[0]
+        assert metadata["ph"] == "M"
+        assert metadata["name"] == "process_name"
+        assert metadata["args"] == {"name": "repro-test"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 2
+        for event in complete:
+            assert {"name", "cat", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_category_is_the_span_name_prefix(self):
+        document = chrome_trace(self._spans())
+        cats = {e["name"]: e["cat"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert cats["gateway.close_round"] == "gateway"
+        assert cats["round"] == "round"
+
+    def test_write_chrome_trace_emits_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, self._spans())
+        document = json.loads(path.read_text())
+        assert isinstance(document["traceEvents"], list)
+        assert document["traceEvents"][0]["ph"] == "M"

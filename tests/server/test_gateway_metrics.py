@@ -1,0 +1,114 @@
+"""Gateway observability surface: /metrics exposition and HTTP error paths."""
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import PrivShapeConfig
+from repro.obs.promtext import CONTENT_TYPE, parse_prometheus_text
+from repro.server import CollectionGateway, run_loadgen, serve_in_thread
+from repro.service import EncodedPopulation
+
+SEQUENCES = [tuple("abcd")] * 600 + [tuple("dcba")] * 400 + [tuple("bca")] * 200
+CONFIG = dict(epsilon=6.0, top_k=2, alphabet_size=4, metric="sed", length_high=6)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return EncodedPopulation.from_sequences(
+        SEQUENCES, PrivShapeConfig(**CONFIG).alphabet
+    )
+
+
+def _http_get(handle, path):
+    return urllib.request.urlopen(
+        f"http://{handle.host}:{handle.port}{path}", timeout=30
+    )
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_prometheus_text(self):
+        gateway = CollectionGateway(PrivShapeConfig(**CONFIG), rng=5)
+        with serve_in_thread(gateway) as handle:
+            response = _http_get(handle, "/metrics")
+            assert response.status == 200
+            assert response.headers["Content-Type"] == CONTENT_TYPE
+            families = parse_prometheus_text(response.read().decode())
+        assert families["privshape_reports_total"].sample_values() == [0]
+        assert families["privshape_round_index"].kind == "gauge"
+        assert families["privshape_batch_reports"].kind == "histogram"
+        stages = {
+            sample.labels["stage"]: sample.value
+            for sample in families["privshape_stage"].samples
+        }
+        assert stages["length"] == 1
+        assert sum(stages.values()) == 1
+
+    def test_counters_track_a_full_run(self, population):
+        gateway = CollectionGateway(PrivShapeConfig(**CONFIG), rng=5)
+        with serve_in_thread(gateway) as handle:
+            run_loadgen(handle.host, handle.port, population, batch_size=500)
+            families = parse_prometheus_text(
+                _http_get(handle, "/metrics").read().decode()
+            )
+        assert families["privshape_reports_total"].sample_values() == [
+            len(SEQUENCES)
+        ]
+        closed = sum(
+            sample.value
+            for sample in families["privshape_rounds_closed_total"].samples
+        )
+        assert closed > 0
+        stages = {
+            sample.labels["stage"]: sample.value
+            for sample in families["privshape_stage"].samples
+        }
+        assert stages["done"] == 1
+        # Every accepted batch landed one size observation.
+        assert families["privshape_batch_reports"].sample_values(
+            "privshape_batch_reports_count"
+        )[0] > 0
+
+
+class TestHttpErrorPaths:
+    def test_unknown_path_is_json_404(self):
+        gateway = CollectionGateway(PrivShapeConfig(**CONFIG), rng=5)
+        with serve_in_thread(gateway) as handle:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _http_get(handle, "/nope")
+            assert excinfo.value.code == 404
+            assert excinfo.value.headers["Content-Type"] == "application/json"
+            body = json.loads(excinfo.value.read().decode())
+            assert body["ok"] is False
+            assert "error" in body
+
+    def test_malformed_request_line_is_400(self):
+        gateway = CollectionGateway(PrivShapeConfig(**CONFIG), rng=5)
+        with serve_in_thread(gateway) as handle:
+            with socket.create_connection(
+                (handle.host, handle.port), timeout=30
+            ) as conn:
+                # A GET with no path token at all.
+                conn.sendall(b"GET \r\n\r\n")
+                raw = b""
+                while b"\r\n\r\n" not in raw:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    raw += chunk
+                raw += conn.recv(4096)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.split(b"\r\n")[0] == b"HTTP/1.1 400 Bad Request"
+        payload = json.loads(body.decode())
+        assert payload["ok"] is False
+        assert "malformed" in payload["error"]
+
+    def test_healthz_still_speaks_json(self):
+        gateway = CollectionGateway(PrivShapeConfig(**CONFIG), rng=5)
+        with serve_in_thread(gateway) as handle:
+            response = _http_get(handle, "/healthz")
+            assert response.headers["Content-Type"] == "application/json"
+            assert json.loads(response.read().decode())["ok"] is True

@@ -1,6 +1,13 @@
 """Tests for the service metrics helpers."""
 
-from repro.service.metrics import ThroughputMeter, cpu_count, peak_rss_bytes
+import time
+
+from repro.service.metrics import (
+    ThroughputMeter,
+    _ru_maxrss_to_bytes,
+    cpu_count,
+    peak_rss_bytes,
+)
 
 
 class TestThroughputMeter:
@@ -43,6 +50,52 @@ class TestThroughputMeter:
         meter.stop()
         assert meter.elapsed_seconds >= first >= 0.0
 
+    def test_double_start_keeps_the_in_progress_interval(self):
+        # A second start() must not discard the running interval: the
+        # elapsed time must cover the full span since the FIRST start.
+        meter = ThroughputMeter()
+        meter.start()
+        time.sleep(0.02)
+        meter.start()  # no-op; the 20ms already accrued stays measured
+        meter.stop()
+        assert meter.elapsed_seconds >= 0.02
+
+    def test_double_stop_is_idempotent(self):
+        meter = ThroughputMeter()
+        meter.start()
+        meter.stop()
+        elapsed = meter.elapsed_seconds
+        meter.stop()
+        assert meter.elapsed_seconds == elapsed
+
+    def test_running_property_tracks_interval_state(self):
+        meter = ThroughputMeter()
+        assert not meter.running
+        meter.start()
+        assert meter.running
+        meter.start()
+        assert meter.running
+        meter.stop()
+        assert not meter.running
+
+
+class TestRuMaxrssToBytes:
+    def test_darwin_reports_bytes(self):
+        assert _ru_maxrss_to_bytes(1_048_576, "darwin") == 1_048_576
+
+    def test_linux_reports_kibibytes(self):
+        assert _ru_maxrss_to_bytes(1024, "linux") == 1024 * 1024
+
+    def test_bsd_family_reports_kibibytes(self):
+        for platform in ("freebsd13", "openbsd7", "netbsd9"):
+            assert _ru_maxrss_to_bytes(8, platform) == 8 * 1024
+
+    def test_unknown_platform_reports_zero(self):
+        # The ru_maxrss unit is undefined there; 0 ("unavailable") beats a
+        # number that may be off by three orders of magnitude.
+        assert _ru_maxrss_to_bytes(12345, "sunos5") == 0
+        assert _ru_maxrss_to_bytes(12345, "win32") == 0
+
 
 def test_cpu_count_is_at_least_one():
     assert cpu_count() >= 1
@@ -50,3 +103,11 @@ def test_cpu_count_is_at_least_one():
 
 def test_peak_rss_is_nonnegative():
     assert peak_rss_bytes() >= 0
+
+
+def test_peak_rss_is_positive_on_this_ci_platform():
+    # The suite only runs on linux/macOS, where the unit is known.
+    import sys
+
+    if sys.platform == "darwin" or sys.platform.startswith("linux"):
+        assert peak_rss_bytes() > 0
