@@ -123,7 +123,7 @@ from repro.cluster import (
     run_cluster_loadgen,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: Legacy config classes served via module __getattr__ with a deprecation
 #: warning; ExperimentSpec is the composable replacement.

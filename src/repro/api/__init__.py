@@ -18,6 +18,9 @@ experiment:
   ``subprocess``), all byte-identical under one master seed;
 * :mod:`repro.api.data` / :mod:`repro.api.sweep` — serializable population
   descriptions and grid sweeps over eps/mechanism/dataset/SAX axes;
+* :mod:`repro.api.tasks` — the task registry behind ``run(task=...)``
+  (``extract``, ``cluster``, ``classify``, ``shapelet``); downstream
+  workloads in :mod:`repro.tasks` register here;
 * :mod:`repro.api.results` — the structured :class:`RunResult` /
   :class:`SweepResult` artifacts every execution path returns.
 
@@ -62,7 +65,20 @@ from repro.api.spec import (
 )
 from repro.api.continual import RunSequence, run_windows, window_run_result
 from repro.api.data import DataSpec
-from repro.api.results import RunResult
+from repro.api.results import (
+    TASK_CLASSIFY,
+    TASK_CLUSTER,
+    TASK_EXTRACT,
+    TASK_SHAPELET,
+    TASKS,
+    RunResult,
+)
+from repro.api.tasks import (
+    TaskEntry,
+    available_tasks,
+    register_task,
+    task_registry,
+)
 from repro.api.executors import (
     ExecutionRequest,
     Executor,
@@ -88,6 +104,15 @@ __all__ = [
     "SweepSpec",
     "SweepResult",
     "run_spec",
+    "TASKS",
+    "TASK_EXTRACT",
+    "TASK_CLUSTER",
+    "TASK_CLASSIFY",
+    "TASK_SHAPELET",
+    "TaskEntry",
+    "task_registry",
+    "register_task",
+    "available_tasks",
     "executor_registry",
     "register_executor",
     "available_executors",

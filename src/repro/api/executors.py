@@ -66,7 +66,7 @@ from repro.api.results import (
     TASK_CLASSIFY,
     TASK_CLUSTER,
     TASK_EXTRACT,
-    TASKS,
+    TASK_SHAPELET,
     RunResult,
     accounting_payload,
     estimates_from_extraction,
@@ -610,8 +610,8 @@ def run_subprocess(request: ExecutionRequest) -> RunResult:
             "--seed", str(int(seed)),
             "--json",
         ]
-        if task == TASK_EXTRACT:
-            # Collection-only knob; the evaluation tasks reject it.
+        if task in (TASK_EXTRACT, TASK_SHAPELET):
+            # Collection knob; the inline evaluation tasks reject it.
             argv[-1:-1] = [
                 "--batch-size", str(int(request.option("batch_size", 8192)))
             ]
@@ -811,8 +811,9 @@ def run_spec(
     as Chrome-trace JSON (implies ``telemetry=True``).  Neither touches any
     random generator, so fingerprints are unchanged.
     """
-    if task not in TASKS:
-        raise ConfigurationError(f"task must be one of {TASKS}, got {task!r}")
+    from repro.api.tasks import task_registry
+
+    task_registry.get(task)  # unknown task names fail here, uniformly
     telemetry_enabled = bool(options.pop("telemetry", False))
     trace_path = options.pop("trace", None)
     if spec.windows is not None:
@@ -850,24 +851,27 @@ def _run_spec_dispatch(
     options: dict[str, Any],
 ) -> RunResult:
     """Validate options and execute one non-windowed run (see run_spec)."""
+    from repro.api.tasks import task_registry
+
     entry = executor_registry.get(backend)
+    tentry = task_registry.get(task)
     # One up-front accepted-option set per (task, backend): a misspelled or
     # inert knob (shard= for shards=, shards on a single-process evaluation
     # task, evaluation_size on a collection run) silently running with
     # defaults is worse than an error.
-    if task in (TASK_CLUSTER, TASK_CLASSIFY):
-        known = {"evaluation_size"}
+    if tentry.all_backends:
+        known = set(COMMON_OPTIONS) | set(entry.options) | set(tentry.options)
+    else:
+        known = set(tentry.options)
         if backend == "subprocess":
             known |= {"inner_backend", "timeout"}
-    else:
-        known = set(COMMON_OPTIONS) | set(entry.options)
     unknown = set(options) - known
     if unknown:
         raise ConfigurationError(
             f"unknown or inert option(s) {sorted(unknown)} for backend "
             f"{backend!r}, task {task!r}; accepted: {sorted(known)}"
         )
-    if task in (TASK_CLUSTER, TASK_CLASSIFY):
+    if not tentry.all_backends:
         if backend == "subprocess":
             request = ExecutionRequest(
                 spec=spec,
@@ -883,6 +887,17 @@ def _run_spec_dispatch(
                 f"backend {backend!r} only runs task 'extract'"
             )
         return _run_task_pipeline(spec, data, task, seed, options, cache)
+    if task == TASK_SHAPELET and not entry.needs_dataspec:
+        # Shapelet runs extraction through the chosen backend, then a
+        # deterministic in-process discover/transform/classify stage; the
+        # runner owns data coercion (it also needs the labelled dataset).
+        from repro.tasks.shapelet.runner import run_shapelet_task
+
+        return run_shapelet_task(
+            spec, data,
+            backend=backend, entry=entry, seed=seed, cache=cache,
+            options=options,
+        )
 
     if entry.needs_dataspec:
         if not isinstance(data, DataSpec):

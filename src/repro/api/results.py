@@ -43,7 +43,8 @@ SWEEP_RESULT_FORMAT = "repro.sweep_result/v1"
 TASK_EXTRACT = "extract"
 TASK_CLUSTER = "cluster"
 TASK_CLASSIFY = "classify"
-TASKS = (TASK_EXTRACT, TASK_CLUSTER, TASK_CLASSIFY)
+TASK_SHAPELET = "shapelet"
+TASKS = (TASK_EXTRACT, TASK_CLUSTER, TASK_CLASSIFY, TASK_SHAPELET)
 
 #: Canonical key set of one per-round accounting record.  Whatever backend a
 #: run went through (driver "participants", loadgen "reports", gateway

@@ -45,7 +45,8 @@ from repro.exceptions import ConfigurationError, DataShapeError
 
 #: Axis expansion order (also the nesting order of the cartesian product):
 #: datasets vary slowest, epsilons fastest.
-AXIS_ORDER = ("dataset", "mechanism", "alphabet_size", "segment_length", "epsilon")
+AXIS_ORDER = ("dataset", "mechanism", "alphabet_size", "segment_length",
+              "shapelet_count", "shapelet_length", "epsilon")
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,8 @@ class SweepSpec:
     mechanisms: tuple[str, ...] = ()
     alphabet_sizes: tuple[int, ...] = ()
     segment_lengths: tuple[int, ...] = ()
+    shapelet_counts: tuple[int, ...] = ()
+    shapelet_lengths: tuple[int, ...] = ()
     datasets: tuple[DataSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -77,6 +80,18 @@ class SweepSpec:
         object.__setattr__(
             self, "segment_lengths", tuple(int(w) for w in self.segment_lengths)
         )
+        object.__setattr__(
+            self, "shapelet_counts", tuple(int(k) for k in self.shapelet_counts)
+        )
+        object.__setattr__(
+            self, "shapelet_lengths", tuple(int(n) for n in self.shapelet_lengths)
+        )
+        if (self.shapelet_counts or self.shapelet_lengths) and \
+                self.task != "shapelet":
+            raise ConfigurationError(
+                "shapelet_counts / shapelet_lengths axes only apply to "
+                f"task 'shapelet', got task {self.task!r}"
+            )
         datasets = tuple(
             d if isinstance(d, DataSpec) else DataSpec.from_dict(d)
             for d in self.datasets
@@ -92,6 +107,8 @@ class SweepSpec:
             "mechanism": self.mechanisms,
             "alphabet_size": self.alphabet_sizes,
             "segment_length": self.segment_lengths,
+            "shapelet_count": self.shapelet_counts,
+            "shapelet_length": self.shapelet_lengths,
             "epsilon": self.epsilons,
         }
         return {name: values for name, values in every.items() if values}
@@ -124,6 +141,15 @@ class SweepSpec:
         if sax_updates:
             spec = dataclasses.replace(
                 spec, sax=dataclasses.replace(spec.sax, **sax_updates)
+            )
+        option_updates: dict[str, Any] = {}
+        if "shapelet_count" in point:
+            option_updates["n_shapelets"] = int(point["shapelet_count"])
+        if "shapelet_length" in point:
+            option_updates["shapelet_max_length"] = int(point["shapelet_length"])
+        if option_updates:
+            spec = dataclasses.replace(
+                spec, options={**dict(spec.options), **option_updates}
             )
         return spec
 
@@ -198,6 +224,8 @@ class SweepSpec:
             "mechanisms": list(self.mechanisms),
             "alphabet_sizes": list(self.alphabet_sizes),
             "segment_lengths": list(self.segment_lengths),
+            "shapelet_counts": list(self.shapelet_counts),
+            "shapelet_lengths": list(self.shapelet_lengths),
             "datasets": [d.to_dict() for d in self.datasets],
         }
 
@@ -223,6 +251,8 @@ class SweepSpec:
             mechanisms=tuple(data.get("mechanisms", ())),
             alphabet_sizes=tuple(data.get("alphabet_sizes", ())),
             segment_lengths=tuple(data.get("segment_lengths", ())),
+            shapelet_counts=tuple(data.get("shapelet_counts", ())),
+            shapelet_lengths=tuple(data.get("shapelet_lengths", ())),
             datasets=tuple(
                 DataSpec.from_dict(d) for d in data.get("datasets", ())
             ),

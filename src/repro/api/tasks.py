@@ -1,0 +1,98 @@
+"""The task registry: named downstream workloads behind ``run(task=...)``.
+
+Historically ``run_spec`` validated ``task`` against a hard-coded tuple and
+dispatched through if/elif chains in both the executors and the CLI.  The
+registry replaces the tuple: each task registers *what it needs* (labelled
+data? every backend, or inline-only?) and *which run-time options it
+understands*, and the dispatch layers read those properties instead of
+special-casing names.  Downstream packages (``repro.tasks``) register their
+workloads here, which is how ``task="shapelet"`` reaches
+``ExperimentSpec.run`` and ``repro run --task shapelet`` without the api
+layer knowing its internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api.registry import Registry
+from repro.api.results import TASK_CLASSIFY, TASK_CLUSTER, TASK_EXTRACT, TASK_SHAPELET
+
+
+@dataclass(frozen=True)
+class TaskEntry:
+    """One registered task.
+
+    Attributes
+    ----------
+    name:
+        Registry key, also the ``RunResult.task`` value.
+    description:
+        One-line summary for ``--help`` style listings.
+    needs_labels:
+        Whether the task scores against class labels (and therefore requires
+        a labelled data source).
+    all_backends:
+        ``True`` when the task runs on every registered execution backend
+        with fingerprint equivalence; ``False`` restricts it to the inline
+        pipeline (plus the ``subprocess`` forwarder, which replays the same
+        inline path in a child).
+    options:
+        Extra run-time option names this task accepts on top of the
+        backend's own options.
+    """
+
+    name: str
+    description: str
+    needs_labels: bool = False
+    all_backends: bool = True
+    options: tuple[str, ...] = field(default_factory=tuple)
+
+
+task_registry: Registry[TaskEntry] = Registry("task")
+
+
+def register_task(entry: TaskEntry, *, overwrite: bool = False) -> TaskEntry:
+    """Register a task entry under its own name."""
+    return task_registry.add(entry.name, entry, overwrite=overwrite)
+
+
+def available_tasks() -> tuple[str, ...]:
+    """Names of all registered tasks, in registration order."""
+    return task_registry.names()
+
+
+register_task(
+    TaskEntry(
+        name=TASK_EXTRACT,
+        description="PrivShape extraction: frequent shapes with estimated counts",
+    )
+)
+register_task(
+    TaskEntry(
+        name=TASK_CLUSTER,
+        description="Table-V clustering over extracted shapes (ARI)",
+        needs_labels=True,
+        all_backends=False,
+        options=("evaluation_size",),
+    )
+)
+register_task(
+    TaskEntry(
+        name=TASK_CLASSIFY,
+        description="Table-V nearest-shape classification (accuracy)",
+        needs_labels=True,
+        all_backends=False,
+        options=("evaluation_size",),
+    )
+)
+register_task(
+    TaskEntry(
+        name=TASK_SHAPELET,
+        description=(
+            "shapelet discovery/transform/classification over extracted shapes"
+        ),
+        needs_labels=True,
+        options=("evaluation_size",),
+    )
+)

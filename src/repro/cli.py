@@ -152,6 +152,15 @@ def _spec_from_args(args: argparse.Namespace, default_metric: str) -> Experiment
     if args.spec:
         return _load_spec(args.spec)
     alphabet_size, segment_length = _default_sax(args)
+    # Task-level knobs ride spec.options so they serialize with the spec
+    # (surviving --backend subprocess and sweep grids).
+    options: dict[str, Any] = {}
+    for attr, key in (("n_shapelets", "n_shapelets"),
+                      ("shapelet_min_length", "shapelet_min_length"),
+                      ("shapelet_max_length", "shapelet_max_length")):
+        value = getattr(args, attr, None)
+        if value is not None:
+            options[key] = value
     return ExperimentSpec(
         mechanism=args.mechanism,
         privacy=PrivacySpec(epsilon=args.epsilon),
@@ -160,6 +169,7 @@ def _spec_from_args(args: argparse.Namespace, default_metric: str) -> Experiment
             top_k=args.top_k,
             metric=args.metric or default_metric,
         ),
+        options=options,
     )
 
 
@@ -190,7 +200,7 @@ def _data_from_args(
 
 def _default_metric(data: DataSpec, task: str) -> str:
     """The task/data-appropriate distance metric default."""
-    if data.source == "synthetic" or task == "classify":
+    if data.source == "synthetic" or task in ("classify", "shapelet"):
         return "sed"
     return "dtw"
 
@@ -213,6 +223,10 @@ def _backend_options(args: argparse.Namespace, task: str) -> dict[str, Any]:
         if getattr(args, "evaluation_size", None) is not None:
             options["evaluation_size"] = args.evaluation_size
         return options
+    if task == "shapelet" and getattr(args, "evaluation_size", None) is not None:
+        # Shapelet takes both: collection knobs drive the extraction phase,
+        # evaluation_size bounds the labelled scoring pool.
+        options["evaluation_size"] = args.evaluation_size
     for name in ("batch_size", "shards", "workers", "queue_depth",
                  "mp_context"):
         value = getattr(args, name, None)
@@ -309,6 +323,14 @@ def _run_text(result: RunResult) -> str:
             count = entry.get("estimated_count")
             suffix = "" if count is None else f" estimated count {count:12.1f}"
             lines.append(f"  {entry['shape']:<16}{suffix}")
+    shapelets = result.details.get("shapelets")
+    if result.task == "shapelet" and shapelets:
+        lines.append("shapelets (gain / threshold):")
+        for entry in shapelets:
+            lines.append(
+                f"  {entry['symbols']:<16} gain {entry['gain']:.3f}  "
+                f"threshold {entry['threshold']:.4f}"
+            )
     truth = result.details.get("ground_truth_shapes")
     if truth:
         lines.append(f"ground truth: {', '.join(truth)}")
@@ -496,6 +518,8 @@ def _sweep_from_args(args: argparse.Namespace) -> tuple[SweepSpec, DataSpec | No
         mechanisms=tuple(args.mechanisms or ()),
         alphabet_sizes=tuple(args.alphabet_sizes or ()),
         segment_lengths=tuple(args.segment_lengths or ()),
+        shapelet_counts=tuple(getattr(args, "shapelet_counts", None) or ()),
+        shapelet_lengths=tuple(getattr(args, "shapelet_lengths", None) or ()),
         datasets=datasets,
     )
     return sweep, None if datasets else data
@@ -514,9 +538,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
     except ReproError as exc:
         raise SystemExit(f"sweep failed: {exc}") from exc
 
-    metric_name = {"cluster": "ari", "classify": "accuracy"}.get(
-        sweep.task, "elapsed_seconds"
-    )
+    metric_name = {"cluster": "ari", "classify": "accuracy",
+                   "shapelet": "accuracy"}.get(sweep.task, "elapsed_seconds")
     points = []
     for point, run in zip(result.points, result.runs):
         record = {
@@ -989,6 +1012,19 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "replaces the dataset flags")
 
 
+def _add_shapelet_arguments(parser: argparse.ArgumentParser) -> None:
+    """Knobs of the shapelet workload (spec-level: they ride spec.options)."""
+    parser.add_argument("--n-shapelets", type=int, default=None,
+                        help="task=shapelet: shapelets kept after overlap "
+                             "pruning (default: 5)")
+    parser.add_argument("--shapelet-min-length", type=int, default=None,
+                        help="task=shapelet: shortest candidate window, in "
+                             "symbols (default: 2)")
+    parser.add_argument("--shapelet-max-length", type=int, default=None,
+                        help="task=shapelet: longest candidate window, in "
+                             "symbols (default: the full shape)")
+
+
 def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
     """Observability knobs (repro.obs) of the run/windows/loadgen commands."""
     parser.add_argument("--telemetry", action="store_true",
@@ -1019,10 +1055,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(run, datasets=DATASET_CHOICES)
     _add_synthetic_arguments(run)
     _add_backend_arguments(run)
-    run.add_argument("--task", choices=("extract", "cluster", "classify"),
+    run.add_argument("--task", choices=("extract", "cluster", "classify",
+                                        "shapelet"),
                      default="extract",
-                     help="what to execute: the collection itself, or one of "
-                          "the paper's evaluation tasks (default: extract)")
+                     help="what to execute: the collection itself, one of "
+                          "the paper's evaluation tasks, or the shapelet "
+                          "workload (default: extract)")
+    _add_shapelet_arguments(run)
     run.add_argument("--serialize", action="store_true",
                      help="inline backend: push every report batch through the "
                           "wire format")
@@ -1161,8 +1200,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(sweep, datasets=DATASET_CHOICES)
     _add_synthetic_arguments(sweep)
     _add_backend_arguments(sweep)
-    sweep.add_argument("--task", choices=("extract", "cluster", "classify"),
+    sweep.add_argument("--task", choices=("extract", "cluster", "classify",
+                                          "shapelet"),
                        default="classify")
+    _add_shapelet_arguments(sweep)
+    sweep.add_argument("--shapelet-counts", type=int, nargs="+", default=None,
+                       help="task=shapelet: shapelet-count axis of the grid")
+    sweep.add_argument("--shapelet-lengths", type=int, nargs="+", default=None,
+                       help="task=shapelet: max-window-length axis of the "
+                            "grid (in symbols)")
     sweep.add_argument("--epsilons", type=float, nargs="+", default=[0.5, 1.0, 2.0, 4.0],
                        help="privacy-budget axis of the grid")
     sweep.add_argument("--mechanisms", nargs="+", choices=available_mechanisms(),

@@ -3,13 +3,18 @@
 The UCR archive distributes each dataset as tab- (or comma-) separated text
 where every line is ``label value value value ...``.  This loader lets users
 who have the real *Symbols* or *Trace* files on disk run the benchmarks on the
-authentic data instead of the synthetic stand-ins.
+authentic data instead of the synthetic stand-ins.  Files may be gzip
+compressed (detected from the magic bytes, whatever the extension), and
+variable-length datasets that pad short rows with trailing NaNs — the 2018
+archive's convention — load with the padding stripped.
 """
 
 from __future__ import annotations
 
+import gzip
 import os
 from pathlib import Path
+from typing import IO
 
 import numpy as np
 
@@ -17,12 +22,49 @@ from repro.datasets.base import LabeledDataset
 from repro.exceptions import DataShapeError
 
 
+def _open_text(file_path: Path) -> IO[str]:
+    """Open a UCR file as text, transparently decompressing gzip.
+
+    Detection is by the gzip magic bytes, not the filename, so ``Trace.tsv``
+    that is secretly compressed and ``Trace.tsv.gz`` both load.
+    """
+    with open(file_path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == b"\x1f\x8b":
+        return gzip.open(file_path, "rt", encoding="utf-8")
+    return open(file_path, "r", encoding="utf-8")
+
+
+def _strip_nan_padding(
+    values: np.ndarray, file_path: Path, line_number: int
+) -> np.ndarray:
+    """Drop trailing-NaN padding; interior NaNs (real gaps) stay an error."""
+    mask = np.isnan(values)
+    if not mask.any():
+        return values
+    keep = values.size
+    while keep > 0 and mask[keep - 1]:
+        keep -= 1
+    if keep == 0:
+        raise DataShapeError(
+            f"{file_path}:{line_number}: series is entirely NaN"
+        )
+    if mask[:keep].any():
+        raise DataShapeError(
+            f"{file_path}:{line_number}: NaN inside the series (only "
+            "trailing-NaN padding is supported)"
+        )
+    return values[:keep]
+
+
 def load_ucr_tsv(path: str | os.PathLike, name: str | None = None) -> LabeledDataset:
     """Load a UCR-format file: one series per line, first column is the class label.
 
-    Both tab- and comma-separated files are accepted; blank lines are skipped.
-    Labels are remapped to consecutive integers starting at 0 in sorted order
-    of the original labels.
+    Both tab- and comma-separated files are accepted, plain or gzip
+    compressed; blank lines are skipped, and trailing whitespace or
+    trailing-NaN padding on variable-length rows is stripped (a NaN in the
+    middle of a series still raises).  Labels are remapped to consecutive
+    integers starting at 0 in sorted order of the original labels.
     """
     file_path = Path(path)
     if not file_path.exists():
@@ -30,24 +72,31 @@ def load_ucr_tsv(path: str | os.PathLike, name: str | None = None) -> LabeledDat
 
     series: list[np.ndarray] = []
     raw_labels: list[float] = []
-    with open(file_path, "r", encoding="utf-8") as handle:
+    with _open_text(file_path) as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped:
                 continue
             delimiter = "\t" if "\t" in stripped else ","
-            fields = [f for f in stripped.split(delimiter) if f != ""]
+            fields = [f for f in stripped.split(delimiter) if f.strip() != ""]
             if len(fields) < 2:
                 raise DataShapeError(
                     f"{file_path}:{line_number}: expected a label and at least one value"
                 )
             try:
-                raw_labels.append(float(fields[0]))
-                series.append(np.asarray([float(v) for v in fields[1:]], dtype=float))
+                label = float(fields[0])
+                values = np.asarray([float(v) for v in fields[1:]], dtype=float)
             except ValueError as exc:
                 raise DataShapeError(
                     f"{file_path}:{line_number}: non-numeric field in UCR file"
                 ) from exc
+            if np.isnan(label):
+                raise DataShapeError(
+                    f"{file_path}:{line_number}: NaN class label"
+                )
+            values = _strip_nan_padding(values, file_path, line_number)
+            raw_labels.append(label)
+            series.append(values)
 
     unique = sorted(set(raw_labels))
     label_map = {original: index for index, original in enumerate(unique)}

@@ -11,8 +11,20 @@ evaluation set (public/held-out labelled data is the standard assumption in
 shapelet evaluation; the sensitive population itself is only ever touched
 through the ε-LDP extraction).
 
-The module provides:
+This module is now a thin compatibility shim: the per-window Python loops it
+used to contain live on as vectorized kernels in
+:mod:`repro.tasks.shapelet.transform` (stride-tricks subsequence extraction,
+batched candidate × series distance matrices) and
+:mod:`repro.tasks.shapelet.discovery` (cumulative-count information gain).
+The public surface here is unchanged and result-compatible:
 
+* :func:`sliding_min_distance` — re-exported vectorized kernel, bit-compatible
+  with the old scalar loop in its default form.  The historical docstring
+  claimed z-normalized distances but the implementation never normalized;
+  pass ``normalize=True`` for actual z-normalized matching, which applies the
+  documented σ_min floor (:data:`repro.tasks.shapelet.transform.SIGMA_MIN`) so
+  constant/near-constant windows divide by 1.0 instead of ~0 and always yield
+  finite distances;
 * :func:`enumerate_candidates` — windows of the reconstructed frequent shapes;
 * :func:`best_information_gain` — optimal-threshold information gain of a
   candidate's distance profile;
@@ -20,6 +32,10 @@ The module provides:
 * :class:`ShapeletTransformClassifier` — a shapelet-transform classifier that
   feeds min-distances to the discovered shapelets into the library's random
   forest.
+
+New code should target ``task="shapelet"``
+(:mod:`repro.tasks.shapelet`) instead, which runs the same pipeline through
+the execution backends with RunResult artifacts and telemetry.
 """
 
 from __future__ import annotations
@@ -36,8 +52,26 @@ from repro.datasets.base import LabeledDataset
 from repro.exceptions import EmptyDatasetError, NotFittedError
 from repro.mining.forest import RandomForestClassifier
 from repro.sax.compressive import CompressiveSAX
-from repro.sax.reconstruction import symbols_to_values
+from repro.tasks.shapelet.discovery import (
+    enumerate_windows,
+    information_gain,
+)
+from repro.tasks.shapelet.transform import (
+    SIGMA_MIN,
+    min_distance_matrix,
+    sliding_min_distance,
+)
 from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "SIGMA_MIN",
+    "Shapelet",
+    "sliding_min_distance",
+    "enumerate_candidates",
+    "best_information_gain",
+    "PrivateShapeletDiscovery",
+    "ShapeletTransformClassifier",
+]
 
 
 @dataclass(frozen=True)
@@ -55,26 +89,6 @@ class Shapelet:
         return len(self.values)
 
 
-def sliding_min_distance(series, shapelet_values) -> float:
-    """Minimum z-normalized Euclidean distance of a shapelet over all windows of ``series``.
-
-    The series is compared window by window; when the series is shorter than
-    the shapelet the whole series is compared against the shapelet's prefix.
-    """
-    series = np.asarray(series, dtype=float)
-    values = np.asarray(shapelet_values, dtype=float)
-    length = values.size
-    if series.size < length:
-        return float(np.linalg.norm(series - values[: series.size]) / max(series.size, 1))
-    best = np.inf
-    for start in range(series.size - length + 1):
-        window = series[start : start + length]
-        distance = float(np.linalg.norm(window - values))
-        if distance < best:
-            best = distance
-    return best / length
-
-
 def enumerate_candidates(
     shapes_by_class: dict[int, list[Shape]],
     alphabet_size: int,
@@ -86,36 +100,32 @@ def enumerate_candidates(
 
     Every contiguous window of ``min_length .. max_length`` symbols of every
     extracted shape becomes one candidate, reconstructed onto
-    ``points_per_symbol`` numeric points per symbol.
+    ``points_per_symbol`` numeric points per symbol.  Duplicates (same class
+    and values) keep their first occurrence, in the historical enumeration
+    order: classes in dict order, then shapes, then window length ascending,
+    then start position.
     """
-    candidates: list[Shapelet] = []
-    seen: set[tuple[int, tuple[float, ...]]] = set()
-    for label, shapes in shapes_by_class.items():
-        for shape in shapes:
-            shape = tuple(shape)
-            upper = max_length or len(shape)
-            for window_length in range(min_length, min(upper, len(shape)) + 1):
-                for start in range(len(shape) - window_length + 1):
-                    window = shape[start : start + window_length]
-                    values = tuple(
-                        symbols_to_values(window, alphabet_size, repeat=points_per_symbol)
-                    )
-                    key = (int(label), values)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    candidates.append(
-                        Shapelet(values=values, source_shape=shape, source_class=int(label))
-                    )
-    return candidates
-
-
-def _entropy(labels: np.ndarray) -> float:
-    if labels.size == 0:
-        return 0.0
-    _, counts = np.unique(labels, return_counts=True)
-    proportions = counts / labels.size
-    return float(-np.sum(proportions * np.log2(proportions)))
+    shapes: list[Shape] = []
+    labels: list[int] = []
+    for label, class_shapes in shapes_by_class.items():
+        for shape in class_shapes:
+            shapes.append(tuple(shape))
+            labels.append(int(label))
+    return [
+        Shapelet(
+            values=candidate.values,
+            source_shape=tuple(candidate.source_shape),
+            source_class=int(candidate.label),
+        )
+        for candidate in enumerate_windows(
+            shapes,
+            alphabet_size,
+            min_length=min_length,
+            max_length=max_length,
+            points_per_symbol=points_per_symbol,
+            labels=labels,
+        )
+    ]
 
 
 def best_information_gain(distances, labels) -> tuple[float, float]:
@@ -123,29 +133,11 @@ def best_information_gain(distances, labels) -> tuple[float, float]:
 
     ``distances[i]`` is the shapelet's distance to series ``i`` with class
     ``labels[i]``; the returned threshold splits the series into "close" and
-    "far" groups.
+    "far" groups.  Delegates to the vectorized
+    :func:`repro.tasks.shapelet.discovery.information_gain` (same tie and
+    skip-equal-neighbours semantics as the scalar loop it replaced).
     """
-    distances = np.asarray(distances, dtype=float)
-    labels = np.asarray(labels)
-    if distances.size != labels.size or distances.size == 0:
-        raise ValueError("distances and labels must be non-empty and equally long")
-    order = np.argsort(distances)
-    sorted_distances = distances[order]
-    sorted_labels = labels[order]
-    total_entropy = _entropy(sorted_labels)
-
-    best_gain, best_threshold = 0.0, float(sorted_distances[0])
-    for split in range(1, distances.size):
-        if np.isclose(sorted_distances[split], sorted_distances[split - 1]):
-            continue
-        left = sorted_labels[:split]
-        right = sorted_labels[split:]
-        weighted = (left.size * _entropy(left) + right.size * _entropy(right)) / labels.size
-        gain = total_entropy - weighted
-        if gain > best_gain:
-            best_gain = gain
-            best_threshold = float((sorted_distances[split] + sorted_distances[split - 1]) / 2.0)
-    return best_gain, best_threshold
+    return information_gain(distances, labels)
 
 
 @dataclass
@@ -222,13 +214,16 @@ class PrivateShapeletDiscovery:
         if not candidates:
             raise EmptyDatasetError("no shapelet candidates were generated")
 
-        scored: list[Shapelet] = []
+        # One batched candidate × series distance matrix replaces the old
+        # per-candidate per-series scalar loop.
+        matrix = min_distance_matrix(
+            public_dataset.series,
+            [np.asarray(candidate.values) for candidate in candidates],
+        )
         labels = public_dataset.labels
-        for candidate in candidates:
-            distances = [
-                sliding_min_distance(series, candidate.values) for series in public_dataset.series
-            ]
-            gain, threshold = best_information_gain(distances, labels)
+        scored: list[Shapelet] = []
+        for column, candidate in enumerate(candidates):
+            gain, threshold = information_gain(matrix[:, column], labels)
             scored.append(
                 Shapelet(
                     values=candidate.values,
@@ -253,12 +248,9 @@ class ShapeletTransformClassifier:
     _forest: RandomForestClassifier | None = field(default=None, init=False, repr=False)
 
     def _features(self, dataset) -> np.ndarray:
-        return np.array(
-            [
-                [sliding_min_distance(series, shapelet.values) for shapelet in self.shapelets]
-                for series in dataset
-            ],
-            dtype=float,
+        return min_distance_matrix(
+            list(dataset),
+            [np.asarray(shapelet.values) for shapelet in self.shapelets],
         )
 
     def fit(self, series_list, labels) -> "ShapeletTransformClassifier":

@@ -90,6 +90,12 @@ class RandomForestClassifier:
         """Most likely class per sample."""
         return np.argmax(self.predict_proba(X), axis=1)
 
+    def score(self, X, y) -> float:
+        """Mean accuracy of ``predict(X)`` against the true labels ``y``."""
+        from repro.mining.metrics import accuracy_score
+
+        return accuracy_score(y, self.predict(X))
+
     def fit_series(self, dataset, labels) -> "RandomForestClassifier":
         """Convenience: fit directly on a list of time series (resampled internally)."""
         matrix = series_to_matrix(dataset)

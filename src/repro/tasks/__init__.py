@@ -1,0 +1,14 @@
+"""Registered downstream workloads over privately extracted shapes.
+
+Where :mod:`repro.core` implements the collection protocol and
+:mod:`repro.api` the execution surface, this package holds the *task layer*:
+self-contained workloads that consume an extraction result and turn it into
+task-level quality numbers.  Each workload registers itself in the task
+registry (:mod:`repro.api.tasks`) so ``ExperimentSpec.run(data, task=...)``
+and ``repro run --task ...`` reach it by name on any execution backend.
+
+Current workloads:
+
+* :mod:`repro.tasks.shapelet` — shapelet discovery/transform/classification
+  over the extracted frequent shapes (``task="shapelet"``).
+"""

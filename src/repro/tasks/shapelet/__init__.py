@@ -1,0 +1,59 @@
+"""Shapelet workload: vectorized transform kernels, discovery, and the task.
+
+Public surface of ``task="shapelet"``:
+
+* :mod:`~repro.tasks.shapelet.transform` — the vectorized distance kernels
+  (:func:`subsequences`, :func:`z_normalize`, :func:`sliding_min_distance`,
+  :func:`min_distance_matrix`) and the :class:`ShapeletTransform` feature
+  stage;
+* :mod:`~repro.tasks.shapelet.discovery` — candidate enumeration from
+  extracted frequent shapes, information-gain scoring, and top-k selection
+  with overlap pruning;
+* :mod:`~repro.tasks.shapelet.runner` — the registered task entry point
+  gluing private extraction (any backend) to the deterministic
+  discover → transform → classify stage.
+"""
+
+from repro.tasks.shapelet.discovery import (
+    ShapeletCandidate,
+    discover_shapelets,
+    enumerate_windows,
+    information_gain,
+    score_candidates,
+    select_shapelets,
+)
+from repro.tasks.shapelet.runner import (
+    SHAPELET_DEFAULTS,
+    ShapeletStageResult,
+    run_shapelet_stage,
+    run_shapelet_task,
+    shapelet_knobs,
+)
+from repro.tasks.shapelet.transform import (
+    SIGMA_MIN,
+    ShapeletTransform,
+    min_distance_matrix,
+    sliding_min_distance,
+    subsequences,
+    z_normalize,
+)
+
+__all__ = [
+    "SIGMA_MIN",
+    "SHAPELET_DEFAULTS",
+    "ShapeletCandidate",
+    "ShapeletStageResult",
+    "ShapeletTransform",
+    "discover_shapelets",
+    "enumerate_windows",
+    "information_gain",
+    "min_distance_matrix",
+    "run_shapelet_stage",
+    "run_shapelet_task",
+    "score_candidates",
+    "select_shapelets",
+    "shapelet_knobs",
+    "sliding_min_distance",
+    "subsequences",
+    "z_normalize",
+]

@@ -1,0 +1,283 @@
+"""The ``task="shapelet"`` workload behind ``ExperimentSpec.run``.
+
+Execution splits into two stages with very different distribution needs:
+
+1. **Private extraction** — the expensive, privacy-relevant part — runs
+   through whatever execution backend the caller picked, exactly like
+   ``task="extract"`` (the same :class:`ExecutionRequest`, the same engines).
+   Under one master seed every backend returns byte-identical shapes.
+2. **Discovery / transform / classification** — a pure function of the
+   extracted shapes, the labelled dataset, and the master seed — runs in the
+   calling process.  Its generator is derived from the seed alone (never from
+   backend internals), so the whole :class:`RunResult` is
+   fingerprint-identical across inline/sharded/gateway/cluster, and the
+   ``subprocess`` backend can forward the entire task to a child CLI.
+
+Stage knobs ride :attr:`ExperimentSpec.options` (``n_shapelets``,
+``shapelet_min_length``, ``shapelet_max_length``, ``points_per_symbol``,
+``max_overlap``) so they serialize with the spec — surviving the subprocess
+hop and sweeping like any other spec axis.  ``evaluation_size`` is the one
+run-time option, matching the cluster/classify tasks.
+
+Each stage is wrapped in a :func:`repro.obs.trace_span`; the distance kernels
+underneath carry their own ``profile_kernel`` hooks.  A telemetry-enabled run
+surfaces both in ``result.telemetry``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.api.results import TASK_EXTRACT, TASK_SHAPELET, RunResult
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import ConfigurationError
+from repro.mining.forest import RandomForestClassifier
+from repro.obs import trace_span
+from repro.tasks.shapelet.discovery import (
+    ShapeletCandidate,
+    discover_shapelets,
+)
+from repro.tasks.shapelet.transform import SIGMA_MIN, ShapeletTransform
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Defaults of the spec-level shapelet knobs (read from ``spec.options``).
+SHAPELET_DEFAULTS: dict[str, Any] = {
+    "n_shapelets": 5,
+    "shapelet_min_length": 2,
+    "shapelet_max_length": None,
+    "points_per_symbol": 8,
+    "max_overlap": 0.5,
+    "normalize_shapelets": False,
+    "sigma_min": SIGMA_MIN,
+    "forest_size": 20,
+    "test_fraction": 0.3,
+}
+
+
+def shapelet_knobs(spec: ExperimentSpec) -> dict[str, Any]:
+    """The stage parameters for ``spec``: defaults overlaid with spec.options.
+
+    Only the shapelet keys are read; other spec options (mechanism knobs)
+    pass through untouched.
+    """
+    knobs = dict(SHAPELET_DEFAULTS)
+    for name in knobs:
+        if name in spec.options:
+            knobs[name] = spec.options[name]
+    n_shapelets = int(knobs["n_shapelets"])
+    if n_shapelets < 1:
+        raise ConfigurationError(
+            f"n_shapelets must be >= 1, got {n_shapelets}"
+        )
+    min_length = int(knobs["shapelet_min_length"])
+    if min_length < 1:
+        raise ConfigurationError(
+            f"shapelet_min_length must be >= 1, got {min_length}"
+        )
+    max_length = knobs["shapelet_max_length"]
+    if max_length is not None:
+        max_length = int(max_length)
+        if max_length < min_length:
+            raise ConfigurationError(
+                f"shapelet_max_length {max_length} is below "
+                f"shapelet_min_length {min_length}"
+            )
+    knobs.update(
+        n_shapelets=n_shapelets,
+        shapelet_min_length=min_length,
+        shapelet_max_length=max_length,
+        points_per_symbol=int(knobs["points_per_symbol"]),
+        max_overlap=float(knobs["max_overlap"]),
+        normalize_shapelets=bool(knobs["normalize_shapelets"]),
+        sigma_min=float(knobs["sigma_min"]),
+        forest_size=int(knobs["forest_size"]),
+        test_fraction=float(knobs["test_fraction"]),
+    )
+    return knobs
+
+
+@dataclass
+class ShapeletStageResult:
+    """Outcome of the deterministic post-extraction stage."""
+
+    shapelets: list[ShapeletCandidate] = field(default_factory=list)
+    accuracy: float = 0.0
+    n_candidates: int = 0
+    n_train: int = 0
+    n_test: int = 0
+    elapsed_seconds: float = 0.0
+
+    def metrics(self) -> dict[str, float]:
+        return {
+            "accuracy": float(self.accuracy),
+            "n_shapelets": float(len(self.shapelets)),
+            "n_candidates": float(self.n_candidates),
+            "stage_seconds": float(self.elapsed_seconds),
+        }
+
+    def details(self) -> dict[str, Any]:
+        return {
+            "shapelets": [s.describe() for s in self.shapelets],
+            "n_train": self.n_train,
+            "n_test": self.n_test,
+        }
+
+
+def run_shapelet_stage(
+    shapes: Sequence[str],
+    dataset,
+    spec: ExperimentSpec,
+    *,
+    evaluation_size: int = 500,
+    rng: RngLike = None,
+) -> ShapeletStageResult:
+    """Discover, transform, and classify from already-extracted shapes.
+
+    ``shapes`` are the extracted frequent shapes (symbol strings, any
+    backend); ``dataset`` is the labelled dataset the public evaluation pool
+    is drawn from.  Deterministic given (shapes, dataset, spec, rng): the
+    generator is consumed in a fixed order (subsample → split → forest), so
+    one seed yields one result no matter where the extraction ran.
+
+    An extraction that produced no shapes (or shapes too short to window)
+    degrades to ``accuracy=0.0`` with zero shapelets rather than raising —
+    low-ε grid points in an accuracy-vs-ε sweep report their failure as data.
+    """
+    started = time.perf_counter()
+    generator = ensure_rng(rng)
+    knobs = shapelet_knobs(spec)
+    with trace_span("shapelet.split", evaluation_size=evaluation_size):
+        pool = dataset.subsample(
+            min(int(evaluation_size), len(dataset)), rng=generator
+        )
+        train, test = pool.train_test_split(
+            test_fraction=knobs["test_fraction"], rng=generator
+        )
+    with trace_span("shapelet.discover", n_shapes=len(shapes)):
+        selected = discover_shapelets(
+            [shape for shape in shapes if len(shape) >= knobs["shapelet_min_length"]],
+            train.series,
+            train.labels,
+            spec.sax.alphabet_size,
+            n_shapelets=knobs["n_shapelets"],
+            min_length=knobs["shapelet_min_length"],
+            max_length=knobs["shapelet_max_length"],
+            points_per_symbol=knobs["points_per_symbol"],
+            max_overlap=knobs["max_overlap"],
+            normalize=knobs["normalize_shapelets"],
+            sigma_min=knobs["sigma_min"],
+        )
+        n_candidates = len(selected)
+    if not selected:
+        return ShapeletStageResult(
+            n_train=len(train),
+            n_test=len(test),
+            elapsed_seconds=time.perf_counter() - started,
+        )
+    stage = ShapeletTransform(
+        shapelets=tuple(selected),
+        normalize=knobs["normalize_shapelets"],
+        sigma_min=knobs["sigma_min"],
+    )
+    with trace_span("shapelet.transform", n_shapelets=stage.n_features):
+        train_features = stage.transform(train.series)
+        test_features = stage.transform(test.series)
+    with trace_span("shapelet.classify", forest_size=knobs["forest_size"]):
+        forest = RandomForestClassifier(
+            n_estimators=knobs["forest_size"], rng=generator
+        )
+        forest.fit(train_features, np.asarray(train.labels, dtype=int))
+        accuracy = forest.score(test_features, test.labels)
+    return ShapeletStageResult(
+        shapelets=list(selected),
+        accuracy=accuracy,
+        n_candidates=n_candidates,
+        n_train=len(train),
+        n_test=len(test),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def run_shapelet_task(
+    spec: ExperimentSpec,
+    data,
+    *,
+    backend: str,
+    entry,
+    seed: int | None,
+    cache: dict | None,
+    options: dict[str, Any],
+) -> RunResult:
+    """Execute the full shapelet workload on one registered backend.
+
+    ``entry`` is the resolved :class:`~repro.api.executors.ExecutorEntry`;
+    the extraction is dispatched through it with ``task="extract"`` request
+    semantics, and the shapelet stage runs here on the returned shapes.
+    """
+    # Imported here: repro.api.executors imports this module lazily at
+    # dispatch time, so the reverse import must also happen at call time.
+    from repro.api.executors import ExecutionRequest, _coerce_population
+
+    started = time.perf_counter()
+    realized = _coerce_population(spec, data, cache)
+    dataset = realized.dataset
+    if dataset is None:
+        raise ConfigurationError(
+            "task 'shapelet' scores discovered shapelets against class "
+            "labels; pass a labelled DataSpec (symbols/trace/waves/ucr) or a "
+            "LabeledDataset"
+        )
+    realized.spec._require_concrete()
+    shapelet_knobs(realized.spec)  # validate the spec-level knobs up front
+    evaluation_size = int(options.get("evaluation_size", 500))
+    extract_options = {
+        name: value for name, value in options.items()
+        if name != "evaluation_size"
+    }
+    from repro.api.data import DataSpec
+
+    request = ExecutionRequest(
+        spec=realized.spec,
+        population=realized.population,
+        seed=seed,
+        data=data if isinstance(data, DataSpec) else None,
+        sequences=realized.sequences,
+        options={**extract_options, "task": TASK_EXTRACT},
+    )
+    with trace_span("shapelet.extract", backend=backend):
+        extract = entry.run(request)
+    stage_seed = extract.seed if extract.seed is not None else seed
+    stage = run_shapelet_stage(
+        extract.shapes,
+        dataset,
+        realized.spec,
+        evaluation_size=evaluation_size,
+        rng=stage_seed,
+    )
+    result = RunResult(
+        task=TASK_SHAPELET,
+        spec=realized.spec,
+        backend=backend,
+        seed=extract.seed if extract.seed is not None else seed,
+        estimates=extract.estimates,
+        estimated_length=extract.estimated_length,
+        metrics={
+            **extract.metrics,
+            **stage.metrics(),
+            "elapsed_seconds": time.perf_counter() - started,
+        },
+        accounting=extract.accounting,
+        rounds=extract.rounds,
+        timings=extract.timings,
+        backend_info=extract.backend_info,
+        data=extract.data,
+        details={**extract.details, **stage.details()},
+    )
+    if realized.meta:
+        for key, value in realized.meta.items():
+            result.details.setdefault(key, value)
+    return result

@@ -260,3 +260,44 @@ class TestSubprocessFailures:
         bad = DataSpec(source="ucr", path="/nonexistent/file.tsv")
         with pytest.raises((ExecutionError, ConfigurationError)):
             SPEC.run(bad, backend="subprocess", seed=0, timeout=120)
+
+
+class TestShapeletBackendEquivalence:
+    """task="shapelet" keeps the cross-backend fingerprint guarantee.
+
+    Extraction runs on the chosen backend (byte-identical already); the
+    discovery/transform/classify stage is seeded by the master seed alone,
+    so the full RunResult projection must agree everywhere.
+    """
+
+    SHAPELET_DATA = DataSpec(source="trace", n_users=300, seed=7)
+
+    @pytest.fixture(scope="class")
+    def inline_shapelet(self):
+        return SPEC.run(self.SHAPELET_DATA, task="shapelet", seed=SEED,
+                        evaluation_size=120)
+
+    @pytest.mark.parametrize("backend", ["sharded", "gateway"])
+    def test_fingerprint_identical_to_inline(self, inline_shapelet, backend):
+        other = SPEC.run(self.SHAPELET_DATA, task="shapelet", backend=backend,
+                         seed=SEED, evaluation_size=120,
+                         **BACKEND_OPTIONS[backend])
+        assert other.backend == backend
+        assert other.fingerprint() == inline_shapelet.fingerprint()
+        assert other.metrics["accuracy"] == \
+            inline_shapelet.metrics["accuracy"]
+
+    def test_subprocess_forwards_whole_task(self, inline_shapelet):
+        child = SPEC.run(self.SHAPELET_DATA, task="shapelet",
+                         backend="subprocess", seed=SEED, evaluation_size=120)
+        assert child.task == "shapelet"
+        assert child.fingerprint() == inline_shapelet.fingerprint()
+        assert child.metrics["accuracy"] == \
+            inline_shapelet.metrics["accuracy"]
+
+    def test_estimates_match_plain_extraction(self, inline_shapelet):
+        """The extraction phase is the same extraction task="extract" runs."""
+        extract = SPEC.run(self.SHAPELET_DATA, task="extract", seed=SEED)
+        assert inline_shapelet.estimates == extract.estimates
+        assert inline_shapelet.estimated_length == extract.estimated_length
+        assert inline_shapelet.accounting == extract.accounting

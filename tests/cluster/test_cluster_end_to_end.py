@@ -93,3 +93,21 @@ def test_population_size_mismatch_rejected(population):
     ) as cluster:
         with pytest.raises(ConfigurationError, match="sized for"):
             run_cluster_loadgen(cluster.host, cluster.port, population)
+
+
+def test_cluster_backend_runs_shapelet_task():
+    """task="shapelet" through the cluster topology fingerprints like inline."""
+    from repro.api import DataSpec, ExperimentSpec, PrivacySpec, SAXSpec
+
+    spec = ExperimentSpec(
+        mechanism="privshape",
+        privacy=PrivacySpec(epsilon=6.0),
+        sax=SAXSpec(alphabet_size=4),
+    )
+    data = DataSpec(source="trace", n_users=300, seed=7)
+    inline = spec.run(data, task="shapelet", seed=SEED, evaluation_size=100)
+    clustered = spec.run(data, task="shapelet", backend="cluster", seed=SEED,
+                         evaluation_size=100, workers=2, batch_size=128)
+    assert clustered.backend == "cluster"
+    assert clustered.fingerprint() == inline.fingerprint()
+    assert clustered.metrics["accuracy"] == inline.metrics["accuracy"]

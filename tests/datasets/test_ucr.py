@@ -54,3 +54,71 @@ class TestLoadUcrTsv:
         path = tmp_path / "Symbols_TRAIN.tsv"
         path.write_text("1\t0.1\t0.2\n2\t0.3\t0.4\n")
         assert load_ucr_tsv(path, name="Symbols").name == "Symbols"
+
+
+class TestGzipAndPadding:
+    def test_gzip_compressed_file(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "toy.tsv.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("1\t0.1\t0.2\t0.3\n2\t1.0\t1.1\t1.2\n")
+        dataset = load_ucr_tsv(path)
+        assert len(dataset) == 2
+        assert np.allclose(dataset.series[1], [1.0, 1.1, 1.2])
+
+    def test_gzip_detected_by_magic_not_extension(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "toy.tsv"  # compressed despite the plain name
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("1\t0.5\t0.6\n")
+        dataset = load_ucr_tsv(path)
+        assert np.allclose(dataset.series[0], [0.5, 0.6])
+
+    def test_trailing_nan_padding_stripped(self, tmp_path):
+        """Variable-length 2018-archive rows pad with trailing NaNs."""
+        path = tmp_path / "toy.tsv"
+        path.write_text(
+            "1\t0.1\t0.2\t0.3\tNaN\tNaN\n"
+            "2\t1.0\t1.1\t1.2\t1.3\t1.4\n"
+        )
+        dataset = load_ucr_tsv(path)
+        assert dataset.series[0].size == 3
+        assert dataset.series[1].size == 5
+        assert not any(np.isnan(s).any() for s in dataset.series)
+
+    def test_trailing_whitespace_tolerated(self, tmp_path):
+        path = tmp_path / "toy.tsv"
+        path.write_text("1\t0.1\t0.2\t\t\n2\t0.3\t0.4  \n")
+        dataset = load_ucr_tsv(path)
+        assert dataset.series[0].size == 2
+        assert np.allclose(dataset.series[1], [0.3, 0.4])
+
+    def test_all_nan_series_rejected(self, tmp_path):
+        path = tmp_path / "toy.tsv"
+        path.write_text("1\tNaN\tNaN\n")
+        with pytest.raises(DataShapeError, match="entirely NaN"):
+            load_ucr_tsv(path)
+
+    def test_interior_nan_rejected(self, tmp_path):
+        path = tmp_path / "toy.tsv"
+        path.write_text("1\t0.1\tNaN\t0.3\n")
+        with pytest.raises(DataShapeError, match="inside"):
+            load_ucr_tsv(path)
+
+    def test_nan_label_rejected(self, tmp_path):
+        path = tmp_path / "toy.tsv"
+        path.write_text("NaN\t0.1\t0.2\n")
+        with pytest.raises(DataShapeError, match="label"):
+            load_ucr_tsv(path)
+
+    def test_gzip_nan_padding_combination(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "var.tsv.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("1\t0.1\t0.2\tNaN\n2\t0.3\t0.4\t0.5\n")
+        dataset = load_ucr_tsv(path, name="variable")
+        assert dataset.name == "variable"
+        assert [s.size for s in dataset.series] == [2, 3]

@@ -120,3 +120,40 @@ class TestPrivateShapeletDiscovery:
         classifier = ShapeletTransformClassifier(shapelets=[])
         with pytest.raises(EmptyDatasetError):
             classifier.fit(public.series, public.labels)
+
+
+class TestShimCompatibility:
+    """The module is now a shim over repro.tasks.shapelet — results must match
+    the historical scalar loop bit for bit (default arguments)."""
+
+    def test_sliding_min_distance_matches_scalar_loop(self):
+        rng = np.random.default_rng(23)
+        for _ in range(25):
+            series = rng.normal(size=int(rng.integers(1, 60)))
+            shapelet = rng.normal(size=int(rng.integers(1, 12)))
+            length = shapelet.size
+            if series.size < length:
+                expected = float(
+                    np.linalg.norm(series - shapelet[: series.size])
+                    / max(series.size, 1)
+                )
+            else:
+                expected = min(
+                    float(np.linalg.norm(series[s : s + length] - shapelet))
+                    for s in range(series.size - length + 1)
+                ) / length
+            assert sliding_min_distance(series, shapelet) == pytest.approx(
+                expected, abs=1e-12
+            )
+
+    def test_normalized_distance_applies_sigma_floor(self):
+        """The documented σ_min floor: constant windows stay finite."""
+        distance = sliding_min_distance(
+            np.full(12, 7.0), [0.0, 1.0, 0.0], normalize=True
+        )
+        assert np.isfinite(distance)
+
+    def test_sigma_min_exported(self):
+        from repro.extensions.shapelets import SIGMA_MIN
+
+        assert SIGMA_MIN == 1e-3

@@ -1,0 +1,218 @@
+"""Discovery: enumeration, vectorized information gain, and selection."""
+
+import numpy as np
+import pytest
+
+from repro.tasks.shapelet import (
+    ShapeletCandidate,
+    discover_shapelets,
+    enumerate_windows,
+    information_gain,
+    score_candidates,
+    select_shapelets,
+)
+
+
+def scalar_information_gain(distances, labels):
+    """The historical per-split Python loop (frozen reference)."""
+    distances = np.asarray(distances, dtype=float)
+    labels = np.asarray(labels)
+    order = np.argsort(distances)
+    sorted_distances = distances[order]
+    sorted_labels = labels[order]
+
+    def entropy(values):
+        if values.size == 0:
+            return 0.0
+        _, counts = np.unique(values, return_counts=True)
+        proportions = counts / values.size
+        return float(-np.sum(proportions * np.log2(proportions)))
+
+    total = entropy(sorted_labels)
+    best_gain, best_threshold = 0.0, float(sorted_distances[0])
+    for split in range(1, distances.size):
+        if np.isclose(sorted_distances[split], sorted_distances[split - 1]):
+            continue
+        left, right = sorted_labels[:split], sorted_labels[split:]
+        weighted = (left.size * entropy(left) + right.size * entropy(right)) / labels.size
+        gain = total - weighted
+        if gain > best_gain:
+            best_gain = gain
+            best_threshold = float(
+                (sorted_distances[split] + sorted_distances[split - 1]) / 2.0
+            )
+    return best_gain, best_threshold
+
+
+class TestEnumerateWindows:
+    def test_window_lengths_and_reconstruction(self):
+        candidates = enumerate_windows(["abc"], alphabet_size=4,
+                                       min_length=2, points_per_symbol=8)
+        lengths = {candidate.length for candidate in candidates}
+        assert lengths == {16, 24}
+        symbols = {candidate.symbols for candidate in candidates}
+        assert symbols == {"ab", "bc", "abc"}
+
+    def test_provenance_recorded(self):
+        candidates = enumerate_windows(["abcd"], alphabet_size=4,
+                                       min_length=2, max_length=2)
+        assert [c.start for c in candidates] == [0, 1, 2]
+        assert all(c.source_shape == "abcd" for c in candidates)
+        assert all(c.source_index == 0 for c in candidates)
+
+    def test_deduplicates_equal_values(self):
+        candidates = enumerate_windows(["aa", "aa"], alphabet_size=4)
+        assert len(candidates) == 1
+
+    def test_labels_attach_and_split_duplicates(self):
+        candidates = enumerate_windows(["aa", "aa"], alphabet_size=4,
+                                       labels=[0, 1])
+        assert [c.label for c in candidates] == [0, 1]
+
+    def test_describe_is_plain_data(self):
+        candidate = enumerate_windows(["ab"], alphabet_size=4, labels=[3])[0]
+        payload = candidate.describe()
+        assert payload["symbols"] == "ab"
+        assert payload["label"] == 3
+        assert set(payload) == {
+            "symbols", "source_shape", "start", "length", "gain",
+            "threshold", "label",
+        }
+
+
+class TestInformationGain:
+    def test_perfect_split(self):
+        gain, threshold = information_gain(
+            [0.1, 0.2, 0.9, 1.0], [0, 0, 1, 1]
+        )
+        assert gain == pytest.approx(1.0)
+        assert 0.2 < threshold < 0.9
+
+    def test_no_information(self):
+        gain, _ = information_gain([0.1, 0.2, 0.3, 0.4], [0, 1, 0, 1])
+        assert gain == pytest.approx(0.0, abs=0.35)
+
+    def test_uniform_labels_give_zero_gain(self):
+        gain, threshold = information_gain([0.1, 0.5, 0.9], [1, 1, 1])
+        assert gain == 0.0
+        assert threshold == pytest.approx(0.1)
+
+    def test_equal_distances_unsplittable(self):
+        gain, threshold = information_gain([0.5, 0.5, 0.5], [0, 1, 0])
+        assert gain == 0.0
+        assert threshold == pytest.approx(0.5)
+
+    def test_single_point(self):
+        gain, threshold = information_gain([0.7], [1])
+        assert gain == 0.0
+        assert threshold == pytest.approx(0.7)
+
+    def test_empty_or_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            information_gain([], [])
+        with pytest.raises(ValueError):
+            information_gain([0.1], [0, 1])
+
+    def test_matches_scalar_reference(self):
+        rng = np.random.default_rng(13)
+        for _ in range(50):
+            n = int(rng.integers(2, 30))
+            distances = rng.choice([0.1, 0.25, 0.5, 0.9], size=n)
+            labels = rng.integers(0, 3, size=n)
+            expected = scalar_information_gain(distances, labels)
+            actual = information_gain(distances, labels)
+            assert actual[0] == pytest.approx(expected[0], abs=1e-9)
+            assert actual[1] == pytest.approx(expected[1], abs=1e-9)
+
+
+class TestScoreAndSelect:
+    def test_score_fills_gain_in_input_order(self):
+        rng = np.random.default_rng(5)
+        series = [rng.normal(size=20) for _ in range(12)]
+        # Class 1 carries an injected bump the first candidate matches.
+        for i in range(6):
+            series[i][5:9] = [2.0, 3.0, 3.0, 2.0]
+        labels = [1] * 6 + [0] * 6
+        candidates = [
+            ShapeletCandidate(values=(2.0, 3.0, 3.0, 2.0), symbols="xx",
+                              source_shape="xxxx", source_index=0, start=0),
+            ShapeletCandidate(values=(0.0, 0.0), symbols="yy",
+                              source_shape="yyyy", source_index=1, start=0),
+        ]
+        scored = score_candidates(candidates, series, labels)
+        assert [c.symbols for c in scored] == ["xx", "yy"]
+        assert scored[0].gain > scored[1].gain
+        assert scored[0].gain == pytest.approx(1.0)
+
+    def test_score_empty_is_empty(self):
+        assert score_candidates([], [np.ones(3)], [0]) == []
+
+    def test_select_ranks_by_gain(self):
+        def candidate(symbols, start, gain, source="abcdef"):
+            return ShapeletCandidate(
+                values=tuple(float(i) for i in range(8 * len(symbols))),
+                symbols=symbols, source_shape=source, source_index=0,
+                start=start, gain=gain,
+            )
+
+        scored = [candidate("ab", 0, 0.3), candidate("cd", 2, 0.9),
+                  candidate("ef", 4, 0.6)]
+        selected = select_shapelets(scored, 2)
+        assert [c.symbols for c in selected] == ["cd", "ef"]
+
+    def test_select_prunes_overlapping_windows(self):
+        def candidate(symbols, start, gain):
+            return ShapeletCandidate(
+                values=tuple(float(i) for i in range(8 * len(symbols))),
+                symbols=symbols, source_shape="abcde", source_index=0,
+                start=start, gain=gain,
+            )
+
+        # "abc"@0 and "bcd"@1 overlap 2/3 > 0.5 → the second is pruned in
+        # favour of the disjoint "de"@3.
+        scored = [candidate("abc", 0, 0.9), candidate("bcd", 1, 0.8),
+                  candidate("de", 3, 0.2)]
+        selected = select_shapelets(scored, 2)
+        assert [c.symbols for c in selected] == ["abc", "de"]
+
+    def test_pruned_candidates_backfill(self):
+        def candidate(symbols, start, gain):
+            return ShapeletCandidate(
+                values=tuple(float(i) for i in range(8 * len(symbols))),
+                symbols=symbols, source_shape="abcd", source_index=0,
+                start=start, gain=gain,
+            )
+
+        scored = [candidate("abc", 0, 0.9), candidate("bcd", 1, 0.8)]
+        selected = select_shapelets(scored, 2)
+        assert len(selected) == 2
+
+    def test_different_shapes_never_overlap(self):
+        a = ShapeletCandidate(values=(1.0,) * 16, symbols="ab",
+                              source_shape="abab", source_index=0, start=0,
+                              gain=0.9)
+        b = ShapeletCandidate(values=(2.0,) * 16, symbols="ab",
+                              source_shape="abab", source_index=1, start=0,
+                              gain=0.8)
+        assert [c.source_index for c in select_shapelets([a, b], 2)] == [0, 1]
+
+
+class TestDiscoverShapelets:
+    def test_end_to_end_finds_discriminative_window(self):
+        rng = np.random.default_rng(17)
+        series, labels = [], []
+        for label in (0, 1):
+            for _ in range(10):
+                values = rng.normal(scale=0.1, size=30)
+                if label == 1:
+                    values[10:18] += 2.0
+                series.append(values)
+                labels.append(label)
+        shapelets = discover_shapelets(
+            ["ddddd", "aaaaa"], series, labels, alphabet_size=4, n_shapelets=3
+        )
+        assert 0 < len(shapelets) <= 3
+        assert shapelets[0].gain > 0.5
+
+    def test_no_shapes_is_empty(self):
+        assert discover_shapelets([], [np.ones(5)], [0], alphabet_size=4) == []

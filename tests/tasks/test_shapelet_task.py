@@ -1,0 +1,160 @@
+"""The registered ``task="shapelet"`` workload: inline behaviour and knobs."""
+
+import pytest
+
+from repro.api import (
+    DataSpec,
+    ExperimentSpec,
+    PrivacySpec,
+    RunResult,
+    SAXSpec,
+    SweepSpec,
+    TASK_SHAPELET,
+    available_tasks,
+    task_registry,
+)
+from repro.exceptions import ConfigurationError
+from repro.tasks.shapelet import SHAPELET_DEFAULTS, shapelet_knobs
+
+SEED = 424
+DATA = DataSpec(source="trace", n_users=300, seed=7)
+SPEC = ExperimentSpec(
+    mechanism="privshape",
+    privacy=PrivacySpec(epsilon=6.0),
+    sax=SAXSpec(alphabet_size=4),
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return SPEC.run(DATA, task="shapelet", seed=SEED, evaluation_size=100)
+
+
+class TestTaskRegistry:
+    def test_shapelet_registered(self):
+        assert TASK_SHAPELET in available_tasks()
+        entry = task_registry.get(TASK_SHAPELET)
+        assert entry.needs_labels
+        assert entry.all_backends
+        assert "evaluation_size" in entry.options
+
+    def test_unknown_task_still_rejected(self):
+        with pytest.raises(ConfigurationError, match="task"):
+            SPEC.run(DATA, task="shapelets", seed=SEED)
+
+
+class TestShapeletRun:
+    def test_run_result_schema(self, result):
+        assert result.task == "shapelet"
+        assert result.backend == "inline"
+        assert result.estimates  # the extraction phase's shapes ride along
+        assert 0.0 <= result.metrics["accuracy"] <= 1.0
+        assert result.metrics["n_shapelets"] >= 1
+        assert result.details["n_train"] + result.details["n_test"] == 100
+        for entry in result.details["shapelets"]:
+            assert set(entry) >= {"symbols", "gain", "threshold"}
+
+    def test_round_trips_through_json(self, result):
+        clone = RunResult.from_json(result.to_json())
+        assert clone.fingerprint() == result.fingerprint()
+
+    def test_deterministic_under_seed(self, result):
+        again = SPEC.run(DATA, task="shapelet", seed=SEED, evaluation_size=100)
+        assert again.fingerprint() == result.fingerprint()
+        assert again.metrics["accuracy"] == result.metrics["accuracy"]
+
+    def test_telemetry_block_surfaces_stage_spans(self):
+        traced = SPEC.run(DATA, task="shapelet", seed=SEED,
+                          evaluation_size=100, telemetry=True)
+        assert traced.telemetry is not None
+        span_names = set(traced.telemetry["spans"]["by_name"])
+        assert {"shapelet.extract", "shapelet.discover",
+                "shapelet.transform", "shapelet.classify"} <= span_names
+        assert "shapelet.min_distance" in traced.telemetry["kernels"]
+
+    def test_unlabelled_data_rejected(self):
+        with pytest.raises(ConfigurationError, match="label"):
+            SPEC.run(DataSpec(source="synthetic", n_users=500, seed=1),
+                     task="shapelet", seed=SEED)
+
+    def test_misspelled_option_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown or inert"):
+            SPEC.run(DATA, task="shapelet", seed=SEED, evaluation_sizes=5)
+
+
+class TestShapeletKnobs:
+    def test_defaults(self):
+        assert shapelet_knobs(SPEC) == SHAPELET_DEFAULTS
+
+    def test_options_override(self):
+        spec = ExperimentSpec(options={"n_shapelets": 3,
+                                       "shapelet_max_length": 4})
+        knobs = shapelet_knobs(spec)
+        assert knobs["n_shapelets"] == 3
+        assert knobs["shapelet_max_length"] == 4
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_shapelets"):
+            shapelet_knobs(ExperimentSpec(options={"n_shapelets": 0}))
+        with pytest.raises(ConfigurationError, match="shapelet_max_length"):
+            shapelet_knobs(ExperimentSpec(
+                options={"shapelet_min_length": 4, "shapelet_max_length": 2}
+            ))
+
+    def test_spec_options_change_the_run(self):
+        small = ExperimentSpec(
+            mechanism="privshape", privacy=PrivacySpec(epsilon=6.0),
+            sax=SAXSpec(alphabet_size=4), options={"n_shapelets": 2},
+        )
+        result = small.run(DATA, task="shapelet", seed=SEED,
+                           evaluation_size=100)
+        assert result.metrics["n_shapelets"] <= 2
+
+
+class TestShapeletSweep:
+    def test_axes_expand_in_order(self):
+        sweep = SweepSpec(base=SPEC, task="shapelet", epsilons=(1.0, 4.0),
+                          shapelet_counts=(2, 5))
+        assert list(sweep.axes()) == ["shapelet_count", "epsilon"]
+        points = sweep.points()
+        assert len(points) == 4
+        assert points[0] == {"shapelet_count": 2, "epsilon": 1.0}
+
+    def test_spec_for_maps_axes_to_options(self):
+        sweep = SweepSpec(base=SPEC, task="shapelet",
+                          shapelet_counts=(3,), shapelet_lengths=(4,))
+        spec = sweep.spec_for({"shapelet_count": 3, "shapelet_length": 4})
+        assert spec.options["n_shapelets"] == 3
+        assert spec.options["shapelet_max_length"] == 4
+
+    def test_axes_rejected_for_other_tasks(self):
+        with pytest.raises(ConfigurationError, match="shapelet"):
+            SweepSpec(base=SPEC, task="extract", shapelet_counts=(2,))
+
+    def test_round_trips_through_json(self):
+        sweep = SweepSpec(base=SPEC, task="shapelet", epsilons=(2.0,),
+                          shapelet_counts=(2, 4), shapelet_lengths=(3,))
+        assert SweepSpec.from_json(sweep.to_json()) == sweep
+
+    def test_accuracy_vs_epsilon_grid(self):
+        sweep = SweepSpec(base=SPEC, task="shapelet", epsilons=(1.0, 6.0))
+        result = sweep.run(DATA, seed=SEED, evaluation_size=80)
+        assert len(result.runs) == 2
+        for run in result.runs:
+            assert run.task == "shapelet"
+            assert "accuracy" in run.metrics
+
+
+class TestDegradation:
+    def test_low_epsilon_degrades_to_zero_not_raise(self):
+        """A grid point whose extraction finds nothing reports accuracy 0.0."""
+        starved = ExperimentSpec(
+            mechanism="privshape", privacy=PrivacySpec(epsilon=0.01),
+            sax=SAXSpec(alphabet_size=4),
+        )
+        result = starved.run(
+            DataSpec(source="waves", n_users=150, seed=3),
+            task="shapelet", seed=SEED, evaluation_size=60,
+        )
+        assert result.task == "shapelet"
+        assert 0.0 <= result.metrics["accuracy"] <= 1.0

@@ -1,0 +1,249 @@
+"""Vectorized transform kernels vs. the scalar reference, plus edge cases.
+
+The scalar reference loop here is a frozen copy of the pre-vectorization
+``extensions.shapelets.sliding_min_distance`` — the contract the kernels must
+reproduce to float tolerance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataShapeError
+from repro.tasks.shapelet import (
+    SIGMA_MIN,
+    ShapeletTransform,
+    min_distance_matrix,
+    sliding_min_distance,
+    subsequences,
+    z_normalize,
+)
+
+
+def scalar_min_distance(series, shapelet_values) -> float:
+    """The historical per-window Python loop (frozen reference)."""
+    series = np.asarray(series, dtype=float)
+    values = np.asarray(shapelet_values, dtype=float)
+    length = values.size
+    if series.size < length:
+        return float(
+            np.linalg.norm(series - values[: series.size]) / max(series.size, 1)
+        )
+    best = np.inf
+    for start in range(series.size - length + 1):
+        window = series[start : start + length]
+        distance = float(np.linalg.norm(window - values))
+        if distance < best:
+            best = distance
+    return best / length
+
+
+finite = st.floats(min_value=-100.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestSubsequences:
+    def test_every_window_in_order(self):
+        windows = subsequences(np.arange(5.0), 3)
+        assert windows.shape == (3, 3)
+        assert np.array_equal(windows[0], [0.0, 1.0, 2.0])
+        assert np.array_equal(windows[2], [2.0, 3.0, 4.0])
+
+    def test_length_one_windows(self):
+        windows = subsequences(np.asarray([4.0, 5.0]), 1)
+        assert windows.shape == (2, 1)
+        assert np.array_equal(windows.ravel(), [4.0, 5.0])
+
+    def test_window_covering_whole_series(self):
+        windows = subsequences(np.asarray([1.0, 2.0]), 2)
+        assert windows.shape == (1, 2)
+
+    def test_too_long_window_rejected(self):
+        with pytest.raises(DataShapeError, match="no windows"):
+            subsequences(np.asarray([1.0]), 2)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(DataShapeError, match="length"):
+            subsequences(np.asarray([1.0, 2.0]), 0)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(DataShapeError, match="1-d"):
+            subsequences(np.ones((2, 2)), 1)
+
+
+class TestZNormalize:
+    def test_constant_window_maps_to_zero(self):
+        """The σ_min floor: zero variance divides by 1.0, not by ~0."""
+        normalized = z_normalize(np.asarray([[3.0, 3.0, 3.0]]))
+        assert np.all(np.isfinite(normalized))
+        assert np.allclose(normalized, 0.0)
+
+    def test_near_constant_window_stays_finite(self):
+        window = np.full((1, 4), 2.0)
+        window[0, 0] += 1e-9
+        normalized = z_normalize(window)
+        assert np.all(np.isfinite(normalized))
+        assert np.max(np.abs(normalized)) < 1.0
+
+    def test_regular_window_is_z_scored(self):
+        normalized = z_normalize(np.asarray([[0.0, 1.0, 2.0]]))
+        assert np.isclose(normalized.mean(), 0.0)
+        assert np.isclose(normalized.std(), 1.0)
+
+    @given(st.lists(finite, min_size=2, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_always_finite(self, values):
+        normalized = z_normalize(np.asarray([values]))
+        assert np.all(np.isfinite(normalized))
+
+    def test_sigma_floor_is_documented_value(self):
+        assert SIGMA_MIN == 1e-3
+
+
+class TestSlidingMinDistance:
+    def test_exact_subsequence_is_zero(self):
+        series = np.asarray([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert sliding_min_distance(series, [2.0, 3.0]) == pytest.approx(0.0)
+
+    def test_matches_scalar_reference(self):
+        rng = np.random.default_rng(7)
+        series = rng.normal(size=50)
+        shapelet = rng.normal(size=7)
+        assert sliding_min_distance(series, shapelet) == pytest.approx(
+            scalar_min_distance(series, shapelet)
+        )
+
+    def test_short_series_prefix_path(self):
+        series = np.asarray([1.0, 2.0])
+        shapelet = np.asarray([1.0, 2.0, 9.0])
+        assert sliding_min_distance(series, shapelet) == pytest.approx(
+            scalar_min_distance(series, shapelet)
+        )
+
+    def test_shapelet_length_equals_series_length(self):
+        series = np.asarray([1.0, 2.0, 3.0])
+        assert sliding_min_distance(series, series) == pytest.approx(0.0)
+
+    def test_empty_shapelet_rejected(self):
+        with pytest.raises(DataShapeError, match="at least one value"):
+            sliding_min_distance(np.asarray([1.0]), [])
+
+    def test_constant_series_normalized_is_finite(self):
+        """Satellite regression: zero-variance windows + normalize=True."""
+        distance = sliding_min_distance(
+            np.full(10, 5.0), [1.0, 2.0, 3.0], normalize=True
+        )
+        assert np.isfinite(distance)
+
+    @given(
+        st.lists(finite, min_size=1, max_size=30),
+        st.lists(finite, min_size=1, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_scalar_reference(self, series, shapelet):
+        vectorized = sliding_min_distance(series, shapelet)
+        assert vectorized == pytest.approx(
+            scalar_min_distance(series, shapelet), abs=1e-9
+        )
+
+    @given(st.lists(finite, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_length_one_shapelet(self, series):
+        """A length-1 shapelet's min distance is the closest point."""
+        distance = sliding_min_distance(series, [0.0])
+        assert distance == pytest.approx(min(abs(v) for v in series), abs=1e-9)
+
+    @given(st.lists(finite, min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_shapelet_equal_to_series(self, series):
+        assert sliding_min_distance(series, series) == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.lists(finite, min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_constant_series_finite_normalized(self, series):
+        """Constant series + σ_min floor never produce inf/NaN."""
+        constant = np.full(len(series), 3.0)
+        distance = sliding_min_distance(constant, series, normalize=True)
+        assert np.isfinite(distance)
+
+
+class TestMinDistanceMatrix:
+    def test_matches_per_pair_kernel(self):
+        rng = np.random.default_rng(11)
+        series_list = [rng.normal(size=n) for n in (30, 45, 12)]
+        shapelets = [rng.normal(size=n) for n in (4, 4, 7, 9)]
+        matrix = min_distance_matrix(series_list, shapelets)
+        assert matrix.shape == (3, 4)
+        for row, series in enumerate(series_list):
+            for column, shapelet in enumerate(shapelets):
+                assert matrix[row, column] == pytest.approx(
+                    scalar_min_distance(series, shapelet), abs=1e-9
+                )
+
+    def test_short_series_uses_prefix_path(self):
+        series_list = [np.asarray([1.0, 2.0])]
+        shapelets = [np.asarray([1.0, 2.0, 3.0, 4.0])]
+        matrix = min_distance_matrix(series_list, shapelets)
+        assert matrix[0, 0] == pytest.approx(
+            scalar_min_distance(series_list[0], shapelets[0])
+        )
+
+    def test_empty_inputs_give_empty_matrix(self):
+        assert min_distance_matrix([], [np.asarray([1.0])]).shape == (0, 1)
+        assert min_distance_matrix([np.asarray([1.0])], []).shape == (1, 0)
+
+    def test_gram_expansion_never_negative(self):
+        """Exact matches must report 0.0, not NaN from a negative sqrt."""
+        series = np.asarray([5.0, 6.0, 7.0, 8.0])
+        matrix = min_distance_matrix([series], [series[1:3]])
+        assert matrix[0, 0] == pytest.approx(0.0)
+        assert not np.isnan(matrix).any()
+
+    @given(
+        st.lists(st.lists(finite, min_size=3, max_size=15),
+                 min_size=1, max_size=4),
+        st.lists(st.lists(finite, min_size=1, max_size=5),
+                 min_size=1, max_size=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matrix_matches_scalar(self, series_list, shapelets):
+        matrix = min_distance_matrix(
+            [np.asarray(s) for s in series_list],
+            [np.asarray(s) for s in shapelets],
+        )
+        for row, series in enumerate(series_list):
+            for column, shapelet in enumerate(shapelets):
+                assert matrix[row, column] == pytest.approx(
+                    scalar_min_distance(series, shapelet), abs=1e-6
+                )
+
+
+class TestShapeletTransform:
+    def test_feature_matrix_shape_and_values(self):
+        rng = np.random.default_rng(3)
+        series_list = [rng.normal(size=25) for _ in range(5)]
+        shapelets = (tuple(rng.normal(size=4)), tuple(rng.normal(size=6)))
+        stage = ShapeletTransform(shapelets=shapelets)
+        features = stage.transform(series_list)
+        assert features.shape == (5, 2)
+        assert np.array_equal(
+            features, min_distance_matrix(series_list, list(shapelets))
+        )
+
+    def test_accepts_objects_with_values(self):
+        class Candidate:
+            values = (1.0, 2.0)
+
+        stage = ShapeletTransform(shapelets=(Candidate(),))
+        assert stage.n_features == 1
+        assert stage.shapelets == ((1.0, 2.0),)
+
+    def test_callable_alias(self):
+        stage = ShapeletTransform(shapelets=((1.0, 2.0),))
+        series = [np.asarray([1.0, 2.0, 3.0])]
+        assert np.array_equal(stage(series), stage.transform(series))
+
+    def test_empty_shapelet_set_rejected(self):
+        with pytest.raises(DataShapeError, match="at least one shapelet"):
+            ShapeletTransform(shapelets=())
